@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks of the individual kernels the paper's
+//! framework spends its time in: sparse matrix–vector products (eq. 5),
+//! `csrmm` (`T_i = A_i W_i`, Algorithm 1), sparse LDLᵀ factorization and
+//! triangular solves (the MUMPS/PARDISO role), the GenEO Lanczos
+//! eigensolve (the ARPACK role), coarse-operator assembly (eq. 10), the
+//! coarse correction (§3.2), and the graph partitioner (the METIS role).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_core::coarse::{CoarseOperator, CoarseSpace};
+use dd_core::geneo::{deflation_block, resize_block, GeneoOpts};
+use dd_core::{decompose, problem::presets, Decomposition};
+use dd_fem::{assemble_diffusion, DofMap};
+use dd_linalg::DMat;
+use dd_mesh::Mesh;
+use dd_part::{partition_ggp, partition_mesh_rcb};
+use dd_solver::{Ordering, SparseLdlt};
+use std::hint::black_box;
+
+fn fem_matrix(cells: usize) -> dd_linalg::CsrMatrix {
+    let mesh = Mesh::unit_square(cells, cells);
+    let dm = DofMap::new(&mesh, 1);
+    let (a, _) = assemble_diffusion(&mesh, &dm, &|_| 1.0, &|_| 1.0);
+    a
+}
+
+fn decomp_fixture(cells: usize, nparts: usize) -> Decomposition {
+    let mesh = Mesh::unit_square(cells, cells);
+    let part = partition_mesh_rcb(&mesh, nparts);
+    let problem = presets::heterogeneous_diffusion(1);
+    decompose(&mesh, &problem, &part, nparts, 1)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    for cells in [32usize, 64] {
+        let a = fem_matrix(cells);
+        let x = vec![1.0; a.cols()];
+        let mut y = vec![0.0; a.rows()];
+        g.bench_with_input(BenchmarkId::from_parameter(a.rows()), &a, |b, a| {
+            b.iter(|| {
+                a.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_csrmm(c: &mut Criterion) {
+    // T_i = A_i W_i with ν = 16 deflation vectors.
+    let a = fem_matrix(48);
+    let n = a.rows();
+    let mut w = DMat::zeros(n, 16);
+    for j in 0..16 {
+        for i in 0..n {
+            w.col_mut(j)[i] = ((i + j) % 7) as f64;
+        }
+    }
+    c.bench_function("csrmm_nu16", |b| b.iter(|| black_box(a.csrmm(&w))));
+}
+
+fn bench_ldlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldlt");
+    for cells in [24usize, 48] {
+        let a = fem_matrix(cells);
+        g.bench_with_input(
+            BenchmarkId::new("factor_md", a.rows()),
+            &a,
+            |b, a| b.iter(|| black_box(SparseLdlt::factor(a, Ordering::MinDegree).unwrap())),
+        );
+        let f = SparseLdlt::factor(&a, Ordering::MinDegree).unwrap();
+        let rhs = vec![1.0; a.rows()];
+        g.bench_with_input(BenchmarkId::new("solve", a.rows()), &f, |b, f| {
+            b.iter(|| black_box(f.solve(&rhs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let a = fem_matrix(32);
+    let mut g = c.benchmark_group("ordering");
+    g.bench_function("rcm", |b| {
+        b.iter(|| black_box(dd_solver::ordering::reverse_cuthill_mckee(&a)))
+    });
+    g.bench_function("min_degree", |b| {
+        b.iter(|| black_box(dd_solver::ordering::min_degree(&a)))
+    });
+    g.finish();
+}
+
+fn bench_geneo_eigensolve(c: &mut Criterion) {
+    let d = decomp_fixture(32, 4);
+    let opts = GeneoOpts {
+        nev: 8,
+        ..Default::default()
+    };
+    c.bench_function("geneo_eigensolve_nev8", |b| {
+        b.iter(|| black_box(deflation_block(&d.subdomains[0], &opts)))
+    });
+}
+
+fn bench_coarse_assembly_and_apply(c: &mut Criterion) {
+    let d = decomp_fixture(32, 8);
+    let opts = GeneoOpts {
+        nev: 6,
+        ..Default::default()
+    };
+    let blocks: Vec<DMat> = d
+        .subdomains
+        .iter()
+        .map(|s| {
+            let b = deflation_block(s, &opts);
+            resize_block(&b, b.kept)
+        })
+        .collect();
+    c.bench_function("coarse_assembly_eq10", |b| {
+        b.iter(|| {
+            let space = CoarseSpace::new(blocks.clone());
+            black_box(CoarseOperator::build(&d, space, Ordering::MinDegree))
+        })
+    });
+    let space = CoarseSpace::new(blocks);
+    let op = CoarseOperator::build(&d, space, Ordering::MinDegree);
+    let u: Vec<f64> = (0..d.n_global).map(|i| (i % 13) as f64).collect();
+    c.bench_function("coarse_correction_apply", |b| {
+        b.iter(|| black_box(op.correction(&d, &u)))
+    });
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mesh = Mesh::unit_square(48, 48);
+    let adj = mesh.dual_graph();
+    c.bench_function("partition_ggp_16", |b| {
+        b.iter(|| black_box(partition_ggp(&adj, 16)))
+    });
+    c.bench_function("partition_rcb_16", |b| {
+        b.iter(|| black_box(partition_mesh_rcb(&mesh, 16)))
+    });
+}
+
+fn bench_fem_assembly(c: &mut Criterion) {
+    let mesh = Mesh::unit_square(24, 24);
+    let mut g = c.benchmark_group("fem_assembly");
+    for order in [1usize, 2, 3] {
+        let dm = DofMap::new(&mesh, order);
+        g.bench_with_input(BenchmarkId::from_parameter(order), &dm, |b, dm| {
+            b.iter(|| black_box(assemble_diffusion(&mesh, dm, &|_| 1.0, &|_| 1.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_spmv,
+        bench_csrmm,
+        bench_ldlt,
+        bench_orderings,
+        bench_geneo_eigensolve,
+        bench_coarse_assembly_and_apply,
+        bench_partitioner,
+        bench_fem_assembly
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: the eigensolver behind GenEO. The paper uses ARPACK
+//! (shift-invert Arnoldi/Lanczos); the framework only needs *some* solver
+//! for the smallest pencil eigenpairs. We compare our Lanczos (the ARPACK
+//! stand-in) against inverse subspace iteration on the actual GenEO
+//! pencils of a heterogeneous decomposition: same eigenvalues, different
+//! cost profiles — Lanczos needs one `K⁻¹` application per step, subspace
+//! iteration `m` per sweep.
+
+use dd_core::geneo::overlap_weighted_matrix;
+use dd_core::{decompose, problem::presets};
+use dd_eigen::{smallest_generalized, smallest_generalized_si, LanczosOpts, SubspaceOpts};
+use dd_mesh::Mesh;
+use dd_part::partition_mesh_rcb;
+use std::time::Instant;
+
+fn main() {
+    println!("# Ablation: GenEO eigensolver — Lanczos vs subspace iteration");
+    let mesh = Mesh::unit_square(40, 40);
+    let n_sub = 8;
+    let part = partition_mesh_rcb(&mesh, n_sub);
+    let problem = presets::heterogeneous_diffusion(1);
+    let d = decompose(&mesh, &problem, &part, n_sub, 1);
+    let nev = 6;
+
+    println!(
+        "{:>4} {:>8} {:>22} {:>22} {:>10}",
+        "sub", "n_i", "Lanczos λ (steps, ms)", "SubspIt λ (steps, ms)", "max |Δλ|"
+    );
+    let mut worst: f64 = 0.0;
+    for (i, s) in d.subdomains.iter().enumerate() {
+        let b = overlap_weighted_matrix(s);
+        let t0 = Instant::now();
+        let lz = smallest_generalized(&s.a_neumann, &b, nev, &LanczosOpts::default()).unwrap();
+        let t_lz = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let si =
+            smallest_generalized_si(&s.a_neumann, &b, nev, &SubspaceOpts::default()).unwrap();
+        let t_si = t0.elapsed().as_secs_f64() * 1e3;
+        let k = lz.values.len().min(si.values.len());
+        let dmax = (0..k)
+            .filter(|&j| lz.values[j].is_finite() && si.values[j].is_finite())
+            .map(|j| (lz.values[j] - si.values[j]).abs() / lz.values[j].abs().max(1e-8))
+            .fold(0.0f64, f64::max);
+        worst = worst.max(dmax);
+        println!(
+            "{:>4} {:>8} {:>14.3e} ({:>3},{:>5.1}) {:>14.3e} ({:>3},{:>5.1}) {:>10.1e}",
+            i,
+            s.n_local(),
+            lz.values[0],
+            lz.steps,
+            t_lz,
+            si.values[0],
+            si.steps,
+            t_si,
+            dmax
+        );
+    }
+    assert!(
+        worst < 1e-4,
+        "eigensolvers disagree: max relative Δλ = {worst:.2e}"
+    );
+    println!("\n# SHAPE OK: independent eigensolvers agree on the GenEO spectra");
+}

@@ -1,0 +1,61 @@
+//! Ablation: number of deflation vectors ν per subdomain. More vectors
+//! mean fewer Krylov iterations but a larger coarse problem — the paper
+//! keeps ν ≤ 30 per subdomain ("blocks of rows of E are typically of size
+//! ν_i ranging from 1 to 30").
+
+use dd_core::{decompose, problem::presets, two_level, GeneoOpts, TwoLevelOpts};
+use dd_krylov::{gmres, GmresOpts, SeqDot};
+use dd_mesh::Mesh;
+use dd_part::partition_mesh_rcb;
+
+fn main() {
+    println!("# Ablation: deflation count ν (2D heterogeneous diffusion, N = 16)");
+    let mesh = Mesh::unit_square(48, 48);
+    let n_sub = 16;
+    let part = partition_mesh_rcb(&mesh, n_sub);
+    let problem = presets::heterogeneous_diffusion(1);
+    let d = decompose(&mesh, &problem, &part, n_sub, 1);
+    let opts = GmresOpts {
+        tol: 1e-6,
+        max_iters: 400,
+        record_history: false,
+        ..Default::default()
+    };
+    let x0 = vec![0.0; d.n_global];
+    println!(
+        "{:>4} {:>8} {:>12} {:>12} {:>16}",
+        "ν", "dim(E)", "#it.", "converged", "nnz(E⁻¹ factor)"
+    );
+    let mut its = Vec::new();
+    for nev in [1usize, 2, 4, 8, 16] {
+        let tl = two_level(
+            &d,
+            &TwoLevelOpts {
+                geneo: GeneoOpts {
+                    nev,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let r = gmres(&d.a_global, &tl, &SeqDot, &d.rhs_global, &x0, &opts);
+        println!(
+            "{:>4} {:>8} {:>12} {:>12} {:>16}",
+            nev,
+            tl.coarse().dim(),
+            r.iterations,
+            r.converged,
+            tl.coarse().nnz_factor()
+        );
+        its.push((nev, r.iterations, r.converged));
+    }
+    // Iterations decrease (weakly) as ν grows; the largest ν converges.
+    let last = its.last().unwrap();
+    assert!(last.2, "largest ν must converge");
+    let first_conv = its.iter().find(|s| s.2).unwrap();
+    assert!(
+        last.1 <= first_conv.1,
+        "more deflation vectors should not hurt: {its:?}"
+    );
+    println!("# SHAPE OK: iterations fall as the coarse space grows");
+}

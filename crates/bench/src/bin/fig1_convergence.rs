@@ -1,0 +1,77 @@
+//! Figure 1: convergence of GMRES preconditioned by a "basic" (one-level
+//! RAS) vs an "advanced" (two-level A-DEF1 with GenEO) domain decomposition
+//! method on 16 subdomains of a highly heterogeneous diffusion problem.
+//!
+//! Expected shape (paper): the basic method crawls/stalls, the advanced
+//! method converges in a few tens of iterations regardless of the
+//! 3·10⁶ coefficient contrast.
+
+use dd_core::{decompose, problem::presets, two_level, GeneoOpts, RasPrecond, TwoLevelOpts};
+use dd_krylov::{gmres, GmresOpts, SeqDot};
+use dd_mesh::Mesh;
+use dd_part::partition_mesh_rcb;
+use dd_solver::Ordering;
+
+fn main() {
+    let mesh = Mesh::unit_square(96, 96);
+    let n_sub = 16;
+    let part = partition_mesh_rcb(&mesh, n_sub);
+    let problem = presets::heterogeneous_diffusion(1);
+    let decomp = decompose(&mesh, &problem, &part, n_sub, 1);
+    println!(
+        "# Figure 1 reproduction: {} dofs, {} subdomains, κ ∈ [1, 3e6]",
+        decomp.n_global, n_sub
+    );
+
+    // The paper stops GMRES at a relative 1e-6 residual decrease.
+    let opts = GmresOpts {
+        tol: 1e-6,
+        max_iters: 130,
+        ..Default::default()
+    };
+    let x0 = vec![0.0; decomp.n_global];
+
+    let ras = RasPrecond::build(&decomp, Ordering::MinDegree);
+    let basic = gmres(&decomp.a_global, &ras, &SeqDot, &decomp.rhs_global, &x0, &opts);
+
+    let tl = two_level(
+        &decomp,
+        &TwoLevelOpts {
+            geneo: GeneoOpts {
+                nev: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let advanced = gmres(&decomp.a_global, &tl, &SeqDot, &decomp.rhs_global, &x0, &opts);
+
+    println!("# iteration  basic(RAS)  advanced(A-DEF1)");
+    let len = basic.history.len().max(advanced.history.len());
+    for k in 0..len {
+        println!(
+            "{:4}  {}  {}",
+            k,
+            basic
+                .history
+                .get(k)
+                .map_or("         ".into(), |v| format!("{v:9.3e}")),
+            advanced
+                .history
+                .get(k)
+                .map_or("         ".into(), |v| format!("{v:9.3e}")),
+        );
+    }
+    println!(
+        "# basic: {} iterations (converged = {}); advanced: {} iterations (converged = {})",
+        basic.iterations, basic.converged, advanced.iterations, advanced.converged
+    );
+    assert!(advanced.converged, "the advanced method must converge");
+    assert!(
+        advanced.iterations * 2 <= basic.iterations || !basic.converged,
+        "shape check failed: advanced ({}) not clearly ahead of basic ({})",
+        advanced.iterations,
+        basic.iterations
+    );
+    println!("# SHAPE OK: advanced ≪ basic");
+}

@@ -1,0 +1,105 @@
+//! Figure 8: strong scaling of the two-level method on heterogeneous
+//! linear elasticity — fixed global problem, growing subdomain count.
+//!
+//! Paper setup: 2D P3 (~2.1e9 dofs) and 3D P2 (~2.9e8 dofs) on
+//! N = 1024…8192 processes. Scaled here to laptop-size meshes and
+//! N = 4…32 ranks with *virtual* timing (α–β network model + per-rank
+//! thread CPU time). Expected shape: factorization and deflation dominate
+//! and shrink superlinearly in 3D (local problems get much cheaper),
+//! iteration counts stay flat, and speedups approach or exceed linear.
+
+use dd_bench::{aggregate, ascii_chart, elasticity_2d, elasticity_3d, masters_for, print_scaling_table, run_workload};
+use dd_core::{GeneoOpts, SpmdOpts};
+use dd_krylov::GmresOpts;
+
+fn sweep(make: impl Fn(usize) -> dd_bench::Workload, ns: &[usize]) -> Vec<dd_bench::ScalingRow> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        let w = make(n);
+        let opts = SpmdOpts {
+            geneo: GeneoOpts {
+                nev: 8,
+                ..Default::default()
+            },
+            n_masters: masters_for(n),
+            gmres: GmresOpts {
+                tol: 1e-6,
+                max_iters: 400,
+                side: dd_krylov::Side::Left,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let reports = run_workload(&w, &opts);
+        rows.push(aggregate(&reports, w.decomp.n_global));
+    }
+    rows
+}
+
+fn main() {
+    println!("# Figure 8 reproduction (strong scaling, virtual time)");
+    let ns = [4usize, 8, 16, 32];
+
+    // 3D-P2 elasticity, fixed mesh.
+    let rows3d = sweep(|n| elasticity_3d(6, 2, n, 1), &ns);
+    print_scaling_table("3D-P2 heterogeneous elasticity (fixed problem)", &rows3d);
+
+    // 2D-P3 elasticity, fixed mesh.
+    let rows2d = sweep(|n| elasticity_2d(48, 10, 3, n, 1), &ns);
+    print_scaling_table("2D-P3 heterogeneous elasticity (fixed problem)", &rows2d);
+
+    // Speedups relative to the smallest run (the paper's Figure 8 plot).
+    println!("\n== speedup relative to N = {} ==", ns[0]);
+    println!("{:>5} {:>10} {:>10} {:>12}", "N", "3D-P2", "2D-P3", "(linear)");
+    for (i, &n) in ns.iter().enumerate() {
+        println!(
+            "{:>5} {:>10.2} {:>10.2} {:>12.2}",
+            n,
+            rows3d[0].total / rows3d[i].total,
+            rows2d[0].total / rows2d[i].total,
+            n as f64 / ns[0] as f64
+        );
+    }
+
+    ascii_chart(
+        "speedup (Figure 8 plot)",
+        &[
+            (
+                "3D-P2",
+                ns.iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, rows3d[0].total / rows3d[i].total))
+                    .collect(),
+            ),
+            (
+                "2D-P3",
+                ns.iter()
+                    .enumerate()
+                    .map(|(i, &n)| (n, rows2d[0].total / rows2d[i].total))
+                    .collect(),
+            ),
+        ],
+        "x",
+    );
+
+    // Shape checks.
+    for rows in [&rows3d, &rows2d] {
+        assert!(rows.iter().all(|r| r.converged), "all runs must converge");
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(
+            last.total < first.total,
+            "no strong-scaling speedup: {} → {}",
+            first.total,
+            last.total
+        );
+        // Iteration counts stay bounded (condition number independent of N).
+        let it_max = rows.iter().map(|r| r.iterations).max().unwrap();
+        let it_min = rows.iter().map(|r| r.iterations).min().unwrap();
+        assert!(
+            it_max <= 3 * it_min.max(5),
+            "iterations blow up with N: {it_min} → {it_max}"
+        );
+    }
+    println!("\n# SHAPE OK: speedup with flat iteration counts");
+}

@@ -1,0 +1,1101 @@
+//! The SPMD runtime: ranks as threads, typed mailboxes, communicators with
+//! MPI-shaped collectives, and virtual-time accounting.
+//!
+//! The API deliberately mirrors the MPI calls of the paper's Algorithms 1–2
+//! (`send`/`recv` ↔ `MPI_Isend`/`MPI_Irecv` + wait, [`Communicator::gather`]
+//! ↔ `MPI_Gather`, [`Communicator::gatherv`] ↔ `MPI_Gatherv`,
+//! [`Communicator::split`] ↔ `MPI_Comm_split`,
+//! [`Communicator::iallreduce_sum_vec`] ↔ `MPI_Iallreduce`, …) so the
+//! coarse-operator assembly in `dd-core` reads like the paper's pseudocode.
+//!
+//! ## Correct usage
+//!
+//! Like MPI, all ranks of a communicator must call collectives in the same
+//! order; point-to-point messages are matched by `(source, tag)` FIFO.
+//! Violations deadlock (and are reported by the runtime when every thread
+//! is blocked) or panic on payload type mismatch.
+
+use crate::model::CostModel;
+use crate::time::VirtualClock;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
+use std::sync::Arc;
+
+/// Size in bytes a value would occupy on the wire — drives the β term of
+/// the cost model. Implemented for the payload types the framework sends.
+pub trait WireSize {
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! prim_wire {
+    ($($t:ty),*) => {$(
+        impl WireSize for $t {
+            fn wire_bytes(&self) -> usize { std::mem::size_of::<$t>() }
+        }
+        impl WireSize for Vec<$t> {
+            fn wire_bytes(&self) -> usize { self.len() * std::mem::size_of::<$t>() }
+        }
+    )*};
+}
+prim_wire!(f64, f32, u8, u32, u64, usize, i32, i64, bool);
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl WireSize for Vec<Vec<f64>> {
+    fn wire_bytes(&self) -> usize {
+        self.iter().map(|v| v.wire_bytes()).sum()
+    }
+}
+
+impl WireSize for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+struct Envelope {
+    payload: Box<dyn Any + Send>,
+    arrival: f64,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
+}
+
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+struct Slot {
+    contributions: Vec<Option<Box<dyn Any + Send>>>,
+    entry: Vec<f64>,
+    arrived: usize,
+    done: bool,
+    exit_clock: f64,
+    result: Option<Arc<dyn Any + Send + Sync>>,
+    taken: usize,
+}
+
+impl Slot {
+    fn new(size: usize) -> Self {
+        Slot {
+            contributions: (0..size).map(|_| None).collect(),
+            entry: vec![0.0; size],
+            arrived: 0,
+            done: false,
+            exit_clock: 0.0,
+            result: None,
+            taken: 0,
+        }
+    }
+}
+
+/// Shared state of one communicator.
+struct CommShared {
+    size: usize,
+    mailboxes: Vec<Mailbox>,
+    slots: Mutex<HashMap<u64, Slot>>,
+    slots_cv: Condvar,
+    // statistics
+    collective_calls: AtomicU64,
+    collective_bytes: AtomicU64,
+    p2p_messages: AtomicU64,
+    p2p_bytes: AtomicU64,
+}
+
+impl CommShared {
+    fn new(size: usize) -> Arc<Self> {
+        Arc::new(CommShared {
+            size,
+            mailboxes: (0..size)
+                .map(|_| Mailbox {
+                    inner: Mutex::new(MailboxInner::default()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            slots: Mutex::new(HashMap::new()),
+            slots_cv: Condvar::new(),
+            collective_calls: AtomicU64::new(0),
+            collective_bytes: AtomicU64::new(0),
+            p2p_messages: AtomicU64::new(0),
+            p2p_bytes: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Communication statistics of one communicator (aggregated over ranks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Collective operations initiated (counted once per rank per call).
+    pub collective_calls: u64,
+    /// Payload bytes contributed to collectives (summed over ranks) — the
+    /// wire volume of gathers/scatters/reductions, e.g. the §3.1.1
+    /// comparison of index-free vs index-shipping coarse assembly.
+    pub collective_bytes: u64,
+    /// Point-to-point messages sent.
+    pub p2p_messages: u64,
+    /// Point-to-point payload bytes sent.
+    pub p2p_bytes: u64,
+}
+
+/// A handle to a pending non-blocking reduction
+/// (cf. `MPI_Iallreduce` in the paper's fused pipelined GMRES, §3.5).
+pub struct PendingReduce<T> {
+    seq: u64,
+    post_clock: f64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// One rank's view of a communicator. Not `Send`: a communicator handle
+/// lives and dies on its rank's thread (like an MPI communicator + rank).
+pub struct Communicator {
+    shared: Arc<CommShared>,
+    model: CostModel,
+    rank: usize,
+    clock: Rc<VirtualClock>,
+    seq: Cell<u64>,
+    /// World-wide token serializing [`Communicator::compute`] sections so
+    /// that thread-CPU measurements are free of cache contention between
+    /// rank threads (the host has far fewer cores than ranks; virtual
+    /// time, not wall time, is the reported quantity).
+    compute_token: Arc<Mutex<()>>,
+}
+
+impl Communicator {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The rank's virtual clock.
+    pub fn clock(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Reset this rank's clock (benchmark phase boundaries; combine with a
+    /// [`Communicator::barrier`] so all ranks reset together).
+    pub fn reset_clock(&self) {
+        self.clock.reset();
+    }
+
+    /// Advance the clock by explicitly modeled time.
+    pub fn advance_clock(&self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    /// Run a compute section, charging its thread-CPU time to the clock.
+    ///
+    /// Compute sections are serialized across ranks (see `compute_token`)
+    /// so the measured CPU time reflects the work itself rather than cache
+    /// thrash between oversubscribed rank threads.
+    pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _token = self.compute_token.lock();
+        self.clock.compute(f)
+    }
+
+    /// The cost model (shared by all communicators of a world).
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Aggregated statistics of this communicator.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            collective_calls: self.shared.collective_calls.load(AtOrd::Relaxed),
+            collective_bytes: self.shared.collective_bytes.load(AtOrd::Relaxed),
+            p2p_messages: self.shared.p2p_messages.load(AtOrd::Relaxed),
+            p2p_bytes: self.shared.p2p_bytes.load(AtOrd::Relaxed),
+        }
+    }
+
+    // ---------------------------------------------------------------- p2p
+
+    /// Send `value` to `dest` with a user `tag` (non-blocking buffered send,
+    /// like `MPI_Isend` + internal buffering).
+    pub fn send<T: Send + WireSize + 'static>(&self, dest: usize, tag: u64, value: T) {
+        assert!(dest < self.size(), "send: dest out of range");
+        let bytes = value.wire_bytes();
+        // Sender pays the injection latency; the payload lands after the
+        // transfer time.
+        self.clock.advance(self.model.alpha);
+        let arrival = self.clock.now() + self.model.beta * bytes as f64;
+        let mb = &self.shared.mailboxes[dest];
+        {
+            let mut inner = mb.inner.lock();
+            inner
+                .queues
+                .entry((self.rank, tag))
+                .or_default()
+                .push_back(Envelope {
+                    payload: Box::new(value),
+                    arrival,
+                    bytes,
+                });
+        }
+        mb.cv.notify_all();
+        self.shared.p2p_messages.fetch_add(1, AtOrd::Relaxed);
+        self.shared.p2p_bytes.fetch_add(bytes as u64, AtOrd::Relaxed);
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if the payload type does not match `T`.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(src < self.size(), "recv: src out of range");
+        let mb = &self.shared.mailboxes[self.rank];
+        let env = {
+            let mut inner = mb.inner.lock();
+            loop {
+                if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                    if let Some(env) = q.pop_front() {
+                        break env;
+                    }
+                }
+                mb.cv.wait(&mut inner);
+            }
+        };
+        self.clock.advance_to(env.arrival);
+        let _ = env.bytes;
+        *env.payload
+            .downcast::<T>()
+            .expect("recv: payload type mismatch")
+    }
+
+    /// Exchange one message with every neighbor (the paper's
+    /// `MPI_Ineighbor_alltoall` on a distributed-graph topology): sends
+    /// `sends[k]` to `neighbors[k]` and returns the messages received from
+    /// each neighbor, in neighbor order.
+    pub fn neighbor_alltoall<T: Send + WireSize + 'static>(
+        &self,
+        neighbors: &[usize],
+        tag: u64,
+        sends: Vec<T>,
+    ) -> Vec<T> {
+        assert_eq!(neighbors.len(), sends.len());
+        for (&n, s) in neighbors.iter().zip(sends) {
+            self.send(n, tag, s);
+        }
+        neighbors.iter().map(|&n| self.recv(n, tag)).collect()
+    }
+
+    // --------------------------------------------------------- collectives
+
+    /// Core collective machinery: deposit a contribution, let the last
+    /// arriver run `finish` on all of them, synchronize clocks to the
+    /// returned exit time.
+    fn collective<R: Send + Sync + 'static>(
+        &self,
+        contribution: Box<dyn Any + Send>,
+        finish: impl FnOnce(Vec<Box<dyn Any + Send>>, f64) -> (R, f64),
+    ) -> Arc<R> {
+        let seq = self.next_seq();
+        self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
+        let size = self.size();
+        let mut slots = self.shared.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
+        slot.contributions[self.rank] = Some(contribution);
+        slot.entry[self.rank] = self.clock.now();
+        slot.arrived += 1;
+        if slot.arrived == size {
+            let contribs: Vec<Box<dyn Any + Send>> = slot
+                .contributions
+                .iter_mut()
+                .map(|c| c.take().expect("collective contribution missing"))
+                .collect();
+            let max_entry = slot.entry.iter().cloned().fold(0.0f64, f64::max);
+            let (result, exit) = finish(contribs, max_entry);
+            slot.result = Some(Arc::new(result));
+            slot.exit_clock = exit;
+            slot.done = true;
+            self.shared.slots_cv.notify_all();
+        } else {
+            while !slots.get(&seq).map(|s| s.done).unwrap_or(false) {
+                self.shared.slots_cv.wait(&mut slots);
+            }
+        }
+        let slot = slots.get_mut(&seq).expect("slot vanished");
+        let result = slot
+            .result
+            .clone()
+            .expect("collective result missing")
+            .downcast::<R>()
+            .expect("collective result type mismatch");
+        let exit = slot.exit_clock;
+        slot.taken += 1;
+        if slot.taken == size {
+            slots.remove(&seq);
+        }
+        drop(slots);
+        self.clock.advance_to(exit);
+        result
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        let size = self.size();
+        let model = self.model;
+        self.collective(Box::new(()), move |_, max_entry| {
+            ((), max_entry + model.barrier(size))
+        });
+    }
+
+    /// Broadcast `value` from `root` (non-roots pass `None`).
+    pub fn bcast<T: Clone + Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(value.as_ref().map_or(0, |v| v.wire_bytes()) as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |mut contribs, max_entry| {
+            let v = contribs[root]
+                .downcast_mut::<Option<T>>()
+                .expect("bcast type")
+                .take()
+                .expect("bcast: root passed None");
+            let cost = model.bcast(size, v.wire_bytes());
+            (v, max_entry + cost)
+        });
+        (*r).clone()
+    }
+
+    /// Gather with equal counts (`MPI_Gather`): root receives all values in
+    /// rank order; others get `None`.
+    pub fn gather<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Option<Vec<T>> {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let is_root = self.rank == root;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let vals: Vec<T> = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<T>().expect("gather type"))
+                .collect();
+            let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
+            let cost = model.gather_uniform(size, per_rank);
+            (Mutex::new(Some(vals)), max_entry + cost)
+        });
+        if is_root {
+            r.lock().take()
+        } else {
+            None
+        }
+    }
+
+    /// Gather with varying counts (`MPI_Gatherv`) — same data movement,
+    /// linear `O(N)` cost model (see `crate::model`).
+    pub fn gatherv<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Option<Vec<T>> {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let is_root = self.rank == root;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let vals: Vec<T> = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<T>().expect("gatherv type"))
+                .collect();
+            let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
+            let cost = model.gather_varying(size, total);
+            (Mutex::new(Some(vals)), max_entry + cost)
+        });
+        if is_root {
+            r.lock().take()
+        } else {
+            None
+        }
+    }
+
+    /// Scatter with equal counts (`MPI_Scatter`): root provides one value
+    /// per rank; every rank receives its own.
+    pub fn scatter<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> T {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(values.as_ref().map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>()) as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let rank = self.rank;
+        let r = self.collective(Box::new(values), move |mut contribs, max_entry| {
+            let vals = contribs[root]
+                .downcast_mut::<Option<Vec<T>>>()
+                .expect("scatter type")
+                .take()
+                .expect("scatter: root passed None");
+            assert_eq!(vals.len(), size, "scatter: need one value per rank");
+            let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
+            let cost = model.gather_uniform(size, per_rank); // symmetric cost
+            let slots: Vec<Mutex<Option<T>>> = vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            (slots, max_entry + cost)
+        });
+        let v = r[rank].lock().take().expect("scatter: value already taken");
+        v
+    }
+
+    /// Scatter with varying counts (`MPI_Scatterv`): linear cost model.
+    pub fn scatterv<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> T {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(values.as_ref().map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>()) as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let rank = self.rank;
+        let r = self.collective(Box::new(values), move |mut contribs, max_entry| {
+            let vals = contribs[root]
+                .downcast_mut::<Option<Vec<T>>>()
+                .expect("scatterv type")
+                .take()
+                .expect("scatterv: root passed None");
+            assert_eq!(vals.len(), size);
+            let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
+            let cost = model.gather_varying(size, total);
+            let slots: Vec<Mutex<Option<T>>> = vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            (slots, max_entry + cost)
+        });
+        let v = r[rank].lock().take().expect("scatterv: value already taken");
+        v
+    }
+
+    /// Allgather with equal counts.
+    pub fn allgather<T: Clone + Send + Sync + WireSize + 'static>(&self, value: T) -> Vec<T> {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let vals: Vec<T> = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<T>().expect("allgather type"))
+                .collect();
+            let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
+            let cost = model.allgather_uniform(size, per_rank);
+            (vals, max_entry + cost)
+        });
+        (*r).clone()
+    }
+
+    /// Allreduce: sum of scalars.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        let size = self.size();
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let s: f64 = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<f64>().expect("allreduce type"))
+                .sum();
+            (s, max_entry + model.allreduce(size, 8))
+        });
+        *r
+    }
+
+    /// Allreduce: element-wise sum of equal-length vectors.
+    pub fn allreduce_sum_vec(&self, value: Vec<f64>) -> Vec<f64> {
+        let size = self.size();
+        self.shared
+            .collective_bytes
+            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let mut it = contribs.into_iter();
+            let mut acc = *it.next().unwrap().downcast::<Vec<f64>>().expect("type");
+            for c in it {
+                let v = c.downcast::<Vec<f64>>().expect("type");
+                assert_eq!(v.len(), acc.len(), "allreduce_sum_vec: length mismatch");
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a += b;
+                }
+            }
+            let bytes = acc.len() * 8;
+            (acc, max_entry + model.allreduce(size, bytes))
+        });
+        (*r).clone()
+    }
+
+    /// Allreduce: maximum of scalars (the paper's
+    /// `MPI_Allreduce(ν_i, MPI_MAX)` to uniformize deflation counts).
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        let size = self.size();
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let m = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<f64>().expect("type"))
+                .fold(f64::NEG_INFINITY, f64::max);
+            (m, max_entry + model.allreduce(size, 8))
+        });
+        *r
+    }
+
+    /// Allreduce: maximum of usize.
+    pub fn allreduce_max_usize(&self, value: usize) -> usize {
+        let size = self.size();
+        let model = self.model;
+        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+            let m = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<usize>().expect("type"))
+                .max()
+                .unwrap_or(0);
+            (m, max_entry + model.allreduce(size, 8))
+        });
+        *r
+    }
+
+    /// Non-blocking element-wise vector sum (`MPI_Iallreduce`): returns a
+    /// handle immediately; the posting cost is a single injection latency.
+    /// Complete with [`Communicator::wait_reduce`].
+    pub fn iallreduce_sum_vec(&self, value: Vec<f64>) -> PendingReduce<Vec<f64>> {
+        let seq = self.next_seq();
+        self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
+        let size = self.size();
+        let model = self.model;
+        let mut slots = self.shared.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
+        slot.contributions[self.rank] = Some(Box::new(value));
+        slot.entry[self.rank] = self.clock.now();
+        slot.arrived += 1;
+        if slot.arrived == size {
+            let contribs: Vec<Box<dyn Any + Send>> = slot
+                .contributions
+                .iter_mut()
+                .map(|c| c.take().unwrap())
+                .collect();
+            let max_entry = slot.entry.iter().cloned().fold(0.0f64, f64::max);
+            let mut it = contribs.into_iter();
+            let mut acc = *it.next().unwrap().downcast::<Vec<f64>>().expect("type");
+            for c in it {
+                let v = c.downcast::<Vec<f64>>().expect("type");
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a += b;
+                }
+            }
+            let bytes = acc.len() * 8;
+            slot.exit_clock = max_entry + model.allreduce(size, bytes);
+            slot.result = Some(Arc::new(acc));
+            slot.done = true;
+            self.shared.slots_cv.notify_all();
+        }
+        drop(slots);
+        // Posting overhead only — the reduction itself overlaps with
+        // whatever the rank does before waiting.
+        self.clock.advance(self.model.alpha);
+        PendingReduce {
+            seq,
+            post_clock: self.clock.now(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Complete a pending non-blocking reduction. The clock advances to the
+    /// later of "now" and the modeled completion time — time spent
+    /// computing between post and wait hides the reduction latency.
+    pub fn wait_reduce(&self, pending: PendingReduce<Vec<f64>>) -> Vec<f64> {
+        let mut slots = self.shared.slots.lock();
+        while !slots.get(&pending.seq).map(|s| s.done).unwrap_or(false) {
+            self.shared.slots_cv.wait(&mut slots);
+        }
+        let slot = slots.get_mut(&pending.seq).unwrap();
+        let result = slot
+            .result
+            .clone()
+            .unwrap()
+            .downcast::<Vec<f64>>()
+            .expect("wait_reduce type");
+        let exit = slot.exit_clock;
+        slot.taken += 1;
+        if slot.taken == self.size() {
+            slots.remove(&pending.seq);
+        }
+        drop(slots);
+        let _ = pending.post_clock;
+        self.clock.advance_to(exit);
+        (*result).clone()
+    }
+
+    /// Split into sub-communicators by color (`MPI_Comm_split`). Ranks
+    /// passing `None` get `None` back (`MPI_UNDEFINED`). Sub-ranks follow
+    /// parent rank order, matching the paper's construction where "the
+    /// ranks of the slaves follow the same order as in MPI_COMM_WORLD".
+    pub fn split(&self, color: Option<usize>) -> Option<Communicator> {
+        let size = self.size();
+        let model = self.model;
+        let rank = self.rank;
+        let groups = self.collective(Box::new(color), move |contribs, max_entry| {
+            let colors: Vec<Option<usize>> = contribs
+                .into_iter()
+                .map(|c| *c.downcast::<Option<usize>>().expect("split type"))
+                .collect();
+            // color → (shared comm, parent ranks in order)
+            let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (r, c) in colors.iter().enumerate() {
+                if let Some(c) = c {
+                    map.entry(*c).or_default().push(r);
+                }
+            }
+            let built: HashMap<usize, (Arc<CommShared>, Vec<usize>)> = map
+                .into_iter()
+                .map(|(c, members)| {
+                    let shared = CommShared::new(members.len());
+                    (c, (shared, members))
+                })
+                .collect();
+            let cost = model.allgather_uniform(size, 8);
+            (built, max_entry + cost)
+        });
+        let color = color?;
+        let (shared, members) = groups.get(&color)?.clone();
+        let sub_rank = members.iter().position(|&r| r == rank)?;
+        Some(Communicator {
+            shared,
+            model,
+            rank: sub_rank,
+            clock: Rc::clone(&self.clock),
+            seq: Cell::new(0),
+            compute_token: Arc::clone(&self.compute_token),
+        })
+    }
+}
+
+/// The SPMD world: spawns one OS thread per rank and runs `f` on each.
+pub struct World;
+
+impl World {
+    /// Run `f` on `n` ranks with the given cost model, returning the ranks'
+    /// results in rank order. Panics in any rank propagate.
+    pub fn run<R, F>(n: usize, model: CostModel, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        assert!(n >= 1);
+        let shared = CommShared::new(n);
+        let compute_token = Arc::new(Mutex::new(()));
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let shared = Arc::clone(&shared);
+                let compute_token = Arc::clone(&compute_token);
+                let f = &f;
+                let results = &results;
+                let handle = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(8 * 1024 * 1024)
+                    .spawn_scoped(scope, move || {
+                        let comm = Communicator {
+                            shared,
+                            model,
+                            rank,
+                            clock: Rc::new(VirtualClock::new()),
+                            seq: Cell::new(0),
+                            compute_token,
+                        };
+                        let r = f(&comm);
+                        results.lock()[rank] = Some(r);
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
+    }
+
+    /// [`World::run`] with the default cost model.
+    pub fn run_default<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        Self::run(n, CostModel::default(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let out = World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                comm.recv::<Vec<f64>>(1, 8)
+            } else {
+                let v = comm.recv::<Vec<f64>>(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+                comm.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn messages_fifo_per_source_tag() {
+        let out = World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u64 {
+                    comm.send(1, 3, i);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| comm.recv::<u64>(0, 3)).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = World::run_default(5, |comm| {
+            let s = comm.allreduce_sum(comm.rank() as f64);
+            let m = comm.allreduce_max(comm.rank() as f64);
+            let mu = comm.allreduce_max_usize(comm.rank() * 3);
+            (s, m, mu)
+        });
+        for &(s, m, mu) in &out {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+            assert_eq!(mu, 12);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_deterministic() {
+        let a = World::run_default(4, |comm| {
+            comm.allreduce_sum_vec(vec![comm.rank() as f64 * 0.1, 1.0])
+        });
+        let b = World::run_default(4, |comm| {
+            comm.allreduce_sum_vec(vec![comm.rank() as f64 * 0.1, 1.0])
+        });
+        assert_eq!(a, b);
+        assert!((a[0][1] - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let out = World::run_default(4, |comm| {
+            let gathered = comm.gather(0, vec![comm.rank() as f64; 2]);
+            let scattered = if comm.rank() == 0 {
+                let g = gathered.unwrap();
+                assert_eq!(g.len(), 4);
+                comm.scatter(0, Some(g))
+            } else {
+                comm.scatter::<Vec<f64>>(0, None)
+            };
+            scattered
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![r as f64; 2]);
+        }
+    }
+
+    #[test]
+    fn gatherv_varying_lengths() {
+        let out = World::run_default(3, |comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            comm.gatherv(2, mine)
+        });
+        let g = out[2].as_ref().unwrap();
+        assert_eq!(g[0].len(), 1);
+        assert_eq!(g[1].len(), 2);
+        assert_eq!(g[2].len(), 3);
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = World::run_default(4, |comm| {
+            let v = if comm.rank() == 2 {
+                Some(vec![9.0f64, 8.0])
+            } else {
+                None
+            };
+            comm.bcast(2, v)
+        });
+        for v in out {
+            assert_eq!(v, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let out = World::run_default(4, |comm| comm.allgather(comm.rank() as u64 * 10));
+        for v in out {
+            assert_eq!(v, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn split_into_groups() {
+        // 6 ranks, colors 0/1 alternating: sub-comms of size 3 with ranks
+        // ordered by world rank.
+        let out = World::run_default(6, |comm| {
+            let color = comm.rank() % 2;
+            let sub = comm.split(Some(color)).unwrap();
+            let members = sub.allgather(comm.rank());
+            (sub.rank(), sub.size(), members)
+        });
+        assert_eq!(out[0].2, vec![0, 2, 4]);
+        assert_eq!(out[1].2, vec![1, 3, 5]);
+        assert_eq!(out[4], (2, 3, vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn split_undefined_gets_none() {
+        let out = World::run_default(3, |comm| {
+            let color = if comm.rank() == 1 { None } else { Some(0) };
+            comm.split(color).is_none()
+        });
+        assert_eq!(out, vec![false, true, false]);
+    }
+
+    #[test]
+    fn neighbor_alltoall_ring() {
+        let out = World::run_default(4, |comm| {
+            let n = comm.size();
+            let left = (comm.rank() + n - 1) % n;
+            let right = (comm.rank() + 1) % n;
+            let recvd = comm.neighbor_alltoall(
+                &[left, right],
+                42,
+                vec![comm.rank() as f64, comm.rank() as f64],
+            );
+            (recvd[0], recvd[1])
+        });
+        assert_eq!(out[0], (3.0, 1.0));
+        assert_eq!(out[2], (1.0, 3.0));
+    }
+
+    #[test]
+    fn clocks_advance_through_comm() {
+        let out = World::run_default(3, |comm| {
+            let t0 = comm.clock();
+            comm.barrier();
+            comm.allreduce_sum(1.0);
+            comm.clock() - t0
+        });
+        for dt in out {
+            assert!(dt > 0.0, "clock did not advance: {dt}");
+        }
+    }
+
+    #[test]
+    fn collective_synchronizes_clocks() {
+        let out = World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_clock(5.0); // rank 0 is "slow"
+            }
+            comm.barrier();
+            comm.clock()
+        });
+        // After the barrier both ranks are at ≥ 5s.
+        assert!(out[1] >= 5.0, "rank 1 clock {} < 5", out[1]);
+    }
+
+    #[test]
+    fn nonblocking_reduce_overlaps() {
+        let out = World::run_default(2, |comm| {
+            let pend = comm.iallreduce_sum_vec(vec![1.0, comm.rank() as f64]);
+            // Simulated overlapped work longer than the reduction.
+            comm.advance_clock(1.0);
+            let t_before_wait = comm.clock();
+            let r = comm.wait_reduce(pend);
+            // The wait must not add the full reduction on top of the work.
+            assert!(comm.clock() - t_before_wait < 0.5);
+            r
+        });
+        assert_eq!(out[0], vec![2.0, 1.0]);
+        assert_eq!(out[1], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn multiple_pending_reduces_wait_any_order() {
+        let out = World::run_default(3, |comm| {
+            let p1 = comm.iallreduce_sum_vec(vec![1.0]);
+            let p2 = comm.iallreduce_sum_vec(vec![10.0 * (comm.rank() + 1) as f64]);
+            // wait in reverse order of posting
+            let r2 = comm.wait_reduce(p2);
+            let r1 = comm.wait_reduce(p1);
+            (r1[0], r2[0])
+        });
+        for &(a, b) in &out {
+            assert_eq!(a, 3.0);
+            assert_eq!(b, 60.0);
+        }
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let out = World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0.0f64; 100]);
+            } else {
+                let _ = comm.recv::<Vec<f64>>(0, 1);
+            }
+            comm.barrier();
+            comm.stats()
+        });
+        assert_eq!(out[0].p2p_messages, 1);
+        assert_eq!(out[0].p2p_bytes, 800);
+        assert_eq!(out[0].collective_calls, 2); // one barrier per rank
+    }
+
+    #[test]
+    fn tags_isolate_message_streams() {
+        let out = World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, 1.0f64);
+                comm.send(1, 20, 2.0f64);
+                comm.send(1, 10, 3.0f64);
+                0.0
+            } else {
+                // receive tag 20 first even though it was sent second
+                let b = comm.recv::<f64>(0, 20);
+                let a1 = comm.recv::<f64>(0, 10);
+                let a2 = comm.recv::<f64>(0, 10);
+                b * 100.0 + a1 * 10.0 + a2
+            }
+        });
+        assert_eq!(out[1], 213.0);
+    }
+
+    #[test]
+    fn sub_communicator_collectives_are_independent() {
+        // Interleave collectives on world and on a split without deadlock
+        // or cross-talk.
+        let out = World::run_default(4, |comm| {
+            let sub = comm.split(Some(comm.rank() % 2)).unwrap();
+            let s1 = sub.allreduce_sum(1.0);
+            let w = comm.allreduce_sum(10.0);
+            let s2 = sub.allreduce_sum(comm.rank() as f64);
+            (s1, w, s2)
+        });
+        for (r, &(s1, w, s2)) in out.iter().enumerate() {
+            assert_eq!(s1, 2.0);
+            assert_eq!(w, 40.0);
+            // color 0 = ranks {0,2}, color 1 = ranks {1,3}
+            let expect = if r % 2 == 0 { 2.0 } else { 4.0 };
+            assert_eq!(s2, expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn nested_split() {
+        // split of a split (the paper's masterComm drawn from splitComm
+        // leaders).
+        let out = World::run_default(4, |comm| {
+            let sub = comm.split(Some(comm.rank() / 2)).unwrap();
+            let leaders = comm.split(if sub.rank() == 0 { Some(0) } else { None });
+            match leaders {
+                Some(l) => l.allgather(comm.rank() as u64),
+                None => Vec::new(),
+            }
+        });
+        assert_eq!(out[0], vec![0, 2]);
+        assert_eq!(out[2], vec![0, 2]);
+        assert!(out[1].is_empty() && out[3].is_empty());
+    }
+
+    #[test]
+    fn gather_cost_scales_better_than_gatherv() {
+        // The modeled clocks must reflect the O(log N) vs O(N) distinction.
+        let t_uniform = World::run_default(16, |comm| {
+            comm.barrier();
+            comm.reset_clock();
+            for _ in 0..50 {
+                let _ = comm.gather(0, 1.0f64);
+            }
+            comm.clock()
+        });
+        let t_varying = World::run_default(16, |comm| {
+            comm.barrier();
+            comm.reset_clock();
+            for _ in 0..50 {
+                let _ = comm.gatherv(0, 1.0f64);
+            }
+            comm.clock()
+        });
+        assert!(
+            t_varying[0] > 1.5 * t_uniform[0],
+            "gatherv {:.2e} not clearly costlier than gather {:.2e}",
+            t_varying[0],
+            t_uniform[0]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        World::run_default(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1.0f64);
+            } else {
+                let _ = comm.recv::<u64>(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_smoke() {
+        let out = World::run_default(32, |comm| comm.allreduce_sum(1.0));
+        assert!(out.iter().all(|&s| s == 32.0));
+    }
+}

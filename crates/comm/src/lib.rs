@@ -1,0 +1,27 @@
+//! # dd-comm
+//!
+//! An SPMD message-passing runtime with MPI-shaped semantics and *virtual
+//! time* — the workspace's replacement for the MPI layer of the paper.
+//!
+//! Each rank is an OS thread. Point-to-point messages and collectives
+//! mirror the MPI calls used by the paper's Algorithms 1–2 (`MPI_Isend`,
+//! `MPI_Gather(v)`, `MPI_Scatter(v)`, `MPI_Allreduce`, `MPI_Iallreduce`,
+//! `MPI_Comm_split`, neighborhood alltoall). Because the host machine has
+//! far fewer cores than the paper's 16384 threads, *timing* is virtual:
+//! compute sections advance each rank's clock by measured thread-CPU time
+//! and communications by an α–β cost model with `O(log N)` tree collectives
+//! and `O(N)` v-variants — exactly the scaling distinction §3.2 of the
+//! paper draws. The maximum clock across ranks models the parallel runtime
+//! reported in the scaling benches.
+//!
+//! * [`comm`] — [`World`], [`Communicator`], collectives, statistics;
+//! * [`model`] — the [`CostModel`];
+//! * [`time`] — virtual clocks and thread CPU time.
+
+pub mod comm;
+pub mod model;
+pub mod time;
+
+pub use comm::{CommStats, Communicator, PendingReduce, WireSize, World};
+pub use model::CostModel;
+pub use time::{thread_cpu_time, VirtualClock};

@@ -1,0 +1,118 @@
+//! α–β communication cost model.
+//!
+//! Costs mirror the scaling facts the paper leans on in §3.2: collectives
+//! with *equal* counts per rank use binomial/tree algorithms and scale as
+//! `O(log N)`, while the `v`-variants (varying counts) degrade to linear
+//! `O(N)` — "because these communications scale as O(N), it is preferable
+//! to call MPI_Allreduce(ν_i, MPI_MAX) ... that way it is possible to use
+//! MPI communications with equal counts of data, which typically scale as
+//! O(log(N))".
+
+/// Latency/bandwidth parameters of the modeled network.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency in seconds (α).
+    pub alpha: f64,
+    /// Per-byte transfer time in seconds (β = 1 / bandwidth).
+    pub beta: f64,
+}
+
+impl Default for CostModel {
+    /// Defaults loosely modeled on the paper's testbed (Curie: InfiniBand
+    /// QDR full fat tree): ~1.5 µs latency, ~3 GB/s effective per-link
+    /// bandwidth.
+    fn default() -> Self {
+        CostModel {
+            alpha: 1.5e-6,
+            beta: 1.0 / 3.0e9,
+        }
+    }
+}
+
+#[inline]
+fn log2_ceil(p: usize) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        (usize::BITS - (p - 1).leading_zeros()) as f64
+    }
+}
+
+impl CostModel {
+    /// Point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Barrier among `p` ranks (dissemination algorithm).
+    pub fn barrier(&self, p: usize) -> f64 {
+        log2_ceil(p) * self.alpha
+    }
+
+    /// Broadcast of `bytes` to `p` ranks (binomial tree).
+    pub fn bcast(&self, p: usize, bytes: usize) -> f64 {
+        log2_ceil(p) * self.p2p(bytes)
+    }
+
+    /// Reduction / allreduce of `bytes` among `p` ranks.
+    pub fn allreduce(&self, p: usize, bytes: usize) -> f64 {
+        log2_ceil(p) * self.p2p(bytes)
+    }
+
+    /// Gather / scatter with **equal** per-rank counts of `bytes` each
+    /// (binomial tree: log p messages, total data (p−1)·bytes through the
+    /// root link).
+    pub fn gather_uniform(&self, p: usize, bytes_per_rank: usize) -> f64 {
+        log2_ceil(p) * self.alpha + self.beta * (p.saturating_sub(1) * bytes_per_rank) as f64
+    }
+
+    /// Gather / scatter with **varying** counts (`MPI_Gatherv`): linear in
+    /// `p` — one message per rank into the root.
+    pub fn gather_varying(&self, p: usize, total_bytes: usize) -> f64 {
+        p.saturating_sub(1) as f64 * self.alpha + self.beta * total_bytes as f64
+    }
+
+    /// Allgather with equal counts.
+    pub fn allgather_uniform(&self, p: usize, bytes_per_rank: usize) -> f64 {
+        log2_ceil(p) * self.alpha + self.beta * (p.saturating_sub(1) * bytes_per_rank) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_vs_linear_scaling() {
+        let m = CostModel::default();
+        // With small payloads, uniform gather must scale like log p, the
+        // v-variant like p.
+        let g64 = m.gather_uniform(64, 8);
+        let g4096 = m.gather_uniform(4096, 8);
+        let gv64 = m.gather_varying(64, 64 * 8);
+        let gv4096 = m.gather_varying(4096, 4096 * 8);
+        // uniform: latency part grows 12/6 = 2×; varying: ~64×.
+        let uniform_growth = g4096 / g64;
+        let varying_growth = gv4096 / gv64;
+        assert!(uniform_growth < 4.0, "uniform grew {uniform_growth}×");
+        assert!(varying_growth > 30.0, "varying grew {varying_growth}×");
+    }
+
+    #[test]
+    fn p2p_affine_in_bytes() {
+        let m = CostModel {
+            alpha: 1e-6,
+            beta: 1e-9,
+        };
+        assert!((m.p2p(0) - 1e-6).abs() < 1e-18);
+        assert!((m.p2p(1000) - (1e-6 + 1e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_single_rank_costs_zero_latency() {
+        let m = CostModel::default();
+        assert_eq!(m.barrier(1), 0.0);
+        assert_eq!(m.bcast(1, 100), 0.0);
+        assert_eq!(m.gather_uniform(1, 100), 0.0);
+    }
+}

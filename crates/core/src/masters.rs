@@ -1,0 +1,132 @@
+//! Master election (§3.1.2 of the paper).
+//!
+//! `P` master processes assemble, factor and solve the coarse operator.
+//! Ranks are split into `P` contiguous groups; the first rank of each group
+//! is its master. Two distributions are provided:
+//!
+//! * [`uniform_masters`] — groups of equal size, masters at `i·N/P`;
+//! * [`nonuniform_masters`] — the paper's recurrence
+//!   `p_0 = 0`, `p_i = ⌊N − √((p_{i−1} − N)² − N²/P) + 0.5⌋`,
+//!   which balances the number of *upper-triangular* values of `E` per
+//!   group when only the upper part is assembled (symmetric coarse
+//!   operator): early groups take fewer rows because early rows are longer.
+
+/// Master ranks under the uniform distribution.
+pub fn uniform_masters(n: usize, p: usize) -> Vec<usize> {
+    assert!(p >= 1 && p <= n);
+    (0..p).map(|i| i * n / p).collect()
+}
+
+/// Master ranks under the paper's non-uniform distribution.
+pub fn nonuniform_masters(n: usize, p: usize) -> Vec<usize> {
+    assert!(p >= 1 && p <= n);
+    let nf = n as f64;
+    let mut masters = vec![0usize];
+    let mut prev = 0f64;
+    for _ in 1..p {
+        let inside = (prev - nf) * (prev - nf) - nf * nf / p as f64;
+        let next = (nf - inside.max(0.0).sqrt() + 0.5).floor();
+        let next = next.max(prev + 1.0).min(nf - 1.0);
+        masters.push(next as usize);
+        prev = next;
+    }
+    // Guard against duplicate masters on tiny N.
+    masters.dedup();
+    masters
+}
+
+/// Group index of `rank` given the sorted master list.
+pub fn group_of(rank: usize, masters: &[usize]) -> usize {
+    match masters.binary_search(&rank) {
+        Ok(g) => g,
+        Err(g) => g - 1,
+    }
+}
+
+/// Number of upper-triangular block-rows values owned by each group, for an
+/// `n × n` block matrix whose row `i` holds `n − i` upper-triangular blocks
+/// — the quantity Figure 5 balances.
+pub fn upper_triangular_loads(n: usize, masters: &[usize]) -> Vec<usize> {
+    let p = masters.len();
+    (0..p)
+        .map(|g| {
+            let start = masters[g];
+            let end = if g + 1 < p { masters[g + 1] } else { n };
+            (start..end).map(|i| n - i).sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_figure5() {
+        // Figure 5 left: N = 16, P = 4 → masters 0, 4, 8, 12.
+        assert_eq!(uniform_masters(16, 4), vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn nonuniform_matches_figure5() {
+        // Figure 5 right: N = 16, P = 4 → masters 0, 2, 5, 8.
+        assert_eq!(nonuniform_masters(16, 4), vec![0, 2, 5, 8]);
+    }
+
+    #[test]
+    fn group_lookup() {
+        let m = vec![0usize, 2, 5, 8];
+        assert_eq!(group_of(0, &m), 0);
+        assert_eq!(group_of(1, &m), 0);
+        assert_eq!(group_of(2, &m), 1);
+        assert_eq!(group_of(4, &m), 1);
+        assert_eq!(group_of(5, &m), 2);
+        assert_eq!(group_of(15, &m), 3);
+    }
+
+    #[test]
+    fn nonuniform_balances_upper_triangle() {
+        // The whole point of the recurrence: per-group upper-triangular
+        // loads are nearly equal, whereas uniform groups are badly skewed.
+        let n = 64;
+        let p = 8;
+        let lu = upper_triangular_loads(n, &uniform_masters(n, p));
+        let ln = upper_triangular_loads(n, &nonuniform_masters(n, p));
+        let spread = |v: &[usize]| {
+            let mx = *v.iter().max().unwrap() as f64;
+            let mn = *v.iter().min().unwrap() as f64;
+            mx / mn
+        };
+        assert!(
+            spread(&ln) < spread(&lu),
+            "non-uniform spread {} !< uniform spread {}",
+            spread(&ln),
+            spread(&lu)
+        );
+        assert!(spread(&ln) < 1.6, "non-uniform spread {}", spread(&ln));
+        // Everything is covered exactly once.
+        assert_eq!(
+            ln.iter().sum::<usize>(),
+            n * (n + 1) / 2
+        );
+    }
+
+    #[test]
+    fn single_master_degenerate() {
+        assert_eq!(uniform_masters(8, 1), vec![0]);
+        assert_eq!(nonuniform_masters(8, 1), vec![0]);
+        assert_eq!(group_of(7, &[0]), 0);
+    }
+
+    #[test]
+    fn masters_strictly_increasing() {
+        for (n, p) in [(16usize, 4usize), (64, 8), (100, 10), (256, 12)] {
+            for masters in [uniform_masters(n, p), nonuniform_masters(n, p)] {
+                for w in masters.windows(2) {
+                    assert!(w[0] < w[1], "non-increasing masters for N={n} P={p}");
+                }
+                assert!(*masters.last().unwrap() < n);
+            }
+        }
+    }
+}

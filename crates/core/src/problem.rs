@@ -1,0 +1,182 @@
+//! Problem definitions: which PDE is discretized, with which coefficients,
+//! element order, and essential boundary conditions.
+//!
+//! The two model problems match the paper's experiments:
+//! * [`Problem::diffusion`] — scalar heterogeneous diffusion
+//!   (weak scaling, §3.4, P4 in 2D / P2 in 3D);
+//! * [`Problem::elasticity`] — heterogeneous linear elasticity
+//!   (strong scaling, §3.4, P3 in 2D / P2 in 3D).
+
+use dd_fem::{assembly, DofMap};
+use dd_linalg::CsrMatrix;
+use dd_mesh::Mesh;
+use std::sync::Arc;
+
+/// Scalar coefficient field.
+pub type ScalarField = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+/// Lamé coefficient field returning `(λ, μ)`.
+pub type LameField = Arc<dyn Fn(&[f64]) -> (f64, f64) + Send + Sync>;
+/// Body force field writing into its output slice.
+pub type VectorField = Arc<dyn Fn(&[f64], &mut [f64]) + Send + Sync>;
+/// Predicate selecting Dirichlet-constrained locations.
+pub type BoundaryPredicate = Arc<dyn Fn(&[f64]) -> bool + Send + Sync>;
+
+/// The PDE being discretized.
+#[derive(Clone)]
+pub enum Pde {
+    /// `−∇·(κ∇u) = f`.
+    Diffusion { kappa: ScalarField, f: ScalarField },
+    /// `−∇·σ(u) = f` with `σ = λ tr(ε) I + 2µε`.
+    Elasticity { lame: LameField, body: VectorField },
+}
+
+/// A complete problem definition.
+#[derive(Clone)]
+pub struct Problem {
+    pub pde: Pde,
+    /// Lagrange element order.
+    pub order: usize,
+    /// Where essential (Dirichlet) conditions are imposed. The predicate
+    /// receives dof coordinates; it should select a subset of the mesh
+    /// boundary.
+    pub dirichlet: BoundaryPredicate,
+}
+
+impl Problem {
+    /// Heterogeneous diffusion with homogeneous Dirichlet conditions on the
+    /// whole boundary of the unit box (the paper's weak-scaling problem).
+    pub fn diffusion(order: usize, kappa: ScalarField, f: ScalarField) -> Self {
+        Problem {
+            pde: Pde::Diffusion { kappa, f },
+            order,
+            dirichlet: Arc::new(|x: &[f64]| {
+                x.iter().any(|&c| c < 1e-12) || x.iter().any(|&c| c > 1.0 - 1e-12)
+            }),
+        }
+    }
+
+    /// Heterogeneous elasticity clamped on the `x = 0` face with a vertical
+    /// body load (the paper's cantilever-style strong-scaling problem).
+    pub fn elasticity(order: usize, lame: LameField, body: VectorField) -> Self {
+        Problem {
+            pde: Pde::Elasticity { lame, body },
+            order,
+            dirichlet: Arc::new(|x: &[f64]| x[0] < 1e-12),
+        }
+    }
+
+    /// Unknowns per mesh node (1 scalar, `dim` for elasticity).
+    pub fn components(&self, dim: usize) -> usize {
+        match self.pde {
+            Pde::Diffusion { .. } => 1,
+            Pde::Elasticity { .. } => dim,
+        }
+    }
+
+    /// Assemble the (Neumann/unconstrained) operator and load vector on a
+    /// mesh. Returns the matrix on *vector* dofs (scalar dofs × components).
+    pub fn assemble(&self, mesh: &Mesh, dm: &DofMap) -> (CsrMatrix, Vec<f64>) {
+        match &self.pde {
+            Pde::Diffusion { kappa, f } => {
+                assembly::assemble_diffusion(mesh, dm, &**kappa, &**f)
+            }
+            Pde::Elasticity { lame, body } => {
+                assembly::assemble_elasticity(mesh, dm, &**lame, &**body)
+            }
+        }
+    }
+
+    /// Vector-dof Dirichlet flags: all components of a scalar dof whose
+    /// coordinates satisfy the predicate are constrained.
+    pub fn dirichlet_flags(&self, mesh: &Mesh, dm: &DofMap) -> Vec<bool> {
+        let dim = mesh.dim();
+        let c = self.components(dim);
+        let scalar = dm.dofs_where(|x| (self.dirichlet)(x));
+        let mut flags = vec![false; dm.n_dofs() * c];
+        // Only constrain dofs that are also on the mesh boundary, so the
+        // predicate cannot accidentally pin interior dofs.
+        let bnd = dm.boundary_dofs(mesh);
+        for i in 0..dm.n_dofs() {
+            if scalar[i] && bnd[i] {
+                for k in 0..c {
+                    flags[i * c + k] = true;
+                }
+            }
+        }
+        flags
+    }
+}
+
+/// Ready-made paper problems (coefficients from `dd_fem::coeffs`).
+pub mod presets {
+    use super::*;
+    use dd_fem::coeffs;
+
+    /// Weak-scaling diffusion: κ with channels and inclusions ∈ [1, 3·10⁶],
+    /// unit source, order `order` (paper: 4 in 2D, 2 in 3D).
+    pub fn heterogeneous_diffusion(order: usize) -> Problem {
+        Problem::diffusion(
+            order,
+            Arc::new(|x: &[f64]| coeffs::diffusivity_channels(x)),
+            Arc::new(|_: &[f64]| 1.0),
+        )
+    }
+
+    /// Homogeneous diffusion (baseline for tests).
+    pub fn uniform_diffusion(order: usize) -> Problem {
+        Problem::diffusion(order, Arc::new(|_: &[f64]| 1.0), Arc::new(|_: &[f64]| 1.0))
+    }
+
+    /// Strong-scaling elasticity: two-material stripes
+    /// (E, ν) ∈ {(2·10¹¹, 0.25), (10⁷, 0.45)}, gravity body force,
+    /// clamped at `x = 0` (paper: P3 in 2D, P2 in 3D).
+    pub fn heterogeneous_elasticity(order: usize, dim: usize) -> Problem {
+        let g = -9.81 * 7800.0; // gravity × density scale
+        Problem::elasticity(
+            order,
+            Arc::new(|x: &[f64]| coeffs::elasticity_two_materials(x)),
+            Arc::new(move |_: &[f64], f: &mut [f64]| {
+                for v in f.iter_mut() {
+                    *v = 0.0;
+                }
+                f[dim - 1] = g;
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_by_problem() {
+        let d = presets::uniform_diffusion(2);
+        assert_eq!(d.components(2), 1);
+        assert_eq!(d.components(3), 1);
+        let e = presets::heterogeneous_elasticity(1, 2);
+        assert_eq!(e.components(2), 2);
+    }
+
+    #[test]
+    fn diffusion_assembles_and_constrains() {
+        let mesh = Mesh::unit_square(4, 4);
+        let p = presets::uniform_diffusion(1);
+        let dm = DofMap::new(&mesh, 1);
+        let (a, rhs) = p.assemble(&mesh, &dm);
+        assert_eq!(a.rows(), dm.n_dofs());
+        assert_eq!(rhs.len(), dm.n_dofs());
+        let flags = p.dirichlet_flags(&mesh, &dm);
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 16); // boundary of 5×5 grid
+    }
+
+    #[test]
+    fn elasticity_clamps_only_left_face() {
+        let mesh = Mesh::rectangle(4, 2, 2.0, 1.0);
+        let p = presets::heterogeneous_elasticity(1, 2);
+        let dm = DofMap::new(&mesh, 1);
+        let flags = p.dirichlet_flags(&mesh, &dm);
+        let n_clamped = flags.iter().filter(|&&f| f).count();
+        assert_eq!(n_clamped, 3 * 2); // 3 vertices on x=0, 2 components each
+    }
+}

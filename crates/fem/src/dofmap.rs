@@ -1,0 +1,280 @@
+//! Global degree-of-freedom numbering for Lagrange `P_k` spaces.
+//!
+//! Each dof is identified by an exact integer key: the set of mesh vertices
+//! carrying nonzero barycentric numerators at the dof's lattice node,
+//! together with those numerators, sorted by vertex id. Two elements
+//! sharing a face therefore agree on the dofs of that face regardless of
+//! local vertex ordering and without any floating-point coordinate
+//! comparison — this same key mechanism later lets subdomain spaces `V_i^δ`
+//! map their local dofs onto global dofs in `dd-core`.
+
+use crate::basis::LagrangeBasis;
+use dd_mesh::Mesh;
+use std::collections::HashMap;
+
+/// Canonical dof identity: sorted `(vertex, barycentric numerator)` pairs,
+/// numerators summing to the element order.
+pub type DofKey = Vec<(u32, u8)>;
+
+/// Global dof numbering of a `P_k` space over a mesh.
+#[derive(Clone, Debug)]
+pub struct DofMap {
+    order: usize,
+    dim: usize,
+    n_basis: usize,
+    n_dofs: usize,
+    /// `elem_dofs[e * n_basis + i]` = global dof of local basis `i`.
+    elem_dofs: Vec<u32>,
+    /// Physical coordinates of every dof (`dim`-interleaved).
+    dof_coords: Vec<f64>,
+    /// Canonical key of every dof.
+    keys: Vec<DofKey>,
+    /// key → dof lookup (kept for subdomain-space construction).
+    lookup: HashMap<DofKey, u32>,
+}
+
+impl DofMap {
+    /// Number the `P_order` dofs of `mesh`.
+    pub fn new(mesh: &Mesh, order: usize) -> Self {
+        let basis = LagrangeBasis::new(mesh.dim(), order);
+        let dim = mesh.dim();
+        let n_basis = basis.n_basis();
+        let mut lookup: HashMap<DofKey, u32> = HashMap::new();
+        let mut elem_dofs = Vec::with_capacity(mesh.n_elements() * n_basis);
+        let mut dof_coords: Vec<f64> = Vec::new();
+        let mut keys: Vec<DofKey> = Vec::new();
+        for e in 0..mesh.n_elements() {
+            let ev = mesh.element(e);
+            for node in basis.nodes() {
+                let mut key: DofKey = node
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a > 0)
+                    .map(|(j, &a)| (ev[j], a))
+                    .collect();
+                key.sort_unstable();
+                let next = lookup.len() as u32;
+                let id = *lookup.entry(key.clone()).or_insert_with(|| {
+                    // physical coordinates: Σ (α/k)·v, accumulated in
+                    // canonical (sorted) vertex order for bitwise
+                    // reproducibility across elements.
+                    for d in 0..dim {
+                        let mut x = 0.0;
+                        for &(v, a) in &key {
+                            x += a as f64 / order as f64 * mesh.vertex(v as usize)[d];
+                        }
+                        dof_coords.push(x);
+                    }
+                    keys.push(key.clone());
+                    next
+                });
+                elem_dofs.push(id);
+            }
+        }
+        let n_dofs = lookup.len();
+        DofMap {
+            order,
+            dim,
+            n_basis,
+            n_dofs,
+            elem_dofs,
+            dof_coords,
+            keys,
+            lookup,
+        }
+    }
+
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scalar dofs in the space.
+    pub fn n_dofs(&self) -> usize {
+        self.n_dofs
+    }
+
+    /// Shape functions per element.
+    pub fn n_basis(&self) -> usize {
+        self.n_basis
+    }
+
+    /// Global dofs of element `e`, ordered like the basis lattice nodes.
+    #[inline]
+    pub fn elem_dofs(&self, e: usize) -> &[u32] {
+        &self.elem_dofs[e * self.n_basis..(e + 1) * self.n_basis]
+    }
+
+    /// Physical coordinates of dof `i`.
+    #[inline]
+    pub fn dof_coord(&self, i: usize) -> &[f64] {
+        &self.dof_coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Canonical key of dof `i`.
+    pub fn key(&self, i: usize) -> &DofKey {
+        &self.keys[i]
+    }
+
+    /// Look up a dof by its canonical key.
+    pub fn dof_by_key(&self, key: &DofKey) -> Option<u32> {
+        self.lookup.get(key).copied()
+    }
+
+    /// Dofs lying on the mesh boundary: a dof belongs to the boundary iff
+    /// its supporting vertex set is contained in some boundary facet.
+    pub fn boundary_dofs(&self, mesh: &Mesh) -> Vec<bool> {
+        let mut flags = vec![false; self.n_dofs];
+        let k = self.order as u8;
+        for facet in mesh.boundary_facets() {
+            // Enumerate every dof supported on this facet: multi-indices
+            // over the facet's vertices summing to the order (zeros allowed
+            // — they produce dofs of sub-entities, e.g. the facet's edges).
+            let fv = &facet;
+            let m = fv.len();
+            let mut alpha = vec![0u8; m];
+            enumerate_compositions(k, m, &mut alpha, &mut |alpha| {
+                let mut key: DofKey = fv
+                    .iter()
+                    .zip(alpha.iter())
+                    .filter(|&(_, &a)| a > 0)
+                    .map(|(&v, &a)| (v, a))
+                    .collect();
+                key.sort_unstable();
+                if let Some(&id) = self.lookup.get(&key) {
+                    flags[id as usize] = true;
+                }
+            });
+        }
+        flags
+    }
+
+    /// Dofs whose physical coordinates satisfy a predicate (e.g. a clamped
+    /// face `x = 0` for the cantilever problem).
+    pub fn dofs_where(&self, pred: impl Fn(&[f64]) -> bool) -> Vec<bool> {
+        (0..self.n_dofs).map(|i| pred(self.dof_coord(i))).collect()
+    }
+}
+
+/// Call `f` with every composition of `total` into `len` non-negative parts.
+fn enumerate_compositions(total: u8, len: usize, scratch: &mut [u8], f: &mut impl FnMut(&[u8])) {
+    fn rec(total: u8, pos: usize, scratch: &mut [u8], f: &mut impl FnMut(&[u8])) {
+        if pos + 1 == scratch.len() {
+            scratch[pos] = total;
+            f(scratch);
+            return;
+        }
+        for v in 0..=total {
+            scratch[pos] = v;
+            rec(total - v, pos + 1, scratch, f);
+        }
+    }
+    assert_eq!(scratch.len(), len);
+    rec(total, 0, scratch, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_dofs_equal_vertices() {
+        let m = Mesh::unit_square(4, 4);
+        let dm = DofMap::new(&m, 1);
+        assert_eq!(dm.n_dofs(), m.n_vertices());
+    }
+
+    #[test]
+    fn p2_dof_count_2d() {
+        // P2 on an nx × ny structured grid: vertices + edges.
+        let m = Mesh::unit_square(3, 3);
+        let dm = DofMap::new(&m, 2);
+        // Count edges via Euler: E = V + F − 1 (planar, one outer face
+        // excluded). V = 16, F = 18 triangles → E = 33.
+        assert_eq!(dm.n_dofs(), 16 + 33);
+    }
+
+    #[test]
+    fn p3_dof_count_2d() {
+        let m = Mesh::unit_square(2, 2);
+        let dm = DofMap::new(&m, 3);
+        // V=9, T=8, E = V + T − 1 = 16; dofs = V + 2E + T = 9 + 32 + 8 = 49.
+        assert_eq!(dm.n_dofs(), 49);
+    }
+
+    #[test]
+    fn p2_dof_count_3d() {
+        let m = Mesh::unit_cube(1, 1, 1);
+        let dm = DofMap::new(&m, 2);
+        // 8 cube vertices + 19 edges (12 cube + 6 face diagonals + 1 body
+        // diagonal of the Kuhn split) = 27.
+        assert_eq!(dm.n_dofs(), 27);
+    }
+
+    #[test]
+    fn shared_edge_dofs_consistent() {
+        let m = Mesh::unit_square(2, 1);
+        let dm = DofMap::new(&m, 3);
+        // Every dof must appear with consistent coordinates: recompute the
+        // coordinate from each element side and compare exactly.
+        let basis = LagrangeBasis::new(2, 3);
+        for e in 0..m.n_elements() {
+            let ev = m.element(e);
+            for (i, node) in basis.nodes().iter().enumerate() {
+                let dof = dm.elem_dofs(e)[i] as usize;
+                // physical coordinate computed element-locally
+                let mut x = [0.0f64; 2];
+                for (j, &a) in node.iter().enumerate() {
+                    for d in 0..2 {
+                        x[d] += a as f64 / 3.0 * m.vertex(ev[j] as usize)[d];
+                    }
+                }
+                let xc = dm.dof_coord(dof);
+                for d in 0..2 {
+                    assert!(
+                        (x[d] - xc[d]).abs() < 1e-12,
+                        "dof {dof} coordinate mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_dofs_p2_square() {
+        let m = Mesh::unit_square(2, 2);
+        let dm = DofMap::new(&m, 2);
+        let b = dm.boundary_dofs(&m);
+        // Boundary of a 2×2 square: 8 boundary edges with P2 → 8 vertices +
+        // 8 midpoints = 16 boundary dofs.
+        assert_eq!(b.iter().filter(|&&x| x).count(), 16);
+        // Cross-check against the geometric predicate.
+        let geo = dm.dofs_where(|x| {
+            x[0] < 1e-12 || x[0] > 1.0 - 1e-12 || x[1] < 1e-12 || x[1] > 1.0 - 1e-12
+        });
+        assert_eq!(b, geo);
+    }
+
+    #[test]
+    fn boundary_dofs_p3_cube() {
+        let m = Mesh::unit_cube(2, 2, 2);
+        let dm = DofMap::new(&m, 2);
+        let b = dm.boundary_dofs(&m);
+        let geo = dm.dofs_where(|x| {
+            x.iter().any(|&c| c < 1e-12 || c > 1.0 - 1e-12)
+        });
+        assert_eq!(b, geo);
+    }
+
+    #[test]
+    fn key_lookup_roundtrip() {
+        let m = Mesh::unit_square(3, 2);
+        let dm = DofMap::new(&m, 4);
+        for i in 0..dm.n_dofs() {
+            assert_eq!(dm.dof_by_key(dm.key(i)), Some(i as u32));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # dd-krylov
+//!
+//! Krylov solvers for the domain decomposition workspace: left-
+//! preconditioned restarted GMRES(m) (the paper's solver of choice),
+//! preconditioned CG, and the pipelined / fused p1-GMRES variants of §3.5
+//! that trade standalone global reductions for communication piggy-backed
+//! on the coarse correction.
+//!
+//! Solvers are generic over [`Operator`], [`Preconditioner`] and
+//! [`InnerProduct`], so the same code runs sequentially (`SeqDot`) and in
+//! the SPMD runtime (a partition-of-unity weighted dot + allreduce,
+//! provided by `dd-core`).
+
+pub mod cg;
+pub mod gmres;
+pub mod operator;
+pub mod pipelined;
+
+pub use cg::{cg, CgOpts};
+pub use gmres::{gmres, GmresOpts, Ortho, Side, SolveResult};
+pub use operator::{
+    FnOperator, FnPrecond, IdentityPrecond, InnerProduct, Operator, Preconditioner, SeqDot,
+};
+pub use pipelined::{fused_pipelined_gmres, pipelined_gmres, FusedPreconditioner};

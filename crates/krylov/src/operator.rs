@@ -1,0 +1,166 @@
+//! Abstractions that let the Krylov solvers run unchanged in sequential
+//! and SPMD (distributed, duplicated-unknown) settings.
+//!
+//! * [`Operator`] — action `y ← A x` on (local) vectors;
+//! * [`Preconditioner`] — action `z ← M⁻¹ r`;
+//! * [`InnerProduct`] — the global inner product. Sequentially this is the
+//!   plain dot product; in `dd-core`'s SPMD driver it is the
+//!   partition-of-unity weighted dot followed by an `MPI_Allreduce`,
+//!   exposed in blocking and non-blocking (pipelining) forms.
+
+use dd_linalg::{vector, CsrMatrix};
+
+/// The linear operator of the system being solved.
+pub trait Operator {
+    /// Local dimension of vectors this operator acts on.
+    fn dim(&self) -> usize;
+    /// `y ← A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// A preconditioner `M⁻¹`.
+pub trait Preconditioner {
+    /// `z ← M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner (unpreconditioned Krylov method).
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Global inner products, split into a local contribution and a reduction
+/// so distributed implementations can batch and overlap the reductions.
+pub trait InnerProduct {
+    /// Local contribution to `⟨x, y⟩` (the full dot product sequentially).
+    fn local_dot(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Reduce a batch of local contributions to global values
+    /// (an `MPI_Allreduce` in SPMD; the identity sequentially).
+    fn reduce(&self, locals: Vec<f64>) -> Vec<f64>;
+
+    /// Begin a non-blocking reduction; the returned closure completes it.
+    /// Default: reduce immediately (no overlap available).
+    fn reduce_begin<'a>(&'a self, locals: Vec<f64>) -> Box<dyn FnOnce() -> Vec<f64> + 'a> {
+        let done = self.reduce(locals);
+        Box::new(move || done)
+    }
+
+    /// Global dot product (convenience).
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.reduce(vec![self.local_dot(x, y)])[0]
+    }
+
+    /// Global 2-norm.
+    fn norm(&self, x: &[f64]) -> f64 {
+        self.dot(x, x).max(0.0).sqrt()
+    }
+}
+
+/// Sequential inner product: plain dot, identity reduction.
+pub struct SeqDot;
+
+impl InnerProduct for SeqDot {
+    fn local_dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        vector::dot(x, y)
+    }
+
+    fn reduce(&self, locals: Vec<f64>) -> Vec<f64> {
+        locals
+    }
+}
+
+impl Operator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+/// An operator defined by a closure (adapters in tests and benches).
+pub struct FnOperator<F: Fn(&[f64], &mut [f64])> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64])> FnOperator<F> {
+    pub fn new(dim: usize, f: F) -> Self {
+        FnOperator { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64])> Operator for FnOperator<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (self.f)(x, y)
+    }
+}
+
+/// A preconditioner defined by a closure.
+pub struct FnPrecond<F: Fn(&[f64], &mut [f64])> {
+    f: F,
+}
+
+impl<F: Fn(&[f64], &mut [f64])> FnPrecond<F> {
+    pub fn new(f: F) -> Self {
+        FnPrecond { f }
+    }
+}
+
+impl<F: Fn(&[f64], &mut [f64])> Preconditioner for FnPrecond<F> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        (self.f)(r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_linalg::CooBuilder;
+
+    #[test]
+    fn csr_operator_applies() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 3.0);
+        let a = b.to_csr();
+        let mut y = [0.0; 2];
+        Operator::apply(&a, &[1.0, 1.0], &mut y);
+        assert_eq!(y, [2.0, 3.0]);
+        assert_eq!(Operator::dim(&a), 2);
+    }
+
+    #[test]
+    fn seq_dot_matches_vector_dot() {
+        let ip = SeqDot;
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0];
+        assert_eq!(ip.dot(&x, &y), 11.0);
+        assert_eq!(ip.norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn reduce_begin_default_completes() {
+        let ip = SeqDot;
+        let pending = ip.reduce_begin(vec![1.0, 2.0]);
+        assert_eq!(pending(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_precond_copies() {
+        let p = IdentityPrecond;
+        let mut z = [0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0]);
+    }
+}

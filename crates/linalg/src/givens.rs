@@ -1,0 +1,66 @@
+//! Givens rotations, used by GMRES to maintain the QR factorization of the
+//! Hessenberg matrix incrementally.
+
+/// A Givens rotation `G = [c s; −s c]` chosen so that
+/// `G · [a; b] = [r; 0]` with `r = √(a² + b²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Givens {
+    pub c: f64,
+    pub s: f64,
+}
+
+impl Givens {
+    /// Compute the rotation annihilating `b` against `a`, returning the
+    /// rotation and the resulting `r`.
+    pub fn compute(a: f64, b: f64) -> (Givens, f64) {
+        if b == 0.0 {
+            (Givens { c: 1.0, s: 0.0 }, a)
+        } else if a == 0.0 {
+            (Givens { c: 0.0, s: 1.0 }, b)
+        } else {
+            // Numerically robust formulation avoiding overflow.
+            let (aa, ba) = (a.abs(), b.abs());
+            let r = if aa > ba {
+                let t = b / a;
+                aa * (1.0 + t * t).sqrt()
+            } else {
+                let t = a / b;
+                ba * (1.0 + t * t).sqrt()
+            };
+            let r = if a < 0.0 { -r } else { r };
+            (Givens { c: a / r, s: b / r }, r)
+        }
+    }
+
+    /// Apply to a pair `(x, y)`, returning `(c·x + s·y, −s·x + c·y)`.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x + self.s * y, -self.s * x + self.c * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annihilates_second_component() {
+        for &(a, b) in &[(3.0, 4.0), (-1.0, 2.0), (0.0, 5.0), (7.0, 0.0), (1e-200, 1e200)] {
+            let (g, r) = Givens::compute(a, b);
+            let (x, y) = g.apply(a, b);
+            assert!((x - r).abs() <= 1e-12 * r.abs().max(1.0), "r mismatch for {a},{b}");
+            assert!(y.abs() <= 1e-12 * r.abs().max(1.0), "y not annihilated for {a},{b}");
+            // rotation is orthogonal
+            assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preserves_norm() {
+        let (g, _) = Givens::compute(2.0, -3.0);
+        let (x, y) = g.apply(5.0, 6.0);
+        let n0 = (5.0f64 * 5.0 + 6.0 * 6.0).sqrt();
+        let n1 = (x * x + y * y).sqrt();
+        assert!((n0 - n1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dd-linalg
+//!
+//! Dense and sparse linear algebra kernels for the domain decomposition
+//! workspace — the from-scratch replacement for the dense/sparse BLAS the
+//! paper obtains from Intel MKL.
+//!
+//! * [`vector`] — level-1 kernels (`dot`, `axpy`, norms, diagonal scaling).
+//! * [`dense`] — column-major [`dense::DMat`] with `gemm`/`gemv`, dense
+//!   Cholesky, LDLᵀ, LU, and Householder QR.
+//! * [`sparse`] — [`sparse::CsrMatrix`] with `spmv`, `csrmm`, Gustavson
+//!   `spmm`, principal submatrices (the `R_i A R_iᵀ` extraction of §2),
+//!   and symmetric permutations.
+//! * [`givens`] — Givens rotations for incremental Hessenberg QR in GMRES.
+//! * [`jacobi`] — dense (generalized) symmetric eigensolvers used as exact
+//!   references for the iterative eigensolver in `dd-eigen`.
+
+// Triangular solves, factorizations and stencil loops read most
+// naturally with explicit indices; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dense;
+pub mod givens;
+pub mod jacobi;
+pub mod matrix_market;
+pub mod sparse;
+pub mod vector;
+
+pub use dense::{DMat, DenseCholesky, DenseLdlt, DenseLu, DenseQr, FactorError};
+pub use givens::Givens;
+pub use matrix_market::{read_matrix_market, write_matrix_market, MmError};
+pub use sparse::{CooBuilder, CsrMatrix};

@@ -1,0 +1,202 @@
+//! MatrixMarket coordinate-format I/O for sparse matrices — the lingua
+//! franca for exchanging test matrices with other solver stacks (PETSc,
+//! SuiteSparse, …), and handy for dumping subdomain or coarse operators
+//! for offline inspection.
+
+use crate::sparse::{CooBuilder, CsrMatrix};
+use std::io::{self, BufRead, Write};
+
+/// Errors raised while parsing a MatrixMarket stream.
+#[derive(Debug)]
+pub enum MmError {
+    Io(io::Error),
+    /// Header missing or not a supported `matrix coordinate real` variant.
+    BadHeader(String),
+    /// Malformed entry line (wrong arity or unparsable numbers).
+    BadEntry { line: usize, content: String },
+    /// Index out of the declared bounds.
+    IndexOutOfRange { line: usize },
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::BadHeader(h) => write!(f, "unsupported MatrixMarket header: {h}"),
+            MmError::BadEntry { line, content } => {
+                write!(f, "malformed entry at line {line}: {content:?}")
+            }
+            MmError::IndexOutOfRange { line } => write!(f, "index out of range at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Write a matrix in `matrix coordinate real general` format (1-based
+/// indices, one entry per stored nonzero).
+pub fn write_matrix_market<W: Write>(out: &mut W, a: &CsrMatrix) -> io::Result<()> {
+    writeln!(out, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(out, "% exported by dd-linalg")?;
+    writeln!(out, "{} {} {}", a.rows(), a.cols(), a.nnz())?;
+    for i in 0..a.rows() {
+        for (j, v) in a.row(i) {
+            writeln!(out, "{} {} {:e}", i + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a `matrix coordinate real` stream (`general` or `symmetric`; the
+/// symmetric variant mirrors off-diagonal entries).
+pub fn read_matrix_market<R: BufRead>(input: R) -> Result<CsrMatrix, MmError> {
+    let mut lines = input.lines().enumerate();
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MmError::BadHeader("empty input".into()))?;
+    let header = header?;
+    let h = header.to_lowercase();
+    if !h.starts_with("%%matrixmarket") || !h.contains("coordinate") || !h.contains("real") {
+        return Err(MmError::BadHeader(header));
+    }
+    let symmetric = h.contains("symmetric");
+    if !symmetric && !h.contains("general") {
+        return Err(MmError::BadHeader(header));
+    }
+    // Size line (skipping comments).
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut builder: Option<CooBuilder> = None;
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        match dims {
+            None => {
+                if parts.len() != 3 {
+                    return Err(MmError::BadEntry {
+                        line: lineno + 1,
+                        content: line.clone(),
+                    });
+                }
+                let r = parts[0].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                let c = parts[1].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                let nnz = parts[2].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                dims = Some((r, c, nnz));
+                builder = Some(CooBuilder::with_capacity(r, c, nnz));
+            }
+            Some((r, c, _)) => {
+                if parts.len() != 3 {
+                    return Err(MmError::BadEntry {
+                        line: lineno + 1,
+                        content: line.clone(),
+                    });
+                }
+                let i: usize = parts[0].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                let j: usize = parts[1].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                let v: f64 = parts[2].parse().map_err(|_| MmError::BadEntry {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })?;
+                if i == 0 || j == 0 || i > r || j > c {
+                    return Err(MmError::IndexOutOfRange { line: lineno + 1 });
+                }
+                let b = builder.as_mut().unwrap();
+                b.push(i - 1, j - 1, v);
+                if symmetric && i != j {
+                    b.push(j - 1, i - 1, v);
+                }
+            }
+        }
+    }
+    match builder {
+        Some(b) => Ok(b.to_csr()),
+        None => Err(MmError::BadHeader("missing size line".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 2.0);
+        b.push(0, 2, -1.5);
+        b.push(1, 1, 3.25);
+        b.push(2, 0, 4.0);
+        b.to_csr()
+    }
+
+    #[test]
+    fn roundtrip_general() {
+        let a = sample();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn reads_symmetric_variant() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 5.0\n\
+                    2 1 1.5\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 5.0);
+        assert_eq!(a.get(1, 0), 1.5);
+        assert_eq!(a.get(0, 1), 1.5);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_matrix_market("not a matrix\n".as_bytes()),
+            Err(MmError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::IndexOutOfRange { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(MmError::BadEntry { line: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Dense vector kernels used throughout the workspace.
+//!
+//! All routines operate on plain `&[f64]` / `&mut [f64]` slices so they can
+//! be applied to subdomain-local vectors, global vectors, and columns of
+//! dense matrices alike without wrapper types.
+
+/// Dot product `xᵀ y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Accumulate in four independent lanes so LLVM can vectorize without
+    // having to reassociate floating-point additions itself.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let b = i * 4;
+        acc[0] += x[b] * y[b];
+        acc[1] += x[b + 1] * y[b + 1];
+        acc[2] += x[b + 2] * y[b + 2];
+        acc[3] += x[b + 3] * y[b + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← α x + y`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← α x + β y`.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// `x ← α x`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Component-wise product `z ← x ⊙ y` (used for diagonal scalings `D_i x`).
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    for i in 0..z.len() {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// In-place component-wise scaling `x ← d ⊙ x`.
+#[inline]
+pub fn scale_by(d: &[f64], x: &mut [f64]) {
+    assert_eq!(d.len(), x.len());
+    for (xi, di) in x.iter_mut().zip(d) {
+        *xi *= di;
+    }
+}
+
+/// Fill `x` with zeros.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    for v in x {
+        *v = 0.0;
+    }
+}
+
+/// `‖x − y‖₂`, for test assertions and convergence diagnostics.
+#[inline]
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..13).map(|i| (i * i) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12 * naive.abs());
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert!((norm_inf(&x) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_axpby() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let d = [2.0, 0.5];
+        let x = [4.0, 4.0];
+        let mut z = [0.0; 2];
+        hadamard(&d, &x, &mut z);
+        assert_eq!(z, [8.0, 2.0]);
+        let mut w = x;
+        scale_by(&d, &mut w);
+        assert_eq!(w, z);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

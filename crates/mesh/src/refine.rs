@@ -1,0 +1,170 @@
+//! Uniform "red" refinement: every triangle is split into 4 similar
+//! triangles, every tetrahedron into 8 (4 corner tetrahedra plus a
+//! diagonal split of the inner octahedron, Bey's rule).
+//!
+//! This mirrors the paper's workflow: a coarse global mesh is partitioned,
+//! then "each local mesh is refined concurrently by splitting each triangle
+//! or tetrahedron into multiple smaller elements" (§3.4) — refining is how
+//! both the strong- and weak-scaling problems reach their target sizes.
+
+use crate::Mesh;
+use std::collections::HashMap;
+
+/// Midpoint cache: deduplicates edge midpoints across elements so the
+/// refined mesh stays conforming.
+struct MidpointCache {
+    map: HashMap<(u32, u32), u32>,
+}
+
+impl MidpointCache {
+    fn new() -> Self {
+        MidpointCache {
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, a: u32, b: u32, coords: &mut Vec<f64>, dim: usize) -> u32 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&m) = self.map.get(&key) {
+            return m;
+        }
+        let idx = (coords.len() / dim) as u32;
+        let (pa, pb) = (key.0 as usize * dim, key.1 as usize * dim);
+        for d in 0..dim {
+            let v = 0.5 * (coords[pa + d] + coords[pb + d]);
+            coords.push(v);
+        }
+        self.map.insert(key, idx);
+        idx
+    }
+}
+
+/// One level of uniform refinement. 2D: #elements × 4; 3D: #elements × 8.
+pub fn uniform_refine(mesh: &Mesh) -> Mesh {
+    let dim = mesh.dim();
+    let mut coords = mesh.coords_flat().to_vec();
+    let mut cache = MidpointCache::new();
+    let mut elems: Vec<u32> = Vec::with_capacity(mesh.elements_flat().len() * if dim == 2 { 4 } else { 8 });
+    for e in 0..mesh.n_elements() {
+        let el: Vec<u32> = mesh.element(e).to_vec();
+        match dim {
+            2 => {
+                let (a, b, c) = (el[0], el[1], el[2]);
+                let mab = cache.get(a, b, &mut coords, dim);
+                let mbc = cache.get(b, c, &mut coords, dim);
+                let mca = cache.get(c, a, &mut coords, dim);
+                // Children keep the parent's orientation.
+                elems.extend_from_slice(&[a, mab, mca]);
+                elems.extend_from_slice(&[mab, b, mbc]);
+                elems.extend_from_slice(&[mca, mbc, c]);
+                elems.extend_from_slice(&[mab, mbc, mca]);
+            }
+            3 => {
+                let (a0, a1, a2, a3) = (el[0], el[1], el[2], el[3]);
+                let m01 = cache.get(a0, a1, &mut coords, dim);
+                let m02 = cache.get(a0, a2, &mut coords, dim);
+                let m03 = cache.get(a0, a3, &mut coords, dim);
+                let m12 = cache.get(a1, a2, &mut coords, dim);
+                let m13 = cache.get(a1, a3, &mut coords, dim);
+                let m23 = cache.get(a2, a3, &mut coords, dim);
+                // Four corner tetrahedra.
+                elems.extend_from_slice(&[a0, m01, m02, m03]);
+                elems.extend_from_slice(&[m01, a1, m12, m13]);
+                elems.extend_from_slice(&[m02, m12, a2, m23]);
+                elems.extend_from_slice(&[m03, m13, m23, a3]);
+                // Inner octahedron split along the (m02, m13) diagonal
+                // (Bey's refinement) — four tetrahedra of equal volume.
+                elems.extend_from_slice(&[m01, m02, m03, m13]);
+                elems.extend_from_slice(&[m01, m02, m12, m13]);
+                elems.extend_from_slice(&[m02, m03, m13, m23]);
+                elems.extend_from_slice(&[m02, m12, m13, m23]);
+            }
+            _ => unreachable!(),
+        }
+    }
+    Mesh::from_parts(dim, coords, elems)
+}
+
+/// Refine `levels` times.
+pub fn uniform_refine_n(mesh: &Mesh, levels: usize) -> Mesh {
+    let mut m = mesh.clone();
+    for _ in 0..levels {
+        m = uniform_refine(&m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refine_2d_counts_and_volume() {
+        let m = Mesh::unit_square(2, 2);
+        let r = uniform_refine(&m);
+        assert_eq!(r.n_elements(), m.n_elements() * 4);
+        assert!((r.total_volume() - 1.0).abs() < 1e-12);
+        // conforming: vertices deduplicated — a 2×2 unit square refined once
+        // equals a 4×4 vertex layout: (2·2+1)² = 25 vertices
+        assert_eq!(r.n_vertices(), 25);
+    }
+
+    #[test]
+    fn refine_2d_preserves_orientation() {
+        let m = Mesh::unit_square(3, 2);
+        let r = uniform_refine(&m);
+        for e in 0..r.n_elements() {
+            assert!(r.element_volume(e) > 0.0, "child {e} inverted");
+        }
+    }
+
+    #[test]
+    fn refine_3d_counts_and_volume() {
+        let m = Mesh::unit_cube(1, 1, 1);
+        let r = uniform_refine(&m);
+        assert_eq!(r.n_elements(), 48);
+        assert!((r.total_volume() - 1.0).abs() < 1e-12);
+        // Every child of a Kuhn tet has volume 1/6/8.
+        for e in 0..r.n_elements() {
+            assert!(
+                (r.element_volume(e).abs() - 1.0 / 48.0).abs() < 1e-12,
+                "child {e} volume {}",
+                r.element_volume(e)
+            );
+        }
+    }
+
+    #[test]
+    fn refine_3d_conforming() {
+        let m = Mesh::unit_cube(1, 1, 1);
+        let r = uniform_refine(&m);
+        // Conformity check: interior facets shared by exactly 2 elements,
+        // i.e. total facets = 4·ne counts each interior facet twice.
+        let bf = r.boundary_facets().len();
+        let total = 4 * r.n_elements();
+        assert_eq!((total - bf) % 2, 0);
+        // The boundary of the refined unit cube has 6 faces × 2 tri faces ×
+        // 4 children = 48 boundary facets.
+        assert_eq!(bf, 48);
+    }
+
+    #[test]
+    fn refine_n_grows_geometric() {
+        let m = Mesh::unit_square(1, 1);
+        let r = uniform_refine_n(&m, 3);
+        assert_eq!(r.n_elements(), 2 * 4usize.pow(3));
+        assert!((r.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refined_mesh_has_no_duplicate_vertices() {
+        let m = Mesh::unit_cube(2, 1, 1);
+        let r = uniform_refine(&m);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..r.n_vertices() {
+            let p = r.vertex(v);
+            let key: Vec<i64> = p.iter().map(|&x| (x * 1e9).round() as i64).collect();
+            assert!(seen.insert(key), "duplicate vertex at {p:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Legacy-VTK export of meshes and nodal fields — the inspection path a
+//! user of this library expects (the paper's figures 2, 6 and 9 are
+//! exactly such visualizations: decompositions, geometries, coefficient
+//! fields, solution fields).
+
+use crate::Mesh;
+use std::io::{self, Write};
+
+/// A named piece of data attached to the mesh for export.
+pub enum VtkField<'a> {
+    /// One value per mesh vertex (P1 nodal field).
+    PointScalars(&'a str, &'a [f64]),
+    /// One value per element (e.g. subdomain id, coefficient value).
+    CellScalars(&'a str, &'a [f64]),
+}
+
+/// Write the mesh and the given fields as a legacy VTK (ASCII) dataset.
+///
+/// 2D meshes are written with a zero z-coordinate; triangles use VTK cell
+/// type 5, tetrahedra type 10.
+pub fn write_vtk<W: Write>(
+    out: &mut W,
+    mesh: &Mesh,
+    fields: &[VtkField<'_>],
+) -> io::Result<()> {
+    let dim = mesh.dim();
+    writeln!(out, "# vtk DataFile Version 3.0")?;
+    writeln!(out, "dd-geneo export")?;
+    writeln!(out, "ASCII")?;
+    writeln!(out, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(out, "POINTS {} double", mesh.n_vertices())?;
+    for v in 0..mesh.n_vertices() {
+        let p = mesh.vertex(v);
+        match dim {
+            2 => writeln!(out, "{} {} 0.0", p[0], p[1])?,
+            _ => writeln!(out, "{} {} {}", p[0], p[1], p[2])?,
+        }
+    }
+    let k = mesh.verts_per_elem();
+    writeln!(
+        out,
+        "CELLS {} {}",
+        mesh.n_elements(),
+        mesh.n_elements() * (k + 1)
+    )?;
+    for e in 0..mesh.n_elements() {
+        write!(out, "{k}")?;
+        for &v in mesh.element(e) {
+            write!(out, " {v}")?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out, "CELL_TYPES {}", mesh.n_elements())?;
+    let cell_type = if dim == 2 { 5 } else { 10 };
+    for _ in 0..mesh.n_elements() {
+        writeln!(out, "{cell_type}")?;
+    }
+    // Fields, grouped by attachment.
+    let mut wrote_point_header = false;
+    for f in fields {
+        if let VtkField::PointScalars(name, data) = f {
+            assert_eq!(data.len(), mesh.n_vertices(), "point field length");
+            if !wrote_point_header {
+                writeln!(out, "POINT_DATA {}", mesh.n_vertices())?;
+                wrote_point_header = true;
+            }
+            writeln!(out, "SCALARS {name} double 1")?;
+            writeln!(out, "LOOKUP_TABLE default")?;
+            for v in data.iter() {
+                writeln!(out, "{v}")?;
+            }
+        }
+    }
+    let mut wrote_cell_header = false;
+    for f in fields {
+        if let VtkField::CellScalars(name, data) = f {
+            assert_eq!(data.len(), mesh.n_elements(), "cell field length");
+            if !wrote_cell_header {
+                writeln!(out, "CELL_DATA {}", mesh.n_elements())?;
+                wrote_cell_header = true;
+            }
+            writeln!(out, "SCALARS {name} double 1")?;
+            writeln!(out, "LOOKUP_TABLE default")?;
+            for v in data.iter() {
+                writeln!(out, "{v}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: export to a file path.
+pub fn write_vtk_file(
+    path: &std::path::Path,
+    mesh: &Mesh,
+    fields: &[VtkField<'_>],
+) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_vtk(&mut f, mesh, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_2d_mesh_with_fields() {
+        let m = Mesh::unit_square(2, 2);
+        let pdata: Vec<f64> = (0..m.n_vertices()).map(|v| v as f64).collect();
+        let cdata: Vec<f64> = (0..m.n_elements()).map(|e| (e % 3) as f64).collect();
+        let mut buf = Vec::new();
+        write_vtk(
+            &mut buf,
+            &m,
+            &[
+                VtkField::PointScalars("u", &pdata),
+                VtkField::CellScalars("part", &cdata),
+            ],
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("POINTS 9 double"));
+        assert!(s.contains("CELLS 8 32"));
+        assert!(s.contains("CELL_TYPES 8"));
+        assert!(s.contains("SCALARS u double 1"));
+        assert!(s.contains("SCALARS part double 1"));
+        // every triangle line starts with its arity
+        assert_eq!(s.matches("\n3 ").count(), 8);
+    }
+
+    #[test]
+    fn exports_3d_mesh() {
+        let m = Mesh::unit_cube(1, 1, 1);
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &m, &[]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("POINTS 8 double"));
+        assert!(s.contains("CELL_TYPES 6"));
+        assert!(s.contains("\n10\n")); // tetra cell type
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_field_length_panics() {
+        let m = Mesh::unit_square(1, 1);
+        let bad = vec![0.0; 3];
+        let mut buf = Vec::new();
+        let _ = write_vtk(&mut buf, &m, &[VtkField::PointScalars("u", &bad)]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dd-solver
+//!
+//! Sparse symmetric direct solver (LDLᵀ) with fill-reducing orderings — the
+//! workspace's replacement for the MUMPS / PaStiX / PARDISO / WSMP solvers
+//! the paper uses for subdomain factorizations and the coarse operator.
+//!
+//! * [`ordering`] — reverse Cuthill–McKee and quotient-graph minimum degree.
+//! * [`ldlt`] — elimination-tree based up-looking LDLᵀ with forward/backward
+//!   solves, inertia computation, and multi-RHS solves.
+
+// Triangular solves, factorizations and stencil loops read most
+// naturally with explicit indices; iterator rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod ldlt;
+pub mod ordering;
+
+pub use ldlt::{LdltError, Ordering, PivotPolicy, SparseLdlt};

@@ -1,0 +1,89 @@
+//! Anatomy of the coarse operator: overlap growth (paper Figure 2),
+//! the sparsity patterns of `Z` and `E` (Figures 3–4), and the two master
+//! elections (Figure 5) — all printed as ASCII art.
+//!
+//! ```sh
+//! cargo run --release --example coarse_anatomy
+//! ```
+
+use dd_geneo::core::masters::{nonuniform_masters, uniform_masters, upper_triangular_loads};
+use dd_geneo::core::{decompose, problem::presets, two_level, GeneoOpts, TwoLevelOpts};
+use dd_geneo::mesh::Mesh;
+use dd_geneo::part::partition_mesh_rcb;
+
+fn main() {
+    // ---------------- Figure 2: overlap growth --------------------------
+    println!("== Overlap growth (Figure 2): subdomain sizes vs δ ==");
+    let mesh = Mesh::unit_square(16, 16);
+    let n_sub = 4;
+    let part = partition_mesh_rcb(&mesh, n_sub);
+    let problem = presets::uniform_diffusion(1);
+    println!("δ    sizes of V_i^δ (dofs per subdomain)");
+    for delta in 1..=3 {
+        let d = decompose(&mesh, &problem, &part, n_sub, delta);
+        let sizes: Vec<usize> = d.subdomains.iter().map(|s| s.n_local()).collect();
+        println!("{delta}    {sizes:?}");
+    }
+
+    // ---------------- Figures 3–4: Z and E patterns ---------------------
+    // A 1D-style chain of 4 subdomains like the paper's toy example:
+    // O_1 = {2}, O_2 = {1,3}, O_3 = {2,4}, O_4 = {3}.
+    println!("\n== Sparsity of Z (Figure 3) and E (Figure 4), 4-subdomain chain ==");
+    let chain = Mesh::rectangle(32, 2, 16.0, 1.0);
+    let cpart = partition_mesh_rcb(&chain, 4);
+    let cd = decompose(&chain, &problem, &cpart, 4, 1);
+    for (i, s) in cd.subdomains.iter().enumerate() {
+        let nbrs: Vec<usize> = s.neighbors.iter().map(|l| l.j).collect();
+        println!("O_{} = {:?}", i + 1, nbrs.iter().map(|j| j + 1).collect::<Vec<_>>());
+    }
+    let tl = two_level(
+        &cd,
+        &TwoLevelOpts {
+            geneo: GeneoOpts {
+                nev: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let e = &tl.coarse().e;
+    let offs = &tl.coarse().space.offsets;
+    println!("\nblock pattern of E (■ local-only, ▒ needs neighbor exchange, · zero):");
+    for i in 0..4 {
+        let mut row = String::new();
+        for j in 0..4 {
+            // Is block (i, j) nonzero?
+            let mut nz = false;
+            for p in offs[i]..offs[i + 1] {
+                for (c, v) in e.row(p) {
+                    if c >= offs[j] && c < offs[j + 1] && v != 0.0 {
+                        nz = true;
+                    }
+                }
+            }
+            row.push_str(if !nz {
+                " · "
+            } else if i == j {
+                " ■ "
+            } else {
+                " ▒ "
+            });
+        }
+        println!("  {row}");
+    }
+    println!("dim(E) = {}, nnz(E) = {}", e.rows(), e.nnz());
+
+    // ---------------- Figure 5: master elections ------------------------
+    println!("\n== Master election, N = 16, P = 4 (Figure 5) ==");
+    let n = 16;
+    let p = 4;
+    let uni = uniform_masters(n, p);
+    let non = nonuniform_masters(n, p);
+    println!("uniform     masters: {uni:?}");
+    println!("non-uniform masters: {non:?}");
+    println!(
+        "upper-triangular block loads per group (to balance when only the\nupper part of the symmetric E is assembled):"
+    );
+    println!("  uniform:     {:?}", upper_triangular_loads(n, &uni));
+    println!("  non-uniform: {:?}", upper_triangular_loads(n, &non));
+}
