@@ -1,11 +1,18 @@
-//! Criterion micro-benchmarks of the individual kernels the paper's
-//! framework spends its time in: sparse matrix–vector products (eq. 5),
-//! `csrmm` (`T_i = A_i W_i`, Algorithm 1), sparse LDLᵀ factorization and
-//! triangular solves (the MUMPS/PARDISO role), the GenEO Lanczos
-//! eigensolve (the ARPACK role), coarse-operator assembly (eq. 10), the
-//! coarse correction (§3.2), and the graph partitioner (the METIS role).
+//! Micro-benchmarks of the individual kernels the paper's framework spends
+//! its time in: sparse matrix–vector products (eq. 5), `csrmm`
+//! (`T_i = A_i W_i`, Algorithm 1), sparse LDLᵀ factorization and
+//! triangular solves (the MUMPS/PARDISO role), the GenEO eigensolve (the
+//! ARPACK role), coarse-operator assembly (eq. 10), the coarse correction
+//! (§3.2), and the graph partitioner (the METIS role).
+//!
+//! Std-only harness (`harness = false`): each kernel is warmed up, then
+//! timed in adaptively-sized batches until a wall-time budget is spent;
+//! the minimum per-iteration time over the batches is reported, which is
+//! the usual robust estimator for micro-benchmarks.
+//!
+//! Run with `cargo bench -p dd-bench`. Filter by substring:
+//! `cargo bench -p dd-bench -- spmv`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dd_core::coarse::{CoarseOperator, CoarseSpace};
 use dd_core::geneo::{deflation_block, resize_block, GeneoOpts};
 use dd_core::{decompose, problem::presets, Decomposition};
@@ -15,6 +22,44 @@ use dd_mesh::Mesh;
 use dd_part::{partition_ggp, partition_mesh_rcb};
 use dd_solver::{Ordering, SparseLdlt};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Time `f` and print one report line, honoring the CLI filter.
+fn bench<R>(filter: &Option<String>, name: &str, mut f: impl FnMut() -> R) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // Warm-up, and an estimate of one iteration's cost.
+    let start = Instant::now();
+    black_box(f());
+    let first = start.elapsed().max(Duration::from_nanos(1));
+    let batch = (Duration::from_millis(20).as_nanos() / first.as_nanos()).clamp(1, 100_000) as u32;
+    let budget = Duration::from_millis(300);
+    let (mut best, mut iters, mut spent) = (f64::INFINITY, 0u64, Duration::ZERO);
+    while spent < budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let dt = t.elapsed();
+        best = best.min(dt.as_secs_f64() / batch as f64);
+        iters += batch as u64;
+        spent += dt;
+    }
+    println!("{name:<34} {:>14} {iters:>9} iters", fmt_time(best));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs/iter", secs * 1e6)
+    } else {
+        format!("{:.3} ms/iter", secs * 1e3)
+    }
+}
 
 fn fem_matrix(cells: usize) -> dd_linalg::CsrMatrix {
     let mesh = Mesh::unit_square(cells, cells);
@@ -30,138 +75,114 @@ fn decomp_fixture(cells: usize, nparts: usize) -> Decomposition {
     decompose(&mesh, &problem, &part, nparts, 1)
 }
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
+fn main() {
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench");
+
+    // spmv
     for cells in [32usize, 64] {
         let a = fem_matrix(cells);
         let x = vec![1.0; a.cols()];
         let mut y = vec![0.0; a.rows()];
-        g.bench_with_input(BenchmarkId::from_parameter(a.rows()), &a, |b, a| {
-            b.iter(|| {
-                a.spmv(black_box(&x), &mut y);
-                black_box(&y);
-            })
+        bench(&filter, &format!("spmv/{}", a.rows()), || {
+            a.spmv(black_box(&x), &mut y);
+            y[0]
         });
     }
-    g.finish();
-}
 
-fn bench_csrmm(c: &mut Criterion) {
-    // T_i = A_i W_i with ν = 16 deflation vectors.
-    let a = fem_matrix(48);
-    let n = a.rows();
-    let mut w = DMat::zeros(n, 16);
-    for j in 0..16 {
-        for i in 0..n {
-            w.col_mut(j)[i] = ((i + j) % 7) as f64;
+    // csrmm: T_i = A_i W_i with ν = 16 deflation vectors.
+    {
+        let a = fem_matrix(48);
+        let n = a.rows();
+        let mut w = DMat::zeros(n, 16);
+        for j in 0..16 {
+            for i in 0..n {
+                w.col_mut(j)[i] = ((i + j) % 7) as f64;
+            }
         }
+        bench(&filter, "csrmm_nu16", || a.csrmm(&w));
     }
-    c.bench_function("csrmm_nu16", |b| b.iter(|| black_box(a.csrmm(&w))));
-}
 
-fn bench_ldlt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ldlt");
+    // ldlt factor + solve
     for cells in [24usize, 48] {
         let a = fem_matrix(cells);
-        g.bench_with_input(
-            BenchmarkId::new("factor_md", a.rows()),
-            &a,
-            |b, a| b.iter(|| black_box(SparseLdlt::factor(a, Ordering::MinDegree).unwrap())),
-        );
+        bench(&filter, &format!("ldlt/factor_md/{}", a.rows()), || {
+            SparseLdlt::factor(&a, Ordering::MinDegree).unwrap()
+        });
         let f = SparseLdlt::factor(&a, Ordering::MinDegree).unwrap();
         let rhs = vec![1.0; a.rows()];
-        g.bench_with_input(BenchmarkId::new("solve", a.rows()), &f, |b, f| {
-            b.iter(|| black_box(f.solve(&rhs)))
+        bench(&filter, &format!("ldlt/solve/{}", a.rows()), || {
+            f.solve(&rhs)
         });
     }
-    g.finish();
-}
 
-fn bench_orderings(c: &mut Criterion) {
-    let a = fem_matrix(32);
-    let mut g = c.benchmark_group("ordering");
-    g.bench_function("rcm", |b| {
-        b.iter(|| black_box(dd_solver::ordering::reverse_cuthill_mckee(&a)))
-    });
-    g.bench_function("min_degree", |b| {
-        b.iter(|| black_box(dd_solver::ordering::min_degree(&a)))
-    });
-    g.finish();
-}
+    // fill-reducing orderings
+    {
+        let a = fem_matrix(32);
+        bench(&filter, "ordering/rcm", || {
+            dd_solver::ordering::reverse_cuthill_mckee(&a)
+        });
+        bench(&filter, "ordering/min_degree", || {
+            dd_solver::ordering::min_degree(&a)
+        });
+    }
 
-fn bench_geneo_eigensolve(c: &mut Criterion) {
-    let d = decomp_fixture(32, 4);
-    let opts = GeneoOpts {
-        nev: 8,
-        ..Default::default()
-    };
-    c.bench_function("geneo_eigensolve_nev8", |b| {
-        b.iter(|| black_box(deflation_block(&d.subdomains[0], &opts)))
-    });
-}
+    // GenEO eigensolve
+    {
+        let d = decomp_fixture(32, 4);
+        let opts = GeneoOpts {
+            nev: 8,
+            ..Default::default()
+        };
+        bench(&filter, "geneo_eigensolve_nev8", || {
+            deflation_block(&d.subdomains[0], &opts)
+        });
+    }
 
-fn bench_coarse_assembly_and_apply(c: &mut Criterion) {
-    let d = decomp_fixture(32, 8);
-    let opts = GeneoOpts {
-        nev: 6,
-        ..Default::default()
-    };
-    let blocks: Vec<DMat> = d
-        .subdomains
-        .iter()
-        .map(|s| {
-            let b = deflation_block(s, &opts);
-            resize_block(&b, b.kept)
-        })
-        .collect();
-    c.bench_function("coarse_assembly_eq10", |b| {
-        b.iter(|| {
+    // coarse assembly (eq. 10) and correction apply (§3.2)
+    {
+        let d = decomp_fixture(32, 8);
+        let opts = GeneoOpts {
+            nev: 6,
+            ..Default::default()
+        };
+        let blocks: Vec<DMat> = d
+            .subdomains
+            .iter()
+            .map(|s| {
+                let b = deflation_block(s, &opts);
+                resize_block(&b, b.kept)
+            })
+            .collect();
+        bench(&filter, "coarse_assembly_eq10", || {
             let space = CoarseSpace::new(blocks.clone());
-            black_box(CoarseOperator::build(&d, space, Ordering::MinDegree))
-        })
-    });
-    let space = CoarseSpace::new(blocks);
-    let op = CoarseOperator::build(&d, space, Ordering::MinDegree);
-    let u: Vec<f64> = (0..d.n_global).map(|i| (i % 13) as f64).collect();
-    c.bench_function("coarse_correction_apply", |b| {
-        b.iter(|| black_box(op.correction(&d, &u)))
-    });
-}
+            CoarseOperator::build(&d, space, Ordering::MinDegree)
+        });
+        let space = CoarseSpace::new(blocks);
+        let op = CoarseOperator::build(&d, space, Ordering::MinDegree);
+        let u: Vec<f64> = (0..d.n_global).map(|i| (i % 13) as f64).collect();
+        bench(&filter, "coarse_correction_apply", || op.correction(&d, &u));
+    }
 
-fn bench_partitioner(c: &mut Criterion) {
-    let mesh = Mesh::unit_square(48, 48);
-    let adj = mesh.dual_graph();
-    c.bench_function("partition_ggp_16", |b| {
-        b.iter(|| black_box(partition_ggp(&adj, 16)))
-    });
-    c.bench_function("partition_rcb_16", |b| {
-        b.iter(|| black_box(partition_mesh_rcb(&mesh, 16)))
-    });
-}
-
-fn bench_fem_assembly(c: &mut Criterion) {
-    let mesh = Mesh::unit_square(24, 24);
-    let mut g = c.benchmark_group("fem_assembly");
-    for order in [1usize, 2, 3] {
-        let dm = DofMap::new(&mesh, order);
-        g.bench_with_input(BenchmarkId::from_parameter(order), &dm, |b, dm| {
-            b.iter(|| black_box(assemble_diffusion(&mesh, dm, &|_| 1.0, &|_| 1.0)))
+    // partitioners
+    {
+        let mesh = Mesh::unit_square(48, 48);
+        let adj = mesh.dual_graph();
+        bench(&filter, "partition_ggp_16", || partition_ggp(&adj, 16));
+        bench(&filter, "partition_rcb_16", || {
+            partition_mesh_rcb(&mesh, 16)
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_spmv,
-        bench_csrmm,
-        bench_ldlt,
-        bench_orderings,
-        bench_geneo_eigensolve,
-        bench_coarse_assembly_and_apply,
-        bench_partitioner,
-        bench_fem_assembly
+    // FEM assembly across orders
+    {
+        let mesh = Mesh::unit_square(24, 24);
+        for order in [1usize, 2, 3] {
+            let dm = DofMap::new(&mesh, order);
+            bench(&filter, &format!("fem_assembly/P{order}"), || {
+                assemble_diffusion(&mesh, &dm, &|_| 1.0, &|_| 1.0)
+            });
+        }
+    }
 }
-criterion_main!(benches);

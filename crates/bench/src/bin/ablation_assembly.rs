@@ -45,7 +45,11 @@ fn main() {
         let reports = run_workload(&w, &opts);
         let r = &reports[0];
         let coarse = reports.iter().map(|r| r.t_coarse).fold(0.0f64, f64::max);
-        let cbytes: u64 = reports.iter().map(|r| r.collective_bytes).max().unwrap_or(0);
+        let cbytes: u64 = reports
+            .iter()
+            .map(|r| r.collective_bytes)
+            .max()
+            .unwrap_or(0);
         println!(
             "{:<16} {:>6} {:>14} {:>17} {:>11.4}s",
             name, r.iterations, r.p2p_bytes, cbytes, coarse

@@ -9,9 +9,7 @@
 
 use dd_core::coarse::{CoarseOperator, CoarseSpace};
 use dd_core::geneo::{deflation_block, nicolaides_block, resize_block};
-use dd_core::{
-    decompose, problem::presets, GeneoOpts, RasPrecond, TwoLevelPrecond, Variant,
-};
+use dd_core::{decompose, problem::presets, GeneoOpts, RasPrecond, TwoLevelPrecond, Variant};
 use dd_krylov::{gmres, GmresOpts, SeqDot};
 use dd_mesh::Mesh;
 use dd_part::partition_mesh_rcb;

@@ -33,8 +33,7 @@ fn main() {
         let lz = smallest_generalized(&s.a_neumann, &b, nev, &LanczosOpts::default()).unwrap();
         let t_lz = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let si =
-            smallest_generalized_si(&s.a_neumann, &b, nev, &SubspaceOpts::default()).unwrap();
+        let si = smallest_generalized_si(&s.a_neumann, &b, nev, &SubspaceOpts::default()).unwrap();
         let t_si = t0.elapsed().as_secs_f64() * 1e3;
         let k = lz.values.len().min(si.values.len());
         let dmax = (0..k)

@@ -51,7 +51,11 @@ fn main() {
             tl.coarse().dim()
         );
         assert!(r2.converged, "two-level must converge at δ = {delta}");
-        ras_its.push(if r1.converged { r1.iterations } else { usize::MAX });
+        ras_its.push(if r1.converged {
+            r1.iterations
+        } else {
+            usize::MAX
+        });
     }
     // One-level improves (or at least does not degrade) with overlap.
     assert!(

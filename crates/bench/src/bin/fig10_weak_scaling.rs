@@ -92,13 +92,22 @@ fn main() {
 
     let rows3d = sweep(|n| weak_3d(2, n, 6), &ns);
     let bare3d: Vec<_> = rows3d.iter().map(|(r, _)| r.clone()).collect();
-    print_scaling_table("3D-P2 heterogeneous diffusion (constant dofs/subdomain)", &bare3d);
+    print_scaling_table(
+        "3D-P2 heterogeneous diffusion (constant dofs/subdomain)",
+        &bare3d,
+    );
 
     let rows2d = sweep(|n| weak_2d(4, n, 12), &ns);
     let bare2d: Vec<_> = rows2d.iter().map(|(r, _)| r.clone()).collect();
-    print_scaling_table("2D-P4 heterogeneous diffusion (constant dofs/subdomain)", &bare2d);
+    print_scaling_table(
+        "2D-P4 heterogeneous diffusion (constant dofs/subdomain)",
+        &bare2d,
+    );
 
-    println!("\n== efficiency relative to N = {} (halo factor in parentheses) ==", ns[0]);
+    println!(
+        "\n== efficiency relative to N = {} (halo factor in parentheses) ==",
+        ns[0]
+    );
     let e3 = efficiency(&rows3d);
     let e2 = efficiency(&rows2d);
     println!("{:>5} {:>16} {:>16}", "N", "3D-P2", "2D-P4");
@@ -114,7 +123,10 @@ fn main() {
     }
 
     for (rows, eff, floor) in [(&rows3d, &e3, 0.05), (&rows2d, &e2, 0.3)] {
-        assert!(rows.iter().all(|(r, _)| r.converged), "all runs must converge");
+        assert!(
+            rows.iter().all(|(r, _)| r.converged),
+            "all runs must converge"
+        );
         // Iterations stay bounded under weak scaling (the GenEO guarantee).
         // At laptop scale (≈1–3k dofs/subdomain vs the paper's 280k–2.7M)
         // the overlap halo is a large fraction of each subdomain, so some

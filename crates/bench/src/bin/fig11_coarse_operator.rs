@@ -6,7 +6,10 @@
 //! Expected shape: dim(E) grows linearly with N, 3D neighbor counts exceed
 //! 2D ones (denser E), and assembly time grows with N.
 
-use dd_bench::{aggregate, diffusion_2d, diffusion_3d, elasticity_2d, elasticity_3d, masters_for, print_coarse_table, run_workload, ScalingRow, Workload};
+use dd_bench::{
+    aggregate, diffusion_2d, diffusion_3d, elasticity_2d, elasticity_3d, masters_for,
+    print_coarse_table, run_workload, ScalingRow, Workload,
+};
 use dd_core::{GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 
@@ -57,9 +60,7 @@ fn main() {
     }
     // 3D decompositions have more neighbors than 2D ones at the same N
     // (the paper's "|O_i| average" columns: ~13–15 in 3D vs ~5.5–5.9 in 2D).
-    let avg = |rows: &[(ScalingRow, usize)]| {
-        rows.last().unwrap().0.avg_neighbors
-    };
+    let avg = |rows: &[(ScalingRow, usize)]| rows.last().unwrap().0.avg_neighbors;
     assert!(
         avg(&d3) > avg(&d2),
         "3D should have denser connectivity: {} vs {}",

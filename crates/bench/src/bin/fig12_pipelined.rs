@@ -54,10 +54,7 @@ fn main() {
         let reports = run_workload(&w, &opts);
         let r = &reports[0];
         let per_iter = r.world_collectives_solution as f64 / r.iterations.max(1) as f64;
-        let t_sol = reports
-            .iter()
-            .map(|r| r.t_solution)
-            .fold(0.0f64, f64::max);
+        let t_sol = reports.iter().map(|r| r.t_solution).fold(0.0f64, f64::max);
         println!(
             "{:<12} {:>6} {:>10} {:>22.2} {:>13.4}s",
             name, r.iterations, r.converged, per_iter, t_sol

@@ -32,7 +32,14 @@ fn main() {
     let x0 = vec![0.0; decomp.n_global];
 
     let ras = RasPrecond::build(&decomp, Ordering::MinDegree);
-    let basic = gmres(&decomp.a_global, &ras, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let basic = gmres(
+        &decomp.a_global,
+        &ras,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
 
     let tl = two_level(
         &decomp,
@@ -44,7 +51,14 @@ fn main() {
             ..Default::default()
         },
     );
-    let advanced = gmres(&decomp.a_global, &tl, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let advanced = gmres(
+        &decomp.a_global,
+        &tl,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
 
     println!("# iteration  basic(RAS)  advanced(A-DEF1)");
     let len = basic.history.len().max(advanced.history.len());

@@ -28,8 +28,17 @@ fn main() {
     println!("  non-uniform: {:?}", upper_triangular_loads(n, &non));
 
     println!("\n# load-balance sweep: max/min per-group loads");
-    println!("{:>6} {:>4} {:>10} {:>12}", "N", "P", "uniform", "non-uniform");
-    for (n, p) in [(16usize, 4usize), (64, 8), (256, 16), (1024, 32), (8192, 64)] {
+    println!(
+        "{:>6} {:>4} {:>10} {:>12}",
+        "N", "P", "uniform", "non-uniform"
+    );
+    for (n, p) in [
+        (16usize, 4usize),
+        (64, 8),
+        (256, 16),
+        (1024, 32),
+        (8192, 64),
+    ] {
         let su = spread(&upper_triangular_loads(n, &uniform_masters(n, p)));
         let sn = spread(&upper_triangular_loads(n, &nonuniform_masters(n, p)));
         println!("{n:>6} {p:>4} {su:>10.2} {sn:>12.2}");

@@ -34,7 +34,14 @@ fn main() {
     let x0 = vec![0.0; decomp.n_global];
 
     let ras = RasPrecond::build(&decomp, Ordering::MinDegree);
-    let one = gmres(&decomp.a_global, &ras, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let one = gmres(
+        &decomp.a_global,
+        &ras,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
 
     let tl = two_level(
         &decomp,
@@ -46,7 +53,14 @@ fn main() {
             ..Default::default()
         },
     );
-    let two = gmres(&decomp.a_global, &tl, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let two = gmres(
+        &decomp.a_global,
+        &tl,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
 
     println!("# iteration  P_RAS      P_A-DEF1");
     let len = one.history.len().max(two.history.len());

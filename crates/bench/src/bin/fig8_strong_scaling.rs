@@ -8,7 +8,10 @@
 //! and shrink superlinearly in 3D (local problems get much cheaper),
 //! iteration counts stay flat, and speedups approach or exceed linear.
 
-use dd_bench::{aggregate, ascii_chart, elasticity_2d, elasticity_3d, masters_for, print_scaling_table, run_workload};
+use dd_bench::{
+    aggregate, ascii_chart, elasticity_2d, elasticity_3d, masters_for, print_scaling_table,
+    run_workload,
+};
 use dd_core::{GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 
@@ -50,7 +53,10 @@ fn main() {
 
     // Speedups relative to the smallest run (the paper's Figure 8 plot).
     println!("\n== speedup relative to N = {} ==", ns[0]);
-    println!("{:>5} {:>10} {:>10} {:>12}", "N", "3D-P2", "2D-P3", "(linear)");
+    println!(
+        "{:>5} {:>10} {:>10} {:>12}",
+        "N", "3D-P2", "2D-P3", "(linear)"
+    );
     for (i, &n) in ns.iter().enumerate() {
         println!(
             "{:>5} {:>10.2} {:>10.2} {:>12.2}",

@@ -2,8 +2,8 @@
 //!
 //! Benchmark harness reproducing every table and figure of the paper's
 //! evaluation (§3.4–§3.5). Each `fig*` binary regenerates one artifact;
-//! `cargo bench -p dd-bench` runs the Criterion micro-benchmarks of the
-//! individual kernels.
+//! `cargo bench -p dd-bench` runs the std-only micro-benchmarks of the
+//! individual kernels (see `benches/micro.rs`).
 //!
 //! | binary | paper artifact |
 //! |---|---|
@@ -31,7 +31,9 @@
 //! seconds.
 
 use dd_comm::World;
-use dd_core::{decompose, problem::presets, run_spmd, Decomposition, Problem, SpmdOpts, SpmdReport};
+use dd_core::{
+    decompose, problem::presets, run_spmd, Decomposition, Problem, SpmdOpts, SpmdReport,
+};
 use dd_mesh::{refine::uniform_refine_n, Mesh};
 use dd_part::partition_mesh_rcb;
 use std::sync::Arc;
@@ -45,11 +47,24 @@ pub struct Workload {
 
 /// Build a 2D heterogeneous-diffusion workload (the paper's weak-scaling
 /// problem; paper order: P4 in 2D).
-pub fn diffusion_2d(cells: usize, refines: usize, order: usize, nparts: usize, delta: usize) -> Workload {
+pub fn diffusion_2d(
+    cells: usize,
+    refines: usize,
+    order: usize,
+    nparts: usize,
+    delta: usize,
+) -> Workload {
     let mesh = uniform_refine_n(&Mesh::unit_square(cells, cells), refines);
     let part = partition_mesh_rcb(&mesh, nparts);
     let problem = presets::heterogeneous_diffusion(order);
-    build(mesh, problem, part, nparts, delta, format!("2D-P{order} diffusion"))
+    build(
+        mesh,
+        problem,
+        part,
+        nparts,
+        delta,
+        format!("2D-P{order} diffusion"),
+    )
 }
 
 /// 3D heterogeneous diffusion (paper order: P2 in 3D).
@@ -57,15 +72,35 @@ pub fn diffusion_3d(cells: usize, order: usize, nparts: usize, delta: usize) -> 
     let mesh = Mesh::unit_cube(cells, cells, cells);
     let part = partition_mesh_rcb(&mesh, nparts);
     let problem = presets::heterogeneous_diffusion(order);
-    build(mesh, problem, part, nparts, delta, format!("3D-P{order} diffusion"))
+    build(
+        mesh,
+        problem,
+        part,
+        nparts,
+        delta,
+        format!("3D-P{order} diffusion"),
+    )
 }
 
 /// 2D heterogeneous elasticity on a cantilever (paper: P3 in 2D).
-pub fn elasticity_2d(cells_x: usize, cells_y: usize, order: usize, nparts: usize, delta: usize) -> Workload {
+pub fn elasticity_2d(
+    cells_x: usize,
+    cells_y: usize,
+    order: usize,
+    nparts: usize,
+    delta: usize,
+) -> Workload {
     let mesh = Mesh::rectangle(cells_x, cells_y, 5.0, 1.0);
     let part = partition_mesh_rcb(&mesh, nparts);
     let problem = presets::heterogeneous_elasticity(order, 2);
-    build(mesh, problem, part, nparts, delta, format!("2D-P{order} elasticity"))
+    build(
+        mesh,
+        problem,
+        part,
+        nparts,
+        delta,
+        format!("2D-P{order} elasticity"),
+    )
 }
 
 /// 3D heterogeneous elasticity on a bar (paper: tripod, P2).
@@ -73,7 +108,14 @@ pub fn elasticity_3d(cells: usize, order: usize, nparts: usize, delta: usize) ->
     let mesh = Mesh::box3d(2 * cells, cells, cells, 2.0, 1.0, 1.0);
     let part = partition_mesh_rcb(&mesh, nparts);
     let problem = presets::heterogeneous_elasticity(order, 3);
-    build(mesh, problem, part, nparts, delta, format!("3D-P{order} elasticity"))
+    build(
+        mesh,
+        problem,
+        part,
+        nparts,
+        delta,
+        format!("3D-P{order} elasticity"),
+    )
 }
 
 fn build(

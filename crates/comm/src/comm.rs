@@ -12,18 +12,47 @@
 //!
 //! Like MPI, all ranks of a communicator must call collectives in the same
 //! order; point-to-point messages are matched by `(source, tag)` FIFO.
-//! Violations deadlock (and are reported by the runtime when every thread
-//! is blocked) or panic on payload type mismatch.
+//! Violations are detected by the runtime — every blocking wait is a timed
+//! tick loop that watches the world's health registry, so a wrong program
+//! surfaces as a structured [`CommError::Deadlock`] / [`CommError::RankDead`]
+//! from the `try_*` variants (or a panic carrying the same message from the
+//! infallible wrappers) instead of a silent hang.
+//!
+//! ## Fault injection
+//!
+//! [`World::run_with_faults`] arms a seeded [`FaultPlan`]: messages can be
+//! delayed or dropped-then-redelivered (recovered transparently by the
+//! retry policy of [`Communicator::try_recv_timeout`], charging virtual
+//! time per failed attempt), and ranks can be killed at named
+//! [`Communicator::failpoint`]s. All decisions are deterministic functions
+//! of the seed and message identity.
 
+use crate::fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 use crate::model::CostModel;
 use crate::time::VirtualClock;
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtOrd};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Granularity of the blocking-wait tick loops: every blocked wait wakes at
+/// this interval to re-check message queues, peer health, and global
+/// progress.
+const TICK: Duration = Duration::from_millis(2);
+
+/// Consecutive all-blocked observations before a wait reports
+/// [`CommError::Deadlock`].
+const STALL_TICKS: u32 = 6;
+
+/// Lock a mutex, ignoring poisoning (a panicking rank already propagates
+/// its panic through [`World::run`]; the shared state itself stays
+/// consistent because every critical section is a small push/pop).
+fn lck<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Size in bytes a value would occupy on the wire — drives the β term of
 /// the cost model. Implemented for the payload types the framework sends.
@@ -35,9 +64,6 @@ macro_rules! prim_wire {
     ($($t:ty),*) => {$(
         impl WireSize for $t {
             fn wire_bytes(&self) -> usize { std::mem::size_of::<$t>() }
-        }
-        impl WireSize for Vec<$t> {
-            fn wire_bytes(&self) -> usize { self.len() * std::mem::size_of::<$t>() }
         }
     )*};
 }
@@ -55,7 +81,9 @@ impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
     }
 }
 
-impl WireSize for Vec<Vec<f64>> {
+/// Any nesting of sendable payloads is itself sendable (`Vec<Vec<f64>>`,
+/// `Vec<(u32, Vec<f64>)>`, …).
+impl<T: WireSize> WireSize for Vec<T> {
     fn wire_bytes(&self) -> usize {
         self.iter().map(|v| v.wire_bytes()).sum()
     }
@@ -71,6 +99,9 @@ struct Envelope {
     payload: Box<dyn Any + Send>,
     arrival: f64,
     bytes: usize,
+    /// Delivery attempts that fail before this message is handed to the
+    /// receiver (injected by the fault plan).
+    drops: u32,
 }
 
 #[derive(Default)]
@@ -107,9 +138,83 @@ impl Slot {
     }
 }
 
+/// Liveness registry of one world, shared by every communicator split from
+/// it. Ranks are identified by *world* rank.
+struct WorldHealth {
+    gone: Vec<AtomicBool>,
+    n_gone: AtomicUsize,
+    /// Ranks currently parked in a blocking wait (deadlock detection).
+    blocked: AtomicUsize,
+}
+
+impl WorldHealth {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(WorldHealth {
+            gone: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            n_gone: AtomicUsize::new(0),
+            blocked: AtomicUsize::new(0),
+        })
+    }
+
+    fn is_gone(&self, world_rank: usize) -> bool {
+        self.gone[world_rank].load(AtOrd::SeqCst)
+    }
+
+    fn mark_gone(&self, world_rank: usize) {
+        if !self.gone[world_rank].swap(true, AtOrd::SeqCst) {
+            self.n_gone.fetch_add(1, AtOrd::SeqCst);
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.gone.len() - self.n_gone.load(AtOrd::SeqCst)
+    }
+
+    /// Is every live rank currently parked in a blocking wait?
+    fn all_blocked(&self) -> bool {
+        let live = self.live();
+        live > 0 && self.blocked.load(AtOrd::SeqCst) >= live
+    }
+}
+
+/// RAII registration of "this rank is parked in a blocking wait".
+struct BlockGuard<'a> {
+    health: &'a WorldHealth,
+}
+
+impl<'a> BlockGuard<'a> {
+    fn new(health: &'a WorldHealth) -> Self {
+        health.blocked.fetch_add(1, AtOrd::SeqCst);
+        BlockGuard { health }
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.health.blocked.fetch_sub(1, AtOrd::SeqCst);
+    }
+}
+
+/// Per-rank fault observation counters, shared (within the rank's thread)
+/// by a communicator and everything split from it.
+#[derive(Default)]
+struct FaultCounters {
+    delays: Cell<u64>,
+    drops: Cell<u64>,
+    retries: Cell<u64>,
+    timeouts: Cell<u64>,
+    msg_index: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
 /// Shared state of one communicator.
 struct CommShared {
     size: usize,
+    /// World rank of each member, in communicator rank order.
+    world_ranks: Vec<usize>,
     mailboxes: Vec<Mailbox>,
     slots: Mutex<HashMap<u64, Slot>>,
     slots_cv: Condvar,
@@ -121,9 +226,11 @@ struct CommShared {
 }
 
 impl CommShared {
-    fn new(size: usize) -> Arc<Self> {
+    fn new(world_ranks: Vec<usize>) -> Arc<Self> {
+        let size = world_ranks.len();
         Arc::new(CommShared {
             size,
+            world_ranks,
             mailboxes: (0..size)
                 .map(|_| Mailbox {
                     inner: Mutex::new(MailboxInner::default()),
@@ -176,6 +283,9 @@ pub struct Communicator {
     /// rank threads (the host has far fewer cores than ranks; virtual
     /// time, not wall time, is the reported quantity).
     compute_token: Arc<Mutex<()>>,
+    health: Arc<WorldHealth>,
+    plan: Arc<FaultPlan>,
+    counters: Rc<FaultCounters>,
 }
 
 impl Communicator {
@@ -185,6 +295,12 @@ impl Communicator {
 
     pub fn size(&self) -> usize {
         self.shared.size
+    }
+
+    /// This rank's rank in the world communicator (faults and health are
+    /// tracked by world rank, stable across [`Communicator::split`]).
+    pub fn world_rank(&self) -> usize {
+        self.shared.world_ranks[self.rank]
     }
 
     /// The rank's virtual clock.
@@ -209,7 +325,7 @@ impl Communicator {
     /// so the measured CPU time reflects the work itself rather than cache
     /// thrash between oversubscribed rank threads.
     pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _token = self.compute_token.lock();
+        let _token = lck(&self.compute_token);
         self.clock.compute(f)
     }
 
@@ -228,6 +344,46 @@ impl Communicator {
         }
     }
 
+    // -------------------------------------------------------------- faults
+
+    /// Faults observed by this rank so far (shared with communicators split
+    /// from this one).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            delays_injected: self.counters.delays.get(),
+            drops_injected: self.counters.drops.get(),
+            retries: self.counters.retries.get(),
+            timeouts: self.counters.timeouts.get(),
+        }
+    }
+
+    /// A named phase boundary. If the armed [`FaultPlan`] kills this rank
+    /// here, the rank is marked dead in the world's health registry and
+    /// `Err(CommError::RankDead)` is returned — the caller must stop
+    /// communicating and unwind. Free when no plan targets this rank.
+    pub fn failpoint(&self, label: &str) -> Result<(), CommError> {
+        let wr = self.world_rank();
+        if self.plan.kills(wr, label) && !self.health.is_gone(wr) {
+            self.health.mark_gone(wr);
+            return Err(CommError::RankDead { rank: wr });
+        }
+        Ok(())
+    }
+
+    /// Does the armed fault plan fail the recoverable operation `label` on
+    /// this rank? (Used by higher layers to inject e.g. eigensolve or
+    /// factorization failures.)
+    pub fn should_fail(&self, label: &str) -> bool {
+        self.plan.should_fail(self.world_rank(), label)
+    }
+
+    /// Mark this rank dead without killing the thread: called by higher
+    /// layers when they unwind on an error, so peers blocked on this rank
+    /// get a structured [`CommError::RankDead`] instead of a deadlock.
+    pub fn abandon(&self) {
+        self.health.mark_gone(self.world_rank());
+    }
+
     // ---------------------------------------------------------------- p2p
 
     /// Send `value` to `dest` with a user `tag` (non-blocking buffered send,
@@ -235,13 +391,24 @@ impl Communicator {
     pub fn send<T: Send + WireSize + 'static>(&self, dest: usize, tag: u64, value: T) {
         assert!(dest < self.size(), "send: dest out of range");
         let bytes = value.wire_bytes();
+        let idx = self.counters.msg_index.get();
+        self.counters.msg_index.set(idx + 1);
+        let (drops, delay) =
+            self.plan
+                .message_faults(self.world_rank(), self.shared.world_ranks[dest], tag, idx);
+        if drops > 0 {
+            bump(&self.counters.drops);
+        }
+        if delay > 0.0 {
+            bump(&self.counters.delays);
+        }
         // Sender pays the injection latency; the payload lands after the
-        // transfer time.
+        // transfer time (plus any injected wire delay).
         self.clock.advance(self.model.alpha);
-        let arrival = self.clock.now() + self.model.beta * bytes as f64;
+        let arrival = self.clock.now() + self.model.beta * bytes as f64 + delay;
         let mb = &self.shared.mailboxes[dest];
         {
-            let mut inner = mb.inner.lock();
+            let mut inner = lck(&mb.inner);
             inner
                 .queues
                 .entry((self.rank, tag))
@@ -250,36 +417,115 @@ impl Communicator {
                     payload: Box::new(value),
                     arrival,
                     bytes,
+                    drops,
                 });
         }
         mb.cv.notify_all();
         self.shared.p2p_messages.fetch_add(1, AtOrd::Relaxed);
-        self.shared.p2p_bytes.fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.shared
+            .p2p_bytes
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
     }
 
-    /// Blocking receive of the next message from `src` with `tag`.
+    /// Blocking receive of the next message from `src` with `tag`. Dropped
+    /// deliveries are retried indefinitely (each charging virtual time);
+    /// structural failures (dead peer, global deadlock) panic with the
+    /// structured error — use [`Communicator::try_recv_timeout`] to handle
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if the payload type does not match `T`, if `src` dies, or if
+    /// the world deadlocks.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        self.try_recv_timeout(src, tag, &RetryPolicy::unbounded())
+            .unwrap_or_else(|e| panic!("recv(src {src}, tag {tag}) on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant receive: delivers the next message from `src` with
+    /// `tag`, retrying dropped deliveries under `policy` (each failed
+    /// attempt charges `timeout · backoff^k` virtual seconds) and watching
+    /// the world's health while waiting.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`] when drops exhaust the retry budget,
+    /// [`CommError::RankDead`] when `src` is dead and no message is
+    /// pending, [`CommError::Deadlock`] when every live rank is blocked.
     ///
     /// # Panics
     /// Panics if the payload type does not match `T`.
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    pub fn try_recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        policy: &RetryPolicy,
+    ) -> Result<T, CommError> {
         assert!(src < self.size(), "recv: src out of range");
         let mb = &self.shared.mailboxes[self.rank];
-        let env = {
-            let mut inner = mb.inner.lock();
-            loop {
-                if let Some(q) = inner.queues.get_mut(&(src, tag)) {
-                    if let Some(env) = q.pop_front() {
-                        break env;
+        let mut attempts = 0u32;
+        let mut stall = 0u32;
+        let mut guard: Option<BlockGuard> = None;
+        let mut inner = lck(&mb.inner);
+        let env = loop {
+            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                let mut timed_out = false;
+                while let Some(front) = q.front_mut() {
+                    if front.drops == 0 {
+                        break;
+                    }
+                    // A dropped delivery: the receiver waits out the
+                    // (virtual) timeout, then asks for redelivery.
+                    front.drops -= 1;
+                    self.clock.advance(policy.charge(attempts));
+                    bump(&self.counters.retries);
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        timed_out = true;
+                        break;
                     }
                 }
-                mb.cv.wait(&mut inner);
+                if timed_out {
+                    bump(&self.counters.timeouts);
+                    return Err(CommError::Timeout { src, tag, attempts });
+                }
+                if q.front().is_some() {
+                    break q.pop_front().expect("front vanished");
+                }
             }
+            // Nothing deliverable. The dead-check is safe against races
+            // because senders enqueue under this same mailbox lock before
+            // being marked gone: observing "gone + empty queue" here means
+            // no message is coming.
+            let src_world = self.shared.world_ranks[src];
+            if self.health.is_gone(src_world) {
+                return Err(CommError::RankDead { rank: src_world });
+            }
+            if guard.is_none() {
+                guard = Some(BlockGuard::new(&self.health));
+            }
+            if self.health.all_blocked() {
+                stall += 1;
+                if stall >= STALL_TICKS {
+                    return Err(CommError::Deadlock {
+                        rank: self.world_rank(),
+                    });
+                }
+            } else {
+                stall = 0;
+            }
+            inner = mb
+                .cv
+                .wait_timeout(inner, TICK)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         };
+        drop(inner);
+        drop(guard);
         self.clock.advance_to(env.arrival);
         let _ = env.bytes;
-        *env.payload
+        Ok(*env
+            .payload
             .downcast::<T>()
-            .expect("recv: payload type mismatch")
+            .expect("recv: payload type mismatch"))
     }
 
     /// Exchange one message with every neighbor (the paper's
@@ -301,18 +547,66 @@ impl Communicator {
 
     // --------------------------------------------------------- collectives
 
+    /// Wait until collective slot `seq` completes, watching the health
+    /// registry: a participant that dies before contributing, or a global
+    /// stall, aborts the wait with a structured error.
+    fn wait_slot_done(&self, seq: u64) -> Result<(), CommError> {
+        let mut slots = lck(&self.shared.slots);
+        let mut stall = 0u32;
+        let mut guard: Option<BlockGuard> = None;
+        loop {
+            match slots.get(&seq) {
+                Some(slot) if slot.done => return Ok(()),
+                Some(slot) => {
+                    // A participant that has not contributed and is gone
+                    // will never arrive (contributions are deposited under
+                    // this lock before a rank can be marked gone).
+                    for r in 0..self.shared.size {
+                        let wr = self.shared.world_ranks[r];
+                        if slot.contributions[r].is_none() && self.health.is_gone(wr) {
+                            return Err(CommError::RankDead { rank: wr });
+                        }
+                    }
+                }
+                // The slot can only be removed after every rank took the
+                // result, which includes us — so a missing slot means the
+                // collective is done and this wait raced the cleanup.
+                None => return Ok(()),
+            }
+            if guard.is_none() {
+                guard = Some(BlockGuard::new(&self.health));
+            }
+            if self.health.all_blocked() {
+                stall += 1;
+                if stall >= STALL_TICKS {
+                    return Err(CommError::Deadlock {
+                        rank: self.world_rank(),
+                    });
+                }
+            } else {
+                stall = 0;
+            }
+            slots = self
+                .shared
+                .slots_cv
+                .wait_timeout(slots, TICK)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
     /// Core collective machinery: deposit a contribution, let the last
     /// arriver run `finish` on all of them, synchronize clocks to the
     /// returned exit time.
-    fn collective<R: Send + Sync + 'static>(
+    fn try_collective<R: Send + Sync + 'static>(
         &self,
         contribution: Box<dyn Any + Send>,
         finish: impl FnOnce(Vec<Box<dyn Any + Send>>, f64) -> (R, f64),
-    ) -> Arc<R> {
+    ) -> Result<Arc<R>, CommError> {
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
-        let mut slots = self.shared.slots.lock();
+        let mut slots = lck(&self.shared.slots);
         let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
         slot.contributions[self.rank] = Some(contribution);
         slot.entry[self.rank] = self.clock.now();
@@ -330,9 +624,9 @@ impl Communicator {
             slot.done = true;
             self.shared.slots_cv.notify_all();
         } else {
-            while !slots.get(&seq).map(|s| s.done).unwrap_or(false) {
-                self.shared.slots_cv.wait(&mut slots);
-            }
+            drop(slots);
+            self.wait_slot_done(seq)?;
+            slots = lck(&self.shared.slots);
         }
         let slot = slots.get_mut(&seq).expect("slot vanished");
         let result = slot
@@ -348,7 +642,7 @@ impl Communicator {
         }
         drop(slots);
         self.clock.advance_to(exit);
-        result
+        Ok(result)
     }
 
     fn next_seq(&self) -> u64 {
@@ -359,11 +653,18 @@ impl Communicator {
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier on rank {}: {e}", self.rank));
+    }
+
+    /// Fault-tolerant [`Communicator::barrier`].
+    pub fn try_barrier(&self) -> Result<(), CommError> {
         let size = self.size();
         let model = self.model;
-        self.collective(Box::new(()), move |_, max_entry| {
+        self.try_collective(Box::new(()), move |_, max_entry| {
             ((), max_entry + model.barrier(size))
-        });
+        })?;
+        Ok(())
     }
 
     /// Broadcast `value` from `root` (non-roots pass `None`).
@@ -372,12 +673,23 @@ impl Communicator {
         root: usize,
         value: Option<T>,
     ) -> T {
+        self.try_bcast(root, value)
+            .unwrap_or_else(|e| panic!("bcast on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::bcast`].
+    pub fn try_bcast<T: Clone + Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared
-            .collective_bytes
-            .fetch_add(value.as_ref().map_or(0, |v| v.wire_bytes()) as u64, AtOrd::Relaxed);
+        self.shared.collective_bytes.fetch_add(
+            value.as_ref().map_or(0, |v| v.wire_bytes()) as u64,
+            AtOrd::Relaxed,
+        );
         let model = self.model;
-        let r = self.collective(Box::new(value), move |mut contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |mut contribs, max_entry| {
             let v = contribs[root]
                 .downcast_mut::<Option<T>>()
                 .expect("bcast type")
@@ -385,8 +697,8 @@ impl Communicator {
                 .expect("bcast: root passed None");
             let cost = model.bcast(size, v.wire_bytes());
             (v, max_entry + cost)
-        });
-        (*r).clone()
+        })?;
+        Ok((*r).clone())
     }
 
     /// Gather with equal counts (`MPI_Gather`): root receives all values in
@@ -396,13 +708,23 @@ impl Communicator {
         root: usize,
         value: T,
     ) -> Option<Vec<T>> {
+        self.try_gather(root, value)
+            .unwrap_or_else(|e| panic!("gather on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::gather`].
+    pub fn try_gather<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
         let size = self.size();
         self.shared
             .collective_bytes
             .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
         let model = self.model;
         let is_root = self.rank == root;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<T>().expect("gather type"))
@@ -410,12 +732,8 @@ impl Communicator {
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.gather_uniform(size, per_rank);
             (Mutex::new(Some(vals)), max_entry + cost)
-        });
-        if is_root {
-            r.lock().take()
-        } else {
-            None
-        }
+        })?;
+        Ok(if is_root { lck(&r).take() } else { None })
     }
 
     /// Gather with varying counts (`MPI_Gatherv`) — same data movement,
@@ -425,13 +743,23 @@ impl Communicator {
         root: usize,
         value: T,
     ) -> Option<Vec<T>> {
+        self.try_gatherv(root, value)
+            .unwrap_or_else(|e| panic!("gatherv on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::gatherv`].
+    pub fn try_gatherv<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>, CommError> {
         let size = self.size();
         self.shared
             .collective_bytes
             .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
         let model = self.model;
         let is_root = self.rank == root;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<T>().expect("gatherv type"))
@@ -439,12 +767,8 @@ impl Communicator {
             let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
             let cost = model.gather_varying(size, total);
             (Mutex::new(Some(vals)), max_entry + cost)
-        });
-        if is_root {
-            r.lock().take()
-        } else {
-            None
-        }
+        })?;
+        Ok(if is_root { lck(&r).take() } else { None })
     }
 
     /// Scatter with equal counts (`MPI_Scatter`): root provides one value
@@ -454,13 +778,27 @@ impl Communicator {
         root: usize,
         values: Option<Vec<T>>,
     ) -> T {
+        self.try_scatter(root, values)
+            .unwrap_or_else(|e| panic!("scatter on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::scatter`].
+    pub fn try_scatter<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared
-            .collective_bytes
-            .fetch_add(values.as_ref().map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>()) as u64, AtOrd::Relaxed);
+        self.shared.collective_bytes.fetch_add(
+            values
+                .as_ref()
+                .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>())
+                as u64,
+            AtOrd::Relaxed,
+        );
         let model = self.model;
         let rank = self.rank;
-        let r = self.collective(Box::new(values), move |mut contribs, max_entry| {
+        let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
             let vals = contribs[root]
                 .downcast_mut::<Option<Vec<T>>>()
                 .expect("scatter type")
@@ -469,11 +807,12 @@ impl Communicator {
             assert_eq!(vals.len(), size, "scatter: need one value per rank");
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.gather_uniform(size, per_rank); // symmetric cost
-            let slots: Vec<Mutex<Option<T>>> = vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            let slots: Vec<Mutex<Option<T>>> =
+                vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
             (slots, max_entry + cost)
-        });
-        let v = r[rank].lock().take().expect("scatter: value already taken");
-        v
+        })?;
+        let v = lck(&r[rank]).take().expect("scatter: value already taken");
+        Ok(v)
     }
 
     /// Scatter with varying counts (`MPI_Scatterv`): linear cost model.
@@ -482,13 +821,27 @@ impl Communicator {
         root: usize,
         values: Option<Vec<T>>,
     ) -> T {
+        self.try_scatterv(root, values)
+            .unwrap_or_else(|e| panic!("scatterv on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::scatterv`].
+    pub fn try_scatterv<T: Send + Sync + WireSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared
-            .collective_bytes
-            .fetch_add(values.as_ref().map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>()) as u64, AtOrd::Relaxed);
+        self.shared.collective_bytes.fetch_add(
+            values
+                .as_ref()
+                .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>())
+                as u64,
+            AtOrd::Relaxed,
+        );
         let model = self.model;
         let rank = self.rank;
-        let r = self.collective(Box::new(values), move |mut contribs, max_entry| {
+        let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
             let vals = contribs[root]
                 .downcast_mut::<Option<Vec<T>>>()
                 .expect("scatterv type")
@@ -497,21 +850,31 @@ impl Communicator {
             assert_eq!(vals.len(), size);
             let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
             let cost = model.gather_varying(size, total);
-            let slots: Vec<Mutex<Option<T>>> = vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
+            let slots: Vec<Mutex<Option<T>>> =
+                vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
             (slots, max_entry + cost)
-        });
-        let v = r[rank].lock().take().expect("scatterv: value already taken");
-        v
+        })?;
+        let v = lck(&r[rank]).take().expect("scatterv: value already taken");
+        Ok(v)
     }
 
     /// Allgather with equal counts.
     pub fn allgather<T: Clone + Send + Sync + WireSize + 'static>(&self, value: T) -> Vec<T> {
+        self.try_allgather(value)
+            .unwrap_or_else(|e| panic!("allgather on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::allgather`].
+    pub fn try_allgather<T: Clone + Send + Sync + WireSize + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>, CommError> {
         let size = self.size();
         self.shared
             .collective_bytes
             .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
         let model = self.model;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<T>().expect("allgather type"))
@@ -519,32 +882,44 @@ impl Communicator {
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.allgather_uniform(size, per_rank);
             (vals, max_entry + cost)
-        });
-        (*r).clone()
+        })?;
+        Ok((*r).clone())
     }
 
     /// Allreduce: sum of scalars.
     pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.try_allreduce_sum(value)
+            .unwrap_or_else(|e| panic!("allreduce_sum on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::allreduce_sum`].
+    pub fn try_allreduce_sum(&self, value: f64) -> Result<f64, CommError> {
         let size = self.size();
         let model = self.model;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let s: f64 = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<f64>().expect("allreduce type"))
                 .sum();
             (s, max_entry + model.allreduce(size, 8))
-        });
-        *r
+        })?;
+        Ok(*r)
     }
 
     /// Allreduce: element-wise sum of equal-length vectors.
     pub fn allreduce_sum_vec(&self, value: Vec<f64>) -> Vec<f64> {
+        self.try_allreduce_sum_vec(value)
+            .unwrap_or_else(|e| panic!("allreduce_sum_vec on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::allreduce_sum_vec`].
+    pub fn try_allreduce_sum_vec(&self, value: Vec<f64>) -> Result<Vec<f64>, CommError> {
         let size = self.size();
         self.shared
             .collective_bytes
             .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
         let model = self.model;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let mut it = contribs.into_iter();
             let mut acc = *it.next().unwrap().downcast::<Vec<f64>>().expect("type");
             for c in it {
@@ -556,38 +931,50 @@ impl Communicator {
             }
             let bytes = acc.len() * 8;
             (acc, max_entry + model.allreduce(size, bytes))
-        });
-        (*r).clone()
+        })?;
+        Ok((*r).clone())
     }
 
     /// Allreduce: maximum of scalars (the paper's
     /// `MPI_Allreduce(ν_i, MPI_MAX)` to uniformize deflation counts).
     pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.try_allreduce_max(value)
+            .unwrap_or_else(|e| panic!("allreduce_max on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::allreduce_max`].
+    pub fn try_allreduce_max(&self, value: f64) -> Result<f64, CommError> {
         let size = self.size();
         let model = self.model;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let m = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<f64>().expect("type"))
                 .fold(f64::NEG_INFINITY, f64::max);
             (m, max_entry + model.allreduce(size, 8))
-        });
-        *r
+        })?;
+        Ok(*r)
     }
 
     /// Allreduce: maximum of usize.
     pub fn allreduce_max_usize(&self, value: usize) -> usize {
+        self.try_allreduce_max_usize(value)
+            .unwrap_or_else(|e| panic!("allreduce_max_usize on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::allreduce_max_usize`].
+    pub fn try_allreduce_max_usize(&self, value: usize) -> Result<usize, CommError> {
         let size = self.size();
         let model = self.model;
-        let r = self.collective(Box::new(value), move |contribs, max_entry| {
+        let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let m = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<usize>().expect("type"))
                 .max()
                 .unwrap_or(0);
             (m, max_entry + model.allreduce(size, 8))
-        });
-        *r
+        })?;
+        Ok(*r)
     }
 
     /// Non-blocking element-wise vector sum (`MPI_Iallreduce`): returns a
@@ -598,7 +985,7 @@ impl Communicator {
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
         let model = self.model;
-        let mut slots = self.shared.slots.lock();
+        let mut slots = lck(&self.shared.slots);
         let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
         slot.contributions[self.rank] = Some(Box::new(value));
         slot.entry[self.rank] = self.clock.now();
@@ -607,11 +994,15 @@ impl Communicator {
             let contribs: Vec<Box<dyn Any + Send>> = slot
                 .contributions
                 .iter_mut()
-                .map(|c| c.take().unwrap())
+                .map(|c| c.take().expect("iallreduce contribution missing"))
                 .collect();
             let max_entry = slot.entry.iter().cloned().fold(0.0f64, f64::max);
             let mut it = contribs.into_iter();
-            let mut acc = *it.next().unwrap().downcast::<Vec<f64>>().expect("type");
+            let mut acc = *it
+                .next()
+                .expect("no contributions")
+                .downcast::<Vec<f64>>()
+                .expect("type");
             for c in it {
                 let v = c.downcast::<Vec<f64>>().expect("type");
                 for (a, b) in acc.iter_mut().zip(v.iter()) {
@@ -639,15 +1030,14 @@ impl Communicator {
     /// later of "now" and the modeled completion time — time spent
     /// computing between post and wait hides the reduction latency.
     pub fn wait_reduce(&self, pending: PendingReduce<Vec<f64>>) -> Vec<f64> {
-        let mut slots = self.shared.slots.lock();
-        while !slots.get(&pending.seq).map(|s| s.done).unwrap_or(false) {
-            self.shared.slots_cv.wait(&mut slots);
-        }
-        let slot = slots.get_mut(&pending.seq).unwrap();
+        self.wait_slot_done(pending.seq)
+            .unwrap_or_else(|e| panic!("wait_reduce on rank {}: {e}", self.rank));
+        let mut slots = lck(&self.shared.slots);
+        let slot = slots.get_mut(&pending.seq).expect("reduce slot vanished");
         let result = slot
             .result
             .clone()
-            .unwrap()
+            .expect("reduce result missing")
             .downcast::<Vec<f64>>()
             .expect("wait_reduce type");
         let exit = slot.exit_clock;
@@ -666,10 +1056,17 @@ impl Communicator {
     /// parent rank order, matching the paper's construction where "the
     /// ranks of the slaves follow the same order as in MPI_COMM_WORLD".
     pub fn split(&self, color: Option<usize>) -> Option<Communicator> {
+        self.try_split(color)
+            .unwrap_or_else(|e| panic!("split on rank {}: {e}", self.rank))
+    }
+
+    /// Fault-tolerant [`Communicator::split`].
+    pub fn try_split(&self, color: Option<usize>) -> Result<Option<Communicator>, CommError> {
         let size = self.size();
         let model = self.model;
         let rank = self.rank;
-        let groups = self.collective(Box::new(color), move |contribs, max_entry| {
+        let parent_world = self.shared.world_ranks.clone();
+        let groups = self.try_collective(Box::new(color), move |contribs, max_entry| {
             let colors: Vec<Option<usize>> = contribs
                 .into_iter()
                 .map(|c| *c.downcast::<Option<usize>>().expect("split type"))
@@ -684,24 +1081,32 @@ impl Communicator {
             let built: HashMap<usize, (Arc<CommShared>, Vec<usize>)> = map
                 .into_iter()
                 .map(|(c, members)| {
-                    let shared = CommShared::new(members.len());
+                    let world: Vec<usize> = members.iter().map(|&r| parent_world[r]).collect();
+                    let shared = CommShared::new(world);
                     (c, (shared, members))
                 })
                 .collect();
             let cost = model.allgather_uniform(size, 8);
             (built, max_entry + cost)
-        });
-        let color = color?;
-        let (shared, members) = groups.get(&color)?.clone();
-        let sub_rank = members.iter().position(|&r| r == rank)?;
-        Some(Communicator {
-            shared,
-            model,
-            rank: sub_rank,
-            clock: Rc::clone(&self.clock),
-            seq: Cell::new(0),
-            compute_token: Arc::clone(&self.compute_token),
-        })
+        })?;
+        let color = match color {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        Ok(groups.get(&color).and_then(|(shared, members)| {
+            let sub_rank = members.iter().position(|&r| r == rank)?;
+            Some(Communicator {
+                shared: Arc::clone(shared),
+                model,
+                rank: sub_rank,
+                clock: Rc::clone(&self.clock),
+                seq: Cell::new(0),
+                compute_token: Arc::clone(&self.compute_token),
+                health: Arc::clone(&self.health),
+                plan: Arc::clone(&self.plan),
+                counters: Rc::clone(&self.counters),
+            })
+        }))
     }
 }
 
@@ -716,14 +1121,28 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
+        Self::run_with_faults(n, model, FaultPlan::default(), f)
+    }
+
+    /// [`World::run`] with a seeded [`FaultPlan`] armed on every
+    /// communicator of the world.
+    pub fn run_with_faults<R, F>(n: usize, model: CostModel, faults: FaultPlan, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
         assert!(n >= 1);
-        let shared = CommShared::new(n);
+        let shared = CommShared::new((0..n).collect());
+        let health = WorldHealth::new(n);
+        let plan = Arc::new(faults);
         let compute_token = Arc::new(Mutex::new(()));
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
                 let shared = Arc::clone(&shared);
+                let health = Arc::clone(&health);
+                let plan = Arc::clone(&plan);
                 let compute_token = Arc::clone(&compute_token);
                 let f = &f;
                 let results = &results;
@@ -731,6 +1150,16 @@ impl World {
                     .name(format!("rank-{rank}"))
                     .stack_size(8 * 1024 * 1024)
                     .spawn_scoped(scope, move || {
+                        // Mark the rank gone when its closure returns *or*
+                        // panics, so peers blocked on it get a structured
+                        // error instead of hanging.
+                        struct Done(Arc<WorldHealth>, usize);
+                        impl Drop for Done {
+                            fn drop(&mut self) {
+                                self.0.mark_gone(self.1);
+                            }
+                        }
+                        let _done = Done(Arc::clone(&health), rank);
                         let comm = Communicator {
                             shared,
                             model,
@@ -738,9 +1167,12 @@ impl World {
                             clock: Rc::new(VirtualClock::new()),
                             seq: Cell::new(0),
                             compute_token,
+                            health,
+                            plan,
+                            counters: Rc::new(FaultCounters::default()),
                         };
                         let r = f(&comm);
-                        results.lock()[rank] = Some(r);
+                        lck(results)[rank] = Some(r);
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(handle);
@@ -753,6 +1185,7 @@ impl World {
         });
         results
             .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
             .collect()
@@ -769,333 +1202,4 @@ impl World {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ping_pong() {
-        let out = World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
-                comm.recv::<Vec<f64>>(1, 8)
-            } else {
-                let v = comm.recv::<Vec<f64>>(0, 7);
-                let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
-                comm.send(0, 8, doubled.clone());
-                doubled
-            }
-        });
-        assert_eq!(out[0], vec![2.0, 4.0, 6.0]);
-    }
-
-    #[test]
-    fn messages_fifo_per_source_tag() {
-        let out = World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                for i in 0..10u64 {
-                    comm.send(1, 3, i);
-                }
-                Vec::new()
-            } else {
-                (0..10).map(|_| comm.recv::<u64>(0, 3)).collect::<Vec<_>>()
-            }
-        });
-        assert_eq!(out[1], (0..10).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    fn allreduce_sum_and_max() {
-        let out = World::run_default(5, |comm| {
-            let s = comm.allreduce_sum(comm.rank() as f64);
-            let m = comm.allreduce_max(comm.rank() as f64);
-            let mu = comm.allreduce_max_usize(comm.rank() * 3);
-            (s, m, mu)
-        });
-        for &(s, m, mu) in &out {
-            assert_eq!(s, 10.0);
-            assert_eq!(m, 4.0);
-            assert_eq!(mu, 12);
-        }
-    }
-
-    #[test]
-    fn allreduce_vec_deterministic() {
-        let a = World::run_default(4, |comm| {
-            comm.allreduce_sum_vec(vec![comm.rank() as f64 * 0.1, 1.0])
-        });
-        let b = World::run_default(4, |comm| {
-            comm.allreduce_sum_vec(vec![comm.rank() as f64 * 0.1, 1.0])
-        });
-        assert_eq!(a, b);
-        assert!((a[0][1] - 4.0).abs() < 1e-15);
-    }
-
-    #[test]
-    fn gather_and_scatter_roundtrip() {
-        let out = World::run_default(4, |comm| {
-            let gathered = comm.gather(0, vec![comm.rank() as f64; 2]);
-            let scattered = if comm.rank() == 0 {
-                let g = gathered.unwrap();
-                assert_eq!(g.len(), 4);
-                comm.scatter(0, Some(g))
-            } else {
-                comm.scatter::<Vec<f64>>(0, None)
-            };
-            scattered
-        });
-        for (r, v) in out.iter().enumerate() {
-            assert_eq!(v, &vec![r as f64; 2]);
-        }
-    }
-
-    #[test]
-    fn gatherv_varying_lengths() {
-        let out = World::run_default(3, |comm| {
-            let mine = vec![comm.rank() as f64; comm.rank() + 1];
-            comm.gatherv(2, mine)
-        });
-        let g = out[2].as_ref().unwrap();
-        assert_eq!(g[0].len(), 1);
-        assert_eq!(g[1].len(), 2);
-        assert_eq!(g[2].len(), 3);
-    }
-
-    #[test]
-    fn bcast_from_nonzero_root() {
-        let out = World::run_default(4, |comm| {
-            let v = if comm.rank() == 2 {
-                Some(vec![9.0f64, 8.0])
-            } else {
-                None
-            };
-            comm.bcast(2, v)
-        });
-        for v in out {
-            assert_eq!(v, vec![9.0, 8.0]);
-        }
-    }
-
-    #[test]
-    fn allgather_orders_by_rank() {
-        let out = World::run_default(4, |comm| comm.allgather(comm.rank() as u64 * 10));
-        for v in out {
-            assert_eq!(v, vec![0, 10, 20, 30]);
-        }
-    }
-
-    #[test]
-    fn split_into_groups() {
-        // 6 ranks, colors 0/1 alternating: sub-comms of size 3 with ranks
-        // ordered by world rank.
-        let out = World::run_default(6, |comm| {
-            let color = comm.rank() % 2;
-            let sub = comm.split(Some(color)).unwrap();
-            let members = sub.allgather(comm.rank());
-            (sub.rank(), sub.size(), members)
-        });
-        assert_eq!(out[0].2, vec![0, 2, 4]);
-        assert_eq!(out[1].2, vec![1, 3, 5]);
-        assert_eq!(out[4], (2, 3, vec![0, 2, 4]));
-    }
-
-    #[test]
-    fn split_undefined_gets_none() {
-        let out = World::run_default(3, |comm| {
-            let color = if comm.rank() == 1 { None } else { Some(0) };
-            comm.split(color).is_none()
-        });
-        assert_eq!(out, vec![false, true, false]);
-    }
-
-    #[test]
-    fn neighbor_alltoall_ring() {
-        let out = World::run_default(4, |comm| {
-            let n = comm.size();
-            let left = (comm.rank() + n - 1) % n;
-            let right = (comm.rank() + 1) % n;
-            let recvd = comm.neighbor_alltoall(
-                &[left, right],
-                42,
-                vec![comm.rank() as f64, comm.rank() as f64],
-            );
-            (recvd[0], recvd[1])
-        });
-        assert_eq!(out[0], (3.0, 1.0));
-        assert_eq!(out[2], (1.0, 3.0));
-    }
-
-    #[test]
-    fn clocks_advance_through_comm() {
-        let out = World::run_default(3, |comm| {
-            let t0 = comm.clock();
-            comm.barrier();
-            comm.allreduce_sum(1.0);
-            comm.clock() - t0
-        });
-        for dt in out {
-            assert!(dt > 0.0, "clock did not advance: {dt}");
-        }
-    }
-
-    #[test]
-    fn collective_synchronizes_clocks() {
-        let out = World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                comm.advance_clock(5.0); // rank 0 is "slow"
-            }
-            comm.barrier();
-            comm.clock()
-        });
-        // After the barrier both ranks are at ≥ 5s.
-        assert!(out[1] >= 5.0, "rank 1 clock {} < 5", out[1]);
-    }
-
-    #[test]
-    fn nonblocking_reduce_overlaps() {
-        let out = World::run_default(2, |comm| {
-            let pend = comm.iallreduce_sum_vec(vec![1.0, comm.rank() as f64]);
-            // Simulated overlapped work longer than the reduction.
-            comm.advance_clock(1.0);
-            let t_before_wait = comm.clock();
-            let r = comm.wait_reduce(pend);
-            // The wait must not add the full reduction on top of the work.
-            assert!(comm.clock() - t_before_wait < 0.5);
-            r
-        });
-        assert_eq!(out[0], vec![2.0, 1.0]);
-        assert_eq!(out[1], vec![2.0, 1.0]);
-    }
-
-    #[test]
-    fn multiple_pending_reduces_wait_any_order() {
-        let out = World::run_default(3, |comm| {
-            let p1 = comm.iallreduce_sum_vec(vec![1.0]);
-            let p2 = comm.iallreduce_sum_vec(vec![10.0 * (comm.rank() + 1) as f64]);
-            // wait in reverse order of posting
-            let r2 = comm.wait_reduce(p2);
-            let r1 = comm.wait_reduce(p1);
-            (r1[0], r2[0])
-        });
-        for &(a, b) in &out {
-            assert_eq!(a, 3.0);
-            assert_eq!(b, 60.0);
-        }
-    }
-
-    #[test]
-    fn stats_count_messages() {
-        let out = World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 1, vec![0.0f64; 100]);
-            } else {
-                let _ = comm.recv::<Vec<f64>>(0, 1);
-            }
-            comm.barrier();
-            comm.stats()
-        });
-        assert_eq!(out[0].p2p_messages, 1);
-        assert_eq!(out[0].p2p_bytes, 800);
-        assert_eq!(out[0].collective_calls, 2); // one barrier per rank
-    }
-
-    #[test]
-    fn tags_isolate_message_streams() {
-        let out = World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 10, 1.0f64);
-                comm.send(1, 20, 2.0f64);
-                comm.send(1, 10, 3.0f64);
-                0.0
-            } else {
-                // receive tag 20 first even though it was sent second
-                let b = comm.recv::<f64>(0, 20);
-                let a1 = comm.recv::<f64>(0, 10);
-                let a2 = comm.recv::<f64>(0, 10);
-                b * 100.0 + a1 * 10.0 + a2
-            }
-        });
-        assert_eq!(out[1], 213.0);
-    }
-
-    #[test]
-    fn sub_communicator_collectives_are_independent() {
-        // Interleave collectives on world and on a split without deadlock
-        // or cross-talk.
-        let out = World::run_default(4, |comm| {
-            let sub = comm.split(Some(comm.rank() % 2)).unwrap();
-            let s1 = sub.allreduce_sum(1.0);
-            let w = comm.allreduce_sum(10.0);
-            let s2 = sub.allreduce_sum(comm.rank() as f64);
-            (s1, w, s2)
-        });
-        for (r, &(s1, w, s2)) in out.iter().enumerate() {
-            assert_eq!(s1, 2.0);
-            assert_eq!(w, 40.0);
-            // color 0 = ranks {0,2}, color 1 = ranks {1,3}
-            let expect = if r % 2 == 0 { 2.0 } else { 4.0 };
-            assert_eq!(s2, expect, "rank {r}");
-        }
-    }
-
-    #[test]
-    fn nested_split() {
-        // split of a split (the paper's masterComm drawn from splitComm
-        // leaders).
-        let out = World::run_default(4, |comm| {
-            let sub = comm.split(Some(comm.rank() / 2)).unwrap();
-            let leaders = comm.split(if sub.rank() == 0 { Some(0) } else { None });
-            match leaders {
-                Some(l) => l.allgather(comm.rank() as u64),
-                None => Vec::new(),
-            }
-        });
-        assert_eq!(out[0], vec![0, 2]);
-        assert_eq!(out[2], vec![0, 2]);
-        assert!(out[1].is_empty() && out[3].is_empty());
-    }
-
-    #[test]
-    fn gather_cost_scales_better_than_gatherv() {
-        // The modeled clocks must reflect the O(log N) vs O(N) distinction.
-        let t_uniform = World::run_default(16, |comm| {
-            comm.barrier();
-            comm.reset_clock();
-            for _ in 0..50 {
-                let _ = comm.gather(0, 1.0f64);
-            }
-            comm.clock()
-        });
-        let t_varying = World::run_default(16, |comm| {
-            comm.barrier();
-            comm.reset_clock();
-            for _ in 0..50 {
-                let _ = comm.gatherv(0, 1.0f64);
-            }
-            comm.clock()
-        });
-        assert!(
-            t_varying[0] > 1.5 * t_uniform[0],
-            "gatherv {:.2e} not clearly costlier than gather {:.2e}",
-            t_varying[0],
-            t_uniform[0]
-        );
-    }
-
-    #[test]
-    #[should_panic]
-    fn type_mismatch_panics() {
-        World::run_default(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 0, 1.0f64);
-            } else {
-                let _ = comm.recv::<u64>(0, 0);
-            }
-        });
-    }
-
-    #[test]
-    fn many_ranks_smoke() {
-        let out = World::run_default(32, |comm| comm.allreduce_sum(1.0));
-        assert!(out.iter().all(|&s| s == 32.0));
-    }
-}
+mod tests;

@@ -1,0 +1,329 @@
+//! Deterministic, seeded fault injection for the SPMD runtime.
+//!
+//! A [`FaultPlan`] decides — as a pure function of `(seed, src, dest, tag,
+//! message index)` — whether a point-to-point message is delayed or dropped
+//! on the wire, and whether a rank dies at a named phase boundary
+//! ([`crate::Communicator::failpoint`]) or a named recoverable operation
+//! "fails" ([`crate::Communicator::should_fail`]). Because every decision
+//! is a hash of the message identity rather than a draw from shared mutable
+//! RNG state, a plan replays identically regardless of thread scheduling:
+//! chaos tests are exactly reproducible.
+//!
+//! Faults perturb only *virtual* time and control flow, never payload
+//! contents, so a run that recovers from drops or delays computes
+//! bit-identical numerics to the fault-free run.
+
+use std::fmt;
+
+/// Structured failure of a communication operation — the typed replacement
+/// for the runtime's former "all threads blocked" hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// Every live rank of the world was simultaneously blocked for several
+    /// consecutive observation ticks: no progress is possible.
+    Deadlock {
+        /// World rank that observed the deadlock.
+        rank: usize,
+    },
+    /// A receive exhausted its [`RetryPolicy`] against repeated drops.
+    Timeout {
+        /// Source rank (within the receiving communicator).
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Failed delivery attempts, including the final one.
+        attempts: u32,
+    },
+    /// The operation waited on a rank that died (killed by a fault plan,
+    /// exited early, or abandoned the run after its own error).
+    RankDead {
+        /// World rank of the dead peer (or of the rank itself when a kill
+        /// fault fires at a failpoint).
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Deadlock { rank } => {
+                write!(
+                    f,
+                    "deadlock: all live ranks blocked (observed by rank {rank})"
+                )
+            }
+            CommError::Timeout { src, tag, attempts } => write!(
+                f,
+                "timeout: recv from rank {src} tag {tag} failed after {attempts} attempts"
+            ),
+            CommError::RankDead { rank } => write!(f, "rank {rank} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Retry/timeout/backoff policy for fault-tolerant receives. All durations
+/// are **virtual seconds**: each failed delivery attempt charges
+/// `timeout · backoff^attempt` to the receiving rank's clock, so the cost
+/// model stays honest about the price of recovery.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Failed attempts tolerated before [`CommError::Timeout`].
+    pub max_retries: u32,
+    /// Virtual seconds charged for the first failed attempt.
+    pub timeout: f64,
+    /// Multiplier applied to the charge of each subsequent attempt.
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            timeout: 1e-4,
+            backoff: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retry for as long as deliveries keep failing (blocking-`recv`
+    /// semantics; drops are bounded per message, so this terminates).
+    pub fn unbounded() -> Self {
+        RetryPolicy {
+            max_retries: u32::MAX,
+            timeout: 1e-4,
+            backoff: 1.0,
+        }
+    }
+
+    /// Virtual-time charge of failed attempt number `attempt` (0-based).
+    pub(crate) fn charge(&self, attempt: u32) -> f64 {
+        self.timeout * self.backoff.powi(attempt.min(64) as i32)
+    }
+}
+
+/// A seeded, deterministic fault plan. Built with the `with_*` combinators;
+/// the default plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability that a p2p message is delayed, and the virtual delay.
+    delay_prob: f64,
+    delay_dt: f64,
+    /// Probability that a p2p message is dropped, and how many delivery
+    /// attempts fail before the runtime redelivers it.
+    drop_prob: f64,
+    drop_count: u32,
+    /// `(world rank, failpoint label)`: the rank dies when it reaches the
+    /// labeled [`crate::Communicator::failpoint`].
+    kills: Vec<(usize, String)>,
+    /// `(world rank or all, label)`: the labeled recoverable operation
+    /// reports failure on the matching rank(s).
+    failures: Vec<(Option<usize>, String)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Delay each p2p message with probability `prob` by `dt` virtual
+    /// seconds.
+    pub fn with_delays(mut self, prob: f64, dt: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob) && dt >= 0.0);
+        self.delay_prob = prob;
+        self.delay_dt = dt;
+        self
+    }
+
+    /// Drop each p2p message with probability `prob`; the first `count`
+    /// delivery attempts fail before the runtime redelivers it.
+    pub fn with_drops(mut self, prob: f64, count: u32) -> Self {
+        assert!((0.0..=1.0).contains(&prob) && count >= 1);
+        self.drop_prob = prob;
+        self.drop_count = count;
+        self
+    }
+
+    /// Kill world rank `rank` when it reaches the failpoint labeled
+    /// `phase`.
+    pub fn with_kill(mut self, rank: usize, phase: &str) -> Self {
+        self.kills.push((rank, phase.to_string()));
+        self
+    }
+
+    /// Make the recoverable operation labeled `label` fail on world rank
+    /// `rank` (`None` = on every rank).
+    pub fn with_failure(mut self, rank: Option<usize>, label: &str) -> Self {
+        self.failures.push((rank, label.to_string()));
+        self
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_active(&self) -> bool {
+        self.delay_prob > 0.0
+            || self.drop_prob > 0.0
+            || !self.kills.is_empty()
+            || !self.failures.is_empty()
+    }
+
+    /// Should `rank` die at the failpoint labeled `phase`?
+    pub fn kills(&self, rank: usize, phase: &str) -> bool {
+        self.kills.iter().any(|(r, p)| *r == rank && p == phase)
+    }
+
+    /// Should the recoverable operation `label` fail on `rank`?
+    pub fn should_fail(&self, rank: usize, label: &str) -> bool {
+        self.failures
+            .iter()
+            .any(|(r, l)| r.is_none_or(|r| r == rank) && l == label)
+    }
+
+    /// Fault decision for one p2p message, identified by its endpoints
+    /// (world ranks), tag, and the sender's per-rank message index:
+    /// `(failed delivery attempts, extra virtual delay)`.
+    pub fn message_faults(&self, src: usize, dest: usize, tag: u64, index: u64) -> (u32, f64) {
+        if self.delay_prob == 0.0 && self.drop_prob == 0.0 {
+            return (0, 0.0);
+        }
+        let h = hash4(
+            self.seed,
+            src as u64,
+            dest as u64,
+            tag ^ index.rotate_left(17),
+        );
+        let drop_draw = unit(h);
+        let delay_draw = unit(splitmix64(h ^ 0x9e37_79b9_7f4a_7c15));
+        let drops = if drop_draw < self.drop_prob {
+            self.drop_count
+        } else {
+            0
+        };
+        let delay = if delay_draw < self.delay_prob {
+            self.delay_dt
+        } else {
+            0.0
+        };
+        (drops, delay)
+    }
+}
+
+/// Counters of faults observed by one rank, reported alongside the run so
+/// chaos tests can assert that injection actually happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages sent by this rank that the plan delayed.
+    pub delays_injected: u64,
+    /// Messages sent by this rank that the plan marked for dropping.
+    pub drops_injected: u64,
+    /// Failed delivery attempts this rank retried on receive.
+    pub retries: u64,
+    /// Receives that exhausted their retry policy.
+    pub timeouts: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash4(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b);
+    h = splitmix64(h ^ c);
+    h
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = FaultPlan::new(42)
+            .with_delays(0.5, 1e-3)
+            .with_drops(0.25, 2);
+        for msg in 0..100 {
+            assert_eq!(
+                p.message_faults(0, 1, 7, msg),
+                p.message_faults(0, 1, 7, msg)
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_roughly_respected() {
+        let p = FaultPlan::new(7).with_delays(0.5, 1e-3).with_drops(0.2, 1);
+        let n = 10_000;
+        let mut delayed = 0;
+        let mut dropped = 0;
+        for msg in 0..n {
+            let (d, dt) = p.message_faults(3, 5, 11, msg);
+            if d > 0 {
+                dropped += 1;
+            }
+            if dt > 0.0 {
+                delayed += 1;
+            }
+        }
+        let fd = dropped as f64 / n as f64;
+        let fl = delayed as f64 / n as f64;
+        assert!((fd - 0.2).abs() < 0.03, "drop rate {fd}");
+        assert!((fl - 0.5).abs() < 0.03, "delay rate {fl}");
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = FaultPlan::new(1).with_drops(0.5, 1);
+        let b = FaultPlan::new(2).with_drops(0.5, 1);
+        let differs = (0..64).any(|m| a.message_faults(0, 1, 0, m) != b.message_faults(0, 1, 0, m));
+        assert!(differs);
+    }
+
+    #[test]
+    fn kill_and_failure_matching() {
+        let p = FaultPlan::new(0)
+            .with_kill(2, "post-assembly")
+            .with_failure(Some(1), "eigensolve")
+            .with_failure(None, "coarse-factor");
+        assert!(p.kills(2, "post-assembly"));
+        assert!(!p.kills(2, "post-solve"));
+        assert!(!p.kills(1, "post-assembly"));
+        assert!(p.should_fail(1, "eigensolve"));
+        assert!(!p.should_fail(0, "eigensolve"));
+        assert!(p.should_fail(0, "coarse-factor") && p.should_fail(3, "coarse-factor"));
+    }
+
+    #[test]
+    fn inactive_plan_is_free() {
+        let p = FaultPlan::new(123);
+        assert!(!p.is_active());
+        assert_eq!(p.message_faults(0, 1, 2, 3), (0, 0.0));
+    }
+
+    #[test]
+    fn retry_charge_backs_off() {
+        let pol = RetryPolicy {
+            max_retries: 3,
+            timeout: 1e-4,
+            backoff: 2.0,
+        };
+        assert!((pol.charge(0) - 1e-4).abs() < 1e-18);
+        assert!((pol.charge(2) - 4e-4).abs() < 1e-18);
+    }
+}

@@ -15,13 +15,17 @@
 //! reported in the scaling benches.
 //!
 //! * [`comm`] — [`World`], [`Communicator`], collectives, statistics;
+//! * [`fault`] — seeded fault injection ([`FaultPlan`]) and structured
+//!   communication errors ([`CommError`], [`RetryPolicy`]);
 //! * [`model`] — the [`CostModel`];
 //! * [`time`] — virtual clocks and thread CPU time.
 
 pub mod comm;
+pub mod fault;
 pub mod model;
 pub mod time;
 
 pub use comm::{CommStats, Communicator, PendingReduce, WireSize, World};
+pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 pub use model::CostModel;
 pub use time::{thread_cpu_time, VirtualClock};

@@ -22,15 +22,50 @@
 /// `CLOCK_THREAD_CPUTIME_ID` (non-Linux); with one rank per thread on an
 /// oversubscribed host the fallback overestimates compute time.
 pub fn thread_cpu_time() -> f64 {
-    #[cfg(target_os = "linux")]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     {
-        let mut ts = libc::timespec {
+        // Raw clock_gettime(CLOCK_THREAD_CPUTIME_ID) syscall: keeps the
+        // crate dependency-free. vDSO would be faster but the syscall is
+        // plenty for phase-granularity timing.
+        const CLOCK_THREAD_CPUTIME_ID: usize = 3;
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        let mut ts = Timespec {
             tv_sec: 0,
             tv_nsec: 0,
         };
-        // SAFETY: ts is a valid, writable timespec; the clock id is a
-        // compile-time constant supported on all Linux kernels we target.
-        let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        let rc: isize;
+        // SAFETY: ts is a valid, writable timespec; clock_gettime only
+        // writes through its second argument and clobbers the registers
+        // declared below.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 228usize => rc, // __NR_clock_gettime
+                in("rdi") CLOCK_THREAD_CPUTIME_ID,
+                in("rsi") &mut ts as *mut Timespec,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack, preserves_flags)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 113usize, // __NR_clock_gettime
+                inlateout("x0") CLOCK_THREAD_CPUTIME_ID => rc,
+                in("x1") &mut ts as *mut Timespec,
+                options(nostack)
+            );
+        }
         if rc == 0 {
             return ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9;
         }

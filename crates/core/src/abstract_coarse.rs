@@ -18,6 +18,7 @@
 //! that slow the Krylov method down — and deflate them in subsequent
 //! solves (the multiple right-hand-side scenario).
 
+use crate::error::SpmdError;
 use dd_krylov::{InnerProduct, Operator, Preconditioner, SeqDot};
 use dd_linalg::{jacobi, vector, CsrMatrix, DMat, DenseLdlt};
 use std::cell::Cell;
@@ -37,8 +38,16 @@ impl AbstractCoarse {
     ///
     /// # Panics
     /// Panics if `E` is numerically singular (linearly dependent columns in
-    /// `Z`) — orthonormalize or prune the block first.
+    /// `Z`) — orthonormalize or prune the block first, or use
+    /// [`AbstractCoarse::try_build`] to handle the failure.
     pub fn build(a: &CsrMatrix, z: DMat) -> Self {
+        Self::try_build(a, z).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AbstractCoarse::build`]: a singular `E` (linearly
+    /// dependent columns in `Z`) is reported as
+    /// [`SpmdError::CoarseFactorization`] instead of a panic.
+    pub fn try_build(a: &CsrMatrix, z: DMat) -> Result<Self, SpmdError> {
         assert_eq!(a.rows(), z.rows(), "Z rows must match the operator");
         let m = z.cols();
         assert!(m > 0, "empty deflation block");
@@ -53,8 +62,10 @@ impl AbstractCoarse {
                 e[(j, i)] = avg;
             }
         }
-        let factor = DenseLdlt::factor(&e).expect("abstract coarse operator is singular");
-        AbstractCoarse { z, az, factor }
+        let factor = DenseLdlt::factor(&e).map_err(|e| SpmdError::CoarseFactorization {
+            what: format!("abstract coarse operator is singular: {e:?}"),
+        })?;
+        Ok(AbstractCoarse { z, az, factor })
     }
 
     pub fn dim(&self) -> usize {
@@ -130,13 +141,7 @@ impl<M: Preconditioner + ?Sized> Preconditioner for AbstractADef1<'_, M> {
 ///
 /// The Ritz pairs of smallest magnitude approximate the eigenvectors that
 /// throttle Krylov convergence; returned vectors are orthonormalized.
-pub fn ritz_deflation<O, M>(
-    op: &O,
-    precond: &M,
-    seed: &[f64],
-    steps: usize,
-    m: usize,
-) -> DMat
+pub fn ritz_deflation<O, M>(op: &O, precond: &M, seed: &[f64], steps: usize, m: usize) -> DMat
 where
     O: Operator + ?Sized,
     M: Preconditioner + ?Sized,
@@ -188,8 +193,7 @@ where
     order.sort_by(|&a, &b| {
         eig.eigenvalues[a]
             .abs()
-            .partial_cmp(&eig.eigenvalues[b].abs())
-            .unwrap()
+            .total_cmp(&eig.eigenvalues[b].abs())
     });
     let take = m.min(mm);
     let mut z = DMat::zeros(n, take);

@@ -8,6 +8,7 @@
 //! SPMD driver distributes with Algorithms 1–2.
 
 use crate::decomp::Decomposition;
+use crate::error::SpmdError;
 use dd_linalg::{CooBuilder, CsrMatrix, DMat};
 use dd_solver::{Ordering, PivotPolicy, SparseLdlt};
 
@@ -84,6 +85,18 @@ impl CoarseOperator {
     /// coupling `E_{i,j} = W_iᵀ (R_i R_jᵀ T_j)` — only the shared rows of
     /// `T_j` contribute.
     pub fn build(decomp: &Decomposition, space: CoarseSpace, ordering: Ordering) -> Self {
+        Self::try_build(decomp, space, ordering).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CoarseOperator::build`]: a singular `E` surfaces as
+    /// [`SpmdError::CoarseFactorization`] (callers like the SPMD driver
+    /// drop to one-level RAS on it) and malformed decompositions as
+    /// [`SpmdError::Protocol`] instead of a panic.
+    pub fn try_build(
+        decomp: &Decomposition,
+        space: CoarseSpace,
+        ordering: Ordering,
+    ) -> Result<Self, SpmdError> {
         let n = decomp.n_subdomains();
         // T_i = A_i W_i
         let t: Vec<DMat> = (0..n)
@@ -109,7 +122,10 @@ impl CoarseOperator {
                     .neighbors
                     .iter()
                     .find(|l| l.j == i)
-                    .expect("asymmetric neighbor links");
+                    .ok_or_else(|| SpmdError::Protocol {
+                        rank: i,
+                        what: format!("asymmetric neighbor links between subdomains {i} and {j}"),
+                    })?;
                 let rj = space.offsets[j];
                 let nuj = space.nu(j);
                 let wi = &space.w[i];
@@ -136,8 +152,10 @@ impl CoarseOperator {
         // solve acts as a pseudo-inverse on range(Z) — the MUMPS null-pivot
         // strategy a production run would enable.
         let factor = SparseLdlt::factor_with(&e, ordering, PivotPolicy::Boost { rel_tol: 1e-12 })
-            .expect("coarse operator factorization failed");
-        CoarseOperator { space, e, factor }
+            .map_err(|e| SpmdError::CoarseFactorization {
+            what: e.to_string(),
+        })?;
+        Ok(CoarseOperator { space, e, factor })
     }
 
     /// Coarse dimension `m = dim(E)`.
@@ -168,9 +186,9 @@ impl CoarseOperator {
 mod tests {
     use super::*;
     use crate::decomp::decompose;
-    use dd_linalg::vector;
     use crate::geneo::{deflation_block, GeneoOpts};
     use crate::problem::presets;
+    use dd_linalg::vector;
     use dd_mesh::Mesh;
     use dd_part::partition_mesh_rcb;
 
@@ -249,9 +267,7 @@ mod tests {
                         continue;
                     }
                     let j = (0..d.n_subdomains())
-                        .find(|&j| {
-                            col >= op.space.offsets[j] && col < op.space.offsets[j + 1]
-                        })
+                        .find(|&j| col >= op.space.offsets[j] && col < op.space.offsets[j + 1])
                         .unwrap();
                     assert!(
                         j == i || nbrs.contains(&j),

@@ -1,0 +1,171 @@
+//! Typed errors and per-rank outcome reporting for the SPMD driver.
+//!
+//! [`crate::spmd::try_run_spmd`] returns [`SpmdError`] instead of
+//! panicking, and every [`crate::spmd::SpmdReport`] carries a [`RunReport`]
+//! recording which phases ran as planned and which fell back along the
+//! degradation lattice GenEO → Nicolaides → one-level RAS.
+
+use dd_comm::{CommError, FaultStats};
+use dd_krylov::SolveStatus;
+use dd_solver::LdltError;
+use std::fmt;
+
+/// Structured failure of one rank of an SPMD run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpmdError {
+    /// A communication operation failed (deadlock, timeout, dead rank).
+    Comm(CommError),
+    /// The local Dirichlet factorization failed — unrecoverable for this
+    /// rank: without `A_i⁻¹` there is no RAS contribution at all.
+    LocalFactorization { rank: usize, source: LdltError },
+    /// The rank was killed by a fault plan at the named phase boundary.
+    Killed { rank: usize, phase: String },
+    /// `Comm::split` did not return a communicator for this rank's color.
+    SplitFailed { rank: usize },
+    /// Building or factoring a coarse operator failed (singular `E`, e.g.
+    /// linearly dependent deflation columns). In the SPMD driver this is
+    /// recovered by the one-level fallback; the sequential builders surface
+    /// it through their `try_build` constructors.
+    CoarseFactorization { what: String },
+    /// An internal collective-protocol invariant was violated (e.g. a
+    /// gather root received no result). Indicates a bug, not a fault.
+    Protocol { rank: usize, what: String },
+}
+
+impl From<CommError> for SpmdError {
+    fn from(e: CommError) -> Self {
+        SpmdError::Comm(e)
+    }
+}
+
+impl fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpmdError::Comm(e) => write!(f, "communication failure: {e}"),
+            SpmdError::LocalFactorization { rank, source } => {
+                write!(f, "local factorization failed on rank {rank}: {source}")
+            }
+            SpmdError::Killed { rank, phase } => {
+                write!(f, "rank {rank} killed at failpoint \"{phase}\"")
+            }
+            SpmdError::SplitFailed { rank } => {
+                write!(f, "communicator split failed on rank {rank}")
+            }
+            SpmdError::CoarseFactorization { what } => {
+                write!(f, "coarse operator factorization failed: {what}")
+            }
+            SpmdError::Protocol { rank, what } => {
+                write!(f, "protocol invariant violated on rank {rank}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpmdError::Comm(e) => Some(e),
+            SpmdError::LocalFactorization { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one setup phase on one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhaseOutcome {
+    /// The phase completed as planned.
+    Ok,
+    /// The phase failed but a documented fallback took over.
+    Degraded { reason: String },
+}
+
+/// Where this rank's deflation vectors came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeflationSource {
+    /// The GenEO eigensolve succeeded (the paper's method).
+    #[default]
+    Geneo,
+    /// The eigensolve failed; the partition-of-unity-weighted kernel modes
+    /// (Nicolaides) were substituted for this subdomain.
+    NicolaidesFallback,
+    /// No deflation vectors (one-level run, or no overlap).
+    None,
+}
+
+/// How the coarse level ended up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CoarseOutcome {
+    /// The coarse operator was assembled and factored: full A-DEF1.
+    #[default]
+    TwoLevel,
+    /// The caller asked for the one-level baseline (`one_level_only`).
+    OneLevelRequested,
+    /// The coarse factorization failed on a master; every rank dropped to
+    /// the one-level RAS preconditioner and kept iterating.
+    OneLevelFallback,
+    /// The coarse space is empty (`dim E = 0`, e.g. a single subdomain);
+    /// one-level RAS is used.
+    EmptyCoarse,
+}
+
+/// Per-rank record of what actually happened during a run — which phases
+/// degraded, which fallbacks fired, how the Krylov solve ended, and what
+/// faults the runtime observed.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// `(phase name, outcome)` in execution order.
+    pub phases: Vec<(&'static str, PhaseOutcome)>,
+    pub deflation: DeflationSource,
+    pub coarse: CoarseOutcome,
+    pub solve_status: SolveStatus,
+    /// Breakdown-recovery restarts the Krylov solver took.
+    pub breakdown_restarts: usize,
+    /// Fault-injection counters observed by this rank.
+    pub faults: FaultStats,
+}
+
+impl RunReport {
+    /// Did every phase complete without a fallback?
+    pub fn fully_nominal(&self) -> bool {
+        self.phases
+            .iter()
+            .all(|(_, o)| matches!(o, PhaseOutcome::Ok))
+            && self.breakdown_restarts == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = SpmdError::LocalFactorization {
+            rank: 3,
+            source: LdltError::ZeroPivot {
+                step: 7,
+                pivot: 0.0,
+            },
+        };
+        let s = format!("{e}");
+        assert!(s.contains("rank 3") && s.contains("step 7"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+        let c: SpmdError = CommError::RankDead { rank: 1 }.into();
+        assert_eq!(c, SpmdError::Comm(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn nominal_report_detection() {
+        let mut r = RunReport::default();
+        r.phases.push(("factorization", PhaseOutcome::Ok));
+        assert!(r.fully_nominal());
+        r.phases.push((
+            "deflation",
+            PhaseOutcome::Degraded {
+                reason: "eigensolve failed".into(),
+            },
+        ));
+        assert!(!r.fully_nominal());
+    }
+}

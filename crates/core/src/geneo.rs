@@ -19,7 +19,7 @@
 //! The deflation block is `W_i = D_i Λ_i` (eq. 8).
 
 use crate::decomp::Subdomain;
-use dd_eigen::{smallest_generalized, LanczosOpts};
+use dd_eigen::{smallest_generalized, EigenError, LanczosOpts};
 use dd_linalg::{CsrMatrix, DMat};
 
 /// Options controlling the deflation-space construction.
@@ -84,31 +84,34 @@ pub fn overlap_weighted_matrix(sub: &Subdomain) -> CsrMatrix {
             idx += 1;
         }
     }
-    CsrMatrix::from_raw(
-        n,
-        n,
-        a.row_ptr().to_vec(),
-        a.col_idx().to_vec(),
-        values,
-    )
+    CsrMatrix::from_raw(n, n, a.row_ptr().to_vec(), a.col_idx().to_vec(), values)
+}
+
+/// Compute the deflation block of one subdomain, panicking on eigensolver
+/// failure. See [`try_deflation_block`] for the fallible variant the SPMD
+/// driver uses to trigger the Nicolaides fallback.
+pub fn deflation_block(sub: &Subdomain, opts: &GeneoOpts) -> DeflationBlock {
+    try_deflation_block(sub, opts).expect("GenEO eigensolve failed: shifted pencil not SPD")
 }
 
 /// Compute the deflation block of one subdomain.
 ///
 /// Returns an empty block (ν = 0) when the subdomain has no overlap (e.g.
 /// `N = 1`) — there is nothing to deflate.
-pub fn deflation_block(sub: &Subdomain, opts: &GeneoOpts) -> DeflationBlock {
+pub fn try_deflation_block(
+    sub: &Subdomain,
+    opts: &GeneoOpts,
+) -> Result<DeflationBlock, EigenError> {
     let n = sub.n_local();
     if !sub.overlap.iter().any(|&o| o) || opts.nev == 0 {
-        return DeflationBlock {
+        return Ok(DeflationBlock {
             w: DMat::zeros(n, 0),
             values: Vec::new(),
             kept: 0,
-        };
+        });
     }
     let b = overlap_weighted_matrix(sub);
-    let eig = smallest_generalized(&sub.a_neumann, &b, opts.nev, &opts.lanczos)
-        .expect("GenEO eigensolve failed: shifted pencil not SPD");
+    let eig = smallest_generalized(&sub.a_neumann, &b, opts.nev, &opts.lanczos)?;
     // Keep every finite eigenpair; record how many pass the threshold.
     let finite = eig.values.iter().take_while(|&&l| l.is_finite()).count();
     let kept = eig
@@ -124,7 +127,11 @@ pub fn deflation_block(sub: &Subdomain, opts: &GeneoOpts) -> DeflationBlock {
         for k in 0..n {
             // W = D Λ, with constrained dofs explicitly zeroed so the
             // coarse space never injects into Dirichlet rows.
-            dst[k] = if sub.dirichlet[k] { 0.0 } else { sub.d[k] * src[k] };
+            dst[k] = if sub.dirichlet[k] {
+                0.0
+            } else {
+                sub.d[k] * src[k]
+            };
         }
         // Normalize each column: Lanczos returns B-orthonormal vectors
         // whose 2-norms vary over many orders of magnitude under high
@@ -137,9 +144,25 @@ pub fn deflation_block(sub: &Subdomain, opts: &GeneoOpts) -> DeflationBlock {
             dd_linalg::vector::scal(1.0 / nrm, dst);
         }
     }
-    DeflationBlock {
+    Ok(DeflationBlock {
         w,
         values: eig.values[..finite].to_vec(),
+        kept,
+    })
+}
+
+/// The [`nicolaides_block`] packaged as a [`DeflationBlock`]: the
+/// per-subdomain fallback coarse space when the GenEO eigensolve fails.
+/// The number of solution components is derived from the subdomain's dof
+/// and coordinate counts.
+pub fn nicolaides_fallback_block(sub: &Subdomain) -> DeflationBlock {
+    let n_scalar = (sub.coords.len() / sub.dim.max(1)).max(1);
+    let components = (sub.n_local() / n_scalar).max(1);
+    let w = nicolaides_block(sub, components);
+    let kept = w.cols();
+    DeflationBlock {
+        w,
+        values: vec![0.0; kept],
         kept,
     }
 }
@@ -154,6 +177,58 @@ pub fn resize_block(block: &DeflationBlock, nu: usize) -> DMat {
     let mut w = DMat::zeros(n, take);
     for c in 0..take {
         w.col_mut(c).copy_from_slice(block.w.col(c));
+    }
+    w
+}
+
+/// The Nicolaides coarse space: per subdomain, the partition-of-unity
+/// weighted *kernel modes* of the operator — the classical alternative to
+/// GenEO, oblivious to coefficient heterogeneity. For scalar problems this
+/// is the single vector `D_i·1`; for elasticity the `D_i`-weighted rigid
+/// body modes (2 translations + 1 rotation in 2D; 3 + 3 in 3D).
+///
+/// Exists here as the paper's "abstract deflation vectors" escape hatch
+/// (§3: the framework "is not directly linked to domain decomposition
+/// methods, meaning that it is possible to use it to assemble coarse
+/// operators with other abstract deflation vectors") and as the ablation
+/// baseline GenEO is measured against.
+pub fn nicolaides_block(sub: &Subdomain, components: usize) -> DMat {
+    let n = sub.n_local();
+    let dim = sub.dim;
+    let n_modes = match (components, dim) {
+        (1, _) => 1,
+        (2, 2) => 3,
+        (3, 3) => 6,
+        _ => panic!("unsupported components/dim combination"),
+    };
+    let mut w = DMat::zeros(n, n_modes);
+    let n_scalar = n / components;
+    for s in 0..n_scalar {
+        let x = &sub.coords[s * dim..(s + 1) * dim];
+        for c in 0..components {
+            let k = s * components + c;
+            if sub.dirichlet[k] {
+                continue;
+            }
+            let d = sub.d[k];
+            if components == 1 {
+                w.col_mut(0)[k] = d;
+            } else {
+                // translations
+                w.col_mut(c)[k] = d;
+                if dim == 2 {
+                    // rotation (−y, x)
+                    let r = if c == 0 { -x[1] } else { x[0] };
+                    w.col_mut(2)[k] = d * r;
+                } else {
+                    // rotations about z, y, x: (−y,x,0), (z,0,−x), (0,−z,y)
+                    let rots = [[-x[1], x[0], 0.0], [x[2], 0.0, -x[0]], [0.0, -x[2], x[1]]];
+                    for (m, rot) in rots.iter().enumerate() {
+                        w.col_mut(3 + m)[k] = d * rot[c];
+                    }
+                }
+            }
+        }
     }
     w
 }
@@ -366,60 +441,4 @@ mod tests {
         assert_eq!(narrow.cols(), 1);
         assert_eq!(narrow.col(0), blk.w.col(0));
     }
-}
-
-/// The Nicolaides coarse space: per subdomain, the partition-of-unity
-/// weighted *kernel modes* of the operator — the classical alternative to
-/// GenEO, oblivious to coefficient heterogeneity. For scalar problems this
-/// is the single vector `D_i·1`; for elasticity the `D_i`-weighted rigid
-/// body modes (2 translations + 1 rotation in 2D; 3 + 3 in 3D).
-///
-/// Exists here as the paper's "abstract deflation vectors" escape hatch
-/// (§3: the framework "is not directly linked to domain decomposition
-/// methods, meaning that it is possible to use it to assemble coarse
-/// operators with other abstract deflation vectors") and as the ablation
-/// baseline GenEO is measured against.
-pub fn nicolaides_block(sub: &Subdomain, components: usize) -> DMat {
-    let n = sub.n_local();
-    let dim = sub.dim;
-    let n_modes = match (components, dim) {
-        (1, _) => 1,
-        (2, 2) => 3,
-        (3, 3) => 6,
-        _ => panic!("unsupported components/dim combination"),
-    };
-    let mut w = DMat::zeros(n, n_modes);
-    let n_scalar = n / components;
-    for s in 0..n_scalar {
-        let x = &sub.coords[s * dim..(s + 1) * dim];
-        for c in 0..components {
-            let k = s * components + c;
-            if sub.dirichlet[k] {
-                continue;
-            }
-            let d = sub.d[k];
-            if components == 1 {
-                w.col_mut(0)[k] = d;
-            } else {
-                // translations
-                w.col_mut(c)[k] = d;
-                if dim == 2 {
-                    // rotation (−y, x)
-                    let r = if c == 0 { -x[1] } else { x[0] };
-                    w.col_mut(2)[k] = d * r;
-                } else {
-                    // rotations about z, y, x: (−y,x,0), (z,0,−x), (0,−z,y)
-                    let rots = [
-                        [-x[1], x[0], 0.0],
-                        [x[2], 0.0, -x[0]],
-                        [0.0, -x[2], x[1]],
-                    ];
-                    for (m, rot) in rots.iter().enumerate() {
-                        w.col_mut(3 + m)[k] = d * rot[c];
-                    }
-                }
-            }
-        }
-    }
-    w
 }

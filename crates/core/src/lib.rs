@@ -43,6 +43,7 @@
 pub mod abstract_coarse;
 pub mod coarse;
 pub mod decomp;
+pub mod error;
 pub mod geneo;
 pub mod masters;
 pub mod precond;
@@ -51,8 +52,19 @@ pub mod spmd;
 
 pub use abstract_coarse::{ritz_deflation, AbstractADef1, AbstractCoarse};
 pub use coarse::{CoarseOperator, CoarseSpace};
-pub use decomp::{decompose, decompose_with, Decomposition, DirichletStrategy, NeighborLink, Subdomain};
-pub use geneo::{deflation_block, nicolaides_block, DeflationBlock, GeneoOpts};
-pub use precond::{builder::two_level, builder::TwoLevelOpts, RasPrecond, TwoLevelPrecond, Variant};
+pub use decomp::{
+    decompose, decompose_with, Decomposition, DirichletStrategy, NeighborLink, Subdomain,
+};
+pub use error::{CoarseOutcome, DeflationSource, PhaseOutcome, RunReport, SpmdError};
+pub use geneo::{
+    deflation_block, nicolaides_block, nicolaides_fallback_block, try_deflation_block,
+    DeflationBlock, GeneoOpts,
+};
+pub use precond::{
+    builder::two_level, builder::TwoLevelOpts, RasPrecond, TwoLevelPrecond, Variant,
+};
 pub use problem::{Pde, Problem};
-pub use spmd::{run_spmd, AssemblyVariant, Election, SolverKind, SpmdOpts, SpmdReport, SpmdSolution};
+pub use spmd::{
+    run_spmd, try_run_spmd, AssemblyVariant, Election, SolverKind, SpmdOpts, SpmdReport,
+    SpmdSolution,
+};

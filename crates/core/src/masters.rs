@@ -18,20 +18,23 @@ pub fn uniform_masters(n: usize, p: usize) -> Vec<usize> {
 }
 
 /// Master ranks under the paper's non-uniform distribution.
+///
+/// Always returns exactly `p` strictly increasing boundaries, so every
+/// group — master included — is non-empty: the recurrence is clamped to
+/// leave room for the masters still to be placed when it saturates near
+/// `N` (which happens for `P` close to `N`).
 pub fn nonuniform_masters(n: usize, p: usize) -> Vec<usize> {
     assert!(p >= 1 && p <= n);
     let nf = n as f64;
     let mut masters = vec![0usize];
     let mut prev = 0f64;
-    for _ in 1..p {
+    for i in 1..p {
         let inside = (prev - nf) * (prev - nf) - nf * nf / p as f64;
         let next = (nf - inside.max(0.0).sqrt() + 0.5).floor();
-        let next = next.max(prev + 1.0).min(nf - 1.0);
+        let next = next.max(prev + 1.0).min((n - (p - i)) as f64);
         masters.push(next as usize);
         prev = next;
     }
-    // Guard against duplicate masters on tiny N.
-    masters.dedup();
     masters
 }
 
@@ -105,10 +108,7 @@ mod tests {
         );
         assert!(spread(&ln) < 1.6, "non-uniform spread {}", spread(&ln));
         // Everything is covered exactly once.
-        assert_eq!(
-            ln.iter().sum::<usize>(),
-            n * (n + 1) / 2
-        );
+        assert_eq!(ln.iter().sum::<usize>(), n * (n + 1) / 2);
     }
 
     #[test]
@@ -126,6 +126,86 @@ mod tests {
                     assert!(w[0] < w[1], "non-increasing masters for N={n} P={p}");
                 }
                 assert!(*masters.last().unwrap() < n);
+            }
+        }
+    }
+
+    /// Both elections must yield exactly `p` strictly increasing boundaries
+    /// starting at rank 0 and ending below `n`: together those properties
+    /// mean the groups partition `0..n` into `p` non-empty pieces, and the
+    /// spot checks confirm `group_of` agrees at every boundary.
+    fn check_election(n: usize, p: usize, masters: &[usize]) {
+        assert_eq!(masters.len(), p, "N={n} P={p}: wrong master count");
+        assert_eq!(masters[0], 0, "N={n} P={p}: first master not rank 0");
+        for w in masters.windows(2) {
+            assert!(w[0] < w[1], "N={n} P={p}: boundaries not monotone");
+        }
+        assert!(masters[p - 1] < n, "N={n} P={p}: master beyond world");
+        for g in 0..p {
+            let start = masters[g];
+            let end = if g + 1 < p { masters[g + 1] } else { n };
+            assert!(end > start, "N={n} P={p}: group {g} empty");
+            assert_eq!(group_of(start, masters), g);
+            assert_eq!(group_of(end - 1, masters), g);
+        }
+    }
+
+    #[test]
+    fn election_is_partition_exhaustive_small() {
+        for n in 1..=256usize {
+            for p in 1..=n {
+                check_election(n, p, &uniform_masters(n, p));
+                check_election(n, p, &nonuniform_masters(n, p));
+            }
+        }
+    }
+
+    #[test]
+    fn election_is_partition_sampled_to_4096() {
+        // Sweep N up to the issue's 4096 bound with a coprime stride, and
+        // for each N hit the adversarial P values: tiny, balanced, and the
+        // saturation regime P ≈ N that used to collapse duplicate masters.
+        let mut n = 257usize;
+        while n <= 4096 {
+            let ps = [
+                1,
+                2,
+                3,
+                n / 7 + 1,
+                n / 3 + 1,
+                n / 2,
+                2 * n / 3,
+                n - 2,
+                n - 1,
+                n,
+            ];
+            for &p in &ps {
+                if (1..=n).contains(&p) {
+                    check_election(n, p, &uniform_masters(n, p));
+                    check_election(n, p, &nonuniform_masters(n, p));
+                }
+            }
+            n += 97;
+        }
+        check_election(4096, 4096, &nonuniform_masters(4096, 4096));
+        check_election(4096, 64, &nonuniform_masters(4096, 64));
+    }
+
+    #[test]
+    fn every_rank_belongs_to_exactly_one_group() {
+        for n in 1..=64usize {
+            for p in 1..=n {
+                for masters in [uniform_masters(n, p), nonuniform_masters(n, p)] {
+                    let mut counts = vec![0usize; p];
+                    for rank in 0..n {
+                        counts[group_of(rank, &masters)] += 1;
+                    }
+                    assert_eq!(counts.iter().sum::<usize>(), n);
+                    assert!(
+                        counts.iter().all(|&c| c >= 1),
+                        "N={n} P={p}: empty group in {counts:?}"
+                    );
+                }
             }
         }
     }

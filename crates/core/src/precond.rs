@@ -326,7 +326,12 @@ mod tests {
         let r2 = gmres(&d.a_global, &t2, &SeqDot, &d.rhs_global, &x0, &opts);
         assert!(r1.converged && r2.converged);
         let diff = (r1.iterations as i64 - r2.iterations as i64).abs();
-        assert!(diff <= 4, "A-DEF1 {} vs A-DEF2 {}", r1.iterations, r2.iterations);
+        assert!(
+            diff <= 4,
+            "A-DEF1 {} vs A-DEF2 {}",
+            r1.iterations,
+            r2.iterations
+        );
     }
 
     #[test]

@@ -77,9 +77,7 @@ impl Problem {
     /// mesh. Returns the matrix on *vector* dofs (scalar dofs × components).
     pub fn assemble(&self, mesh: &Mesh, dm: &DofMap) -> (CsrMatrix, Vec<f64>) {
         match &self.pde {
-            Pde::Diffusion { kappa, f } => {
-                assembly::assemble_diffusion(mesh, dm, &**kappa, &**f)
-            }
+            Pde::Diffusion { kappa, f } => assembly::assemble_diffusion(mesh, dm, &**kappa, &**f),
             Pde::Elasticity { lame, body } => {
                 assembly::assemble_elasticity(mesh, dm, &**lame, &**body)
             }

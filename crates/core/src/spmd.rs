@@ -23,12 +23,13 @@
 //! virtual clocks produce the scaling tables of Figures 8, 10 and 11.
 
 use crate::decomp::{Decomposition, Subdomain};
-use crate::geneo::{deflation_block, resize_block, GeneoOpts};
+use crate::error::{CoarseOutcome, DeflationSource, PhaseOutcome, RunReport, SpmdError};
+use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block, GeneoOpts};
 use crate::masters::{group_of, nonuniform_masters, uniform_masters};
 use dd_comm::Communicator;
 use dd_krylov::{
     fused_pipelined_gmres, gmres, pipelined_gmres, FusedPreconditioner, GmresOpts, InnerProduct,
-    Operator, Preconditioner, SolveResult,
+    Operator, Preconditioner, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
 use dd_solver::{Ordering, PivotPolicy, SparseLdlt};
@@ -136,6 +137,8 @@ pub struct SpmdReport {
     pub collective_bytes: u64,
     /// Relative residual history of the solve (if recorded).
     pub history: Vec<f64>,
+    /// Per-phase outcomes, fallbacks taken, and fault counters.
+    pub run: RunReport,
 }
 
 // --------------------------------------------------------------------- SPMD
@@ -240,12 +243,14 @@ impl Preconditioner for DistRas<'_> {
 struct DistCoarse<'a> {
     comm: &'a Communicator,
     split: &'a Communicator,
-    master: Option<&'a Communicator>,
+    /// Masters carry their communicator *and* the redundant factorization
+    /// of E together, so the happy path needs no unwrap: a rank either has
+    /// both or participates as a slave.
+    master: Option<(&'a Communicator, &'a SparseLdlt)>,
     sub: &'a Subdomain,
-    /// This rank's deflation block (uniform ν columns).
+    /// This rank's deflation block (ν columns; ν may differ per rank, e.g.
+    /// after a Nicolaides fallback on one subdomain).
     w: &'a DMat,
-    /// Redundant factorization of E (masters only).
-    e_factor: Option<&'a SparseLdlt>,
     /// Coarse offsets r_i for all ranks.
     offsets: &'a [usize],
     /// World ranks of my split group, in split order.
@@ -266,56 +271,58 @@ impl DistCoarse<'_> {
         msg.extend_from_slice(&payload);
         let gathered = self.split.gather(0, msg);
         // step 2: masters build the full coarse RHS (allgather among
-        // masters — the redundant-solve substitution) and solve.
-        let y_and_payload: Vec<f64> = if let Some(master) = self.master {
-            let parts = gathered.expect("master missing gather result");
-            // group RHS in split order + summed payload
-            let mut group_w = Vec::new();
-            let mut pay = vec![0.0; plen];
-            for part in &parts {
-                group_w.extend_from_slice(&part[..nu]);
-                for (a, b) in pay.iter_mut().zip(&part[nu..]) {
-                    *a += b;
+        // masters — the redundant-solve substitution) and solve. `gather`
+        // returns `Some` exactly on the split root, which is the master.
+        let y_and_payload: Vec<f64> =
+            if let (Some((master, e_factor)), Some(parts)) = (self.master, &gathered) {
+                // group RHS in split order + summed payload; each sender's ν
+                // comes from the offsets table, not our own block width.
+                let mut group_w = Vec::new();
+                let mut pay = vec![0.0; plen];
+                for (k, part) in parts.iter().enumerate() {
+                    let wr = self.group_ranks[k];
+                    let nu_k = self.offsets[wr + 1] - self.offsets[wr];
+                    group_w.extend_from_slice(&part[..nu_k]);
+                    for (a, b) in pay.iter_mut().zip(&part[nu_k..]) {
+                        *a += b;
+                    }
                 }
-            }
-            // Post the payload reduction among masters; overlap with the
-            // coarse solve (the §3.5 fusion).
-            let pending = if plen > 0 {
-                Some(master.iallreduce_sum_vec(pay))
+                // Post the payload reduction among masters; overlap with the
+                // coarse solve (the §3.5 fusion).
+                let pending = if plen > 0 {
+                    Some(master.iallreduce_sum_vec(pay))
+                } else {
+                    None
+                };
+                let all_w = master.allgather(group_w);
+                let mut rhs = vec![0.0; self.dim_e];
+                let mut pos = 0;
+                for gw in &all_w {
+                    rhs[pos..pos + gw.len()].copy_from_slice(gw);
+                    pos += gw.len();
+                }
+                debug_assert_eq!(pos, self.dim_e);
+                let y = self.comm.compute(|| e_factor.solve(&rhs));
+                let reduced = match pending {
+                    Some(p) => master.wait_reduce(p),
+                    None => Vec::new(),
+                };
+                // step 3a: scatter y_i (+ reduced payload) back to the group.
+                let pieces: Vec<Vec<f64>> = self
+                    .group_ranks
+                    .iter()
+                    .map(|&wr| {
+                        let lo = self.offsets[wr];
+                        let hi = self.offsets[wr + 1];
+                        let mut piece = y[lo..hi].to_vec();
+                        piece.extend_from_slice(&reduced);
+                        piece
+                    })
+                    .collect();
+                self.split.scatter(0, Some(pieces))
             } else {
-                None
+                self.split.scatter(0, None)
             };
-            let all_w = master.allgather(group_w);
-            let mut rhs = vec![0.0; self.dim_e];
-            let mut pos = 0;
-            for gw in &all_w {
-                rhs[pos..pos + gw.len()].copy_from_slice(gw);
-                pos += gw.len();
-            }
-            debug_assert_eq!(pos, self.dim_e);
-            let y = self
-                .comm
-                .compute(|| self.e_factor.expect("master lacks E factor").solve(&rhs));
-            let reduced = match pending {
-                Some(p) => master.wait_reduce(p),
-                None => Vec::new(),
-            };
-            // step 3a: scatter y_i (+ reduced payload) back to the group.
-            let pieces: Vec<Vec<f64>> = self
-                .group_ranks
-                .iter()
-                .map(|&wr| {
-                    let lo = self.offsets[wr];
-                    let hi = self.offsets[wr + 1];
-                    let mut piece = y[lo..hi].to_vec();
-                    piece.extend_from_slice(&reduced);
-                    piece
-                })
-                .collect();
-            self.split.scatter(0, Some(pieces))
-        } else {
-            self.split.scatter(0, None)
-        };
         let (yi, reduced) = y_and_payload.split_at(nu);
         // step 3b: z_i = W_i y_i plus the consistency sum (eq. 12).
         let mut zi = vec![0.0; self.sub.n_local()];
@@ -368,34 +375,107 @@ pub struct SpmdSolution {
     pub x_local: Vec<f64>,
 }
 
+/// Run the full method on one rank, panicking on any error — the
+/// fault-oblivious entry point. See [`try_run_spmd`] for the fallible
+/// variant chaos tests and fault-tolerant callers use.
+pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) -> SpmdSolution {
+    try_run_spmd(decomp, comm, opts)
+        .unwrap_or_else(|e| panic!("SPMD solve failed on rank {}: {e}", comm.rank()))
+}
+
 /// Run the full method on one rank. `decomp` is the shared (read-only)
 /// decomposition; `comm` is the world communicator; the rank's subdomain is
 /// `decomp.subdomains[comm.rank()]`.
-pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) -> SpmdSolution {
+///
+/// Recoverable failures degrade gracefully and are recorded in the report's
+/// [`RunReport`]: a failed local eigensolve falls back to the Nicolaides
+/// coarse space for that subdomain; a failed coarse factorization drops
+/// every rank to the one-level RAS preconditioner. Unrecoverable failures
+/// (dead ranks, deadlocks, a failed local Dirichlet factorization) surface
+/// as [`SpmdError`]; on error the rank marks itself gone so its peers
+/// observe [`dd_comm::CommError::RankDead`] instead of hanging.
+pub fn try_run_spmd(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+) -> Result<SpmdSolution, SpmdError> {
+    let out = run_inner(decomp, comm, opts);
+    if out.is_err() {
+        comm.abandon();
+    }
+    out
+}
+
+/// Map a triggered failpoint into the typed kill error.
+fn failpoint(comm: &Communicator, phase: &'static str) -> Result<(), SpmdError> {
+    comm.failpoint(phase).map_err(|_| SpmdError::Killed {
+        rank: comm.world_rank(),
+        phase: phase.to_string(),
+    })
+}
+
+fn run_inner(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+) -> Result<SpmdSolution, SpmdError> {
     let n = comm.size();
     assert_eq!(n, decomp.n_subdomains(), "one rank per subdomain");
     let rank = comm.rank();
     let sub = &decomp.subdomains[rank];
-    comm.barrier();
+    let mut run = RunReport::default();
+    comm.try_barrier()?;
     comm.reset_clock();
 
     // ---- phase 1: local factorization --------------------------------
-    let factor = comm.compute(|| {
-        SparseLdlt::factor(&sub.a_dirichlet, opts.ordering).expect("local factorization failed")
-    });
-    comm.barrier();
+    // Unrecoverable: without A_i⁻¹ this rank has no RAS contribution.
+    let factor = comm
+        .compute(|| SparseLdlt::factor(&sub.a_dirichlet, opts.ordering))
+        .map_err(|source| SpmdError::LocalFactorization { rank, source })?;
+    run.phases.push(("factorization", PhaseOutcome::Ok));
+    failpoint(comm, "post-factorization")?;
+    comm.try_barrier()?;
     let t_factorization = comm.clock();
 
     // ---- phase 2: deflation (GenEO eigensolve + Allreduce(MAX)) ------
-    let block = comm.compute(|| deflation_block(sub, &opts.geneo));
+    let eig = if comm.should_fail("eigensolve") {
+        Err(None)
+    } else {
+        comm.compute(|| try_deflation_block(sub, &opts.geneo))
+            .map_err(Some)
+    };
+    let block = match eig {
+        Ok(b) => {
+            run.deflation = DeflationSource::Geneo;
+            run.phases.push(("deflation", PhaseOutcome::Ok));
+            b
+        }
+        Err(e) => {
+            // Graceful degradation: substitute the partition-of-unity
+            // weighted kernel modes (Nicolaides) for this subdomain only;
+            // the other ranks keep their GenEO vectors.
+            let reason = match e {
+                Some(e) => format!("eigensolve failed ({e}); Nicolaides fallback"),
+                None => "eigensolve fault injected; Nicolaides fallback".to_string(),
+            };
+            run.deflation = DeflationSource::NicolaidesFallback;
+            run.phases
+                .push(("deflation", PhaseOutcome::Degraded { reason }));
+            comm.compute(|| nicolaides_fallback_block(sub))
+        }
+    };
     let nu = if opts.one_level_only {
         0
     } else {
-        comm.allreduce_max_usize(block.kept.max(1))
+        comm.try_allreduce_max_usize(block.kept.max(1))?
     };
     let w = resize_block(&block, nu);
     let nu_mine = w.cols();
-    comm.barrier();
+    if opts.one_level_only || nu_mine == 0 {
+        run.deflation = DeflationSource::None;
+    }
+    failpoint(comm, "post-deflation")?;
+    comm.try_barrier()?;
     let t_deflation = comm.clock() - t_factorization;
 
     // ---- phase 3: coarse operator (Algorithms 1 and 2) ----------------
@@ -404,9 +484,11 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
         Election::NonUniform => nonuniform_masters(n, opts.n_masters.min(n)),
     };
     let my_group = group_of(rank, &masters);
-    let split = comm.split(Some(my_group)).expect("split failed");
+    let split = comm
+        .try_split(Some(my_group))?
+        .ok_or(SpmdError::SplitFailed { rank })?;
     let is_master = split.rank() == 0;
-    let master_comm = comm.split(if is_master { Some(0) } else { None });
+    let master_comm = comm.try_split(if is_master { Some(0) } else { None })?;
     let group_ranks: Vec<usize> = {
         // split preserves world order; reconstruct the group's world ranks
         let start = masters[my_group];
@@ -422,17 +504,21 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
     let mut nnz_e_factor = 0usize;
     let mut e_factor: Option<SparseLdlt> = None;
     let mut offsets = vec![0usize; n + 1];
+    // Reason the coarse factorization failed (set on the failing master).
+    let mut coarse_failed: Option<String> = None;
+    // Set on every rank once the failure flag has been agreed on.
+    let mut coarse_fallback: Option<String> = None;
 
-    if !opts.one_level_only && nu_mine > 0 {
+    // Every rank takes this branch together (the guard depends only on
+    // shared options), so the collective pattern stays uniform even when a
+    // subdomain contributes no deflation vectors.
+    if !opts.one_level_only {
         // ν exchange on the neighborhood topology (uniform ν makes the
         // values known a priori, but the call mirrors Algorithm 1 line 1
         // and supports the non-uniform ablation).
         let nbr_ranks: Vec<usize> = sub.neighbors.iter().map(|l| l.j).collect();
-        let nu_neighbors = comm.neighbor_alltoall(
-            &nbr_ranks,
-            TAG_NU,
-            vec![nu_mine as u64; nbr_ranks.len()],
-        );
+        let nu_neighbors =
+            comm.neighbor_alltoall(&nbr_ranks, TAG_NU, vec![nu_mine as u64; nbr_ranks.len()]);
         // T_i = A_i W_i, E_ii = W_iᵀ T_i (csrmm + gemm).
         let (t_i, e_ii) = comm.compute(|| {
             let t = sub.a_dirichlet.csrmm(&w);
@@ -477,7 +563,7 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
         // All ranks learn all ν to compute offsets r_i. Uniform ν makes
         // this a formality; we allgather for generality (O(log N), equal
         // counts).
-        let all_nu = comm.allgather(nu_mine as u64);
+        let all_nu = comm.try_allgather(nu_mine as u64)?;
         for i in 0..n {
             offsets[i + 1] = offsets[i] + all_nu[i] as usize;
         }
@@ -532,8 +618,7 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
                         .map(|(sr, m)| {
                             let world = group_ranks[sr];
                             let n_nbr = m[0] as usize;
-                            let nbrs: Vec<usize> =
-                                (0..n_nbr).map(|k| m[1 + k] as usize).collect();
+                            let nbrs: Vec<usize> = (0..n_nbr).map(|k| m[1 + k] as usize).collect();
                             let vals = &m[1 + n_nbr..];
                             // recompute indices exactly as the slave laid
                             // out its values: diagonal block then each
@@ -585,36 +670,89 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
         };
 
         // Masters: merge group triples, allgather among masters, build and
-        // factor E redundantly.
+        // factor E redundantly. A failed factorization (near-singular E, or
+        // an injected "coarse-factor" fault) is *recoverable*: the flag is
+        // agreed on below and every rank drops to one-level RAS together.
         if let Some(master) = master_comm.as_ref() {
             let mut rows: Vec<u64> = Vec::new();
             let mut cols: Vec<u64> = Vec::new();
             let mut vals: Vec<f64> = Vec::new();
-            for (r, c, v) in group_triples.expect("master missing group triples") {
+            let triples = group_triples.ok_or_else(|| SpmdError::Protocol {
+                rank,
+                what: "master received no gatherv result".to_string(),
+            })?;
+            for (r, c, v) in triples {
                 rows.extend(r);
                 cols.extend(c);
                 vals.extend(v);
             }
-            let all_rows = master.allgather(rows);
-            let all_cols = master.allgather(cols);
-            let all_vals = master.allgather(vals);
-            let ef = comm.compute(|| {
-                let mut coo = CooBuilder::new(dim_e, dim_e);
-                for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
-                    for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
-                        coo.push(r as usize, c as usize, v);
+            let all_rows = master.try_allgather(rows)?;
+            let all_cols = master.try_allgather(cols)?;
+            let all_vals = master.try_allgather(vals)?;
+            let ef = if comm.should_fail("coarse-factor") {
+                Err("coarse-factor fault injected".to_string())
+            } else {
+                comm.compute(|| {
+                    let mut coo = CooBuilder::new(dim_e, dim_e);
+                    for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
+                        for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
+                            coo.push(r as usize, c as usize, v);
+                        }
                     }
+                    let e: CsrMatrix = coo.to_csr();
+                    // Static pivoting, as in the sequential coarse operator.
+                    SparseLdlt::factor_with(
+                        &e,
+                        opts.ordering,
+                        PivotPolicy::Boost { rel_tol: 1e-12 },
+                    )
+                    .map_err(|e| e.to_string())
+                })
+            };
+            match ef {
+                Ok(f) => {
+                    nnz_e_factor = f.nnz_l();
+                    e_factor = Some(f);
                 }
-                let e: CsrMatrix = coo.to_csr();
-                // Static pivoting, as in the sequential coarse operator.
-                SparseLdlt::factor_with(&e, opts.ordering, PivotPolicy::Boost { rel_tol: 1e-12 })
-                    .expect("coarse factorization failed")
-            });
-            nnz_e_factor = ef.nnz_l();
-            e_factor = Some(ef);
+                Err(reason) => coarse_failed = Some(reason),
+            }
+        }
+        // Agree on the outcome: the preconditioner application is
+        // collective, so if any master failed to factor E every rank must
+        // fall back together.
+        let any_failed = comm.try_allreduce_max_usize(usize::from(coarse_failed.is_some()))? > 0;
+        if any_failed {
+            e_factor = None;
+            nnz_e_factor = 0;
+            let reason = match coarse_failed.take() {
+                Some(r) => format!("coarse factorization failed ({r}); one-level RAS fallback"),
+                None => {
+                    "coarse factorization failed on a master; one-level RAS fallback".to_string()
+                }
+            };
+            coarse_fallback = Some(reason);
         }
     }
-    comm.barrier();
+    run.coarse = if opts.one_level_only {
+        CoarseOutcome::OneLevelRequested
+    } else if coarse_fallback.is_some() {
+        CoarseOutcome::OneLevelFallback
+    } else if dim_e == 0 {
+        CoarseOutcome::EmptyCoarse
+    } else {
+        CoarseOutcome::TwoLevel
+    };
+    run.phases.push((
+        "coarse",
+        match &coarse_fallback {
+            Some(reason) => PhaseOutcome::Degraded {
+                reason: reason.clone(),
+            },
+            None => PhaseOutcome::Ok,
+        },
+    ));
+    failpoint(comm, "post-assembly")?;
+    comm.try_barrier()?;
     let t_coarse = comm.clock() - t_deflation - t_factorization;
 
     // ---- phase 4: solve ------------------------------------------------
@@ -625,7 +763,8 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
     let rhs_local = sub.restrict(&decomp.rhs_global);
     let x0 = vec![0.0; sub.n_local()];
 
-    let result: SolveResult = if opts.one_level_only {
+    let two_level = run.coarse == CoarseOutcome::TwoLevel;
+    let result: SolveResult = if !two_level {
         let ras = DistRas {
             ctx: RankCtx { comm, sub },
             factor: &factor,
@@ -643,10 +782,9 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
             coarse: DistCoarse {
                 comm,
                 split: &split,
-                master: master_comm.as_ref(),
+                master: master_comm.as_ref().zip(e_factor.as_ref()),
                 sub,
                 w: &w,
-                e_factor: e_factor.as_ref(),
                 offsets: &offsets,
                 group_ranks: &group_ranks,
                 dim_e,
@@ -662,9 +800,26 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
             }
         }
     };
-    comm.barrier();
+    comm.try_barrier()?;
     let t_solution = comm.clock() - t_coarse - t_deflation - t_factorization;
     let stats_after = comm.stats();
+
+    run.phases.push((
+        "solve",
+        if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
+            PhaseOutcome::Ok
+        } else {
+            PhaseOutcome::Degraded {
+                reason: format!(
+                    "{} after {} breakdown restart(s)",
+                    result.status, result.breakdown_restarts
+                ),
+            }
+        },
+    ));
+    run.solve_status = result.status;
+    run.breakdown_restarts = result.breakdown_restarts;
+    run.faults = comm.fault_stats();
 
     let report = SpmdReport {
         rank,
@@ -685,15 +840,17 @@ pub fn run_spmd(decomp: &Decomposition, comm: &Communicator, opts: &SpmdOpts) ->
         p2p_bytes: stats_after.p2p_bytes,
         collective_bytes: stats_after.collective_bytes
             + split.stats().collective_bytes
-            + master_comm.as_ref().map_or(0, |m| m.stats().collective_bytes),
+            + master_comm
+                .as_ref()
+                .map_or(0, |m| m.stats().collective_bytes),
         history: result.history,
+        run,
     };
-    SpmdSolution {
+    Ok(SpmdSolution {
         report,
         x_local: result.x,
-    }
+    })
 }
-
 
 /// Debug/test helper: perform the full SPMD setup and apply `P⁻¹_A-DEF1`
 /// once to `R_i r_global`, returning the local result and (on masters) the
@@ -705,7 +862,7 @@ pub fn debug_apply_adef1(
     comm: &Communicator,
     r_global: &[f64],
     nev: usize,
-) -> ((Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>), Option<CsrMatrix>) {
+) -> Result<((Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>), Option<CsrMatrix>), SpmdError> {
     let n = comm.size();
     let rank = comm.rank();
     let sub = &decomp.subdomains[rank];
@@ -716,16 +873,22 @@ pub fn debug_apply_adef1(
         },
         ..Default::default()
     };
-    let factor = SparseLdlt::factor(&sub.a_dirichlet, opts.ordering).unwrap();
-    let block = deflation_block(sub, &opts.geneo);
-    let nu = comm.allreduce_max_usize(block.kept.max(1));
+    let factor = SparseLdlt::factor(&sub.a_dirichlet, opts.ordering)
+        .map_err(|source| SpmdError::LocalFactorization { rank, source })?;
+    let block = try_deflation_block(sub, &opts.geneo).map_err(|e| SpmdError::Protocol {
+        rank,
+        what: format!("eigensolve failed: {e}"),
+    })?;
+    let nu = comm.try_allreduce_max_usize(block.kept.max(1))?;
     let w = resize_block(&block, nu);
     let nu_mine = w.cols();
     let masters = nonuniform_masters(n, opts.n_masters.min(n));
     let my_group = group_of(rank, &masters);
-    let split = comm.split(Some(my_group)).unwrap();
+    let split = comm
+        .try_split(Some(my_group))?
+        .ok_or(SpmdError::SplitFailed { rank })?;
     let is_master = split.rank() == 0;
-    let master_comm = comm.split(if is_master { Some(0) } else { None });
+    let master_comm = comm.try_split(if is_master { Some(0) } else { None })?;
     let group_ranks: Vec<usize> = {
         let start = masters[my_group];
         let end = if my_group + 1 < masters.len() {
@@ -767,7 +930,7 @@ pub fn debug_apply_adef1(
         }
         e_ij.push(e);
     }
-    let all_nu = comm.allgather(nu_mine as u64);
+    let all_nu = comm.try_allgather(nu_mine as u64)?;
     let mut offsets = vec![0usize; n + 1];
     for i in 0..n {
         offsets[i + 1] = offsets[i] + all_nu[i] as usize;
@@ -797,7 +960,10 @@ pub fn debug_apply_adef1(
     let mut e_csr: Option<CsrMatrix> = None;
     let mut e_factor: Option<SparseLdlt> = None;
     if let Some(master) = master_comm.as_ref() {
-        let msgs = gathered.unwrap();
+        let msgs = gathered.ok_or_else(|| SpmdError::Protocol {
+            rank,
+            what: "master received no gatherv result".to_string(),
+        })?;
         let mut rows: Vec<u64> = Vec::new();
         let mut cols: Vec<u64> = Vec::new();
         let mut vals: Vec<f64> = Vec::new();
@@ -830,9 +996,9 @@ pub fn debug_apply_adef1(
                 }
             }
         }
-        let all_rows = master.allgather(rows);
-        let all_cols = master.allgather(cols);
-        let all_vals = master.allgather(vals);
+        let all_rows = master.try_allgather(rows)?;
+        let all_cols = master.try_allgather(cols)?;
+        let all_vals = master.try_allgather(vals)?;
         let mut coo = CooBuilder::new(dim_e, dim_e);
         for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
             for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
@@ -842,7 +1008,10 @@ pub fn debug_apply_adef1(
         let e = coo.to_csr();
         e_factor = Some(
             SparseLdlt::factor_with(&e, opts.ordering, PivotPolicy::Boost { rel_tol: 1e-12 })
-                .unwrap(),
+                .map_err(|e| SpmdError::Protocol {
+                    rank,
+                    what: format!("coarse factorization failed: {e}"),
+                })?,
         );
         e_csr = Some(e);
     }
@@ -857,10 +1026,9 @@ pub fn debug_apply_adef1(
         coarse: DistCoarse {
             comm,
             split: &split,
-            master: master_comm.as_ref(),
+            master: master_comm.as_ref().zip(e_factor.as_ref()),
             sub,
             w: &w,
-            e_factor: e_factor.as_ref(),
             offsets: &offsets,
             group_ranks: &group_ranks,
             dim_e,
@@ -877,7 +1045,7 @@ pub fn debug_apply_adef1(
     let mut ras_out = vec![0.0; sub.n_local()];
     let t: Vec<f64> = r_local.iter().zip(&aq).map(|(a, b)| a - b).collect();
     adef1.ras.apply(&t, &mut ras_out);
-    ((z, q, aq, ras_out), e_csr)
+    Ok(((z, q, aq, ras_out), e_csr))
 }
 
 #[cfg(test)]
@@ -1161,8 +1329,7 @@ mod tests {
             assert!(r.t_coarse >= 0.0);
             assert!(r.t_solution > 0.0);
             assert!(
-                r.t_total
-                    >= r.t_factorization + r.t_deflation + r.t_coarse + r.t_solution - 1e-9
+                r.t_total >= r.t_factorization + r.t_deflation + r.t_coarse + r.t_solution - 1e-9
             );
             assert!(r.dim_e > 0);
         }

@@ -372,7 +372,7 @@ mod tests {
             }
         }
         let a = ab.to_csr(); // singular Neumann Laplacian (constants in kernel)
-        // B = P A P with P selecting the last 6 nodes.
+                             // B = P A P with P selecting the last 6 nodes.
         let mut p = vec![0.0; n];
         for i in n - 6..n {
             p[i] = 1.0;

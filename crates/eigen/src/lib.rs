@@ -17,6 +17,8 @@ pub mod lanczos;
 pub mod subspace;
 pub mod tridiag;
 
-pub use lanczos::{count_below_threshold, smallest_generalized, EigenError, GeneralizedEig, LanczosOpts};
+pub use lanczos::{
+    count_below_threshold, smallest_generalized, EigenError, GeneralizedEig, LanczosOpts,
+};
 pub use subspace::{smallest_generalized_si, SubspaceOpts};
 pub use tridiag::tridiag_eig;

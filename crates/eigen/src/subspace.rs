@@ -271,8 +271,7 @@ mod tests {
                 continue;
             }
             assert!(
-                (si.values[k] - lz.values[k]).abs()
-                    < 1e-5 * lz.values[k].abs().max(1e-6),
+                (si.values[k] - lz.values[k]).abs() < 1e-5 * lz.values[k].abs().max(1e-6),
                 "λ_{k}: SI {} vs Lanczos {}",
                 si.values[k],
                 lz.values[k]

@@ -146,7 +146,9 @@ mod tests {
     fn matches_jacobi_on_random_tridiagonal() {
         let n = 9;
         let d: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
-        let e: Vec<f64> = (0..n - 1).map(|i| ((i * 17 % 7) as f64) * 0.3 + 0.1).collect();
+        let e: Vec<f64> = (0..n - 1)
+            .map(|i| ((i * 17 % 7) as f64) * 0.3 + 0.1)
+            .collect();
         let (v, _) = tridiag_eig(&d, &e);
         // Dense reference.
         let mut a = DMat::zeros(n, n);

@@ -35,7 +35,17 @@ fn element_geometry(mesh: &Mesh, e: usize) -> AffineGeom {
     let (inv, det) = match dim {
         2 => {
             let det = j[0] * j[3] - j[1] * j[2];
-            let inv = [j[3] / det, -j[1] / det, -j[2] / det, j[0] / det, 0.0, 0.0, 0.0, 0.0, 0.0];
+            let inv = [
+                j[3] / det,
+                -j[1] / det,
+                -j[2] / det,
+                j[0] / det,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+            ];
             (inv, det)
         }
         3 => {
@@ -298,7 +308,6 @@ pub fn assemble_elasticity(
     }
     (coo.to_csr(), rhs)
 }
-
 
 /// Assemble the surface load `∫_Γ g·v` over the boundary facets whose
 /// centroid satisfies `on_gamma` — the paper's "vertical loading imposed on
@@ -569,12 +578,9 @@ mod tests {
     fn elasticity_rigid_body_modes_in_kernel() {
         let mesh = Mesh::unit_square(4, 2);
         let dm = DofMap::new(&mesh, 2);
-        let (a, _) = assemble_elasticity(
-            &mesh,
-            &dm,
-            &|_| (1.0e5, 4.0e4),
-            &|_, f| f.copy_from_slice(&[0.0, 0.0]),
-        );
+        let (a, _) = assemble_elasticity(&mesh, &dm, &|_| (1.0e5, 4.0e4), &|_, f| {
+            f.copy_from_slice(&[0.0, 0.0])
+        });
         let n = dm.n_dofs();
         // translations (1,0), (0,1) and rotation (−y, x)
         let mut modes: Vec<Vec<f64>> = vec![vec![0.0; 2 * n]; 3];
@@ -601,12 +607,9 @@ mod tests {
         // Clamp x = 0, gravity body force: tip must deflect downwards.
         let mesh = Mesh::rectangle(10, 2, 5.0, 1.0);
         let dm = DofMap::new(&mesh, 1);
-        let (a, mut rhs) = assemble_elasticity(
-            &mesh,
-            &dm,
-            &|_| (1.0e6, 5.0e5),
-            &|_, f| f.copy_from_slice(&[0.0, -1.0e3]),
-        );
+        let (a, mut rhs) = assemble_elasticity(&mesh, &dm, &|_| (1.0e6, 5.0e5), &|_, f| {
+            f.copy_from_slice(&[0.0, -1.0e3])
+        });
         let clamped_scalar = dm.dofs_where(|x| x[0] < 1e-12);
         let mut constrained = vec![false; 2 * dm.n_dofs()];
         for i in 0..dm.n_dofs() {

@@ -263,9 +263,7 @@ mod tests {
         let m = Mesh::unit_cube(2, 2, 2);
         let dm = DofMap::new(&m, 2);
         let b = dm.boundary_dofs(&m);
-        let geo = dm.dofs_where(|x| {
-            x.iter().any(|&c| c < 1e-12 || c > 1.0 - 1e-12)
-        });
+        let geo = dm.dofs_where(|x| x.iter().any(|&c| !(1e-12..=1.0 - 1e-12).contains(&c)));
         assert_eq!(b, geo);
     }
 

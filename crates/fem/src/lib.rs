@@ -25,7 +25,9 @@ pub mod coeffs;
 pub mod dofmap;
 pub mod quadrature;
 
-pub use assembly::{apply_dirichlet, assemble_boundary_load, assemble_diffusion, assemble_elasticity, assemble_mass};
+pub use assembly::{
+    apply_dirichlet, assemble_boundary_load, assemble_diffusion, assemble_elasticity, assemble_mass,
+};
 pub use basis::LagrangeBasis;
 pub use dofmap::DofMap;
 pub use quadrature::Quadrature;

@@ -80,10 +80,7 @@ fn seg_gauss(n: usize) -> Quadrature {
             let b = (5.0 + 2.0 * (10.0f64 / 7.0).sqrt()).sqrt() / 3.0;
             let wa = (322.0 + 13.0 * 70.0f64.sqrt()) / 900.0;
             let wb = (322.0 - 13.0 * 70.0f64.sqrt()) / 900.0;
-            (
-                vec![-b, -a, 0.0, a, b],
-                vec![wb, wa, 128.0 / 225.0, wa, wb],
-            )
+            (vec![-b, -a, 0.0, a, b], vec![wb, wa, 128.0 / 225.0, wa, wb])
         }
         _ => panic!("unsupported Gauss order"),
     };
@@ -153,8 +150,18 @@ fn tri_sym6(points: &mut Vec<f64>, weights: &mut Vec<f64>, b: f64, c: f64, w: f6
 fn tri_deg4() -> Quadrature {
     let mut points = Vec::new();
     let mut weights = Vec::new();
-    tri_sym3(&mut points, &mut weights, 0.445948490915965, 0.223381589678011);
-    tri_sym3(&mut points, &mut weights, 0.091576213509771, 0.109951743655322);
+    tri_sym3(
+        &mut points,
+        &mut weights,
+        0.445948490915965,
+        0.223381589678011,
+    );
+    tri_sym3(
+        &mut points,
+        &mut weights,
+        0.091576213509771,
+        0.109951743655322,
+    );
     Quadrature {
         dim: 2,
         points,
@@ -166,8 +173,18 @@ fn tri_deg4() -> Quadrature {
 fn tri_deg6() -> Quadrature {
     let mut points = Vec::new();
     let mut weights = Vec::new();
-    tri_sym3(&mut points, &mut weights, 0.249286745170910, 0.116786275726379);
-    tri_sym3(&mut points, &mut weights, 0.063089014491502, 0.050844906370207);
+    tri_sym3(
+        &mut points,
+        &mut weights,
+        0.249286745170910,
+        0.116786275726379,
+    );
+    tri_sym3(
+        &mut points,
+        &mut weights,
+        0.063089014491502,
+        0.050844906370207,
+    );
     tri_sym6(
         &mut points,
         &mut weights,
@@ -313,12 +330,18 @@ mod tests {
         let q = Quadrature::for_degree(dim, deg);
         // weights sum to 1
         let sw: f64 = q.weights.iter().sum();
-        assert!((sw - 1.0).abs() < 1e-12, "weights of ({dim},{deg}) sum to {sw}");
+        assert!(
+            (sw - 1.0).abs() < 1e-12,
+            "weights of ({dim},{deg}) sum to {sw}"
+        );
         // barycentric coordinates sum to 1 and are in [0, 1]
         for k in 0..q.n_points() {
             let s: f64 = q.point(k).iter().sum();
             assert!((s - 1.0).abs() < 1e-12);
-            assert!(q.point(k).iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+            assert!(q
+                .point(k)
+                .iter()
+                .all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
         }
         // exact on all monomials of total degree ≤ deg
         let max = deg;

@@ -2,7 +2,7 @@
 //! the SPD systems the two-level preconditioner targets; used in the
 //! ablation benches to cross-check GMRES results on symmetric problems.
 
-use crate::gmres::SolveResult;
+use crate::gmres::{SolveResult, SolveStatus, STALL_LIMIT};
 use crate::operator::{InnerProduct, Operator, Preconditioner};
 use dd_linalg::vector;
 
@@ -27,14 +27,7 @@ impl Default for CgOpts {
 
 /// Solve the SPD system `A x = b` with preconditioned CG. The
 /// preconditioner must be symmetric positive definite as an operator.
-pub fn cg<O, M, P>(
-    op: &O,
-    precond: &M,
-    ip: &P,
-    b: &[f64],
-    x0: &[f64],
-    opts: &CgOpts,
-) -> SolveResult
+pub fn cg<O, M, P>(op: &O, precond: &M, ip: &P, b: &[f64], x0: &[f64], opts: &CgOpts) -> SolveResult
 where
     O: Operator + ?Sized,
     M: Preconditioner + ?Sized,
@@ -44,67 +37,146 @@ where
     let mut x = x0.to_vec();
     let mut r = vec![0.0; n];
     let mut ax = vec![0.0; n];
-    op.apply(&x, &mut ax);
-    for i in 0..n {
-        r[i] = b[i] - ax[i];
-    }
     let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = ip.dot(&r, &z);
-    let rz0 = rz.max(0.0).sqrt();
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
     let mut history = Vec::new();
     if opts.record_history {
         history.push(1.0);
     }
-    if rz0 == 0.0 {
-        return SolveResult {
-            x,
-            iterations: 0,
-            converged: true,
-            history,
-            final_residual: 0.0,
-        };
-    }
-    let target = opts.tol * rz0;
+
+    // All breakdown decisions below are made on globally-reduced scalars
+    // (`rz`, `pap`, norms), never on local vector contents, so every rank
+    // of a distributed solve takes the same control path.
+    let mut rz0 = 0.0;
+    let mut target = 0.0;
     let mut converged = false;
-    let mut iterations = 0;
+    let mut broke_down = false;
+    let mut breakdown_restarts = 0usize;
+    let mut iterations = 0usize;
     let mut final_residual = 1.0;
-    let mut ap = vec![0.0; n];
-    while iterations < opts.max_iters {
-        iterations += 1;
-        op.apply(&p, &mut ap);
-        let pap = ip.dot(&p, &ap);
-        if pap <= 0.0 {
-            // Operator is not SPD along p — bail out, report divergence.
-            break;
-        }
-        let alpha = rz / pap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
-        precond.apply(&r, &mut z);
-        let rz_new = ip.dot(&r, &z);
-        let res = rz_new.max(0.0).sqrt();
-        final_residual = res / rz0;
-        if opts.record_history {
-            history.push(final_residual);
-        }
-        if res <= target {
-            converged = true;
-            break;
-        }
-        let beta = rz_new / rz;
-        rz = rz_new;
+    let mut best_res = f64::INFINITY;
+    let mut stall = 0usize;
+
+    'outer: loop {
+        // (Re)build the CG state from the current iterate.
+        op.apply(&x, &mut ax);
         for i in 0..n {
-            p[i] = z[i] + beta * p[i];
+            r[i] = b[i] - ax[i];
+        }
+        precond.apply(&r, &mut z);
+        p.copy_from_slice(&z);
+        let mut rz = ip.dot(&r, &z);
+        if iterations == 0 && breakdown_restarts == 0 {
+            rz0 = rz.max(0.0).sqrt();
+            if rz0 == 0.0 || !rz0.is_finite() {
+                // `√(rᵀz) = 0` is convergence only when the residual itself
+                // is zero; a (semi-)definite or broken preconditioner can
+                // annihilate a nonzero residual.
+                let truly_zero = rz0 == 0.0 && ip.norm(&r) == 0.0;
+                return SolveResult {
+                    x,
+                    iterations: 0,
+                    converged: truly_zero,
+                    history,
+                    final_residual: if truly_zero { 0.0 } else { 1.0 },
+                    status: if truly_zero {
+                        SolveStatus::Converged
+                    } else {
+                        SolveStatus::Breakdown
+                    },
+                    breakdown_restarts: 0,
+                };
+            }
+            target = opts.tol * rz0;
+        } else if !rz.is_finite() || rz <= 0.0 {
+            // The restart did not produce a usable descent state.
+            broke_down = true;
+            break 'outer;
+        }
+        while iterations < opts.max_iters {
+            iterations += 1;
+            op.apply(&p, &mut ap);
+            let pap = ip.dot(&p, &ap);
+            if !pap.is_finite() || pap <= 0.0 {
+                // Operator not SPD along p, or poisoned by non-finite
+                // values: breakdown (handled after the loop).
+                break;
+            }
+            let alpha = rz / pap;
+            vector::axpy(alpha, &p, &mut x);
+            vector::axpy(-alpha, &ap, &mut r);
+            precond.apply(&r, &mut z);
+            let rz_new = ip.dot(&r, &z);
+            if !rz_new.is_finite() {
+                break;
+            }
+            if rz_new <= 0.0 {
+                // z lost positivity; only a genuinely zero residual counts
+                // as convergence here.
+                if ip.norm(&r) == 0.0 {
+                    final_residual = 0.0;
+                    if opts.record_history {
+                        history.push(0.0);
+                    }
+                    converged = true;
+                }
+                break;
+            }
+            let res = rz_new.sqrt();
+            final_residual = res / rz0;
+            if opts.record_history {
+                history.push(final_residual);
+            }
+            if res <= target {
+                converged = true;
+                break;
+            }
+            // Stagnation: no improvement for STALL_LIMIT iterations.
+            if res < best_res * (1.0 - 1e-12) {
+                best_res = res;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= STALL_LIMIT {
+                    break;
+                }
+            }
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        if converged || iterations >= opts.max_iters {
+            break 'outer;
+        }
+        // The inner loop exited on a breakdown: restart once from the
+        // current iterate, then give up.
+        if breakdown_restarts == 0 {
+            breakdown_restarts = 1;
+            best_res = f64::INFINITY;
+            stall = 0;
+        } else {
+            broke_down = true;
+            break 'outer;
         }
     }
+    let status = if converged {
+        SolveStatus::Converged
+    } else if broke_down {
+        SolveStatus::Breakdown
+    } else {
+        SolveStatus::MaxIterations
+    };
     SolveResult {
         x,
         iterations,
         converged,
         history,
         final_residual,
+        status,
+        breakdown_restarts,
     }
 }
 
@@ -135,7 +207,7 @@ mod tests {
             &IdentityPrecond,
             &SeqDot,
             &b,
-            &vec![0.0; 50],
+            &[0.0; 50],
             &CgOpts {
                 tol: 1e-10,
                 ..Default::default()
@@ -186,7 +258,7 @@ mod tests {
             &IdentityPrecond,
             &SeqDot,
             &b,
-            &vec![0.0; 40],
+            &[0.0; 40],
             &CgOpts::default(),
         );
         assert!(res.converged);
@@ -202,12 +274,68 @@ mod tests {
             &a,
             &IdentityPrecond,
             &SeqDot,
-            &vec![0.0; 10],
-            &vec![0.0; 10],
+            &[0.0; 10],
+            &[0.0; 10],
             &CgOpts::default(),
         );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn indefinite_operator_reports_breakdown() {
+        // diag(-1): pᵀAp < 0 on the first step; the restart reproduces the
+        // same state, so the solve must surface a typed breakdown.
+        let n = 8;
+        let mut c = CooBuilder::new(n, n);
+        for i in 0..n {
+            c.push(i, i, -1.0);
+        }
+        let a = c.to_csr();
+        let res = cg(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &CgOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+        assert_eq!(res.breakdown_restarts, 1);
+    }
+
+    #[test]
+    fn zero_preconditioner_is_breakdown_not_false_convergence() {
+        let a = spd(12);
+        let zero = FnPrecond::new(|_r: &[f64], z: &mut [f64]| z.fill(0.0));
+        let res = cg(
+            &a,
+            &zero,
+            &SeqDot,
+            &[1.0; 12],
+            &[0.0; 12],
+            &CgOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+    }
+
+    #[test]
+    fn nan_preconditioner_reports_breakdown() {
+        let a = spd(12);
+        let nan = FnPrecond::new(|_r: &[f64], z: &mut [f64]| z.fill(f64::NAN));
+        let res = cg(
+            &a,
+            &nan,
+            &SeqDot,
+            &[1.0; 12],
+            &[0.0; 12],
+            &CgOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+        assert!(res.x.iter().all(|v| v.is_finite()));
     }
 
     #[test]
@@ -219,7 +347,7 @@ mod tests {
             &IdentityPrecond,
             &SeqDot,
             &b,
-            &vec![0.0; 30],
+            &[0.0; 30],
             &CgOpts {
                 tol: 1e-12,
                 ..Default::default()
@@ -230,7 +358,7 @@ mod tests {
             &IdentityPrecond,
             &SeqDot,
             &b,
-            &vec![0.0; 30],
+            &[0.0; 30],
             &crate::gmres::GmresOpts {
                 tol: 1e-12,
                 ..Default::default()

@@ -76,6 +76,33 @@ impl Default for GmresOpts {
     }
 }
 
+/// Why a Krylov solve stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolveStatus {
+    /// The tolerance was met.
+    Converged,
+    /// The iteration budget ran out without numerical trouble.
+    #[default]
+    MaxIterations,
+    /// Numerical breakdown — non-finite values, a non-converged invariant
+    /// subspace, or stagnation — persisted after one restart.
+    Breakdown,
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveStatus::Converged => write!(f, "converged"),
+            SolveStatus::MaxIterations => write!(f, "max iterations"),
+            SolveStatus::Breakdown => write!(f, "breakdown"),
+        }
+    }
+}
+
+/// Consecutive iterations without residual improvement before a solver
+/// declares stagnation breakdown.
+pub(crate) const STALL_LIMIT: usize = 50;
+
 /// Outcome of a Krylov solve.
 #[derive(Clone, Debug)]
 pub struct SolveResult {
@@ -90,6 +117,11 @@ pub struct SolveResult {
     pub history: Vec<f64>,
     /// Final relative residual estimate.
     pub final_residual: f64,
+    /// Why the solve stopped.
+    pub status: SolveStatus,
+    /// Restarts taken in response to detected breakdowns (at most one: a
+    /// second breakdown surfaces as [`SolveStatus::Breakdown`]).
+    pub breakdown_restarts: usize,
 }
 
 /// Solve `A x = b` with restarted, preconditioned GMRES.
@@ -139,12 +171,32 @@ where
             converged: true,
             history,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
+            breakdown_restarts: 0,
+        };
+    }
+    if !r0_norm.is_finite() {
+        // The input itself is broken; no restart can fix it.
+        return SolveResult {
+            x,
+            iterations: 0,
+            converged: false,
+            history,
+            final_residual: f64::INFINITY,
+            status: SolveStatus::Breakdown,
+            breakdown_restarts: 0,
         };
     }
     let target = opts.tol * r0_norm;
 
     let mut converged = false;
     let mut final_res = 1.0;
+    let mut breakdown_restarts = 0usize;
+    let mut broke_down = false;
+    // Stagnation tracking across cycles: consecutive iterations without
+    // any residual improvement.
+    let mut best_res = f64::INFINITY;
+    let mut stall = 0usize;
     'outer: loop {
         // Residual at the start of this cycle.
         op.apply(&x, &mut ax);
@@ -162,6 +214,11 @@ where
             final_res = beta / r0_norm;
             break;
         }
+        if !beta.is_finite() {
+            // The iterate itself is poisoned; a restart cannot recover.
+            broke_down = true;
+            break 'outer;
+        }
         // Arnoldi basis (m+1 vectors max); right preconditioning also
         // keeps the preconditioned directions `z_k = M⁻¹ v_k` so the final
         // update x += Z y needs no extra preconditioner application.
@@ -176,6 +233,7 @@ where
         let mut g = vec![0.0; m + 1];
         g[0] = beta;
         let mut k_done = 0usize;
+        let mut cycle_broken = false;
         for k in 0..m {
             if total_iters >= opts.max_iters {
                 break;
@@ -204,13 +262,16 @@ where
                 }
                 Ortho::Cgs | Ortho::Cgs2 => {
                     // Batched Gram reduction(s).
-                    let passes = if matches!(opts.ortho, Ortho::Cgs2) { 2 } else { 1 };
+                    let passes = if matches!(opts.ortho, Ortho::Cgs2) {
+                        2
+                    } else {
+                        1
+                    };
                     for j in 0..=k {
                         h[(j, k)] = 0.0;
                     }
                     for _ in 0..passes {
-                        let locals: Vec<f64> =
-                            v.iter().map(|vj| ip.local_dot(&w, vj)).collect();
+                        let locals: Vec<f64> = v.iter().map(|vj| ip.local_dot(&w, vj)).collect();
                         let dots = ip.reduce(locals);
                         for (j, (vj, hjk)) in v.iter().zip(&dots).enumerate() {
                             vector::axpy(-hjk, vj, &mut w);
@@ -220,6 +281,17 @@ where
                 }
             }
             let hk1 = ip.norm(&w);
+            if !hk1.is_finite() {
+                // Non-finite Arnoldi column (NaN from the operator or
+                // preconditioner, or lost orthogonality blowing up the
+                // norm): discard this column and end the cycle.
+                cycle_broken = true;
+                k_done = k;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             h[(k + 1, k)] = hk1;
             // Apply accumulated rotations to the new column, then form the
             // rotation annihilating h[k+1][k].
@@ -229,6 +301,18 @@ where
                 h[(j + 1, k)] = b2;
             }
             let (gr, rkk) = Givens::compute(h[(k, k)], h[(k + 1, k)]);
+            if hk1 <= 1e-14 * r0_norm && rkk.abs() <= 1e-14 * r0_norm {
+                // Fully annihilated column (a singular operator or
+                // preconditioner mapped the basis vector to ~zero): the
+                // rotated least-squares residual is meaningless and the
+                // pivot would be zero — discard the column and stop.
+                cycle_broken = true;
+                k_done = k;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             h[(k, k)] = rkk;
             h[(k + 1, k)] = 0.0;
             let (g0, g1) = gr.apply(g[k], g[k + 1]);
@@ -237,6 +321,14 @@ where
             rot.push(gr);
             k_done = k + 1;
             let res = g[k + 1].abs();
+            if !res.is_finite() {
+                cycle_broken = true;
+                k_done = k;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             final_res = res / r0_norm;
             if opts.record_history {
                 history.push(final_res);
@@ -245,17 +337,36 @@ where
                 converged = true;
                 break;
             }
+            // Stagnation: no residual improvement at all for STALL_LIMIT
+            // consecutive iterations (GMRES residuals are non-increasing,
+            // so "no improvement" means exactly flat).
+            if res < best_res * (1.0 - 1e-12) {
+                best_res = res;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= STALL_LIMIT {
+                    cycle_broken = true;
+                    break;
+                }
+            }
             if hk1 <= 1e-14 * r0_norm {
-                // Happy breakdown: the Krylov space is invariant, so the
-                // least-squares solution below is exact.
-                converged = true;
+                // Invariant Krylov subspace. For a nonsingular operator the
+                // least-squares solution below is exact and `res` would have
+                // met the tolerance above — reaching here with a large
+                // residual means the operator annihilated the space
+                // (singular operator / preconditioner): a breakdown, not
+                // convergence.
+                cycle_broken = true;
                 break;
             }
             let mut next = w;
             vector::scal(1.0 / hk1, &mut next);
             v.push(next);
         }
-        // Solve the triangular system R y = g and update x.
+        // Solve the triangular system R y = g and update x (skipped if the
+        // coefficients are non-finite — e.g. an exactly zero pivot from a
+        // fully annihilated column).
         if k_done > 0 {
             let mut y = vec![0.0; k_done];
             for i in (0..k_done).rev() {
@@ -265,21 +376,44 @@ where
                 }
                 y[i] = s / h[(i, i)];
             }
-            for (j, yj) in y.iter().enumerate() {
-                let dir = if right { &zbasis[j] } else { &v[j] };
-                vector::axpy(*yj, dir, &mut x);
+            if y.iter().all(|v| v.is_finite()) {
+                for (j, yj) in y.iter().enumerate() {
+                    let dir = if right { &zbasis[j] } else { &v[j] };
+                    vector::axpy(*yj, dir, &mut x);
+                }
             }
         }
         if converged || total_iters >= opts.max_iters {
             break 'outer;
         }
+        if cycle_broken {
+            if breakdown_restarts == 0 {
+                // One restart: rebuild the Krylov space from the current
+                // iterate before giving up.
+                breakdown_restarts += 1;
+                best_res = f64::INFINITY;
+                stall = 0;
+            } else {
+                broke_down = true;
+                break 'outer;
+            }
+        }
     }
+    let status = if converged {
+        SolveStatus::Converged
+    } else if broke_down {
+        SolveStatus::Breakdown
+    } else {
+        SolveStatus::MaxIterations
+    };
     SolveResult {
         x,
         iterations: total_iters,
         converged,
         history,
         final_residual: final_res,
+        status,
+        breakdown_restarts,
     }
 }
 
@@ -509,8 +643,22 @@ mod tests {
             record_history: false,
             ..Default::default()
         };
-        let r2 = gmres(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &mk(Ortho::Cgs2));
-        let rm = gmres(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &mk(Ortho::Mgs));
+        let r2 = gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &mk(Ortho::Cgs2),
+        );
+        let rm = gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &mk(Ortho::Mgs),
+        );
         assert!(r2.converged && rm.converged);
         assert!(
             (r2.iterations as i64 - rm.iterations as i64).abs() <= 3,
@@ -537,6 +685,67 @@ mod tests {
     }
 
     #[test]
+    fn nan_preconditioner_reports_breakdown() {
+        let a = laplacian_2d(5, 5);
+        let n = a.rows();
+        let nan = FnPrecond::new(|_r: &[f64], z: &mut [f64]| z.fill(f64::NAN));
+        let res = gmres(
+            &a,
+            &nan,
+            &SeqDot,
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &GmresOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+        assert_eq!(res.breakdown_restarts, 1);
+        // The iterate must never be poisoned by the NaN columns.
+        assert!(res.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_preconditioner_is_breakdown_not_false_convergence() {
+        let a = laplacian_2d(5, 5);
+        let n = a.rows();
+        let zero = FnPrecond::new(|_r: &[f64], z: &mut [f64]| z.fill(0.0));
+        let res = gmres(
+            &a,
+            &zero,
+            &SeqDot,
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &GmresOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+    }
+
+    #[test]
+    fn stagnation_triggers_breakdown_after_one_restart() {
+        // Circulant shift: the GMRES residual with b = e₁ stays exactly 1
+        // until iteration n — flat far past the stall limit.
+        let n = 80;
+        let mut c = CooBuilder::new(n, n);
+        for i in 0..n {
+            c.push((i + 1) % n, i, 1.0);
+        }
+        let a = c.to_csr();
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        let res = gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &GmresOpts::default(),
+        );
+        assert_eq!(res.status, SolveStatus::Breakdown);
+        assert_eq!(res.breakdown_restarts, 1);
+    }
+
+    #[test]
     fn nonzero_initial_guess() {
         let a = laplacian_2d(7, 5);
         let n = a.rows();
@@ -546,7 +755,14 @@ mod tests {
         // Start close to the solution: should converge in few iterations.
         let mut x0 = xref.clone();
         x0[0] += 0.01;
-        let res = gmres(&a, &IdentityPrecond, &SeqDot, &b, &x0, &GmresOpts::default());
+        let res = gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &x0,
+            &GmresOpts::default(),
+        );
         assert!(res.converged);
         assert!(res.iterations < 20);
         assert!(vector::dist2(&res.x, &xref) < 1e-5);

@@ -17,7 +17,7 @@ pub mod operator;
 pub mod pipelined;
 
 pub use cg::{cg, CgOpts};
-pub use gmres::{gmres, GmresOpts, Ortho, Side, SolveResult};
+pub use gmres::{gmres, GmresOpts, Ortho, Side, SolveResult, SolveStatus};
 pub use operator::{
     FnOperator, FnPrecond, IdentityPrecond, InnerProduct, Operator, Preconditioner, SeqDot,
 };

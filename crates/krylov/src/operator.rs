@@ -55,9 +55,14 @@ pub trait InnerProduct {
         self.reduce(vec![self.local_dot(x, y)])[0]
     }
 
-    /// Global 2-norm.
+    /// Global 2-norm. NaN propagates (`NaN.max(0.0)` would silently report
+    /// a zero norm — i.e. fake convergence — for a poisoned vector).
     fn norm(&self, x: &[f64]) -> f64 {
-        self.dot(x, x).max(0.0).sqrt()
+        let d = self.dot(x, x);
+        if d.is_nan() {
+            return f64::NAN;
+        }
+        d.max(0.0).sqrt()
     }
 }
 

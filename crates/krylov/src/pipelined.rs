@@ -18,7 +18,7 @@
 //! performs **zero** standalone global reductions — only the
 //! `MPI_Iallreduce` among masters, overlapped with the coarse solve.
 
-use crate::gmres::{GmresOpts, SolveResult};
+use crate::gmres::{GmresOpts, SolveResult, SolveStatus, STALL_LIMIT};
 use crate::operator::{InnerProduct, Operator, Preconditioner};
 use dd_linalg::givens::Givens;
 use dd_linalg::{vector, DMat};
@@ -98,7 +98,16 @@ where
     M: FusedPreconditioner + ?Sized,
     P: InnerProduct + ?Sized,
 {
-    pgmres_impl(op, precond, Some(precond), ip, b, x0, opts, ReduceMode::Fused)
+    pgmres_impl(
+        op,
+        precond,
+        Some(precond),
+        ip,
+        b,
+        x0,
+        opts,
+        ReduceMode::Fused,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -147,9 +156,26 @@ where
             converged: true,
             history,
             final_residual: 0.0,
+            status: SolveStatus::Converged,
+            breakdown_restarts: 0,
+        };
+    }
+    if !r0_norm.is_finite() {
+        return SolveResult {
+            x,
+            iterations: 0,
+            converged: false,
+            history,
+            final_residual: f64::INFINITY,
+            status: SolveStatus::Breakdown,
+            breakdown_restarts: 0,
         };
     }
     let target = opts.tol * r0_norm;
+    let mut breakdown_restarts = 0usize;
+    let mut broke_down = false;
+    let mut best_res = f64::INFINITY;
+    let mut stall = 0usize;
 
     'outer: loop {
         op.apply(&x, &mut ax);
@@ -162,6 +188,11 @@ where
             converged = true;
             final_res = beta / r0_norm;
             break;
+        }
+        if !beta.is_finite() {
+            // The iterate itself is poisoned; a restart cannot recover.
+            broke_down = true;
+            break 'outer;
         }
         // v: normalized basis; z: shadow basis z_j = B v_j.
         let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
@@ -189,7 +220,6 @@ where
 
         for i in 1..=m {
             if total_iters >= opts.max_iters {
-                cycle_broken = true;
                 break;
             }
             total_iters += 1;
@@ -212,6 +242,15 @@ where
             // ----------------------------------------- reduction available
             // dots = [⟨w,v_0⟩, …, ⟨w,v_{i−1}⟩, ‖w‖²] for w = w_{i−1}.
             let wnorm2 = dots[i];
+            if !wnorm2.is_finite() || dots[..i].iter().any(|d| !d.is_finite()) {
+                // Non-finite Gram row: the candidate is poisoned; end the
+                // cycle with the columns finalized so far.
+                cycle_broken = true;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             let mut sumsq = 0.0;
             for j in 0..i {
                 h[(j, i - 1)] = dots[j];
@@ -231,15 +270,34 @@ where
             if hii * hii <= 1e-10 * wnorm2.max(1e-300) {
                 hii = ip.norm(&u);
             }
+            if !hii.is_finite() {
+                cycle_broken = true;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             h[(i, i - 1)] = hii;
             if hii <= 1e-14 * r0_norm {
-                // Lucky breakdown: finalize column i−1 and stop.
+                // Invariant subspace: finalize column i−1 and stop. Only a
+                // residual that actually meets the tolerance counts as
+                // convergence (a singular operator/preconditioner reaches
+                // this point with a large residual — a breakdown).
                 for (j, gr) in rot.iter().enumerate() {
                     let (a2, b2) = gr.apply(h[(j, i - 1)], h[(j + 1, i - 1)]);
                     h[(j, i - 1)] = a2;
                     h[(j + 1, i - 1)] = b2;
                 }
                 let (gr, rkk) = Givens::compute(h[(i - 1, i - 1)], h[(i, i - 1)]);
+                if rkk.abs() <= 1e-14 * r0_norm {
+                    // Fully annihilated column: the rotated least-squares
+                    // residual is meaningless — discard it.
+                    cycle_broken = true;
+                    if opts.record_history {
+                        history.push(final_res);
+                    }
+                    break;
+                }
                 h[(i - 1, i - 1)] = rkk;
                 let (g0, g1) = gr.apply(g[i - 1], g[i]);
                 g[i - 1] = g0;
@@ -250,7 +308,11 @@ where
                 if opts.record_history {
                     history.push(final_res);
                 }
-                converged = true;
+                if g[i].abs() <= target {
+                    converged = true;
+                } else {
+                    cycle_broken = true;
+                }
                 break;
             }
             vector::scal(1.0 / hii, &mut u);
@@ -277,21 +339,44 @@ where
             g[i - 1] = g0;
             g[i] = g1;
             rot.push(gr);
+            let res = g[i].abs();
+            if !res.is_finite() {
+                // Exclude the poisoned column from the update.
+                k_done = i - 1;
+                cycle_broken = true;
+                if opts.record_history {
+                    history.push(final_res);
+                }
+                break;
+            }
             k_done = i;
-            final_res = g[i].abs() / r0_norm;
+            final_res = res / r0_norm;
             if opts.record_history {
                 history.push(final_res);
             }
-            if g[i].abs() <= target {
+            if res <= target {
                 converged = true;
                 break;
+            }
+            // Stagnation: no residual improvement for STALL_LIMIT
+            // consecutive iterations.
+            if res < best_res * (1.0 - 1e-12) {
+                best_res = res;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall >= STALL_LIMIT {
+                    cycle_broken = true;
+                    break;
+                }
             }
         }
         // Discard any un-awaited reduction (restart boundary).
         if let Some(p) = pending.take() {
             let _ = p();
         }
-        // x update from the k_done finalized columns.
+        // x update from the k_done finalized columns (skipped when the
+        // triangular solve produces non-finite coefficients).
         if k_done > 0 {
             let mut y = vec![0.0; k_done];
             for i2 in (0..k_done).rev() {
@@ -301,20 +386,43 @@ where
                 }
                 y[i2] = s / h[(i2, i2)];
             }
-            for (j, yj) in y.iter().enumerate() {
-                vector::axpy(*yj, &v[j], &mut x);
+            if y.iter().all(|v| v.is_finite()) {
+                for (j, yj) in y.iter().enumerate() {
+                    vector::axpy(*yj, &v[j], &mut x);
+                }
             }
         }
-        if converged || total_iters >= opts.max_iters || cycle_broken {
+        if converged || total_iters >= opts.max_iters {
             break 'outer;
         }
+        if cycle_broken {
+            if breakdown_restarts == 0 {
+                // One restart: rebuild the Krylov space from the current
+                // iterate before giving up.
+                breakdown_restarts += 1;
+                best_res = f64::INFINITY;
+                stall = 0;
+            } else {
+                broke_down = true;
+                break 'outer;
+            }
+        }
     }
+    let status = if converged {
+        SolveStatus::Converged
+    } else if broke_down {
+        SolveStatus::Breakdown
+    } else {
+        SolveStatus::MaxIterations
+    };
     SolveResult {
         x,
         iterations: total_iters,
         converged,
         history,
         final_residual: final_res,
+        status,
+        breakdown_restarts,
     }
 }
 
@@ -380,13 +488,17 @@ mod tests {
         let pipelined = pipelined_gmres(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &opts);
         assert!(classical.converged && pipelined.converged);
         assert!(
-            vector::dist2(&classical.x, &pipelined.x)
-                < 1e-5 * vector::norm2(&classical.x).max(1.0),
+            vector::dist2(&classical.x, &pipelined.x) < 1e-5 * vector::norm2(&classical.x).max(1.0),
             "solutions differ"
         );
         // Same iteration counts within the 1-step pipeline lag.
         let d = classical.iterations as i64 - pipelined.iterations as i64;
-        assert!(d.abs() <= 3, "iters {} vs {}", classical.iterations, pipelined.iterations);
+        assert!(
+            d.abs() <= 3,
+            "iters {} vs {}",
+            classical.iterations,
+            pipelined.iterations
+        );
     }
 
     #[test]
@@ -439,6 +551,33 @@ mod tests {
         let mut ax = vec![0.0; n];
         a.spmv(&res.x, &mut ax);
         assert!(vector::dist2(&ax, &b) / vector::norm2(&b) < 1e-5);
+    }
+
+    #[test]
+    fn nan_operator_reports_breakdown() {
+        // An "operator" that poisons every product: the solve must stop
+        // with a typed breakdown after one restart and a finite iterate.
+        struct NanOp(usize);
+        impl Operator for NanOp {
+            fn dim(&self) -> usize {
+                self.0
+            }
+            fn apply(&self, _x: &[f64], y: &mut [f64]) {
+                y.fill(f64::NAN);
+            }
+        }
+        let n = 10;
+        let res = pipelined_gmres(
+            &NanOp(n),
+            &IdentityPrecond,
+            &SeqDot,
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &GmresOpts::default(),
+        );
+        assert!(!res.converged);
+        assert_eq!(res.status, SolveStatus::Breakdown);
+        assert!(res.x.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -411,7 +411,10 @@ impl DenseLu {
                 }
             }
             if pmax <= 1e-300 * scale {
-                return Err(FactorError::SingularPivot { step: k, pivot: pmax });
+                return Err(FactorError::SingularPivot {
+                    step: k,
+                    pivot: pmax,
+                });
             }
             if p != k {
                 piv.swap(k, p);
@@ -620,7 +623,7 @@ mod tests {
         a.gemm(1.0, &b, 0.0, &mut c);
         let expect = DMat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
         assert!((c.norm_fro() - expect.norm_fro()).abs() < 1e-14);
-        assert!((&c.data()[..] == expect.data()));
+        assert!(c.data() == expect.data());
     }
 
     #[test]
@@ -697,12 +700,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_and_orthonormal() {
-        let a = DMat::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let qr = DenseQr::factor(&a);
         let q = qr.q();
         let r = qr.r();

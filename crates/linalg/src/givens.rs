@@ -45,11 +45,23 @@ mod tests {
 
     #[test]
     fn annihilates_second_component() {
-        for &(a, b) in &[(3.0, 4.0), (-1.0, 2.0), (0.0, 5.0), (7.0, 0.0), (1e-200, 1e200)] {
+        for &(a, b) in &[
+            (3.0, 4.0),
+            (-1.0, 2.0),
+            (0.0, 5.0),
+            (7.0, 0.0),
+            (1e-200, 1e200),
+        ] {
             let (g, r) = Givens::compute(a, b);
             let (x, y) = g.apply(a, b);
-            assert!((x - r).abs() <= 1e-12 * r.abs().max(1.0), "r mismatch for {a},{b}");
-            assert!(y.abs() <= 1e-12 * r.abs().max(1.0), "y not annihilated for {a},{b}");
+            assert!(
+                (x - r).abs() <= 1e-12 * r.abs().max(1.0),
+                "r mismatch for {a},{b}"
+            );
+            assert!(
+                y.abs() <= 1e-12 * r.abs().max(1.0),
+                "y not annihilated for {a},{b}"
+            );
             // rotation is orthogonal
             assert!((g.c * g.c + g.s * g.s - 1.0).abs() < 1e-12);
         }

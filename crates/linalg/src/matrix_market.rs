@@ -13,9 +13,14 @@ pub enum MmError {
     /// Header missing or not a supported `matrix coordinate real` variant.
     BadHeader(String),
     /// Malformed entry line (wrong arity or unparsable numbers).
-    BadEntry { line: usize, content: String },
+    BadEntry {
+        line: usize,
+        content: String,
+    },
     /// Index out of the declared bounds.
-    IndexOutOfRange { line: usize },
+    IndexOutOfRange {
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for MmError {

@@ -325,7 +325,6 @@ impl Mesh {
         on_boundary
     }
 
-
     /// Merge two meshes into one conforming mesh, identifying vertices that
     /// coincide geometrically (within `tol`). Used to compose geometries
     /// from box primitives — e.g. the paper's tripod (Figure 6) built from
@@ -336,9 +335,7 @@ impl Mesh {
     pub fn merge(a: &Mesh, b: &Mesh, tol: f64) -> Mesh {
         assert_eq!(a.dim(), b.dim(), "merge: dimension mismatch");
         let dim = a.dim();
-        let key = |p: &[f64]| -> Vec<i64> {
-            p.iter().map(|&x| (x / tol).round() as i64).collect()
-        };
+        let key = |p: &[f64]| -> Vec<i64> { p.iter().map(|&x| (x / tol).round() as i64).collect() };
         let mut coords = a.coords_flat().to_vec();
         let mut lookup: HashMap<Vec<i64>, u32> = (0..a.n_vertices())
             .map(|v| (key(a.vertex(v)), v as u32))
@@ -380,8 +377,8 @@ impl Mesh {
     pub fn tripod(res: usize) -> Mesh {
         let r = res.max(1);
         // Plate: 3 × 3 × 0.5 at height z ∈ [1, 1.5].
-        let plate = Mesh::box3d(3 * r, 3 * r, r.div_ceil(2), 3.0, 3.0, 0.5)
-            .translated(&[0.0, 0.0, 1.0]);
+        let plate =
+            Mesh::box3d(3 * r, 3 * r, r.div_ceil(2), 3.0, 3.0, 0.5).translated(&[0.0, 0.0, 1.0]);
         // Three legs 0.5 × 0.5 × 1 under the plate. Leg grids align with
         // the plate grid (cells per unit length match), so merge() glues
         // them conformingly.
@@ -484,8 +481,7 @@ mod tests {
         let mut count = 0;
         for v in 0..m.n_vertices() {
             let p = m.vertex(v);
-            let on_edge =
-                p[0] < 1e-12 || p[0] > 1.0 - 1e-12 || p[1] < 1e-12 || p[1] > 1.0 - 1e-12;
+            let on_edge = p[0] < 1e-12 || p[0] > 1.0 - 1e-12 || p[1] < 1e-12 || p[1] > 1.0 - 1e-12;
             assert_eq!(b[v], on_edge, "vertex {v} at {p:?}");
             count += b[v] as usize;
         }
@@ -537,7 +533,11 @@ mod tests {
         let m = Mesh::tripod(2);
         assert_eq!(m.dim(), 3);
         // volume = plate 4.5 + 3 legs × 0.25
-        assert!((m.total_volume() - (4.5 + 0.75)).abs() < 1e-9, "volume {}", m.total_volume());
+        assert!(
+            (m.total_volume() - (4.5 + 0.75)).abs() < 1e-9,
+            "volume {}",
+            m.total_volume()
+        );
         // connected dual graph
         let adj = m.dual_graph();
         let mut seen = vec![false; m.n_elements()];

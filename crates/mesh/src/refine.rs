@@ -44,7 +44,8 @@ pub fn uniform_refine(mesh: &Mesh) -> Mesh {
     let dim = mesh.dim();
     let mut coords = mesh.coords_flat().to_vec();
     let mut cache = MidpointCache::new();
-    let mut elems: Vec<u32> = Vec::with_capacity(mesh.elements_flat().len() * if dim == 2 { 4 } else { 8 });
+    let mut elems: Vec<u32> =
+        Vec::with_capacity(mesh.elements_flat().len() * if dim == 2 { 4 } else { 8 });
     for e in 0..mesh.n_elements() {
         let el: Vec<u32> = mesh.element(e).to_vec();
         match dim {

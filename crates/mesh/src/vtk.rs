@@ -18,11 +18,7 @@ pub enum VtkField<'a> {
 ///
 /// 2D meshes are written with a zero z-coordinate; triangles use VTK cell
 /// type 5, tetrahedra type 10.
-pub fn write_vtk<W: Write>(
-    out: &mut W,
-    mesh: &Mesh,
-    fields: &[VtkField<'_>],
-) -> io::Result<()> {
+pub fn write_vtk<W: Write>(out: &mut W, mesh: &Mesh, fields: &[VtkField<'_>]) -> io::Result<()> {
     let dim = mesh.dim();
     writeln!(out, "# vtk DataFile Version 3.0")?;
     writeln!(out, "dd-geneo export")?;

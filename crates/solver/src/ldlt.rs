@@ -39,8 +39,7 @@ pub enum Ordering {
 /// huge one, which makes the triangular solve return a ~zero component in
 /// that direction: the factorization acts as a pseudo-inverse on the
 /// numerical range of the matrix.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum PivotPolicy {
     /// Fail with [`LdltError::ZeroPivot`].
     #[default]
@@ -51,7 +50,6 @@ pub enum PivotPolicy {
         rel_tol: f64,
     },
 }
-
 
 /// Errors raised during numeric factorization.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,7 +129,11 @@ impl SparseLdlt {
     }
 
     /// Factor with an explicit null-pivot policy.
-    pub fn factor_with(a: &CsrMatrix, ord: Ordering, policy: PivotPolicy) -> Result<Self, LdltError> {
+    pub fn factor_with(
+        a: &CsrMatrix,
+        ord: Ordering,
+        policy: PivotPolicy,
+    ) -> Result<Self, LdltError> {
         assert_eq!(a.rows(), a.cols(), "ldlt: square input");
         debug_assert!(
             a.symmetry_defect() <= 1e-10 * a.norm_inf().max(1.0),

@@ -118,9 +118,7 @@ pub fn min_degree(a: &CsrMatrix) -> Vec<usize> {
     let (ptr, adj) = adjacency(a);
     // Quotient graph: each variable keeps a list of adjacent variables and a
     // list of adjacent elements (eliminated cliques).
-    let mut var_adj: Vec<Vec<u32>> = (0..n)
-        .map(|i| adj[ptr[i]..ptr[i + 1]].to_vec())
-        .collect();
+    let mut var_adj: Vec<Vec<u32>> = (0..n).map(|i| adj[ptr[i]..ptr[i + 1]].to_vec()).collect();
     let mut elt_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     // Elements store their variable membership.
     let mut elements: Vec<Vec<u32>> = Vec::new();

@@ -34,7 +34,11 @@ fn main() {
     let cd = decompose(&chain, &problem, &cpart, 4, 1);
     for (i, s) in cd.subdomains.iter().enumerate() {
         let nbrs: Vec<usize> = s.neighbors.iter().map(|l| l.j).collect();
-        println!("O_{} = {:?}", i + 1, nbrs.iter().map(|j| j + 1).collect::<Vec<_>>());
+        println!(
+            "O_{} = {:?}",
+            i + 1,
+            nbrs.iter().map(|j| j + 1).collect::<Vec<_>>()
+        );
     }
     let tl = two_level(
         &cd,

@@ -50,7 +50,12 @@ fn main() {
     for (r, _) in &sols {
         println!(
             "{:4}  {:9.4}  {:12.4}  {:9.4}  {:11.4}  {:8.4}  {:5}",
-            r.rank, r.t_factorization, r.t_deflation, r.t_coarse, r.t_solution, r.t_total,
+            r.rank,
+            r.t_factorization,
+            r.t_deflation,
+            r.t_coarse,
+            r.t_solution,
+            r.t_total,
             r.n_neighbors
         );
     }
@@ -72,11 +77,9 @@ fn main() {
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         .sqrt();
-    let den: f64 = decomp
-        .rhs_global
-        .iter()
-        .map(|b| b * b)
-        .sum::<f64>()
-        .sqrt();
-    println!("true relative residual of the SPMD solution: {:.2e}", num / den);
+    let den: f64 = decomp.rhs_global.iter().map(|b| b * b).sum::<f64>().sqrt();
+    println!(
+        "true relative residual of the SPMD solution: {:.2e}",
+        num / den
+    );
 }

@@ -40,7 +40,14 @@ fn main() {
 
     // 4. One-level RAS ("basic" preconditioning in Figure 1).
     let ras = RasPrecond::build(&decomp, Ordering::MinDegree);
-    let one = gmres(&decomp.a_global, &ras, &SeqDot, &decomp.rhs_global, &x0, &gmres_opts);
+    let one = gmres(
+        &decomp.a_global,
+        &ras,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &gmres_opts,
+    );
     println!(
         "one-level RAS   : {:>4} iterations, converged = {}, residual = {:.2e}",
         one.iterations, one.converged, one.final_residual
@@ -53,7 +60,14 @@ fn main() {
         tl.coarse().dim(),
         tl.coarse().dim() as f64 / decomp.n_subdomains() as f64
     );
-    let two = gmres(&decomp.a_global, &tl, &SeqDot, &decomp.rhs_global, &x0, &gmres_opts);
+    let two = gmres(
+        &decomp.a_global,
+        &tl,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &gmres_opts,
+    );
     println!(
         "two-level ADEF1 : {:>4} iterations, converged = {}, residual = {:.2e}",
         two.iterations, two.converged, two.final_residual

@@ -47,7 +47,14 @@ fn main() {
     let x0 = vec![0.0; decomp.n_global];
 
     let ras = RasPrecond::build(&decomp, Ordering::MinDegree);
-    let one = gmres(&decomp.a_global, &ras, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let one = gmres(
+        &decomp.a_global,
+        &ras,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
     println!(
         "P_RAS    : {:>4} iterations (converged = {})",
         one.iterations, one.converged
@@ -63,7 +70,14 @@ fn main() {
             ..Default::default()
         },
     );
-    let two = gmres(&decomp.a_global, &tl, &SeqDot, &decomp.rhs_global, &x0, &opts);
+    let two = gmres(
+        &decomp.a_global,
+        &tl,
+        &SeqDot,
+        &decomp.rhs_global,
+        &x0,
+        &opts,
+    );
     println!(
         "P_A-DEF1 : {:>4} iterations (converged = {}), dim(E) = {}",
         two.iterations,

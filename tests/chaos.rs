@@ -1,0 +1,237 @@
+//! Seeded chaos tests: deterministic fault plans drive the SPMD runtime
+//! through its documented recovery lattice (GenEO → Nicolaides → one-level
+//! RAS) and assert the *exact* recovery path taken, via the per-rank
+//! [`RunReport`].
+//!
+//! Because fault decisions are pure functions of the plan seed and message
+//! identity, and because drops/delays perturb only virtual time (never
+//! payloads), a recovered run computes bit-identical numerics: the
+//! delay-only and drop-with-retry scenarios must converge in exactly the
+//! iteration count of the fault-free baseline.
+
+use dd_geneo::comm::{CommError, CostModel, FaultPlan, World};
+use dd_geneo::core::problem::presets;
+use dd_geneo::core::{
+    decompose, try_run_spmd, CoarseOutcome, Decomposition, DeflationSource, GeneoOpts,
+    PhaseOutcome, SpmdError, SpmdOpts, SpmdReport,
+};
+use dd_geneo::krylov::GmresOpts;
+use dd_geneo::mesh::Mesh;
+use dd_geneo::part::partition_mesh_rcb;
+use std::sync::Arc;
+
+fn setup(nmesh: usize, nparts: usize) -> Arc<Decomposition> {
+    let mesh = Mesh::unit_square(nmesh, nmesh);
+    let part = partition_mesh_rcb(&mesh, nparts);
+    let p = presets::heterogeneous_diffusion(1);
+    Arc::new(decompose(&mesh, &p, &part, nparts, 1))
+}
+
+fn opts() -> SpmdOpts {
+    SpmdOpts {
+        geneo: GeneoOpts {
+            nev: 5,
+            ..Default::default()
+        },
+        gmres: GmresOpts {
+            tol: 1e-6,
+            max_iters: 500,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn run_with_plan(
+    decomp: &Arc<Decomposition>,
+    opts: &SpmdOpts,
+    plan: FaultPlan,
+) -> Vec<Result<SpmdReport, SpmdError>> {
+    let n = decomp.n_subdomains();
+    let d2 = Arc::clone(decomp);
+    let opts = opts.clone();
+    World::run_with_faults(n, CostModel::default(), plan, move |comm| {
+        try_run_spmd(&d2, comm, &opts).map(|s| s.report)
+    })
+}
+
+fn baseline(decomp: &Arc<Decomposition>, opts: &SpmdOpts) -> Vec<SpmdReport> {
+    run_with_plan(decomp, opts, FaultPlan::default())
+        .into_iter()
+        .map(|r| r.expect("fault-free baseline must not fail"))
+        .collect()
+}
+
+#[test]
+fn fault_free_baseline_is_fully_nominal() {
+    let decomp = setup(12, 4);
+    let reports = baseline(&decomp, &opts());
+    for r in &reports {
+        assert!(r.converged);
+        assert!(r.run.fully_nominal(), "unexpected fallback: {:?}", r.run);
+        assert_eq!(r.run.deflation, DeflationSource::Geneo);
+        assert_eq!(r.run.coarse, CoarseOutcome::TwoLevel);
+        assert_eq!(r.run.faults.delays_injected, 0);
+        assert_eq!(r.run.faults.retries, 0);
+    }
+}
+
+#[test]
+fn delay_only_plan_converges_in_identical_iterations() {
+    let decomp = setup(12, 4);
+    let o = opts();
+    let base = baseline(&decomp, &o);
+    let reports = run_with_plan(&decomp, &o, FaultPlan::new(11).with_delays(0.4, 5e-4));
+    let mut delays = 0;
+    for (r, b) in reports.iter().zip(&base) {
+        let r = r.as_ref().expect("delays are transparent to correctness");
+        assert!(r.converged);
+        // Delays perturb only virtual time, never payloads: bit-identical
+        // numerics and therefore the exact same iteration count.
+        assert_eq!(r.iterations, b.iterations);
+        assert_eq!(r.run.deflation, DeflationSource::Geneo);
+        assert_eq!(r.run.coarse, CoarseOutcome::TwoLevel);
+        delays += r.run.faults.delays_injected;
+    }
+    assert!(delays > 0, "plan injected no delays — test is vacuous");
+}
+
+#[test]
+fn dropped_messages_are_retried_and_do_not_change_the_solve() {
+    let decomp = setup(12, 4);
+    let o = opts();
+    let base = baseline(&decomp, &o);
+    let reports = run_with_plan(&decomp, &o, FaultPlan::new(13).with_drops(0.3, 2));
+    let (mut drops, mut retries, mut timeouts) = (0, 0, 0);
+    for (r, b) in reports.iter().zip(&base) {
+        let r = r.as_ref().expect("drops must be recovered by retries");
+        assert!(r.converged);
+        // Drop-then-redeliver recovery is payload-preserving: identical
+        // iteration count to the fault-free baseline.
+        assert_eq!(r.iterations, b.iterations);
+        drops += r.run.faults.drops_injected;
+        retries += r.run.faults.retries;
+        timeouts += r.run.faults.timeouts;
+    }
+    assert!(drops > 0, "plan injected no drops — test is vacuous");
+    assert!(retries > 0, "drops were not retried");
+    assert_eq!(timeouts, 0, "blocking recv must never time out");
+}
+
+#[test]
+fn killed_rank_surfaces_typed_errors_everywhere() {
+    let decomp = setup(12, 4);
+    let reports = run_with_plan(
+        &decomp,
+        &opts(),
+        FaultPlan::new(1).with_kill(1, "post-assembly"),
+    );
+    for (rank, res) in reports.iter().enumerate() {
+        match res {
+            Err(SpmdError::Killed { rank: r, phase }) => {
+                assert_eq!(rank, 1, "only rank 1 was killed");
+                assert_eq!(*r, 1);
+                assert_eq!(phase, "post-assembly");
+            }
+            Err(SpmdError::Comm(CommError::RankDead { rank: dead })) => {
+                assert_ne!(rank, 1, "the victim must see Killed, not RankDead");
+                assert_eq!(*dead, 1, "survivors must name the dead rank");
+            }
+            other => panic!("rank {rank}: unexpected outcome {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn failed_eigensolve_falls_back_to_nicolaides_and_completes() {
+    let decomp = setup(12, 4);
+    let o = opts();
+    let reports = run_with_plan(
+        &decomp,
+        &o,
+        FaultPlan::new(3).with_failure(Some(2), "eigensolve"),
+    );
+    let reports: Vec<SpmdReport> = reports
+        .into_iter()
+        .map(|r| r.expect("eigensolve failure must be recoverable"))
+        .collect();
+    let it0 = reports[0].iterations;
+    for (rank, r) in reports.iter().enumerate() {
+        assert!(r.converged, "rank {rank} did not converge");
+        assert_eq!(r.iterations, it0, "lockstep collectives imply equal counts");
+        if rank == 2 {
+            assert_eq!(r.run.deflation, DeflationSource::NicolaidesFallback);
+            assert!(
+                r.run
+                    .phases
+                    .iter()
+                    .any(|(name, o)| *name == "deflation"
+                        && matches!(o, PhaseOutcome::Degraded { .. })),
+                "deflation degradation not recorded: {:?}",
+                r.run.phases
+            );
+            assert!(!r.run.fully_nominal());
+        } else {
+            assert_eq!(r.run.deflation, DeflationSource::Geneo, "rank {rank}");
+        }
+        // The run still assembles and uses the two-level preconditioner.
+        assert_eq!(r.run.coarse, CoarseOutcome::TwoLevel);
+        assert!(r.dim_e > 0);
+    }
+}
+
+#[test]
+fn failed_coarse_factorization_drops_to_one_level_and_completes() {
+    let decomp = setup(12, 4);
+    let o = opts();
+    let base = baseline(&decomp, &o);
+    let reports = run_with_plan(
+        &decomp,
+        &o,
+        FaultPlan::new(5).with_failure(None, "coarse-factor"),
+    );
+    let reports: Vec<SpmdReport> = reports
+        .into_iter()
+        .map(|r| r.expect("coarse failure must be recoverable"))
+        .collect();
+    for (rank, r) in reports.iter().enumerate() {
+        assert!(r.converged, "rank {rank} did not converge on one-level RAS");
+        assert_eq!(r.run.coarse, CoarseOutcome::OneLevelFallback);
+        assert!(
+            r.run
+                .phases
+                .iter()
+                .any(|(name, o)| *name == "coarse" && matches!(o, PhaseOutcome::Degraded { .. })),
+            "coarse degradation not recorded: {:?}",
+            r.run.phases
+        );
+        assert!(!r.run.fully_nominal());
+        assert_eq!(r.nnz_e_factor, 0, "no factor may survive the fallback");
+    }
+    // One-level RAS converges, just slower than the two-level baseline.
+    assert!(
+        reports[0].iterations >= base[0].iterations,
+        "one-level fallback cannot beat the two-level baseline: {} < {}",
+        reports[0].iterations,
+        base[0].iterations
+    );
+}
+
+#[test]
+fn drop_and_delay_combined_with_eigensolve_failure_still_recovers() {
+    // Compound chaos: wire faults + a failed eigensolve in one run.
+    let decomp = setup(12, 4);
+    let o = opts();
+    let plan = FaultPlan::new(77)
+        .with_delays(0.2, 1e-4)
+        .with_drops(0.2, 1)
+        .with_failure(Some(0), "eigensolve");
+    let reports = run_with_plan(&decomp, &o, plan);
+    for (rank, r) in reports.iter().enumerate() {
+        let r = r.as_ref().expect("compound plan must still be recoverable");
+        assert!(r.converged, "rank {rank} did not converge");
+        if rank == 0 {
+            assert_eq!(r.run.deflation, DeflationSource::NicolaidesFallback);
+        }
+    }
+}

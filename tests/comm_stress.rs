@@ -86,7 +86,7 @@ fn deep_split_tree() {
         let mut current = comm.split(Some(0)).unwrap();
         let mut sizes = vec![current.size()];
         while current.size() > 1 {
-            let half = current.rank() / ((current.size() + 1) / 2);
+            let half = current.rank() / current.size().div_ceil(2);
             let sub = current.split(Some(half)).unwrap();
             let s = sub.allreduce_sum(1.0);
             assert_eq!(s as usize, sub.size());

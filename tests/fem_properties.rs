@@ -1,42 +1,45 @@
-//! Property-based tests of the finite element layer: invariants that must
-//! hold for every mesh, order, and coefficient field.
+//! Property-style tests of the finite element layer: invariants that must
+//! hold for every mesh, order, and coefficient field, exercised over
+//! seeded deterministic sweeps (see `common::Rng`).
 
+mod common;
+
+use common::Rng;
 use dd_geneo::fem::{
     assemble_boundary_load, assemble_diffusion, assemble_elasticity, assemble_mass, DofMap,
 };
 use dd_geneo::linalg::vector;
 use dd_geneo::mesh::{refine::uniform_refine_n, Mesh};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The mass matrix integrates 1·1 over the domain: Σᵢⱼ Mᵢⱼ = |Ω|,
-    /// for any mesh size, aspect ratio, refinement level and order.
-    #[test]
-    fn mass_total_is_volume(
-        nx in 1usize..5,
-        ny in 1usize..5,
-        lx in 0.3..4.0f64,
-        order in 1usize..5,
-        refines in 0usize..2,
-    ) {
+/// The mass matrix integrates 1·1 over the domain: Σᵢⱼ Mᵢⱼ = |Ω|,
+/// for any mesh size, aspect ratio, refinement level and order.
+#[test]
+fn mass_total_is_volume() {
+    let mut rng = Rng::new(201);
+    for _ in 0..24 {
+        let nx = rng.range_usize(1, 5);
+        let ny = rng.range_usize(1, 5);
+        let lx = rng.range_f64(0.3, 4.0);
+        let order = rng.range_usize(1, 5);
+        let refines = rng.range_usize(0, 2);
         let mesh = uniform_refine_n(&Mesh::rectangle(nx, ny, lx, 1.0), refines);
         let dm = DofMap::new(&mesh, order);
         let m = assemble_mass(&mesh, &dm);
         let total: f64 = m.values().iter().sum();
-        prop_assert!((total - lx).abs() < 1e-9 * lx.max(1.0));
+        assert!((total - lx).abs() < 1e-9 * lx.max(1.0));
     }
+}
 
-    /// Stiffness matrices annihilate constants regardless of the (positive)
-    /// coefficient field.
-    #[test]
-    fn stiffness_kernel_contains_constants(
-        nx in 2usize..6,
-        order in 1usize..4,
-        k0 in 0.1..10.0f64,
-        k1 in 0.1..10.0f64,
-    ) {
+/// Stiffness matrices annihilate constants regardless of the (positive)
+/// coefficient field.
+#[test]
+fn stiffness_kernel_contains_constants() {
+    let mut rng = Rng::new(202);
+    for _ in 0..24 {
+        let nx = rng.range_usize(2, 6);
+        let order = rng.range_usize(1, 4);
+        let k0 = rng.range_f64(0.1, 10.0);
+        let k1 = rng.range_f64(0.1, 10.0);
         let mesh = Mesh::unit_square(nx, nx);
         let dm = DofMap::new(&mesh, order);
         let kappa = move |x: &[f64]| if x[0] < 0.5 { k0 } else { k1 };
@@ -44,29 +47,30 @@ proptest! {
         let ones = vec![1.0; dm.n_dofs()];
         let mut y = vec![0.0; dm.n_dofs()];
         a.spmv(&ones, &mut y);
-        prop_assert!(vector::norm_inf(&y) < 1e-9 * a.norm_inf());
+        assert!(vector::norm_inf(&y) < 1e-9 * a.norm_inf());
         // and the quadratic form is non-negative on arbitrary vectors
-        let x: Vec<f64> = (0..dm.n_dofs()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let x: Vec<f64> = (0..dm.n_dofs())
+            .map(|i| ((i * 31) % 17) as f64 - 8.0)
+            .collect();
         a.spmv(&x, &mut y);
-        prop_assert!(vector::dot(&x, &y) >= -1e-9 * a.norm_inf() * vector::dot(&x, &x).max(1.0));
+        assert!(vector::dot(&x, &y) >= -1e-9 * a.norm_inf() * vector::dot(&x, &x).max(1.0));
     }
+}
 
-    /// Elasticity energies are non-negative and translations are exact
-    /// kernel vectors for any Lamé pair.
-    #[test]
-    fn elasticity_translations_in_kernel(
-        nx in 2usize..5,
-        lam in 0.1..100.0f64,
-        mu in 0.1..100.0f64,
-    ) {
+/// Elasticity energies are non-negative and translations are exact
+/// kernel vectors for any Lamé pair.
+#[test]
+fn elasticity_translations_in_kernel() {
+    let mut rng = Rng::new(203);
+    for _ in 0..24 {
+        let nx = rng.range_usize(2, 5);
+        let lam = rng.range_f64(0.1, 100.0);
+        let mu = rng.range_f64(0.1, 100.0);
         let mesh = Mesh::unit_square(nx, nx);
         let dm = DofMap::new(&mesh, 1);
-        let (a, _) = assemble_elasticity(
-            &mesh,
-            &dm,
-            &move |_| (lam, mu),
-            &|_, f| f.copy_from_slice(&[0.0, 0.0]),
-        );
+        let (a, _) = assemble_elasticity(&mesh, &dm, &move |_| (lam, mu), &|_, f| {
+            f.copy_from_slice(&[0.0, 0.0])
+        });
         let n = dm.n_dofs();
         for comp in 0..2 {
             let mut t = vec![0.0; 2 * n];
@@ -75,42 +79,50 @@ proptest! {
             }
             let mut y = vec![0.0; 2 * n];
             a.spmv(&t, &mut y);
-            prop_assert!(vector::norm_inf(&y) < 1e-9 * a.norm_inf());
+            assert!(vector::norm_inf(&y) < 1e-9 * a.norm_inf());
         }
     }
+}
 
-    /// Boundary loads with g = 1 integrate to the measure of the selected
-    /// boundary piece, at every order.
-    #[test]
-    fn boundary_load_measures_edge(order in 1usize..4, nx in 1usize..6) {
-        let mesh = Mesh::unit_square(nx, nx);
-        let dm = DofMap::new(&mesh, order);
-        let mut rhs = vec![0.0; dm.n_dofs()];
-        assemble_boundary_load(
-            &mesh,
-            &dm,
-            1,
-            &|_, g| g[0] = 1.0,
-            &|x| x[1] < 1e-9, // bottom edge, length 1
-            &mut rhs,
-        );
-        let total: f64 = rhs.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-10, "total {total}");
+/// Boundary loads with g = 1 integrate to the measure of the selected
+/// boundary piece, at every order.
+#[test]
+fn boundary_load_measures_edge() {
+    for order in 1..4 {
+        for nx in 1..6 {
+            let mesh = Mesh::unit_square(nx, nx);
+            let dm = DofMap::new(&mesh, order);
+            let mut rhs = vec![0.0; dm.n_dofs()];
+            assemble_boundary_load(
+                &mesh,
+                &dm,
+                1,
+                &|_, g| g[0] = 1.0,
+                &|x| x[1] < 1e-9, // bottom edge, length 1
+                &mut rhs,
+            );
+            let total: f64 = rhs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-10, "total {total}");
+        }
     }
+}
 
-    /// Dof counts are consistent with mesh entities: P1 = #vertices and
-    /// refining multiplies element count by 4 while dofs grow accordingly.
-    #[test]
-    fn dof_counts_scale_with_refinement(nx in 1usize..4, order in 1usize..4) {
-        let coarse = Mesh::unit_square(nx, nx);
-        let fine = uniform_refine_n(&coarse, 1);
-        let dc = DofMap::new(&coarse, order).n_dofs();
-        let df = DofMap::new(&fine, order).n_dofs();
-        // asymptotically ~4×; small boundary-dominated meshes grow less
-        prop_assert!(df > 2 * dc, "refinement barely grew the space: {dc} → {df}");
-        if order == 1 {
-            prop_assert_eq!(dc, coarse.n_vertices());
-            prop_assert_eq!(df, fine.n_vertices());
+/// Dof counts are consistent with mesh entities: P1 = #vertices and
+/// refining multiplies element count by 4 while dofs grow accordingly.
+#[test]
+fn dof_counts_scale_with_refinement() {
+    for nx in 1..4 {
+        for order in 1..4 {
+            let coarse = Mesh::unit_square(nx, nx);
+            let fine = uniform_refine_n(&coarse, 1);
+            let dc = DofMap::new(&coarse, order).n_dofs();
+            let df = DofMap::new(&fine, order).n_dofs();
+            // asymptotically ~4×; small boundary-dominated meshes grow less
+            assert!(df > 2 * dc, "refinement barely grew the space: {dc} → {df}");
+            if order == 1 {
+                assert_eq!(dc, coarse.n_vertices());
+                assert_eq!(df, fine.n_vertices());
+            }
         }
     }
 }
