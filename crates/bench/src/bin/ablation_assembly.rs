@@ -6,7 +6,7 @@
 //! "the memory overhead on the slaves is null". Same numerics, fewer bytes
 //! on the wire.
 
-use dd_bench::{diffusion_2d, run_workload};
+use dd_bench::{diffusion_2d, print_telemetry_table, run_workload_traced, write_telemetry};
 use dd_core::{AssemblyVariant, GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 
@@ -34,6 +34,7 @@ fn main() {
         "variant", "#it.", "p2p bytes", "collective bytes", "coarse time"
     );
     let mut stats = Vec::new();
+    let mut traces = Vec::new();
     for (name, variant) in [
         ("index-free", AssemblyVariant::IndexFree),
         ("natural gatherv", AssemblyVariant::NaturalGatherv),
@@ -42,7 +43,7 @@ fn main() {
             assembly: variant,
             ..base.clone()
         };
-        let reports = run_workload(&w, &opts);
+        let (reports, trace) = run_workload_traced(&w, &opts);
         let r = &reports[0];
         let coarse = reports.iter().map(|r| r.t_coarse).fold(0.0f64, f64::max);
         let cbytes: u64 = reports
@@ -56,7 +57,28 @@ fn main() {
         );
         assert!(r.converged);
         stats.push((r.iterations, cbytes));
+        traces.push((name, trace));
     }
+
+    // Per-phase telemetry: the gather phase is where the two variants
+    // differ (`assembly:gather` collective bytes).
+    for (name, trace) in &traces {
+        print_telemetry_table(&format!("assembly {name}"), trace);
+        let stem = if name.starts_with("index") {
+            "ablation_assembly_index_free"
+        } else {
+            "ablation_assembly_natural"
+        };
+        match write_telemetry(stem, trace) {
+            Ok(p) => println!("telemetry: {}", p.display()),
+            Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+    }
+    let gather_bytes = |t: &dd_comm::WorldTrace| t.phase_totals("assembly:gather").collective_bytes;
+    assert!(
+        gather_bytes(&traces[1].1) > gather_bytes(&traces[0].1),
+        "index-shipping must move more gather-phase bytes"
+    );
     // Identical numerics, but the index-shipping variant moves more data
     // through the gathers (§3.1.1: "why should slaves send to masters the
     // global row and column indices?").

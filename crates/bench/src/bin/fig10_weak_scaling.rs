@@ -7,7 +7,11 @@
 //! and iteration counts stay nearly constant, so efficiency
 //! `eff(N) = (T₀ · dofs_N · N₀) / (T_N · dofs₀ · N)` stays near 90%+.
 
-use dd_bench::{aggregate, masters_for, print_scaling_table, run_workload, Workload};
+use dd_bench::{
+    aggregate, masters_for, print_scaling_table, print_telemetry_table, run_workload_traced,
+    write_telemetry, Workload,
+};
+use dd_comm::WorldTrace;
 use dd_core::{decompose, problem::presets, GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 use dd_mesh::Mesh;
@@ -41,8 +45,13 @@ fn weak_3d(order: usize, n: usize, base_cells: usize) -> Workload {
     }
 }
 
-fn sweep(make: impl Fn(usize) -> Workload, ns: &[usize]) -> Vec<(dd_bench::ScalingRow, f64)> {
-    ns.iter()
+fn sweep(
+    make: impl Fn(usize) -> Workload,
+    ns: &[usize],
+) -> (Vec<(dd_bench::ScalingRow, f64)>, Vec<WorldTrace>) {
+    let mut traces = Vec::new();
+    let rows = ns
+        .iter()
         .map(|&n| {
             let w = make(n);
             // Halo factor: max local size over the ideal dofs/subdomain.
@@ -71,10 +80,12 @@ fn sweep(make: impl Fn(usize) -> Workload, ns: &[usize]) -> Vec<(dd_bench::Scali
                 },
                 ..Default::default()
             };
-            let reports = run_workload(&w, &opts);
+            let (reports, trace) = run_workload_traced(&w, &opts);
+            traces.push(trace);
             (aggregate(&reports, w.decomp.n_global), halo)
         })
-        .collect()
+        .collect();
+    (rows, traces)
 }
 
 fn efficiency(rows: &[(dd_bench::ScalingRow, f64)]) -> Vec<f64> {
@@ -90,19 +101,32 @@ fn main() {
     println!("# Figure 10 reproduction (weak scaling, virtual time)");
     let ns = [2usize, 4, 8, 16, 32];
 
-    let rows3d = sweep(|n| weak_3d(2, n, 6), &ns);
+    let (rows3d, traces3d) = sweep(|n| weak_3d(2, n, 6), &ns);
     let bare3d: Vec<_> = rows3d.iter().map(|(r, _)| r.clone()).collect();
     print_scaling_table(
         "3D-P2 heterogeneous diffusion (constant dofs/subdomain)",
         &bare3d,
     );
 
-    let rows2d = sweep(|n| weak_2d(4, n, 12), &ns);
+    let (rows2d, traces2d) = sweep(|n| weak_2d(4, n, 12), &ns);
     let bare2d: Vec<_> = rows2d.iter().map(|(r, _)| r.clone()).collect();
     print_scaling_table(
         "2D-P4 heterogeneous diffusion (constant dofs/subdomain)",
         &bare2d,
     );
+
+    // Telemetry of the largest runs (messages/bytes per phase).
+    print_telemetry_table("3D-P2, largest N", traces3d.last().unwrap());
+    print_telemetry_table("2D-P4, largest N", traces2d.last().unwrap());
+    for (stem, trace) in [
+        ("fig10_diffusion_3d", traces3d.last().unwrap()),
+        ("fig10_diffusion_2d", traces2d.last().unwrap()),
+    ] {
+        match write_telemetry(stem, trace) {
+            Ok(p) => println!("telemetry: {}", p.display()),
+            Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+    }
 
     println!(
         "\n== efficiency relative to N = {} (halo factor in parentheses) ==",

@@ -8,7 +8,7 @@
 //! standalone global reductions per iteration — only the masterComm
 //! `MPI_Iallreduce`, overlapped with the coarse solve.
 
-use dd_bench::{diffusion_2d, run_workload};
+use dd_bench::{diffusion_2d, print_telemetry_table, run_workload_traced, write_telemetry};
 use dd_core::{GeneoOpts, SolverKind, SpmdOpts};
 use dd_krylov::GmresOpts;
 
@@ -42,6 +42,7 @@ fn main() {
         "solver", "#it.", "converged", "world collectives/it.", "solve time"
     );
     let mut stats = Vec::new();
+    let mut traces = Vec::new();
     for (name, kind) in [
         ("classical", SolverKind::Classical),
         ("pipelined", SolverKind::Pipelined),
@@ -51,7 +52,7 @@ fn main() {
             solver: kind,
             ..base.clone()
         };
-        let reports = run_workload(&w, &opts);
+        let (reports, trace) = run_workload_traced(&w, &opts);
         let r = &reports[0];
         let per_iter = r.world_collectives_solution as f64 / r.iterations.max(1) as f64;
         let t_sol = reports.iter().map(|r| r.t_solution).fold(0.0f64, f64::max);
@@ -60,6 +61,15 @@ fn main() {
             name, r.iterations, r.converged, per_iter, t_sol
         );
         stats.push((name, r.iterations, r.converged, per_iter));
+        traces.push((name, trace));
+    }
+
+    for (name, trace) in &traces {
+        print_telemetry_table(&format!("fig12 {name}"), trace);
+        match write_telemetry(&format!("fig12_{name}"), trace) {
+            Ok(p) => println!("telemetry: {}", p.display()),
+            Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
     }
 
     // Shape checks: all converge; iteration counts comparable; fused has

@@ -10,13 +10,18 @@
 
 use dd_bench::{
     aggregate, ascii_chart, elasticity_2d, elasticity_3d, masters_for, print_scaling_table,
-    run_workload,
+    print_telemetry_table, run_workload_traced, write_telemetry,
 };
+use dd_comm::WorldTrace;
 use dd_core::{GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 
-fn sweep(make: impl Fn(usize) -> dd_bench::Workload, ns: &[usize]) -> Vec<dd_bench::ScalingRow> {
+fn sweep(
+    make: impl Fn(usize) -> dd_bench::Workload,
+    ns: &[usize],
+) -> (Vec<dd_bench::ScalingRow>, Vec<WorldTrace>) {
     let mut rows = Vec::new();
+    let mut traces = Vec::new();
     for &n in ns {
         let w = make(n);
         let opts = SpmdOpts {
@@ -33,10 +38,11 @@ fn sweep(make: impl Fn(usize) -> dd_bench::Workload, ns: &[usize]) -> Vec<dd_ben
             },
             ..Default::default()
         };
-        let reports = run_workload(&w, &opts);
+        let (reports, trace) = run_workload_traced(&w, &opts);
         rows.push(aggregate(&reports, w.decomp.n_global));
+        traces.push(trace);
     }
-    rows
+    (rows, traces)
 }
 
 fn main() {
@@ -44,12 +50,25 @@ fn main() {
     let ns = [4usize, 8, 16, 32];
 
     // 3D-P2 elasticity, fixed mesh.
-    let rows3d = sweep(|n| elasticity_3d(6, 2, n, 1), &ns);
+    let (rows3d, traces3d) = sweep(|n| elasticity_3d(6, 2, n, 1), &ns);
     print_scaling_table("3D-P2 heterogeneous elasticity (fixed problem)", &rows3d);
 
     // 2D-P3 elasticity, fixed mesh.
-    let rows2d = sweep(|n| elasticity_2d(48, 10, 3, n, 1), &ns);
+    let (rows2d, traces2d) = sweep(|n| elasticity_2d(48, 10, 3, n, 1), &ns);
     print_scaling_table("2D-P3 heterogeneous elasticity (fixed problem)", &rows2d);
+
+    // Telemetry of the largest runs (messages/bytes per phase).
+    print_telemetry_table("3D-P2, largest N", traces3d.last().unwrap());
+    print_telemetry_table("2D-P3, largest N", traces2d.last().unwrap());
+    for (stem, trace) in [
+        ("fig8_elasticity_3d", traces3d.last().unwrap()),
+        ("fig8_elasticity_2d", traces2d.last().unwrap()),
+    ] {
+        match write_telemetry(stem, trace) {
+            Ok(p) => println!("telemetry: {}", p.display()),
+            Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+    }
 
     // Speedups relative to the smallest run (the paper's Figure 8 plot).
     println!("\n== speedup relative to N = {} ==", ns[0]);

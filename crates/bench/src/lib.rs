@@ -30,7 +30,7 @@
 //! wins, where crossovers fall) are the reproduction target, not absolute
 //! seconds.
 
-use dd_comm::World;
+use dd_comm::{World, WorldTrace};
 use dd_core::{
     decompose, problem::presets, run_spmd, Decomposition, Problem, SpmdOpts, SpmdReport,
 };
@@ -233,6 +233,52 @@ pub fn run_workload_with_model(
     World::run(w.nparts, model, move |comm| {
         run_spmd(&decomp, comm, &opts).report
     })
+}
+
+/// [`run_workload`] with telemetry: returns the per-rank reports plus the
+/// merged deterministic [`WorldTrace`] (see `dd_comm::trace`).
+pub fn run_workload_traced(w: &Workload, opts: &SpmdOpts) -> (Vec<SpmdReport>, WorldTrace) {
+    let decomp = Arc::clone(&w.decomp);
+    let opts = opts.clone();
+    World::run_traced(w.nparts, dd_comm::CostModel::default(), move |comm| {
+        run_spmd(&decomp, comm, &opts).report
+    })
+}
+
+/// Print the per-phase communication telemetry of a traced run: message
+/// and byte counts summed over ranks, split by point-to-point vs
+/// collective and by collective class (§3.2).
+pub fn print_telemetry_table(title: &str, trace: &WorldTrace) {
+    println!("\n== {title} (telemetry, N = {}) ==", trace.n_ranks());
+    println!(
+        "{:>18} {:>9} {:>12} {:>9} {:>9} {:>12} {:>14}",
+        "Phase", "P2P msgs", "P2P bytes", "Coll(eq)", "Coll(v)", "Coll bytes", "Flops"
+    );
+    for name in trace.phase_names() {
+        let c = trace.phase_totals(&name);
+        println!(
+            "{:>18} {:>9} {:>12} {:>9} {:>9} {:>12} {:>14}",
+            name,
+            c.sends,
+            c.send_bytes,
+            c.collectives_eq,
+            c.collectives_v,
+            c.collective_bytes,
+            c.flops,
+        );
+    }
+}
+
+/// Write the full telemetry JSON of a traced run to
+/// `bench_results/telemetry/<stem>.json` (created as needed), returning the
+/// path. Full JSON includes virtual times; use
+/// [`WorldTrace::canonical_json`] for the deterministic subset.
+pub fn write_telemetry(stem: &str, trace: &WorldTrace) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("bench_results").join("telemetry");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, trace.to_json())?;
+    Ok(path)
 }
 
 /// Minimal ASCII line chart for the bench binaries' "figure" outputs: one

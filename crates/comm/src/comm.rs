@@ -28,8 +28,9 @@
 //! of the seed and message identity.
 
 use crate::fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
-use crate::model::CostModel;
+use crate::model::{linear_msgs, tree_msgs, CostModel};
 use crate::time::VirtualClock;
+use crate::trace::{CollClass, RankTrace, TraceRecorder, WorldTrace};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
@@ -286,6 +287,11 @@ pub struct Communicator {
     health: Arc<WorldHealth>,
     plan: Arc<FaultPlan>,
     counters: Rc<FaultCounters>,
+    /// Telemetry recorder, shared with every communicator split from this
+    /// one (a disabled recorder — the default — records nothing).
+    tracer: Rc<TraceRecorder>,
+    /// Interned telemetry label of this communicator.
+    label: Cell<u16>,
 }
 
 impl Communicator {
@@ -342,6 +348,56 @@ impl Communicator {
             p2p_messages: self.shared.p2p_messages.load(AtOrd::Relaxed),
             p2p_bytes: self.shared.p2p_bytes.load(AtOrd::Relaxed),
         }
+    }
+
+    // ----------------------------------------------------------- telemetry
+
+    /// Enter the named telemetry phase: subsequent sends, receives,
+    /// collectives, and flop charges on this rank are attributed to it.
+    /// No-op on untraced worlds. Phase scoping is per rank and purely
+    /// local — no synchronization is implied (pair with a
+    /// [`Communicator::barrier`] when phases must align across ranks).
+    pub fn trace_phase(&self, name: &str) {
+        self.tracer.set_phase(name, self.clock.now());
+    }
+
+    /// Record a solver-iteration boundary in the event journal.
+    pub fn trace_iteration(&self, k: usize) {
+        self.tracer.on_iteration(k);
+    }
+
+    /// Charge explicitly counted floating-point operations to the current
+    /// telemetry phase (deterministic, unlike CPU-time measurement).
+    pub fn charge_flops(&self, n: u64) {
+        self.tracer.charge_flops(n);
+    }
+
+    /// Label this communicator in recorded collective events (e.g.
+    /// `"masterComm"`). Split communicators inherit the parent's label
+    /// until relabeled.
+    pub fn set_trace_label(&self, label: &str) {
+        self.label.set(self.tracer.intern_label(label));
+    }
+
+    /// Is this world recording telemetry?
+    pub fn traced(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Record a collective event: message count per §3.2 — `⌈log₂ p⌉` for
+    /// equal-count collectives, `p − 1` for `v`-variants.
+    fn trace_coll(&self, op: &'static str, class: CollClass, root: Option<usize>, bytes: usize) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let size = self.size();
+        let msgs = match class {
+            CollClass::EqualCount => tree_msgs(size),
+            CollClass::Varying => linear_msgs(size),
+        };
+        let root_world = root.map(|r| self.shared.world_ranks[r]);
+        self.tracer
+            .on_collective(op, class, self.label.get(), size, root_world, bytes, msgs);
     }
 
     // -------------------------------------------------------------- faults
@@ -425,6 +481,8 @@ impl Communicator {
         self.shared
             .p2p_bytes
             .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.tracer
+            .on_send(self.shared.world_ranks[dest], tag, bytes);
     }
 
     /// Blocking receive of the next message from `src` with `tag`. Dropped
@@ -477,6 +535,7 @@ impl Communicator {
                     front.drops -= 1;
                     self.clock.advance(policy.charge(attempts));
                     bump(&self.counters.retries);
+                    self.tracer.on_retry();
                     attempts += 1;
                     if attempts > policy.max_retries {
                         timed_out = true;
@@ -521,7 +580,8 @@ impl Communicator {
         drop(inner);
         drop(guard);
         self.clock.advance_to(env.arrival);
-        let _ = env.bytes;
+        self.tracer
+            .on_recv(self.shared.world_ranks[src], tag, env.bytes);
         Ok(*env
             .payload
             .downcast::<T>()
@@ -659,6 +719,7 @@ impl Communicator {
 
     /// Fault-tolerant [`Communicator::barrier`].
     pub fn try_barrier(&self) -> Result<(), CommError> {
+        self.trace_coll("barrier", CollClass::EqualCount, None, 0);
         let size = self.size();
         let model = self.model;
         self.try_collective(Box::new(()), move |_, max_entry| {
@@ -684,10 +745,11 @@ impl Communicator {
         value: Option<T>,
     ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared.collective_bytes.fetch_add(
-            value.as_ref().map_or(0, |v| v.wire_bytes()) as u64,
-            AtOrd::Relaxed,
-        );
+        let bytes = value.as_ref().map_or(0, |v| v.wire_bytes());
+        self.shared
+            .collective_bytes
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("bcast", CollClass::EqualCount, Some(root), bytes);
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |mut contribs, max_entry| {
             let v = contribs[root]
@@ -719,9 +781,11 @@ impl Communicator {
         value: T,
     ) -> Result<Option<Vec<T>>, CommError> {
         let size = self.size();
+        let bytes = value.wire_bytes();
         self.shared
             .collective_bytes
-            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("gather", CollClass::EqualCount, Some(root), bytes);
         let model = self.model;
         let is_root = self.rank == root;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
@@ -754,9 +818,11 @@ impl Communicator {
         value: T,
     ) -> Result<Option<Vec<T>>, CommError> {
         let size = self.size();
+        let bytes = value.wire_bytes();
         self.shared
             .collective_bytes
-            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("gatherv", CollClass::Varying, Some(root), bytes);
         let model = self.model;
         let is_root = self.rank == root;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
@@ -789,13 +855,13 @@ impl Communicator {
         values: Option<Vec<T>>,
     ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared.collective_bytes.fetch_add(
-            values
-                .as_ref()
-                .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>())
-                as u64,
-            AtOrd::Relaxed,
-        );
+        let bytes = values
+            .as_ref()
+            .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>());
+        self.shared
+            .collective_bytes
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("scatter", CollClass::EqualCount, Some(root), bytes);
         let model = self.model;
         let rank = self.rank;
         let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
@@ -832,13 +898,13 @@ impl Communicator {
         values: Option<Vec<T>>,
     ) -> Result<T, CommError> {
         let size = self.size();
-        self.shared.collective_bytes.fetch_add(
-            values
-                .as_ref()
-                .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>())
-                as u64,
-            AtOrd::Relaxed,
-        );
+        let bytes = values
+            .as_ref()
+            .map_or(0, |vs| vs.iter().map(|v| v.wire_bytes()).sum::<usize>());
+        self.shared
+            .collective_bytes
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("scatterv", CollClass::Varying, Some(root), bytes);
         let model = self.model;
         let rank = self.rank;
         let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
@@ -870,9 +936,11 @@ impl Communicator {
         value: T,
     ) -> Result<Vec<T>, CommError> {
         let size = self.size();
+        let bytes = value.wire_bytes();
         self.shared
             .collective_bytes
-            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("allgather", CollClass::EqualCount, None, bytes);
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
@@ -894,6 +962,7 @@ impl Communicator {
 
     /// Fault-tolerant [`Communicator::allreduce_sum`].
     pub fn try_allreduce_sum(&self, value: f64) -> Result<f64, CommError> {
+        self.trace_coll("allreduce", CollClass::EqualCount, None, 8);
         let size = self.size();
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
@@ -915,9 +984,11 @@ impl Communicator {
     /// Fault-tolerant [`Communicator::allreduce_sum_vec`].
     pub fn try_allreduce_sum_vec(&self, value: Vec<f64>) -> Result<Vec<f64>, CommError> {
         let size = self.size();
+        let bytes = value.wire_bytes();
         self.shared
             .collective_bytes
-            .fetch_add(value.wire_bytes() as u64, AtOrd::Relaxed);
+            .fetch_add(bytes as u64, AtOrd::Relaxed);
+        self.trace_coll("allreduce", CollClass::EqualCount, None, bytes);
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let mut it = contribs.into_iter();
@@ -944,6 +1015,7 @@ impl Communicator {
 
     /// Fault-tolerant [`Communicator::allreduce_max`].
     pub fn try_allreduce_max(&self, value: f64) -> Result<f64, CommError> {
+        self.trace_coll("allreduce", CollClass::EqualCount, None, 8);
         let size = self.size();
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
@@ -964,6 +1036,7 @@ impl Communicator {
 
     /// Fault-tolerant [`Communicator::allreduce_max_usize`].
     pub fn try_allreduce_max_usize(&self, value: usize) -> Result<usize, CommError> {
+        self.trace_coll("allreduce", CollClass::EqualCount, None, 8);
         let size = self.size();
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
@@ -981,6 +1054,12 @@ impl Communicator {
     /// handle immediately; the posting cost is a single injection latency.
     /// Complete with [`Communicator::wait_reduce`].
     pub fn iallreduce_sum_vec(&self, value: Vec<f64>) -> PendingReduce<Vec<f64>> {
+        self.trace_coll(
+            "iallreduce",
+            CollClass::EqualCount,
+            None,
+            value.wire_bytes(),
+        );
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
@@ -1062,6 +1141,7 @@ impl Communicator {
 
     /// Fault-tolerant [`Communicator::split`].
     pub fn try_split(&self, color: Option<usize>) -> Result<Option<Communicator>, CommError> {
+        self.trace_coll("split", CollClass::EqualCount, None, 8);
         let size = self.size();
         let model = self.model;
         let rank = self.rank;
@@ -1105,6 +1185,8 @@ impl Communicator {
                 health: Arc::clone(&self.health),
                 plan: Arc::clone(&self.plan),
                 counters: Rc::clone(&self.counters),
+                tracer: Rc::clone(&self.tracer),
+                label: Cell::new(self.label.get()),
             })
         }))
     }
@@ -1131,12 +1213,56 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
+        Self::run_impl(n, model, faults, false, f).0
+    }
+
+    /// [`World::run`] with telemetry: every communication event is recorded
+    /// per rank and merged (in rank order) into a deterministic
+    /// [`WorldTrace`] — see [`crate::trace`].
+    pub fn run_traced<R, F>(n: usize, model: CostModel, f: F) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        Self::run_traced_with_faults(n, model, FaultPlan::default(), f)
+    }
+
+    /// [`World::run_traced`] with a seeded [`FaultPlan`] armed. Because
+    /// fault decisions are pure functions of the seed and message identity,
+    /// the canonical trace stays byte-identical across identical-seed runs
+    /// even under injected faults.
+    pub fn run_traced_with_faults<R, F>(
+        n: usize,
+        model: CostModel,
+        faults: FaultPlan,
+        f: F,
+    ) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        let (results, trace) = Self::run_impl(n, model, faults, true, f);
+        (results, trace.expect("traced run produced no trace"))
+    }
+
+    fn run_impl<R, F>(
+        n: usize,
+        model: CostModel,
+        faults: FaultPlan,
+        traced: bool,
+        f: F,
+    ) -> (Vec<R>, Option<WorldTrace>)
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
         assert!(n >= 1);
         let shared = CommShared::new((0..n).collect());
         let health = WorldHealth::new(n);
         let plan = Arc::new(faults);
         let compute_token = Arc::new(Mutex::new(()));
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+        let traces: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
@@ -1146,6 +1272,7 @@ impl World {
                 let compute_token = Arc::clone(&compute_token);
                 let f = &f;
                 let results = &results;
+                let traces = &traces;
                 let handle = std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .stack_size(8 * 1024 * 1024)
@@ -1160,6 +1287,8 @@ impl World {
                             }
                         }
                         let _done = Done(Arc::clone(&health), rank);
+                        let tracer = Rc::new(TraceRecorder::new(traced));
+                        let label = Cell::new(tracer.intern_label("world"));
                         let comm = Communicator {
                             shared,
                             model,
@@ -1170,8 +1299,13 @@ impl World {
                             health,
                             plan,
                             counters: Rc::new(FaultCounters::default()),
+                            tracer,
+                            label,
                         };
                         let r = f(&comm);
+                        if traced {
+                            lck(traces)[rank] = Some(comm.tracer.finish(rank, comm.clock.now()));
+                        }
                         lck(results)[rank] = Some(r);
                     })
                     .expect("failed to spawn rank thread");
@@ -1183,12 +1317,21 @@ impl World {
                 }
             }
         });
-        results
+        let results = results
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
-            .collect()
+            .collect();
+        let trace = traced.then(|| WorldTrace {
+            ranks: traces
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .into_iter()
+                .map(|t| t.expect("rank produced no trace"))
+                .collect(),
+        });
+        (results, trace)
     }
 
     /// [`World::run`] with the default cost model.

@@ -18,14 +18,19 @@
 //! * [`fault`] — seeded fault injection ([`FaultPlan`]) and structured
 //!   communication errors ([`CommError`], [`RetryPolicy`]);
 //! * [`model`] — the [`CostModel`];
-//! * [`time`] — virtual clocks and thread CPU time.
+//! * [`time`] — virtual clocks and thread CPU time;
+//! * [`trace`] — deterministic telemetry: phase-scoped counters and a
+//!   seed-stable event journal ([`WorldTrace`]) behind
+//!   [`World::run_traced`].
 
 pub mod comm;
 pub mod fault;
 pub mod model;
 pub mod time;
+pub mod trace;
 
 pub use comm::{CommStats, Communicator, PendingReduce, WireSize, World};
 pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 pub use model::CostModel;
 pub use time::{thread_cpu_time, VirtualClock};
+pub use trace::{CollClass, EventKind, PhaseCounters, RankTrace, TraceEvent, WorldTrace};

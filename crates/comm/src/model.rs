@@ -29,13 +29,27 @@ impl Default for CostModel {
     }
 }
 
+/// `⌈log₂ p⌉` — the message count (depth) of a binomial-tree collective
+/// among `p` ranks. Exposed so the telemetry layer records the same message
+/// counts the cost model charges for.
+#[inline]
+pub fn tree_msgs(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+/// `p − 1` — the message count of a linear (`v`-variant) collective.
+#[inline]
+pub fn linear_msgs(p: usize) -> u32 {
+    p.saturating_sub(1) as u32
+}
+
 #[inline]
 fn log2_ceil(p: usize) -> f64 {
-    if p <= 1 {
-        0.0
-    } else {
-        (usize::BITS - (p - 1).leading_zeros()) as f64
-    }
+    tree_msgs(p) as f64
 }
 
 impl CostModel {
@@ -114,5 +128,104 @@ mod tests {
         assert_eq!(m.barrier(1), 0.0);
         assert_eq!(m.bcast(1, 100), 0.0);
         assert_eq!(m.gather_uniform(1, 100), 0.0);
+    }
+
+    // ---- formula pins: the closed forms the conformance suite relies on.
+    // Written with exactly representable α = 2⁻²⁰ s and β = 2⁻³⁰ s/B so
+    // every pinned value is exact in f64 (== comparisons, no tolerance).
+
+    const A: f64 = 1.0 / 1048576.0; // 2⁻²⁰
+    const B: f64 = 1.0 / 1073741824.0; // 2⁻³⁰
+
+    fn pin_model() -> CostModel {
+        CostModel { alpha: A, beta: B }
+    }
+
+    #[test]
+    fn tree_and_linear_message_counts_are_pinned() {
+        // ⌈log₂ p⌉ at and around powers of two, and the degenerate cases.
+        for (p, t) in [
+            (0usize, 0u32),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (1024, 10),
+            (1025, 11),
+        ] {
+            assert_eq!(tree_msgs(p), t, "tree_msgs({p})");
+        }
+        assert_eq!(linear_msgs(0), 0);
+        assert_eq!(linear_msgs(1), 0);
+        assert_eq!(linear_msgs(2), 1);
+        assert_eq!(linear_msgs(4096), 4095);
+    }
+
+    #[test]
+    fn p2p_formula_is_alpha_plus_beta_bytes() {
+        let m = pin_model();
+        assert_eq!(m.p2p(0), A);
+        assert_eq!(m.p2p(1024), A + 1024.0 * B);
+        assert_eq!(m.p2p(8), A + 8.0 * B);
+    }
+
+    #[test]
+    fn barrier_formula_is_logp_alpha() {
+        let m = pin_model();
+        assert_eq!(m.barrier(2), A);
+        assert_eq!(m.barrier(8), 3.0 * A);
+        assert_eq!(m.barrier(9), 4.0 * A);
+        assert_eq!(m.barrier(4096), 12.0 * A);
+    }
+
+    #[test]
+    fn bcast_and_allreduce_formulas_are_logp_p2p() {
+        let m = pin_model();
+        for p in [2usize, 5, 16, 100] {
+            let depth = tree_msgs(p) as f64;
+            assert_eq!(m.bcast(p, 256), depth * (A + 256.0 * B));
+            assert_eq!(m.allreduce(p, 256), depth * (A + 256.0 * B));
+            // The two equal-count collectives are charged identically.
+            assert_eq!(m.bcast(p, 64), m.allreduce(p, 64));
+        }
+    }
+
+    #[test]
+    fn gather_formulas_split_latency_and_bandwidth_terms() {
+        let m = pin_model();
+        // uniform: ⌈log₂ p⌉·α latency + (p−1)·b bytes through the root.
+        assert_eq!(m.gather_uniform(8, 16), 3.0 * A + (7.0 * 16.0) * B);
+        assert_eq!(m.allgather_uniform(8, 16), m.gather_uniform(8, 16));
+        // varying: (p−1)·α latency + total bytes.
+        assert_eq!(m.gather_varying(8, 112), 7.0 * A + 112.0 * B);
+        // Same total volume ⇒ same bandwidth term; only latency differs.
+        assert_eq!(
+            m.gather_varying(8, 7 * 16) - m.gather_uniform(8, 16),
+            4.0 * A
+        );
+    }
+
+    #[test]
+    fn eq_vs_v_crossover_is_where_the_paper_says() {
+        let m = pin_model();
+        // §3.2: for the ν exchange the payload is tiny, so latency
+        // dominates and the equal-count form wins as soon as
+        // ⌈log₂ p⌉ < p − 1, i.e. for every p ≥ 4 (equal at p ≤ 3).
+        for p in [2usize, 3] {
+            assert_eq!(m.gather_uniform(p, 8), m.gather_varying(p, (p - 1) * 8));
+        }
+        for p in [4usize, 8, 64, 4096] {
+            assert!(
+                m.gather_uniform(p, 8) < m.gather_varying(p, (p - 1) * 8),
+                "eq-count must beat v-variant at p = {p}"
+            );
+        }
+        // And the gap is exactly the latency difference, growing O(p).
+        let p = 4096;
+        let gap = m.gather_varying(p, (p - 1) * 8) - m.gather_uniform(p, 8);
+        assert_eq!(gap, (linear_msgs(p) - tree_msgs(p)) as f64 * A);
     }
 }

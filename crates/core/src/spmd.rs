@@ -188,6 +188,9 @@ impl Operator for DistOp<'_> {
             s.a_dirichlet.spmv(&w, &mut t);
             t
         });
+        self.ctx
+            .comm
+            .charge_flops((2 * s.a_dirichlet.nnz() + s.n_local()) as u64);
         y.copy_from_slice(&t);
         self.ctx.exchange_add(&t, y);
     }
@@ -206,6 +209,7 @@ impl InnerProduct for DistDot<'_> {
         for k in 0..x.len() {
             acc += self.d[k] * x[k] * y[k];
         }
+        self.comm.charge_flops(3 * x.len() as u64);
         acc
     }
 
@@ -217,6 +221,10 @@ impl InnerProduct for DistDot<'_> {
         let pending = self.comm.iallreduce_sum_vec(locals);
         let comm = self.comm;
         Box::new(move || comm.wait_reduce(pending))
+    }
+
+    fn on_iteration(&self, k: usize) {
+        self.comm.trace_iteration(k);
     }
 }
 
@@ -234,6 +242,9 @@ impl Preconditioner for DistRas<'_> {
             vector::scale_by(&s.d, &mut t);
             t
         });
+        self.ctx
+            .comm
+            .charge_flops((4 * self.factor.nnz_l() + s.n_local()) as u64);
         z.copy_from_slice(&t);
         self.ctx.exchange_add(&t, z);
     }
@@ -267,6 +278,7 @@ impl DistCoarse<'_> {
         // step 1: w_i = W_iᵀ u_i, gathered on the master (payload appended).
         let mut wi = vec![0.0; nu];
         self.comm.compute(|| self.w.gemv_t(1.0, u, 0.0, &mut wi));
+        self.comm.charge_flops(2 * (nu * self.sub.n_local()) as u64);
         let mut msg = wi;
         msg.extend_from_slice(&payload);
         let gathered = self.split.gather(0, msg);
@@ -303,6 +315,7 @@ impl DistCoarse<'_> {
                 }
                 debug_assert_eq!(pos, self.dim_e);
                 let y = self.comm.compute(|| e_factor.solve(&rhs));
+                self.comm.charge_flops(4 * e_factor.nnz_l() as u64);
                 let reduced = match pending {
                     Some(p) => master.wait_reduce(p),
                     None => Vec::new(),
@@ -327,6 +340,7 @@ impl DistCoarse<'_> {
         // step 3b: z_i = W_i y_i plus the consistency sum (eq. 12).
         let mut zi = vec![0.0; self.sub.n_local()];
         self.comm.compute(|| self.w.gemv(1.0, yi, 0.0, &mut zi));
+        self.comm.charge_flops(2 * (nu * self.sub.n_local()) as u64);
         z.copy_from_slice(&zi);
         let ctx = RankCtx {
             comm: self.comm,
@@ -426,6 +440,7 @@ fn run_inner(
     let mut run = RunReport::default();
     comm.try_barrier()?;
     comm.reset_clock();
+    comm.trace_phase("factorization");
 
     // ---- phase 1: local factorization --------------------------------
     // Unrecoverable: without A_i⁻¹ this rank has no RAS contribution.
@@ -436,6 +451,7 @@ fn run_inner(
     failpoint(comm, "post-factorization")?;
     comm.try_barrier()?;
     let t_factorization = comm.clock();
+    comm.trace_phase("deflation");
 
     // ---- phase 2: deflation (GenEO eigensolve + Allreduce(MAX)) ------
     let eig = if comm.should_fail("eigensolve") {
@@ -477,6 +493,7 @@ fn run_inner(
     failpoint(comm, "post-deflation")?;
     comm.try_barrier()?;
     let t_deflation = comm.clock() - t_factorization;
+    comm.trace_phase("assembly:split");
 
     // ---- phase 3: coarse operator (Algorithms 1 and 2) ----------------
     let masters = match opts.election {
@@ -487,8 +504,12 @@ fn run_inner(
     let split = comm
         .try_split(Some(my_group))?
         .ok_or(SpmdError::SplitFailed { rank })?;
+    split.set_trace_label("splitComm");
     let is_master = split.rank() == 0;
     let master_comm = comm.try_split(if is_master { Some(0) } else { None })?;
+    if let Some(m) = master_comm.as_ref() {
+        m.set_trace_label("masterComm");
+    }
     let group_ranks: Vec<usize> = {
         // split preserves world order; reconstruct the group's world ranks
         let start = masters[my_group];
@@ -516,9 +537,11 @@ fn run_inner(
         // ν exchange on the neighborhood topology (uniform ν makes the
         // values known a priori, but the call mirrors Algorithm 1 line 1
         // and supports the non-uniform ablation).
+        comm.trace_phase("assembly:nu");
         let nbr_ranks: Vec<usize> = sub.neighbors.iter().map(|l| l.j).collect();
         let nu_neighbors =
             comm.neighbor_alltoall(&nbr_ranks, TAG_NU, vec![nu_mine as u64; nbr_ranks.len()]);
+        comm.trace_phase("assembly:exchange");
         // T_i = A_i W_i, E_ii = W_iᵀ T_i (csrmm + gemm).
         let (t_i, e_ii) = comm.compute(|| {
             let t = sub.a_dirichlet.csrmm(&w);
@@ -563,6 +586,7 @@ fn run_inner(
         // All ranks learn all ν to compute offsets r_i. Uniform ν makes
         // this a formality; we allgather for generality (O(log N), equal
         // counts).
+        comm.trace_phase("assembly:gather");
         let all_nu = comm.try_allgather(nu_mine as u64)?;
         for i in 0..n {
             offsets[i + 1] = offsets[i] + all_nu[i] as usize;
@@ -754,6 +778,7 @@ fn run_inner(
     failpoint(comm, "post-assembly")?;
     comm.try_barrier()?;
     let t_coarse = comm.clock() - t_deflation - t_factorization;
+    comm.trace_phase("solve");
 
     // ---- phase 4: solve ------------------------------------------------
     let stats_before = comm.stats();

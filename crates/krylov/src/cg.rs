@@ -95,6 +95,7 @@ where
             break 'outer;
         }
         while iterations < opts.max_iters {
+            ip.on_iteration(iterations);
             iterations += 1;
             op.apply(&p, &mut ap);
             let pap = ip.dot(&p, &ap);

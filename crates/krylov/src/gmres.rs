@@ -238,6 +238,7 @@ where
             if total_iters >= opts.max_iters {
                 break;
             }
+            ip.on_iteration(total_iters);
             total_iters += 1;
             let mut w = vec![0.0; n];
             if right {

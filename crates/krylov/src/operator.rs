@@ -55,6 +55,12 @@ pub trait InnerProduct {
         self.reduce(vec![self.local_dot(x, y)])[0]
     }
 
+    /// Iteration-boundary hook: solvers call this once per Krylov
+    /// iteration with the (0-based, cumulative across restarts) iteration
+    /// index. Distributed implementations forward it to the telemetry
+    /// layer; the default does nothing.
+    fn on_iteration(&self, _k: usize) {}
+
     /// Global 2-norm. NaN propagates (`NaN.max(0.0)` would silently report
     /// a zero norm — i.e. fake convergence — for a poisoned vector).
     fn norm(&self, x: &[f64]) -> f64 {

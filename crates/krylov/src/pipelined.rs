@@ -222,6 +222,7 @@ where
             if total_iters >= opts.max_iters {
                 break;
             }
+            ip.on_iteration(total_iters);
             total_iters += 1;
             // ------------------------------------------------ overlap zone
             // Matvec on the unorthogonalized candidate w_{i−1} while the
