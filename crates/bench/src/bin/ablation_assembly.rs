@@ -6,8 +6,11 @@
 //! "the memory overhead on the slaves is null". Same numerics, fewer bytes
 //! on the wire.
 
-use dd_bench::{diffusion_2d, print_telemetry_table, run_workload_traced, write_telemetry};
-use dd_core::{AssemblyVariant, GeneoOpts, SpmdOpts};
+use dd_bench::{
+    diffusion_2d, print_telemetry_table, run_workload_traced, write_summary, write_telemetry,
+    Summary,
+};
+use dd_core::{AssemblyVariant, CoarseSolve, GeneoOpts, SpmdOpts};
 use dd_krylov::GmresOpts;
 
 fn main() {
@@ -62,7 +65,7 @@ fn main() {
 
     // Per-phase telemetry: the gather phase is where the two variants
     // differ (`assembly:gather` collective bytes).
-    for (name, trace) in &traces {
+    for ((name, trace), (iterations, _)) in traces.iter().zip(&stats) {
         print_telemetry_table(&format!("assembly {name}"), trace);
         let stem = if name.starts_with("index") {
             "ablation_assembly_index_free"
@@ -72,6 +75,12 @@ fn main() {
         match write_telemetry(stem, trace) {
             Ok(p) => println!("telemetry: {}", p.display()),
             Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+        let mut summary = Summary::from_trace(stem, trace);
+        summary.insert("iterations", *iterations as f64);
+        match write_summary(stem, &summary) {
+            Ok(p) => println!("summary: {}", p.display()),
+            Err(e) => eprintln!("summary write failed: {e}"),
         }
     }
     let gather_bytes = |t: &dd_comm::WorldTrace| t.phase_totals("assembly:gather").collective_bytes;
@@ -94,4 +103,85 @@ fn main() {
         100.0 * (1.0 - stats[0].1 as f64 / stats[1].1 as f64)
     );
     println!("# SHAPE OK: identical numerics, fewer bytes without shipped indices");
+
+    // ---- redundant vs distributed coarse factorization (§3.2) ----
+    // The paper's claim: partitioning E into the masters' block rows makes
+    // per-master factor memory and factorization work shrink as the master
+    // count grows, where the redundant substitute pays the full factor on
+    // every master. Same numerics either way.
+    println!("\n# Ablation: redundant vs distributed coarse solve (§3.2)");
+    println!(
+        "{:>3} {:<12} {:>8} {:>6} {:>15} {:>18} {:>14}",
+        "P", "mode", "dim(E)", "#it.", "nnz(L)/master", "e-factor flops/mst", "solve time/it."
+    );
+    let mut coarse_summary = Summary::new("ablation_assembly_coarse");
+    let mut dist_nnz: Vec<usize> = Vec::new();
+    let mut dist_flops: Vec<u64> = Vec::new();
+    for p in [2usize, 4, 8] {
+        let mut iters = Vec::new();
+        for (mode_name, mode, phase) in [
+            (
+                "distributed",
+                CoarseSolve::Distributed,
+                "e-factorization-dist",
+            ),
+            ("redundant", CoarseSolve::Redundant, "e-factorization"),
+        ] {
+            let opts = SpmdOpts {
+                n_masters: p,
+                coarse_solve: mode,
+                ..base.clone()
+            };
+            let (reports, trace) = run_workload_traced(&w, &opts);
+            assert!(reports.iter().all(|r| r.converged));
+            let r = &reports[0];
+            // Per-master costs: max over ranks (slaves report zero).
+            let nnz_master = reports.iter().map(|r| r.nnz_e_factor).max().unwrap();
+            let flops_master = trace
+                .ranks
+                .iter()
+                .filter_map(|rt| rt.phase(phase))
+                .map(|c| c.flops)
+                .max()
+                .unwrap_or(0);
+            let t_it = reports.iter().map(|r| r.t_solution).fold(0.0f64, f64::max)
+                / r.iterations.max(1) as f64;
+            println!(
+                "{:>3} {:<12} {:>8} {:>6} {:>15} {:>18} {:>13.5}s",
+                p, mode_name, r.dim_e, r.iterations, nnz_master, flops_master, t_it
+            );
+            iters.push(r.iterations);
+            for (metric, v) in [
+                ("nnz_per_master", nnz_master as f64),
+                ("factor_flops_per_master", flops_master as f64),
+                ("iterations", r.iterations as f64),
+            ] {
+                coarse_summary.insert(&format!("coarse/p{p}/{mode_name}_{metric}"), v);
+            }
+            if mode == CoarseSolve::Distributed {
+                dist_nnz.push(nnz_master);
+                dist_flops.push(flops_master);
+            }
+            assert!(
+                mode == CoarseSolve::Redundant || nnz_master > 0,
+                "distributed masters must report their factor share"
+            );
+        }
+        assert_eq!(iters[0], iters[1], "P = {p}: modes must match numerics");
+    }
+    match write_summary("ablation_assembly_coarse", &coarse_summary) {
+        Ok(path) => println!("summary: {}", path.display()),
+        Err(e) => eprintln!("summary write failed: {e}"),
+    }
+    // The tentpole observable: per-master factor size and charged
+    // factorization flops drop as the master count grows.
+    assert!(
+        dist_nnz.windows(2).all(|w| w[1] < w[0]),
+        "per-master nnz(L) must shrink with more masters: {dist_nnz:?}"
+    );
+    assert!(
+        dist_flops.windows(2).all(|w| w[1] < w[0]),
+        "per-master factor flops must shrink with more masters: {dist_flops:?}"
+    );
+    println!("# SHAPE OK: distributed coarse factor scales down with the master count");
 }

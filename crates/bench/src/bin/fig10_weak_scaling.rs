@@ -9,7 +9,7 @@
 
 use dd_bench::{
     aggregate, masters_for, print_scaling_table, print_telemetry_table, run_workload_traced,
-    write_telemetry, Workload,
+    write_summary, write_telemetry, Summary, Workload,
 };
 use dd_comm::WorldTrace;
 use dd_core::{decompose, problem::presets, GeneoOpts, SpmdOpts};
@@ -118,13 +118,28 @@ fn main() {
     // Telemetry of the largest runs (messages/bytes per phase).
     print_telemetry_table("3D-P2, largest N", traces3d.last().unwrap());
     print_telemetry_table("2D-P4, largest N", traces2d.last().unwrap());
-    for (stem, trace) in [
-        ("fig10_diffusion_3d", traces3d.last().unwrap()),
-        ("fig10_diffusion_2d", traces2d.last().unwrap()),
+    for (stem, trace, row) in [
+        (
+            "fig10_diffusion_3d",
+            traces3d.last().unwrap(),
+            &rows3d.last().unwrap().0,
+        ),
+        (
+            "fig10_diffusion_2d",
+            traces2d.last().unwrap(),
+            &rows2d.last().unwrap().0,
+        ),
     ] {
         match write_telemetry(stem, trace) {
             Ok(p) => println!("telemetry: {}", p.display()),
             Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+        let mut summary = Summary::from_trace(stem, trace);
+        summary.insert("iterations", row.iterations as f64);
+        summary.insert("nnz_e_factor_per_master", row.nnz_e_factor as f64);
+        match write_summary(stem, &summary) {
+            Ok(p) => println!("summary: {}", p.display()),
+            Err(e) => eprintln!("summary write failed: {e}"),
         }
     }
 

@@ -8,7 +8,10 @@
 //! standalone global reductions per iteration — only the masterComm
 //! `MPI_Iallreduce`, overlapped with the coarse solve.
 
-use dd_bench::{diffusion_2d, print_telemetry_table, run_workload_traced, write_telemetry};
+use dd_bench::{
+    diffusion_2d, print_telemetry_table, run_workload_traced, write_summary, write_telemetry,
+    Summary,
+};
 use dd_core::{GeneoOpts, SolverKind, SpmdOpts};
 use dd_krylov::GmresOpts;
 
@@ -64,11 +67,18 @@ fn main() {
         traces.push((name, trace));
     }
 
-    for (name, trace) in &traces {
+    for ((name, trace), (_, iterations, _, _)) in traces.iter().zip(&stats) {
         print_telemetry_table(&format!("fig12 {name}"), trace);
-        match write_telemetry(&format!("fig12_{name}"), trace) {
+        let stem = format!("fig12_{name}");
+        match write_telemetry(&stem, trace) {
             Ok(p) => println!("telemetry: {}", p.display()),
             Err(e) => eprintln!("telemetry write failed: {e}"),
+        }
+        let mut summary = Summary::from_trace(&stem, trace);
+        summary.insert("iterations", *iterations as f64);
+        match write_summary(&stem, &summary) {
+            Ok(p) => println!("summary: {}", p.display()),
+            Err(e) => eprintln!("summary write failed: {e}"),
         }
     }
 

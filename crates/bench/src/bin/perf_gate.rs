@@ -1,0 +1,132 @@
+//! Telemetry-based performance-regression gate.
+//!
+//! Compares freshly generated bench summaries (`<out>/summaries/*.json`,
+//! written by the bench binaries — see `DD_BENCH_OUT`) against the
+//! committed baselines in `bench_results/baselines/*.json`, applying the
+//! per-metric tolerances of `bench_results/baselines/tolerances.json`.
+//! Prints a markdown delta table (pipe it into `$GITHUB_STEP_SUMMARY` in
+//! CI) and exits nonzero on any unexplained drift: changed communication
+//! volume, charged flops, iteration counts, or phases appearing/vanishing.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate [--current <dir>] [--baseline <dir>] [--tolerances <file>]
+//! ```
+//!
+//! Defaults: `--current` = `$DD_BENCH_OUT/summaries` (or
+//! `bench_results/summaries`), `--baseline` = `bench_results/baselines`,
+//! `--tolerances` = `<baseline>/tolerances.json` (exact match if the file
+//! does not exist). To accept intended changes, regenerate and copy the
+//! summaries over the baselines (see EXPERIMENTS.md).
+
+use dd_bench::summary::{compare, markdown_table, Summary, Tolerances};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn parse_args() -> (PathBuf, PathBuf, Option<PathBuf>) {
+    let mut current = dd_bench::bench_out_dir().join("summaries");
+    let mut baseline = PathBuf::from("bench_results").join("baselines");
+    let mut tolerances = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--current" => current = PathBuf::from(val("--current")),
+            "--baseline" => baseline = PathBuf::from(val("--baseline")),
+            "--tolerances" => tolerances = Some(PathBuf::from(val("--tolerances"))),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    (current, baseline, tolerances)
+}
+
+fn load_summary(path: &Path) -> Result<Summary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Summary::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let (current_dir, baseline_dir, tol_path) = parse_args();
+    let tol_path = tol_path.unwrap_or_else(|| baseline_dir.join("tolerances.json"));
+    let tol = match std::fs::read_to_string(&tol_path) {
+        Ok(text) => match Tolerances::from_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: bad tolerance file {}: {e}", tol_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Tolerances::default(),
+    };
+
+    let mut baselines: Vec<PathBuf> = match std::fs::read_dir(&baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "json")
+                    && p.file_name().is_some_and(|f| f != "tolerances.json")
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline dir {}: {e}",
+                baseline_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!(
+            "error: no baselines in {} — run the benches and copy \
+             <out>/summaries/*.json there first",
+            baseline_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!("## Perf gate: telemetry drift vs committed baselines\n");
+    let mut failed = false;
+    for path in &baselines {
+        let stem = path.file_stem().unwrap().to_string_lossy().to_string();
+        let base = match load_summary(path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("### `{stem}` — **unreadable baseline**: {e}\n");
+                failed = true;
+                continue;
+            }
+        };
+        let cur_path = current_dir.join(format!("{stem}.json"));
+        let cur = match load_summary(&cur_path) {
+            Ok(s) => s,
+            Err(e) => {
+                println!(
+                    "### `{stem}` — **missing current summary** \
+                     (did the bench run with DD_BENCH_OUT set?): {e}\n"
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let deltas = compare(&cur, &base, &tol);
+        failed |= deltas.iter().any(|d| !d.ok);
+        println!("{}", markdown_table(&stem, &deltas));
+    }
+
+    if failed {
+        println!("\n**Perf gate FAILED** — unexplained telemetry drift.");
+        println!(
+            "If the change is intended, regenerate the baselines \
+             (see EXPERIMENTS.md, \"Perf gate\") and commit them."
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nPerf gate passed: all summaries within tolerance.");
+        ExitCode::SUCCESS
+    }
+}

@@ -30,6 +30,8 @@
 //! wins, where crossovers fall) are the reproduction target, not absolute
 //! seconds.
 
+pub mod summary;
+
 use dd_comm::{World, WorldTrace};
 use dd_core::{
     decompose, problem::presets, run_spmd, Decomposition, Problem, SpmdOpts, SpmdReport,
@@ -37,6 +39,8 @@ use dd_core::{
 use dd_mesh::{refine::uniform_refine_n, Mesh};
 use dd_part::partition_mesh_rcb;
 use std::sync::Arc;
+
+pub use summary::{compare, markdown_table, Summary, Tolerances};
 
 /// A named, decomposed problem instance.
 pub struct Workload {
@@ -269,15 +273,37 @@ pub fn print_telemetry_table(title: &str, trace: &WorldTrace) {
     }
 }
 
+/// Root of the bench output tree: `$DD_BENCH_OUT` when set, else
+/// `bench_results` relative to the current directory. The env var lets CI
+/// (and anyone invoking the benches from outside the workspace root)
+/// redirect the output instead of scattering files under the CWD.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    match std::env::var_os("DD_BENCH_OUT") {
+        Some(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => std::path::PathBuf::from("bench_results"),
+    }
+}
+
 /// Write the full telemetry JSON of a traced run to
-/// `bench_results/telemetry/<stem>.json` (created as needed), returning the
-/// path. Full JSON includes virtual times; use
-/// [`WorldTrace::canonical_json`] for the deterministic subset.
+/// `<out>/telemetry/<stem>.json` (created as needed; see
+/// [`bench_out_dir`]), returning the path. Full JSON includes virtual
+/// times; use [`WorldTrace::canonical_json`] for the deterministic subset.
 pub fn write_telemetry(stem: &str, trace: &WorldTrace) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("bench_results").join("telemetry");
+    let dir = bench_out_dir().join("telemetry");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{stem}.json"));
     std::fs::write(&path, trace.to_json())?;
+    Ok(path)
+}
+
+/// Write a compact metric summary to `<out>/summaries/<stem>.json` (see
+/// [`bench_out_dir`]), returning the path. These are the files the perf
+/// gate diffs against the committed baselines in `bench_results/baselines`.
+pub fn write_summary(stem: &str, summary: &Summary) -> std::io::Result<std::path::PathBuf> {
+    let dir = bench_out_dir().join("summaries");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, summary.to_json())?;
     Ok(path)
 }
 

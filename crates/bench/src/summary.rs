@@ -1,0 +1,585 @@
+//! Compact telemetry summaries and the perf-gate comparison.
+//!
+//! A full [`WorldTrace`] JSON runs to hundreds of thousands of lines; CI
+//! keeps those as build artifacts only. What gets *committed* (under
+//! `bench_results/baselines/`) is the compact summary defined here: every
+//! phase's deterministic counters summed over ranks, plus scalar metrics
+//! the benches insert (iteration counts, per-master factor sizes). The
+//! `perf_gate` binary regenerates summaries and diffs them against the
+//! committed baselines with per-metric tolerances, failing CI on
+//! unexplained drift in communication volume, charged flops, or
+//! convergence behavior.
+//!
+//! Everything here is hand-rolled (the workspace deliberately has no
+//! external dependencies): a flat `BTreeMap<String, f64>` metric space, a
+//! deterministic JSON writer, and a minimal recursive-descent JSON reader
+//! that accepts exactly what the writer (and the hand-edited tolerance
+//! file) produce.
+
+use dd_comm::WorldTrace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A named, flat bag of deterministic metrics. Phase counters use keys of
+/// the form `phase/<name>/<counter>`; benches add scalars like
+/// `iterations` or `coarse/p4/dist_nnz_per_master` beside them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    pub name: String,
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Summary {
+    pub fn new(name: &str) -> Self {
+        Summary {
+            name: name.to_string(),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Build from a trace: per-phase counters summed over ranks (the
+    /// deterministic subset only — no virtual times).
+    pub fn from_trace(name: &str, trace: &WorldTrace) -> Self {
+        let mut s = Summary::new(name);
+        s.metrics.insert("n_ranks".into(), trace.n_ranks() as f64);
+        for phase in trace.phase_names() {
+            let c = trace.phase_totals(&phase);
+            for (k, v) in [
+                ("sends", c.sends),
+                ("send_bytes", c.send_bytes),
+                ("recvs", c.recvs),
+                ("recv_bytes", c.recv_bytes),
+                ("collectives_eq", c.collectives_eq),
+                ("collectives_v", c.collectives_v),
+                ("collective_bytes", c.collective_bytes),
+                ("collective_msgs", c.collective_msgs),
+                ("retries", c.retries),
+                ("flops", c.flops),
+            ] {
+                s.metrics.insert(format!("phase/{phase}/{k}"), v as f64);
+            }
+        }
+        s
+    }
+
+    pub fn insert(&mut self, key: &str, value: f64) {
+        self.metrics.insert(key.to_string(), value);
+    }
+
+    /// Deterministic JSON (sorted keys, one metric per line).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n");
+        let _ = writeln!(s, "  \"name\": {:?},", self.name);
+        s.push_str("  \"metrics\": {\n");
+        let n = self.metrics.len();
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let _ = write!(s, "    {:?}: {}", k, fmt_f64(*v));
+            s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Parse a summary previously written by [`Summary::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = parse_json(json)?;
+        let obj = v.as_object().ok_or("summary: top level is not an object")?;
+        let name = obj
+            .field("name")
+            .and_then(|n| n.as_str())
+            .ok_or("summary: missing \"name\"")?
+            .to_string();
+        let metrics_obj = obj
+            .field("metrics")
+            .and_then(|m| m.as_object())
+            .ok_or("summary: missing \"metrics\" object")?;
+        let mut metrics = BTreeMap::new();
+        for (k, v) in metrics_obj {
+            let num = v
+                .as_f64()
+                .ok_or_else(|| format!("summary: metric {k:?} is not a number"))?;
+            metrics.insert(k.clone(), num);
+        }
+        Ok(Summary { name, metrics })
+    }
+}
+
+/// Format a metric so integral values round-trip exactly.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+// ------------------------------------------------------------- tolerances
+
+/// Relative tolerances for the perf gate. The committed file
+/// `bench_results/baselines/tolerances.json` looks like
+///
+/// ```json
+/// { "default": 0.0, "overrides": { "phase/solve/flops": 0.02 } }
+/// ```
+///
+/// The default applies to every metric without an override; `0.0` demands
+/// an exact match (the counters are deterministic, so that is the normal
+/// setting). Override keys may end in `*` to match a prefix.
+#[derive(Clone, Debug)]
+pub struct Tolerances {
+    pub default: f64,
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            default: 0.0,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl Tolerances {
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = parse_json(json)?;
+        let obj = v
+            .as_object()
+            .ok_or("tolerances: top level is not an object")?;
+        let default = obj
+            .field("default")
+            .and_then(|d| d.as_f64())
+            .ok_or("tolerances: missing numeric \"default\"")?;
+        let mut overrides = Vec::new();
+        if let Some(o) = obj.field("overrides") {
+            let o = o
+                .as_object()
+                .ok_or("tolerances: \"overrides\" is not an object")?;
+            for (k, v) in o {
+                let tol = v
+                    .as_f64()
+                    .ok_or_else(|| format!("tolerances: override {k:?} is not a number"))?;
+                overrides.push((k.clone(), tol));
+            }
+        }
+        Ok(Tolerances { default, overrides })
+    }
+
+    /// Tolerance for `key`: the most specific matching override (longest
+    /// pattern wins), else the default.
+    pub fn for_key(&self, key: &str) -> f64 {
+        let mut best: Option<(usize, f64)> = None;
+        for (pat, tol) in &self.overrides {
+            let matches = match pat.strip_suffix('*') {
+                Some(prefix) => key.starts_with(prefix),
+                None => key == pat,
+            };
+            if matches && best.is_none_or(|(len, _)| pat.len() > len) {
+                best = Some((pat.len(), *tol));
+            }
+        }
+        best.map_or(self.default, |(_, t)| t)
+    }
+}
+
+// -------------------------------------------------------------- comparison
+
+/// One metric's comparison against the baseline.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    pub key: String,
+    /// `None` when the metric exists on only one side.
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+    /// Relative drift `|cur − base| / max(|base|, 1)`; infinite when a
+    /// side is missing.
+    pub rel: f64,
+    pub tol: f64,
+    pub ok: bool,
+}
+
+/// Compare `current` against `baseline` metric by metric. Metrics present
+/// on only one side always fail (a new phase appearing, or one vanishing,
+/// is exactly the drift the gate exists to catch).
+pub fn compare(current: &Summary, baseline: &Summary, tol: &Tolerances) -> Vec<Delta> {
+    let mut keys: Vec<&String> = current.metrics.keys().collect();
+    for k in baseline.metrics.keys() {
+        if !current.metrics.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    keys.sort();
+    keys.iter()
+        .map(|&k| {
+            let b = baseline.metrics.get(k).copied();
+            let c = current.metrics.get(k).copied();
+            let t = tol.for_key(k);
+            let (rel, ok) = match (b, c) {
+                (Some(b), Some(c)) => {
+                    let rel = (c - b).abs() / b.abs().max(1.0);
+                    (rel, rel <= t)
+                }
+                _ => (f64::INFINITY, false),
+            };
+            Delta {
+                key: k.clone(),
+                baseline: b,
+                current: c,
+                rel,
+                tol: t,
+                ok,
+            }
+        })
+        .collect()
+}
+
+/// Render a markdown delta table for one summary: failing rows first, then
+/// every row that drifted at all; identical metrics are summarized in one
+/// trailing line. Suitable for `$GITHUB_STEP_SUMMARY`.
+pub fn markdown_table(name: &str, deltas: &[Delta]) -> String {
+    let mut s = String::new();
+    let n_fail = deltas.iter().filter(|d| !d.ok).count();
+    let _ = writeln!(
+        s,
+        "### `{name}` — {}",
+        if n_fail == 0 {
+            "OK".to_string()
+        } else {
+            format!("**{n_fail} metric(s) out of tolerance**")
+        }
+    );
+    let changed: Vec<&Delta> = deltas.iter().filter(|d| !d.ok || d.rel > 0.0).collect();
+    if !changed.is_empty() {
+        s.push_str("| metric | baseline | current | drift | tolerance | |\n");
+        s.push_str("|---|---:|---:|---:|---:|---|\n");
+        for d in &changed {
+            let fmt_opt = |v: Option<f64>| v.map_or("—".to_string(), fmt_f64);
+            let _ = writeln!(
+                s,
+                "| `{}` | {} | {} | {} | {:.1}% | {} |",
+                d.key,
+                fmt_opt(d.baseline),
+                fmt_opt(d.current),
+                if d.rel.is_finite() {
+                    format!("{:.2}%", d.rel * 100.0)
+                } else {
+                    "missing".to_string()
+                },
+                d.tol * 100.0,
+                if d.ok { "ok" } else { "**FAIL**" },
+            );
+        }
+    }
+    let unchanged = deltas.len() - changed.len();
+    let _ = writeln!(s, "\n{unchanged} metric(s) identical to baseline.");
+    s
+}
+
+// ---------------------------------------------------------- minimal JSON
+
+/// The JSON subset the summaries and tolerance files use.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Key lookup on the `&[(String, Json)]` object representation.
+pub trait ObjExt {
+    fn field(&self, key: &str) -> Option<&Json>;
+}
+
+impl ObjExt for [(String, Json)] {
+    fn field(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Parse a JSON document (objects, arrays, strings with `\"`/`\\`/`\n`
+/// escapes, numbers, booleans, null). Errors carry the byte offset.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let b = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let c = *b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match c {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => return Err(format!("unsupported escape `\\{}`", other as char)),
+                });
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let ch_len = utf8_len(c);
+                out.push_str(
+                    std::str::from_utf8(&b[*pos..*pos + ch_len]).map_err(|e| e.to_string())?,
+                );
+                *pos += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        items.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(items));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        let mut s = Summary::new("bench");
+        s.insert("iterations", 25.0);
+        s.insert("phase/solve/flops", 123456.0);
+        s.insert("phase/solve/send_bytes", 8192.0);
+        s
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let s = sample();
+        let back = Summary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn tolerances_parse_and_match() {
+        let t = Tolerances::from_json(
+            r#"{ "default": 0.0,
+                 "overrides": { "phase/solve/*": 0.1, "phase/solve/flops": 0.02 } }"#,
+        )
+        .unwrap();
+        assert_eq!(t.for_key("iterations"), 0.0);
+        assert_eq!(t.for_key("phase/solve/send_bytes"), 0.1);
+        // Longest pattern wins.
+        assert_eq!(t.for_key("phase/solve/flops"), 0.02);
+    }
+
+    #[test]
+    fn identical_summaries_pass_exact_gate() {
+        let deltas = compare(&sample(), &sample(), &Tolerances::default());
+        assert!(deltas.iter().all(|d| d.ok));
+        let md = markdown_table("bench", &deltas);
+        assert!(md.contains("OK"));
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_fails() {
+        let mut cur = sample();
+        cur.insert("phase/solve/flops", 123456.0 * 1.5);
+        let tol = Tolerances {
+            default: 0.0,
+            overrides: vec![("phase/solve/flops".to_string(), 0.1)],
+        };
+        let deltas = compare(&cur, &sample(), &tol);
+        let bad: Vec<_> = deltas.iter().filter(|d| !d.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].key, "phase/solve/flops");
+        assert!(markdown_table("bench", &deltas).contains("FAIL"));
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes_and_is_reported() {
+        let mut cur = sample();
+        cur.insert("phase/solve/flops", 123456.0 * 1.05);
+        let tol = Tolerances {
+            default: 0.0,
+            overrides: vec![("phase/solve/flops".to_string(), 0.1)],
+        };
+        let deltas = compare(&cur, &sample(), &tol);
+        assert!(deltas.iter().all(|d| d.ok));
+        // Drifted-but-tolerated rows still show in the table.
+        assert!(markdown_table("bench", &deltas).contains("5.00%"));
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_fail() {
+        let mut cur = sample();
+        cur.metrics.remove("iterations");
+        cur.insert("phase/new-phase/flops", 1.0);
+        let deltas = compare(&cur, &sample(), &Tolerances::default());
+        let bad: Vec<String> = deltas
+            .iter()
+            .filter(|d| !d.ok)
+            .map(|d| d.key.clone())
+            .collect();
+        assert_eq!(bad, vec!["iterations", "phase/new-phase/flops"]);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{ \"a\": }").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse_json(r#"{ "a": [1, -2.5e3, "x\n\"y\""], "b": { "c": true } }"#).unwrap();
+        let o = v.as_object().unwrap();
+        match o.field("a").unwrap() {
+            Json::Arr(items) => {
+                assert_eq!(items[1].as_f64(), Some(-2500.0));
+                assert_eq!(items[2].as_str(), Some("x\n\"y\""));
+            }
+            _ => panic!("expected array"),
+        }
+    }
+}

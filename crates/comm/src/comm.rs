@@ -44,8 +44,13 @@ use std::time::Duration;
 /// progress.
 const TICK: Duration = Duration::from_millis(2);
 
-/// Consecutive all-blocked observations before a wait reports
-/// [`CommError::Deadlock`].
+/// Consecutive all-blocked observations before a wait starts *confirming*
+/// deadlock. All-blocked alone is not proof: on an oversubscribed host a
+/// rank whose message is already enqueued can stay descheduled past any
+/// wall-clock window while every other rank sits parked. After this many
+/// ticks the waiter additionally probes every parked rank's wait for
+/// satisfiability (see [`WorldHealth::confirmed_deadlock`]) and only
+/// reports [`CommError::Deadlock`] when none can complete.
 const STALL_TICKS: u32 = 6;
 
 /// Lock a mutex, ignoring poisoning (a panicking rank already propagates
@@ -139,6 +144,14 @@ impl Slot {
     }
 }
 
+/// A wait-satisfiability probe registered by a parked rank: `Some(true)`
+/// when the wait could complete right now (matching message enqueued,
+/// collective slot finished, or a relevant peer death observable),
+/// `Some(false)` when it provably cannot, `None` when the probe could not
+/// inspect the shared state without blocking (another rank holds it — in
+/// which case that rank is awake, so the world is not deadlocked anyway).
+type WaitProbe = Box<dyn Fn(&WorldHealth) -> Option<bool> + Send>;
+
 /// Liveness registry of one world, shared by every communicator split from
 /// it. Ranks are identified by *world* rank.
 struct WorldHealth {
@@ -146,6 +159,10 @@ struct WorldHealth {
     n_gone: AtomicUsize,
     /// Ranks currently parked in a blocking wait (deadlock detection).
     blocked: AtomicUsize,
+    /// Per-rank satisfiability probe of the wait it is currently parked
+    /// in, registered by [`BlockGuard`]. Probes let any rank distinguish a
+    /// genuine deadlock from scheduler starvation.
+    parked: Vec<Mutex<Option<WaitProbe>>>,
 }
 
 impl WorldHealth {
@@ -154,6 +171,7 @@ impl WorldHealth {
             gone: (0..n).map(|_| AtomicBool::new(false)).collect(),
             n_gone: AtomicUsize::new(0),
             blocked: AtomicUsize::new(0),
+            parked: (0..n).map(|_| Mutex::new(None)).collect(),
         })
     }
 
@@ -176,22 +194,60 @@ impl WorldHealth {
         let live = self.live();
         live > 0 && self.blocked.load(AtOrd::SeqCst) >= live
     }
+
+    /// Sound deadlock confirmation. All-blocked means every live rank sits
+    /// between `BlockGuard` registration and release, so no send or slot
+    /// completion is in flight — the registered probes see the complete
+    /// communication state. The world is deadlocked exactly when every
+    /// live rank's wait is provably unsatisfiable; anything short of that
+    /// (a satisfiable wait, a probe that couldn't look, a rank mid
+    /// registration) means some rank can still run and the caller must
+    /// keep waiting. Callers must not hold their own mailbox or slot lock
+    /// here, so their own probe can inspect it.
+    fn confirmed_deadlock(&self) -> bool {
+        if !self.all_blocked() {
+            return false;
+        }
+        for (world_rank, slot) in self.parked.iter().enumerate() {
+            if self.is_gone(world_rank) {
+                continue;
+            }
+            let parked = match slot.try_lock() {
+                Ok(p) => p,
+                Err(_) => return false,
+            };
+            match parked.as_ref().map(|probe| probe(self)) {
+                Some(Some(false)) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
 }
 
-/// RAII registration of "this rank is parked in a blocking wait".
+/// RAII registration of "this rank is parked in a blocking wait", together
+/// with the probe that lets other ranks check whether the wait could still
+/// be satisfied.
 struct BlockGuard<'a> {
     health: &'a WorldHealth,
+    world_rank: usize,
 }
 
 impl<'a> BlockGuard<'a> {
-    fn new(health: &'a WorldHealth) -> Self {
+    fn new(health: &'a WorldHealth, world_rank: usize, probe: WaitProbe) -> Self {
+        *lck(&health.parked[world_rank]) = Some(probe);
         health.blocked.fetch_add(1, AtOrd::SeqCst);
-        BlockGuard { health }
+        BlockGuard { health, world_rank }
     }
 }
 
 impl Drop for BlockGuard<'_> {
     fn drop(&mut self) {
+        // Clear the probe before decrementing so a concurrent observer
+        // never evaluates a stale probe for an unblocked rank: seeing
+        // "blocked but no probe" is conservatively treated as not
+        // deadlocked.
+        *lck(&self.health.parked[self.world_rank]) = None;
         self.health.blocked.fetch_sub(1, AtOrd::SeqCst);
     }
 }
@@ -359,6 +415,13 @@ impl Communicator {
     /// [`Communicator::barrier`] when phases must align across ranks).
     pub fn trace_phase(&self, name: &str) {
         self.tracer.set_phase(name, self.clock.now());
+    }
+
+    /// Name of the current telemetry phase (`"init"` on untraced worlds).
+    /// Pair with [`Communicator::trace_phase`] to scope a sub-phase and
+    /// restore the caller's phase afterwards.
+    pub fn trace_phase_name(&self) -> String {
+        self.tracer.current_phase()
     }
 
     /// Record a solver-iteration boundary in the event journal.
@@ -559,14 +622,40 @@ impl Communicator {
                 return Err(CommError::RankDead { rank: src_world });
             }
             if guard.is_none() {
-                guard = Some(BlockGuard::new(&self.health));
+                let shared = Arc::downgrade(&self.shared);
+                let rank = self.rank;
+                let probe: WaitProbe = Box::new(move |health| {
+                    if health.is_gone(src_world) {
+                        // The waiter will wake to a RankDead error.
+                        return Some(true);
+                    }
+                    let sh = match shared.upgrade() {
+                        Some(sh) => sh,
+                        None => return Some(true),
+                    };
+                    let sat = match sh.mailboxes[rank].inner.try_lock() {
+                        Ok(q) => Some(q.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())),
+                        Err(_) => None,
+                    };
+                    sat
+                });
+                guard = Some(BlockGuard::new(&self.health, self.world_rank(), probe));
             }
             if self.health.all_blocked() {
                 stall += 1;
                 if stall >= STALL_TICKS {
-                    return Err(CommError::Deadlock {
-                        rank: self.world_rank(),
-                    });
+                    stall = STALL_TICKS;
+                    // Release our own mailbox lock so the probes (ours
+                    // included) can inspect it, then confirm before
+                    // declaring deadlock.
+                    drop(inner);
+                    let dead = self.health.confirmed_deadlock();
+                    inner = lck(&mb.inner);
+                    if dead {
+                        return Err(CommError::Deadlock {
+                            rank: self.world_rank(),
+                        });
+                    }
                 }
             } else {
                 stall = 0;
@@ -634,14 +723,43 @@ impl Communicator {
                 None => return Ok(()),
             }
             if guard.is_none() {
-                guard = Some(BlockGuard::new(&self.health));
+                let shared = Arc::downgrade(&self.shared);
+                let probe: WaitProbe = Box::new(move |health| {
+                    let sh = match shared.upgrade() {
+                        Some(sh) => sh,
+                        None => return Some(true),
+                    };
+                    let sat = match sh.slots.try_lock() {
+                        Ok(slots) => Some(match slots.get(&seq) {
+                            None => true,
+                            Some(slot) if slot.done => true,
+                            // A dead participant that never contributed
+                            // will wake the waiter with RankDead.
+                            Some(slot) => (0..sh.size).any(|r| {
+                                slot.contributions[r].is_none() && health.is_gone(sh.world_ranks[r])
+                            }),
+                        }),
+                        Err(_) => None,
+                    };
+                    sat
+                });
+                guard = Some(BlockGuard::new(&self.health, self.world_rank(), probe));
             }
             if self.health.all_blocked() {
                 stall += 1;
                 if stall >= STALL_TICKS {
-                    return Err(CommError::Deadlock {
-                        rank: self.world_rank(),
-                    });
+                    stall = STALL_TICKS;
+                    // Release the slot table so the probes (ours included)
+                    // can inspect it, then confirm before declaring
+                    // deadlock.
+                    drop(slots);
+                    let dead = self.health.confirmed_deadlock();
+                    slots = lck(&self.shared.slots);
+                    if dead {
+                        return Err(CommError::Deadlock {
+                            rank: self.world_rank(),
+                        });
+                    }
                 }
             } else {
                 stall = 0;

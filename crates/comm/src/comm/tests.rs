@@ -478,6 +478,44 @@ fn cyclic_recv_deadlock_is_detected() {
 }
 
 #[test]
+fn deadlock_detected_despite_unrelated_pending_message() {
+    // The satisfiability probes must key on the exact (src, tag) a rank
+    // waits for: a pending message under a *different* tag does not make
+    // the wait satisfiable, so this genuine cycle must still be caught.
+    let out = World::run_default(2, |comm| {
+        let other = 1 - comm.rank();
+        if comm.rank() == 1 {
+            comm.send(0, 5, 1.25f64);
+        }
+        comm.try_recv_timeout::<f64>(other, 99, &RetryPolicy::default())
+    });
+    assert!(out.iter().all(|r| r.is_err()));
+    assert!(out
+        .iter()
+        .any(|r| matches!(r, Err(CommError::Deadlock { .. }))));
+}
+
+#[test]
+fn deadlock_detected_with_mixed_recv_and_collective_waits() {
+    // Rank 0 waits on a message nobody sends while the others park inside
+    // a collective rank 0 never joins: the stalled world mixes a mailbox
+    // wait with slot waits, and confirmation must see through both probe
+    // kinds. Exactly which rank trips first is scheduling-dependent, but
+    // nobody may hang and at least one rank must name the deadlock.
+    let out = World::run_default(3, |comm| {
+        if comm.rank() == 0 {
+            comm.try_recv_timeout::<f64>(1, 99, &RetryPolicy::default())
+        } else {
+            comm.try_allreduce_sum(1.0).map(|_| 0.0)
+        }
+    });
+    assert!(out.iter().all(|r| r.is_err()));
+    assert!(out
+        .iter()
+        .any(|r| matches!(r, Err(CommError::Deadlock { .. }))));
+}
+
+#[test]
 fn should_fail_matches_plan() {
     let plan = FaultPlan::new(0)
         .with_failure(Some(1), "eigensolve")

@@ -182,6 +182,16 @@ impl TraceRecorder {
         (labels.len() - 1) as u16
     }
 
+    /// Name of the phase currently being recorded (`"init"` before the
+    /// first [`TraceRecorder::set_phase`], and on disabled recorders).
+    /// Lets scoped instrumentation restore the caller's phase without
+    /// threading it through every call site.
+    pub fn current_phase(&self) -> String {
+        self.phases.borrow()[self.cur_phase.get() as usize]
+            .0
+            .clone()
+    }
+
     /// Close the current phase (attributing `now − enter` virtual seconds
     /// to it) and enter `name`. Re-entering a previously seen phase name
     /// resumes its counters.

@@ -174,6 +174,25 @@ impl CoarseOperator {
         self.factor.solve(w)
     }
 
+    /// Dense rows `[lo, hi)` of `E`, columns `[lo, dim)` — a master's
+    /// upper row strip, exactly what the distributed factorization
+    /// ([`dd_solver::DistLdlt`]) eliminates in place of the redundant full
+    /// copy (`E` is symmetric, so the sub-diagonal values live transposed
+    /// in earlier strips). Used by tests and the ablation bench to
+    /// cross-check the two coarse-solve paths.
+    pub fn block_row_strip(&self, lo: usize, hi: usize) -> DMat {
+        assert!(lo <= hi && hi <= self.space.dim);
+        let mut s = DMat::zeros(hi - lo, self.space.dim - lo);
+        for r in lo..hi {
+            for (c, v) in self.e.row(r) {
+                if c >= lo {
+                    s[(r - lo, c - lo)] = v;
+                }
+            }
+        }
+        s
+    }
+
     /// The full coarse correction `Q u = Z E⁻¹ Zᵀ u` on a global vector.
     pub fn correction(&self, decomp: &Decomposition, u: &[f64]) -> Vec<f64> {
         let w = self.space.zt_apply(decomp, u);
@@ -276,6 +295,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The block-row strips handed to the distributed factorization must
+    /// reproduce the sequential `E⁻¹` when eliminated cooperatively.
+    #[test]
+    fn distributed_factor_matches_sequential_coarse_solve() {
+        let (d, space) = setup(6, 2);
+        let op = CoarseOperator::build(&d, space, Ordering::MinDegree);
+        let m = op.dim();
+        // Partition coarse rows at the §3.1.2 election boundaries.
+        let masters = crate::masters::nonuniform_masters(d.n_subdomains(), 3);
+        let mut bounds: Vec<usize> = masters.iter().map(|&g| op.space.offsets[g]).collect();
+        bounds.push(m);
+        let w: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).cos()).collect();
+        let want = op.solve(&w);
+        let strips: Vec<DMat> = (0..masters.len())
+            .map(|g| op.block_row_strip(bounds[g], bounds[g + 1]))
+            .collect();
+        let pieces = dd_comm::World::run_default(masters.len(), move |comm| {
+            let g = comm.rank();
+            let f = dd_solver::DistLdlt::factor(comm, bounds.clone(), strips[g].clone());
+            f.solve(comm, &w[bounds[g]..bounds[g + 1]])
+        });
+        let got: Vec<f64> = pieces.into_iter().flatten().collect();
+        let rel = vector::dist2(&got, &want) / vector::norm2(&want).max(1e-300);
+        assert!(rel < 1e-10, "distributed vs sequential coarse solve: {rel}");
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub use precond::{
 };
 pub use problem::{Pde, Problem};
 pub use spmd::{
-    run_spmd, try_run_spmd, AssemblyVariant, Election, SolverKind, SpmdOpts, SpmdReport,
-    SpmdSolution,
+    run_spmd, try_run_spmd, AssemblyVariant, CoarseSolve, Election, SolverKind, SpmdOpts,
+    SpmdReport, SpmdSolution,
 };

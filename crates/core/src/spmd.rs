@@ -32,7 +32,7 @@ use dd_krylov::{
     Operator, Preconditioner, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
-use dd_solver::{Ordering, PivotPolicy, SparseLdlt};
+use dd_solver::{DistLdlt, Ordering, PivotPolicy, SparseLdlt};
 
 const TAG_T: u64 = 101; // S_j / U_j exchanges (Algorithm 1)
 
@@ -63,6 +63,23 @@ pub enum SolverKind {
     Fused,
 }
 
+/// How the coarse operator `E` is factored and applied on the masters
+/// (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CoarseSolve {
+    /// The paper's distributed scheme: `E` is partitioned into the masters'
+    /// block rows (the uniform / non-uniform election boundaries), factored
+    /// by a block fan-in LDLᵀ over `masterComm`
+    /// ([`dd_solver::DistLdlt`]), and applied with distributed triangular
+    /// solves — per-master factor memory and flops scale as `1/P`.
+    #[default]
+    Distributed,
+    /// Every master gathers the full `E` (allgather of the triples) and
+    /// factors it redundantly — the documented substitution of earlier
+    /// revisions, kept for differential testing and the ablation bench.
+    Redundant,
+}
+
 /// Options for [`run_spmd`].
 #[derive(Clone)]
 pub struct SpmdOpts {
@@ -76,6 +93,8 @@ pub struct SpmdOpts {
     pub solver: SolverKind,
     /// Use the one-level RAS preconditioner only (the Figure 1/7 baseline).
     pub one_level_only: bool,
+    /// Distributed vs redundant coarse factorization/solve on the masters.
+    pub coarse_solve: CoarseSolve,
 }
 
 impl Default for SpmdOpts {
@@ -101,6 +120,7 @@ impl Default for SpmdOpts {
             },
             solver: SolverKind::Classical,
             one_level_only: false,
+            coarse_solve: CoarseSolve::default(),
         }
     }
 }
@@ -250,14 +270,21 @@ impl Preconditioner for DistRas<'_> {
     }
 }
 
+/// A master's handle on `E⁻¹`: either the redundant full factorization or
+/// its share of the distributed block factorization.
+enum MasterSolve<'a> {
+    Redundant(&'a SparseLdlt),
+    Distributed(&'a DistLdlt),
+}
+
 /// Coarse-correction machinery shared by the rank's preconditioners.
 struct DistCoarse<'a> {
     comm: &'a Communicator,
     split: &'a Communicator,
-    /// Masters carry their communicator *and* the redundant factorization
-    /// of E together, so the happy path needs no unwrap: a rank either has
-    /// both or participates as a slave.
-    master: Option<(&'a Communicator, &'a SparseLdlt)>,
+    /// Masters carry their communicator *and* their handle on `E⁻¹`
+    /// together, so the happy path needs no unwrap: a rank either has both
+    /// or participates as a slave.
+    master: Option<(&'a Communicator, MasterSolve<'a>)>,
     sub: &'a Subdomain,
     /// This rank's deflation block (ν columns; ν may differ per rank, e.g.
     /// after a Nicolaides fallback on one subdomain).
@@ -282,11 +309,12 @@ impl DistCoarse<'_> {
         let mut msg = wi;
         msg.extend_from_slice(&payload);
         let gathered = self.split.gather(0, msg);
-        // step 2: masters build the full coarse RHS (allgather among
-        // masters — the redundant-solve substitution) and solve. `gather`
-        // returns `Some` exactly on the split root, which is the master.
+        // step 2: masters solve E y = w — distributed (each master solves
+        // its block row cooperatively) or redundant (allgather the full
+        // RHS, solve locally). `gather` returns `Some` exactly on the
+        // split root, which is the master.
         let y_and_payload: Vec<f64> =
-            if let (Some((master, e_factor)), Some(parts)) = (self.master, &gathered) {
+            if let (Some((master, solve)), Some(parts)) = (self.master.as_ref(), &gathered) {
                 // group RHS in split order + summed payload; each sender's ν
                 // comes from the offsets table, not our own block width.
                 let mut group_w = Vec::new();
@@ -306,28 +334,48 @@ impl DistCoarse<'_> {
                 } else {
                     None
                 };
-                let all_w = master.allgather(group_w);
-                let mut rhs = vec![0.0; self.dim_e];
-                let mut pos = 0;
-                for gw in &all_w {
-                    rhs[pos..pos + gw.len()].copy_from_slice(gw);
-                    pos += gw.len();
-                }
-                debug_assert_eq!(pos, self.dim_e);
-                let y = self.comm.compute(|| e_factor.solve(&rhs));
-                self.comm.charge_flops(4 * e_factor.nnz_l() as u64);
+                // Per-group-member slices of y, indexed like group_ranks.
+                let pieces: Vec<Vec<f64>> = match solve {
+                    MasterSolve::Redundant(e_factor) => {
+                        let all_w = master.allgather(group_w);
+                        let mut rhs = vec![0.0; self.dim_e];
+                        let mut pos = 0;
+                        for gw in &all_w {
+                            rhs[pos..pos + gw.len()].copy_from_slice(gw);
+                            pos += gw.len();
+                        }
+                        debug_assert_eq!(pos, self.dim_e);
+                        let y = self.comm.compute(|| e_factor.solve(&rhs));
+                        self.comm.charge_flops(4 * e_factor.nnz_l() as u64);
+                        self.group_ranks
+                            .iter()
+                            .map(|&wr| y[self.offsets[wr]..self.offsets[wr + 1]].to_vec())
+                            .collect()
+                    }
+                    MasterSolve::Distributed(dist) => {
+                        // The gathered group RHS *is* this master's block
+                        // row of w — no allgather, only the ν-sized slices
+                        // already on the wire. Scope the cooperative solve
+                        // under its own telemetry phase.
+                        let prev = self.comm.trace_phase_name();
+                        self.comm.trace_phase("e-solve-dist");
+                        let y = dist.solve(master, &group_w);
+                        self.comm.trace_phase(&prev);
+                        let r0 = dist.row_start();
+                        self.group_ranks
+                            .iter()
+                            .map(|&wr| y[self.offsets[wr] - r0..self.offsets[wr + 1] - r0].to_vec())
+                            .collect()
+                    }
+                };
                 let reduced = match pending {
                     Some(p) => master.wait_reduce(p),
                     None => Vec::new(),
                 };
                 // step 3a: scatter y_i (+ reduced payload) back to the group.
-                let pieces: Vec<Vec<f64>> = self
-                    .group_ranks
-                    .iter()
-                    .map(|&wr| {
-                        let lo = self.offsets[wr];
-                        let hi = self.offsets[wr + 1];
-                        let mut piece = y[lo..hi].to_vec();
+                let pieces: Vec<Vec<f64>> = pieces
+                    .into_iter()
+                    .map(|mut piece| {
                         piece.extend_from_slice(&reduced);
                         piece
                     })
@@ -524,6 +572,7 @@ fn run_inner(
     let mut dim_e = 0usize;
     let mut nnz_e_factor = 0usize;
     let mut e_factor: Option<SparseLdlt> = None;
+    let mut e_dist: Option<DistLdlt> = None;
     let mut offsets = vec![0usize; n + 1];
     // Reason the coarse factorization failed (set on the failing master).
     let mut coarse_failed: Option<String> = None;
@@ -693,10 +742,11 @@ fn run_inner(
             }
         };
 
-        // Masters: merge group triples, allgather among masters, build and
-        // factor E redundantly. A failed factorization (near-singular E, or
-        // an injected "coarse-factor" fault) is *recoverable*: the flag is
-        // agreed on below and every rank drops to one-level RAS together.
+        // Masters: merge the group triples (this master's block row of E,
+        // already delivered by the group gatherv), then factor. A failed
+        // factorization (near-singular E, or an injected "coarse-factor"
+        // fault) is *recoverable*: the flag is agreed on below and every
+        // rank drops to one-level RAS together.
         if let Some(master) = master_comm.as_ref() {
             let mut rows: Vec<u64> = Vec::new();
             let mut cols: Vec<u64> = Vec::new();
@@ -710,36 +760,84 @@ fn run_inner(
                 cols.extend(c);
                 vals.extend(v);
             }
-            let all_rows = master.try_allgather(rows)?;
-            let all_cols = master.try_allgather(cols)?;
-            let all_vals = master.try_allgather(vals)?;
-            let ef = if comm.should_fail("coarse-factor") {
-                Err("coarse-factor fault injected".to_string())
-            } else {
-                comm.compute(|| {
-                    let mut coo = CooBuilder::new(dim_e, dim_e);
-                    for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
-                        for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
-                            coo.push(r as usize, c as usize, v);
+            match opts.coarse_solve {
+                CoarseSolve::Redundant => {
+                    // Allgather the triples among masters so every master
+                    // holds and factors the full E (the earlier scheme).
+                    comm.trace_phase("e-factorization");
+                    let all_rows = master.try_allgather(rows)?;
+                    let all_cols = master.try_allgather(cols)?;
+                    let all_vals = master.try_allgather(vals)?;
+                    let ef = if comm.should_fail("coarse-factor") {
+                        Err("coarse-factor fault injected".to_string())
+                    } else {
+                        comm.compute(|| {
+                            let mut coo = CooBuilder::new(dim_e, dim_e);
+                            for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
+                                for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
+                                    coo.push(r as usize, c as usize, v);
+                                }
+                            }
+                            let e: CsrMatrix = coo.to_csr();
+                            // Static pivoting, as in the sequential coarse
+                            // operator.
+                            SparseLdlt::factor_with(
+                                &e,
+                                opts.ordering,
+                                PivotPolicy::Boost { rel_tol: 1e-12 },
+                            )
+                            .map_err(|e| e.to_string())
+                        })
+                    };
+                    match ef {
+                        Ok(f) => {
+                            comm.charge_flops(f.flops_estimate());
+                            nnz_e_factor = f.nnz_l();
+                            e_factor = Some(f);
                         }
+                        Err(reason) => coarse_failed = Some(reason),
                     }
-                    let e: CsrMatrix = coo.to_csr();
-                    // Static pivoting, as in the sequential coarse operator.
-                    SparseLdlt::factor_with(
-                        &e,
-                        opts.ordering,
-                        PivotPolicy::Boost { rel_tol: 1e-12 },
-                    )
-                    .map_err(|e| e.to_string())
-                })
-            };
-            match ef {
-                Ok(f) => {
-                    nnz_e_factor = f.nnz_l();
-                    e_factor = Some(f);
                 }
-                Err(reason) => coarse_failed = Some(reason),
+                CoarseSolve::Distributed => {
+                    // The paper's scheme: no allgather — each master keeps
+                    // only its block row and the masters factor E together
+                    // (block fan-in LDLᵀ over masterComm).
+                    comm.trace_phase("e-factorization-dist");
+                    // The cooperative factorization deadlocks if one master
+                    // silently sits out, so injected faults are agreed on
+                    // among masters *before* anyone commits to it.
+                    let fail_here = comm.should_fail("coarse-factor");
+                    if master.try_allreduce_max_usize(usize::from(fail_here))? > 0 {
+                        if fail_here {
+                            coarse_failed = Some("coarse-factor fault injected".to_string());
+                        }
+                    } else {
+                        // Block-row boundaries of E = the election
+                        // boundaries mapped to coarse rows (group coarse
+                        // rows are contiguous).
+                        let mut bounds: Vec<usize> = masters.iter().map(|&m| offsets[m]).collect();
+                        bounds.push(dim_e);
+                        let r0 = bounds[master.rank()];
+                        let np = bounds[master.rank() + 1] - r0;
+                        // Only the upper row strip is kept (§3.1.1: "only
+                        // the upper part of E is assembled") — sub-diagonal
+                        // values live transposed in earlier masters' strips.
+                        let strip = comm.compute(|| {
+                            let mut s = DMat::zeros(np, dim_e - r0);
+                            for ((&r, &c), &v) in rows.iter().zip(&cols).zip(&vals) {
+                                if c as usize >= r0 {
+                                    s[(r as usize - r0, c as usize - r0)] += v;
+                                }
+                            }
+                            s
+                        });
+                        let dist = DistLdlt::factor(master, bounds, strip);
+                        nnz_e_factor = dist.nnz_l();
+                        e_dist = Some(dist);
+                    }
+                }
             }
+            comm.trace_phase("assembly:gather");
         }
         // Agree on the outcome: the preconditioner application is
         // collective, so if any master failed to factor E every rank must
@@ -747,6 +845,7 @@ fn run_inner(
         let any_failed = comm.try_allreduce_max_usize(usize::from(coarse_failed.is_some()))? > 0;
         if any_failed {
             e_factor = None;
+            e_dist = None;
             nnz_e_factor = 0;
             let reason = match coarse_failed.take() {
                 Some(r) => format!("coarse factorization failed ({r}); one-level RAS fallback"),
@@ -807,7 +906,12 @@ fn run_inner(
             coarse: DistCoarse {
                 comm,
                 split: &split,
-                master: master_comm.as_ref().zip(e_factor.as_ref()),
+                master: master_comm.as_ref().and_then(|m| {
+                    e_dist
+                        .as_ref()
+                        .map(|d| (m, MasterSolve::Distributed(d)))
+                        .or_else(|| e_factor.as_ref().map(|f| (m, MasterSolve::Redundant(f))))
+                }),
                 sub,
                 w: &w,
                 offsets: &offsets,
@@ -878,15 +982,17 @@ fn run_inner(
 }
 
 /// Debug/test helper: perform the full SPMD setup and apply `P⁻¹_A-DEF1`
-/// once to `R_i r_global`, returning the local result and (on masters) the
-/// assembled coarse matrix E. Hidden from docs; used to cross-check the
-/// distributed application against the sequential one.
+/// once to `R_i r_global`, returning the local result and (on masters, in
+/// redundant mode) the assembled coarse matrix E. Hidden from docs; used to
+/// cross-check the distributed application against the sequential one and
+/// the distributed coarse solve against the redundant one.
 #[doc(hidden)]
 pub fn debug_apply_adef1(
     decomp: &Decomposition,
     comm: &Communicator,
     r_global: &[f64],
     nev: usize,
+    coarse: CoarseSolve,
 ) -> Result<((Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>), Option<CsrMatrix>), SpmdError> {
     let n = comm.size();
     let rank = comm.rank();
@@ -896,6 +1002,7 @@ pub fn debug_apply_adef1(
             nev,
             ..Default::default()
         },
+        coarse_solve: coarse,
         ..Default::default()
     };
     let factor = SparseLdlt::factor(&sub.a_dirichlet, opts.ordering)
@@ -984,6 +1091,7 @@ pub fn debug_apply_adef1(
     let gathered = split.gatherv(0, msg);
     let mut e_csr: Option<CsrMatrix> = None;
     let mut e_factor: Option<SparseLdlt> = None;
+    let mut e_dist: Option<DistLdlt> = None;
     if let Some(master) = master_comm.as_ref() {
         let msgs = gathered.ok_or_else(|| SpmdError::Protocol {
             rank,
@@ -1021,24 +1129,45 @@ pub fn debug_apply_adef1(
                 }
             }
         }
-        let all_rows = master.try_allgather(rows)?;
-        let all_cols = master.try_allgather(cols)?;
-        let all_vals = master.try_allgather(vals)?;
-        let mut coo = CooBuilder::new(dim_e, dim_e);
-        for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
-            for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
-                coo.push(r as usize, c as usize, v);
+        match coarse {
+            CoarseSolve::Redundant => {
+                let all_rows = master.try_allgather(rows)?;
+                let all_cols = master.try_allgather(cols)?;
+                let all_vals = master.try_allgather(vals)?;
+                let mut coo = CooBuilder::new(dim_e, dim_e);
+                for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
+                    for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
+                        coo.push(r as usize, c as usize, v);
+                    }
+                }
+                let e = coo.to_csr();
+                e_factor = Some(
+                    SparseLdlt::factor_with(
+                        &e,
+                        opts.ordering,
+                        PivotPolicy::Boost { rel_tol: 1e-12 },
+                    )
+                    .map_err(|e| SpmdError::Protocol {
+                        rank,
+                        what: format!("coarse factorization failed: {e}"),
+                    })?,
+                );
+                e_csr = Some(e);
+            }
+            CoarseSolve::Distributed => {
+                let mut bounds: Vec<usize> = masters.iter().map(|&m| offsets[m]).collect();
+                bounds.push(dim_e);
+                let r0 = bounds[master.rank()];
+                let np = bounds[master.rank() + 1] - r0;
+                let mut strip = DMat::zeros(np, dim_e - r0);
+                for ((&r, &c), &v) in rows.iter().zip(&cols).zip(&vals) {
+                    if c as usize >= r0 {
+                        strip[(r as usize - r0, c as usize - r0)] += v;
+                    }
+                }
+                e_dist = Some(DistLdlt::factor(master, bounds, strip));
             }
         }
-        let e = coo.to_csr();
-        e_factor = Some(
-            SparseLdlt::factor_with(&e, opts.ordering, PivotPolicy::Boost { rel_tol: 1e-12 })
-                .map_err(|e| SpmdError::Protocol {
-                    rank,
-                    what: format!("coarse factorization failed: {e}"),
-                })?,
-        );
-        e_csr = Some(e);
     }
     let adef1 = DistADef1 {
         op: DistOp {
@@ -1051,7 +1180,12 @@ pub fn debug_apply_adef1(
         coarse: DistCoarse {
             comm,
             split: &split,
-            master: master_comm.as_ref().zip(e_factor.as_ref()),
+            master: master_comm.as_ref().and_then(|m| {
+                e_dist
+                    .as_ref()
+                    .map(|d| (m, MasterSolve::Distributed(d)))
+                    .or_else(|| e_factor.as_ref().map(|f| (m, MasterSolve::Redundant(f))))
+            }),
             sub,
             w: &w,
             offsets: &offsets,
@@ -1341,6 +1475,55 @@ mod tests {
             reports.iter().map(|r| r.nu).sum::<usize>(),
             reports[0].dim_e,
             "Σ ν_i must equal dim(E)"
+        );
+    }
+
+    #[test]
+    fn coarse_solve_modes_agree() {
+        // The distributed block factorization must reproduce the redundant
+        // solve bit-for-bit in iteration counts and to solver accuracy in
+        // the solution; the distributed path must also shed the masters'
+        // allgather bytes.
+        let decomp = setup(14, 6);
+        let base = SpmdOpts {
+            geneo: GeneoOpts {
+                nev: 4,
+                ..Default::default()
+            },
+            n_masters: 3,
+            gmres: GmresOpts {
+                tol: 1e-8,
+                max_iters: 300,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let redundant = SpmdOpts {
+            coarse_solve: CoarseSolve::Redundant,
+            ..base.clone()
+        };
+        let (rd, xd) = spmd_solve(&decomp, &base);
+        let (rr, xr) = spmd_solve(&decomp, &redundant);
+        assert!(rd[0].converged && rr[0].converged);
+        assert_eq!(rd[0].iterations, rr[0].iterations, "same numerics expected");
+        let rel = vector::dist2(&xd, &xr) / vector::norm2(&xr).max(1e-300);
+        assert!(rel < 1e-10, "modes disagree: {rel}");
+        // Masters hold only their block row: the distributed factor is
+        // strictly smaller than the redundant one on every master.
+        let nnz_d: Vec<usize> = rd
+            .iter()
+            .map(|r| r.nnz_e_factor)
+            .filter(|&z| z > 0)
+            .collect();
+        let nnz_r: Vec<usize> = rr
+            .iter()
+            .map(|r| r.nnz_e_factor)
+            .filter(|&z| z > 0)
+            .collect();
+        assert_eq!(nnz_d.len(), nnz_r.len(), "same master count");
+        assert!(
+            nnz_d.iter().sum::<usize>() < nnz_r.iter().sum::<usize>(),
+            "distributed factor should hold fewer entries per master"
         );
     }
 

@@ -274,6 +274,19 @@ impl SparseLdlt {
         self.boosted
     }
 
+    /// Multiply-add estimate of the numeric factorization: each column `j`
+    /// with `c_j` sub-diagonal entries costs `c_j (c_j + 3)` operations in
+    /// the up-looking sweep (the standard sparse-LDLᵀ operation count).
+    /// Deterministic, so usable as a telemetry flop charge.
+    pub fn flops_estimate(&self) -> u64 {
+        (0..self.n)
+            .map(|j| {
+                let c = (self.lp[j + 1] - self.lp[j]) as u64;
+                c * (c + 3)
+            })
+            .sum()
+    }
+
     /// Matrix inertia (#negative, #zero, #positive pivots) — by Sylvester's
     /// law of inertia this equals the signs of the eigenvalues.
     pub fn inertia(&self) -> (usize, usize, usize) {

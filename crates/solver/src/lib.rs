@@ -7,12 +7,17 @@
 //! * [`ordering`] — reverse Cuthill–McKee and quotient-graph minimum degree.
 //! * [`ldlt`] — elimination-tree based up-looking LDLᵀ with forward/backward
 //!   solves, inertia computation, and multi-RHS solves.
+//! * [`dist_ldlt`] — block fan-in LDLᵀ of a row-distributed matrix over a
+//!   communicator, with distributed triangular solves (the coarse operator
+//!   `E` across the elected masters, §3.2).
 
 // Triangular solves, factorizations and stencil loops read most
 // naturally with explicit indices; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod dist_ldlt;
 pub mod ldlt;
 pub mod ordering;
 
+pub use dist_ldlt::DistLdlt;
 pub use ldlt::{LdltError, Ordering, PivotPolicy, SparseLdlt};
