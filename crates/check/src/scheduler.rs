@@ -1,0 +1,574 @@
+//! The virtual scheduler: a [`SyncBackend`] that owns the interleaving.
+//!
+//! Controlled threads hand their blocking to this backend and run one at a
+//! time under a *run token*. Every point where more than one thread could
+//! run next is a **decision**; the scheduler resolves it from a replay
+//! script (DFS exploration), a seeded RNG (randomized search), or the
+//! default lowest-thread-first rule, and records what it chose so the
+//! explorer can branch off alternatives. One `VirtualScheduler` drives
+//! exactly one schedule — the explorer builds a fresh one per run.
+//!
+//! # Decision points
+//!
+//! *Forced* — the running thread can no longer continue: it blocked on a
+//! held mutex, parked in a timed condvar wait, or finished. *Voluntary* —
+//! the running thread could continue but a preemption is modeled instead:
+//! after a successful acquire, a release, or a notify. Voluntary switches
+//! are bounded by [`Config::preemption_bound`] (CHESS-style iterative
+//! context bounding): most concurrency bugs reproduce under a small number
+//! of preemptions, and the bound keeps the schedule tree finite and
+//! shallow.
+//!
+//! # Timed waits
+//!
+//! The runtime's blocking waits are tick loops (`wait_timeout(TICK)`
+//! re-checking a predicate), so a parked thread may *always* legally wake
+//! by timeout. The scheduler models that by keeping parked threads
+//! schedulable — a "fruitless wake" — up to
+//! [`Config::fruitless_budget`] consecutive wakes with no global progress
+//! event (a notify or a thread exit) in between. The budget is sized above
+//! the runtime's `STALL_TICKS` so the deadlock detector always gets enough
+//! wakes to run its confirmation probes before the scheduler declares the
+//! world stuck: a genuine deadlock therefore surfaces as the runtime's own
+//! graceful `CommError::Deadlock` in every schedule, and the scheduler's
+//! stuck-abort only fires if the detector *failed*.
+//!
+//! # Stuck schedules
+//!
+//! If no thread is schedulable and not all have finished, the world is
+//! stuck (a deadlock the runtime did not catch). The scheduler switches to
+//! abort mode: each remaining thread, as it is granted the token, panics
+//! with [`STUCK_MSG`]; the panics unwind through the runtime (whose RAII
+//! guards release locks and mark ranks dead), every thread exits, and the
+//! explorer reports the schedule as a [`Stuck`](crate::FailureKind::Stuck)
+//! failure with its replay script.
+
+use dd_comm::sync::{ResourceId, SyncBackend};
+use std::cell::Cell;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Panic message of threads killed by the stuck-abort. The explorer
+/// recognizes schedules that died with this prefix as `Stuck`.
+pub const STUCK_MSG: &str = "dd-check: stuck schedule (undetected deadlock)";
+
+/// Panic message when a schedule wedges the scheduler itself (a bug in
+/// dd-check, not in the checked program).
+const WEDGED_MSG: &str = "dd-check: scheduler wedged (no token handoff)";
+
+/// How long a controlled thread waits for the run token before concluding
+/// the scheduler itself is broken. Real handoffs take microseconds.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(30);
+
+thread_local! {
+    /// Ordinal of the controlled thread on this OS thread, set by
+    /// `thread_start`. `None` on uncontrolled threads (the test driver).
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Exploration parameters of one schedule run.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum voluntary context switches per schedule.
+    pub preemption_bound: usize,
+    /// Consecutive timeout wakes a parked thread may take without any
+    /// global progress event before it stops being schedulable. Must
+    /// exceed the runtime's `STALL_TICKS` (6) so the deadlock detector can
+    /// always confirm.
+    pub fruitless_budget: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            fruitless_budget: 8,
+        }
+    }
+}
+
+/// What a schedulable thread will do when granted the token, as far as the
+/// scheduler can know. Used for independence-based pruning: two known
+/// actions touching disjoint resources commute, so only one of their
+/// orders needs exploring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NextAction {
+    /// Thread is mid-run; its next operation is not visible.
+    Unknown,
+    /// Thread will operate on exactly these resources (a blocked acquire,
+    /// or a condvar wake followed by a mutex re-acquire).
+    Touch(Vec<ResourceId>),
+}
+
+impl NextAction {
+    /// Known to commute: both actions are visible and resource-disjoint.
+    pub fn independent(&self, other: &NextAction) -> bool {
+        match (self, other) {
+            (NextAction::Touch(a), NextAction::Touch(b)) => a.iter().all(|r| !b.contains(r)),
+            _ => false,
+        }
+    }
+}
+
+/// One recorded decision: which threads were schedulable, what each would
+/// do, and which was chosen. `chosen` indexes `enabled`.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    pub enabled: Vec<usize>,
+    pub actions: Vec<NextAction>,
+    pub chosen: usize,
+    pub forced: bool,
+}
+
+/// How the scheduler resolves decisions beyond the replay script.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Lowest-ordinal schedulable thread (the DFS default branch).
+    First,
+    /// Seeded LCG over the enabled set — randomized schedule search whose
+    /// failing seeds replay exactly.
+    Random(u64),
+}
+
+#[derive(Debug, Clone)]
+enum TState {
+    NotStarted,
+    /// Has (or is waiting for) the token at a point where it can run.
+    Runnable,
+    /// Blocked acquiring this held mutex.
+    BlockedLock(ResourceId),
+    /// Parked in a timed condvar wait; wakes re-acquire `mutex`.
+    Waiting {
+        cv: ResourceId,
+        mutex: ResourceId,
+        notified: bool,
+    },
+    Finished,
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// Consecutive fruitless timeout wakes per thread; reset globally on
+    /// progress (notify / thread exit).
+    fruitless: Vec<u32>,
+    /// Threads that already panicked under abort mode (they now unwind and
+    /// must not be re-killed).
+    panicked: Vec<bool>,
+    started: usize,
+    /// Holder of the run token.
+    current: Option<usize>,
+    /// Mutex owner by resource id (`None` entries double for condvars).
+    owner: Vec<Option<usize>>,
+    preemptions: usize,
+    abort: bool,
+    script_pos: usize,
+    policy: Policy,
+    trace: Vec<Decision>,
+}
+
+/// A deterministic user-space scheduler implementing [`SyncBackend`].
+pub struct VirtualScheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    n: usize,
+    script: Vec<usize>,
+    cfg: Config,
+}
+
+impl VirtualScheduler {
+    /// A scheduler for `n` controlled threads replaying `script` choices
+    /// and resolving further decisions by `policy`.
+    pub fn new(n: usize, cfg: Config, script: Vec<usize>, policy: Policy) -> Self {
+        VirtualScheduler {
+            state: Mutex::new(State {
+                threads: vec![TState::NotStarted; n],
+                fruitless: vec![0; n],
+                panicked: vec![false; n],
+                started: 0,
+                current: None,
+                owner: Vec::new(),
+                preemptions: 0,
+                abort: false,
+                script_pos: 0,
+                policy,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            n,
+            script,
+            cfg,
+        }
+    }
+
+    /// The decisions of the completed (or aborted) schedule.
+    pub fn trace(&self) -> Vec<Decision> {
+        self.lock().trace.clone()
+    }
+
+    /// Did this schedule hit the stuck-abort?
+    pub fn was_stuck(&self) -> bool {
+        self.lock().abort
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn me(&self) -> usize {
+        TID.with(|t| t.get())
+            .unwrap_or_else(|| panic!("dd-check: uncontrolled thread used a scheduled primitive"))
+    }
+
+    /// Is `t` schedulable, and what would it do? `None` when it cannot run.
+    fn runnable(&self, st: &State, t: usize) -> Option<NextAction> {
+        if st.abort {
+            // Abort mode: everyone still alive is eligible — a thread that
+            // has not yet panicked will be killed on grant without touching
+            // its resource; one already unwinding blocks only on a held
+            // mutex (released when its owner unwinds).
+            return match &st.threads[t] {
+                TState::Finished | TState::NotStarted => None,
+                TState::BlockedLock(m) if st.panicked[t] => {
+                    st.owner[*m].is_none().then(|| NextAction::Touch(vec![*m]))
+                }
+                _ => Some(NextAction::Unknown),
+            };
+        }
+        match &st.threads[t] {
+            TState::NotStarted | TState::Finished => None,
+            TState::Runnable => Some(NextAction::Unknown),
+            TState::BlockedLock(m) => st.owner[*m].is_none().then(|| NextAction::Touch(vec![*m])),
+            TState::Waiting {
+                cv,
+                mutex,
+                notified,
+                ..
+            } => {
+                if *notified || st.fruitless[t] < self.cfg.fruitless_budget {
+                    Some(NextAction::Touch(vec![*cv, *mutex]))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn enabled(&self, st: &State, exclude: Option<usize>) -> (Vec<usize>, Vec<NextAction>) {
+        let mut ids = Vec::new();
+        let mut acts = Vec::new();
+        for t in 0..self.n {
+            if Some(t) == exclude {
+                continue;
+            }
+            if let Some(a) = self.runnable(st, t) {
+                ids.push(t);
+                acts.push(a);
+            }
+        }
+        (ids, acts)
+    }
+
+    /// Resolve a decision among `enabled`, recording it when non-trivial.
+    fn choose(
+        &self,
+        st: &mut State,
+        enabled: Vec<usize>,
+        actions: Vec<NextAction>,
+        forced: bool,
+    ) -> usize {
+        if enabled.len() == 1 {
+            return enabled[0];
+        }
+        let idx = if st.script_pos < self.script.len() {
+            // Replay: clamp defensively — a stale script on a changed
+            // program should still terminate, not index out of bounds.
+            self.script[st.script_pos].min(enabled.len() - 1)
+        } else {
+            match &mut st.policy {
+                Policy::First => 0,
+                Policy::Random(s) => {
+                    // Deterministic splitmix-style step; top bits decide.
+                    *s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((*s >> 33) as usize) % enabled.len()
+                }
+            }
+        };
+        st.script_pos += 1;
+        let chosen = enabled[idx];
+        st.trace.push(Decision {
+            enabled,
+            actions,
+            chosen: idx,
+            forced,
+        });
+        chosen
+    }
+
+    /// Grant the token to `t`, applying its wake-side bookkeeping.
+    fn grant(&self, st: &mut State, t: usize) {
+        let woke = match &st.threads[t] {
+            TState::Waiting { notified, .. } => Some(*notified),
+            // A blocked thread's acquire loop re-takes the (now free)
+            // mutex itself once it sees the token.
+            TState::BlockedLock(_) => None,
+            _ => {
+                st.current = Some(t);
+                return;
+            }
+        };
+        match woke {
+            Some(true) => st.fruitless[t] = 0,
+            Some(false) => st.fruitless[t] += 1,
+            None => {}
+        }
+        st.threads[t] = TState::Runnable;
+        st.current = Some(t);
+    }
+
+    /// The running thread can no longer continue: hand the token elsewhere.
+    fn forced_switch(&self, st: &mut State, me: usize) {
+        let (enabled, actions) = self.enabled(st, Some(me));
+        if enabled.is_empty() {
+            if st
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(t, s)| t == me || matches!(s, TState::Finished))
+                && self.runnable(st, me).is_some()
+            {
+                // Everyone else is done and this thread can still move
+                // (e.g. a timeout wake that will observe the deaths): the
+                // token comes straight back.
+                self.grant(st, me);
+                self.cv.notify_all();
+                return;
+            }
+            // Undetected deadlock: enter abort mode and re-derive the
+            // eligible set under its (more permissive) rules — `me` itself
+            // becomes a kill candidate too.
+            st.abort = true;
+            let (enabled, actions) = self.enabled(st, None);
+            if enabled.is_empty() {
+                // Only unwinding threads remain and all are blocked on each
+                // other — cannot happen with RAII lock release, but do not
+                // hang if it somehow does.
+                panic!("{WEDGED_MSG}");
+            }
+            let t = self.choose(st, enabled, actions, true);
+            self.grant(st, t);
+        } else {
+            let t = self.choose(st, enabled, actions, true);
+            self.grant(st, t);
+        }
+        self.cv.notify_all();
+    }
+
+    /// A voluntary preemption opportunity for the running thread `me`:
+    /// possibly hand the token to another thread and wait for it back.
+    fn preemption_point<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        if st.abort || std::thread::panicking() || st.preemptions >= self.cfg.preemption_bound {
+            return st;
+        }
+        let (mut enabled, mut actions) = self.enabled(&st, None);
+        if enabled.len() <= 1 {
+            return st;
+        }
+        // Keep "continue running" as the default (first) branch so the
+        // no-preemption schedule is the DFS trunk.
+        if let Some(pos) = enabled.iter().position(|&t| t == me) {
+            enabled.swap(0, pos);
+            actions.swap(0, pos);
+        }
+        let t = self.choose(&mut st, enabled, actions, false);
+        if t == me {
+            return st;
+        }
+        st.preemptions += 1;
+        st.threads[me] = TState::Runnable;
+        self.grant(&mut st, t);
+        self.cv.notify_all();
+        self.wait_for_token(st, me)
+    }
+
+    /// Block until this thread holds the token. Under abort mode, the
+    /// grant kills the thread instead (unless it is already unwinding).
+    fn wait_for_token<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        loop {
+            if st.current == Some(me) {
+                if st.abort && !st.panicked[me] && !std::thread::panicking() {
+                    st.panicked[me] = true;
+                    drop(st);
+                    panic!("{STUCK_MSG}: thread {me} aborted");
+                }
+                return st;
+            }
+            let (g, timeout) = self
+                .cv
+                .wait_timeout(st, WEDGE_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+            if timeout.timed_out() && st.current != Some(me) {
+                panic!("{WEDGED_MSG}: thread {me} starved");
+            }
+        }
+    }
+}
+
+impl SyncBackend for VirtualScheduler {
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn register_mutex(&self) -> ResourceId {
+        let mut st = self.lock();
+        st.owner.push(None);
+        st.owner.len() - 1
+    }
+
+    fn register_condvar(&self) -> ResourceId {
+        // Condvars share the id space; their owner slot is simply unused.
+        self.register_mutex()
+    }
+
+    fn acquire(&self, m: ResourceId) {
+        let me = self.me();
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, Some(me), "acquire without the token");
+        if std::thread::panicking() {
+            st.panicked[me] = true;
+        }
+        loop {
+            if st.owner[m].is_none() {
+                st.owner[m] = Some(me);
+                let _st = self.preemption_point(st, me);
+                return;
+            }
+            debug_assert_ne!(st.owner[m], Some(me), "dd-check: re-entrant lock");
+            st.threads[me] = TState::BlockedLock(m);
+            self.forced_switch(&mut st, me);
+            st = self.wait_for_token(st, me);
+        }
+    }
+
+    fn try_acquire(&self, m: ResourceId) -> bool {
+        let me = self.me();
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, Some(me), "try_acquire without the token");
+        if st.owner[m].is_none() {
+            st.owner[m] = Some(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self, m: ResourceId) {
+        let me = self.me();
+        let mut st = self.lock();
+        debug_assert_eq!(st.owner[m], Some(me), "release of a mutex not held");
+        st.owner[m] = None;
+        let _st = self.preemption_point(st, me);
+    }
+
+    fn wait_timeout(&self, cv: ResourceId, m: ResourceId) {
+        let me = self.me();
+        let mut st = self.lock();
+        debug_assert_eq!(st.owner[m], Some(me), "wait on a mutex not held");
+        if std::thread::panicking() {
+            st.panicked[me] = true;
+        }
+        st.owner[m] = None;
+        st.threads[me] = TState::Waiting {
+            cv,
+            mutex: m,
+            notified: false,
+        };
+        self.forced_switch(&mut st, me);
+        st = self.wait_for_token(st, me);
+        // Woken (by notify or modeled timeout): re-acquire the mutex.
+        loop {
+            if st.owner[m].is_none() {
+                st.owner[m] = Some(me);
+                return;
+            }
+            st.threads[me] = TState::BlockedLock(m);
+            self.forced_switch(&mut st, me);
+            st = self.wait_for_token(st, me);
+        }
+    }
+
+    fn notify_all(&self, cv: ResourceId) {
+        let me = self.me();
+        let mut st = self.lock();
+        // Progress: wake flags for this condvar's waiters, and a global
+        // fruitless reset — the system moved, so every parked thread gets
+        // its full budget to observe the new state.
+        for t in 0..self.n {
+            if let TState::Waiting {
+                cv: wcv, notified, ..
+            } = &mut st.threads[t]
+            {
+                if *wcv == cv {
+                    *notified = true;
+                }
+            }
+        }
+        for f in st.fruitless.iter_mut() {
+            *f = 0;
+        }
+        let _st = self.preemption_point(st, me);
+    }
+
+    fn thread_start(&self, ordinal: usize) {
+        assert!(ordinal < self.n, "dd-check: thread ordinal out of range");
+        TID.with(|t| t.set(Some(ordinal)));
+        let mut st = self.lock();
+        assert!(
+            matches!(st.threads[ordinal], TState::NotStarted),
+            "dd-check: duplicate thread ordinal {ordinal}"
+        );
+        st.threads[ordinal] = TState::Runnable;
+        st.started += 1;
+        if st.started == self.n {
+            // Start barrier complete: the first decision of the schedule.
+            let (enabled, actions) = self.enabled(&st, None);
+            let t = self.choose(&mut st, enabled, actions, true);
+            self.grant(&mut st, t);
+            self.cv.notify_all();
+        }
+        let st = self.wait_for_token(st, ordinal);
+        drop(st);
+    }
+
+    fn thread_finish(&self) {
+        let me = self.me();
+        TID.with(|t| t.set(None));
+        let mut st = self.lock();
+        st.threads[me] = TState::Finished;
+        debug_assert!(
+            !st.owner.contains(&Some(me)),
+            "dd-check: thread finished while holding a mutex"
+        );
+        // A thread's exit is observable progress (health probes see the
+        // death): refresh every parked thread's wake budget.
+        for f in st.fruitless.iter_mut() {
+            *f = 0;
+        }
+        if st.threads.iter().all(|s| matches!(s, TState::Finished)) {
+            st.current = None;
+            self.cv.notify_all();
+            return;
+        }
+        self.forced_switch(&mut st, me);
+    }
+}

@@ -29,6 +29,7 @@
 
 use crate::fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 use crate::model::{linear_msgs, tree_msgs, CostModel};
+use crate::sync::{std_backend, ControlGuard, SyncBackend, SyncCondvar, SyncMutex};
 use crate::time::VirtualClock;
 use crate::trace::{CollClass, RankTrace, TraceRecorder, WorldTrace};
 use std::any::Any;
@@ -36,7 +37,7 @@ use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtOrd};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Granularity of the blocking-wait tick loops: every blocked wait wakes at
@@ -53,11 +54,49 @@ const TICK: Duration = Duration::from_millis(2);
 /// reports [`CommError::Deadlock`] when none can complete.
 const STALL_TICKS: u32 = 6;
 
-/// Lock a mutex, ignoring poisoning (a panicking rank already propagates
-/// its panic through [`World::run`]; the shared state itself stays
-/// consistent because every critical section is a small push/pop).
+/// Lock a plain `std` mutex, ignoring poisoning (a panicking rank already
+/// propagates its panic through [`World::run`]; the shared state itself
+/// stays consistent because every critical section is a small push/pop).
+/// The runtime's *blocking* state lives in [`SyncMutex`]es instead, whose
+/// locking is visible to the [`SyncBackend`]; `lck` is only for
+/// single-owner cells that no thread ever blocks on.
 fn lck<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Unbox a received payload, panicking with a structured message on a type
+/// mismatch — always a caller bug (the `(source, tag)` pair determines the
+/// payload type in a correct program), never a runtime fault.
+fn downcast_payload<T: 'static>(b: Box<dyn Any + Send>, what: &'static str) -> T {
+    match b.downcast::<T>() {
+        Ok(v) => *v,
+        Err(_) => panic!("{what}: payload type mismatch"),
+    }
+}
+
+/// Unwrap a shared collective result, with the same caller-bug contract as
+/// [`downcast_payload`]: every rank of one collective names the same `R`.
+fn downcast_shared<T: Send + Sync + 'static>(
+    a: Arc<dyn Any + Send + Sync>,
+    what: &'static str,
+) -> Arc<T> {
+    match a.downcast::<T>() {
+        Ok(v) => v,
+        Err(_) => panic!("{what}: result type mismatch"),
+    }
+}
+
+/// Unwrap an invariant that the collective state machine maintains (a slot
+/// present until its last `taken`, a contribution deposited before
+/// `arrived` is bumped, a root that passed its payload, …). A `None` here
+/// is a runtime or caller bug, never an injected fault, so the audited
+/// panic path is the right response — recoverable faults flow through
+/// `CommError` instead.
+fn invariant<T>(o: Option<T>, what: &'static str) -> T {
+    match o {
+        Some(v) => v,
+        None => panic!("{what}"),
+    }
 }
 
 /// Size in bytes a value would occupy on the wire — drives the β term of
@@ -116,8 +155,8 @@ struct MailboxInner {
 }
 
 struct Mailbox {
-    inner: Mutex<MailboxInner>,
-    cv: Condvar,
+    inner: SyncMutex<MailboxInner>,
+    cv: SyncCondvar,
 }
 
 struct Slot {
@@ -162,16 +201,22 @@ struct WorldHealth {
     /// Per-rank satisfiability probe of the wait it is currently parked
     /// in, registered by [`BlockGuard`]. Probes let any rank distinguish a
     /// genuine deadlock from scheduler starvation.
-    parked: Vec<Mutex<Option<WaitProbe>>>,
+    parked: Vec<SyncMutex<Option<WaitProbe>>>,
+    /// Bumped whenever a rank leaves a blocking wait or exits the world.
+    /// [`WorldHealth::confirmed_deadlock`] samples it around its probe
+    /// sweep: an unchanged epoch proves the sweep observed one consistent
+    /// parked state rather than a mix of stale and fresh verdicts.
+    unpark_epoch: AtomicUsize,
 }
 
 impl WorldHealth {
-    fn new(n: usize) -> Arc<Self> {
+    fn new(n: usize, backend: &Arc<dyn SyncBackend>) -> Arc<Self> {
         Arc::new(WorldHealth {
             gone: (0..n).map(|_| AtomicBool::new(false)).collect(),
             n_gone: AtomicUsize::new(0),
             blocked: AtomicUsize::new(0),
-            parked: (0..n).map(|_| Mutex::new(None)).collect(),
+            parked: (0..n).map(|_| SyncMutex::new(backend, None)).collect(),
+            unpark_epoch: AtomicUsize::new(0),
         })
     }
 
@@ -182,6 +227,7 @@ impl WorldHealth {
     fn mark_gone(&self, world_rank: usize) {
         if !self.gone[world_rank].swap(true, AtOrd::SeqCst) {
             self.n_gone.fetch_add(1, AtOrd::SeqCst);
+            self.unpark_epoch.fetch_add(1, AtOrd::SeqCst);
         }
     }
 
@@ -204,7 +250,18 @@ impl WorldHealth {
     /// registration) means some rank can still run and the caller must
     /// keep waiting. Callers must not hold their own mailbox or slot lock
     /// here, so their own probe can inspect it.
+    ///
+    /// The probe sweep is not atomic, so a rank can unpark *mid-sweep*,
+    /// invalidating verdicts already collected: probing ranks 0 and 1 as
+    /// unsatisfiable (both waiting on rank 2), then finding rank 2 gone,
+    /// looks like a confirmed deadlock even though rank 2 completed the
+    /// very wait the stale verdicts were about before exiting. dd-check
+    /// found that interleaving; the epoch sample around the sweep rejects
+    /// it. A rank cannot leave a wait (or the world) without bumping
+    /// `unpark_epoch`, so an unchanged epoch proves all verdicts came from
+    /// one consistent parked state.
     fn confirmed_deadlock(&self) -> bool {
+        let epoch = self.unpark_epoch.load(AtOrd::SeqCst);
         if !self.all_blocked() {
             return false;
         }
@@ -213,15 +270,15 @@ impl WorldHealth {
                 continue;
             }
             let parked = match slot.try_lock() {
-                Ok(p) => p,
-                Err(_) => return false,
+                Some(p) => p,
+                None => return false,
             };
             match parked.as_ref().map(|probe| probe(self)) {
                 Some(Some(false)) => {}
                 _ => return false,
             }
         }
-        true
+        self.unpark_epoch.load(AtOrd::SeqCst) == epoch
     }
 }
 
@@ -235,7 +292,7 @@ struct BlockGuard<'a> {
 
 impl<'a> BlockGuard<'a> {
     fn new(health: &'a WorldHealth, world_rank: usize, probe: WaitProbe) -> Self {
-        *lck(&health.parked[world_rank]) = Some(probe);
+        *health.parked[world_rank].lock() = Some(probe);
         health.blocked.fetch_add(1, AtOrd::SeqCst);
         BlockGuard { health, world_rank }
     }
@@ -247,8 +304,9 @@ impl Drop for BlockGuard<'_> {
         // never evaluates a stale probe for an unblocked rank: seeing
         // "blocked but no probe" is conservatively treated as not
         // deadlocked.
-        *lck(&self.health.parked[self.world_rank]) = None;
+        *self.health.parked[self.world_rank].lock() = None;
         self.health.blocked.fetch_sub(1, AtOrd::SeqCst);
+        self.health.unpark_epoch.fetch_add(1, AtOrd::SeqCst);
     }
 }
 
@@ -273,8 +331,11 @@ struct CommShared {
     /// World rank of each member, in communicator rank order.
     world_ranks: Vec<usize>,
     mailboxes: Vec<Mailbox>,
-    slots: Mutex<HashMap<u64, Slot>>,
-    slots_cv: Condvar,
+    slots: SyncMutex<HashMap<u64, Slot>>,
+    slots_cv: SyncCondvar,
+    /// The sync backend every blocking primitive of this communicator (and
+    /// everything split from it) is built on.
+    backend: Arc<dyn SyncBackend>,
     // statistics
     collective_calls: AtomicU64,
     collective_bytes: AtomicU64,
@@ -283,19 +344,20 @@ struct CommShared {
 }
 
 impl CommShared {
-    fn new(world_ranks: Vec<usize>) -> Arc<Self> {
+    fn new(world_ranks: Vec<usize>, backend: Arc<dyn SyncBackend>) -> Arc<Self> {
         let size = world_ranks.len();
         Arc::new(CommShared {
             size,
             world_ranks,
             mailboxes: (0..size)
                 .map(|_| Mailbox {
-                    inner: Mutex::new(MailboxInner::default()),
-                    cv: Condvar::new(),
+                    inner: SyncMutex::new(&backend, MailboxInner::default()),
+                    cv: SyncCondvar::new(&backend),
                 })
                 .collect(),
-            slots: Mutex::new(HashMap::new()),
-            slots_cv: Condvar::new(),
+            slots: SyncMutex::new(&backend, HashMap::new()),
+            slots_cv: SyncCondvar::new(&backend),
+            backend,
             collective_calls: AtomicU64::new(0),
             collective_bytes: AtomicU64::new(0),
             p2p_messages: AtomicU64::new(0),
@@ -339,7 +401,7 @@ pub struct Communicator {
     /// that thread-CPU measurements are free of cache contention between
     /// rank threads (the host has far fewer cores than ranks; virtual
     /// time, not wall time, is the reported quantity).
-    compute_token: Arc<Mutex<()>>,
+    compute_token: Arc<SyncMutex<()>>,
     health: Arc<WorldHealth>,
     plan: Arc<FaultPlan>,
     counters: Rc<FaultCounters>,
@@ -387,7 +449,7 @@ impl Communicator {
     /// so the measured CPU time reflects the work itself rather than cache
     /// thrash between oversubscribed rank threads.
     pub fn compute<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _token = lck(&self.compute_token);
+        let _token = self.compute_token.lock();
         self.clock.compute(f)
     }
 
@@ -527,7 +589,7 @@ impl Communicator {
         let arrival = self.clock.now() + self.model.beta * bytes as f64 + delay;
         let mb = &self.shared.mailboxes[dest];
         {
-            let mut inner = lck(&mb.inner);
+            let mut inner = mb.inner.lock();
             inner
                 .queues
                 .entry((self.rank, tag))
@@ -585,7 +647,7 @@ impl Communicator {
         let mut attempts = 0u32;
         let mut stall = 0u32;
         let mut guard: Option<BlockGuard> = None;
-        let mut inner = lck(&mb.inner);
+        let mut inner = mb.inner.lock();
         let env = loop {
             if let Some(q) = inner.queues.get_mut(&(src, tag)) {
                 let mut timed_out = false;
@@ -609,8 +671,8 @@ impl Communicator {
                     bump(&self.counters.timeouts);
                     return Err(CommError::Timeout { src, tag, attempts });
                 }
-                if q.front().is_some() {
-                    break q.pop_front().expect("front vanished");
+                if let Some(env) = q.pop_front() {
+                    break env;
                 }
             }
             // Nothing deliverable. The dead-check is safe against races
@@ -633,10 +695,10 @@ impl Communicator {
                         Some(sh) => sh,
                         None => return Some(true),
                     };
-                    let sat = match sh.mailboxes[rank].inner.try_lock() {
-                        Ok(q) => Some(q.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())),
-                        Err(_) => None,
-                    };
+                    let sat = sh.mailboxes[rank]
+                        .inner
+                        .try_lock()
+                        .map(|q| q.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty()));
                     sat
                 });
                 guard = Some(BlockGuard::new(&self.health, self.world_rank(), probe));
@@ -650,7 +712,7 @@ impl Communicator {
                     // declaring deadlock.
                     drop(inner);
                     let dead = self.health.confirmed_deadlock();
-                    inner = lck(&mb.inner);
+                    inner = mb.inner.lock();
                     if dead {
                         return Err(CommError::Deadlock {
                             rank: self.world_rank(),
@@ -660,21 +722,14 @@ impl Communicator {
             } else {
                 stall = 0;
             }
-            inner = mb
-                .cv
-                .wait_timeout(inner, TICK)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            inner = mb.cv.wait_timeout(inner, TICK);
         };
         drop(inner);
         drop(guard);
         self.clock.advance_to(env.arrival);
         self.tracer
             .on_recv(self.shared.world_ranks[src], tag, env.bytes);
-        Ok(*env
-            .payload
-            .downcast::<T>()
-            .expect("recv: payload type mismatch"))
+        Ok(downcast_payload(env.payload, "recv"))
     }
 
     /// Exchange one message with every neighbor (the paper's
@@ -700,7 +755,7 @@ impl Communicator {
     /// registry: a participant that dies before contributing, or a global
     /// stall, aborts the wait with a structured error.
     fn wait_slot_done(&self, seq: u64) -> Result<(), CommError> {
-        let mut slots = lck(&self.shared.slots);
+        let mut slots = self.shared.slots.lock();
         let mut stall = 0u32;
         let mut guard: Option<BlockGuard> = None;
         loop {
@@ -729,18 +784,15 @@ impl Communicator {
                         Some(sh) => sh,
                         None => return Some(true),
                     };
-                    let sat = match sh.slots.try_lock() {
-                        Ok(slots) => Some(match slots.get(&seq) {
-                            None => true,
-                            Some(slot) if slot.done => true,
-                            // A dead participant that never contributed
-                            // will wake the waiter with RankDead.
-                            Some(slot) => (0..sh.size).any(|r| {
-                                slot.contributions[r].is_none() && health.is_gone(sh.world_ranks[r])
-                            }),
+                    let sat = sh.slots.try_lock().map(|slots| match slots.get(&seq) {
+                        None => true,
+                        Some(slot) if slot.done => true,
+                        // A dead participant that never contributed
+                        // will wake the waiter with RankDead.
+                        Some(slot) => (0..sh.size).any(|r| {
+                            slot.contributions[r].is_none() && health.is_gone(sh.world_ranks[r])
                         }),
-                        Err(_) => None,
-                    };
+                    });
                     sat
                 });
                 guard = Some(BlockGuard::new(&self.health, self.world_rank(), probe));
@@ -754,7 +806,7 @@ impl Communicator {
                     // deadlock.
                     drop(slots);
                     let dead = self.health.confirmed_deadlock();
-                    slots = lck(&self.shared.slots);
+                    slots = self.shared.slots.lock();
                     if dead {
                         return Err(CommError::Deadlock {
                             rank: self.world_rank(),
@@ -764,12 +816,7 @@ impl Communicator {
             } else {
                 stall = 0;
             }
-            slots = self
-                .shared
-                .slots_cv
-                .wait_timeout(slots, TICK)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
+            slots = self.shared.slots_cv.wait_timeout(slots, TICK);
         }
     }
 
@@ -784,7 +831,7 @@ impl Communicator {
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
-        let mut slots = lck(&self.shared.slots);
+        let mut slots = self.shared.slots.lock();
         let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
         slot.contributions[self.rank] = Some(contribution);
         slot.entry[self.rank] = self.clock.now();
@@ -793,7 +840,7 @@ impl Communicator {
             let contribs: Vec<Box<dyn Any + Send>> = slot
                 .contributions
                 .iter_mut()
-                .map(|c| c.take().expect("collective contribution missing"))
+                .map(|c| invariant(c.take(), "collective contribution missing"))
                 .collect();
             let max_entry = slot.entry.iter().cloned().fold(0.0f64, f64::max);
             let (result, exit) = finish(contribs, max_entry);
@@ -804,15 +851,13 @@ impl Communicator {
         } else {
             drop(slots);
             self.wait_slot_done(seq)?;
-            slots = lck(&self.shared.slots);
+            slots = self.shared.slots.lock();
         }
-        let slot = slots.get_mut(&seq).expect("slot vanished");
-        let result = slot
-            .result
-            .clone()
-            .expect("collective result missing")
-            .downcast::<R>()
-            .expect("collective result type mismatch");
+        let slot = invariant(slots.get_mut(&seq), "collective slot vanished");
+        let result = downcast_shared::<R>(
+            invariant(slot.result.clone(), "collective result missing"),
+            "collective",
+        );
         let exit = slot.exit_clock;
         slot.taken += 1;
         if slot.taken == size {
@@ -870,11 +915,11 @@ impl Communicator {
         self.trace_coll("bcast", CollClass::EqualCount, Some(root), bytes);
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |mut contribs, max_entry| {
-            let v = contribs[root]
-                .downcast_mut::<Option<T>>()
-                .expect("bcast type")
-                .take()
-                .expect("bcast: root passed None");
+            let boxed = std::mem::replace(&mut contribs[root], Box::new(()));
+            let v = invariant(
+                downcast_payload::<Option<T>>(boxed, "bcast"),
+                "bcast: root passed None",
+            );
             let cost = model.bcast(size, v.wire_bytes());
             (v, max_entry + cost)
         })?;
@@ -909,7 +954,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<T>().expect("gather type"))
+                .map(|c| downcast_payload::<T>(c, "gather"))
                 .collect();
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.gather_uniform(size, per_rank);
@@ -946,7 +991,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<T>().expect("gatherv type"))
+                .map(|c| downcast_payload::<T>(c, "gatherv"))
                 .collect();
             let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
             let cost = model.gather_varying(size, total);
@@ -983,11 +1028,11 @@ impl Communicator {
         let model = self.model;
         let rank = self.rank;
         let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
-            let vals = contribs[root]
-                .downcast_mut::<Option<Vec<T>>>()
-                .expect("scatter type")
-                .take()
-                .expect("scatter: root passed None");
+            let boxed = std::mem::replace(&mut contribs[root], Box::new(()));
+            let vals = invariant(
+                downcast_payload::<Option<Vec<T>>>(boxed, "scatter"),
+                "scatter: root passed None",
+            );
             assert_eq!(vals.len(), size, "scatter: need one value per rank");
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.gather_uniform(size, per_rank); // symmetric cost
@@ -995,7 +1040,7 @@ impl Communicator {
                 vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
             (slots, max_entry + cost)
         })?;
-        let v = lck(&r[rank]).take().expect("scatter: value already taken");
+        let v = invariant(lck(&r[rank]).take(), "scatter: value already taken");
         Ok(v)
     }
 
@@ -1026,11 +1071,11 @@ impl Communicator {
         let model = self.model;
         let rank = self.rank;
         let r = self.try_collective(Box::new(values), move |mut contribs, max_entry| {
-            let vals = contribs[root]
-                .downcast_mut::<Option<Vec<T>>>()
-                .expect("scatterv type")
-                .take()
-                .expect("scatterv: root passed None");
+            let boxed = std::mem::replace(&mut contribs[root], Box::new(()));
+            let vals = invariant(
+                downcast_payload::<Option<Vec<T>>>(boxed, "scatterv"),
+                "scatterv: root passed None",
+            );
             assert_eq!(vals.len(), size);
             let total: usize = vals.iter().map(|v| v.wire_bytes()).sum();
             let cost = model.gather_varying(size, total);
@@ -1038,7 +1083,7 @@ impl Communicator {
                 vals.into_iter().map(|v| Mutex::new(Some(v))).collect();
             (slots, max_entry + cost)
         })?;
-        let v = lck(&r[rank]).take().expect("scatterv: value already taken");
+        let v = invariant(lck(&r[rank]).take(), "scatterv: value already taken");
         Ok(v)
     }
 
@@ -1063,7 +1108,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let vals: Vec<T> = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<T>().expect("allgather type"))
+                .map(|c| downcast_payload::<T>(c, "allgather"))
                 .collect();
             let per_rank = vals.iter().map(|v| v.wire_bytes()).max().unwrap_or(0);
             let cost = model.allgather_uniform(size, per_rank);
@@ -1086,7 +1131,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let s: f64 = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<f64>().expect("allreduce type"))
+                .map(|c| downcast_payload::<f64>(c, "allreduce_sum"))
                 .sum();
             (s, max_entry + model.allreduce(size, 8))
         })?;
@@ -1110,9 +1155,10 @@ impl Communicator {
         let model = self.model;
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let mut it = contribs.into_iter();
-            let mut acc = *it.next().unwrap().downcast::<Vec<f64>>().expect("type");
+            let first = invariant(it.next(), "allreduce_sum_vec: empty contribution set");
+            let mut acc = downcast_payload::<Vec<f64>>(first, "allreduce_sum_vec");
             for c in it {
-                let v = c.downcast::<Vec<f64>>().expect("type");
+                let v = downcast_payload::<Vec<f64>>(c, "allreduce_sum_vec");
                 assert_eq!(v.len(), acc.len(), "allreduce_sum_vec: length mismatch");
                 for (a, b) in acc.iter_mut().zip(v.iter()) {
                     *a += b;
@@ -1139,7 +1185,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let m = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<f64>().expect("type"))
+                .map(|c| downcast_payload::<f64>(c, "allreduce_max"))
                 .fold(f64::NEG_INFINITY, f64::max);
             (m, max_entry + model.allreduce(size, 8))
         })?;
@@ -1160,7 +1206,7 @@ impl Communicator {
         let r = self.try_collective(Box::new(value), move |contribs, max_entry| {
             let m = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<usize>().expect("type"))
+                .map(|c| downcast_payload::<usize>(c, "allreduce_max_usize"))
                 .max()
                 .unwrap_or(0);
             (m, max_entry + model.allreduce(size, 8))
@@ -1182,7 +1228,7 @@ impl Communicator {
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
         let model = self.model;
-        let mut slots = lck(&self.shared.slots);
+        let mut slots = self.shared.slots.lock();
         let slot = slots.entry(seq).or_insert_with(|| Slot::new(size));
         slot.contributions[self.rank] = Some(Box::new(value));
         slot.entry[self.rank] = self.clock.now();
@@ -1191,17 +1237,14 @@ impl Communicator {
             let contribs: Vec<Box<dyn Any + Send>> = slot
                 .contributions
                 .iter_mut()
-                .map(|c| c.take().expect("iallreduce contribution missing"))
+                .map(|c| invariant(c.take(), "iallreduce contribution missing"))
                 .collect();
             let max_entry = slot.entry.iter().cloned().fold(0.0f64, f64::max);
             let mut it = contribs.into_iter();
-            let mut acc = *it
-                .next()
-                .expect("no contributions")
-                .downcast::<Vec<f64>>()
-                .expect("type");
+            let first = invariant(it.next(), "iallreduce: empty contribution set");
+            let mut acc = downcast_payload::<Vec<f64>>(first, "iallreduce");
             for c in it {
-                let v = c.downcast::<Vec<f64>>().expect("type");
+                let v = downcast_payload::<Vec<f64>>(c, "iallreduce");
                 for (a, b) in acc.iter_mut().zip(v.iter()) {
                     *a += b;
                 }
@@ -1229,14 +1272,12 @@ impl Communicator {
     pub fn wait_reduce(&self, pending: PendingReduce<Vec<f64>>) -> Vec<f64> {
         self.wait_slot_done(pending.seq)
             .unwrap_or_else(|e| panic!("wait_reduce on rank {}: {e}", self.rank));
-        let mut slots = lck(&self.shared.slots);
-        let slot = slots.get_mut(&pending.seq).expect("reduce slot vanished");
-        let result = slot
-            .result
-            .clone()
-            .expect("reduce result missing")
-            .downcast::<Vec<f64>>()
-            .expect("wait_reduce type");
+        let mut slots = self.shared.slots.lock();
+        let slot = invariant(slots.get_mut(&pending.seq), "reduce slot vanished");
+        let result = downcast_shared::<Vec<f64>>(
+            invariant(slot.result.clone(), "reduce result missing"),
+            "wait_reduce",
+        );
         let exit = slot.exit_clock;
         slot.taken += 1;
         if slot.taken == self.size() {
@@ -1264,10 +1305,11 @@ impl Communicator {
         let model = self.model;
         let rank = self.rank;
         let parent_world = self.shared.world_ranks.clone();
+        let backend = Arc::clone(&self.shared.backend);
         let groups = self.try_collective(Box::new(color), move |contribs, max_entry| {
             let colors: Vec<Option<usize>> = contribs
                 .into_iter()
-                .map(|c| *c.downcast::<Option<usize>>().expect("split type"))
+                .map(|c| downcast_payload::<Option<usize>>(c, "split"))
                 .collect();
             // color → (shared comm, parent ranks in order)
             let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
@@ -1280,7 +1322,7 @@ impl Communicator {
                 .into_iter()
                 .map(|(c, members)| {
                     let world: Vec<usize> = members.iter().map(|&r| parent_world[r]).collect();
-                    let shared = CommShared::new(world);
+                    let shared = CommShared::new(world, Arc::clone(&backend));
                     (c, (shared, members))
                 })
                 .collect();
@@ -1331,7 +1373,28 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
-        Self::run_impl(n, model, faults, false, f).0
+        Self::run_impl(n, model, faults, false, std_backend(), f).0
+    }
+
+    /// [`World::run_with_faults`] under an explicit [`SyncBackend`].
+    ///
+    /// With the default [`std_backend`] this is identical to
+    /// [`World::run_with_faults`]. A virtual backend (`dd-check`'s
+    /// scheduler) takes over every blocking primitive of the world and
+    /// decides the interleaving of its rank threads — the entry point the
+    /// model checker drives once per explored schedule.
+    pub fn run_with_backend<R, F>(
+        n: usize,
+        model: CostModel,
+        faults: FaultPlan,
+        backend: Arc<dyn SyncBackend>,
+        f: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        Self::run_impl(n, model, faults, false, backend, f).0
     }
 
     /// [`World::run`] with telemetry: every communication event is recorded
@@ -1359,8 +1422,8 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
-        let (results, trace) = Self::run_impl(n, model, faults, true, f);
-        (results, trace.expect("traced run produced no trace"))
+        let (results, trace) = Self::run_impl(n, model, faults, true, std_backend(), f);
+        (results, invariant(trace, "traced run produced no trace"))
     }
 
     fn run_impl<R, F>(
@@ -1368,6 +1431,7 @@ impl World {
         model: CostModel,
         faults: FaultPlan,
         traced: bool,
+        backend: Arc<dyn SyncBackend>,
         f: F,
     ) -> (Vec<R>, Option<WorldTrace>)
     where
@@ -1375,10 +1439,10 @@ impl World {
         F: Fn(&Communicator) -> R + Send + Sync,
     {
         assert!(n >= 1);
-        let shared = CommShared::new((0..n).collect());
-        let health = WorldHealth::new(n);
+        let shared = CommShared::new((0..n).collect(), Arc::clone(&backend));
+        let health = WorldHealth::new(n, &backend);
         let plan = Arc::new(faults);
-        let compute_token = Arc::new(Mutex::new(()));
+        let compute_token = Arc::new(SyncMutex::new(&backend, ()));
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
         let traces: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..n).map(|_| None).collect());
         std::thread::scope(|scope| {
@@ -1388,6 +1452,7 @@ impl World {
                 let health = Arc::clone(&health);
                 let plan = Arc::clone(&plan);
                 let compute_token = Arc::clone(&compute_token);
+                let backend = Arc::clone(&backend);
                 let f = &f;
                 let results = &results;
                 let traces = &traces;
@@ -1395,6 +1460,13 @@ impl World {
                     .name(format!("rank-{rank}"))
                     .stack_size(8 * 1024 * 1024)
                     .spawn_scoped(scope, move || {
+                        // Announce this thread to the backend under its
+                        // rank. Declared before `Done` so that on the way
+                        // out (return or unwind) the rank is marked gone
+                        // *before* a virtual scheduler reconsiders who runs
+                        // next — peers must observe the death, not a
+                        // vanished thread.
+                        let _ctl = ControlGuard::enter(&backend, rank);
                         // Mark the rank gone when its closure returns *or*
                         // panics, so peers blocked on it get a structured
                         // error instead of hanging.
@@ -1426,7 +1498,7 @@ impl World {
                         }
                         lck(results)[rank] = Some(r);
                     })
-                    .expect("failed to spawn rank thread");
+                    .unwrap_or_else(|e| panic!("failed to spawn rank thread: {e}"));
                 handles.push(handle);
             }
             for h in handles {
@@ -1439,14 +1511,14 @@ impl World {
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
             .into_iter()
-            .map(|r| r.expect("rank produced no result"))
+            .map(|r| invariant(r, "rank produced no result"))
             .collect();
         let trace = traced.then(|| WorldTrace {
             ranks: traces
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .into_iter()
-                .map(|t| t.expect("rank produced no trace"))
+                .map(|t| invariant(t, "rank produced no trace"))
                 .collect(),
         });
         (results, trace)

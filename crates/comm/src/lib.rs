@@ -18,6 +18,10 @@
 //! * [`fault`] — seeded fault injection ([`FaultPlan`]) and structured
 //!   communication errors ([`CommError`], [`RetryPolicy`]);
 //! * [`model`] — the [`CostModel`];
+//! * [`sync`] — the [`SyncBackend`] seam: every blocking primitive of the
+//!   runtime goes through [`sync::SyncMutex`] / [`sync::SyncCondvar`], so a
+//!   virtual scheduler (the `dd-check` model checker) can own the
+//!   interleaving of the rank threads;
 //! * [`time`] — virtual clocks and thread CPU time;
 //! * [`trace`] — deterministic telemetry: phase-scoped counters and a
 //!   seed-stable event journal ([`WorldTrace`]) behind
@@ -26,11 +30,13 @@
 pub mod comm;
 pub mod fault;
 pub mod model;
+pub mod sync;
 pub mod time;
 pub mod trace;
 
 pub use comm::{CommStats, Communicator, PendingReduce, WireSize, World};
 pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 pub use model::CostModel;
+pub use sync::{std_backend, ResourceId, StdSyncBackend, SyncBackend, SyncCondvar, SyncMutex};
 pub use time::{thread_cpu_time, VirtualClock};
 pub use trace::{CollClass, EventKind, PhaseCounters, RankTrace, TraceEvent, WorldTrace};

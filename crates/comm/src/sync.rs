@@ -1,0 +1,346 @@
+//! Pluggable synchronization for the runtime's blocking primitives.
+//!
+//! Every mutex, condvar, and blocking wait of the SPMD runtime goes through
+//! [`SyncMutex`] / [`SyncCondvar`], which consult a [`SyncBackend`]:
+//!
+//! * [`StdSyncBackend`] — the production backend: a transparent pass-through
+//!   to `std::sync::Mutex` / `std::sync::Condvar` (all hook methods are
+//!   no-ops and the real primitives do the blocking);
+//! * a *virtual* backend (`dd-check`'s `VirtualScheduler`) — a deterministic
+//!   user-space scheduler that serializes the rank threads onto a single
+//!   run token and decides, at every blocking operation, which thread runs
+//!   next. Under a virtual backend the real `std::sync` primitives are
+//!   never contended (only the token holder touches them), so the whole
+//!   runtime executes under a schedule chosen by the backend — the basis of
+//!   the `dd-check` model checker's bounded exhaustive exploration.
+//!
+//! The project rule enforced by `dd-lint` is that **no `std::sync` blocking
+//! primitive is constructed outside this module** (audited exceptions live
+//! in `dd-lint.allow`): any lock the scheduler cannot see is a schedule the
+//! model checker cannot explore.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, TryLockError};
+use std::time::Duration;
+
+/// Identifies a mutex or condvar registered with a virtual backend.
+pub type ResourceId = usize;
+
+/// The scheduling hooks behind every blocking primitive of the runtime.
+///
+/// The default implementations are no-ops, which *is* the real
+/// [`StdSyncBackend`]: `std::sync` does the blocking and the hooks observe
+/// nothing. A virtual backend overrides [`SyncBackend::is_virtual`] to
+/// return `true`, after which [`SyncMutex`] / [`SyncCondvar`] route all
+/// blocking through the hooks and only ever touch the underlying
+/// `std::sync` primitives uncontended.
+///
+/// # Contract for virtual backends
+///
+/// * [`SyncBackend::acquire`] blocks the calling thread until the virtual
+///   mutex is granted to it; [`SyncBackend::release`] gives it back.
+/// * [`SyncBackend::wait_timeout`] atomically releases mutex `m`, parks the
+///   calling thread on `cv` until a notify **or a virtual timeout** (the
+///   backend models spurious/timed wakes; the runtime's waits are tick
+///   loops that re-check their predicate), then re-acquires `m`.
+/// * Controlled threads bracket their lifetime with
+///   [`SyncBackend::thread_start`] / [`SyncBackend::thread_finish`]
+///   (see [`ControlGuard`]); `ordinal` is the deterministic thread id —
+///   the world rank for SPMD worlds.
+pub trait SyncBackend: Send + Sync + 'static {
+    /// Does this backend schedule threads itself?
+    fn is_virtual(&self) -> bool {
+        false
+    }
+
+    /// Register a new virtual mutex; returns its id.
+    fn register_mutex(&self) -> ResourceId {
+        0
+    }
+
+    /// Register a new virtual condvar; returns its id.
+    fn register_condvar(&self) -> ResourceId {
+        0
+    }
+
+    /// Block until virtual mutex `m` is granted to the calling thread.
+    fn acquire(&self, _m: ResourceId) {}
+
+    /// Take virtual mutex `m` if free, without blocking.
+    fn try_acquire(&self, _m: ResourceId) -> bool {
+        true
+    }
+
+    /// Release virtual mutex `m`.
+    fn release(&self, _m: ResourceId) {}
+
+    /// Atomically release `m`, park on `cv` until notified or virtually
+    /// timed out, then re-acquire `m`.
+    fn wait_timeout(&self, _cv: ResourceId, _m: ResourceId) {}
+
+    /// Wake all threads parked on `cv`.
+    fn notify_all(&self, _cv: ResourceId) {}
+
+    /// A controlled thread announces itself under a deterministic id.
+    fn thread_start(&self, _ordinal: usize) {}
+
+    /// A controlled thread is done (returned or unwinding).
+    fn thread_finish(&self) {}
+}
+
+/// The production backend: plain `std::sync`, no interposition.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdSyncBackend;
+
+impl SyncBackend for StdSyncBackend {}
+
+/// The default (real) backend handle.
+pub fn std_backend() -> Arc<dyn SyncBackend> {
+    Arc::new(StdSyncBackend)
+}
+
+/// A mutex whose blocking is visible to the [`SyncBackend`].
+///
+/// Locking ignores poisoning: a panicking rank already propagates its panic
+/// through `World::run`, and every critical section in the runtime is a
+/// small push/pop that leaves the shared state consistent.
+pub struct SyncMutex<T> {
+    inner: Mutex<T>,
+    /// `Some` exactly on virtual backends.
+    sched: Option<(Arc<dyn SyncBackend>, ResourceId)>,
+}
+
+impl<T> SyncMutex<T> {
+    pub fn new(backend: &Arc<dyn SyncBackend>, value: T) -> Self {
+        let sched = backend
+            .is_virtual()
+            .then(|| (Arc::clone(backend), backend.register_mutex()));
+        SyncMutex {
+            inner: Mutex::new(value),
+            sched,
+        }
+    }
+
+    /// Lock (blocking), ignoring poisoning.
+    pub fn lock(&self) -> SyncMutexGuard<'_, T> {
+        let guard = match &self.sched {
+            Some((s, id)) => {
+                s.acquire(*id);
+                // The virtual backend granted us the mutex, so the real
+                // lock is free: under a virtual backend only the scheduled
+                // thread runs, and real locks are released before their
+                // virtual counterparts.
+                uncontended(&self.inner)
+            }
+            None => self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        };
+        SyncMutexGuard {
+            guard: Some(guard),
+            lock: self,
+        }
+    }
+
+    /// Try to lock without blocking; `None` when held elsewhere.
+    pub fn try_lock(&self) -> Option<SyncMutexGuard<'_, T>> {
+        let guard = match &self.sched {
+            Some((s, id)) => {
+                if !s.try_acquire(*id) {
+                    return None;
+                }
+                uncontended(&self.inner)
+            }
+            None => match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => return None,
+            },
+        };
+        Some(SyncMutexGuard {
+            guard: Some(guard),
+            lock: self,
+        })
+    }
+}
+
+/// Take a real lock that the virtual-backend protocol guarantees is free.
+fn uncontended<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("virtual mutex granted while the real lock is held")
+        }
+    }
+}
+
+/// RAII guard of a [`SyncMutex`]. Drops the real lock first, then releases
+/// the virtual mutex, so an observer that holds the virtual mutex never
+/// finds the real lock taken.
+pub struct SyncMutexGuard<'a, T> {
+    /// `None` only transiently inside [`SyncCondvar::wait_timeout`] and
+    /// during drop.
+    guard: Option<MutexGuard<'a, T>>,
+    lock: &'a SyncMutex<T>,
+}
+
+impl<T> std::ops::Deref for SyncMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for SyncMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for SyncMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((s, id)) = &self.lock.sched {
+            s.release(*id);
+        }
+    }
+}
+
+/// A condvar whose parking is visible to the [`SyncBackend`].
+pub struct SyncCondvar {
+    inner: Condvar,
+    sched: Option<(Arc<dyn SyncBackend>, ResourceId)>,
+}
+
+impl SyncCondvar {
+    pub fn new(backend: &Arc<dyn SyncBackend>) -> Self {
+        let sched = backend
+            .is_virtual()
+            .then(|| (Arc::clone(backend), backend.register_condvar()));
+        SyncCondvar {
+            inner: Condvar::new(),
+            sched,
+        }
+    }
+
+    /// Wait until notified or (really or virtually) timed out, ignoring
+    /// poisoning and the timed-out flag — the runtime's blocking waits are
+    /// tick loops that re-check their predicate on every wake.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: SyncMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> SyncMutexGuard<'a, T> {
+        let lock = guard.lock;
+        // Defuse the guard: we manage both the real and the virtual side of
+        // the handoff explicitly below.
+        let mut defused = std::mem::ManuallyDrop::new(guard);
+        let real = defused.guard.take();
+        match (&self.sched, real) {
+            (Some((s, cv)), Some(real)) => {
+                let m = lock
+                    .sched
+                    .as_ref()
+                    .map(|(_, id)| *id)
+                    .expect("virtual condvar paired with a real mutex");
+                drop(real); // real unlock before the virtual park
+                s.wait_timeout(*cv, m); // releases + re-acquires virtual m
+                SyncMutexGuard {
+                    guard: Some(uncontended(&lock.inner)),
+                    lock,
+                }
+            }
+            (None, Some(real)) => {
+                let (real, _timeout) = self
+                    .inner
+                    .wait_timeout(real, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                SyncMutexGuard {
+                    guard: Some(real),
+                    lock,
+                }
+            }
+            (_, None) => unreachable!("waiting on an already-released guard"),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match &self.sched {
+            // No thread ever parks on the real condvar under a virtual
+            // backend, so only the virtual wake is needed.
+            Some((s, cv)) => s.notify_all(*cv),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+/// RAII registration of a controlled thread with the backend: announces the
+/// thread under its deterministic ordinal on entry and reports it finished
+/// on drop — including during a panic unwind, so a virtual scheduler never
+/// waits forever on a dead thread.
+pub struct ControlGuard<'a> {
+    backend: &'a Arc<dyn SyncBackend>,
+}
+
+impl<'a> ControlGuard<'a> {
+    pub fn enter(backend: &'a Arc<dyn SyncBackend>, ordinal: usize) -> Self {
+        backend.thread_start(ordinal);
+        ControlGuard { backend }
+    }
+}
+
+impl Drop for ControlGuard<'_> {
+    fn drop(&mut self) {
+        self.backend.thread_finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_backend_roundtrip() {
+        let b = std_backend();
+        assert!(!b.is_virtual());
+        let m = SyncMutex::new(&b, 41);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 42);
+        let g = m.lock();
+        assert!(m.try_lock().is_none(), "held lock must not be re-entered");
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn std_condvar_times_out() {
+        let b = std_backend();
+        let m = SyncMutex::new(&b, false);
+        let cv = SyncCondvar::new(&b);
+        let g = m.lock();
+        // Nobody notifies: the timed wait must come back on its own.
+        let g = cv.wait_timeout(g, Duration::from_millis(1));
+        assert!(!*g);
+    }
+
+    #[test]
+    fn std_condvar_wakes_on_notify() {
+        let b = std_backend();
+        let state = Arc::new((SyncMutex::new(&b, false), SyncCondvar::new(&b)));
+        let s2 = Arc::clone(&state);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait_timeout(g, Duration::from_millis(50));
+            }
+        });
+        {
+            let (m, cv) = &*state;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().expect("waiter thread panicked");
+    }
+}

@@ -22,7 +22,10 @@
 /// `CLOCK_THREAD_CPUTIME_ID` (non-Linux); with one rank per thread on an
 /// oversubscribed host the fallback overestimates compute time.
 pub fn thread_cpu_time() -> f64 {
+    // Miri cannot execute inline asm, so it takes the fallback below and
+    // still borrow-checks everything around it.
     #[cfg(all(
+        not(miri),
         target_os = "linux",
         any(target_arch = "x86_64", target_arch = "aarch64")
     ))]
@@ -45,6 +48,7 @@ pub fn thread_cpu_time() -> f64 {
         // writes through its second argument and clobbers the registers
         // declared below.
         #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
         unsafe {
             std::arch::asm!(
                 "syscall",
@@ -56,7 +60,11 @@ pub fn thread_cpu_time() -> f64 {
                 options(nostack, preserves_flags)
             );
         }
+        // SAFETY: same contract as the x86_64 block — ts is a valid,
+        // writable timespec owned by this frame; the svc only writes
+        // through x1 and returns its status in x0.
         #[cfg(target_arch = "aarch64")]
+        #[allow(unsafe_code)]
         unsafe {
             std::arch::asm!(
                 "svc 0",

@@ -1,0 +1,726 @@
+//! # dd-lint
+//!
+//! Syntax-level invariant checks for the runtime crates. These are rules
+//! the compiler cannot express — they encode *project* contracts:
+//!
+//! * **wallclock** — no `Instant::now` / `SystemTime` outside
+//!   `crates/comm/src/time.rs`: the runtime is deterministic under virtual
+//!   time; wall-clock reads anywhere else break replay and the model
+//!   checker. (Benches are audited exceptions in `dd-lint.allow`.)
+//! * **unwrap-expect** — no `.unwrap()` / `.expect(` in the runtime paths
+//!   (`crates/core/src/spmd.rs`, `crates/comm/src/comm.rs`) outside test
+//!   code: recoverable conditions must flow through typed errors; the few
+//!   true invariant panics are centralized in audited helpers.
+//! * **phase-balance** — every telemetry phase saved with
+//!   `trace_phase_name()` must be restored with `trace_phase(&saved)`:
+//!   an unbalanced scope silently misattributes all later telemetry.
+//! * **wire-size** — a `WireSize` impl for a struct with heap-carrying
+//!   fields (`Vec`, `String`, boxes, maps) must mention every such field:
+//!   an under-counted wire size silently corrupts the α–β cost model.
+//!   (Impl *existence* for sent types is already enforced by trait bounds.)
+//! * **std-sync** — no construction of raw `std::sync` blocking primitives
+//!   (`Mutex`, `Condvar`, `RwLock`) in the runtime crates outside
+//!   `crates/comm/src/sync.rs`: blocking must route through `SyncBackend`
+//!   or it is invisible to dd-check's scheduler.
+//!
+//! Audited exceptions live in `dd-lint.allow` at the workspace root, one
+//! per line: `rule path-substring code-substring # justification`. The
+//! justification is mandatory; entries that stop matching anything are
+//! reported so the file cannot rot.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based.
+    pub line: usize,
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule,
+            self.snippet.trim()
+        )
+    }
+}
+
+/// A source file presented to the rules.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw text, used for snippets and allowlist matching.
+    pub raw: String,
+    /// Comment- and string-stripped text (line structure preserved), used
+    /// for all pattern matching so prose never trips a rule.
+    pub code: String,
+}
+
+impl SourceFile {
+    pub fn new(path: impl Into<String>, raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let code = strip_comments_and_strings(&raw);
+        SourceFile {
+            path: path.into(),
+            raw,
+            code,
+        }
+    }
+
+    fn raw_line(&self, line: usize) -> &str {
+        self.raw.lines().nth(line - 1).unwrap_or("")
+    }
+}
+
+/// Replace comment bodies and string-literal contents with spaces,
+/// preserving line breaks (and therefore line numbers). Handles `//`,
+/// nested `/* */`, `"…"` with escapes, `r"…"`/`r#"…"#`, and char
+/// literals; lifetimes (`'a`) are left alone.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let n = b.len();
+    let keep_or_blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push_str("  ");
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(keep_or_blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            // Raw string: r"…" or r#"…"# (any hash count).
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                out.push('r');
+                for _ in 0..hashes {
+                    out.push('#');
+                }
+                out.push('"');
+                i = j + 1;
+                'raw: while i < n {
+                    if b[i] == '"' {
+                        let mut k = i + 1;
+                        let mut seen = 0;
+                        while k < n && b[k] == '#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    out.push(keep_or_blank(b[i]));
+                    i += 1;
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(keep_or_blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Char literal ('x', '\n', '\u{…}') vs lifetime ('a). A char
+            // literal always has a closing quote within a few chars.
+            let close = (i + 1..n.min(i + 12)).find(|&k| b[k] == '\'' && b[k - 1] != '\\');
+            match close {
+                Some(k) if k > i + 1 || b[i + 1] == '\\' => {
+                    out.push('\'');
+                    for _ in i + 1..k {
+                        out.push(' ');
+                    }
+                    out.push('\'');
+                    i = k + 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when the match at `pos` is not preceded by an identifier char —
+/// so `Mutex::new` does not match `SyncMutex::new`.
+fn token_start(code: &str, pos: usize) -> bool {
+    code[..pos]
+        .chars()
+        .next_back()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+}
+
+/// Yield the line of each occurrence of `needle` in the stripped code.
+/// Identifier-like needles only match at a token boundary, so
+/// `Mutex::new` does not match `SyncMutex::new`; needles starting with
+/// punctuation (`.unwrap()`) are inherently anchored already.
+fn occurrences<'a>(file: &'a SourceFile, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let anchored = needle
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(rel) = file.code[from..].find(needle) {
+            let pos = from + rel;
+            from = pos + needle.len();
+            if !anchored || token_start(&file.code, pos) {
+                let line = file.code[..pos].matches('\n').count() + 1;
+                return Some(line);
+            }
+        }
+        None
+    })
+}
+
+fn finding(rule: &'static str, file: &SourceFile, line: usize) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line,
+        snippet: file.raw_line(line).to_string(),
+    }
+}
+
+/// First line of the file's `#[cfg(test)]` region (the runtime files keep
+/// tests at the tail), or `usize::MAX` when there is none.
+fn test_region_start(file: &SourceFile) -> usize {
+    file.code
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .map_or(usize::MAX, |idx| idx + 1)
+}
+
+/// Rule: no wall-clock reads outside `crates/comm/src/time.rs`.
+pub fn rule_wallclock(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.path.ends_with("comm/src/time.rs") {
+            continue;
+        }
+        for needle in ["Instant::now", "SystemTime"] {
+            for line in occurrences(f, needle) {
+                out.push(finding("wallclock", f, line));
+            }
+        }
+    }
+    out
+}
+
+/// Files whose non-test code must stay free of `.unwrap()` / `.expect(`.
+const RUNTIME_PATHS: [&str; 2] = ["crates/core/src/spmd.rs", "crates/comm/src/comm.rs"];
+
+/// Rule: typed errors only in the runtime paths.
+pub fn rule_unwrap_expect(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !RUNTIME_PATHS.iter().any(|p| f.path.ends_with(p)) {
+            continue;
+        }
+        let tests_at = test_region_start(f);
+        for needle in [".unwrap()", ".expect("] {
+            for line in occurrences(f, needle) {
+                if line < tests_at {
+                    out.push(finding("unwrap-expect", f, line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule: every `let saved = …trace_phase_name();` must be matched by a
+/// later `trace_phase(&saved)` in the same file.
+pub fn rule_phase_balance(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        for (idx, l) in f.code.lines().enumerate() {
+            if !l.contains("trace_phase_name()") {
+                continue;
+            }
+            let Some(eq) = l.find('=') else { continue };
+            let Some(let_pos) = l.find("let ") else {
+                continue;
+            };
+            let var = l[let_pos + 4..eq].trim().trim_end_matches(':').trim();
+            if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            let rest: String = f.code.lines().skip(idx + 1).collect::<Vec<_>>().join("\n");
+            let restored = rest.contains(&format!("trace_phase(&{var})"))
+                || rest.contains(&format!("trace_phase({var}"));
+            if !restored {
+                out.push(finding("phase-balance", f, idx + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Extract the `{…}` block starting at the first `{` at or after `pos`.
+fn brace_block(code: &str, pos: usize) -> Option<&str> {
+    let open = pos + code[pos..].find('{')?;
+    let mut depth = 0;
+    for (off, c) in code[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open..open + off + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Field names of `struct name` whose types carry heap data the α–β model
+/// must see (`Vec`, `String`, `Box`, maps, queues).
+fn heap_fields(files: &[SourceFile], name: &str) -> Vec<String> {
+    const HEAP: [&str; 6] = ["Vec<", "String", "Box<", "HashMap", "BTreeMap", "VecDeque"];
+    for f in files {
+        for pat in [format!("struct {name} {{"), format!("struct {name}<")] {
+            let Some(pos) = f.code.find(&pat) else {
+                continue;
+            };
+            let Some(body) = brace_block(&f.code, pos) else {
+                continue;
+            };
+            return body
+                .split(['\n', ','])
+                .filter_map(|l| {
+                    let (field, ty) = l.split_once(':')?;
+                    let field = field
+                        .trim()
+                        .trim_start_matches('{')
+                        .trim()
+                        .trim_start_matches("pub ")
+                        .trim();
+                    if field.chars().all(|c| c.is_alphanumeric() || c == '_')
+                        && !field.is_empty()
+                        && HEAP.iter().any(|h| ty.contains(h))
+                    {
+                        Some(field.to_string())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+/// Rule: a `WireSize` impl for a struct with heap-carrying fields must
+/// mention every such field in its body.
+pub fn rule_wire_size(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let mut from = 0;
+        while let Some(rel) = f.code[from..].find("impl WireSize for ") {
+            let pos = from + rel;
+            from = pos + 1;
+            let after = &f.code[pos + "impl WireSize for ".len()..];
+            let name: String = after
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            let Some(body) = brace_block(&f.code, pos) else {
+                continue;
+            };
+            for field in heap_fields(files, &name) {
+                if !body.contains(&field) {
+                    let line = f.code[..pos].matches('\n').count() + 1;
+                    let mut fnd = finding("wire-size", f, line);
+                    fnd.snippet = format!("impl WireSize for {name} ignores heap field `{field}`");
+                    out.push(fnd);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Crates whose blocking must route through `SyncBackend`.
+const SYNC_SCOPED: [&str; 2] = ["crates/comm/src/", "crates/core/src/"];
+
+/// Rule: no raw `std::sync` blocking-primitive construction in the runtime
+/// crates outside the backend seam itself.
+pub fn rule_std_sync(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !SYNC_SCOPED.iter().any(|p| f.path.contains(p)) || f.path.ends_with("comm/src/sync.rs") {
+            continue;
+        }
+        for needle in ["Mutex::new(", "Condvar::new(", "RwLock::new("] {
+            for line in occurrences(f, needle) {
+                out.push(finding("std-sync", f, line));
+            }
+        }
+    }
+    out
+}
+
+/// Run every rule.
+pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(rule_wallclock(files));
+    out.extend(rule_unwrap_expect(files));
+    out.extend(rule_phase_balance(files));
+    out.extend(rule_wire_size(files));
+    out.extend(rule_std_sync(files));
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// One audited exception.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path_sub: String,
+    pub code_sub: String,
+    pub justification: String,
+    pub line: usize,
+}
+
+/// The parsed `dd-lint.allow` file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format; malformed lines (no justification,
+    /// fewer than three fields) are hard errors so the file stays honest.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (spec, justification) = line
+                .split_once(" # ")
+                .ok_or_else(|| format!("dd-lint.allow:{}: missing ` # justification`", idx + 1))?;
+            let mut parts = spec.split_whitespace();
+            let (Some(rule), Some(path_sub), Some(code_sub)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "dd-lint.allow:{}: expected `rule path-substring code-substring # why`",
+                    idx + 1
+                ));
+            };
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path_sub: path_sub.to_string(),
+                code_sub: code_sub.to_string(),
+                justification: justification.trim().to_string(),
+                line: idx + 1,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    fn matches(&self, f: &Finding, used: &mut [bool]) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == f.rule && f.path.contains(&e.path_sub) && f.snippet.contains(&e.code_sub) {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Outcome of a full lint pass.
+pub struct LintResult {
+    /// Findings not covered by the allowlist — the failures.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by audited exceptions.
+    pub suppressed: usize,
+    /// Allowlist entries (1-based line numbers) that matched nothing —
+    /// stale audits to clean up.
+    pub stale_allows: Vec<usize>,
+    pub files_scanned: usize,
+}
+
+/// Collect `.rs` sources under `<root>/src` and `<root>/crates`, skipping
+/// `target/`.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::new(rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Full pass: scan `root`, apply rules, subtract `root/dd-lint.allow`.
+pub fn lint(root: &Path) -> Result<LintResult, String> {
+    let files = collect_sources(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let allow_path = root.join("dd-lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::default(),
+    };
+    let mut used = vec![false; allow.entries.len()];
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    for f in run_rules(&files) {
+        if allow.matches(&f, &mut used) {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    let stale_allows = used
+        .iter()
+        .enumerate()
+        .filter(|(_, u)| !**u)
+        .map(|(i, _)| allow.entries[i].line)
+        .collect();
+    Ok(LintResult {
+        findings,
+        suppressed,
+        stale_allows,
+        files_scanned: files.len(),
+    })
+}
+
+/// Workspace root, assuming this crate stays at `crates/lint`.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, raw: &str) -> SourceFile {
+        SourceFile::new(path, raw)
+    }
+
+    #[test]
+    fn stripper_blanks_comments_and_strings_preserving_lines() {
+        let src = "let a = \"Instant::now\"; // Instant::now\n/* SystemTime */ let b = 1;\n";
+        let code = strip_comments_and_strings(src);
+        assert_eq!(code.lines().count(), src.lines().count());
+        assert!(!code.contains("Instant::now"));
+        assert!(!code.contains("SystemTime"));
+        assert!(code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"Instant::now \" still\"#; let c = ':'; let l: &'static str = x;\n";
+        let code = strip_comments_and_strings(src);
+        assert!(!code.contains("Instant::now"));
+        assert!(code.contains("&'static str"));
+    }
+
+    #[test]
+    fn planted_wallclock_in_core_is_caught() {
+        let files = [file(
+            "crates/core/src/spmd.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )];
+        let got = rule_wallclock(&files);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "wallclock");
+        assert_eq!(got[0].line, 1);
+    }
+
+    #[test]
+    fn wallclock_allowed_in_time_rs_and_comments() {
+        let files = [
+            file("crates/comm/src/time.rs", "let t = Instant::now();\n"),
+            file("crates/core/src/spmd.rs", "// uses Instant::now upstream\n"),
+        ];
+        assert!(rule_wallclock(&files).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_runtime_path_is_caught_but_tests_are_exempt() {
+        let files = [file(
+            "crates/comm/src/comm.rs",
+            "fn f() { x.unwrap(); y.expect(\"boom\"); }\n#[cfg(test)]\nmod tests { fn g() { z.unwrap(); } }\n",
+        )];
+        let got = rule_unwrap_expect(&files);
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|f| f.line == 1));
+    }
+
+    #[test]
+    fn unwrap_outside_runtime_paths_is_ignored() {
+        let files = [file("crates/linalg/src/lib.rs", "x.unwrap();\n")];
+        assert!(rule_unwrap_expect(&files).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_phase_scope_is_caught() {
+        let bad = file(
+            "crates/core/src/spmd.rs",
+            "let prev = comm.trace_phase_name();\ncomm.trace_phase(\"inner\");\n",
+        );
+        let got = rule_phase_balance(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "phase-balance");
+
+        let good = file(
+            "crates/core/src/spmd.rs",
+            "let prev = comm.trace_phase_name();\ncomm.trace_phase(\"inner\");\ncomm.trace_phase(&prev);\n",
+        );
+        assert!(rule_phase_balance(std::slice::from_ref(&good)).is_empty());
+    }
+
+    #[test]
+    fn under_counted_wire_size_is_caught() {
+        let files = [file(
+            "crates/core/src/msg.rs",
+            "pub struct Panel { pub rows: Vec<f64>, pub tag: u64 }\n\
+             impl WireSize for Panel { fn wire_bytes(&self) -> usize { 8 } }\n",
+        )];
+        let got = rule_wire_size(&files);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].snippet.contains("rows"), "{got:?}");
+
+        let ok = [file(
+            "crates/core/src/msg.rs",
+            "pub struct Panel { pub rows: Vec<f64>, pub tag: u64 }\n\
+             impl WireSize for Panel { fn wire_bytes(&self) -> usize { 8 + self.rows.len() * 8 } }\n",
+        )];
+        assert!(rule_wire_size(&ok).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_primitive_in_runtime_crate_is_caught() {
+        let files = [
+            file("crates/comm/src/comm.rs", "let m = Mutex::new(0);\n"),
+            file(
+                "crates/comm/src/comm.rs",
+                "let m = SyncMutex::new(&b, 0);\n",
+            ),
+            file("crates/comm/src/sync.rs", "let m = Mutex::new(0);\n"),
+            file("crates/linalg/src/lib.rs", "let m = Mutex::new(0);\n"),
+        ];
+        let got = rule_std_sync(&files);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].path, "crates/comm/src/comm.rs");
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_reports_stale_entries() {
+        let allow = Allowlist::parse(
+            "wallclock crates/bench Instant::now # benches measure real elapsed time\n\
+             std-sync crates/comm/src/nonexistent.rs Mutex::new # stale\n",
+        )
+        .unwrap();
+        assert_eq!(allow.entries.len(), 2);
+        let f = Finding {
+            rule: "wallclock",
+            path: "crates/bench/benches/micro.rs".into(),
+            line: 3,
+            snippet: "let t0 = Instant::now();".into(),
+        };
+        let mut used = vec![false; 2];
+        assert!(allow.matches(&f, &mut used));
+        assert!(used[0] && !used[1]);
+    }
+
+    #[test]
+    fn allowlist_without_justification_is_rejected() {
+        assert!(Allowlist::parse("wallclock crates/bench Instant::now\n").is_err());
+    }
+}

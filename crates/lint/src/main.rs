@@ -1,0 +1,42 @@
+//! `dd-lint` binary: run the workspace invariant pass and exit non-zero
+//! on any finding not covered by `dd-lint.allow`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Prefer the current directory when it looks like the workspace root
+    // (CI runs from there); fall back to the compile-time layout.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = if cwd.join("crates").is_dir() && cwd.join("Cargo.toml").is_file() {
+        cwd
+    } else {
+        dd_lint::workspace_root()
+    };
+
+    let result = match dd_lint::lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dd-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &result.findings {
+        println!("{f}");
+    }
+    for line in &result.stale_allows {
+        println!("dd-lint.allow:{line}: stale entry — matches no finding, remove it");
+    }
+    println!(
+        "dd-lint: {} file(s), {} finding(s), {} suppressed by audited exceptions",
+        result.files_scanned,
+        result.findings.len(),
+        result.suppressed
+    );
+    if result.findings.is_empty() && result.stale_allows.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,31 @@
+//! Tier-1 gate: the real workspace must pass the invariant pass. Runs in
+//! `cargo test`, so a planted wall-clock read, a raw mutex in the runtime,
+//! or an unbalanced phase scope fails the build before review.
+
+#[test]
+fn workspace_is_clean() {
+    let root = dd_lint::workspace_root();
+    let result = dd_lint::lint(&root).expect("lint pass must run");
+    assert!(
+        result.files_scanned > 20,
+        "suspiciously few files scanned ({}) — wrong root {}?",
+        result.files_scanned,
+        root.display()
+    );
+    let report: Vec<String> = result.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.is_empty(),
+        "dd-lint findings:\n{}",
+        report.join("\n")
+    );
+    assert!(
+        result.stale_allows.is_empty(),
+        "stale dd-lint.allow entries at line(s) {:?}",
+        result.stale_allows
+    );
+    // The audited exceptions themselves must still exist.
+    assert!(
+        result.suppressed >= 3,
+        "expected audited exceptions to match"
+    );
+}
