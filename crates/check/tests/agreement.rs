@@ -1,0 +1,131 @@
+//! Liveness-agreement schedule suites (satellite of the rank-death PR):
+//! one seeded death at a failpoint, N = 3..4. In every explored
+//! interleaving the survivors must commit the *same* shrink — identical
+//! epoch, identical membership (no split-brain) — or surface a
+//! structured error; the scheduler must never abort a stuck schedule,
+//! and blocked survivors must wake to a typed error rather than hang on
+//! the dead rank.
+
+use dd_check::{check_world_with_faults, scaled, Budget, Config, FailureKind, Report};
+use dd_comm::{CommError, FaultPlan};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn budget(max: usize) -> Budget {
+    Budget {
+        max_schedules: scaled(max),
+        check_divergence: true,
+    }
+}
+
+fn assert_graceful(r: &Report, what: &str) {
+    for f in &r.failures {
+        assert_ne!(
+            f.kind,
+            FailureKind::Stuck,
+            "{what}: undetected hang (stuck schedule), replay script {:?}",
+            f.script
+        );
+        assert_ne!(
+            f.kind,
+            FailureKind::Panic,
+            "{what}: panic instead of graceful recovery: {}",
+            f.message
+        );
+    }
+    r.assert_clean();
+}
+
+/// The victim dies at a failpoint before communicating; every survivor
+/// calls `try_shrink` and must land on the same epoch-1 communicator of
+/// size `n − 1`, live enough to complete a collective. The committed
+/// outcome is a pure function of the fault plan, so results must be
+/// byte-identical across schedules.
+fn death_then_shrink(n: usize, victim: usize, max: usize) -> Report {
+    let faults = FaultPlan::new(23).with_kill(victim, "work");
+    check_world_with_faults(n, Config::default(), budget(max), faults, move |comm| {
+        if comm.failpoint("work").is_err() {
+            // Killed: unwind without touching the runtime again.
+            return vec![0xDD];
+        }
+        let sub = comm.try_shrink().expect("survivor must shrink");
+        assert_eq!(sub.size(), n - 1, "agreement missed the death");
+        assert_eq!(sub.epoch(), 1, "split-brain: unexpected epoch");
+        assert_eq!(comm.dead_ranks(), vec![victim], "wrong dead set");
+        let sum = sub
+            .try_allreduce_sum(comm.world_rank() as f64)
+            .expect("shrunk communicator must be live");
+        let mut out = vec![0x51, sub.rank() as u8, sub.epoch() as u8];
+        out.extend_from_slice(&sum.to_bits().to_le_bytes());
+        out
+    })
+}
+
+/// Survivors first block in a full-world collective the victim never
+/// joins. Whatever the interleaving — kill before, during, or after the
+/// survivors park — the collective must fail with a *structured* error
+/// (never hang), after which the shrink still commits consistently.
+/// The error variant a survivor observes is schedule-dependent
+/// (`RankDead` vs `Revoked` vs `Timeout` races), so it is kept out of
+/// the canonical bytes and only its presence is asserted.
+fn blocked_collective_then_shrink(n: usize, victim: usize, max: usize) -> (Report, usize) {
+    let faults = FaultPlan::new(31).with_kill(victim, "work");
+    let structured = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&structured);
+    let report = check_world_with_faults(n, Config::default(), budget(max), faults, move |comm| {
+        if comm.failpoint("work").is_err() {
+            return vec![0xDD];
+        }
+        let pre = comm.try_allreduce_sum(1.0);
+        assert!(pre.is_err(), "collective over a dead rank must not succeed");
+        if matches!(
+            pre,
+            Err(CommError::RankDead { .. }) | Err(CommError::Revoked { .. })
+        ) {
+            seen.fetch_add(1, Ordering::SeqCst);
+        }
+        let sub = comm.try_shrink().expect("survivor must shrink");
+        assert_eq!(sub.size(), n - 1, "agreement missed the death");
+        assert_eq!(sub.epoch(), 1, "split-brain: unexpected epoch");
+        let sum = sub
+            .try_allreduce_sum(comm.world_rank() as f64)
+            .expect("shrunk communicator must be live");
+        let mut out = vec![0x52, sub.rank() as u8, sub.epoch() as u8];
+        out.extend_from_slice(&sum.to_bits().to_le_bytes());
+        out
+    });
+    (report, structured.load(Ordering::SeqCst))
+}
+
+#[test]
+fn shrink_agrees_n3_victim0() {
+    let r = death_then_shrink(3, 0, 3000);
+    assert_graceful(&r, "n=3 victim=0");
+    assert!(r.schedules > 10, "explored {}", r.schedules);
+}
+
+#[test]
+fn shrink_agrees_n3_victim2() {
+    assert_graceful(&death_then_shrink(3, 2, 3000), "n=3 victim=2");
+}
+
+#[test]
+fn shrink_agrees_n4_victim1() {
+    assert_graceful(&death_then_shrink(4, 1, 4000), "n=4 victim=1");
+}
+
+#[test]
+fn blocked_survivors_wake_structured_n3() {
+    let (r, structured) = blocked_collective_then_shrink(3, 1, 3000);
+    assert_graceful(&r, "n=3 blocked collective");
+    assert!(
+        structured > 0,
+        "no schedule ever surfaced a RankDead/Revoked from the dead-rank collective"
+    );
+}
+
+#[test]
+fn blocked_survivors_wake_structured_n4() {
+    let (r, _) = blocked_collective_then_shrink(4, 3, 4000);
+    assert_graceful(&r, "n=4 blocked collective");
+}

@@ -34,6 +34,7 @@ fn encode(r: Result<u64, CommError>) -> Vec<u8> {
         Err(CommError::Deadlock { .. }) => vec![1],
         Err(CommError::RankDead { .. }) => vec![2],
         Err(CommError::Timeout { .. }) => vec![3],
+        Err(CommError::Revoked { .. }) => vec![4],
     }
 }
 

@@ -191,6 +191,29 @@ impl Slot {
 /// which case that rank is awake, so the world is not deadlocked anyway).
 type WaitProbe = Box<dyn Fn(&WorldHealth) -> Option<bool> + Send>;
 
+/// State of the two-phase liveness-agreement protocol behind
+/// [`Communicator::try_shrink`]. Lives outside the mailbox/slot machinery
+/// on purpose: agreement traffic never enters the telemetry journal or the
+/// collective sequence space, so a recovered run's canonical trace is a
+/// pure function of the agreed dead set.
+struct AgreeState {
+    /// Current protocol round. Bumped (under the agreement lock) by any
+    /// participant that detects a death racing the vote; everyone then
+    /// restarts with the larger view.
+    round: u64,
+    /// Phase-1 posts: each live rank's `(round, observed dead set)`.
+    votes: Vec<Option<(u64, Vec<usize>)>>,
+    /// Phase-2 posts: each live rank's `(round, candidate dead set)`.
+    commits: Vec<Option<(u64, Vec<usize>)>>,
+    /// Count of committed shrinks (the epoch of the latest one).
+    epoch: usize,
+    /// The committed result: `(agreed dead set, epoch, survivor comm)`.
+    /// Built exactly once per agreement by the first rank through phase 2;
+    /// later arrivals (and stragglers re-running the protocol against the
+    /// stale votes) adopt it instead of rebuilding.
+    published: Option<(Vec<usize>, usize, Arc<CommShared>)>,
+}
+
 /// Liveness registry of one world, shared by every communicator split from
 /// it. Ranks are identified by *world* rank.
 struct WorldHealth {
@@ -207,6 +230,19 @@ struct WorldHealth {
     /// sweep: an unchanged epoch proves the sweep observed one consistent
     /// parked state rather than a mix of stale and fresh verdicts.
     unpark_epoch: AtomicUsize,
+    /// Revocation horizon: every blocking wait of a communicator whose
+    /// epoch is below this value aborts with [`CommError::Revoked`]. Only
+    /// ever increased ([`Communicator::revoke`]).
+    revocation: AtomicUsize,
+    /// Two-phase liveness-agreement state ([`Communicator::try_shrink`]).
+    agree: SyncMutex<AgreeState>,
+    agree_cv: SyncCondvar,
+    /// Ranks currently inside the agreement protocol. [`WorldHealth::mark_gone`]
+    /// only notifies `agree_cv` when someone is actually parked there, so
+    /// programs that never shrink add no condvar traffic on rank exit —
+    /// their dd-check schedule space is exactly what it was before the
+    /// recovery machinery existed.
+    agree_waiters: AtomicUsize,
 }
 
 impl WorldHealth {
@@ -217,6 +253,19 @@ impl WorldHealth {
             blocked: AtomicUsize::new(0),
             parked: (0..n).map(|_| SyncMutex::new(backend, None)).collect(),
             unpark_epoch: AtomicUsize::new(0),
+            revocation: AtomicUsize::new(0),
+            agree: SyncMutex::new(
+                backend,
+                AgreeState {
+                    round: 0,
+                    votes: (0..n).map(|_| None).collect(),
+                    commits: (0..n).map(|_| None).collect(),
+                    epoch: 0,
+                    published: None,
+                },
+            ),
+            agree_cv: SyncCondvar::new(backend),
+            agree_waiters: AtomicUsize::new(0),
         })
     }
 
@@ -224,10 +273,24 @@ impl WorldHealth {
         self.gone[world_rank].load(AtOrd::SeqCst)
     }
 
+    /// Is every wait on a communicator of epoch `epoch` revoked?
+    fn revoked(&self, epoch: usize) -> bool {
+        self.revocation.load(AtOrd::SeqCst) > epoch
+    }
+
     fn mark_gone(&self, world_rank: usize) {
         if !self.gone[world_rank].swap(true, AtOrd::SeqCst) {
             self.n_gone.fetch_add(1, AtOrd::SeqCst);
             self.unpark_epoch.fetch_add(1, AtOrd::SeqCst);
+            // Wake agreement waiters, but only if any exist: a notify is a
+            // scheduler decision point under dd-check, and every rank exit
+            // lands here. SeqCst ordering makes the gate safe — a waiter
+            // that registers after this load observes the `gone` flag set
+            // above before it first checks its predicate, and the waits
+            // are ticked (`wait_timeout`) besides.
+            if self.agree_waiters.load(AtOrd::SeqCst) > 0 {
+                self.agree_cv.notify_all();
+            }
         }
     }
 
@@ -319,6 +382,9 @@ struct FaultCounters {
     retries: Cell<u64>,
     timeouts: Cell<u64>,
     msg_index: Cell<u64>,
+    /// Per-rank index of collective contributions, the identity the fault
+    /// plan hashes for collective-internal drop/delay decisions.
+    coll_index: Cell<u64>,
 }
 
 fn bump(c: &Cell<u64>) {
@@ -410,6 +476,16 @@ pub struct Communicator {
     tracer: Rc<TraceRecorder>,
     /// Interned telemetry label of this communicator.
     label: Cell<u16>,
+    /// Revocation epoch this communicator belongs to. The world starts at
+    /// epoch 0; each committed [`Communicator::try_shrink`] hands out
+    /// communicators of a higher epoch, and every blocking wait on an
+    /// older-epoch communicator fails with [`CommError::Revoked`] once
+    /// [`Communicator::revoke`] raises the horizon past it. Splits inherit
+    /// their parent's epoch.
+    epoch: usize,
+    /// Retry policy charged for dropped deliveries inside collectives
+    /// (settable; splits and shrinks inherit it).
+    retry_policy: Cell<RetryPolicy>,
 }
 
 impl Communicator {
@@ -565,6 +641,198 @@ impl Communicator {
         self.health.mark_gone(self.world_rank());
     }
 
+    // ------------------------------------------------------------ recovery
+
+    /// Revocation epoch of this communicator (0 for the original world;
+    /// each committed [`Communicator::try_shrink`] hands out a higher one).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// The size of the original world (dead ranks included).
+    pub fn world_size(&self) -> usize {
+        self.health.gone.len()
+    }
+
+    /// Is the given *world* rank dead (killed, exited, or abandoned)?
+    pub fn is_world_rank_gone(&self, world_rank: usize) -> bool {
+        self.health.is_gone(world_rank)
+    }
+
+    /// World ranks currently marked dead, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.world_size())
+            .filter(|&r| self.health.is_gone(r))
+            .collect()
+    }
+
+    /// Retry policy charged for dropped deliveries inside collectives.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy.get()
+    }
+
+    /// Set the collective retry policy (splits and shrinks of this
+    /// communicator created afterwards inherit the new policy).
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.retry_policy.set(policy);
+    }
+
+    /// Revoke this communicator's epoch: every in-flight or future blocking
+    /// wait on communicators of this epoch (this one, its splits, and any
+    /// peer's handle of the same epoch) aborts with
+    /// [`CommError::Revoked`] instead of waiting for ranks that may never
+    /// answer. The first step of recovery — survivors revoke, then call
+    /// [`Communicator::try_shrink`]. Idempotent within one epoch; sends
+    /// and local operations are unaffected.
+    pub fn revoke(&self) {
+        self.health
+            .revocation
+            .fetch_max(self.epoch + 1, AtOrd::SeqCst);
+    }
+
+    /// Agree with the other survivors on the dead set and return the
+    /// survivor communicator — the ULFM `MPI_Comm_shrink` analogue,
+    /// preceded by an internal [`Communicator::revoke`].
+    ///
+    /// The agreement is a model-checked two-phase vote over dedicated
+    /// state (never the mailbox/slot machinery, so recovered traces stay
+    /// canonical): each survivor posts its observed dead set, waits until
+    /// every world rank has voted or died, then posts the union as its
+    /// commit; matching commits from every live rank — with no death
+    /// racing the round — commit the epoch bump, and any disagreement
+    /// restarts the round with the larger view (bounded by the world
+    /// size, since every restart needs a new death). The first rank
+    /// through phase 2 builds the survivor communicator, with survivors
+    /// re-ranked contiguously in world-rank order; the rest adopt it.
+    ///
+    /// Every live rank of the world must eventually call this (revocation
+    /// guarantees blocked peers wake to an error and reach their recovery
+    /// path); the result spans all world survivors regardless of which
+    /// communicator handle the call is made on.
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] with this rank's own world rank when called
+    /// on a rank that is itself marked dead.
+    pub fn try_shrink(&self) -> Result<Communicator, CommError> {
+        let me = self.world_rank();
+        let n = self.world_size();
+        let health = &self.health;
+        if health.is_gone(me) {
+            return Err(CommError::RankDead { rank: me });
+        }
+        self.revoke();
+        let backend = Arc::clone(&self.shared.backend);
+        // The agreement wait deliberately does NOT register a BlockGuard:
+        // its participation set is "live ranks", which mark_gone updates,
+        // so the wait is satisfiable by construction and must not feed
+        // the all-blocked deadlock heuristic (dd-check explores its
+        // schedules instead). It does register as an agreement waiter so
+        // deaths observed mid-protocol notify the condvar.
+        struct Waiting<'a>(&'a AtomicUsize);
+        impl Drop for Waiting<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, AtOrd::SeqCst);
+            }
+        }
+        health.agree_waiters.fetch_add(1, AtOrd::SeqCst);
+        let _waiting = Waiting(&health.agree_waiters);
+        let mut st = health.agree.lock();
+        let (shared, epoch) = 'agree: loop {
+            let round = st.round;
+            let view: Vec<usize> = (0..n).filter(|&r| health.is_gone(r)).collect();
+            st.votes[me] = Some((round, view));
+            health.agree_cv.notify_all();
+            // Phase 1: wait until every rank has voted this round or died.
+            loop {
+                if st.round != round {
+                    continue 'agree;
+                }
+                let complete = (0..n).all(|r| {
+                    health.is_gone(r) || st.votes[r].as_ref().is_some_and(|(rd, _)| *rd == round)
+                });
+                if complete {
+                    break;
+                }
+                st = health.agree_cv.wait_timeout(st, TICK);
+            }
+            // Candidate dead set: union of this round's votes plus any
+            // death observable right now.
+            let mut dead = vec![false; n];
+            for r in 0..n {
+                if health.is_gone(r) {
+                    dead[r] = true;
+                }
+                if let Some((rd, v)) = &st.votes[r] {
+                    if *rd == round {
+                        for &d in v {
+                            dead[d] = true;
+                        }
+                    }
+                }
+            }
+            let candidate: Vec<usize> = (0..n).filter(|&r| dead[r]).collect();
+            // Phase 2: post the candidate; every live rank must agree.
+            st.commits[me] = Some((round, candidate.clone()));
+            health.agree_cv.notify_all();
+            loop {
+                if st.round != round {
+                    continue 'agree;
+                }
+                let complete = (0..n).all(|r| {
+                    health.is_gone(r) || st.commits[r].as_ref().is_some_and(|(rd, _)| *rd == round)
+                });
+                if complete {
+                    break;
+                }
+                st = health.agree_cv.wait_timeout(st, TICK);
+            }
+            let agreed = (0..n)
+                .filter(|&r| !health.is_gone(r))
+                .all(|r| st.commits[r].as_ref().is_some_and(|(_, c)| *c == candidate));
+            let grew = (0..n).any(|r| health.is_gone(r) && !dead[r]);
+            if !agreed || grew {
+                // A death raced the vote; restart with the larger view.
+                st.round = round + 1;
+                health.agree_cv.notify_all();
+                continue 'agree;
+            }
+            // Committed: adopt the published survivor communicator, or
+            // build it if we are first through.
+            match &st.published {
+                Some((d, ep, sh)) if *d == candidate => break (Arc::clone(sh), *ep),
+                _ => {
+                    let survivors: Vec<usize> = (0..n).filter(|&r| !dead[r]).collect();
+                    let sh = CommShared::new(survivors, Arc::clone(&backend));
+                    let ep = health.revocation.load(AtOrd::SeqCst).max(st.epoch + 1);
+                    st.epoch = ep;
+                    st.published = Some((candidate, ep, Arc::clone(&sh)));
+                    health.agree_cv.notify_all();
+                    break (sh, ep);
+                }
+            }
+        };
+        drop(st);
+        let rank = invariant(
+            shared.world_ranks.iter().position(|&r| r == me),
+            "try_shrink: survivor missing from the shrunk communicator",
+        );
+        Ok(Communicator {
+            shared,
+            model: self.model,
+            rank,
+            clock: Rc::clone(&self.clock),
+            seq: Cell::new(0),
+            compute_token: Arc::clone(&self.compute_token),
+            health: Arc::clone(&self.health),
+            plan: Arc::clone(&self.plan),
+            counters: Rc::clone(&self.counters),
+            tracer: Rc::clone(&self.tracer),
+            label: Cell::new(self.label.get()),
+            epoch,
+            retry_policy: Cell::new(self.retry_policy.get()),
+        })
+    }
+
     // ---------------------------------------------------------------- p2p
 
     /// Send `value` to `dest` with a user `tag` (non-blocking buffered send,
@@ -683,12 +951,21 @@ impl Communicator {
             if self.health.is_gone(src_world) {
                 return Err(CommError::RankDead { rank: src_world });
             }
+            // Checked only on the blocking path: an already-delivered
+            // message is still handed out after revocation (its sender
+            // completed the send before erroring out), keeping the
+            // success/failure outcome of every receive a deterministic
+            // function of program order rather than revocation timing.
+            if self.health.revoked(self.epoch) {
+                return Err(CommError::Revoked { epoch: self.epoch });
+            }
             if guard.is_none() {
                 let shared = Arc::downgrade(&self.shared);
                 let rank = self.rank;
+                let epoch = self.epoch;
                 let probe: WaitProbe = Box::new(move |health| {
-                    if health.is_gone(src_world) {
-                        // The waiter will wake to a RankDead error.
+                    if health.is_gone(src_world) || health.revoked(epoch) {
+                        // The waiter will wake to a RankDead/Revoked error.
                         return Some(true);
                     }
                     let sh = match shared.upgrade() {
@@ -771,6 +1048,13 @@ impl Communicator {
                             return Err(CommError::RankDead { rank: wr });
                         }
                     }
+                    // A live participant may have abandoned this epoch for
+                    // recovery without dying (checked after the dead-peer
+                    // scan so a collective containing the dead rank keeps
+                    // its deterministic RankDead classification).
+                    if self.health.revoked(self.epoch) {
+                        return Err(CommError::Revoked { epoch: self.epoch });
+                    }
                 }
                 // The slot can only be removed after every rank took the
                 // result, which includes us — so a missing slot means the
@@ -779,7 +1063,11 @@ impl Communicator {
             }
             if guard.is_none() {
                 let shared = Arc::downgrade(&self.shared);
+                let epoch = self.epoch;
                 let probe: WaitProbe = Box::new(move |health| {
+                    if health.revoked(epoch) {
+                        return Some(true);
+                    }
                     let sh = match shared.upgrade() {
                         Some(sh) => sh,
                         None => return Some(true),
@@ -820,6 +1108,44 @@ impl Communicator {
         }
     }
 
+    /// Charge this rank for fault-plan drops/delays of one collective
+    /// contribution, under the communicator's [`RetryPolicy`]: each failed
+    /// delivery attempt charges `timeout · backoff^k` (with the seeded
+    /// jitter applied) to the rank's clock *before* it deposits, so the
+    /// recovery cost propagates into the collective's exit time exactly
+    /// like a slow arriver. Delivery always completes — collectives are
+    /// all-or-nothing, so an exhausted retry budget is recorded as a
+    /// timeout in [`FaultStats`] rather than stranding the peers — and
+    /// every decision is a pure function of `(seed, rank, collective
+    /// index)`.
+    fn charge_collective_faults(&self) {
+        let idx = self.counters.coll_index.get();
+        self.counters.coll_index.set(idx + 1);
+        if !self.plan.is_active() {
+            return;
+        }
+        let wr = self.world_rank();
+        let (drops, delay) = self.plan.collective_faults(wr, idx);
+        if drops > 0 {
+            bump(&self.counters.drops);
+        }
+        if delay > 0.0 {
+            bump(&self.counters.delays);
+            self.clock.advance(delay);
+        }
+        let policy = self.retry_policy.get();
+        let salt = self.plan.retry_salt(wr, u64::MAX, idx);
+        for attempt in 0..drops {
+            self.clock.advance(policy.charge_jittered(attempt, salt));
+            bump(&self.counters.retries);
+            self.tracer.on_retry();
+            if attempt + 1 > policy.max_retries {
+                bump(&self.counters.timeouts);
+                break;
+            }
+        }
+    }
+
     /// Core collective machinery: deposit a contribution, let the last
     /// arriver run `finish` on all of them, synchronize clocks to the
     /// returned exit time.
@@ -828,6 +1154,7 @@ impl Communicator {
         contribution: Box<dyn Any + Send>,
         finish: impl FnOnce(Vec<Box<dyn Any + Send>>, f64) -> (R, f64),
     ) -> Result<Arc<R>, CommError> {
+        self.charge_collective_faults();
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
@@ -1224,6 +1551,7 @@ impl Communicator {
             None,
             value.wire_bytes(),
         );
+        self.charge_collective_faults();
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
@@ -1347,6 +1675,8 @@ impl Communicator {
                 counters: Rc::clone(&self.counters),
                 tracer: Rc::clone(&self.tracer),
                 label: Cell::new(self.label.get()),
+                epoch: self.epoch,
+                retry_policy: Cell::new(self.retry_policy.get()),
             })
         }))
     }
@@ -1491,6 +1821,8 @@ impl World {
                             counters: Rc::new(FaultCounters::default()),
                             tracer,
                             label,
+                            epoch: 0,
+                            retry_policy: Cell::new(RetryPolicy::default()),
                         };
                         let r = f(&comm);
                         if traced {

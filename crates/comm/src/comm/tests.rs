@@ -403,6 +403,7 @@ fn retry_exhaustion_times_out() {
                 max_retries: 2,
                 timeout: 1e-4,
                 backoff: 2.0,
+                jitter: 0.0,
             };
             comm.try_recv_timeout::<f64>(0, 3, &policy)
         }

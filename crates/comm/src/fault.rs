@@ -41,6 +41,15 @@ pub enum CommError {
         /// fault fires at a failpoint).
         rank: usize,
     },
+    /// The communicator was revoked ([`crate::Communicator::revoke`])
+    /// while this operation was in flight: a peer initiated recovery and
+    /// every wait on the pre-shrink communicator must abort instead of
+    /// hanging. `epoch` is the revocation epoch of the communicator the
+    /// operation ran on; a shrunk successor carries a higher epoch.
+    Revoked {
+        /// Revocation epoch of the communicator the failed operation used.
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -57,6 +66,12 @@ impl fmt::Display for CommError {
                 "timeout: recv from rank {src} tag {tag} failed after {attempts} attempts"
             ),
             CommError::RankDead { rank } => write!(f, "rank {rank} is dead"),
+            CommError::Revoked { epoch } => {
+                write!(
+                    f,
+                    "communicator revoked (epoch {epoch}): recovery in progress"
+                )
+            }
         }
     }
 }
@@ -75,6 +90,12 @@ pub struct RetryPolicy {
     pub timeout: f64,
     /// Multiplier applied to the charge of each subsequent attempt.
     pub backoff: f64,
+    /// Relative jitter amplitude in `[0, 1]`: each attempt's charge is
+    /// scaled by a factor in `[1 − jitter/2, 1 + jitter/2]` drawn
+    /// deterministically from the message identity, decorrelating the
+    /// retry storms of ranks that lose the same collective round. `0`
+    /// (the default) disables jitter.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -83,6 +104,7 @@ impl Default for RetryPolicy {
             max_retries: 8,
             timeout: 1e-4,
             backoff: 2.0,
+            jitter: 0.0,
         }
     }
 }
@@ -95,12 +117,36 @@ impl RetryPolicy {
             max_retries: u32::MAX,
             timeout: 1e-4,
             backoff: 1.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// A bounded policy with backoff and seeded jitter enabled — the
+    /// recommended policy for waits on possibly-dead peers (recovery
+    /// paths must never wait unboundedly).
+    pub fn bounded_jittered() -> Self {
+        RetryPolicy {
+            jitter: 0.5,
+            ..Default::default()
         }
     }
 
     /// Virtual-time charge of failed attempt number `attempt` (0-based).
     pub(crate) fn charge(&self, attempt: u32) -> f64 {
         self.timeout * self.backoff.powi(attempt.min(64) as i32)
+    }
+
+    /// [`RetryPolicy::charge`] with the seeded jitter applied: `salt`
+    /// identifies the message (or collective contribution) being retried,
+    /// so the draw is a pure function of the retry identity and replays
+    /// identically under virtual time.
+    pub(crate) fn charge_jittered(&self, attempt: u32, salt: u64) -> f64 {
+        let base = self.charge(attempt);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let draw = unit(splitmix64(salt ^ u64::from(attempt).rotate_left(23)));
+        base * (1.0 + self.jitter * (draw - 0.5))
     }
 }
 
@@ -212,6 +258,37 @@ impl FaultPlan {
         };
         (drops, delay)
     }
+
+    /// Fault decision for one collective contribution, identified by the
+    /// contributing world rank and its per-rank collective index:
+    /// `(failed delivery attempts, extra virtual delay)`. Routed through
+    /// the same seeded hash as [`FaultPlan::message_faults`] with a
+    /// sentinel destination, so collective-internal deliveries see the
+    /// same drop/delay climate as point-to-point traffic without
+    /// correlating with it.
+    pub fn collective_faults(&self, rank: usize, index: u64) -> (u32, f64) {
+        if self.delay_prob == 0.0 && self.drop_prob == 0.0 {
+            return (0, 0.0);
+        }
+        let h = hash4(self.seed, rank as u64, u64::MAX, index.rotate_left(29));
+        let drops = if unit(h) < self.drop_prob {
+            self.drop_count
+        } else {
+            0
+        };
+        let delay = if unit(splitmix64(h ^ 0x9e37_79b9_7f4a_7c15)) < self.delay_prob {
+            self.delay_dt
+        } else {
+            0.0
+        };
+        (drops, delay)
+    }
+
+    /// Deterministic salt for the seeded retry jitter of one message
+    /// identity (see [`RetryPolicy::charge_jittered`]).
+    pub(crate) fn retry_salt(&self, src: usize, tag: u64, index: u64) -> u64 {
+        hash4(self.seed, src as u64, tag, index)
+    }
 }
 
 /// Counters of faults observed by one rank, reported alongside the run so
@@ -322,8 +399,46 @@ mod tests {
             max_retries: 3,
             timeout: 1e-4,
             backoff: 2.0,
+            jitter: 0.0,
         };
         assert!((pol.charge(0) - 1e-4).abs() < 1e-18);
         assert!((pol.charge(2) - 4e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_off_by_default() {
+        let plain = RetryPolicy::default();
+        assert_eq!(plain.charge_jittered(3, 77), plain.charge(3));
+        let pol = RetryPolicy::bounded_jittered();
+        for attempt in 0..6 {
+            for salt in [1u64, 99, 12345] {
+                let a = pol.charge_jittered(attempt, salt);
+                let b = pol.charge_jittered(attempt, salt);
+                assert_eq!(a, b, "jitter must replay identically");
+                let base = pol.charge(attempt);
+                assert!(a >= base * (1.0 - pol.jitter / 2.0) - 1e-18);
+                assert!(a <= base * (1.0 + pol.jitter / 2.0) + 1e-18);
+            }
+        }
+        // Different salts must actually decorrelate somewhere.
+        let varies = (0..64).any(|s| pol.charge_jittered(1, s) != pol.charge_jittered(1, s + 64));
+        assert!(varies);
+    }
+
+    #[test]
+    fn collective_faults_are_deterministic_and_gated() {
+        let off = FaultPlan::new(9);
+        assert_eq!(off.collective_faults(2, 5), (0, 0.0));
+        let p = FaultPlan::new(9).with_drops(0.5, 2).with_delays(0.25, 1e-3);
+        let mut dropped = 0;
+        for idx in 0..1000 {
+            let d = p.collective_faults(1, idx);
+            assert_eq!(d, p.collective_faults(1, idx));
+            if d.0 > 0 {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 1000.0;
+        assert!((rate - 0.5).abs() < 0.08, "collective drop rate {rate}");
     }
 }

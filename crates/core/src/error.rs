@@ -109,6 +109,23 @@ pub enum CoarseOutcome {
     EmptyCoarse,
 }
 
+/// One shrink-and-continue recovery taken by a surviving rank: who died,
+/// who adopted their subdomains, and where the Krylov solve resumed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Revocation epoch of the survivor communicator this recovery
+    /// committed (strictly increasing across recoveries).
+    pub epoch: usize,
+    /// World ranks dead at the time of the agreement, ascending.
+    pub dead: Vec<usize>,
+    /// `(orphaned subdomain, adopting world rank)` for every dead rank's
+    /// subdomain, ascending by subdomain.
+    pub adopted: Vec<(usize, usize)>,
+    /// Iteration the Krylov solve resumed from, when a globally complete
+    /// checkpoint existed (`None`: the solve restarted from zero).
+    pub resume_iteration: Option<usize>,
+}
+
 /// Per-rank record of what actually happened during a run — which phases
 /// degraded, which fallbacks fired, how the Krylov solve ended, and what
 /// faults the runtime observed.
@@ -123,6 +140,8 @@ pub struct RunReport {
     pub breakdown_restarts: usize,
     /// Fault-injection counters observed by this rank.
     pub faults: FaultStats,
+    /// Shrink-and-continue recoveries this rank survived, in order.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 impl RunReport {

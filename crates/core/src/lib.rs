@@ -48,6 +48,7 @@ pub mod geneo;
 pub mod masters;
 pub mod precond;
 pub mod problem;
+pub mod recovery;
 pub mod spmd;
 
 pub use abstract_coarse::{ritz_deflation, AbstractADef1, AbstractCoarse};
@@ -55,7 +56,9 @@ pub use coarse::{CoarseOperator, CoarseSpace};
 pub use decomp::{
     decompose, decompose_with, Decomposition, DirichletStrategy, NeighborLink, Subdomain,
 };
-pub use error::{CoarseOutcome, DeflationSource, PhaseOutcome, RunReport, SpmdError};
+pub use error::{
+    CoarseOutcome, DeflationSource, PhaseOutcome, RecoveryRecord, RunReport, SpmdError,
+};
 pub use geneo::{
     deflation_block, nicolaides_block, nicolaides_fallback_block, try_deflation_block,
     DeflationBlock, GeneoOpts,
@@ -64,6 +67,7 @@ pub use precond::{
     builder::two_level, builder::TwoLevelOpts, RasPrecond, TwoLevelPrecond, Variant,
 };
 pub use problem::{Pde, Problem};
+pub use recovery::{try_run_spmd_recoverable, CheckpointStore, RecoveryOpts, SpmdMultiSolution};
 pub use spmd::{
     run_spmd, try_run_spmd, AssemblyVariant, CoarseSolve, Election, SolverKind, SpmdOpts,
     SpmdReport, SpmdSolution,

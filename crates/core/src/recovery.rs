@@ -1,0 +1,1221 @@
+//! Shrink-and-continue recovery from rank death: liveness agreement and
+//! world shrink (via [`Communicator::try_shrink`]), adoption of the dead
+//! ranks' subdomains by surviving neighbors, re-election of the masters
+//! over the survivors, re-assembly and re-factorization of the coarse
+//! operator, and a checkpointed restart of the Krylov solve.
+//!
+//! The protocol (DESIGN.md §10):
+//!
+//! 1. a rank's death is observed as [`CommError::RankDead`] (p2p or
+//!    collective) or as [`CommError::Revoked`] (a survivor already started
+//!    recovery and revoked the epoch);
+//! 2. every survivor calls [`Communicator::try_shrink`] — a model-checked
+//!    two-phase agreement on the dead set that hands out one consistent
+//!    epoch bump and a contiguously re-ranked survivor communicator;
+//! 3. each orphaned subdomain is *adopted* by the surviving owner of its
+//!    lowest-indexed surviving neighbor subdomain (lowest survivor when a
+//!    whole neighborhood died) — the decomposition is shared and
+//!    deterministic, so no coordination is needed;
+//! 4. adopters re-factor the orphans' Dirichlet matrices and substitute
+//!    Nicolaides deflation vectors (eigenvector recomputation is skipped
+//!    for adopted subdomains — the documented degradation); masters are
+//!    re-elected over the survivors with the non-uniform rule and `E` is
+//!    re-assembled and re-factored on the new master communicator;
+//! 5. the solve resumes from the last *globally complete* checkpoint in
+//!    the [`CheckpointStore`] (or from zero when death struck before the
+//!    first checkpoint), converging against the original `‖r₀‖` anchor so
+//!    the recovered run meets the same tolerance as a fault-free one.
+//!
+//! Every blocking receive of the recovered epoch runs under a bounded
+//! [`RetryPolicy`] ([`RetryPolicy::bounded_jittered`]) — recovery paths
+//! must never wait unboundedly on a peer that may die again.
+
+use crate::decomp::Decomposition;
+use crate::error::{
+    CoarseOutcome, DeflationSource, PhaseOutcome, RecoveryRecord, RunReport, SpmdError,
+};
+use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block};
+use crate::masters::{group_of, nonuniform_masters};
+use crate::spmd::{
+    classify_comm, classify_comm_at, comm_interrupt, dist_interrupt, interrupt_to_spmd, run_inner,
+    MasterSolve, SolverKind, SpmdOpts, SpmdReport,
+};
+use dd_comm::{CommError, Communicator, RetryPolicy};
+use dd_krylov::{
+    try_gmres, CheckpointCfg, CheckpointSink, InnerProduct, Operator, Preconditioner,
+    SolveCheckpoint, SolveInterrupt, SolveResult, SolveStatus,
+};
+use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
+use dd_solver::{DistLdlt, PivotPolicy, SparseLdlt};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+// Recovered-epoch tag namespaces, keyed by the (source, destination)
+// *subdomain* pair — a rank may host several subdomains after adoption, so
+// rank-keyed tags would collide. Each namespace is further salted by the
+// revocation epoch ([`epoch_salt`]) so a second recovery can never consume
+// a stale in-flight message of the first.
+const TAG_RT: u64 = 1_000_000; // coarse assembly S_j / U_j exchange
+const TAG_RX: u64 = 2_000_000; // SpMV / consistency halo exchange
+
+/// Per-epoch tag offset keeping successive recovered epochs' p2p traffic in
+/// disjoint tag spaces.
+fn epoch_salt(comm: &Communicator) -> u64 {
+    comm.epoch() as u64 * 10_000_000
+}
+
+/// Options for [`try_run_spmd_recoverable`].
+#[derive(Clone, Debug)]
+pub struct RecoveryOpts {
+    /// Attempt shrink-and-continue recovery when a peer dies mid-run
+    /// (`false`: surface the error, as [`crate::spmd::try_run_spmd`] does).
+    pub enabled: bool,
+    /// How many world shrinks to survive before giving up.
+    pub max_recoveries: usize,
+    /// Krylov checkpoint cadence in iterations. Smaller intervals lose
+    /// less progress to a death but snapshot (copy the iterate) more
+    /// often; checkpoints are communication-free either way.
+    pub checkpoint_interval: usize,
+}
+
+impl Default for RecoveryOpts {
+    fn default() -> Self {
+        RecoveryOpts {
+            enabled: false,
+            max_recoveries: 1,
+            checkpoint_interval: 5,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- store
+
+/// Stable storage for solver checkpoints, keyed by subdomain.
+///
+/// Shared by every rank of a world (the SPMD runtime runs ranks as threads;
+/// the shared map models the parallel file system real deployments would
+/// checkpoint to). Ranks only ever write their own subdomains' slots, and a
+/// snapshot is used for resume only when *every* subdomain recorded it, so
+/// cross-thread write ordering is immaterial. Keeps the last two snapshots
+/// per subdomain: the latest may be incomplete when death struck inside the
+/// checkpoint window.
+#[derive(Default)]
+pub struct CheckpointStore {
+    slots: Mutex<HashMap<usize, Vec<SolveCheckpoint>>>,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn save(&self, sub: usize, cp: SolveCheckpoint) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let v = slots.entry(sub).or_default();
+        v.retain(|c| c.iteration != cp.iteration);
+        v.push(cp);
+        v.sort_by_key(|c| c.iteration);
+        if v.len() > 2 {
+            let drop = v.len() - 2;
+            v.drain(..drop);
+        }
+    }
+
+    fn get(&self, sub: usize, iteration: usize) -> Option<SolveCheckpoint> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots
+            .get(&sub)?
+            .iter()
+            .find(|c| c.iteration == iteration)
+            .cloned()
+    }
+
+    /// The last iteration checkpointed by **every** subdomain — the only
+    /// state safe to resume from (a later snapshot missing on any
+    /// subdomain means death struck inside that checkpoint window).
+    pub fn rollback_iteration(&self, n_subs: usize) -> Option<usize> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let mut candidates: Vec<usize> = slots.get(&0)?.iter().map(|c| c.iteration).collect();
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        candidates.into_iter().find(|&it| {
+            (0..n_subs).all(|s| {
+                slots
+                    .get(&s)
+                    .is_some_and(|v| v.iter().any(|c| c.iteration == it))
+            })
+        })
+    }
+}
+
+/// [`CheckpointSink`] splitting a (possibly multi-subdomain) concatenated
+/// iterate into per-subdomain snapshots in the shared store.
+struct StoreSink<'a> {
+    store: &'a CheckpointStore,
+    /// `(subdomain, local length)` in concatenation order.
+    subs: Vec<(usize, usize)>,
+}
+
+impl CheckpointSink for StoreSink<'_> {
+    fn save(&self, cp: SolveCheckpoint) {
+        let mut pos = 0;
+        for &(s, len) in &self.subs {
+            self.store.save(
+                s,
+                SolveCheckpoint {
+                    iteration: cp.iteration,
+                    x: cp.x[pos..pos + len].to_vec(),
+                    residual: cp.residual,
+                    r0_norm: cp.r0_norm,
+                    history: cp.history.clone(),
+                },
+            );
+            pos += len;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- driver
+
+/// The per-rank result of a recoverable SPMD solve: after an adoption a
+/// rank may own several subdomains' locals.
+pub struct SpmdMultiSolution {
+    pub report: SpmdReport,
+    /// `(subdomain, local solution)` for every subdomain this rank owned
+    /// when the solve completed, ascending by subdomain.
+    pub locals: Vec<(usize, Vec<f64>)>,
+}
+
+/// Is this error one the survivors can recover from by shrinking? Our own
+/// death ([`SpmdError::Killed`]) and local failures are not; observing a
+/// *peer's* death or a revoked epoch is.
+fn recoverable(e: &SpmdError) -> bool {
+    matches!(
+        e,
+        SpmdError::Comm(CommError::RankDead { .. }) | SpmdError::Comm(CommError::Revoked { .. })
+    )
+}
+
+/// [`crate::spmd::try_run_spmd`] with shrink-and-continue recovery: on a
+/// peer's death (with `opts.recovery.enabled`) the survivors agree on the
+/// dead set, shrink the world, adopt the orphaned subdomains, rebuild the
+/// preconditioner, and resume the solve from the last complete checkpoint
+/// in `store`. A rank's own death still surfaces as [`SpmdError::Killed`].
+pub fn try_run_spmd_recoverable(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    store: &CheckpointStore,
+) -> Result<SpmdMultiSolution, SpmdError> {
+    let me = comm.rank();
+    let n_local = decomp.subdomains[me].n_local();
+    let sink = StoreSink {
+        store,
+        subs: vec![(me, n_local)],
+    };
+    // Checkpointing (like resuming) needs the classical Krylov loop.
+    let cfg = (opts.recovery.enabled && opts.solver == SolverKind::Classical)
+        .then(|| CheckpointCfg::new(opts.recovery.checkpoint_interval, &sink));
+    let mut err = match run_inner(decomp, comm, opts, cfg.as_ref()) {
+        Ok(sol) => {
+            return Ok(SpmdMultiSolution {
+                locals: vec![(me, sol.x_local)],
+                report: sol.report,
+            })
+        }
+        Err(e) => e,
+    };
+    if !opts.recovery.enabled || !recoverable(&err) {
+        comm.abandon();
+        return Err(err);
+    }
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    let mut current = match comm.try_shrink() {
+        Ok(c) => c,
+        Err(e) => {
+            comm.abandon();
+            return Err(classify_comm(comm, e));
+        }
+    };
+    for attempt in 1..=opts.recovery.max_recoveries {
+        match run_recovered(decomp, &current, opts, store, &mut recoveries) {
+            Ok(sol) => return Ok(sol),
+            Err(e) => {
+                let again = recoverable(&e) && attempt < opts.recovery.max_recoveries;
+                err = e;
+                if !again {
+                    comm.abandon();
+                    return Err(err);
+                }
+                current = match current.try_shrink() {
+                    Ok(c) => c,
+                    Err(e2) => {
+                        comm.abandon();
+                        return Err(classify_comm(&current, e2));
+                    }
+                };
+            }
+        }
+    }
+    comm.abandon();
+    Err(err)
+}
+
+/// The adopter of each subdomain after the deaths in `dead`: the subdomain
+/// itself while its owner lives, else the lowest-indexed *surviving*
+/// neighbor subdomain (whose owner adopts it), else the lowest survivor.
+/// Pure function of shared data — every survivor computes the same map.
+fn adoption_map(decomp: &Decomposition, dead: &[usize], survivors: &[usize]) -> Vec<usize> {
+    (0..decomp.n_subdomains())
+        .map(|s| {
+            if !dead.contains(&s) {
+                return s;
+            }
+            decomp.subdomains[s]
+                .neighbors
+                .iter()
+                .map(|l| l.j)
+                .filter(|j| !dead.contains(j))
+                .min()
+                .unwrap_or(survivors[0])
+        })
+        .collect()
+}
+
+// -------------------------------------------- multi-subdomain machinery
+
+/// Shared geometry of a recovered epoch: which subdomains this rank hosts,
+/// how their locals concatenate, and which survivor hosts every subdomain.
+struct MultiCtx<'a> {
+    comm: &'a Communicator,
+    decomp: &'a Decomposition,
+    /// Subdomains this rank owns, ascending.
+    owned: Vec<usize>,
+    /// Concatenation offsets of the owned subdomains' locals (len+1).
+    starts: Vec<usize>,
+    /// Communicator rank hosting each subdomain (indexed by subdomain).
+    host: Vec<usize>,
+}
+
+impl MultiCtx<'_> {
+    fn n_concat(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Pair-encoded, epoch-salted halo tag for traffic from subdomain
+    /// `src` to `dst`.
+    fn tag(&self, base: u64, src: usize, dst: usize) -> u64 {
+        base + epoch_salt(self.comm) + (src as u64) * self.decomp.n_subdomains() as u64 + dst as u64
+    }
+
+    /// Concatenated-vector variant of the neighbor consistency sum:
+    /// `out_s += Σ_{j ∈ O_s} R_s R_jᵀ t_j` for every owned subdomain `s`.
+    /// Same-host pairs short-circuit locally; remote receives run under the
+    /// ambient bounded retry policy.
+    fn exchange_add(&self, t: &[f64], out: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let policy = self.comm.retry_policy();
+        let me = self.comm.rank();
+        let mut local: Vec<((usize, usize), Vec<f64>)> = Vec::new();
+        for (i, &s) in self.owned.iter().enumerate() {
+            let ts = &t[self.starts[i]..self.starts[i + 1]];
+            for link in &self.decomp.subdomains[s].neighbors {
+                let payload: Vec<f64> = link.shared.iter().map(|&k| ts[k as usize]).collect();
+                if self.host[link.j] == me {
+                    local.push(((s, link.j), payload));
+                } else {
+                    self.comm
+                        .send(self.host[link.j], self.tag(TAG_RX, s, link.j), payload);
+                }
+            }
+        }
+        for (i, &s) in self.owned.iter().enumerate() {
+            for link in &self.decomp.subdomains[s].neighbors {
+                let j = link.j;
+                let recv: Vec<f64> = if self.host[j] == me {
+                    let p = local
+                        .iter()
+                        .position(|(key, _)| *key == (j, s))
+                        .expect("missing same-host halo payload");
+                    local.swap_remove(p).1
+                } else {
+                    self.comm
+                        .try_recv_timeout(self.host[j], self.tag(TAG_RX, j, s), &policy)
+                        .map_err(comm_interrupt)?
+                };
+                debug_assert_eq!(recv.len(), link.shared.len());
+                let out_s = &mut out[self.starts[i]..self.starts[i + 1]];
+                for (&k, &v) in link.shared.iter().zip(&recv) {
+                    out_s[k as usize] += v;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Distributed operator over the concatenated owned subdomains (eq. 5).
+struct MultiOp<'a> {
+    ctx: &'a MultiCtx<'a>,
+}
+
+impl MultiOp<'_> {
+    fn local_part(&self, x: &[f64]) -> Vec<f64> {
+        let ctx = self.ctx;
+        let mut flops = 0u64;
+        let t = ctx.comm.compute(|| {
+            let mut t = vec![0.0; ctx.n_concat()];
+            for (i, &s) in ctx.owned.iter().enumerate() {
+                let sub = &ctx.decomp.subdomains[s];
+                let xs = &x[ctx.starts[i]..ctx.starts[i + 1]];
+                let mut w = xs.to_vec();
+                vector::scale_by(&sub.d, &mut w);
+                sub.a_dirichlet
+                    .spmv(&w, &mut t[ctx.starts[i]..ctx.starts[i + 1]]);
+                flops += (2 * sub.a_dirichlet.nnz() + sub.n_local()) as u64;
+            }
+            t
+        });
+        ctx.comm.charge_flops(flops);
+        t
+    }
+}
+
+impl Operator for MultiOp<'_> {
+    fn dim(&self) -> usize {
+        self.ctx.n_concat()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.try_apply(x, y)
+            .unwrap_or_else(|e| panic!("recovered SpMV on rank {}: {e}", self.ctx.comm.rank()))
+    }
+
+    fn try_apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let t = self.local_part(x);
+        y.copy_from_slice(&t);
+        self.ctx.exchange_add(&t, y)
+    }
+}
+
+/// Partition-of-unity inner product over the concatenated locals.
+struct MultiDot<'a> {
+    ctx: &'a MultiCtx<'a>,
+}
+
+impl InnerProduct for MultiDot<'_> {
+    fn local_dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        let ctx = self.ctx;
+        let mut acc = 0.0;
+        for (i, &s) in ctx.owned.iter().enumerate() {
+            let d = &ctx.decomp.subdomains[s].d;
+            for (k, dk) in d.iter().enumerate() {
+                let g = ctx.starts[i] + k;
+                acc += dk * x[g] * y[g];
+            }
+        }
+        ctx.comm.charge_flops(3 * x.len() as u64);
+        acc
+    }
+
+    fn reduce(&self, locals: Vec<f64>) -> Vec<f64> {
+        self.ctx.comm.allreduce_sum_vec(locals)
+    }
+
+    fn try_reduce(&self, locals: Vec<f64>) -> Result<Vec<f64>, SolveInterrupt> {
+        self.ctx
+            .comm
+            .try_allreduce_sum_vec(locals)
+            .map_err(comm_interrupt)
+    }
+
+    fn on_iteration(&self, k: usize) {
+        self.ctx.comm.trace_iteration(k);
+        // Same iteration-indexed failpoints as the fault-free solve, so
+        // chaos plans can kill a rank inside a *recovered* epoch too.
+        let _ = self.ctx.comm.failpoint(&format!("solve-iteration-{k}"));
+    }
+}
+
+/// One-level RAS over the concatenated owned subdomains.
+struct MultiRas<'a> {
+    ctx: &'a MultiCtx<'a>,
+    /// Local factors, aligned with `ctx.owned`.
+    factors: &'a [SparseLdlt],
+}
+
+impl MultiRas<'_> {
+    fn local_part(&self, r: &[f64]) -> Vec<f64> {
+        let ctx = self.ctx;
+        let mut flops = 0u64;
+        let t = ctx.comm.compute(|| {
+            let mut t = vec![0.0; ctx.n_concat()];
+            for (i, &s) in ctx.owned.iter().enumerate() {
+                let sub = &ctx.decomp.subdomains[s];
+                let mut ts = self.factors[i].solve(&r[ctx.starts[i]..ctx.starts[i + 1]]);
+                vector::scale_by(&sub.d, &mut ts);
+                t[ctx.starts[i]..ctx.starts[i + 1]].copy_from_slice(&ts);
+                flops += (4 * self.factors[i].nnz_l() + sub.n_local()) as u64;
+            }
+            t
+        });
+        ctx.comm.charge_flops(flops);
+        t
+    }
+}
+
+impl Preconditioner for MultiRas<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.try_apply(r, z)
+            .unwrap_or_else(|e| panic!("recovered RAS on rank {}: {e}", self.ctx.comm.rank()))
+    }
+
+    fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let t = self.local_part(r);
+        z.copy_from_slice(&t);
+        self.ctx.exchange_add(&t, z)
+    }
+}
+
+/// Coarse correction of the recovered epoch. Coarse rows are ordered by
+/// `(hosting rank, subdomain)`, so each split group's rows stay contiguous
+/// and the distributed block factorization keeps its bounds.
+struct MultiCoarse<'a> {
+    ctx: &'a MultiCtx<'a>,
+    split: &'a Communicator,
+    master: Option<(&'a Communicator, MasterSolve<'a>)>,
+    /// Deflation blocks, aligned with `ctx.owned`.
+    w: &'a [DMat],
+    /// Coarse row start of each subdomain (indexed by subdomain).
+    coarse_start: &'a [usize],
+    /// ν of each subdomain (indexed by subdomain).
+    nu_of: &'a [usize],
+    /// Subdomains hosted by each group member, split order (= coarse order).
+    group_subs: &'a [Vec<usize>],
+    dim_e: usize,
+}
+
+impl MultiCoarse<'_> {
+    fn try_correction(&self, u: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let ctx = self.ctx;
+        // step 1: w_s = W_sᵀ u_s for every owned subdomain, concatenated in
+        // owned (= coarse) order, gathered on the master.
+        let mut flops = 0u64;
+        let msg = ctx.comm.compute(|| {
+            let mut msg = Vec::new();
+            for (i, &s) in ctx.owned.iter().enumerate() {
+                let nu = self.w[i].cols();
+                let mut wi = vec![0.0; nu];
+                self.w[i].gemv_t(1.0, &u[ctx.starts[i]..ctx.starts[i + 1]], 0.0, &mut wi);
+                msg.extend_from_slice(&wi);
+                flops += 2 * (nu * ctx.decomp.subdomains[s].n_local()) as u64;
+            }
+            msg
+        });
+        ctx.comm.charge_flops(flops);
+        let gathered = self.split.try_gather(0, msg).map_err(comm_interrupt)?;
+        // step 2: masters solve E y = w on their contiguous block row.
+        let y_mine: Vec<f64> =
+            if let (Some((master, solve)), Some(parts)) = (self.master.as_ref(), &gathered) {
+                // Split preserves rank order and coarse rows are ordered by
+                // (rank, subdomain): concatenating the parts yields this
+                // group's contiguous coarse block.
+                let group_w: Vec<f64> = parts.iter().flatten().copied().collect();
+                let y_group: Vec<f64> = match solve {
+                    MasterSolve::Redundant(e_factor) => {
+                        let all_w = master.try_allgather(group_w).map_err(comm_interrupt)?;
+                        let mut rhs = Vec::with_capacity(self.dim_e);
+                        for gw in &all_w {
+                            rhs.extend_from_slice(gw);
+                        }
+                        debug_assert_eq!(rhs.len(), self.dim_e);
+                        let y = ctx.comm.compute(|| e_factor.solve(&rhs));
+                        ctx.comm.charge_flops(4 * e_factor.nnz_l() as u64);
+                        let g0 = self.group_start();
+                        let glen: usize = self
+                            .group_subs
+                            .iter()
+                            .flatten()
+                            .map(|&s| self.nu_of[s])
+                            .sum();
+                        y[g0..g0 + glen].to_vec()
+                    }
+                    MasterSolve::Distributed(dist) => {
+                        let prev = ctx.comm.trace_phase_name();
+                        ctx.comm.trace_phase("recovery-e-solve-dist");
+                        let y = dist
+                            .try_solve(master, &group_w)
+                            .map_err(|e| dist_interrupt(ctx.comm, e, "recovery-e-solve-dist"))?;
+                        ctx.comm.trace_phase(&prev);
+                        y
+                    }
+                };
+                // step 3a: scatter each member's slice back to the group.
+                let mut pieces = Vec::with_capacity(self.group_subs.len());
+                let mut pos = 0;
+                for subs in self.group_subs {
+                    let len: usize = subs.iter().map(|&s| self.nu_of[s]).sum();
+                    pieces.push(y_group[pos..pos + len].to_vec());
+                    pos += len;
+                }
+                self.split
+                    .try_scatter(0, Some(pieces))
+                    .map_err(comm_interrupt)?
+            } else {
+                self.split.try_scatter(0, None).map_err(comm_interrupt)?
+            };
+        // step 3b: z_s = W_s y_s plus the consistency sum (eq. 12).
+        let mut flops = 0u64;
+        let zi = ctx.comm.compute(|| {
+            let mut zi = vec![0.0; ctx.n_concat()];
+            let mut pos = 0;
+            for (i, &s) in ctx.owned.iter().enumerate() {
+                let nu = self.w[i].cols();
+                self.w[i].gemv(
+                    1.0,
+                    &y_mine[pos..pos + nu],
+                    0.0,
+                    &mut zi[ctx.starts[i]..ctx.starts[i + 1]],
+                );
+                pos += nu;
+                flops += 2 * (nu * ctx.decomp.subdomains[s].n_local()) as u64;
+            }
+            zi
+        });
+        ctx.comm.charge_flops(flops);
+        z.copy_from_slice(&zi);
+        ctx.exchange_add(&zi, z)
+    }
+
+    /// Coarse row start of this split group (only meaningful on masters).
+    fn group_start(&self) -> usize {
+        self.group_subs
+            .iter()
+            .flatten()
+            .next()
+            .map_or(self.dim_e, |&s| self.coarse_start[s])
+    }
+}
+
+/// A-DEF1 over the concatenated owned subdomains (eq. 6).
+struct MultiADef1<'a> {
+    op: MultiOp<'a>,
+    ras: MultiRas<'a>,
+    coarse: MultiCoarse<'a>,
+}
+
+impl Preconditioner for MultiADef1<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.try_apply(r, z)
+            .unwrap_or_else(|e| panic!("recovered A-DEF1 on rank {}: {e}", self.op.ctx.comm.rank()))
+    }
+
+    fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let n = r.len();
+        let mut q = vec![0.0; n];
+        self.coarse.try_correction(r, &mut q)?;
+        let mut t = vec![0.0; n];
+        self.op.try_apply(&q, &mut t)?;
+        for k in 0..n {
+            t[k] = r[k] - t[k];
+        }
+        self.ras.try_apply(&t, z)?;
+        vector::axpy(1.0, &q, z);
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------- recovered run
+
+/// One recovered epoch on the shrunk survivor communicator: adopt, rebuild
+/// the two-level preconditioner over the survivors, and resume the solve
+/// from the last complete checkpoint.
+fn run_recovered(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    store: &CheckpointStore,
+    recoveries: &mut Vec<RecoveryRecord>,
+) -> Result<SpmdMultiSolution, SpmdError> {
+    let nsubs = decomp.n_subdomains();
+    let me_world = comm.world_rank();
+    let me = comm.rank();
+    let n_live = comm.size();
+    let dead = comm.dead_ranks();
+    let survivors: Vec<usize> = (0..comm.world_size())
+        .filter(|r| !dead.contains(r))
+        .collect();
+    debug_assert_eq!(survivors.len(), n_live);
+    // World rank → survivor-communicator rank (survivors are re-ranked
+    // contiguously in world order by the shrink agreement).
+    let new_rank_of = |world: usize| -> usize {
+        survivors
+            .binary_search(&world)
+            .expect("subdomain hosted by a dead rank")
+    };
+    // Every blocking wait of the recovered epoch is bounded: a peer that
+    // dies *again* must surface as an error, not an unbounded wait.
+    comm.set_retry_policy(RetryPolicy::bounded_jittered());
+
+    let mut run = RunReport::default();
+    let owner_world = adoption_map(decomp, &dead, &survivors);
+    let owned: Vec<usize> = (0..nsubs).filter(|&s| owner_world[s] == me_world).collect();
+    let host: Vec<usize> = (0..nsubs).map(|s| new_rank_of(owner_world[s])).collect();
+    let adopted: Vec<(usize, usize)> = dead.iter().map(|&s| (s, owner_world[s])).collect();
+    let i_adopted = owned.iter().any(|&s| s != me_world);
+
+    comm.try_barrier()?;
+    comm.reset_clock();
+    comm.trace_phase("recovery-adopt");
+
+    // ---- adopt: re-factor the Dirichlet matrices of every owned
+    // subdomain (for adopters that re-runs the orphan's local setup from
+    // the shared decomposition).
+    let mut factors: Vec<SparseLdlt> = Vec::with_capacity(owned.len());
+    for &s in &owned {
+        let f = comm
+            .compute(|| SparseLdlt::factor(&decomp.subdomains[s].a_dirichlet, opts.ordering))
+            .map_err(|source| SpmdError::LocalFactorization {
+                rank: me_world,
+                source,
+            })?;
+        factors.push(f);
+    }
+    run.phases.push((
+        "recovery-adopt",
+        if i_adopted {
+            PhaseOutcome::Degraded {
+                reason: format!(
+                    "adopted orphaned subdomain(s) {:?}",
+                    owned.iter().filter(|&&s| s != me_world).collect::<Vec<_>>()
+                ),
+            }
+        } else {
+            PhaseOutcome::Ok
+        },
+    ));
+    comm.try_barrier()?;
+    let t_adopt = comm.clock();
+    comm.trace_phase("recovery-deflation");
+
+    // ---- deflation: recompute GenEO for originally-owned subdomains;
+    // adopted ones get the Nicolaides substitute (eigenvector
+    // recomputation is skipped — the documented degradation).
+    let mut blocks = Vec::with_capacity(owned.len());
+    let mut degraded_deflation = false;
+    for &s in &owned {
+        let sub = &decomp.subdomains[s];
+        let block = if s == me_world && !opts.one_level_only {
+            match comm.compute(|| try_deflation_block(sub, &opts.geneo)) {
+                Ok(b) => b,
+                Err(_) => {
+                    degraded_deflation = true;
+                    comm.compute(|| nicolaides_fallback_block(sub))
+                }
+            }
+        } else {
+            if s != me_world {
+                degraded_deflation = true;
+            }
+            comm.compute(|| nicolaides_fallback_block(sub))
+        };
+        blocks.push(block);
+    }
+    run.deflation = if opts.one_level_only {
+        DeflationSource::None
+    } else if degraded_deflation {
+        DeflationSource::NicolaidesFallback
+    } else {
+        DeflationSource::Geneo
+    };
+    run.phases.push((
+        "recovery-deflation",
+        if degraded_deflation && !opts.one_level_only {
+            PhaseOutcome::Degraded {
+                reason: "Nicolaides vectors substituted for adopted subdomain(s)".to_string(),
+            }
+        } else {
+            PhaseOutcome::Ok
+        },
+    ));
+    let nu = if opts.one_level_only {
+        0
+    } else {
+        let local_max = blocks.iter().map(|b| b.kept.max(1)).max().unwrap_or(1);
+        comm.try_allreduce_max_usize(local_max)?
+    };
+    let w: Vec<DMat> = blocks.iter().map(|b| resize_block(b, nu)).collect();
+    comm.try_barrier()?;
+    let t_deflation = comm.clock() - t_adopt;
+    comm.trace_phase("recovery-assembly");
+
+    // ---- masters re-elected over the survivors (non-uniform split), and
+    // the coarse operator re-assembled and re-factored.
+    let masters = nonuniform_masters(n_live, opts.n_masters.min(n_live));
+    let my_group = group_of(me, &masters);
+    let split = comm
+        .try_split(Some(my_group))?
+        .ok_or(SpmdError::SplitFailed { rank: me_world })?;
+    split.set_trace_label("splitComm");
+    let is_master = split.rank() == 0;
+    let master_comm = comm.try_split(if is_master { Some(0) } else { None })?;
+    if let Some(m) = master_comm.as_ref() {
+        m.set_trace_label("masterComm");
+    }
+    let group_ranks: Vec<usize> = {
+        let start = masters[my_group];
+        let end = if my_group + 1 < masters.len() {
+            masters[my_group + 1]
+        } else {
+            n_live
+        };
+        (start..end).collect()
+    };
+    // Subdomains hosted by each rank, ascending — with coarse rows ordered
+    // by (host rank, subdomain), each rank's (and so each group's) coarse
+    // rows are contiguous.
+    let subs_of_rank: Vec<Vec<usize>> = (0..n_live)
+        .map(|r| (0..nsubs).filter(|&s| host[s] == r).collect())
+        .collect();
+    let group_subs: Vec<Vec<usize>> = group_ranks
+        .iter()
+        .map(|&r| subs_of_rank[r].clone())
+        .collect();
+
+    let mut dim_e = 0usize;
+    let mut nnz_e_factor = 0usize;
+    let mut e_factor: Option<SparseLdlt> = None;
+    let mut e_dist: Option<DistLdlt> = None;
+    let mut coarse_start = vec![0usize; nsubs];
+    let mut nu_of = vec![0usize; nsubs];
+    let mut coarse_failed: Option<String> = None;
+    let mut coarse_fallback: Option<String> = None;
+
+    if !opts.one_level_only {
+        // All ranks learn every subdomain's ν: allgather (sub, ν) pairs.
+        let mut pairs: Vec<u64> = Vec::new();
+        for (i, &s) in owned.iter().enumerate() {
+            pairs.push(s as u64);
+            pairs.push(w[i].cols() as u64);
+        }
+        let all_pairs = comm.try_allgather(pairs)?;
+        for v in &all_pairs {
+            for c in v.chunks_exact(2) {
+                nu_of[c[0] as usize] = c[1] as usize;
+            }
+        }
+        let mut pos = 0usize;
+        for r in 0..n_live {
+            for &s in &subs_of_rank[r] {
+                coarse_start[s] = pos;
+                pos += nu_of[s];
+            }
+        }
+        dim_e = pos;
+
+        // Neighborhood exchange of S_j = R_j R_sᵀ T_s per owned subdomain
+        // (Algorithm 1, pair-encoded tags, same-host pairs local).
+        let policy = comm.retry_policy();
+        let mut t_blocks: Vec<DMat> = Vec::with_capacity(owned.len());
+        let mut e_ss: Vec<DMat> = Vec::with_capacity(owned.len());
+        for (i, &s) in owned.iter().enumerate() {
+            let sub = &decomp.subdomains[s];
+            let nu_s = w[i].cols();
+            let (t_s, e) = comm.compute(|| {
+                let t = sub.a_dirichlet.csrmm(&w[i]);
+                let mut e = DMat::zeros(nu_s, nu_s);
+                w[i].gemm_tn(1.0, &t, 0.0, &mut e);
+                (t, e)
+            });
+            t_blocks.push(t_s);
+            e_ss.push(e);
+        }
+        let mut local_halo: Vec<((usize, usize), Vec<f64>)> = Vec::new();
+        for (i, &s) in owned.iter().enumerate() {
+            let sub = &decomp.subdomains[s];
+            let nu_s = w[i].cols();
+            for link in &sub.neighbors {
+                let mut payload = Vec::with_capacity(link.shared.len() * nu_s);
+                for q in 0..nu_s {
+                    let col = t_blocks[i].col(q);
+                    payload.extend(link.shared.iter().map(|&k| col[k as usize]));
+                }
+                if host[link.j] == me {
+                    local_halo.push(((s, link.j), payload));
+                } else {
+                    let tag = TAG_RT + epoch_salt(comm) + (s as u64) * nsubs as u64 + link.j as u64;
+                    comm.send(host[link.j], tag, payload);
+                }
+            }
+        }
+        // E_sj = W_sᵀ U_j for each owned subdomain and neighbor.
+        let mut e_sj: Vec<Vec<DMat>> = Vec::with_capacity(owned.len());
+        for (i, &s) in owned.iter().enumerate() {
+            let sub = &decomp.subdomains[s];
+            let nu_s = w[i].cols();
+            let mut per_link = Vec::with_capacity(sub.neighbors.len());
+            for link in &sub.neighbors {
+                let j = link.j;
+                let u: Vec<f64> = if host[j] == me {
+                    let p = local_halo
+                        .iter()
+                        .position(|(key, _)| *key == (j, s))
+                        .expect("missing same-host assembly payload");
+                    local_halo.swap_remove(p).1
+                } else {
+                    let tag = TAG_RT + epoch_salt(comm) + (j as u64) * nsubs as u64 + s as u64;
+                    comm.try_recv_timeout(host[j], tag, &policy)?
+                };
+                let nu_j = nu_of[j];
+                debug_assert_eq!(u.len(), link.shared.len() * nu_j);
+                let block = comm.compute(|| {
+                    let mut e = DMat::zeros(nu_s, nu_j);
+                    for q in 0..nu_j {
+                        let ucol = &u[q * link.shared.len()..(q + 1) * link.shared.len()];
+                        for p in 0..nu_s {
+                            let wcol = w[i].col(p);
+                            let mut acc = 0.0;
+                            for (&k, &uv) in link.shared.iter().zip(ucol) {
+                                acc += wcol[k as usize] * uv;
+                            }
+                            e[(p, q)] = acc;
+                        }
+                    }
+                    e
+                });
+                per_link.push(block);
+            }
+            e_sj.push(per_link);
+        }
+
+        // Gather this rank's row blocks on the group master. The recovered
+        // epoch ships explicit indices (the "natural" layout): after an
+        // adoption the index-free reconstruction no longer matches the one
+        //-sub-per-rank layout, and recovery favors simplicity over the
+        // assembly-bandwidth optimization.
+        let mut rows: Vec<u64> = Vec::new();
+        let mut cols: Vec<u64> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for (i, &s) in owned.iter().enumerate() {
+            let rs = coarse_start[s];
+            let nu_s = w[i].cols();
+            for p in 0..nu_s {
+                for q in 0..nu_s {
+                    rows.push((rs + p) as u64);
+                    cols.push((rs + q) as u64);
+                    vals.push(e_ss[i][(p, q)]);
+                }
+            }
+            for (link, blk) in decomp.subdomains[s].neighbors.iter().zip(&e_sj[i]) {
+                let rj = coarse_start[link.j];
+                for p in 0..blk.rows() {
+                    for q in 0..blk.cols() {
+                        rows.push((rs + p) as u64);
+                        cols.push((rj + q) as u64);
+                        vals.push(blk[(p, q)]);
+                    }
+                }
+            }
+        }
+        let gr = split.try_gatherv(0, rows)?;
+        let gc = split.try_gatherv(0, cols)?;
+        let gv = split.try_gatherv(0, vals)?;
+
+        if let Some(master) = master_comm.as_ref() {
+            let (rows, cols, vals) = match (gr, gc, gv) {
+                (Some(r), Some(c), Some(v)) => (
+                    r.into_iter().flatten().collect::<Vec<u64>>(),
+                    c.into_iter().flatten().collect::<Vec<u64>>(),
+                    v.into_iter().flatten().collect::<Vec<f64>>(),
+                ),
+                _ => {
+                    return Err(SpmdError::Protocol {
+                        rank: me_world,
+                        what: "recovery master received no gatherv result".to_string(),
+                    })
+                }
+            };
+            match opts.coarse_solve {
+                crate::spmd::CoarseSolve::Redundant => {
+                    comm.trace_phase("recovery-e-factorization");
+                    let all_rows = master.try_allgather(rows)?;
+                    let all_cols = master.try_allgather(cols)?;
+                    let all_vals = master.try_allgather(vals)?;
+                    let ef = comm.compute(|| {
+                        let mut coo = CooBuilder::new(dim_e, dim_e);
+                        for ((rs, cs), vs) in all_rows.iter().zip(&all_cols).zip(&all_vals) {
+                            for ((&r, &c), &v) in rs.iter().zip(cs).zip(vs) {
+                                coo.push(r as usize, c as usize, v);
+                            }
+                        }
+                        let e: CsrMatrix = coo.to_csr();
+                        SparseLdlt::factor_with(
+                            &e,
+                            opts.ordering,
+                            PivotPolicy::Boost { rel_tol: 1e-12 },
+                        )
+                        .map_err(|e| e.to_string())
+                    });
+                    match ef {
+                        Ok(f) => {
+                            comm.charge_flops(f.flops_estimate());
+                            nnz_e_factor = f.nnz_l();
+                            e_factor = Some(f);
+                        }
+                        Err(reason) => coarse_failed = Some(reason),
+                    }
+                }
+                crate::spmd::CoarseSolve::Distributed => {
+                    comm.trace_phase("recovery-e-factorization-dist");
+                    // Block-row boundaries: the election boundaries mapped
+                    // to coarse rows via each group's first subdomain.
+                    let rank_row: Vec<usize> = (0..n_live)
+                        .map(|r| subs_of_rank[r].first().map_or(dim_e, |&s| coarse_start[s]))
+                        .collect();
+                    let mut bounds: Vec<usize> = masters.iter().map(|&m| rank_row[m]).collect();
+                    bounds.push(dim_e);
+                    let r0 = bounds[master.rank()];
+                    let np = bounds[master.rank() + 1] - r0;
+                    let strip = comm.compute(|| {
+                        let mut s = DMat::zeros(np, dim_e - r0);
+                        for ((&r, &c), &v) in rows.iter().zip(&cols).zip(&vals) {
+                            if c as usize >= r0 {
+                                s[(r as usize - r0, c as usize - r0)] += v;
+                            }
+                        }
+                        s
+                    });
+                    let dist = DistLdlt::try_factor(master, bounds, strip)
+                        .map_err(|e| classify_comm_at(comm, e, "recovery-e-factorization-dist"))?;
+                    nnz_e_factor = dist.nnz_l();
+                    e_dist = Some(dist);
+                }
+            }
+            comm.trace_phase("recovery-assembly");
+        }
+        let any_failed = comm.try_allreduce_max_usize(usize::from(coarse_failed.is_some()))? > 0;
+        if any_failed {
+            e_factor = None;
+            e_dist = None;
+            nnz_e_factor = 0;
+            coarse_fallback = Some(match coarse_failed.take() {
+                Some(r) => format!("coarse factorization failed ({r}); one-level RAS fallback"),
+                None => {
+                    "coarse factorization failed on a master; one-level RAS fallback".to_string()
+                }
+            });
+        }
+    }
+    run.coarse = if opts.one_level_only {
+        CoarseOutcome::OneLevelRequested
+    } else if coarse_fallback.is_some() {
+        CoarseOutcome::OneLevelFallback
+    } else if dim_e == 0 {
+        CoarseOutcome::EmptyCoarse
+    } else {
+        CoarseOutcome::TwoLevel
+    };
+    run.phases.push((
+        "recovery-assembly",
+        match &coarse_fallback {
+            Some(reason) => PhaseOutcome::Degraded {
+                reason: reason.clone(),
+            },
+            None => PhaseOutcome::Ok,
+        },
+    ));
+    comm.try_barrier()?;
+    let t_coarse = comm.clock() - t_deflation - t_adopt;
+    comm.trace_phase("recovery-solve");
+
+    // ---- solve: resume from the last globally complete checkpoint.
+    let stats_before = comm.stats();
+    let starts: Vec<usize> = {
+        let mut v = vec![0usize];
+        for &s in &owned {
+            v.push(v.last().unwrap() + decomp.subdomains[s].n_local());
+        }
+        v
+    };
+    let ctx = MultiCtx {
+        comm,
+        decomp,
+        owned: owned.clone(),
+        starts,
+        host,
+    };
+    let mut rhs = Vec::with_capacity(ctx.n_concat());
+    for &s in &owned {
+        rhs.extend(decomp.subdomains[s].restrict(&decomp.rhs_global));
+    }
+    let x0 = vec![0.0; ctx.n_concat()];
+
+    let resume_iteration = store.rollback_iteration(nsubs);
+    let resume = resume_iteration.and_then(|it| {
+        let mut x = Vec::with_capacity(ctx.n_concat());
+        for &s in &owned {
+            x.extend(store.get(s, it)?.x);
+        }
+        let anchor = store.get(owned[0], it)?;
+        Some(SolveCheckpoint {
+            iteration: it,
+            x,
+            residual: anchor.residual,
+            r0_norm: anchor.r0_norm,
+            history: anchor.history,
+        })
+    });
+    let resume_iteration = resume.as_ref().map(|cp| cp.iteration);
+    recoveries.push(RecoveryRecord {
+        epoch: comm.epoch(),
+        dead: dead.clone(),
+        adopted,
+        resume_iteration,
+    });
+    let sink = StoreSink {
+        store,
+        subs: owned
+            .iter()
+            .map(|&s| (s, decomp.subdomains[s].n_local()))
+            .collect(),
+    };
+    let cfg = match resume {
+        Some(cp) => CheckpointCfg::resuming(opts.recovery.checkpoint_interval, &sink, cp),
+        None => CheckpointCfg::new(opts.recovery.checkpoint_interval, &sink),
+    };
+
+    let op = MultiOp { ctx: &ctx };
+    let ip = MultiDot { ctx: &ctx };
+    let two_level = run.coarse == CoarseOutcome::TwoLevel;
+    // The recovered epoch always runs the classical loop: pipelining and
+    // fusion assume the fault-free communication schedule.
+    let result: SolveResult = if !two_level {
+        let ras = MultiRas {
+            ctx: &ctx,
+            factors: &factors,
+        };
+        try_gmres(&op, &ras, &ip, &rhs, &x0, &opts.gmres, Some(&cfg))
+            .map_err(|si| interrupt_to_spmd(comm, si))?
+    } else {
+        let adef1 = MultiADef1 {
+            op: MultiOp { ctx: &ctx },
+            ras: MultiRas {
+                ctx: &ctx,
+                factors: &factors,
+            },
+            coarse: MultiCoarse {
+                ctx: &ctx,
+                split: &split,
+                master: master_comm.as_ref().and_then(|m| {
+                    e_dist
+                        .as_ref()
+                        .map(|d| (m, MasterSolve::Distributed(d)))
+                        .or_else(|| e_factor.as_ref().map(|f| (m, MasterSolve::Redundant(f))))
+                }),
+                w: &w,
+                coarse_start: &coarse_start,
+                nu_of: &nu_of,
+                group_subs: &group_subs,
+                dim_e,
+            },
+        };
+        try_gmres(&op, &adef1, &ip, &rhs, &x0, &opts.gmres, Some(&cfg))
+            .map_err(|si| interrupt_to_spmd(comm, si))?
+    };
+    comm.try_barrier()?;
+    let t_solution = comm.clock() - t_coarse - t_deflation - t_adopt;
+    let stats_after = comm.stats();
+
+    run.phases.push((
+        "recovery-solve",
+        if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
+            PhaseOutcome::Ok
+        } else {
+            PhaseOutcome::Degraded {
+                reason: format!(
+                    "{} after {} breakdown restart(s)",
+                    result.status, result.breakdown_restarts
+                ),
+            }
+        },
+    ));
+    run.solve_status = result.status;
+    run.breakdown_restarts = result.breakdown_restarts;
+    run.faults = comm.fault_stats();
+    run.recoveries = recoveries.clone();
+
+    let report = SpmdReport {
+        rank: me_world,
+        t_factorization: t_adopt,
+        t_deflation,
+        t_coarse,
+        t_solution,
+        t_total: comm.clock(),
+        iterations: result.iterations,
+        converged: result.converged,
+        final_residual: result.final_residual,
+        nu,
+        dim_e,
+        nnz_e_factor,
+        n_neighbors: decomp.subdomains[me_world].neighbors.len(),
+        world_collectives_solution: stats_after.collective_calls - stats_before.collective_calls,
+        p2p_messages: stats_after.p2p_messages,
+        p2p_bytes: stats_after.p2p_bytes,
+        collective_bytes: stats_after.collective_bytes
+            + split.stats().collective_bytes
+            + master_comm
+                .as_ref()
+                .map_or(0, |m| m.stats().collective_bytes),
+        history: result.history,
+        run,
+    };
+    let locals = owned
+        .iter()
+        .zip(ctx.starts.windows(2))
+        .map(|(&s, win)| (s, result.x[win[0]..win[1]].to_vec()))
+        .collect();
+    Ok(SpmdMultiSolution { report, locals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(iteration: usize, tag: f64) -> SolveCheckpoint {
+        SolveCheckpoint {
+            iteration,
+            x: vec![tag; 3],
+            residual: 0.5,
+            r0_norm: 1.0,
+            history: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn store_keeps_last_two_and_rolls_back_to_common_iteration() {
+        let store = CheckpointStore::new();
+        for it in [5, 10, 15] {
+            store.save(0, cp(it, 0.0));
+            store.save(1, cp(it, 1.0));
+        }
+        // Sub 2 missed the last window — death struck mid-checkpoint.
+        store.save(2, cp(5, 2.0));
+        store.save(2, cp(10, 2.0));
+        assert_eq!(store.rollback_iteration(3), Some(10));
+        // Only the last two snapshots are retained.
+        assert!(store.get(0, 5).is_none());
+        assert_eq!(store.get(0, 15).unwrap().iteration, 15);
+        // A fully common iteration wins when everyone has it.
+        store.save(2, cp(15, 2.0));
+        assert_eq!(store.rollback_iteration(3), Some(15));
+        // A subdomain with no snapshots at all blocks any resume.
+        assert_eq!(store.rollback_iteration(4), None);
+    }
+
+    #[test]
+    fn duplicate_iteration_overwrites_instead_of_duplicating() {
+        let store = CheckpointStore::new();
+        store.save(0, cp(5, 1.0));
+        store.save(0, cp(5, 2.0));
+        let got = store.get(0, 5).unwrap();
+        assert_eq!(got.x, vec![2.0; 3]);
+    }
+}

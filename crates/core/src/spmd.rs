@@ -26,10 +26,11 @@ use crate::decomp::{Decomposition, Subdomain};
 use crate::error::{CoarseOutcome, DeflationSource, PhaseOutcome, RunReport, SpmdError};
 use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block, GeneoOpts};
 use crate::masters::{group_of, nonuniform_masters, uniform_masters};
-use dd_comm::Communicator;
+use crate::recovery::RecoveryOpts;
+use dd_comm::{CommError, Communicator};
 use dd_krylov::{
-    fused_pipelined_gmres, gmres, pipelined_gmres, FusedPreconditioner, GmresOpts, InnerProduct,
-    Operator, Preconditioner, SolveResult, SolveStatus,
+    fused_pipelined_gmres, pipelined_gmres, try_gmres, CheckpointCfg, FusedPreconditioner,
+    GmresOpts, InnerProduct, Operator, Preconditioner, SolveInterrupt, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
 use dd_solver::{DistLdlt, Ordering, PivotPolicy, SparseLdlt};
@@ -95,6 +96,9 @@ pub struct SpmdOpts {
     pub one_level_only: bool,
     /// Distributed vs redundant coarse factorization/solve on the masters.
     pub coarse_solve: CoarseSolve,
+    /// Shrink-and-continue recovery from rank death (see
+    /// [`crate::recovery::try_run_spmd_recoverable`]).
+    pub recovery: RecoveryOpts,
 }
 
 impl Default for SpmdOpts {
@@ -121,6 +125,7 @@ impl Default for SpmdOpts {
             solver: SolverKind::Classical,
             one_level_only: false,
             coarse_solve: CoarseSolve::default(),
+            recovery: RecoveryOpts::default(),
         }
     }
 }
@@ -187,6 +192,106 @@ impl RankCtx<'_> {
             }
         }
     }
+
+    /// Fallible [`RankCtx::exchange_add`]: halo receives run under the
+    /// communicator's ambient [`dd_comm::RetryPolicy`] and a dead or
+    /// revoked peer surfaces as a [`SolveInterrupt`] instead of a panic.
+    fn try_exchange_add(&self, t: &[f64], out: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let policy = self.comm.retry_policy();
+        for link in &self.sub.neighbors {
+            let payload: Vec<f64> = link.shared.iter().map(|&k| t[k as usize]).collect();
+            self.comm.send(link.j, TAG_X, payload);
+        }
+        for link in &self.sub.neighbors {
+            let recv: Vec<f64> = self
+                .comm
+                .try_recv_timeout(link.j, TAG_X, &policy)
+                .map_err(comm_interrupt)?;
+            debug_assert_eq!(recv.len(), link.shared.len());
+            for (&k, &v) in link.shared.iter().zip(&recv) {
+                out[k as usize] += v;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wrap a communication error as a solver interrupt, preserving the typed
+/// error as the downcastable source.
+pub(crate) fn comm_interrupt(e: CommError) -> SolveInterrupt {
+    SolveInterrupt::with_source(format!("communication failure: {e}"), Box::new(e))
+}
+
+/// Reason prefix of interrupts raised by a triggered solve-phase failpoint;
+/// [`interrupt_to_spmd`] recovers the failpoint label from it.
+pub(crate) const KILLED_AT: &str = "killed at failpoint ";
+
+/// A [`Communicator::failpoint`] raised as a [`SolveInterrupt`] (for kills
+/// armed inside solver callbacks, where errors travel through dd-krylov).
+fn solve_failpoint(comm: &Communicator, label: &str) -> Result<(), SolveInterrupt> {
+    comm.failpoint(label)
+        .map_err(|e| SolveInterrupt::with_source(format!("{KILLED_AT}{label}"), Box::new(e)))
+}
+
+/// Classify a communication error observed directly by the driver: our own
+/// death at a failpoint becomes the typed kill, everything else stays a
+/// communication failure.
+pub(crate) fn classify_comm(comm: &Communicator, e: CommError) -> SpmdError {
+    classify_comm_at(comm, e, &comm.trace_phase_name())
+}
+
+/// [`classify_comm`] with an explicit phase label for the own-death case —
+/// for failpoints buried in lower layers (e.g. [`DistLdlt`]) whose
+/// [`CommError::RankDead`] no longer carries the label, and which run on
+/// untraced worlds where the telemetry phase is unavailable.
+pub(crate) fn classify_comm_at(comm: &Communicator, e: CommError, phase: &str) -> SpmdError {
+    match e {
+        CommError::RankDead { rank } if rank == comm.world_rank() => SpmdError::Killed {
+            rank,
+            phase: phase.to_string(),
+        },
+        other => SpmdError::Comm(other),
+    }
+}
+
+/// Wrap a [`DistLdlt`]-layer error as a [`SolveInterrupt`], tagging our own
+/// death with the failpoint label so [`interrupt_to_spmd`] classifies it.
+pub(crate) fn dist_interrupt(comm: &Communicator, e: CommError, label: &str) -> SolveInterrupt {
+    match &e {
+        CommError::RankDead { rank } if *rank == comm.world_rank() => {
+            SolveInterrupt::with_source(format!("{KILLED_AT}{label}"), Box::new(e))
+        }
+        _ => comm_interrupt(e),
+    }
+}
+
+/// Classify an interrupted Krylov solve: unwrap the boxed communication
+/// error and map our own death to [`SpmdError::Killed`] (tagged with the
+/// failpoint label when the interrupt came from one, else the trace phase),
+/// a peer's death or a revocation to [`SpmdError::Comm`].
+pub(crate) fn interrupt_to_spmd(comm: &Communicator, interrupt: SolveInterrupt) -> SpmdError {
+    let phase = interrupt
+        .reason()
+        .strip_prefix(KILLED_AT)
+        .map(str::to_string);
+    let reason = interrupt.reason().to_string();
+    match interrupt.take_source().map(|s| s.downcast::<CommError>()) {
+        Some(Ok(e)) => match *e {
+            CommError::RankDead { rank } if rank == comm.world_rank() => SpmdError::Killed {
+                rank,
+                phase: phase.unwrap_or_else(|| comm.trace_phase_name()),
+            },
+            other => SpmdError::Comm(other),
+        },
+        Some(Err(other)) => SpmdError::Protocol {
+            rank: comm.rank(),
+            what: format!("solve interrupted: {other}"),
+        },
+        None => SpmdError::Protocol {
+            rank: comm.rank(),
+            what: format!("solve interrupted: {reason}"),
+        },
+    }
 }
 
 /// Distributed operator: `(Ax)_i = Σ_j R_i R_jᵀ A_j D_j x_j` (eq. 5).
@@ -194,12 +299,8 @@ struct DistOp<'a> {
     ctx: RankCtx<'a>,
 }
 
-impl Operator for DistOp<'_> {
-    fn dim(&self) -> usize {
-        self.ctx.sub.n_local()
-    }
-
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
+impl DistOp<'_> {
+    fn local_part(&self, x: &[f64]) -> Vec<f64> {
         let s = self.ctx.sub;
         let t = self.ctx.comm.compute(|| {
             let mut w = x.to_vec();
@@ -211,8 +312,25 @@ impl Operator for DistOp<'_> {
         self.ctx
             .comm
             .charge_flops((2 * s.a_dirichlet.nnz() + s.n_local()) as u64);
+        t
+    }
+}
+
+impl Operator for DistOp<'_> {
+    fn dim(&self) -> usize {
+        self.ctx.sub.n_local()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let t = self.local_part(x);
         y.copy_from_slice(&t);
         self.ctx.exchange_add(&t, y);
+    }
+
+    fn try_apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let t = self.local_part(x);
+        y.copy_from_slice(&t);
+        self.ctx.try_exchange_add(&t, y)
     }
 }
 
@@ -237,6 +355,12 @@ impl InnerProduct for DistDot<'_> {
         self.comm.allreduce_sum_vec(locals)
     }
 
+    fn try_reduce(&self, locals: Vec<f64>) -> Result<Vec<f64>, SolveInterrupt> {
+        self.comm
+            .try_allreduce_sum_vec(locals)
+            .map_err(comm_interrupt)
+    }
+
     fn reduce_begin<'b>(&'b self, locals: Vec<f64>) -> Box<dyn FnOnce() -> Vec<f64> + 'b> {
         let pending = self.comm.iallreduce_sum_vec(locals);
         let comm = self.comm;
@@ -245,6 +369,12 @@ impl InnerProduct for DistDot<'_> {
 
     fn on_iteration(&self, k: usize) {
         self.comm.trace_iteration(k);
+        // The `solve-iteration-K` failpoints: kills armed here take the
+        // rank down at a *specific* Krylov iteration, deep enough into the
+        // solve that checkpoints exist for the survivors to resume from.
+        // A triggered failpoint marks this rank gone; the iteration's next
+        // reduction surfaces the death as a typed error.
+        let _ = self.comm.failpoint(&format!("solve-iteration-{k}"));
     }
 }
 
@@ -254,8 +384,8 @@ struct DistRas<'a> {
     factor: &'a SparseLdlt,
 }
 
-impl Preconditioner for DistRas<'_> {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
+impl DistRas<'_> {
+    fn local_part(&self, r: &[f64]) -> Vec<f64> {
         let s = self.ctx.sub;
         let t = self.ctx.comm.compute(|| {
             let mut t = self.factor.solve(r);
@@ -265,14 +395,30 @@ impl Preconditioner for DistRas<'_> {
         self.ctx
             .comm
             .charge_flops((4 * self.factor.nnz_l() + s.n_local()) as u64);
+        t
+    }
+}
+
+impl Preconditioner for DistRas<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let t = self.local_part(r);
         z.copy_from_slice(&t);
         self.ctx.exchange_add(&t, z);
+    }
+
+    fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        // The `ras` failpoint: kills armed here take the rank down in the
+        // middle of a preconditioner application, mid-solve.
+        solve_failpoint(self.ctx.comm, "ras")?;
+        let t = self.local_part(r);
+        z.copy_from_slice(&t);
+        self.ctx.try_exchange_add(&t, z)
     }
 }
 
 /// A master's handle on `E⁻¹`: either the redundant full factorization or
 /// its share of the distributed block factorization.
-enum MasterSolve<'a> {
+pub(crate) enum MasterSolve<'a> {
     Redundant(&'a SparseLdlt),
     Distributed(&'a DistLdlt),
 }
@@ -300,6 +446,19 @@ impl DistCoarse<'_> {
     /// `z_i = (Z E⁻¹ Zᵀ u)_i` (§3.2), optionally carrying a fused payload
     /// of local reduction contributions. Returns the reduced payload.
     fn correction(&self, u: &[f64], z: &mut [f64], payload: Vec<f64>) -> Vec<f64> {
+        self.try_correction(u, z, payload)
+            .unwrap_or_else(|e| panic!("coarse correction on rank {}: {e}", self.comm.rank()))
+    }
+
+    /// Fallible [`DistCoarse::correction`]: every collective runs through
+    /// its `try_` variant so a dead rank or a revocation surfaces as a
+    /// [`SolveInterrupt`] the Krylov loop propagates.
+    fn try_correction(
+        &self,
+        u: &[f64],
+        z: &mut [f64],
+        payload: Vec<f64>,
+    ) -> Result<Vec<f64>, SolveInterrupt> {
         let nu = self.w.cols();
         let plen = payload.len();
         // step 1: w_i = W_iᵀ u_i, gathered on the master (payload appended).
@@ -308,7 +467,7 @@ impl DistCoarse<'_> {
         self.comm.charge_flops(2 * (nu * self.sub.n_local()) as u64);
         let mut msg = wi;
         msg.extend_from_slice(&payload);
-        let gathered = self.split.gather(0, msg);
+        let gathered = self.split.try_gather(0, msg).map_err(comm_interrupt)?;
         // step 2: masters solve E y = w — distributed (each master solves
         // its block row cooperatively) or redundant (allgather the full
         // RHS, solve locally). `gather` returns `Some` exactly on the
@@ -337,7 +496,7 @@ impl DistCoarse<'_> {
                 // Per-group-member slices of y, indexed like group_ranks.
                 let pieces: Vec<Vec<f64>> = match solve {
                     MasterSolve::Redundant(e_factor) => {
-                        let all_w = master.allgather(group_w);
+                        let all_w = master.try_allgather(group_w).map_err(comm_interrupt)?;
                         let mut rhs = vec![0.0; self.dim_e];
                         let mut pos = 0;
                         for gw in &all_w {
@@ -356,10 +515,14 @@ impl DistCoarse<'_> {
                         // The gathered group RHS *is* this master's block
                         // row of w — no allgather, only the ν-sized slices
                         // already on the wire. Scope the cooperative solve
-                        // under its own telemetry phase.
+                        // under its own telemetry phase. (On error the
+                        // phase is deliberately not restored, so the kill
+                        // classification names "e-solve-dist".)
                         let prev = self.comm.trace_phase_name();
                         self.comm.trace_phase("e-solve-dist");
-                        let y = dist.solve(master, &group_w);
+                        let y = dist
+                            .try_solve(master, &group_w)
+                            .map_err(|e| dist_interrupt(self.comm, e, "e-solve-dist"))?;
                         self.comm.trace_phase(&prev);
                         let r0 = dist.row_start();
                         self.group_ranks
@@ -380,9 +543,11 @@ impl DistCoarse<'_> {
                         piece
                     })
                     .collect();
-                self.split.scatter(0, Some(pieces))
+                self.split
+                    .try_scatter(0, Some(pieces))
+                    .map_err(comm_interrupt)?
             } else {
-                self.split.scatter(0, None)
+                self.split.try_scatter(0, None).map_err(comm_interrupt)?
             };
         let (yi, reduced) = y_and_payload.split_at(nu);
         // step 3b: z_i = W_i y_i plus the consistency sum (eq. 12).
@@ -394,8 +559,8 @@ impl DistCoarse<'_> {
             comm: self.comm,
             sub: self.sub,
         };
-        ctx.exchange_add(&zi, z);
-        reduced.to_vec()
+        ctx.try_exchange_add(&zi, z)?;
+        Ok(reduced.to_vec())
     }
 }
 
@@ -409,6 +574,23 @@ struct DistADef1<'a> {
 impl Preconditioner for DistADef1<'_> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let _ = self.apply_fused(r, z, Vec::new());
+    }
+
+    fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        let n = r.len();
+        // q = (Z E⁻¹ Zᵀ r)_i — one coarse solve.
+        let mut q = vec![0.0; n];
+        self.coarse.try_correction(r, &mut q, Vec::new())?;
+        // t = r − A q
+        let mut t = vec![0.0; n];
+        self.op.try_apply(&q, &mut t)?;
+        for k in 0..n {
+            t[k] = r[k] - t[k];
+        }
+        // z = RAS t + q
+        self.ras.try_apply(&t, z)?;
+        vector::axpy(1.0, &q, z);
+        Ok(())
     }
 }
 
@@ -461,7 +643,7 @@ pub fn try_run_spmd(
     comm: &Communicator,
     opts: &SpmdOpts,
 ) -> Result<SpmdSolution, SpmdError> {
-    let out = run_inner(decomp, comm, opts);
+    let out = run_inner(decomp, comm, opts, None);
     if out.is_err() {
         comm.abandon();
     }
@@ -476,10 +658,15 @@ fn failpoint(comm: &Communicator, phase: &'static str) -> Result<(), SpmdError> 
     })
 }
 
-fn run_inner(
+/// The driver body. `ckpt` arms solver checkpointing (the recovery driver
+/// passes a [`crate::recovery::CheckpointStore`]-backed sink; the plain
+/// entry points pass `None` — checkpoint writes are local-only either way,
+/// so fault-free canonical traces are unaffected).
+pub(crate) fn run_inner(
     decomp: &Decomposition,
     comm: &Communicator,
     opts: &SpmdOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
 ) -> Result<SpmdSolution, SpmdError> {
     let n = comm.size();
     assert_eq!(n, decomp.n_subdomains(), "one rank per subdomain");
@@ -500,6 +687,7 @@ fn run_inner(
     comm.try_barrier()?;
     let t_factorization = comm.clock();
     comm.trace_phase("deflation");
+    failpoint(comm, "deflation")?;
 
     // ---- phase 2: deflation (GenEO eigensolve + Allreduce(MAX)) ------
     let eig = if comm.should_fail("eigensolve") {
@@ -831,7 +1019,8 @@ fn run_inner(
                             }
                             s
                         });
-                        let dist = DistLdlt::factor(master, bounds, strip);
+                        let dist = DistLdlt::try_factor(master, bounds, strip)
+                            .map_err(|e| classify_comm_at(comm, e, "e-factorization-dist"))?;
                         nnz_e_factor = dist.nnz_l();
                         e_dist = Some(dist);
                     }
@@ -893,7 +1082,8 @@ fn run_inner(
             ctx: RankCtx { comm, sub },
             factor: &factor,
         };
-        gmres(&op, &ras, &ip, &rhs_local, &x0, &opts.gmres)
+        try_gmres(&op, &ras, &ip, &rhs_local, &x0, &opts.gmres, ckpt)
+            .map_err(|si| interrupt_to_spmd(comm, si))?
     } else {
         let adef1 = DistADef1 {
             op: DistOp {
@@ -920,7 +1110,10 @@ fn run_inner(
             },
         };
         match opts.solver {
-            SolverKind::Classical => gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres),
+            SolverKind::Classical => {
+                try_gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres, ckpt)
+                    .map_err(|si| interrupt_to_spmd(comm, si))?
+            }
             SolverKind::Pipelined => {
                 pipelined_gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres)
             }

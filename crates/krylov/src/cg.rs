@@ -2,8 +2,9 @@
 //! the SPD systems the two-level preconditioner targets; used in the
 //! ablation benches to cross-check GMRES results on symmetric problems.
 
+use crate::checkpoint::{CheckpointCfg, SolveCheckpoint};
 use crate::gmres::{SolveResult, SolveStatus, STALL_LIMIT};
-use crate::operator::{InnerProduct, Operator, Preconditioner};
+use crate::operator::{InnerProduct, Operator, Preconditioner, SolveInterrupt};
 use dd_linalg::vector;
 
 /// Options for [`cg`].
@@ -27,14 +28,50 @@ impl Default for CgOpts {
 
 /// Solve the SPD system `A x = b` with preconditioned CG. The
 /// preconditioner must be symmetric positive definite as an operator.
+///
+/// Thin wrapper over [`try_cg`] with no checkpointing; panics if an
+/// interrupt surfaces (impossible with the default infallible `try_*`
+/// trait methods) — fault-tolerant callers must use [`try_cg`].
 pub fn cg<O, M, P>(op: &O, precond: &M, ip: &P, b: &[f64], x0: &[f64], opts: &CgOpts) -> SolveResult
 where
     O: Operator + ?Sized,
     M: Preconditioner + ?Sized,
     P: InnerProduct + ?Sized,
 {
+    match try_cg(op, precond, ip, b, x0, opts, None) {
+        Ok(res) => res,
+        Err(int) => panic!("cg interrupted without a fault-tolerant caller: {int}"),
+    }
+}
+
+/// Fallible, checkpointable preconditioned CG: identical numerics to
+/// [`cg`], but operator/preconditioner/inner-product failures surface as
+/// [`SolveInterrupt`], and an optional [`CheckpointCfg`] snapshots `x`
+/// every `interval` iterations (and resumes an interrupted solve against
+/// its original `√(r₀ᵀz₀)` anchor).
+pub fn try_cg<O, M, P>(
+    op: &O,
+    precond: &M,
+    ip: &P,
+    b: &[f64],
+    x0: &[f64],
+    opts: &CgOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
+) -> Result<SolveResult, SolveInterrupt>
+where
+    O: Operator + ?Sized,
+    M: Preconditioner + ?Sized,
+    P: InnerProduct + ?Sized,
+{
     let n = op.dim();
-    let mut x = x0.to_vec();
+    let resume = ckpt.and_then(|c| c.resume.as_ref());
+    let mut x = match resume {
+        Some(cp) => {
+            assert_eq!(cp.x.len(), n);
+            cp.x.clone()
+        }
+        None => x0.to_vec(),
+    };
     let mut r = vec![0.0; n];
     let mut ax = vec![0.0; n];
     let mut z = vec![0.0; n];
@@ -42,39 +79,47 @@ where
     let mut ap = vec![0.0; n];
     let mut history = Vec::new();
     if opts.record_history {
-        history.push(1.0);
+        match resume {
+            Some(cp) => history.extend_from_slice(&cp.history),
+            None => history.push(1.0),
+        }
     }
 
     // All breakdown decisions below are made on globally-reduced scalars
     // (`rz`, `pap`, norms), never on local vector contents, so every rank
     // of a distributed solve takes the same control path.
-    let mut rz0 = 0.0;
-    let mut target = 0.0;
+    //
+    // A resumed solve keeps the original anchor `√(r₀ᵀz₀)` so the combined
+    // run converges to the same tolerance as a fault-free one. A snapshot
+    // is only ever taken at iteration ≥ 1, so resuming never re-enters the
+    // `iterations == 0` anchor computation below.
+    let mut rz0 = resume.map_or(0.0, |cp| cp.r0_norm);
+    let mut target = opts.tol * rz0;
     let mut converged = false;
     let mut broke_down = false;
     let mut breakdown_restarts = 0usize;
-    let mut iterations = 0usize;
-    let mut final_residual = 1.0;
+    let mut iterations = resume.map_or(0, |cp| cp.iteration);
+    let mut final_residual = resume.map_or(1.0, |cp| cp.residual);
     let mut best_res = f64::INFINITY;
     let mut stall = 0usize;
 
     'outer: loop {
         // (Re)build the CG state from the current iterate.
-        op.apply(&x, &mut ax);
+        op.try_apply(&x, &mut ax)?;
         for i in 0..n {
             r[i] = b[i] - ax[i];
         }
-        precond.apply(&r, &mut z);
+        precond.try_apply(&r, &mut z)?;
         p.copy_from_slice(&z);
-        let mut rz = ip.dot(&r, &z);
+        let mut rz = ip.try_dot(&r, &z)?;
         if iterations == 0 && breakdown_restarts == 0 {
             rz0 = rz.max(0.0).sqrt();
             if rz0 == 0.0 || !rz0.is_finite() {
                 // `√(rᵀz) = 0` is convergence only when the residual itself
                 // is zero; a (semi-)definite or broken preconditioner can
                 // annihilate a nonzero residual.
-                let truly_zero = rz0 == 0.0 && ip.norm(&r) == 0.0;
-                return SolveResult {
+                let truly_zero = rz0 == 0.0 && ip.try_norm(&r)? == 0.0;
+                return Ok(SolveResult {
                     x,
                     iterations: 0,
                     converged: truly_zero,
@@ -86,19 +131,20 @@ where
                         SolveStatus::Breakdown
                     },
                     breakdown_restarts: 0,
-                };
+                });
             }
             target = opts.tol * rz0;
         } else if !rz.is_finite() || rz <= 0.0 {
-            // The restart did not produce a usable descent state.
+            // The restart (or resume) did not produce a usable descent
+            // state.
             broke_down = true;
             break 'outer;
         }
         while iterations < opts.max_iters {
             ip.on_iteration(iterations);
             iterations += 1;
-            op.apply(&p, &mut ap);
-            let pap = ip.dot(&p, &ap);
+            op.try_apply(&p, &mut ap)?;
+            let pap = ip.try_dot(&p, &ap)?;
             if !pap.is_finite() || pap <= 0.0 {
                 // Operator not SPD along p, or poisoned by non-finite
                 // values: breakdown (handled after the loop).
@@ -107,15 +153,15 @@ where
             let alpha = rz / pap;
             vector::axpy(alpha, &p, &mut x);
             vector::axpy(-alpha, &ap, &mut r);
-            precond.apply(&r, &mut z);
-            let rz_new = ip.dot(&r, &z);
+            precond.try_apply(&r, &mut z)?;
+            let rz_new = ip.try_dot(&r, &z)?;
             if !rz_new.is_finite() {
                 break;
             }
             if rz_new <= 0.0 {
                 // z lost positivity; only a genuinely zero residual counts
                 // as convergence here.
-                if ip.norm(&r) == 0.0 {
+                if ip.try_norm(&r)? == 0.0 {
                     final_residual = 0.0;
                     if opts.record_history {
                         history.push(0.0);
@@ -132,6 +178,17 @@ where
             if res <= target {
                 converged = true;
                 break;
+            }
+            if let Some(cfg) = ckpt {
+                if cfg.due(iterations) {
+                    cfg.sink.save(SolveCheckpoint {
+                        iteration: iterations,
+                        x: x.clone(),
+                        residual: final_residual,
+                        r0_norm: rz0,
+                        history: history.clone(),
+                    });
+                }
             }
             // Stagnation: no improvement for STALL_LIMIT iterations.
             if res < best_res * (1.0 - 1e-12) {
@@ -170,7 +227,7 @@ where
     } else {
         SolveStatus::MaxIterations
     };
-    SolveResult {
+    Ok(SolveResult {
         x,
         iterations,
         converged,
@@ -178,7 +235,7 @@ where
         final_residual,
         status,
         breakdown_restarts,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -337,6 +394,63 @@ mod tests {
         assert!(!res.converged);
         assert_eq!(res.status, SolveStatus::Breakdown);
         assert!(res.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn interrupted_cg_resumes_from_checkpoint() {
+        use crate::gmres::tests::{FailAfter, VecSink};
+        use std::cell::Cell;
+
+        let a = spd(60);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let opts = CgOpts {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let clean = cg(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &opts);
+        assert!(clean.converged);
+
+        let failing = FailAfter {
+            inner: &a,
+            budget: Cell::new(10),
+        };
+        let sink = VecSink::new();
+        let cfg = CheckpointCfg::new(2, &sink);
+        let err = try_cg(
+            &failing,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg),
+        )
+        .unwrap_err();
+        assert!(err.reason().contains("budget"));
+        let cp = sink.0.borrow().last().unwrap().clone();
+        let resume_iter = cp.iteration;
+        assert!(resume_iter > 0);
+        assert_eq!(cp.history.len(), cp.iteration + 1);
+
+        let sink2 = VecSink::new();
+        let cfg2 = CheckpointCfg::resuming(1000, &sink2, cp);
+        let res = try_cg(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg2),
+        )
+        .unwrap();
+        assert!(res.converged);
+        assert!(res.iterations > resume_iter);
+        assert_eq!(res.history.len(), res.iterations + 1);
+        let mut ax = vec![0.0; n];
+        a.spmv(&res.x, &mut ax);
+        assert!(vector::dist2(&ax, &b) / vector::norm2(&b) < 1e-8);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Solver checkpointing for shrink-and-continue fault tolerance.
+//!
+//! A Krylov solve that dies mid-iteration (rank death under the SPMD
+//! runtime) loses its Krylov basis, but the *iterate* `x` is cheap to
+//! snapshot and is all that is needed to resume: restarting GMRES/CG from
+//! the checkpointed `x` on the repaired (shrunk) world is mathematically a
+//! restart cycle, and convergence is still measured against the original
+//! `‖r₀‖` anchor so "same tolerance as the fault-free run" is preserved.
+//!
+//! Checkpoint writes are purely local — no communication, no trace events —
+//! so arming a sink does not perturb canonical traces of fault-free runs.
+
+/// A resumable snapshot of an in-flight Krylov solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveCheckpoint {
+    /// Cumulative iteration count at the time of the snapshot.
+    pub iteration: usize,
+    /// The iterate `x` at that iteration (GMRES: materialized from the
+    /// in-progress cycle's least-squares solution, not the cycle start).
+    pub x: Vec<f64>,
+    /// Relative residual at the snapshot (same scaling as `history`).
+    pub residual: f64,
+    /// The original solve's residual anchor (`‖r₀‖` for GMRES, `√(r₀ᵀz₀)`
+    /// for PCG). A resumed solve converges against `tol · r0_norm`, not a
+    /// fresh anchor computed from the checkpointed iterate.
+    pub r0_norm: f64,
+    /// Relative residual history up to and including the snapshot
+    /// (empty when the solve ran with `record_history: false`).
+    pub history: Vec<f64>,
+}
+
+/// Where checkpoints go. Implementations must be cheap and local:
+/// the solver calls [`CheckpointSink::save`] from inside the iteration
+/// loop on every rank.
+pub trait CheckpointSink {
+    fn save(&self, checkpoint: SolveCheckpoint);
+}
+
+/// Checkpoint configuration handed to the fallible solver entry points
+/// (`try_gmres` / `try_cg`).
+pub struct CheckpointCfg<'a> {
+    /// Snapshot every `interval` iterations (values < 1 behave as 1).
+    pub interval: usize,
+    /// Receives the snapshots.
+    pub sink: &'a dyn CheckpointSink,
+    /// Resume state from a previous (interrupted) solve. When set, the
+    /// solver starts from `resume.x` (ignoring its `x0` argument), counts
+    /// iterations from `resume.iteration`, converges against
+    /// `resume.r0_norm`, and extends `resume.history`.
+    pub resume: Option<SolveCheckpoint>,
+}
+
+impl<'a> CheckpointCfg<'a> {
+    pub fn new(interval: usize, sink: &'a dyn CheckpointSink) -> Self {
+        CheckpointCfg {
+            interval: interval.max(1),
+            sink,
+            resume: None,
+        }
+    }
+
+    pub fn resuming(interval: usize, sink: &'a dyn CheckpointSink, from: SolveCheckpoint) -> Self {
+        CheckpointCfg {
+            interval: interval.max(1),
+            sink,
+            resume: Some(from),
+        }
+    }
+
+    pub(crate) fn due(&self, iteration: usize) -> bool {
+        iteration > 0 && iteration % self.interval.max(1) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Test sink capturing every snapshot.
+    pub(crate) struct VecSink(pub RefCell<Vec<SolveCheckpoint>>);
+
+    impl CheckpointSink for VecSink {
+        fn save(&self, checkpoint: SolveCheckpoint) {
+            self.0.borrow_mut().push(checkpoint);
+        }
+    }
+
+    #[test]
+    fn due_respects_interval_and_skips_zero() {
+        let sink = VecSink(RefCell::new(Vec::new()));
+        let cfg = CheckpointCfg::new(3, &sink);
+        assert!(!cfg.due(0));
+        assert!(!cfg.due(1));
+        assert!(cfg.due(3));
+        assert!(!cfg.due(4));
+        assert!(cfg.due(6));
+    }
+
+    #[test]
+    fn interval_is_clamped_to_one() {
+        let sink = VecSink(RefCell::new(Vec::new()));
+        let cfg = CheckpointCfg::new(0, &sink);
+        assert_eq!(cfg.interval, 1);
+        assert!(cfg.due(1));
+    }
+}

@@ -11,7 +11,8 @@
 //!   synchronizations per iteration, which is the baseline the fused
 //!   pipelined variant of §3.5 eliminates.
 
-use crate::operator::{InnerProduct, Operator, Preconditioner};
+use crate::checkpoint::{CheckpointCfg, SolveCheckpoint};
+use crate::operator::{InnerProduct, Operator, Preconditioner, SolveInterrupt};
 use dd_linalg::givens::Givens;
 use dd_linalg::{vector, DMat};
 
@@ -125,6 +126,10 @@ pub struct SolveResult {
 }
 
 /// Solve `A x = b` with restarted, preconditioned GMRES.
+///
+/// Thin wrapper over [`try_gmres`] with no checkpointing; with the default
+/// (infallible) `try_*` trait methods an interrupt is impossible, so this
+/// panics if one surfaces — fault-tolerant callers must use [`try_gmres`].
 pub fn gmres<O, M, P>(
     op: &O,
     precond: &M,
@@ -138,59 +143,100 @@ where
     M: Preconditioner + ?Sized,
     P: InnerProduct + ?Sized,
 {
+    match try_gmres(op, precond, ip, b, x0, opts, None) {
+        Ok(res) => res,
+        Err(int) => panic!("gmres interrupted without a fault-tolerant caller: {int}"),
+    }
+}
+
+/// Fallible, checkpointable GMRES: identical numerics to [`gmres`], but
+/// operator/preconditioner/inner-product failures surface as
+/// [`SolveInterrupt`] instead of panicking, and an optional
+/// [`CheckpointCfg`] snapshots the iterate every `interval` iterations
+/// (and resumes a previously interrupted solve against its original
+/// residual anchor).
+pub fn try_gmres<O, M, P>(
+    op: &O,
+    precond: &M,
+    ip: &P,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
+) -> Result<SolveResult, SolveInterrupt>
+where
+    O: Operator + ?Sized,
+    M: Preconditioner + ?Sized,
+    P: InnerProduct + ?Sized,
+{
     let n = op.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     let m = opts.restart.max(1);
-    let mut x = x0.to_vec();
+    let resume = ckpt.and_then(|c| c.resume.as_ref());
+    let mut x = match resume {
+        Some(cp) => {
+            assert_eq!(cp.x.len(), n);
+            cp.x.clone()
+        }
+        None => x0.to_vec(),
+    };
     let mut history = Vec::new();
-    let mut total_iters = 0usize;
+    let mut total_iters = resume.map_or(0, |cp| cp.iteration);
 
     let right = matches!(opts.side, Side::Right);
     // Initial residual: true (right) or preconditioned (left).
     let mut ax = vec![0.0; n];
     let mut raw = vec![0.0; n];
     let mut r = vec![0.0; n];
-    op.apply(&x, &mut ax);
+    op.try_apply(&x, &mut ax)?;
     for i in 0..n {
         raw[i] = b[i] - ax[i];
     }
     if right {
         r.copy_from_slice(&raw);
     } else {
-        precond.apply(&raw, &mut r);
+        precond.try_apply(&raw, &mut r)?;
     }
-    let r0_norm = ip.norm(&r);
+    // A resumed solve converges against the *original* solve's anchor so
+    // the combined run meets the same tolerance as a fault-free one.
+    let r0_norm = match resume {
+        Some(cp) => cp.r0_norm,
+        None => ip.try_norm(&r)?,
+    };
     if opts.record_history {
-        history.push(1.0);
+        match resume {
+            Some(cp) => history.extend_from_slice(&cp.history),
+            None => history.push(1.0),
+        }
     }
     if r0_norm == 0.0 {
-        return SolveResult {
+        return Ok(SolveResult {
             x,
-            iterations: 0,
+            iterations: total_iters,
             converged: true,
             history,
             final_residual: 0.0,
             status: SolveStatus::Converged,
             breakdown_restarts: 0,
-        };
+        });
     }
     if !r0_norm.is_finite() {
         // The input itself is broken; no restart can fix it.
-        return SolveResult {
+        return Ok(SolveResult {
             x,
-            iterations: 0,
+            iterations: total_iters,
             converged: false,
             history,
             final_residual: f64::INFINITY,
             status: SolveStatus::Breakdown,
             breakdown_restarts: 0,
-        };
+        });
     }
     let target = opts.tol * r0_norm;
 
     let mut converged = false;
-    let mut final_res = 1.0;
+    let mut final_res = resume.map_or(1.0, |cp| cp.residual);
     let mut breakdown_restarts = 0usize;
     let mut broke_down = false;
     // Stagnation tracking across cycles: consecutive iterations without
@@ -199,16 +245,16 @@ where
     let mut stall = 0usize;
     'outer: loop {
         // Residual at the start of this cycle.
-        op.apply(&x, &mut ax);
+        op.try_apply(&x, &mut ax)?;
         for i in 0..n {
             raw[i] = b[i] - ax[i];
         }
         if right {
             r.copy_from_slice(&raw);
         } else {
-            precond.apply(&raw, &mut r);
+            precond.try_apply(&raw, &mut r)?;
         }
-        let beta = ip.norm(&r);
+        let beta = ip.try_norm(&r)?;
         if beta <= target {
             converged = true;
             final_res = beta / r0_norm;
@@ -244,19 +290,19 @@ where
             if right {
                 // w = A M⁻¹ v_k
                 let mut zk = vec![0.0; n];
-                precond.apply(&v[k], &mut zk);
-                op.apply(&zk, &mut w);
+                precond.try_apply(&v[k], &mut zk)?;
+                op.try_apply(&zk, &mut w)?;
                 zbasis.push(zk);
             } else {
                 // w = M⁻¹ A v_k
-                op.apply(&v[k], &mut ax);
-                precond.apply(&ax, &mut w);
+                op.try_apply(&v[k], &mut ax)?;
+                precond.try_apply(&ax, &mut w)?;
             }
             // Orthogonalize.
             match opts.ortho {
                 Ortho::Mgs => {
                     for (j, vj) in v.iter().enumerate() {
-                        let hjk = ip.dot(&w, vj);
+                        let hjk = ip.try_dot(&w, vj)?;
                         vector::axpy(-hjk, vj, &mut w);
                         h[(j, k)] = hjk;
                     }
@@ -273,7 +319,7 @@ where
                     }
                     for _ in 0..passes {
                         let locals: Vec<f64> = v.iter().map(|vj| ip.local_dot(&w, vj)).collect();
-                        let dots = ip.reduce(locals);
+                        let dots = ip.try_reduce(locals)?;
                         for (j, (vj, hjk)) in v.iter().zip(&dots).enumerate() {
                             vector::axpy(-hjk, vj, &mut w);
                             h[(j, k)] += *hjk;
@@ -281,7 +327,7 @@ where
                     }
                 }
             }
-            let hk1 = ip.norm(&w);
+            let hk1 = ip.try_norm(&w)?;
             if !hk1.is_finite() {
                 // Non-finite Arnoldi column (NaN from the operator or
                 // preconditioner, or lost orthogonality blowing up the
@@ -337,6 +383,36 @@ where
             if res <= target {
                 converged = true;
                 break;
+            }
+            if let Some(cfg) = ckpt {
+                if cfg.due(total_iters) {
+                    // Materialize the current iterate by solving the
+                    // in-progress least-squares system over the k_done
+                    // columns built so far (same back-substitution as the
+                    // cycle-end update, on copies — h and g stay live).
+                    let mut y = vec![0.0; k_done];
+                    for i in (0..k_done).rev() {
+                        let mut s = g[i];
+                        for j in i + 1..k_done {
+                            s -= h[(i, j)] * y[j];
+                        }
+                        y[i] = s / h[(i, i)];
+                    }
+                    if y.iter().all(|v| v.is_finite()) {
+                        let mut snap = x.clone();
+                        for (j, yj) in y.iter().enumerate() {
+                            let dir = if right { &zbasis[j] } else { &v[j] };
+                            vector::axpy(*yj, dir, &mut snap);
+                        }
+                        cfg.sink.save(SolveCheckpoint {
+                            iteration: total_iters,
+                            x: snap,
+                            residual: final_res,
+                            r0_norm,
+                            history: history.clone(),
+                        });
+                    }
+                }
             }
             // Stagnation: no residual improvement at all for STALL_LIMIT
             // consecutive iterations (GMRES residuals are non-increasing,
@@ -407,7 +483,7 @@ where
     } else {
         SolveStatus::MaxIterations
     };
-    SolveResult {
+    Ok(SolveResult {
         x,
         iterations: total_iters,
         converged,
@@ -415,14 +491,56 @@ where
         final_residual: final_res,
         status,
         breakdown_restarts,
-    }
+    })
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use crate::checkpoint::CheckpointSink;
     use crate::operator::{FnPrecond, IdentityPrecond, SeqDot};
     use dd_linalg::{CooBuilder, CsrMatrix};
+    use std::cell::{Cell, RefCell};
+
+    pub(crate) struct VecSink(pub RefCell<Vec<SolveCheckpoint>>);
+
+    impl VecSink {
+        pub(crate) fn new() -> Self {
+            VecSink(RefCell::new(Vec::new()))
+        }
+    }
+
+    impl CheckpointSink for VecSink {
+        fn save(&self, checkpoint: SolveCheckpoint) {
+            self.0.borrow_mut().push(checkpoint);
+        }
+    }
+
+    /// Operator whose fallible path dies after a budget of applications —
+    /// a stand-in for a halo exchange hitting a dead rank.
+    pub(crate) struct FailAfter<'a> {
+        pub inner: &'a CsrMatrix,
+        pub budget: Cell<usize>,
+    }
+
+    impl Operator for FailAfter<'_> {
+        fn dim(&self) -> usize {
+            self.inner.rows()
+        }
+
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.spmv(x, y);
+        }
+
+        fn try_apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveInterrupt> {
+            if self.budget.get() == 0 {
+                return Err(SolveInterrupt::new("operator budget exhausted"));
+            }
+            self.budget.set(self.budget.get() - 1);
+            self.inner.spmv(x, y);
+            Ok(())
+        }
+    }
 
     fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
         let n = nx * ny;
@@ -744,6 +862,112 @@ mod tests {
         );
         assert_eq!(res.status, SolveStatus::Breakdown);
         assert_eq!(res.breakdown_restarts, 1);
+    }
+
+    #[test]
+    fn checkpoints_fire_on_interval_with_consistent_state() {
+        let a = laplacian_2d(10, 10);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let sink = VecSink::new();
+        let cfg = CheckpointCfg::new(5, &sink);
+        let opts = GmresOpts {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let res = try_gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg),
+        )
+        .unwrap();
+        assert!(res.converged);
+        let saved = sink.0.borrow();
+        assert!(saved.len() >= 2, "expected several snapshots");
+        for cp in saved.iter() {
+            assert_eq!(cp.iteration % 5, 0);
+            assert_eq!(cp.history.len(), cp.iteration + 1);
+            assert_eq!(cp.history[cp.iteration], cp.residual);
+            assert!(cp.x.iter().all(|v| v.is_finite()));
+            assert!(cp.r0_norm > 0.0);
+        }
+        // Snapshot iterates must actually be the mid-solve iterates: the
+        // materialized x at a checkpoint has the residual the history
+        // recorded for that iteration (right preconditioning tracks the
+        // true residual).
+        let cp = saved.last().unwrap();
+        let mut ax = vec![0.0; n];
+        a.spmv(&cp.x, &mut ax);
+        let actual = vector::dist2(&ax, &b) / vector::norm2(&b);
+        assert!(
+            (actual - cp.residual).abs() < 1e-8,
+            "snapshot residual {} vs actual {actual}",
+            cp.residual
+        );
+    }
+
+    #[test]
+    fn interrupted_solve_resumes_from_checkpoint_to_same_tolerance() {
+        let a = laplacian_2d(12, 12);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let opts = GmresOpts {
+            tol: 1e-8,
+            max_iters: 2000,
+            ..Default::default()
+        };
+        let clean = gmres(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &opts);
+        assert!(clean.converged);
+
+        // Kill the operator mid-solve; the last checkpoint survives.
+        let failing = FailAfter {
+            inner: &a,
+            budget: Cell::new(12),
+        };
+        let sink = VecSink::new();
+        let cfg = CheckpointCfg::new(3, &sink);
+        let err = try_gmres(
+            &failing,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg),
+        )
+        .unwrap_err();
+        assert!(err.reason().contains("budget"));
+        let cp = sink.0.borrow().last().unwrap().clone();
+        let resume_iter = cp.iteration;
+        assert!(resume_iter > 0);
+
+        // Resume on the healthy operator from the snapshot.
+        let sink2 = VecSink::new();
+        let cfg2 = CheckpointCfg::resuming(1000, &sink2, cp);
+        let res = try_gmres(
+            &a,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg2),
+        )
+        .unwrap();
+        assert!(res.converged, "resumed solve must converge");
+        assert!(
+            res.iterations > resume_iter,
+            "iteration count is cumulative"
+        );
+        assert_eq!(res.history.len(), res.iterations + 1);
+        // Same tolerance as the fault-free solve: the resumed run is
+        // anchored to the original ‖r₀‖, so its true residual matches.
+        assert!(residual(&a, &res.x, &b) <= residual(&a, &clean.x, &b) * 10.0 + 1e-12);
+        assert!(residual(&a, &res.x, &b) < 1e-6);
     }
 
     #[test]

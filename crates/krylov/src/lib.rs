@@ -12,13 +12,16 @@
 //! provided by `dd-core`).
 
 pub mod cg;
+pub mod checkpoint;
 pub mod gmres;
 pub mod operator;
 pub mod pipelined;
 
-pub use cg::{cg, CgOpts};
-pub use gmres::{gmres, GmresOpts, Ortho, Side, SolveResult, SolveStatus};
+pub use cg::{cg, try_cg, CgOpts};
+pub use checkpoint::{CheckpointCfg, CheckpointSink, SolveCheckpoint};
+pub use gmres::{gmres, try_gmres, GmresOpts, Ortho, Side, SolveResult, SolveStatus};
 pub use operator::{
     FnOperator, FnPrecond, IdentityPrecond, InnerProduct, Operator, Preconditioner, SeqDot,
+    SolveInterrupt,
 };
 pub use pipelined::{fused_pipelined_gmres, pipelined_gmres, FusedPreconditioner};

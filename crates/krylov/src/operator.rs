@@ -9,6 +9,68 @@
 //!   exposed in blocking and non-blocking (pipelining) forms.
 
 use dd_linalg::{vector, CsrMatrix};
+use std::fmt;
+
+/// A solve stopped mid-iteration by a failure of the operator,
+/// preconditioner, or inner product — in a distributed run, typically a
+/// dead or revoked communicator underneath one of them.
+///
+/// This is *not* a numerical verdict: [`crate::SolveStatus`] classifies how
+/// a solve ended mathematically, while an interrupt means the solve could
+/// not continue at all and (with checkpointing armed) may be resumed on a
+/// repaired system. The krylov crate stays runtime-agnostic, so the
+/// underlying error travels as an opaque boxed source the caller can
+/// downcast.
+#[derive(Debug)]
+pub struct SolveInterrupt {
+    reason: String,
+    source: Option<Box<dyn std::error::Error + Send + Sync + 'static>>,
+}
+
+impl SolveInterrupt {
+    pub fn new(reason: impl Into<String>) -> Self {
+        SolveInterrupt {
+            reason: reason.into(),
+            source: None,
+        }
+    }
+
+    /// An interrupt carrying the failing layer's own error for the caller
+    /// to downcast (e.g. a communication error from the SPMD runtime).
+    pub fn with_source(
+        reason: impl Into<String>,
+        source: Box<dyn std::error::Error + Send + Sync + 'static>,
+    ) -> Self {
+        SolveInterrupt {
+            reason: reason.into(),
+            source: Some(source),
+        }
+    }
+
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// The boxed source error, if any (borrowed; see also
+    /// [`std::error::Error::source`]).
+    pub fn take_source(self) -> Option<Box<dyn std::error::Error + Send + Sync + 'static>> {
+        self.source
+    }
+}
+
+impl fmt::Display for SolveInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solve interrupted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SolveInterrupt {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// The linear operator of the system being solved.
 pub trait Operator {
@@ -16,12 +78,25 @@ pub trait Operator {
     fn dim(&self) -> usize;
     /// `y ← A x`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// Fallible `y ← A x` for distributed operators whose halo exchange
+    /// can fail; the default delegates to the infallible
+    /// [`Operator::apply`] and never errs.
+    fn try_apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveInterrupt> {
+        self.apply(x, y);
+        Ok(())
+    }
 }
 
 /// A preconditioner `M⁻¹`.
 pub trait Preconditioner {
     /// `z ← M⁻¹ r`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+    /// Fallible `z ← M⁻¹ r`; the default delegates to the infallible
+    /// [`Preconditioner::apply`] and never errs.
+    fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
+        self.apply(r, z);
+        Ok(())
+    }
 }
 
 /// The identity preconditioner (unpreconditioned Krylov method).
@@ -69,6 +144,27 @@ pub trait InnerProduct {
             return f64::NAN;
         }
         d.max(0.0).sqrt()
+    }
+
+    /// Fallible [`InnerProduct::reduce`] for distributed inner products
+    /// whose allreduce can fail; the default delegates to the infallible
+    /// reduction and never errs.
+    fn try_reduce(&self, locals: Vec<f64>) -> Result<Vec<f64>, SolveInterrupt> {
+        Ok(self.reduce(locals))
+    }
+
+    /// Fallible [`InnerProduct::dot`].
+    fn try_dot(&self, x: &[f64], y: &[f64]) -> Result<f64, SolveInterrupt> {
+        Ok(self.try_reduce(vec![self.local_dot(x, y)])?[0])
+    }
+
+    /// Fallible [`InnerProduct::norm`] (same NaN propagation).
+    fn try_norm(&self, x: &[f64]) -> Result<f64, SolveInterrupt> {
+        let d = self.try_dot(x, x)?;
+        if d.is_nan() {
+            return Ok(f64::NAN);
+        }
+        Ok(d.max(0.0).sqrt())
     }
 }
 

@@ -22,6 +22,12 @@
 //!   (`Mutex`, `Condvar`, `RwLock`) in the runtime crates outside
 //!   `crates/comm/src/sync.rs`: blocking must route through `SyncBackend`
 //!   or it is invisible to dd-check's scheduler.
+//! * **recovery-retry** — inside a `recovery-*` telemetry phase every
+//!   wait must be fallible and bounded: the infallible blocking
+//!   primitives (`.recv(`, `.barrier()`, plain collectives) and
+//!   `RetryPolicy::unbounded` are banned there. Recovery runs on a world
+//!   that has already lost a rank; an unbounded wait can hang the
+//!   survivors on a second death instead of surfacing a typed error.
 //!
 //! Audited exceptions live in `dd-lint.allow` at the workspace root, one
 //! per line: `rule path-substring code-substring # justification`. The
@@ -406,17 +412,80 @@ pub fn rule_wire_size(files: &[SourceFile]) -> Vec<Finding> {
 /// Crates whose blocking must route through `SyncBackend`.
 const SYNC_SCOPED: [&str; 2] = ["crates/comm/src/", "crates/core/src/"];
 
-/// Rule: no raw `std::sync` blocking-primitive construction in the runtime
-/// crates outside the backend seam itself.
+/// Rule: no raw `std::sync` blocking primitives in the runtime crates
+/// outside the backend seam itself — neither constructed (`Mutex::new(`)
+/// nor named in type position (`Mutex<`, which also catches primitives
+/// smuggled in through `#[derive(Default)]` with no construction
+/// expression at all).
 pub fn rule_std_sync(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in files {
         if !SYNC_SCOPED.iter().any(|p| f.path.contains(p)) || f.path.ends_with("comm/src/sync.rs") {
             continue;
         }
-        for needle in ["Mutex::new(", "Condvar::new(", "RwLock::new("] {
+        for needle in [
+            "Mutex::new(",
+            "Condvar::new(",
+            "RwLock::new(",
+            "Mutex<",
+            "RwLock<",
+        ] {
             for line in occurrences(f, needle) {
                 out.push(finding("std-sync", f, line));
+            }
+        }
+    }
+    out
+}
+
+/// Infallible blocking waits banned inside `recovery-*` phases (their
+/// `try_` counterparts honor the ambient [`dd_comm::RetryPolicy`]).
+const BLOCKING_WAITS: [&str; 11] = [
+    ".recv(",
+    ".recv::<",
+    ".barrier()",
+    ".allreduce_sum(",
+    ".allreduce_sum_vec(",
+    ".allreduce_max(",
+    ".allgather(",
+    ".gather(",
+    ".gatherv(",
+    ".scatter(",
+    ".wait_reduce(",
+];
+
+/// Rule: no infallible blocking waits and no `RetryPolicy::unbounded`
+/// lexically inside a `recovery-*` telemetry phase. A region runs from a
+/// `trace_phase("recovery-…")` call to the next `trace_phase(` call (the
+/// restore or the next phase) — string contents are blanked in the
+/// stripped code, so the marker is located on the raw line, gated by the
+/// stripped line still containing the call (prose never trips it). This
+/// is a lexical approximation of the dynamic phase scope: helpers called
+/// from a recovery phase are out of reach, but every wait *written* in
+/// one is covered.
+pub fn rule_recovery_retry(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let mut in_recovery = Vec::with_capacity(f.code.lines().count());
+        let mut inside = false;
+        for (code_l, raw_l) in f.code.lines().zip(f.raw.lines()) {
+            if code_l.contains("trace_phase(") {
+                inside = raw_l.contains("trace_phase(\"recovery-");
+            }
+            in_recovery.push(inside);
+        }
+        if !in_recovery.iter().any(|&b| b) {
+            continue;
+        }
+        let tests_at = test_region_start(f);
+        for needle in BLOCKING_WAITS
+            .iter()
+            .chain(std::iter::once(&"RetryPolicy::unbounded"))
+        {
+            for line in occurrences(f, needle) {
+                if line < tests_at && in_recovery.get(line - 1).copied().unwrap_or(false) {
+                    out.push(finding("recovery-retry", f, line));
+                }
             }
         }
     }
@@ -431,6 +500,7 @@ pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     out.extend(rule_phase_balance(files));
     out.extend(rule_wire_size(files));
     out.extend(rule_std_sync(files));
+    out.extend(rule_recovery_retry(files));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
@@ -698,6 +768,66 @@ mod tests {
         let got = rule_std_sync(&files);
         assert_eq!(got.len(), 1, "{got:?}");
         assert_eq!(got[0].path, "crates/comm/src/comm.rs");
+    }
+
+    #[test]
+    fn derived_default_mutex_field_is_caught_in_type_position() {
+        let files = [
+            file(
+                "crates/core/src/recovery.rs",
+                "#[derive(Default)]\nstruct Store { slots: Mutex<Vec<u8>> }\n",
+            ),
+            file(
+                "crates/core/src/recovery.rs",
+                "struct Ok2 { slots: SyncMutex<Vec<u8>> }\n",
+            ),
+        ];
+        let got = rule_std_sync(&files);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn unbounded_wait_in_recovery_phase_is_caught() {
+        let bad = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-adopt\");\n\
+             let v = comm.recv::<u64>(0, 1);\n\
+             let p = RetryPolicy::unbounded();\n\
+             comm.trace_phase(\"solve\");\n\
+             comm.barrier();\n",
+        );
+        let got = rule_recovery_retry(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|f| f.rule == "recovery-retry"));
+        assert_eq!((got[0].line, got[1].line), (2, 3));
+    }
+
+    #[test]
+    fn bounded_waits_and_other_phases_pass_recovery_rule() {
+        let ok = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-assembly\");\n\
+             let v = comm.try_recv_timeout::<u64>(0, 1, &comm.retry_policy())?;\n\
+             let w = split.try_gatherv(0, rows)?;\n\
+             comm.trace_phase(&prev);\n\
+             comm.recv::<u64>(0, 1);\n\
+             // comm.trace_phase(\"recovery-x\"); prose never opens a region\n\
+             comm.barrier();\n",
+        );
+        assert!(rule_recovery_retry(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn recovery_rule_exempts_test_regions() {
+        let ok = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-adopt\");\n\
+             let v = comm.try_recv_timeout::<u64>(0, 1, &p)?;\n\
+             #[cfg(test)]\n\
+             mod tests { fn f() { comm.recv::<u64>(0, 1); } }\n",
+        );
+        assert!(rule_recovery_retry(std::slice::from_ref(&ok)).is_empty());
     }
 
     #[test]

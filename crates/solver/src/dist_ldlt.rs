@@ -47,7 +47,7 @@
 //! layer sees the `1/P` scaling the paper claims.
 
 use crate::ldlt::{Ordering, PivotPolicy, SparseLdlt};
-use dd_comm::Communicator;
+use dd_comm::{CommError, Communicator};
 use dd_linalg::{CooBuilder, DMat};
 
 /// Tags for the factorization panels and the two solve sweeps. The master
@@ -97,8 +97,28 @@ impl DistLdlt {
     ///
     /// Never fails numerically: tiny pivots are boosted exactly as in the
     /// redundant path, so rank-deficient coarse operators act as
-    /// pseudo-inverses there and here alike.
-    pub fn factor(comm: &Communicator, bounds: Vec<usize>, mut strip: DMat) -> DistLdlt {
+    /// pseudo-inverses there and here alike. Panics on communication
+    /// faults — fault-tolerant callers use [`DistLdlt::try_factor`].
+    pub fn factor(comm: &Communicator, bounds: Vec<usize>, strip: DMat) -> DistLdlt {
+        Self::try_factor(comm, bounds, strip)
+            .unwrap_or_else(|e| panic!("DistLdlt::factor on rank {}: {e}", comm.rank()))
+    }
+
+    /// Fault-tolerant [`DistLdlt::factor`]: the fan-in receives run under
+    /// the communicator's ambient [`dd_comm::RetryPolicy`], an armed
+    /// `e-factorization-dist` kill fires at the step boundaries (so deaths
+    /// land mid-fan-in), and dead peers or a revoked communicator surface
+    /// as typed [`CommError`]s instead of panics.
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] (own rank killed at a failpoint, or a peer
+    /// died mid-factorization), [`CommError::Revoked`] (recovery started
+    /// elsewhere), [`CommError::Timeout`] (retry budget exhausted).
+    pub fn try_factor(
+        comm: &Communicator,
+        bounds: Vec<usize>,
+        mut strip: DMat,
+    ) -> Result<DistLdlt, CommError> {
         let p = comm.size();
         let me = comm.rank();
         assert_eq!(bounds.len(), p + 1, "one boundary per master plus dim(E)");
@@ -107,9 +127,11 @@ impl DistLdlt {
         let np = r1 - r0;
         assert_eq!(strip.rows(), np, "strip must hold this master's rows");
         assert_eq!(strip.cols(), dim - r0, "strip must span columns r0..dim");
+        let policy = comm.retry_policy();
         let mut diag: Option<SparseLdlt> = None;
         let mut flops = 0u64;
         for k in 0..p {
+            comm.failpoint("e-factorization-dist")?;
             let (c0, c1) = (bounds[k], bounds[k + 1]);
             let nk = c1 - c0;
             let mt = dim - c1;
@@ -151,7 +173,7 @@ impl DistLdlt {
                 }
                 diag = Some(f);
             } else if me > k {
-                let msg: Vec<f64> = comm.recv(k, TAG_PANEL);
+                let msg: Vec<f64> = comm.try_recv_timeout(k, TAG_PANEL, &policy)?;
                 let m = dim - r0;
                 debug_assert_eq!(msg.len(), 2 * nk * m);
                 let (y, w) = msg.split_at(nk * m);
@@ -176,13 +198,13 @@ impl DistLdlt {
                 flops += upd_flops;
             }
         }
-        DistLdlt {
+        Ok(DistLdlt {
             bounds,
             my_block: me,
             strip,
             diag: diag.expect("every master owns exactly one diagonal block"),
             flops,
-        }
+        })
     }
 
     /// Cooperatively solve `E x = w` for this master's slice. Collective
@@ -190,17 +212,30 @@ impl DistLdlt {
     /// and the returned vector is the matching block of the solution —
     /// exactly the ν-sized slices the group gather/scatter already moves.
     pub fn solve(&self, comm: &Communicator, w_local: &[f64]) -> Vec<f64> {
+        self.try_solve(comm, w_local)
+            .unwrap_or_else(|e| panic!("DistLdlt::solve on rank {}: {e}", comm.rank()))
+    }
+
+    /// Fault-tolerant [`DistLdlt::solve`]: sweep receives run under the
+    /// communicator's ambient retry policy and an armed `e-solve-dist`
+    /// kill fires at the sweep boundaries.
+    ///
+    /// # Errors
+    /// Same classification as [`DistLdlt::try_factor`].
+    pub fn try_solve(&self, comm: &Communicator, w_local: &[f64]) -> Result<Vec<f64>, CommError> {
         let p = comm.size();
         let me = self.my_block;
         debug_assert_eq!(me, comm.rank());
         let np = self.rows();
         let r0 = self.row_start();
         assert_eq!(w_local.len(), np);
+        let policy = comm.retry_policy();
+        comm.failpoint("e-solve-dist")?;
         // Forward sweep: v_me = w_me − Σ_{j<me} E'_j,meᵀ t_j, assembled
         // from the earlier masters' ν-sized contributions.
         let mut z = w_local.to_vec();
         for j in 0..me {
-            let contrib: Vec<f64> = comm.recv(j, TAG_FWD);
+            let contrib: Vec<f64> = comm.try_recv_timeout(j, TAG_FWD, &policy)?;
             debug_assert_eq!(contrib.len(), np);
             for (zi, c) in z.iter_mut().zip(&contrib) {
                 *zi -= c;
@@ -230,11 +265,12 @@ impl DistLdlt {
         }
         // Backward sweep: x_me = t_me − A'_me,me⁻¹ Σ_{q>me} E'_me,q x_q,
         // reading the later solution slices against my own strip.
+        comm.failpoint("e-solve-dist")?;
         let mut x_me = t;
         if me + 1 < p {
             let mut acc = vec![0.0; np];
             for q in me + 1..p {
-                let xq: Vec<f64> = comm.recv(q, TAG_BWD);
+                let xq: Vec<f64> = comm.try_recv_timeout(q, TAG_BWD, &policy)?;
                 let base = self.bounds[q] - r0;
                 comm.compute(|| {
                     for (c, &xv) in xq.iter().enumerate() {
@@ -257,7 +293,7 @@ impl DistLdlt {
         for k in 0..me {
             comm.send(k, TAG_BWD, x_me.clone());
         }
-        x_me
+        Ok(x_me)
     }
 
     /// Rows of this master's block (its slice length in the solves).

@@ -1,30 +1,124 @@
-//! Chaos-testing the SPMD solver: seeded fault plans and the degradation
-//! lattice GenEO → Nicolaides → one-level RAS.
+//! Chaos-testing the SPMD solver: seeded fault plans, the degradation
+//! lattice GenEO → Nicolaides → one-level RAS, and shrink-and-continue
+//! recovery from rank death (world shrink, subdomain adoption,
+//! checkpointed Krylov restart).
 //!
-//! Runs the same heterogeneous-diffusion problem under five fault plans
-//! and prints, per rank, which recovery path the run took (from the
+//! Runs the same heterogeneous-diffusion problem under a series of fault
+//! plans and prints, per rank, which recovery path the run took (from the
 //! `RunReport` each `SpmdReport` carries).
 //!
 //! ```sh
 //! cargo run --release --example chaos_recovery
 //! ```
+//!
+//! ## CI artifact mode
+//!
+//! With `DD_KILL_PHASE` set, the example runs a single recovery scenario
+//! and emits a machine-readable JSON artifact instead of the demo tour:
+//!
+//! ```sh
+//! DD_KILL_PHASE=ras DD_SEED=7 DD_OUT=report.json \
+//!     cargo run --release --example chaos_recovery
+//! ```
+//!
+//! * `DD_KILL_PHASE` — failpoint label to kill at (`ras`, `deflation`,
+//!   `e-solve-dist`, `solve-iteration-3`, …);
+//! * `DD_SEED` — fault-plan seed, also arming 20% message delays so
+//!   different seeds exercise different timing (default 1);
+//! * `DD_KILL_RANK` — the victim (default 1);
+//! * `DD_OUT` — artifact path (default: stdout).
+//!
+//! The process exits non-zero if the survivors fail to converge or the
+//! recovered global residual exceeds 1e-5, so the artifact doubles as a
+//! CI gate.
 
-use dd_geneo::comm::{CostModel, FaultPlan, World};
+use dd_geneo::comm::{CostModel, FaultPlan, RetryPolicy, World};
+use dd_geneo::core::geneo::GeneoOpts;
 use dd_geneo::core::problem::presets;
-use dd_geneo::core::{decompose, try_run_spmd, Decomposition, SpmdError, SpmdOpts, SpmdReport};
+use dd_geneo::core::{
+    decompose, try_run_spmd, try_run_spmd_recoverable, CheckpointStore, Decomposition, SpmdError,
+    SpmdOpts, SpmdReport,
+};
+use dd_geneo::krylov::GmresOpts;
 use dd_geneo::mesh::Mesh;
 use dd_geneo::part::partition_mesh_rcb;
 use std::sync::Arc;
 
+type RecResult = Result<(SpmdReport, Vec<(usize, Vec<f64>)>), SpmdError>;
+
+/// Right-preconditioned GMRES (the convergence test monitors the true
+/// residual, so the residual gate below is meaningful).
+fn opts() -> SpmdOpts {
+    SpmdOpts {
+        geneo: GeneoOpts {
+            nev: 5,
+            ..Default::default()
+        },
+        gmres: GmresOpts {
+            tol: 1e-6,
+            max_iters: 500,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
 fn run(decomp: &Arc<Decomposition>, plan: FaultPlan) -> Vec<Result<SpmdReport, SpmdError>> {
+    run_with_policy(decomp, plan, None)
+}
+
+fn run_with_policy(
+    decomp: &Arc<Decomposition>,
+    plan: FaultPlan,
+    policy: Option<RetryPolicy>,
+) -> Vec<Result<SpmdReport, SpmdError>> {
     let d = Arc::clone(decomp);
-    let opts = SpmdOpts::default();
+    let o = opts();
     World::run_with_faults(
         decomp.n_subdomains(),
         CostModel::default(),
         plan,
-        move |comm| try_run_spmd(&d, comm, &opts).map(|s| s.report),
+        move |comm| {
+            if let Some(p) = policy {
+                comm.set_retry_policy(p);
+            }
+            try_run_spmd(&d, comm, &o).map(|s| s.report)
+        },
     )
+}
+
+/// Run with shrink-and-continue recovery armed; every rank shares one
+/// `CheckpointStore` (modeling the parallel file system).
+fn run_recoverable(decomp: &Arc<Decomposition>, plan: FaultPlan, opts: SpmdOpts) -> Vec<RecResult> {
+    let d = Arc::clone(decomp);
+    let store = Arc::new(CheckpointStore::new());
+    World::run_with_faults(
+        decomp.n_subdomains(),
+        CostModel::default(),
+        plan,
+        move |comm| try_run_spmd_recoverable(&d, comm, &opts, &store).map(|s| (s.report, s.locals)),
+    )
+}
+
+/// `‖b − Ax‖ / ‖b‖` of the global iterate reassembled from the survivors'
+/// per-subdomain locals.
+fn global_residual(decomp: &Decomposition, results: &[RecResult]) -> f64 {
+    let mut locals: Vec<Vec<f64>> = vec![Vec::new(); decomp.n_subdomains()];
+    for res in results.iter().flatten() {
+        for (s, x) in &res.1 {
+            locals[*s] = x.clone();
+        }
+    }
+    let x = decomp.from_locals(&locals);
+    let mut ax = vec![0.0; x.len()];
+    decomp.a_global.spmv(&x, &mut ax);
+    let r: Vec<f64> = ax
+        .iter()
+        .zip(&decomp.rhs_global)
+        .map(|(axi, b)| b - axi)
+        .collect();
+    let nrm = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>().sqrt();
+    nrm(&r) / nrm(&decomp.rhs_global)
 }
 
 fn describe(label: &str, results: &[Result<SpmdReport, SpmdError>]) {
@@ -59,12 +153,155 @@ fn describe(label: &str, results: &[Result<SpmdReport, SpmdError>]) {
     }
 }
 
+fn describe_recovery(label: &str, decomp: &Decomposition, results: &[RecResult]) {
+    println!("\n=== {label} ===");
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Ok((r, locals)) => {
+                let subs: Vec<usize> = locals.iter().map(|(s, _)| *s).collect();
+                println!(
+                    "rank {rank}: {} in {} it. | owns subdomains {:?} | deflation: {:?}",
+                    if r.converged {
+                        "converged"
+                    } else {
+                        "NOT converged"
+                    },
+                    r.iterations,
+                    subs,
+                    r.run.deflation,
+                );
+                for rec in &r.run.recoveries {
+                    println!(
+                        "         recovery: epoch {} | dead {:?} | adopted {:?} | resumed {}",
+                        rec.epoch,
+                        rec.dead,
+                        rec.adopted,
+                        rec.resume_iteration
+                            .map_or("from scratch".to_string(), |i| format!("at iteration {i}")),
+                    );
+                }
+            }
+            Err(e) => println!("rank {rank}: error: {e}"),
+        }
+    }
+    println!(
+        "global residual over survivors: {:.3e}",
+        global_residual(decomp, results)
+    );
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled JSON for the CI artifact (the workspace has no serde; the
+/// schema is small and stable).
+fn artifact_json(
+    phase: &str,
+    seed: u64,
+    victim: usize,
+    residual: f64,
+    results: &[RecResult],
+) -> String {
+    let mut ranks = Vec::new();
+    for (rank, res) in results.iter().enumerate() {
+        let body = match res {
+            Ok((r, locals)) => {
+                let subs: Vec<String> = locals.iter().map(|(s, _)| s.to_string()).collect();
+                let recs: Vec<String> = r
+                    .run
+                    .recoveries
+                    .iter()
+                    .map(|rec| {
+                        let adopted: Vec<String> = rec
+                            .adopted
+                            .iter()
+                            .map(|(s, a)| format!("[{s},{a}]"))
+                            .collect();
+                        format!(
+                            "{{\"epoch\":{},\"dead\":{:?},\"adopted\":[{}],\"resume_iteration\":{}}}",
+                            rec.epoch,
+                            rec.dead,
+                            adopted.join(","),
+                            rec.resume_iteration
+                                .map_or("null".to_string(), |i| i.to_string()),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"rank\":{rank},\"status\":\"{}\",\"iterations\":{},\
+                     \"deflation\":\"{:?}\",\"coarse\":\"{:?}\",\"subdomains\":[{}],\
+                     \"recoveries\":[{}]}}",
+                    if r.converged { "converged" } else { "stalled" },
+                    r.iterations,
+                    r.run.deflation,
+                    r.run.coarse,
+                    subs.join(","),
+                    recs.join(","),
+                )
+            }
+            Err(e) => format!(
+                "{{\"rank\":{rank},\"status\":\"error\",\"error\":\"{}\"}}",
+                json_escape(&e.to_string())
+            ),
+        };
+        ranks.push(body);
+    }
+    format!(
+        "{{\"kill_phase\":\"{}\",\"seed\":{seed},\"victim\":{victim},\
+         \"global_residual\":{residual:e},\"ranks\":[{}]}}\n",
+        json_escape(phase),
+        ranks.join(",")
+    )
+}
+
+/// CI artifact mode: one recovery scenario, JSON out, non-zero exit when
+/// the survivors fail the convergence gate.
+fn artifact_mode(decomp: &Arc<Decomposition>, phase: &str) -> ! {
+    let env_num = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    let seed = env_num("DD_SEED", 1);
+    let victim = env_num("DD_KILL_RANK", 1) as usize;
+    let plan = FaultPlan::new(seed)
+        .with_kill(victim, phase)
+        .with_delays(0.2, 2e-4);
+    let mut o = opts();
+    o.recovery.enabled = true;
+    o.recovery.checkpoint_interval = 2;
+    let results = run_recoverable(decomp, plan, o);
+    let residual = global_residual(decomp, &results);
+    let json = artifact_json(phase, seed, victim, residual, &results);
+    match std::env::var("DD_OUT") {
+        Ok(path) => std::fs::write(&path, &json).expect("write DD_OUT artifact"),
+        Err(_) => print!("{json}"),
+    }
+    let survivors_ok = results
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| *r != victim)
+        .all(|(_, res)| res.as_ref().is_ok_and(|(rep, _)| rep.converged));
+    if survivors_ok && residual <= 1e-5 {
+        eprintln!("recovery gate passed: residual {residual:.3e}");
+        std::process::exit(0);
+    }
+    eprintln!("recovery gate FAILED: residual {residual:.3e}, survivors_ok {survivors_ok}");
+    std::process::exit(1);
+}
+
 fn main() {
     let n = 4;
     let mesh = Mesh::unit_square(16, 16);
     let part = partition_mesh_rcb(&mesh, n);
     let problem = presets::heterogeneous_diffusion(1);
     let decomp = Arc::new(decompose(&mesh, &problem, &part, n, 1));
+
+    if let Ok(phase) = std::env::var("DD_KILL_PHASE") {
+        artifact_mode(&decomp, &phase);
+    }
 
     describe("fault-free baseline", &run(&decomp, FaultPlan::default()));
     describe(
@@ -90,11 +327,44 @@ fn main() {
         ),
     );
     describe(
-        "rank 1 killed after coarse assembly",
+        "rank 1 killed after coarse assembly (no recovery: typed errors)",
         &run(&decomp, FaultPlan::new(1).with_kill(1, "post-assembly")),
     );
     describe(
-        "every message dropped 20x (unbounded retries recover, solve unchanged)",
-        &run(&decomp, FaultPlan::new(7).with_drops(1.0, 20)),
+        "every message dropped 20x (explicit unbounded retries recover; \
+         the default ambient policy is bounded at 8)",
+        &run_with_policy(
+            &decomp,
+            FaultPlan::new(7).with_drops(1.0, 20),
+            Some(RetryPolicy::unbounded()),
+        ),
+    );
+
+    // --- shrink-and-continue: the same deaths, but the run survives ----
+    let recover = |interval, one_level| {
+        let mut o = opts();
+        o.recovery.enabled = true;
+        o.recovery.checkpoint_interval = interval;
+        o.one_level_only = one_level;
+        o
+    };
+    describe_recovery(
+        "rank 1 killed applying RAS — survivors shrink, adopt, re-solve",
+        &decomp,
+        &run_recoverable(
+            &decomp,
+            FaultPlan::new(1).with_kill(1, "ras"),
+            recover(5, false),
+        ),
+    );
+    describe_recovery(
+        "rank 2 killed at solve iteration 4 (one-level run) — resume from \
+         the iteration-2 checkpoint",
+        &decomp,
+        &run_recoverable(
+            &decomp,
+            FaultPlan::new(1).with_kill(2, "solve-iteration-4"),
+            recover(2, true),
+        ),
     );
 }

@@ -12,8 +12,9 @@
 use dd_geneo::comm::{CommError, CostModel, FaultPlan, World};
 use dd_geneo::core::problem::presets;
 use dd_geneo::core::{
-    decompose, try_run_spmd, CoarseOutcome, Decomposition, DeflationSource, GeneoOpts,
-    PhaseOutcome, SpmdError, SpmdOpts, SpmdReport,
+    decompose, try_run_spmd, try_run_spmd_recoverable, CheckpointStore, CoarseOutcome,
+    Decomposition, DeflationSource, GeneoOpts, PhaseOutcome, RecoveryOpts, SpmdError, SpmdOpts,
+    SpmdReport,
 };
 use dd_geneo::krylov::GmresOpts;
 use dd_geneo::mesh::Mesh;
@@ -214,6 +215,285 @@ fn failed_coarse_factorization_drops_to_one_level_and_completes() {
         "one-level fallback cannot beat the two-level baseline: {} < {}",
         reports[0].iterations,
         base[0].iterations
+    );
+}
+
+// ------------------------------------------------------------------------
+// Shrink-and-continue recovery: a killed rank's subdomain is adopted by a
+// surviving neighbor, the coarse operator is rebuilt over the survivors,
+// and the Krylov solve resumes from the last complete checkpoint.
+
+/// Per-rank outcome of a recoverable run: the report plus the
+/// `(subdomain, local solution)` pairs this rank ended up owning.
+type RecResult = Result<(SpmdReport, Vec<(usize, Vec<f64>)>), SpmdError>;
+
+fn recovery_opts() -> SpmdOpts {
+    SpmdOpts {
+        recovery: RecoveryOpts {
+            enabled: true,
+            ..Default::default()
+        },
+        ..opts()
+    }
+}
+
+fn run_recoverable_with_plan(
+    decomp: &Arc<Decomposition>,
+    opts: &SpmdOpts,
+    plan: FaultPlan,
+) -> Vec<RecResult> {
+    let n = decomp.n_subdomains();
+    let d2 = Arc::clone(decomp);
+    let opts = opts.clone();
+    let store = Arc::new(CheckpointStore::new());
+    World::run_with_faults(n, CostModel::default(), plan, move |comm| {
+        try_run_spmd_recoverable(&d2, comm, &opts, &store).map(|s| (s.report, s.locals))
+    })
+}
+
+/// `‖b − A x‖ / ‖b‖` of a reassembled global solution.
+fn global_residual(decomp: &Decomposition, x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; decomp.n_global];
+    decomp.a_global.spmv(x, &mut ax);
+    let (mut num, mut den) = (0.0, 0.0);
+    for (a, b) in ax.iter().zip(&decomp.rhs_global) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    (num / den).sqrt()
+}
+
+/// Reassemble the global solution from the survivors' per-subdomain locals,
+/// asserting every subdomain is covered exactly by the live ranks.
+fn reassemble(decomp: &Decomposition, results: &[RecResult]) -> Vec<f64> {
+    let mut by_sub: Vec<Option<Vec<f64>>> = vec![None; decomp.n_subdomains()];
+    for res in results.iter().flatten() {
+        for (s, x) in &res.1 {
+            assert!(by_sub[*s].is_none(), "subdomain {s} owned twice");
+            by_sub[*s] = Some(x.clone());
+        }
+    }
+    let locals: Vec<Vec<f64>> = by_sub
+        .into_iter()
+        .enumerate()
+        .map(|(s, x)| x.unwrap_or_else(|| panic!("subdomain {s} not covered by any survivor")))
+        .collect();
+    decomp.from_locals(&locals)
+}
+
+/// Assert the recovery contract after killing `victim`: the victim reports
+/// the typed kill, every survivor completes with one recovery on record
+/// (consistent epoch, dead set, adoption), and the reassembled solution
+/// meets the fault-free tolerance. Returns the survivors' reports.
+fn assert_recovered(
+    decomp: &Arc<Decomposition>,
+    results: &[RecResult],
+    victim: usize,
+    kill_phase: &str,
+) -> Vec<SpmdReport> {
+    match &results[victim] {
+        Err(SpmdError::Killed { rank, phase }) => {
+            assert_eq!(*rank, victim);
+            assert_eq!(phase, kill_phase);
+        }
+        other => panic!("victim: expected Killed at {kill_phase}, got {other:?}"),
+    }
+    let adopter = decomp.subdomains[victim]
+        .neighbors
+        .iter()
+        .map(|l| l.j)
+        .filter(|&j| j != victim)
+        .min()
+        .expect("victim subdomain must have neighbors");
+    let mut reports = Vec::new();
+    let mut epochs = Vec::new();
+    for (rank, res) in results.iter().enumerate() {
+        if rank == victim {
+            continue;
+        }
+        let (report, locals) = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("survivor {rank} failed: {e}"));
+        assert!(report.converged, "survivor {rank} did not converge");
+        assert_eq!(report.run.recoveries.len(), 1, "survivor {rank}");
+        let rec = &report.run.recoveries[0];
+        assert_eq!(rec.dead, vec![victim]);
+        assert_eq!(rec.adopted, vec![(victim, adopter)]);
+        assert!(rec.epoch >= 1, "shrink must bump the epoch");
+        epochs.push(rec.epoch);
+        let owned: Vec<usize> = locals.iter().map(|(s, _)| *s).collect();
+        if rank == adopter {
+            assert_eq!(owned, vec![rank.min(victim), rank.max(victim)]);
+            if report.dim_e > 0 {
+                assert_eq!(
+                    report.run.deflation,
+                    DeflationSource::NicolaidesFallback,
+                    "adopted subdomains skip the eigensolve"
+                );
+            }
+        } else {
+            assert_eq!(owned, vec![rank]);
+        }
+        reports.push(report.clone());
+    }
+    assert!(
+        epochs.windows(2).all(|w| w[0] == w[1]),
+        "survivors disagree on the recovery epoch: {epochs:?}"
+    );
+    // Same-tolerance acceptance: the recovered global solution satisfies
+    // the solver tolerance (1e-6 on the preconditioned residual; a small
+    // slack absorbs the preconditioned-vs-true residual gap).
+    let x_rec = reassemble(decomp, results);
+    let rr = global_residual(decomp, &x_rec);
+    assert!(
+        rr <= 1e-5,
+        "recovered residual {rr:e} misses the fault-free tolerance"
+    );
+    reports
+}
+
+#[test]
+fn recovery_enabled_fault_free_run_is_unchanged() {
+    let decomp = setup(12, 4);
+    let o = recovery_opts();
+    let base = baseline(&decomp, &opts());
+    let results = run_recoverable_with_plan(&decomp, &o, FaultPlan::default());
+    for (rank, res) in results.iter().enumerate() {
+        let (report, locals) = res.as_ref().expect("fault-free run must not fail");
+        assert!(report.converged);
+        assert!(report.run.recoveries.is_empty(), "no recovery happened");
+        assert!(report.run.fully_nominal());
+        // Checkpointing is local-only: identical iteration counts.
+        assert_eq!(report.iterations, base[rank].iterations);
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0].0, rank);
+    }
+}
+
+#[test]
+fn kill_during_ras_application_recovers_on_survivors() {
+    let decomp = setup(12, 4);
+    let results = run_recoverable_with_plan(
+        &decomp,
+        &recovery_opts(),
+        FaultPlan::new(21).with_kill(1, "ras"),
+    );
+    let reports = assert_recovered(&decomp, &results, 1, "ras");
+    for r in &reports {
+        // Death at the very first preconditioner application: no checkpoint
+        // exists yet, so the recovered solve restarts from zero.
+        assert_eq!(r.run.recoveries[0].resume_iteration, None);
+    }
+}
+
+#[test]
+fn kill_mid_solve_resumes_from_checkpoint() {
+    let decomp = setup(12, 4);
+    // One-level RAS (more iterations than the two-level solve) with a
+    // tight checkpoint cadence, so checkpoints exist before the kill.
+    let o = SpmdOpts {
+        one_level_only: true,
+        recovery: RecoveryOpts {
+            enabled: true,
+            checkpoint_interval: 2,
+            ..Default::default()
+        },
+        ..opts()
+    };
+    let base = baseline(&decomp, &o);
+    let base_it = base[0].iterations;
+    let k = 4;
+    assert!(
+        base_it > k + 1,
+        "baseline converges too fast ({base_it} its) to kill mid-solve"
+    );
+    let results = run_recoverable_with_plan(
+        &decomp,
+        &o,
+        FaultPlan::new(23).with_kill(2, &format!("solve-iteration-{k}")),
+    );
+    // The failpoint only marks the rank gone; the death surfaces at the
+    // iteration's next reduction, inside the "solve" phase.
+    let reports = assert_recovered(&decomp, &results, 2, "solve");
+    for r in &reports {
+        let resume = r.run.recoveries[0].resume_iteration;
+        assert!(
+            matches!(resume, Some(j) if (2..=k).contains(&j)),
+            "survivors must resume from the last complete checkpoint, got {resume:?}"
+        );
+        assert!(
+            r.iterations > resume.unwrap(),
+            "resumed iteration count is cumulative (got {})",
+            r.iterations
+        );
+    }
+}
+
+#[test]
+fn kill_during_distributed_coarse_factorization_recovers() {
+    let decomp = setup(12, 4);
+    // Rank 0 is always a master: it dies inside the cooperative block
+    // fan-in factorization of E.
+    let results = run_recoverable_with_plan(
+        &decomp,
+        &recovery_opts(),
+        FaultPlan::new(31).with_kill(0, "e-factorization-dist"),
+    );
+    assert_recovered(&decomp, &results, 0, "e-factorization-dist");
+}
+
+#[test]
+fn kill_during_distributed_coarse_solve_recovers() {
+    let decomp = setup(12, 4);
+    // Rank 0 dies inside the distributed triangular solve of the very
+    // first coarse correction, mid-preconditioner, mid-GMRES.
+    let results = run_recoverable_with_plan(
+        &decomp,
+        &recovery_opts(),
+        FaultPlan::new(37).with_kill(0, "e-solve-dist"),
+    );
+    assert_recovered(&decomp, &results, 0, "e-solve-dist");
+}
+
+#[test]
+fn kill_at_deflation_recovers_with_redundant_coarse() {
+    let decomp = setup(12, 4);
+    let o = SpmdOpts {
+        coarse_solve: dd_geneo::core::CoarseSolve::Redundant,
+        ..recovery_opts()
+    };
+    let results =
+        run_recoverable_with_plan(&decomp, &o, FaultPlan::new(41).with_kill(3, "deflation"));
+    let reports = assert_recovered(&decomp, &results, 3, "deflation");
+    for r in &reports {
+        // Setup-phase death: nothing to resume from.
+        assert_eq!(r.run.recoveries[0].resume_iteration, None);
+    }
+}
+
+#[test]
+fn recovered_run_produces_byte_identical_canonical_traces() {
+    let decomp = setup(12, 4);
+    let o = recovery_opts();
+    let trace_of = |seed: u64| {
+        let n = decomp.n_subdomains();
+        let d2 = Arc::clone(&decomp);
+        let o = o.clone();
+        let store = Arc::new(CheckpointStore::new());
+        let (_, trace) = World::run_traced_with_faults(
+            n,
+            CostModel::default(),
+            FaultPlan::new(seed).with_kill(1, "ras"),
+            move |comm| {
+                try_run_spmd_recoverable(&d2, comm, &o, &store).map(|s| s.report.iterations)
+            },
+        );
+        trace.canonical_json()
+    };
+    assert_eq!(
+        trace_of(55),
+        trace_of(55),
+        "recovery must replay byte-identically for a fixed plan"
     );
 }
 
