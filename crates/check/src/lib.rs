@@ -68,12 +68,52 @@ where
                 bytes
             },
         );
-        let mut all = Vec::new();
-        for (rank, bytes) in per_rank.into_iter().enumerate() {
-            all.extend_from_slice(&(rank as u32).to_le_bytes());
-            all.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            all.extend_from_slice(&bytes);
-        }
-        all
+        frame(per_rank.into_iter().map(Some))
     })
+}
+
+/// [`check_world_with_faults`] for an *elastic* world: `n` founders plus
+/// `reserve` lobby ranks that only run `program` once a
+/// [`Communicator::try_grow`] admits them. All `n + reserve` threads are
+/// scheduled, so the exploration covers every interleaving of the join
+/// protocol; un-admitted reserves frame as empty results.
+pub fn check_elastic_world_with_faults<F>(
+    n: usize,
+    reserve: usize,
+    cfg: Config,
+    budget: Budget,
+    faults: FaultPlan,
+    program: F,
+) -> Report
+where
+    F: Fn(&Communicator) -> Vec<u8> + Send + Sync,
+{
+    explore(n + reserve, cfg, budget, move |backend| {
+        let per_rank = World::run_elastic_with_backend(
+            n,
+            reserve,
+            CostModel::default(),
+            faults.clone(),
+            Arc::clone(&backend),
+            |comm| {
+                let mut bytes = program(comm);
+                bytes.extend_from_slice(&comm.clock().to_bits().to_le_bytes());
+                bytes
+            },
+        );
+        frame(per_rank.into_iter())
+    })
+}
+
+/// Canonical framing of per-rank results: `u32` rank + `u32` length +
+/// bytes, ranks in order, absent results (un-admitted reserves) empty.
+fn frame(per_rank: impl Iterator<Item = Option<Vec<u8>>>) -> Vec<u8> {
+    let mut all = Vec::new();
+    for (rank, bytes) in per_rank.enumerate() {
+        let bytes = bytes.unwrap_or_default();
+        all.extend_from_slice(&(rank as u32).to_le_bytes());
+        all.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        all.extend_from_slice(&bytes);
+    }
+    all
 }

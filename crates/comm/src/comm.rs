@@ -27,7 +27,7 @@
 //! [`Communicator::failpoint`]s. All decisions are deterministic functions
 //! of the seed and message identity.
 
-use crate::fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
+use crate::fault::{splitmix64, CommError, FaultPlan, FaultStats, RetryPolicy};
 use crate::model::{linear_msgs, tree_msgs, CostModel};
 use crate::sync::{std_backend, ControlGuard, SyncBackend, SyncCondvar, SyncMutex};
 use crate::time::VirtualClock;
@@ -62,6 +62,42 @@ const STALL_TICKS: u32 = 6;
 /// single-owner cells that no thread ever blocks on.
 fn lck<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Collapse the `Option`-per-rank results of a reserve-free
+/// [`World::run_impl`] back to the legacy every-rank-finished shape.
+fn unwrap_founders<R>(results: Vec<Option<R>>) -> Vec<R> {
+    results
+        .into_iter()
+        .map(|r| invariant(r, "rank produced no result"))
+        .collect()
+}
+
+/// Park a reserve rank in the admission lobby until a grow deposits its
+/// ticket, or until the world has no live members left (`None`: the
+/// program ended without admitting this reserve). Registers as an
+/// agreement waiter — not a [`BlockGuard`] — for the same reason the
+/// agreement waits do: the lobby wait is satisfiable by construction
+/// (admission or world end) and must not feed the deadlock heuristic.
+fn lobby_wait(health: &WorldHealth, world_rank: usize) -> Option<LobbyTicket> {
+    struct Waiting<'a>(&'a AtomicUsize);
+    impl Drop for Waiting<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, AtOrd::SeqCst);
+        }
+    }
+    health.agree_waiters.fetch_add(1, AtOrd::SeqCst);
+    let _waiting = Waiting(&health.agree_waiters);
+    let mut st = health.agree.lock();
+    loop {
+        if let Some(ticket) = st.lobby[world_rank].take() {
+            return Some(ticket);
+        }
+        if health.live() == 0 {
+            return None;
+        }
+        st = health.agree_cv.wait_timeout(st, TICK);
+    }
 }
 
 /// Unbox a received payload, panicking with a structured message on a type
@@ -191,34 +227,86 @@ impl Slot {
 /// which case that rank is awake, so the world is not deadlocked anyway).
 type WaitProbe = Box<dyn Fn(&WorldHealth) -> Option<bool> + Send>;
 
-/// State of the two-phase liveness-agreement protocol behind
-/// [`Communicator::try_shrink`]. Lives outside the mailbox/slot machinery
-/// on purpose: agreement traffic never enters the telemetry journal or the
-/// collective sequence space, so a recovered run's canonical trace is a
-/// pure function of the agreed dead set.
+/// Admission ticket deposited in the lobby for a joiner by the rank that
+/// publishes a membership agreement admitting it.
+struct LobbyTicket {
+    shared: Arc<CommShared>,
+    epoch: usize,
+    /// Publisher's virtual clock at admission — the joiner's clock starts
+    /// here, modeling a rank that comes up at the moment of the commit.
+    clock: f64,
+}
+
+/// State of the two-phase membership-agreement protocol behind
+/// [`Communicator::try_shrink`] / [`Communicator::try_grow`]. Lives
+/// outside the mailbox/slot machinery on purpose: agreement traffic never
+/// enters the telemetry journal or the collective sequence space, so a
+/// recovered run's canonical trace is a pure function of the agreed
+/// membership change.
+/// One phase-1 or phase-2 post of the membership agreement:
+/// `(round, dead set, joiner/admit set)`.
+type MembershipPost = (u64, Vec<usize>, Vec<usize>);
+
+/// The committed result of one agreement: `(agreed dead set, admitted
+/// joiners, epoch, successor comm state)`.
+type PublishedMembership = (Vec<usize>, Vec<usize>, usize, Arc<CommShared>);
+
 struct AgreeState {
     /// Current protocol round. Bumped (under the agreement lock) by any
     /// participant that detects a death racing the vote; everyone then
     /// restarts with the larger view.
     round: u64,
-    /// Phase-1 posts: each live rank's `(round, observed dead set)`.
-    votes: Vec<Option<(u64, Vec<usize>)>>,
-    /// Phase-2 posts: each live rank's `(round, candidate dead set)`.
-    commits: Vec<Option<(u64, Vec<usize>)>>,
-    /// Count of committed shrinks (the epoch of the latest one).
+    /// Phase-1 posts: each live member's `(round, observed dead set,
+    /// observed pending-joiner set)`.
+    votes: Vec<Option<MembershipPost>>,
+    /// Phase-2 posts: each live member's `(round, candidate dead set,
+    /// candidate admit set)`.
+    commits: Vec<Option<MembershipPost>>,
+    /// Count of committed membership changes (the epoch of the latest).
     epoch: usize,
-    /// The committed result: `(agreed dead set, epoch, survivor comm)`.
-    /// Built exactly once per agreement by the first rank through phase 2;
-    /// later arrivals (and stragglers re-running the protocol against the
-    /// stale votes) adopt it instead of rebuilding.
-    published: Option<(Vec<usize>, usize, Arc<CommShared>)>,
+    /// The committed result. Built exactly once per agreement by the first
+    /// rank through phase 2; later arrivals (and stragglers re-running the
+    /// protocol against the stale votes) adopt it instead of rebuilding.
+    published: Option<PublishedMembership>,
+    /// Per-world-rank admission tickets: the publisher deposits one for
+    /// each admitted joiner; the joiner's lobby wait takes it.
+    lobby: Vec<Option<LobbyTicket>>,
 }
 
-/// Liveness registry of one world, shared by every communicator split from
-/// it. Ranks are identified by *world* rank.
+/// Liveness and membership registry of one world, shared by every
+/// communicator split from it. Ranks are identified by *world* rank. The
+/// registry is sized for the world's full capacity (founders plus
+/// reserves); reserves are non-members until a [`Communicator::try_grow`]
+/// admits them.
 struct WorldHealth {
     gone: Vec<AtomicBool>,
-    n_gone: AtomicUsize,
+    /// Is this world rank a member of the communicating set? Founders
+    /// start `true`; reserves flip to `true` when an agreement admits
+    /// them (monotone, flipped under the agreement lock).
+    member: Vec<AtomicBool>,
+    /// Was this rank's departure an eviction (suspected straggler removed
+    /// by peers) rather than a death? Set before `gone`.
+    evicted: Vec<AtomicBool>,
+    /// Reserve ranks that have announced themselves and await admission.
+    pending_join: Vec<AtomicBool>,
+    /// Members currently in the world: founders plus admitted joiners.
+    n_members: AtomicUsize,
+    /// Members marked gone (each counted exactly once via `counted_dead`,
+    /// which serializes the member-flip/gone-flip race of a joiner that
+    /// dies during its own admission).
+    n_dead_members: AtomicUsize,
+    counted_dead: Vec<AtomicBool>,
+    /// Number of founder ranks (world ranks `>= founders` are reserves).
+    founders: usize,
+    /// Per-rank heartbeat counters, bumped at failpoints and iteration
+    /// boundaries — the progress signal the suspicion policy compares.
+    beats: Vec<AtomicU64>,
+    /// Per-rank virtual-time progress watermark (f64 bits; monotone
+    /// because clocks are non-negative, so integer `fetch_max` is order-
+    /// preserving).
+    watermark: Vec<AtomicU64>,
+    /// Heartbeat suppression flags ([`FaultPlan::with_straggle`]).
+    suppressed: Vec<AtomicBool>,
     /// Ranks currently parked in a blocking wait (deadlock detection).
     blocked: AtomicUsize,
     /// Per-rank satisfiability probe of the wait it is currently parked
@@ -246,10 +334,20 @@ struct WorldHealth {
 }
 
 impl WorldHealth {
-    fn new(n: usize, backend: &Arc<dyn SyncBackend>) -> Arc<Self> {
+    fn new(founders: usize, reserve: usize, backend: &Arc<dyn SyncBackend>) -> Arc<Self> {
+        let n = founders + reserve;
         Arc::new(WorldHealth {
             gone: (0..n).map(|_| AtomicBool::new(false)).collect(),
-            n_gone: AtomicUsize::new(0),
+            member: (0..n).map(|r| AtomicBool::new(r < founders)).collect(),
+            evicted: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            pending_join: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            n_members: AtomicUsize::new(founders),
+            n_dead_members: AtomicUsize::new(0),
+            counted_dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            founders,
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            watermark: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            suppressed: (0..n).map(|_| AtomicBool::new(false)).collect(),
             blocked: AtomicUsize::new(0),
             parked: (0..n).map(|_| SyncMutex::new(backend, None)).collect(),
             unpark_epoch: AtomicUsize::new(0),
@@ -262,6 +360,7 @@ impl WorldHealth {
                     commits: (0..n).map(|_| None).collect(),
                     epoch: 0,
                     published: None,
+                    lobby: (0..n).map(|_| None).collect(),
                 },
             ),
             agree_cv: SyncCondvar::new(backend),
@@ -273,6 +372,32 @@ impl WorldHealth {
         self.gone[world_rank].load(AtOrd::SeqCst)
     }
 
+    fn is_member(&self, world_rank: usize) -> bool {
+        self.member[world_rank].load(AtOrd::SeqCst)
+    }
+
+    /// Count a member's departure exactly once. Both `mark_gone` and the
+    /// admission path call this, so a joiner whose death races its own
+    /// admission is counted regardless of which flag flipped first — the
+    /// `counted_dead` swap deduplicates the double call.
+    fn account_dead(&self, world_rank: usize) {
+        if self.gone[world_rank].load(AtOrd::SeqCst)
+            && self.member[world_rank].load(AtOrd::SeqCst)
+            && !self.counted_dead[world_rank].swap(true, AtOrd::SeqCst)
+        {
+            self.n_dead_members.fetch_add(1, AtOrd::SeqCst);
+        }
+    }
+
+    /// Reserve ranks announced and awaiting admission.
+    fn pending_joiners(&self) -> Vec<usize> {
+        (0..self.gone.len())
+            .filter(|&r| {
+                self.pending_join[r].load(AtOrd::SeqCst) && !self.is_member(r) && !self.is_gone(r)
+            })
+            .collect()
+    }
+
     /// Is every wait on a communicator of epoch `epoch` revoked?
     fn revoked(&self, epoch: usize) -> bool {
         self.revocation.load(AtOrd::SeqCst) > epoch
@@ -280,7 +405,7 @@ impl WorldHealth {
 
     fn mark_gone(&self, world_rank: usize) {
         if !self.gone[world_rank].swap(true, AtOrd::SeqCst) {
-            self.n_gone.fetch_add(1, AtOrd::SeqCst);
+            self.account_dead(world_rank);
             self.unpark_epoch.fetch_add(1, AtOrd::SeqCst);
             // Wake agreement waiters, but only if any exist: a notify is a
             // scheduler decision point under dd-check, and every rank exit
@@ -294,8 +419,11 @@ impl WorldHealth {
         }
     }
 
+    /// Live members: founders plus admitted joiners, minus departures.
+    /// Non-member reserves (parked in the lobby) are outside the
+    /// communicating set and never counted.
     fn live(&self) -> usize {
-        self.gone.len() - self.n_gone.load(AtOrd::SeqCst)
+        self.n_members.load(AtOrd::SeqCst) - self.n_dead_members.load(AtOrd::SeqCst)
     }
 
     /// Is every live rank currently parked in a blocking wait?
@@ -329,7 +457,11 @@ impl WorldHealth {
             return false;
         }
         for (world_rank, slot) in self.parked.iter().enumerate() {
-            if self.is_gone(world_rank) {
+            // Non-members (reserves in the lobby) are outside the
+            // communicating set: their lobby wait is satisfiable by
+            // construction (admission or world end) and must not veto —
+            // or falsely confirm — a deadlock verdict.
+            if self.is_gone(world_rank) || !self.is_member(world_rank) {
                 continue;
             }
             let parked = match slot.try_lock() {
@@ -382,9 +514,6 @@ struct FaultCounters {
     retries: Cell<u64>,
     timeouts: Cell<u64>,
     msg_index: Cell<u64>,
-    /// Per-rank index of collective contributions, the identity the fault
-    /// plan hashes for collective-internal drop/delay decisions.
-    coll_index: Cell<u64>,
 }
 
 fn bump(c: &Cell<u64>) {
@@ -396,6 +525,12 @@ struct CommShared {
     size: usize,
     /// World rank of each member, in communicator rank order.
     world_ranks: Vec<usize>,
+    /// Stable identity of this communicator for fault decisions: a hash
+    /// of how it was created (world, split color + parent sequence, or
+    /// membership epoch), never a free-running counter — so the seeded
+    /// drop/delay/jitter schedule of every collective and retry is a pure
+    /// function of the plan seed and the communicator's construction.
+    fault_id: u64,
     mailboxes: Vec<Mailbox>,
     slots: SyncMutex<HashMap<u64, Slot>>,
     slots_cv: SyncCondvar,
@@ -410,11 +545,12 @@ struct CommShared {
 }
 
 impl CommShared {
-    fn new(world_ranks: Vec<usize>, backend: Arc<dyn SyncBackend>) -> Arc<Self> {
+    fn new(world_ranks: Vec<usize>, backend: Arc<dyn SyncBackend>, fault_id: u64) -> Arc<Self> {
         let size = world_ranks.len();
         Arc::new(CommShared {
             size,
             world_ranks,
+            fault_id,
             mailboxes: (0..size)
                 .map(|_| Mailbox {
                     inner: SyncMutex::new(&backend, MailboxInner::default()),
@@ -432,6 +568,16 @@ impl CommShared {
     }
 }
 
+/// Stable fault identity of a membership-agreement successor: a pure
+/// function of the committed epoch and member set, so every rank (and
+/// every identically-seeded re-run) derives the same communicator seed.
+fn membership_fault_id(epoch: usize, world_ranks: &[usize]) -> u64 {
+    let fold = world_ranks
+        .iter()
+        .fold(0x51u64, |h, &r| splitmix64(h ^ r as u64));
+    splitmix64(fold ^ (epoch as u64).rotate_left(32))
+}
+
 /// Communication statistics of one communicator (aggregated over ranks).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -445,6 +591,44 @@ pub struct CommStats {
     pub p2p_messages: u64,
     /// Point-to-point payload bytes sent.
     pub p2p_bytes: u64,
+}
+
+/// Classification of a world rank by the heartbeat/watermark layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankState {
+    /// Member making progress (or a non-member reserve, which is outside
+    /// the communicating set and has nothing to fall behind on).
+    Healthy,
+    /// Live member whose heartbeats or virtual-time watermark lag the
+    /// observer beyond the [`SuspicionPolicy`] — a candidate for eviction
+    /// via the shrink path before it stalls a collective.
+    Suspected,
+    /// Departed (died, exited, abandoned, or evicted).
+    Gone,
+}
+
+/// When to suspect a member of straggling. Both criteria are measured
+/// against the *observer's* progress, so classification is a deterministic
+/// function of the two ranks' program order and virtual clocks — no wall
+/// time is involved.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuspicionPolicy {
+    /// Virtual-time budget: suspect a member whose progress watermark lags
+    /// the observer's clock by more than this many virtual seconds
+    /// (per-phase deadline budget; `f64::INFINITY` disables the check).
+    pub deadline: f64,
+    /// Heartbeat budget: suspect a member whose heartbeat counter lags the
+    /// observer's by at least this many beats (`u64::MAX` disables).
+    pub k_missed: u64,
+}
+
+impl Default for SuspicionPolicy {
+    fn default() -> Self {
+        SuspicionPolicy {
+            deadline: f64::INFINITY,
+            k_missed: 8,
+        }
+    }
 }
 
 /// A handle to a pending non-blocking reduction
@@ -486,6 +670,10 @@ pub struct Communicator {
     /// Retry policy charged for dropped deliveries inside collectives
     /// (settable; splits and shrinks inherit it).
     retry_policy: Cell<RetryPolicy>,
+    /// Armed suspicion policy: when set, [`Communicator::maintain`]
+    /// classifies peers and evicts suspected stragglers (settable; splits
+    /// and shrinks inherit it).
+    suspicion: Cell<Option<SuspicionPolicy>>,
 }
 
 impl Communicator {
@@ -617,9 +805,25 @@ impl Communicator {
     /// A named phase boundary. If the armed [`FaultPlan`] kills this rank
     /// here, the rank is marked dead in the world's health registry and
     /// `Err(CommError::RankDead)` is returned — the caller must stop
-    /// communicating and unwind. Free when no plan targets this rank.
+    /// communicating and unwind. Failpoints also drive the plan's
+    /// *membership* events: a matching [`FaultPlan::with_straggle`]
+    /// suppresses this rank's heartbeats from here on, and a matching
+    /// [`FaultPlan::with_join`] marks the named reserve ranks as pending
+    /// joiners. Every failpoint records a heartbeat. Free when no plan is
+    /// armed.
     pub fn failpoint(&self, label: &str) -> Result<(), CommError> {
         let wr = self.world_rank();
+        if self.plan.is_active() {
+            if self.plan.straggles(wr, label) {
+                self.health.suppressed[wr].store(true, AtOrd::SeqCst);
+            }
+            for j in self.plan.joins_at(label) {
+                if j < self.world_size() && !self.health.is_member(j) {
+                    self.health.pending_join[j].store(true, AtOrd::SeqCst);
+                }
+            }
+        }
+        self.heartbeat();
         if self.plan.kills(wr, label) && !self.health.is_gone(wr) {
             self.health.mark_gone(wr);
             return Err(CommError::RankDead { rank: wr });
@@ -654,16 +858,162 @@ impl Communicator {
         self.health.gone.len()
     }
 
-    /// Is the given *world* rank dead (killed, exited, or abandoned)?
+    /// World rank of each member of this communicator, in communicator
+    /// rank order (survivors in world order, admitted joiners appended).
+    pub fn world_ranks(&self) -> &[usize] {
+        &self.shared.world_ranks
+    }
+
+    /// Number of founder ranks of the world (world ranks `>= n_founders`
+    /// are reserves/joiners).
+    pub fn n_founders(&self) -> usize {
+        self.health.founders
+    }
+
+    /// Is the given *world* rank dead (killed, exited, abandoned, or
+    /// evicted)?
     pub fn is_world_rank_gone(&self, world_rank: usize) -> bool {
         self.health.is_gone(world_rank)
     }
 
-    /// World ranks currently marked dead, ascending.
+    /// Was the given *world* rank evicted by its peers (as opposed to
+    /// having died)?
+    pub fn is_world_rank_evicted(&self, world_rank: usize) -> bool {
+        self.health.evicted[world_rank].load(AtOrd::SeqCst)
+    }
+
+    /// Member world ranks that *died* (killed, exited, or abandoned),
+    /// ascending. Evicted members and reserves that exited without ever
+    /// being admitted are excluded — see [`Communicator::evicted_ranks`]
+    /// and [`Communicator::departed_ranks`].
     pub fn dead_ranks(&self) -> Vec<usize> {
         (0..self.world_size())
-            .filter(|&r| self.health.is_gone(r))
+            .filter(|&r| {
+                self.health.is_member(r) && self.health.is_gone(r) && !self.is_world_rank_evicted(r)
+            })
             .collect()
+    }
+
+    /// Member world ranks evicted by their peers, ascending.
+    pub fn evicted_ranks(&self) -> Vec<usize> {
+        (0..self.world_size())
+            .filter(|&r| {
+                self.health.is_member(r) && self.health.is_gone(r) && self.is_world_rank_evicted(r)
+            })
+            .collect()
+    }
+
+    /// All member world ranks no longer in the world (dead or evicted),
+    /// ascending — the orphan set a repartitioning plan must re-home.
+    pub fn departed_ranks(&self) -> Vec<usize> {
+        (0..self.world_size())
+            .filter(|&r| self.health.is_member(r) && self.health.is_gone(r))
+            .collect()
+    }
+
+    /// Reserve world ranks that have announced themselves and await
+    /// admission by a [`Communicator::try_grow`].
+    pub fn pending_joiners(&self) -> Vec<usize> {
+        self.health.pending_joiners()
+    }
+
+    /// Did this rank enter the world through a grow (reserve admitted by
+    /// [`Communicator::try_grow`]) rather than at world start?
+    pub fn is_joiner(&self) -> bool {
+        self.world_rank() >= self.health.founders
+    }
+
+    /// Mark a reserve rank as a pending joiner by hand (tests and drivers
+    /// that trigger growth outside a [`FaultPlan::with_join`] schedule).
+    /// No-op for members and out-of-range ranks.
+    pub fn announce_joiner(&self, world_rank: usize) {
+        if world_rank < self.world_size() && !self.health.is_member(world_rank) {
+            self.health.pending_join[world_rank].store(true, AtOrd::SeqCst);
+        }
+    }
+
+    /// Record a heartbeat and advance this rank's progress watermark
+    /// (no-op while an armed [`FaultPlan::with_straggle`] suppresses it).
+    pub fn heartbeat(&self) {
+        let wr = self.world_rank();
+        if self.health.suppressed[wr].load(AtOrd::SeqCst) {
+            return;
+        }
+        self.health.beats[wr].fetch_add(1, AtOrd::SeqCst);
+        self.health.watermark[wr].fetch_max(self.clock.now().to_bits(), AtOrd::SeqCst);
+    }
+
+    /// The armed suspicion policy, if any.
+    pub fn suspicion(&self) -> Option<SuspicionPolicy> {
+        self.suspicion.get()
+    }
+
+    /// Arm (or disarm) the suspicion policy checked by
+    /// [`Communicator::maintain`]. Splits and shrinks created afterwards
+    /// inherit it.
+    pub fn set_suspicion(&self, policy: Option<SuspicionPolicy>) {
+        self.suspicion.set(policy);
+    }
+
+    /// Classify every world rank against `policy`, from this rank's point
+    /// of view: a live member whose heartbeat count or virtual-time
+    /// watermark lags the observer beyond the policy's budgets is
+    /// `Suspected`. Purely local — no communication, deterministic in the
+    /// two ranks' program order.
+    pub fn rank_states(&self, policy: &SuspicionPolicy) -> Vec<RankState> {
+        let me = self.world_rank();
+        let my_beats = self.health.beats[me].load(AtOrd::SeqCst);
+        let now = self.clock.now();
+        (0..self.world_size())
+            .map(|r| {
+                if self.health.is_gone(r) {
+                    return RankState::Gone;
+                }
+                if r == me || !self.health.is_member(r) {
+                    return RankState::Healthy;
+                }
+                let beats = self.health.beats[r].load(AtOrd::SeqCst);
+                let mark = f64::from_bits(self.health.watermark[r].load(AtOrd::SeqCst));
+                let missed = my_beats.saturating_sub(beats);
+                if missed >= policy.k_missed || now - mark > policy.deadline {
+                    RankState::Suspected
+                } else {
+                    RankState::Healthy
+                }
+            })
+            .collect()
+    }
+
+    /// Evict a member: mark it gone with an *eviction* reason (so reports
+    /// can distinguish it from a death) and revoke the current epoch so
+    /// every in-flight wait — the victim's included — aborts into the
+    /// recovery path. The victim is then removed by the same
+    /// [`Communicator::try_shrink`] agreement as a dead rank would be.
+    pub fn evict(&self, world_rank: usize) {
+        self.health.evicted[world_rank].store(true, AtOrd::SeqCst);
+        self.health.mark_gone(world_rank);
+        self.revoke();
+    }
+
+    /// Membership maintenance, meant for iteration boundaries: records a
+    /// heartbeat, evicts any peer the armed [`SuspicionPolicy`] classifies
+    /// as `Suspected`, and — when pending joiners are waiting — revokes
+    /// the current epoch so the world can [`Communicator::try_grow`]. Both
+    /// eviction and join-triggered revocation surface to the caller as
+    /// [`CommError::Revoked`] from its next blocking operation.
+    pub fn maintain(&self) {
+        self.heartbeat();
+        if let Some(policy) = self.suspicion.get() {
+            let states = self.rank_states(&policy);
+            for (r, state) in states.iter().enumerate() {
+                if *state == RankState::Suspected {
+                    self.evict(r);
+                }
+            }
+        }
+        if !self.health.pending_joiners().is_empty() {
+            self.revoke();
+        }
     }
 
     /// Retry policy charged for dropped deliveries inside collectives.
@@ -712,8 +1062,37 @@ impl Communicator {
     ///
     /// # Errors
     /// [`CommError::RankDead`] with this rank's own world rank when called
-    /// on a rank that is itself marked dead.
+    /// on a rank that is itself marked dead (or evicted).
     pub fn try_shrink(&self) -> Result<Communicator, CommError> {
+        self.agree_membership()
+    }
+
+    /// Agree with the other members on a membership change that *admits*
+    /// the pending joiners ([`Communicator::pending_joiners`]) alongside
+    /// removing the dead — rank join through the same two-phase agreement
+    /// path as [`Communicator::try_shrink`] (the two entry points run the
+    /// identical protocol; survivors that call `try_shrink` while joiners
+    /// are pending still admit them, so a mixed shrink/grow recovery
+    /// commits one consistent epoch).
+    ///
+    /// The committed communicator re-ranks contiguously with survivors
+    /// first (world-rank order) and admitted joiners appended. The epoch
+    /// bump and the revocation horizon are exactly the shrink path's:
+    /// in-flight traffic of the old epoch wakes `Revoked` and can never
+    /// alias the grown world, whose tags are salted with the new epoch.
+    /// The publisher deposits an admission ticket in each joiner's lobby
+    /// slot; the joiner's thread builds its communicator from the ticket
+    /// (clock started at the publisher's commit time) and enters the
+    /// program.
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] with this rank's own world rank when called
+    /// on a rank that is itself marked dead (or evicted).
+    pub fn try_grow(&self) -> Result<Communicator, CommError> {
+        self.agree_membership()
+    }
+
+    fn agree_membership(&self) -> Result<Communicator, CommError> {
         let me = self.world_rank();
         let n = self.world_size();
         let health = &self.health;
@@ -739,16 +1118,32 @@ impl Communicator {
         let mut st = health.agree.lock();
         let (shared, epoch) = 'agree: loop {
             let round = st.round;
-            let view: Vec<usize> = (0..n).filter(|&r| health.is_gone(r)).collect();
-            st.votes[me] = Some((round, view));
+            let view_dead: Vec<usize> = (0..n)
+                .filter(|&r| health.is_member(r) && health.is_gone(r))
+                .collect();
+            let view_join = health.pending_joiners();
+            st.votes[me] = Some((round, view_dead, view_join));
             health.agree_cv.notify_all();
-            // Phase 1: wait until every rank has voted this round or died.
+            // Phase 1: wait until every member has voted this round or
+            // died. A published successor of a newer epoch that contains
+            // this rank short-circuits both phases: it was built from a
+            // complete commit set that included ours, and membership may
+            // have grown since (admitted joiners never vote), so the
+            // completeness predicate must not be re-awaited against the
+            // enlarged member set.
             loop {
                 if st.round != round {
                     continue 'agree;
                 }
+                if let Some((_, _, ep, sh)) = &st.published {
+                    if *ep > self.epoch && sh.world_ranks.contains(&me) {
+                        break 'agree (Arc::clone(sh), *ep);
+                    }
+                }
                 let complete = (0..n).all(|r| {
-                    health.is_gone(r) || st.votes[r].as_ref().is_some_and(|(rd, _)| *rd == round)
+                    !health.is_member(r)
+                        || health.is_gone(r)
+                        || st.votes[r].as_ref().is_some_and(|(rd, _, _)| *rd == round)
                 });
                 if complete {
                     break;
@@ -756,30 +1151,50 @@ impl Communicator {
                 st = health.agree_cv.wait_timeout(st, TICK);
             }
             // Candidate dead set: union of this round's votes plus any
-            // death observable right now.
+            // member death observable right now. Candidate admit set:
+            // union of this round's votes *only* — votes for one round
+            // are immutable, so every member derives the same admit set,
+            // and a joiner announcing mid-agreement is picked up by the
+            // next grow instead of racing this one.
             let mut dead = vec![false; n];
+            let mut admit = vec![false; n];
             for r in 0..n {
-                if health.is_gone(r) {
+                if health.is_member(r) && health.is_gone(r) {
                     dead[r] = true;
                 }
-                if let Some((rd, v)) = &st.votes[r] {
+                if let Some((rd, vd, vj)) = &st.votes[r] {
                     if *rd == round {
-                        for &d in v {
+                        for &d in vd {
                             dead[d] = true;
+                        }
+                        for &j in vj {
+                            admit[j] = true;
                         }
                     }
                 }
             }
             let candidate: Vec<usize> = (0..n).filter(|&r| dead[r]).collect();
-            // Phase 2: post the candidate; every live rank must agree.
-            st.commits[me] = Some((round, candidate.clone()));
+            let admits: Vec<usize> = (0..n)
+                .filter(|&r| admit[r] && !health.is_member(r))
+                .collect();
+            // Phase 2: post the candidate; every live member must agree.
+            st.commits[me] = Some((round, candidate.clone(), admits.clone()));
             health.agree_cv.notify_all();
             loop {
                 if st.round != round {
                     continue 'agree;
                 }
+                if let Some((_, _, ep, sh)) = &st.published {
+                    if *ep > self.epoch && sh.world_ranks.contains(&me) {
+                        break 'agree (Arc::clone(sh), *ep);
+                    }
+                }
                 let complete = (0..n).all(|r| {
-                    health.is_gone(r) || st.commits[r].as_ref().is_some_and(|(rd, _)| *rd == round)
+                    !health.is_member(r)
+                        || health.is_gone(r)
+                        || st.commits[r]
+                            .as_ref()
+                            .is_some_and(|(rd, _, _)| *rd == round)
                 });
                 if complete {
                     break;
@@ -787,25 +1202,65 @@ impl Communicator {
                 st = health.agree_cv.wait_timeout(st, TICK);
             }
             let agreed = (0..n)
-                .filter(|&r| !health.is_gone(r))
-                .all(|r| st.commits[r].as_ref().is_some_and(|(_, c)| *c == candidate));
-            let grew = (0..n).any(|r| health.is_gone(r) && !dead[r]);
+                .filter(|&r| health.is_member(r) && !health.is_gone(r))
+                .all(|r| {
+                    st.commits[r]
+                        .as_ref()
+                        .is_some_and(|(_, c, a)| *c == candidate && *a == admits)
+                });
+            let grew = (0..n).any(|r| health.is_member(r) && health.is_gone(r) && !dead[r]);
             if !agreed || grew {
                 // A death raced the vote; restart with the larger view.
                 st.round = round + 1;
                 health.agree_cv.notify_all();
                 continue 'agree;
             }
-            // Committed: adopt the published survivor communicator, or
-            // build it if we are first through.
+            // Committed: adopt the published successor communicator, or
+            // build it if we are first through. The epoch guard rejects a
+            // stale publication left over from an agreement this rank
+            // already consumed.
             match &st.published {
-                Some((d, ep, sh)) if *d == candidate => break (Arc::clone(sh), *ep),
+                Some((d, a, ep, sh)) if *d == candidate && *a == admits && *ep > self.epoch => {
+                    break (Arc::clone(sh), *ep)
+                }
                 _ => {
-                    let survivors: Vec<usize> = (0..n).filter(|&r| !dead[r]).collect();
-                    let sh = CommShared::new(survivors, Arc::clone(&backend));
+                    // Survivors first, in world-rank order; admitted
+                    // joiners appended, in world-rank order.
+                    let mut ranks: Vec<usize> = (0..n)
+                        .filter(|&r| health.is_member(r) && !dead[r])
+                        .collect();
+                    ranks.extend(admits.iter().copied());
                     let ep = health.revocation.load(AtOrd::SeqCst).max(st.epoch + 1);
+                    let fault_id = membership_fault_id(ep, &ranks);
+                    let sh = CommShared::new(ranks, Arc::clone(&backend), fault_id);
                     st.epoch = ep;
-                    st.published = Some((candidate, ep, Arc::clone(&sh)));
+                    // Joiners enter with a fresh suspicion baseline: their
+                    // heartbeat counter starts at the current front of the
+                    // world and their watermark at the publisher's clock,
+                    // so a member that beat through the whole previous
+                    // epoch cannot instantly "suspect" a newcomer.
+                    let front_beats = (0..n)
+                        .map(|r| health.beats[r].load(AtOrd::SeqCst))
+                        .max()
+                        .unwrap_or(0);
+                    for &j in &admits {
+                        health.member[j].store(true, AtOrd::SeqCst);
+                        health.n_members.fetch_add(1, AtOrd::SeqCst);
+                        health.pending_join[j].store(false, AtOrd::SeqCst);
+                        health.beats[j].fetch_max(front_beats, AtOrd::SeqCst);
+                        health.watermark[j].fetch_max(self.clock.now().to_bits(), AtOrd::SeqCst);
+                        // A joiner that died between vote and publish is
+                        // still admitted (the agreed set is immutable);
+                        // account its departure so live() stays honest,
+                        // and let the next shrink remove it.
+                        health.account_dead(j);
+                        st.lobby[j] = Some(LobbyTicket {
+                            shared: Arc::clone(&sh),
+                            epoch: ep,
+                            clock: self.clock.now(),
+                        });
+                    }
+                    st.published = Some((candidate, admits, ep, Arc::clone(&sh)));
                     health.agree_cv.notify_all();
                     break (sh, ep);
                 }
@@ -814,7 +1269,13 @@ impl Communicator {
         drop(st);
         let rank = invariant(
             shared.world_ranks.iter().position(|&r| r == me),
-            "try_shrink: survivor missing from the shrunk communicator",
+            "membership agreement: member missing from the committed communicator",
+        );
+        // Charge the agreement's virtual-time cost — one vote round and one
+        // commit round over the member set — so drivers can report it. The
+        // fault-free path never reaches here, so baselines are untouched.
+        self.clock.advance(
+            2.0 * self.model.alpha * (shared.world_ranks.len().max(2) as f64).log2().ceil(),
         );
         Ok(Communicator {
             shared,
@@ -830,6 +1291,7 @@ impl Communicator {
             label: Cell::new(self.label.get()),
             epoch,
             retry_policy: Cell::new(self.retry_policy.get()),
+            suspicion: Cell::new(self.suspicion.get()),
         })
     }
 
@@ -912,6 +1374,16 @@ impl Communicator {
     ) -> Result<T, CommError> {
         assert!(src < self.size(), "recv: src out of range");
         let mb = &self.shared.mailboxes[self.rank];
+        let src_world = self.shared.world_ranks[src];
+        // Jitter salt for retry backoff: a pure function of the plan seed,
+        // the communicator's identity, and the (src, tag) channel — never
+        // a free-running counter, so identically-seeded runs replay
+        // byte-identical retry schedules.
+        let retry_salt = self.plan.retry_salt(
+            src_world,
+            tag,
+            splitmix64(self.shared.fault_id ^ self.epoch as u64),
+        );
         let mut attempts = 0u32;
         let mut stall = 0u32;
         let mut guard: Option<BlockGuard> = None;
@@ -926,7 +1398,8 @@ impl Communicator {
                     // A dropped delivery: the receiver waits out the
                     // (virtual) timeout, then asks for redelivery.
                     front.drops -= 1;
-                    self.clock.advance(policy.charge(attempts));
+                    self.clock
+                        .advance(policy.charge_jittered(attempts, retry_salt));
                     bump(&self.counters.retries);
                     self.tracer.on_retry();
                     attempts += 1;
@@ -947,7 +1420,6 @@ impl Communicator {
             // because senders enqueue under this same mailbox lock before
             // being marked gone: observing "gone + empty queue" here means
             // no message is coming.
-            let src_world = self.shared.world_ranks[src];
             if self.health.is_gone(src_world) {
                 return Err(CommError::RankDead { rank: src_world });
             }
@@ -1116,16 +1588,17 @@ impl Communicator {
     /// like a slow arriver. Delivery always completes — collectives are
     /// all-or-nothing, so an exhausted retry budget is recorded as a
     /// timeout in [`FaultStats`] rather than stranding the peers — and
-    /// every decision is a pure function of `(seed, rank, collective
-    /// index)`.
-    fn charge_collective_faults(&self) {
-        let idx = self.counters.coll_index.get();
-        self.counters.coll_index.set(idx + 1);
+    /// every decision is a pure function of `(seed, communicator identity,
+    /// collective sequence number)` — never a free-running counter, so two
+    /// identically-seeded runs replay byte-identical fault and retry
+    /// schedules.
+    fn charge_collective_faults(&self, seq: u64) {
         if !self.plan.is_active() {
             return;
         }
         let wr = self.world_rank();
-        let (drops, delay) = self.plan.collective_faults(wr, idx);
+        let ident = splitmix64(self.shared.fault_id ^ seq);
+        let (drops, delay) = self.plan.collective_faults(wr, ident);
         if drops > 0 {
             bump(&self.counters.drops);
         }
@@ -1134,7 +1607,7 @@ impl Communicator {
             self.clock.advance(delay);
         }
         let policy = self.retry_policy.get();
-        let salt = self.plan.retry_salt(wr, u64::MAX, idx);
+        let salt = self.plan.retry_salt(wr, u64::MAX, ident);
         for attempt in 0..drops {
             self.clock.advance(policy.charge_jittered(attempt, salt));
             bump(&self.counters.retries);
@@ -1154,7 +1627,7 @@ impl Communicator {
         contribution: Box<dyn Any + Send>,
         finish: impl FnOnce(Vec<Box<dyn Any + Send>>, f64) -> (R, f64),
     ) -> Result<Arc<R>, CommError> {
-        self.charge_collective_faults();
+        self.charge_collective_faults(self.seq.get());
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
@@ -1551,7 +2024,7 @@ impl Communicator {
             None,
             value.wire_bytes(),
         );
-        self.charge_collective_faults();
+        self.charge_collective_faults(self.seq.get());
         let seq = self.next_seq();
         self.shared.collective_calls.fetch_add(1, AtOrd::Relaxed);
         let size = self.size();
@@ -1634,6 +2107,12 @@ impl Communicator {
         let rank = self.rank;
         let parent_world = self.shared.world_ranks.clone();
         let backend = Arc::clone(&self.shared.backend);
+        // The sub-communicator's fault identity derives from the parent's
+        // identity, the split's position in the parent's collective
+        // sequence, and the color — stable across ranks and across
+        // identically-seeded runs.
+        let parent_fid = self.shared.fault_id;
+        let split_seq = self.seq.get();
         let groups = self.try_collective(Box::new(color), move |contribs, max_entry| {
             let colors: Vec<Option<usize>> = contribs
                 .into_iter()
@@ -1650,7 +2129,10 @@ impl Communicator {
                 .into_iter()
                 .map(|(c, members)| {
                     let world: Vec<usize> = members.iter().map(|&r| parent_world[r]).collect();
-                    let shared = CommShared::new(world, Arc::clone(&backend));
+                    let fid = splitmix64(
+                        parent_fid ^ split_seq.rotate_left(17) ^ (c as u64).rotate_left(41),
+                    );
+                    let shared = CommShared::new(world, Arc::clone(&backend), fid);
                     (c, (shared, members))
                 })
                 .collect();
@@ -1677,6 +2159,7 @@ impl Communicator {
                 label: Cell::new(self.label.get()),
                 epoch: self.epoch,
                 retry_policy: Cell::new(self.retry_policy.get()),
+                suspicion: Cell::new(self.suspicion.get()),
             })
         }))
     }
@@ -1703,7 +2186,7 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
-        Self::run_impl(n, model, faults, false, std_backend(), f).0
+        unwrap_founders(Self::run_impl(n, 0, model, faults, false, std_backend(), f).0)
     }
 
     /// [`World::run_with_faults`] under an explicit [`SyncBackend`].
@@ -1724,7 +2207,45 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
-        Self::run_impl(n, model, faults, false, backend, f).0
+        unwrap_founders(Self::run_impl(n, 0, model, faults, false, backend, f).0)
+    }
+
+    /// [`World::run_with_faults`] plus `reserve` additional rank threads
+    /// parked in the admission lobby. A reserve enters the program only
+    /// after a [`Communicator::try_grow`] admits it (its slot in the
+    /// result vector is `None` if the world ends first); founders always
+    /// produce `Some`. Joiners are announced by
+    /// [`Communicator::announce_joiner`] or a [`FaultPlan::with_join`]
+    /// failpoint.
+    pub fn run_elastic<R, F>(
+        n: usize,
+        reserve: usize,
+        model: CostModel,
+        faults: FaultPlan,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        Self::run_impl(n, reserve, model, faults, false, std_backend(), f).0
+    }
+
+    /// [`World::run_elastic`] under an explicit [`SyncBackend`] — the
+    /// entry point `dd-check`'s join-protocol suites drive.
+    pub fn run_elastic_with_backend<R, F>(
+        n: usize,
+        reserve: usize,
+        model: CostModel,
+        faults: FaultPlan,
+        backend: Arc<dyn SyncBackend>,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        R: Send,
+        F: Fn(&Communicator) -> R + Send + Sync,
+    {
+        Self::run_impl(n, reserve, model, faults, false, backend, f).0
     }
 
     /// [`World::run`] with telemetry: every communication event is recorded
@@ -1752,32 +2273,38 @@ impl World {
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
-        let (results, trace) = Self::run_impl(n, model, faults, true, std_backend(), f);
-        (results, invariant(trace, "traced run produced no trace"))
+        let (results, trace) = Self::run_impl(n, 0, model, faults, true, std_backend(), f);
+        (
+            unwrap_founders(results),
+            invariant(trace, "traced run produced no trace"),
+        )
     }
 
     fn run_impl<R, F>(
         n: usize,
+        reserve: usize,
         model: CostModel,
         faults: FaultPlan,
         traced: bool,
         backend: Arc<dyn SyncBackend>,
         f: F,
-    ) -> (Vec<R>, Option<WorldTrace>)
+    ) -> (Vec<Option<R>>, Option<WorldTrace>)
     where
         R: Send,
         F: Fn(&Communicator) -> R + Send + Sync,
     {
         assert!(n >= 1);
-        let shared = CommShared::new((0..n).collect(), Arc::clone(&backend));
-        let health = WorldHealth::new(n, &backend);
+        assert!(reserve == 0 || !traced, "traced elastic runs unsupported");
+        let total = n + reserve;
+        let shared = CommShared::new((0..n).collect(), Arc::clone(&backend), 0);
+        let health = WorldHealth::new(n, reserve, &backend);
         let plan = Arc::new(faults);
         let compute_token = Arc::new(SyncMutex::new(&backend, ()));
-        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-        let traces: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
+        let traces: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..total).map(|_| None).collect());
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for rank in 0..n {
+            let mut handles = Vec::with_capacity(total);
+            for rank in 0..total {
                 let shared = Arc::clone(&shared);
                 let health = Arc::clone(&health);
                 let plan = Arc::clone(&plan);
@@ -1807,13 +2334,30 @@ impl World {
                             }
                         }
                         let _done = Done(Arc::clone(&health), rank);
+                        // Reserves wait in the admission lobby: the program
+                        // starts for them only when a grow commits and the
+                        // publisher deposits their ticket.
+                        let (comm_shared, epoch, clock0) = if rank < n {
+                            (shared, 0, 0.0)
+                        } else {
+                            match lobby_wait(&health, rank) {
+                                Some(t) => (t.shared, t.epoch, t.clock),
+                                None => return, // world ended un-admitted
+                            }
+                        };
+                        let comm_rank = invariant(
+                            comm_shared.world_ranks.iter().position(|&r| r == rank),
+                            "admitted joiner missing from its committed communicator",
+                        );
+                        let clock = Rc::new(VirtualClock::new());
+                        clock.advance_to(clock0);
                         let tracer = Rc::new(TraceRecorder::new(traced));
                         let label = Cell::new(tracer.intern_label("world"));
                         let comm = Communicator {
-                            shared,
+                            shared: comm_shared,
                             model,
-                            rank,
-                            clock: Rc::new(VirtualClock::new()),
+                            rank: comm_rank,
+                            clock,
                             seq: Cell::new(0),
                             compute_token,
                             health,
@@ -1821,8 +2365,9 @@ impl World {
                             counters: Rc::new(FaultCounters::default()),
                             tracer,
                             label,
-                            epoch: 0,
+                            epoch,
                             retry_policy: Cell::new(RetryPolicy::default()),
+                            suspicion: Cell::new(None),
                         };
                         let r = f(&comm);
                         if traced {
@@ -1839,17 +2384,13 @@ impl World {
                 }
             }
         });
-        let results = results
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .into_iter()
-            .map(|r| invariant(r, "rank produced no result"))
-            .collect();
+        let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
         let trace = traced.then(|| WorldTrace {
             ranks: traces
                 .into_inner()
                 .unwrap_or_else(|e| e.into_inner())
                 .into_iter()
+                .take(n)
                 .map(|t| invariant(t, "rank produced no trace"))
                 .collect(),
         });

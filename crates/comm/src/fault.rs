@@ -168,6 +168,14 @@ pub struct FaultPlan {
     /// `(world rank or all, label)`: the labeled recoverable operation
     /// reports failure on the matching rank(s).
     failures: Vec<(Option<usize>, String)>,
+    /// `(reserve world rank, failpoint label)`: the reserve rank becomes a
+    /// pending joiner when any rank reaches the labeled failpoint
+    /// (elastic worlds, [`crate::World::run_elastic`]).
+    joins: Vec<(usize, String)>,
+    /// `(world rank, failpoint label)`: the rank's heartbeats are
+    /// suppressed from the labeled failpoint on — it keeps computing but
+    /// looks stalled to its peers' suspicion policy (straggler injection).
+    straggles: Vec<(usize, String)>,
 }
 
 impl FaultPlan {
@@ -211,12 +219,33 @@ impl FaultPlan {
         self
     }
 
+    /// Make reserve world rank `rank` announce itself as a pending joiner
+    /// when any rank reaches the failpoint labeled `phase` (elastic
+    /// worlds only — see [`crate::World::run_elastic`]).
+    pub fn with_join(mut self, rank: usize, phase: &str) -> Self {
+        self.joins.push((rank, phase.to_string()));
+        self
+    }
+
+    /// Suppress world rank `rank`'s heartbeats from the failpoint labeled
+    /// `phase` on: the rank keeps running, but its progress watermark
+    /// freezes, so peers running a suspicion policy classify it
+    /// `Suspected` and can evict it. Suppression (rather than injected
+    /// slowness) keeps the victim's own numerics and program order
+    /// untouched, so chaos runs stay deterministic.
+    pub fn with_straggle(mut self, rank: usize, phase: &str) -> Self {
+        self.straggles.push((rank, phase.to_string()));
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
         self.delay_prob > 0.0
             || self.drop_prob > 0.0
             || !self.kills.is_empty()
             || !self.failures.is_empty()
+            || !self.joins.is_empty()
+            || !self.straggles.is_empty()
     }
 
     /// Should `rank` die at the failpoint labeled `phase`?
@@ -229,6 +258,20 @@ impl FaultPlan {
         self.failures
             .iter()
             .any(|(r, l)| r.is_none_or(|r| r == rank) && l == label)
+    }
+
+    /// Reserve world ranks that become pending joiners at the failpoint
+    /// labeled `phase`.
+    pub fn joins_at<'a>(&'a self, phase: &'a str) -> impl Iterator<Item = usize> + 'a {
+        self.joins
+            .iter()
+            .filter(move |(_, p)| p == phase)
+            .map(|(r, _)| *r)
+    }
+
+    /// Should `rank` stop heartbeating at the failpoint labeled `phase`?
+    pub fn straggles(&self, rank: usize, phase: &str) -> bool {
+        self.straggles.iter().any(|(r, p)| *r == rank && p == phase)
     }
 
     /// Fault decision for one p2p message, identified by its endpoints
@@ -285,7 +328,12 @@ impl FaultPlan {
     }
 
     /// Deterministic salt for the seeded retry jitter of one message
-    /// identity (see [`RetryPolicy::charge_jittered`]).
+    /// identity (see [`RetryPolicy::charge_jittered`]). The salt is a pure
+    /// function of the plan seed and a stable identity — the communicator's
+    /// fault id plus `(src, tag)` for point-to-point retries, the
+    /// communicator's fault id plus its collective sequence number for
+    /// collective retries — never a free-running counter, so two
+    /// identically-seeded runs replay byte-identical retry schedules.
     pub(crate) fn retry_salt(&self, src: usize, tag: u64, index: u64) -> u64 {
         hash4(self.seed, src as u64, tag, index)
     }
@@ -305,7 +353,7 @@ pub struct FaultStats {
     pub timeouts: u64,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -384,6 +432,20 @@ mod tests {
         assert!(p.should_fail(1, "eigensolve"));
         assert!(!p.should_fail(0, "eigensolve"));
         assert!(p.should_fail(0, "coarse-factor") && p.should_fail(3, "coarse-factor"));
+    }
+
+    #[test]
+    fn join_and_straggle_matching() {
+        let p = FaultPlan::new(0)
+            .with_join(4, "solve-iteration-3")
+            .with_join(5, "solve-iteration-3")
+            .with_straggle(2, "ras");
+        assert!(p.is_active());
+        assert_eq!(p.joins_at("solve-iteration-3").collect::<Vec<_>>(), [4, 5]);
+        assert_eq!(p.joins_at("ras").count(), 0);
+        assert!(p.straggles(2, "ras"));
+        assert!(!p.straggles(2, "deflation"));
+        assert!(!p.straggles(1, "ras"));
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
-pub use comm::{CommStats, Communicator, PendingReduce, WireSize, World};
+pub use comm::{
+    CommStats, Communicator, PendingReduce, RankState, SuspicionPolicy, WireSize, World,
+};
 pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 pub use model::CostModel;
 pub use sync::{std_backend, ResourceId, StdSyncBackend, SyncBackend, SyncCondvar, SyncMutex};

@@ -20,6 +20,11 @@ pub enum SpmdError {
     LocalFactorization { rank: usize, source: LdltError },
     /// The rank was killed by a fault plan at the named phase boundary.
     Killed { rank: usize, phase: String },
+    /// The rank was evicted by its peers' suspicion policy (straggler
+    /// removal) — distinguishable from [`SpmdError::Killed`]: the rank was
+    /// alive and computing, but too far behind the world's progress
+    /// watermark to keep.
+    Evicted { rank: usize },
     /// `Comm::split` did not return a communicator for this rank's color.
     SplitFailed { rank: usize },
     /// Building or factoring a coarse operator failed (singular `E`, e.g.
@@ -47,6 +52,9 @@ impl fmt::Display for SpmdError {
             }
             SpmdError::Killed { rank, phase } => {
                 write!(f, "rank {rank} killed at failpoint \"{phase}\"")
+            }
+            SpmdError::Evicted { rank } => {
+                write!(f, "rank {rank} evicted as a suspected straggler")
             }
             SpmdError::SplitFailed { rank } => {
                 write!(f, "communicator split failed on rank {rank}")
@@ -109,21 +117,42 @@ pub enum CoarseOutcome {
     EmptyCoarse,
 }
 
-/// One shrink-and-continue recovery taken by a surviving rank: who died,
-/// who adopted their subdomains, and where the Krylov solve resumed.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One membership change survived by a rank — a shrink (deaths and/or
+/// evictions removed), a grow (joiners admitted), or both at once — with
+/// the repartitioning it caused and the virtual-time cost of each recovery
+/// phase.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RecoveryRecord {
-    /// Revocation epoch of the survivor communicator this recovery
-    /// committed (strictly increasing across recoveries).
+    /// Revocation epoch of the communicator this recovery committed
+    /// (strictly increasing across recoveries).
     pub epoch: usize,
     /// World ranks dead at the time of the agreement, ascending.
     pub dead: Vec<usize>,
-    /// `(orphaned subdomain, adopting world rank)` for every dead rank's
-    /// subdomain, ascending by subdomain.
+    /// World ranks *evicted* by the suspicion policy (stragglers removed
+    /// alive), ascending — disjoint from `dead`.
+    pub evicted: Vec<usize>,
+    /// World ranks admitted through [`dd_comm::Communicator::try_grow`],
+    /// ascending (every joiner of the world up to this epoch).
+    pub joined: Vec<usize>,
+    /// `(orphaned subdomain, adopting world rank)` for every subdomain
+    /// re-homed by this recovery, ascending by subdomain.
     pub adopted: Vec<(usize, usize)>,
+    /// Subdomains whose coarse rows were recomputed by their (possibly
+    /// new) owner this epoch; the complement of `reused`.
+    pub moved: Vec<usize>,
+    /// Subdomains whose coarse basis and rows were reused from the coarse
+    /// cache — the incremental re-assembly at work.
+    pub reused: Vec<usize>,
     /// Iteration the Krylov solve resumed from, when a globally complete
     /// checkpoint existed (`None`: the solve restarted from zero).
     pub resume_iteration: Option<usize>,
+    /// Virtual-time cost of the membership agreement (shrink/grow commit).
+    pub t_agreement: f64,
+    /// Virtual-time cost of re-assembling the coarse operator `E`
+    /// (adoption, deflation, and row exchange; refactorization excluded).
+    pub t_reassembly: f64,
+    /// Virtual-time cost of refactorizing `E` on the new master set.
+    pub t_refactorization: f64,
 }
 
 /// Per-rank record of what actually happened during a run — which phases

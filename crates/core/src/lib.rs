@@ -67,7 +67,10 @@ pub use precond::{
     builder::two_level, builder::TwoLevelOpts, RasPrecond, TwoLevelPrecond, Variant,
 };
 pub use problem::{Pde, Problem};
-pub use recovery::{try_run_spmd_recoverable, CheckpointStore, RecoveryOpts, SpmdMultiSolution};
+pub use recovery::{
+    repartition_plan, try_run_spmd_elastic, try_run_spmd_recoverable, CheckpointStore, CoarseCache,
+    RecoveryOpts, RepartitionPlan, SpmdMultiSolution,
+};
 pub use spmd::{
     run_spmd, try_run_spmd, AssemblyVariant, CoarseSolve, Election, SolverKind, SpmdOpts,
     SpmdReport, SpmdSolution,

@@ -34,13 +34,13 @@ use crate::decomp::Decomposition;
 use crate::error::{
     CoarseOutcome, DeflationSource, PhaseOutcome, RecoveryRecord, RunReport, SpmdError,
 };
-use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block};
+use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block, DeflationBlock};
 use crate::masters::{group_of, nonuniform_masters};
 use crate::spmd::{
     classify_comm, classify_comm_at, comm_interrupt, dist_interrupt, interrupt_to_spmd, run_inner,
     MasterSolve, SolverKind, SpmdOpts, SpmdReport,
 };
-use dd_comm::{CommError, Communicator, RetryPolicy};
+use dd_comm::{CommError, Communicator, RetryPolicy, SuspicionPolicy};
 use dd_krylov::{
     try_gmres, CheckpointCfg, CheckpointSink, InnerProduct, Operator, Preconditioner,
     SolveCheckpoint, SolveInterrupt, SolveResult, SolveStatus,
@@ -76,6 +76,12 @@ pub struct RecoveryOpts {
     /// less progress to a death but snapshot (copy the iterate) more
     /// often; checkpoints are communication-free either way.
     pub checkpoint_interval: usize,
+    /// Straggler-suspicion policy armed on elastic runs
+    /// ([`try_run_spmd_elastic`]): a member whose heartbeats or
+    /// progress watermark lag beyond the policy's budgets is evicted via
+    /// the shrink path at the next iteration boundary. `None`: never
+    /// suspect (the default — a slow rank is waited for).
+    pub suspicion: Option<SuspicionPolicy>,
 }
 
 impl Default for RecoveryOpts {
@@ -84,6 +90,7 @@ impl Default for RecoveryOpts {
             enabled: false,
             max_recoveries: 1,
             checkpoint_interval: 5,
+            suspicion: None,
         }
     }
 }
@@ -174,6 +181,111 @@ impl CheckpointSink for StoreSink<'_> {
     }
 }
 
+// ----------------------------------------------------------- coarse cache
+
+/// Cached per-subdomain coarse data enabling *incremental* `E` re-assembly
+/// across membership changes. Like [`CheckpointStore`], the shared map
+/// models the stable storage a real deployment keeps next to its
+/// checkpoints; ranks only read/write entries for subdomains they own.
+///
+/// Two invariants drive the keying (DESIGN.md §11):
+///
+/// - The deflation **basis** of a subdomain is a function of the subdomain
+///   alone (whole subdomains move, no re-meshing), so the abstract GenEO
+///   space stays admissible under repartitioning — keyed by subdomain and
+///   reused by whichever rank owns it next.
+/// - Coarse **rows** live with their owner — keyed `(subdomain, owner
+///   world rank)` — so a subdomain moved to a new owner has its rows
+///   recomputed there, while unmoved subdomains' rows are reused verbatim
+///   and only re-gathered onto the new master set (where [`DistLdlt`] is
+///   refactorized regardless).
+#[derive(Default)]
+pub struct CoarseCache {
+    basis: Mutex<HashMap<usize, CachedBasis>>,
+    rows: Mutex<HashMap<(usize, usize), CachedRows>>,
+}
+
+struct CachedBasis {
+    w: dd_linalg::DMat,
+    values: Vec<f64>,
+    kept: usize,
+    /// Did the cached basis come from the GenEO eigensolve (as opposed to
+    /// the Nicolaides fallback)?
+    geneo: bool,
+}
+
+#[derive(Clone)]
+struct CachedRows {
+    /// Layout signature (hash over every subdomain's ν) the rows were
+    /// assembled under; a ν change anywhere invalidates them.
+    sig: u64,
+    /// `E_ss`, row-major `ν_s × ν_s`.
+    e_ss: Vec<f64>,
+    /// `(neighbor j, ν_j, E_sj row-major ν_s × ν_j)` in neighbor order.
+    e_sj: Vec<(usize, usize, Vec<f64>)>,
+}
+
+impl CoarseCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn basis(&self, sub: usize) -> Option<(DeflationBlock, bool)> {
+        let basis = self.basis.lock().unwrap_or_else(|p| p.into_inner());
+        basis.get(&sub).map(|b| {
+            (
+                DeflationBlock {
+                    w: b.w.clone(),
+                    values: b.values.clone(),
+                    kept: b.kept,
+                },
+                b.geneo,
+            )
+        })
+    }
+
+    fn store_basis(&self, sub: usize, block: &DeflationBlock, geneo: bool) {
+        let mut basis = self.basis.lock().unwrap_or_else(|p| p.into_inner());
+        basis.insert(
+            sub,
+            CachedBasis {
+                w: block.w.clone(),
+                values: block.values.clone(),
+                kept: block.kept,
+                geneo,
+            },
+        );
+    }
+
+    fn has_rows(&self, sub: usize, owner: usize, sig: u64) -> bool {
+        let rows = self.rows.lock().unwrap_or_else(|p| p.into_inner());
+        rows.get(&(sub, owner)).is_some_and(|r| r.sig == sig)
+    }
+
+    fn rows(&self, sub: usize, owner: usize, sig: u64) -> Option<CachedRows> {
+        let rows = self.rows.lock().unwrap_or_else(|p| p.into_inner());
+        rows.get(&(sub, owner)).filter(|r| r.sig == sig).cloned()
+    }
+
+    fn store_rows(&self, sub: usize, owner: usize, entry: CachedRows) {
+        let mut rows = self.rows.lock().unwrap_or_else(|p| p.into_inner());
+        rows.insert((sub, owner), entry);
+    }
+}
+
+/// Layout signature of one coarse operator: a seed-free hash of every
+/// subdomain's ν, identical on every rank that allgathered the same pairs.
+fn layout_sig(nu_of: &[usize]) -> u64 {
+    let mut h: u64 = 0xE11A; // "elastic" seed, any fixed constant works
+    for &nu in nu_of {
+        h = h
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            .wrapping_add(nu as u64 + 1);
+    }
+    h
+}
+
 // ---------------------------------------------------------------- driver
 
 /// The per-rank result of a recoverable SPMD solve: after an adoption a
@@ -229,6 +341,7 @@ pub fn try_run_spmd_recoverable(
         return Err(err);
     }
     let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    let t0 = comm.clock();
     let mut current = match comm.try_shrink() {
         Ok(c) => c,
         Err(e) => {
@@ -236,8 +349,19 @@ pub fn try_run_spmd_recoverable(
             return Err(classify_comm(comm, e));
         }
     };
+    let mut t_agreement = current.clock() - t0;
     for attempt in 1..=opts.recovery.max_recoveries {
-        match run_recovered(decomp, &current, opts, store, &mut recoveries) {
+        let plan = shrink_plan(decomp, &current);
+        match run_partitioned(
+            decomp,
+            &current,
+            opts,
+            store,
+            None,
+            &plan,
+            &mut recoveries,
+            t_agreement,
+        ) {
             Ok(sol) => return Ok(sol),
             Err(e) => {
                 let again = recoverable(&e) && attempt < opts.recovery.max_recoveries;
@@ -246,11 +370,103 @@ pub fn try_run_spmd_recoverable(
                     comm.abandon();
                     return Err(err);
                 }
+                let t0 = current.clock();
                 current = match current.try_shrink() {
                     Ok(c) => c,
                     Err(e2) => {
                         comm.abandon();
                         return Err(classify_comm(&current, e2));
+                    }
+                };
+                t_agreement = current.clock() - t0;
+            }
+        }
+    }
+    comm.abandon();
+    Err(err)
+}
+
+/// Elastic SPMD solve: [`try_run_spmd_recoverable`] generalized to worlds
+/// whose membership can *grow* as well as shrink, and whose subdomain
+/// count may exceed the founder count (each rank hosts a contiguous chunk).
+///
+/// Run it under [`dd_comm::World::run_elastic`]: founders enter at epoch 0
+/// and solve on the initial balanced partition; a reserve admitted by a
+/// mid-solve [`Communicator::try_grow`] enters here with
+/// [`Communicator::is_joiner`] set and drops straight into the
+/// repartitioned epoch. Survivors notice pending joiners (and evict
+/// suspected stragglers, under `opts.recovery.suspicion`) at iteration
+/// boundaries via [`Communicator::maintain`]; the resulting revocation
+/// funnels everyone into the same agreement, after which the solve resumes
+/// from the last globally complete checkpoint exactly as after a shrink.
+///
+/// `cache` carries the coarse basis and rows across membership changes so
+/// `E` is re-assembled incrementally — only moved subdomains recompute.
+pub fn try_run_spmd_elastic(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    store: &CheckpointStore,
+    cache: &CoarseCache,
+) -> Result<SpmdMultiSolution, SpmdError> {
+    assert!(
+        comm.size() <= decomp.n_subdomains(),
+        "elastic run: more members than subdomains"
+    );
+    comm.set_suspicion(opts.recovery.suspicion);
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    let plan = repartition_plan(decomp, comm, None);
+    let mut err = match run_partitioned(
+        decomp,
+        comm,
+        opts,
+        store,
+        Some(cache),
+        &plan,
+        &mut recoveries,
+        0.0,
+    ) {
+        Ok(sol) => return Ok(sol),
+        Err(e) => e,
+    };
+    let mut prev_owner = plan.owner_world;
+    if !opts.recovery.enabled || !recoverable(&err) {
+        comm.abandon();
+        return Err(err);
+    }
+    let (mut current, mut t_agreement) = match agree_next(comm) {
+        Ok(next) => next,
+        Err(e) => {
+            comm.abandon();
+            return Err(e);
+        }
+    };
+    for attempt in 1..=opts.recovery.max_recoveries {
+        let plan = repartition_plan(decomp, &current, Some(&prev_owner));
+        match run_partitioned(
+            decomp,
+            &current,
+            opts,
+            store,
+            Some(cache),
+            &plan,
+            &mut recoveries,
+            t_agreement,
+        ) {
+            Ok(sol) => return Ok(sol),
+            Err(e) => {
+                let again = recoverable(&e) && attempt < opts.recovery.max_recoveries;
+                err = e;
+                if !again {
+                    comm.abandon();
+                    return Err(err);
+                }
+                prev_owner = plan.owner_world;
+                (current, t_agreement) = match agree_next(&current) {
+                    Ok(next) => next,
+                    Err(e2) => {
+                        comm.abandon();
+                        return Err(e2);
                     }
                 };
             }
@@ -260,10 +476,49 @@ pub fn try_run_spmd_recoverable(
     Err(err)
 }
 
-/// The adopter of each subdomain after the deaths in `dead`: the subdomain
-/// itself while its owner lives, else the lowest-indexed *surviving*
-/// neighbor subdomain (whose owner adopts it), else the lowest survivor.
-/// Pure function of shared data — every survivor computes the same map.
+/// One membership agreement from the elastic recovery loop: grow when
+/// joiners are pending, shrink otherwise (the two run the identical
+/// protocol — the entry point only names the intent). Returns the
+/// committed communicator and the agreement's virtual-time cost.
+fn agree_next(comm: &Communicator) -> Result<(Communicator, f64), SpmdError> {
+    let t0 = comm.clock();
+    let next = if comm.pending_joiners().is_empty() {
+        comm.try_shrink()
+    } else {
+        comm.try_grow()
+    }
+    .map_err(|e| classify_comm(comm, e))?;
+    let t_agreement = next.clock() - t0;
+    Ok((next, t_agreement))
+}
+
+// ----------------------------------------------------------- repartition
+
+/// How a committed membership change re-homes the subdomains: the complete
+/// owner map of the new epoch plus the membership deltas a
+/// [`RecoveryRecord`] reports. Pure function of shared data — every member
+/// (joiners included) derives the same plan for the same epoch.
+pub struct RepartitionPlan {
+    /// Owner (world rank) of every subdomain, indexed by subdomain.
+    pub owner_world: Vec<usize>,
+    /// Member world ranks that died, ascending.
+    pub dead: Vec<usize>,
+    /// Member world ranks evicted as suspected stragglers, ascending.
+    pub evicted: Vec<usize>,
+    /// Joiner world ranks admitted into the world, ascending.
+    pub joined: Vec<usize>,
+    /// `(subdomain, new owner)` for every subdomain this plan re-homes
+    /// (empty on the initial epoch and on joiners, which have no previous
+    /// owner map to diff against).
+    pub adopted: Vec<(usize, usize)>,
+}
+
+/// The adopter of each subdomain after the departures in `dead`: the
+/// subdomain itself while its owner lives, else the lowest-indexed
+/// *surviving* neighbor subdomain (whose owner adopts it), else the lowest
+/// survivor. Pure function of shared data — every survivor computes the
+/// same map. Only meaningful for one-subdomain-per-rank worlds (the
+/// classic shrink path); elastic worlds re-chunk instead.
 fn adoption_map(decomp: &Decomposition, dead: &[usize], survivors: &[usize]) -> Vec<usize> {
     (0..decomp.n_subdomains())
         .map(|s| {
@@ -279,6 +534,78 @@ fn adoption_map(decomp: &Decomposition, dead: &[usize], survivors: &[usize]) -> 
                 .unwrap_or(survivors[0])
         })
         .collect()
+}
+
+/// Balanced contiguous re-chunk: subdomain `s` goes to the member hosting
+/// the chunk containing `s`, chunks in member (= world-rank, joiners
+/// appended) order, sizes differing by at most one. Whole subdomains move;
+/// nothing is re-meshed.
+fn balanced_owner_map(nsubs: usize, members: &[usize]) -> Vec<usize> {
+    let m = members.len();
+    assert!(
+        0 < m && m <= nsubs,
+        "balanced re-chunk needs 1..=nsubs members, got {m} for {nsubs} subdomains"
+    );
+    let base = nsubs / m;
+    let rem = nsubs % m;
+    let mut owner = Vec::with_capacity(nsubs);
+    for (i, &w) in members.iter().enumerate() {
+        let len = base + usize::from(i < rem);
+        owner.extend(std::iter::repeat_n(w, len));
+    }
+    owner
+}
+
+/// The shrink path's plan: neighbor adoption of the departed ranks'
+/// subdomains (one subdomain per rank, the PR-5 contract).
+fn shrink_plan(decomp: &Decomposition, comm: &Communicator) -> RepartitionPlan {
+    let departed = comm.departed_ranks();
+    let members = comm.world_ranks();
+    let owner_world = adoption_map(decomp, &departed, members);
+    let adopted: Vec<(usize, usize)> = departed.iter().map(|&s| (s, owner_world[s])).collect();
+    RepartitionPlan {
+        owner_world,
+        dead: comm.dead_ranks(),
+        evicted: comm.evicted_ranks(),
+        joined: members
+            .iter()
+            .copied()
+            .filter(|&w| w >= comm.n_founders())
+            .collect(),
+        adopted,
+    }
+}
+
+/// The elastic plan for the current epoch: a balanced contiguous re-chunk
+/// over the committed member set. `prev_owner` (the previous epoch's map,
+/// `None` on the initial epoch and on joiners) is diffed for the
+/// `adopted` report entries only — the owner map itself is a pure function
+/// of the membership, so every member derives it independently.
+pub fn repartition_plan(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    prev_owner: Option<&[usize]>,
+) -> RepartitionPlan {
+    let members = comm.world_ranks();
+    let owner_world = balanced_owner_map(decomp.n_subdomains(), members);
+    let adopted: Vec<(usize, usize)> = match prev_owner {
+        Some(prev) => (0..decomp.n_subdomains())
+            .filter(|&s| owner_world[s] != prev[s])
+            .map(|s| (s, owner_world[s]))
+            .collect(),
+        None => Vec::new(),
+    };
+    RepartitionPlan {
+        owner_world,
+        dead: comm.dead_ranks(),
+        evicted: comm.evicted_ranks(),
+        joined: members
+            .iter()
+            .copied()
+            .filter(|&w| w >= comm.n_founders())
+            .collect(),
+        adopted,
+    }
 }
 
 // -------------------------------------------- multi-subdomain machinery
@@ -432,6 +759,10 @@ impl InnerProduct for MultiDot<'_> {
         // Same iteration-indexed failpoints as the fault-free solve, so
         // chaos plans can kill a rank inside a *recovered* epoch too.
         let _ = self.ctx.comm.failpoint(&format!("solve-iteration-{k}"));
+        // Iteration boundaries are the membership maintenance points:
+        // publish progress, suspect/evict stragglers under the armed
+        // policy, and revoke when joiners are waiting in the lobby.
+        self.ctx.comm.maintain();
     }
 }
 
@@ -623,44 +954,58 @@ impl Preconditioner for MultiADef1<'_> {
     }
 }
 
-// --------------------------------------------------------- recovered run
+// ------------------------------------------------------- partitioned run
 
-/// One recovered epoch on the shrunk survivor communicator: adopt, rebuild
-/// the two-level preconditioner over the survivors, and resume the solve
-/// from the last complete checkpoint.
-fn run_recovered(
+/// One epoch on an arbitrary owner map: build (or rebuild) the two-level
+/// preconditioner over the plan's partition and run — or resume, when the
+/// checkpoint store holds a globally complete snapshot — the Krylov solve.
+///
+/// This is both the recovered epoch of the classic shrink path
+/// (`cache = None`: everything recomputed, adopted subdomains take the
+/// Nicolaides degradation) and every epoch of an elastic run
+/// (`cache = Some`: GenEO bases and coarse rows are banked per
+/// `(subdomain, owner)`, so after a membership change only moved
+/// subdomains recompute — the incremental re-assembly of `E`).
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned(
     decomp: &Decomposition,
     comm: &Communicator,
     opts: &SpmdOpts,
     store: &CheckpointStore,
+    cache: Option<&CoarseCache>,
+    plan: &RepartitionPlan,
     recoveries: &mut Vec<RecoveryRecord>,
+    t_agreement: f64,
 ) -> Result<SpmdMultiSolution, SpmdError> {
     let nsubs = decomp.n_subdomains();
     let me_world = comm.world_rank();
     let me = comm.rank();
     let n_live = comm.size();
-    let dead = comm.dead_ranks();
-    let survivors: Vec<usize> = (0..comm.world_size())
-        .filter(|r| !dead.contains(r))
-        .collect();
-    debug_assert_eq!(survivors.len(), n_live);
-    // World rank → survivor-communicator rank (survivors are re-ranked
-    // contiguously in world order by the shrink agreement).
-    let new_rank_of = |world: usize| -> usize {
-        survivors
-            .binary_search(&world)
-            .expect("subdomain hosted by a dead rank")
+    let members = comm.world_ranks();
+    // World rank → communicator rank (members are re-ranked contiguously,
+    // survivors in world order, joiners appended, by the agreement).
+    let rank_of = |world: usize| -> usize {
+        members
+            .iter()
+            .position(|&r| r == world)
+            .expect("subdomain owned by a non-member rank")
     };
-    // Every blocking wait of the recovered epoch is bounded: a peer that
-    // dies *again* must surface as an error, not an unbounded wait.
+    // Every blocking wait of this epoch is bounded: a peer that dies
+    // *again* must surface as an error, not an unbounded wait.
     comm.set_retry_policy(RetryPolicy::bounded_jittered());
 
     let mut run = RunReport::default();
-    let owner_world = adoption_map(decomp, &dead, &survivors);
-    let owned: Vec<usize> = (0..nsubs).filter(|&s| owner_world[s] == me_world).collect();
-    let host: Vec<usize> = (0..nsubs).map(|s| new_rank_of(owner_world[s])).collect();
-    let adopted: Vec<(usize, usize)> = dead.iter().map(|&s| (s, owner_world[s])).collect();
-    let i_adopted = owned.iter().any(|&s| s != me_world);
+    let owned: Vec<usize> = (0..nsubs)
+        .filter(|&s| plan.owner_world[s] == me_world)
+        .collect();
+    let host: Vec<usize> = (0..nsubs).map(|s| rank_of(plan.owner_world[s])).collect();
+    let my_adopted: Vec<usize> = plan
+        .adopted
+        .iter()
+        .filter(|&&(_, o)| o == me_world)
+        .map(|&(s, _)| s)
+        .collect();
+    let i_adopted = !my_adopted.is_empty();
 
     comm.try_barrier()?;
     comm.reset_clock();
@@ -683,10 +1028,7 @@ fn run_recovered(
         "recovery-adopt",
         if i_adopted {
             PhaseOutcome::Degraded {
-                reason: format!(
-                    "adopted orphaned subdomain(s) {:?}",
-                    owned.iter().filter(|&&s| s != me_world).collect::<Vec<_>>()
-                ),
+                reason: format!("adopted orphaned subdomain(s) {my_adopted:?}"),
             }
         } else {
             PhaseOutcome::Ok
@@ -696,14 +1038,39 @@ fn run_recovered(
     let t_adopt = comm.clock();
     comm.trace_phase("recovery-deflation");
 
-    // ---- deflation: recompute GenEO for originally-owned subdomains;
-    // adopted ones get the Nicolaides substitute (eigenvector
+    // ---- deflation. With a coarse cache (elastic runs) the GenEO basis
+    // travels with the subdomain: reuse it wherever the subdomain lands,
+    // compute it once where it is missing. Without one (classic shrink),
+    // adopted subdomains get the Nicolaides substitute (eigenvector
     // recomputation is skipped — the documented degradation).
     let mut blocks = Vec::with_capacity(owned.len());
     let mut degraded_deflation = false;
     for &s in &owned {
         let sub = &decomp.subdomains[s];
-        let block = if s == me_world && !opts.one_level_only {
+        let block = if opts.one_level_only {
+            comm.compute(|| nicolaides_fallback_block(sub))
+        } else if let Some(cache) = cache {
+            match cache.basis(s) {
+                Some((b, geneo)) => {
+                    if !geneo {
+                        degraded_deflation = true;
+                    }
+                    b
+                }
+                None => match comm.compute(|| try_deflation_block(sub, &opts.geneo)) {
+                    Ok(b) => {
+                        cache.store_basis(s, &b, true);
+                        b
+                    }
+                    Err(_) => {
+                        degraded_deflation = true;
+                        let b = comm.compute(|| nicolaides_fallback_block(sub));
+                        cache.store_basis(s, &b, false);
+                        b
+                    }
+                },
+            }
+        } else if s == me_world {
             match comm.compute(|| try_deflation_block(sub, &opts.geneo)) {
                 Ok(b) => b,
                 Err(_) => {
@@ -712,9 +1079,7 @@ fn run_recovered(
                 }
             }
         } else {
-            if s != me_world {
-                degraded_deflation = true;
-            }
+            degraded_deflation = true;
             comm.compute(|| nicolaides_fallback_block(sub))
         };
         blocks.push(block);
@@ -788,6 +1153,10 @@ fn run_recovered(
     let mut nu_of = vec![0usize; nsubs];
     let mut coarse_failed: Option<String> = None;
     let mut coarse_fallback: Option<String> = None;
+    // Which subdomains' coarse rows are recomputed this epoch (all of
+    // them without a cache); virtual clock reading once `E` is assembled.
+    let mut fresh: Vec<bool> = vec![true; nsubs];
+    let mut clk_assembled: Option<f64> = None;
 
     if !opts.one_level_only {
         // All ranks learn every subdomain's ν: allgather (sub, ν) pairs.
@@ -811,21 +1180,51 @@ fn run_recovered(
         }
         dim_e = pos;
 
+        // Incremental re-assembly: every rank derives the identical
+        // recompute set from a second allgather of owner-authored
+        // freshness flags. A moved subdomain's new owner misses the
+        // `(sub, owner)` cache key and recomputes; an unchanged owner with
+        // a matching layout signature reuses its banked rows.
+        let sig = layout_sig(&nu_of);
+        if let Some(cache) = cache {
+            let mut flags: Vec<u64> = Vec::new();
+            for &s in &owned {
+                flags.push(s as u64);
+                flags.push(u64::from(!cache.has_rows(s, me_world, sig)));
+            }
+            let all_flags = comm.try_allgather(flags)?;
+            for v in &all_flags {
+                for c in v.chunks_exact(2) {
+                    fresh[c[0] as usize] = c[1] != 0;
+                }
+            }
+        }
+
         // Neighborhood exchange of S_j = R_j R_sᵀ T_s per owned subdomain
-        // (Algorithm 1, pair-encoded tags, same-host pairs local).
+        // (Algorithm 1, pair-encoded tags, same-host pairs local). T_s
+        // feeds both this row's diagonal block and the halos of every
+        // neighbor recomputing theirs — skipped only when nobody needs it.
         let policy = comm.retry_policy();
-        let mut t_blocks: Vec<DMat> = Vec::with_capacity(owned.len());
-        let mut e_ss: Vec<DMat> = Vec::with_capacity(owned.len());
+        let mut t_blocks: Vec<Option<DMat>> = Vec::with_capacity(owned.len());
+        let mut e_ss: Vec<Option<DMat>> = Vec::with_capacity(owned.len());
         for (i, &s) in owned.iter().enumerate() {
             let sub = &decomp.subdomains[s];
+            if !fresh[s] && !sub.neighbors.iter().any(|l| fresh[l.j]) {
+                t_blocks.push(None);
+                e_ss.push(None);
+                continue;
+            }
             let nu_s = w[i].cols();
             let (t_s, e) = comm.compute(|| {
                 let t = sub.a_dirichlet.csrmm(&w[i]);
-                let mut e = DMat::zeros(nu_s, nu_s);
-                w[i].gemm_tn(1.0, &t, 0.0, &mut e);
+                let e = fresh[s].then(|| {
+                    let mut e = DMat::zeros(nu_s, nu_s);
+                    w[i].gemm_tn(1.0, &t, 0.0, &mut e);
+                    e
+                });
                 (t, e)
             });
-            t_blocks.push(t_s);
+            t_blocks.push(Some(t_s));
             e_ss.push(e);
         }
         let mut local_halo: Vec<((usize, usize), Vec<f64>)> = Vec::new();
@@ -833,9 +1232,13 @@ fn run_recovered(
             let sub = &decomp.subdomains[s];
             let nu_s = w[i].cols();
             for link in &sub.neighbors {
+                if !fresh[link.j] {
+                    continue;
+                }
+                let t_s = t_blocks[i].as_ref().expect("halo source T_s missing");
                 let mut payload = Vec::with_capacity(link.shared.len() * nu_s);
                 for q in 0..nu_s {
-                    let col = t_blocks[i].col(q);
+                    let col = t_s.col(q);
                     payload.extend(link.shared.iter().map(|&k| col[k as usize]));
                 }
                 if host[link.j] == me {
@@ -846,9 +1249,13 @@ fn run_recovered(
                 }
             }
         }
-        // E_sj = W_sᵀ U_j for each owned subdomain and neighbor.
-        let mut e_sj: Vec<Vec<DMat>> = Vec::with_capacity(owned.len());
+        // E_sj = W_sᵀ U_j for each *fresh* owned subdomain and neighbor.
+        let mut e_sj: Vec<Option<Vec<DMat>>> = Vec::with_capacity(owned.len());
         for (i, &s) in owned.iter().enumerate() {
+            if !fresh[s] {
+                e_sj.push(None);
+                continue;
+            }
             let sub = &decomp.subdomains[s];
             let nu_s = w[i].cols();
             let mut per_link = Vec::with_capacity(sub.neighbors.len());
@@ -883,7 +1290,7 @@ fn run_recovered(
                 });
                 per_link.push(block);
             }
-            e_sj.push(per_link);
+            e_sj.push(Some(per_link));
         }
 
         // Gather this rank's row blocks on the group master. The recovered
@@ -897,20 +1304,78 @@ fn run_recovered(
         for (i, &s) in owned.iter().enumerate() {
             let rs = coarse_start[s];
             let nu_s = w[i].cols();
-            for p in 0..nu_s {
-                for q in 0..nu_s {
-                    rows.push((rs + p) as u64);
-                    cols.push((rs + q) as u64);
-                    vals.push(e_ss[i][(p, q)]);
-                }
-            }
-            for (link, blk) in decomp.subdomains[s].neighbors.iter().zip(&e_sj[i]) {
-                let rj = coarse_start[link.j];
-                for p in 0..blk.rows() {
-                    for q in 0..blk.cols() {
+            if fresh[s] {
+                let ess = e_ss[i].as_ref().expect("fresh row missing E_ss");
+                let links = e_sj[i].as_ref().expect("fresh row missing E_sj");
+                for p in 0..nu_s {
+                    for q in 0..nu_s {
                         rows.push((rs + p) as u64);
-                        cols.push((rj + q) as u64);
-                        vals.push(blk[(p, q)]);
+                        cols.push((rs + q) as u64);
+                        vals.push(ess[(p, q)]);
+                    }
+                }
+                for (link, blk) in decomp.subdomains[s].neighbors.iter().zip(links) {
+                    let rj = coarse_start[link.j];
+                    for p in 0..blk.rows() {
+                        for q in 0..blk.cols() {
+                            rows.push((rs + p) as u64);
+                            cols.push((rj + q) as u64);
+                            vals.push(blk[(p, q)]);
+                        }
+                    }
+                }
+                // Bank the recomputed row for the next membership change:
+                // stored relative to the subdomain, rebased on reuse.
+                if let Some(cache) = cache {
+                    let mut ess_flat = Vec::with_capacity(nu_s * nu_s);
+                    for p in 0..nu_s {
+                        for q in 0..nu_s {
+                            ess_flat.push(ess[(p, q)]);
+                        }
+                    }
+                    let blocks = decomp.subdomains[s]
+                        .neighbors
+                        .iter()
+                        .zip(links)
+                        .map(|(link, blk)| {
+                            let mut flat = Vec::with_capacity(blk.rows() * blk.cols());
+                            for p in 0..blk.rows() {
+                                for q in 0..blk.cols() {
+                                    flat.push(blk[(p, q)]);
+                                }
+                            }
+                            (link.j, blk.cols(), flat)
+                        })
+                        .collect();
+                    cache.store_rows(
+                        s,
+                        me_world,
+                        CachedRows {
+                            sig,
+                            e_ss: ess_flat,
+                            e_sj: blocks,
+                        },
+                    );
+                }
+            } else {
+                let cached = cache
+                    .and_then(|c| c.rows(s, me_world, sig))
+                    .expect("stale freshness flag: cached coarse row vanished");
+                for p in 0..nu_s {
+                    for q in 0..nu_s {
+                        rows.push((rs + p) as u64);
+                        cols.push((rs + q) as u64);
+                        vals.push(cached.e_ss[p * nu_s + q]);
+                    }
+                }
+                for (j, nu_j, flat) in &cached.e_sj {
+                    let rj = coarse_start[*j];
+                    for p in 0..nu_s {
+                        for q in 0..*nu_j {
+                            rows.push((rs + p) as u64);
+                            cols.push((rj + q) as u64);
+                            vals.push(flat[p * nu_j + q]);
+                        }
                     }
                 }
             }
@@ -918,6 +1383,7 @@ fn run_recovered(
         let gr = split.try_gatherv(0, rows)?;
         let gc = split.try_gatherv(0, cols)?;
         let gv = split.try_gatherv(0, vals)?;
+        clk_assembled = Some(comm.clock());
 
         if let Some(master) = master_comm.as_ref() {
             let (rows, cols, vals) = match (gr, gc, gv) {
@@ -1023,7 +1489,12 @@ fn run_recovered(
         },
     ));
     comm.try_barrier()?;
-    let t_coarse = comm.clock() - t_deflation - t_adopt;
+    let clk_coarse_done = comm.clock();
+    let t_coarse = clk_coarse_done - t_deflation - t_adopt;
+    // Recovery-phase split for the RunReport: everything up to the row
+    // gather is re-assembly; the master factorization is the rest.
+    let t_reassembly = clk_assembled.unwrap_or(clk_coarse_done);
+    let t_refactorization = clk_coarse_done - t_reassembly;
     comm.trace_phase("recovery-solve");
 
     // ---- solve: resume from the last globally complete checkpoint.
@@ -1064,12 +1535,31 @@ fn run_recovered(
         })
     });
     let resume_iteration = resume.as_ref().map(|cp| cp.iteration);
-    recoveries.push(RecoveryRecord {
-        epoch: comm.epoch(),
-        dead: dead.clone(),
-        adopted,
-        resume_iteration,
-    });
+    // The initial epoch of an elastic run is not a recovery — only
+    // membership changes get a record.
+    if comm.epoch() > 0 {
+        let (moved, reused) = if opts.one_level_only {
+            (Vec::new(), Vec::new())
+        } else {
+            (
+                (0..nsubs).filter(|&s| fresh[s]).collect(),
+                (0..nsubs).filter(|&s| !fresh[s]).collect(),
+            )
+        };
+        recoveries.push(RecoveryRecord {
+            epoch: comm.epoch(),
+            dead: plan.dead.clone(),
+            evicted: plan.evicted.clone(),
+            joined: plan.joined.clone(),
+            adopted: plan.adopted.clone(),
+            moved,
+            reused,
+            resume_iteration,
+            t_agreement,
+            t_reassembly,
+            t_refactorization,
+        });
+    }
     let sink = StoreSink {
         store,
         subs: owned
@@ -1155,7 +1645,11 @@ fn run_recovered(
         nu,
         dim_e,
         nnz_e_factor,
-        n_neighbors: decomp.subdomains[me_world].neighbors.len(),
+        n_neighbors: decomp
+            .subdomains
+            .get(me_world)
+            .or_else(|| owned.first().map(|&s| &decomp.subdomains[s]))
+            .map_or(0, |s| s.neighbors.len()),
         world_collectives_solution: stats_after.collective_calls - stats_before.collective_calls,
         p2p_messages: stats_after.p2p_messages,
         p2p_bytes: stats_after.p2p_bytes,

@@ -246,10 +246,16 @@ pub(crate) fn classify_comm(comm: &Communicator, e: CommError) -> SpmdError {
 /// untraced worlds where the telemetry phase is unavailable.
 pub(crate) fn classify_comm_at(comm: &Communicator, e: CommError, phase: &str) -> SpmdError {
     match e {
-        CommError::RankDead { rank } if rank == comm.world_rank() => SpmdError::Killed {
-            rank,
-            phase: phase.to_string(),
-        },
+        CommError::RankDead { rank } if rank == comm.world_rank() => {
+            if comm.is_world_rank_evicted(rank) {
+                SpmdError::Evicted { rank }
+            } else {
+                SpmdError::Killed {
+                    rank,
+                    phase: phase.to_string(),
+                }
+            }
+        }
         other => SpmdError::Comm(other),
     }
 }
@@ -277,10 +283,16 @@ pub(crate) fn interrupt_to_spmd(comm: &Communicator, interrupt: SolveInterrupt) 
     let reason = interrupt.reason().to_string();
     match interrupt.take_source().map(|s| s.downcast::<CommError>()) {
         Some(Ok(e)) => match *e {
-            CommError::RankDead { rank } if rank == comm.world_rank() => SpmdError::Killed {
-                rank,
-                phase: phase.unwrap_or_else(|| comm.trace_phase_name()),
-            },
+            CommError::RankDead { rank } if rank == comm.world_rank() => {
+                if comm.is_world_rank_evicted(rank) {
+                    SpmdError::Evicted { rank }
+                } else {
+                    SpmdError::Killed {
+                        rank,
+                        phase: phase.unwrap_or_else(|| comm.trace_phase_name()),
+                    }
+                }
+            }
             other => SpmdError::Comm(other),
         },
         Some(Err(other)) => SpmdError::Protocol {

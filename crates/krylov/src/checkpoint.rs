@@ -7,6 +7,13 @@
 //! restart cycle, and convergence is still measured against the original
 //! `‖r₀‖` anchor so "same tolerance as the fault-free run" is preserved.
 //!
+//! The same contract covers *grown* worlds: a solve interrupted because
+//! ranks joined (or a straggler was evicted) resumes from the checkpointed
+//! `x` exactly as after a shrink. The checkpoint is indexed by subdomain,
+//! not by rank, so it is indifferent to how the repartitioned world maps
+//! subdomains onto the new membership — only the iterate, the anchor, and
+//! the history cross the epoch boundary.
+//!
 //! Checkpoint writes are purely local — no communication, no trace events —
 //! so arming a sink does not perturb canonical traces of fault-free runs.
 

@@ -28,6 +28,11 @@
 //!   `RetryPolicy::unbounded` are banned there. Recovery runs on a world
 //!   that has already lost a rank; an unbounded wait can hang the
 //!   survivors on a second death instead of surfacing a typed error.
+//! * **suspected-bounded** — `Suspected` handling inside a `recovery-*`
+//!   phase must be visibly bounded (a `deadline` / `k_missed` /
+//!   `SuspicionPolicy` budget or an explicitly bounded/timeout wait
+//!   nearby): a suspected straggler may still make progress, and waiting
+//!   for it without a budget turns suspicion back into a hang.
 //!
 //! Audited exceptions live in `dd-lint.allow` at the workspace root, one
 //! per line: `rule path-substring code-substring # justification`. The
@@ -454,26 +459,33 @@ const BLOCKING_WAITS: [&str; 11] = [
     ".wait_reduce(",
 ];
 
+/// Per-line flags marking the `recovery-*` telemetry regions of a file: a
+/// region runs from a `trace_phase("recovery-…")` call to the next
+/// `trace_phase(` call (the restore or the next phase) — string contents
+/// are blanked in the stripped code, so the marker is located on the raw
+/// line, gated by the stripped line still containing the call (prose
+/// never trips it). This is a lexical approximation of the dynamic phase
+/// scope: helpers called from a recovery phase are out of reach, but
+/// everything *written* in one is covered.
+fn recovery_regions(f: &SourceFile) -> Vec<bool> {
+    let mut in_recovery = Vec::with_capacity(f.code.lines().count());
+    let mut inside = false;
+    for (code_l, raw_l) in f.code.lines().zip(f.raw.lines()) {
+        if code_l.contains("trace_phase(") {
+            inside = raw_l.contains("trace_phase(\"recovery-");
+        }
+        in_recovery.push(inside);
+    }
+    in_recovery
+}
+
 /// Rule: no infallible blocking waits and no `RetryPolicy::unbounded`
-/// lexically inside a `recovery-*` telemetry phase. A region runs from a
-/// `trace_phase("recovery-…")` call to the next `trace_phase(` call (the
-/// restore or the next phase) — string contents are blanked in the
-/// stripped code, so the marker is located on the raw line, gated by the
-/// stripped line still containing the call (prose never trips it). This
-/// is a lexical approximation of the dynamic phase scope: helpers called
-/// from a recovery phase are out of reach, but every wait *written* in
-/// one is covered.
+/// lexically inside a `recovery-*` telemetry phase (see
+/// [`recovery_regions`] for the region definition).
 pub fn rule_recovery_retry(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in files {
-        let mut in_recovery = Vec::with_capacity(f.code.lines().count());
-        let mut inside = false;
-        for (code_l, raw_l) in f.code.lines().zip(f.raw.lines()) {
-            if code_l.contains("trace_phase(") {
-                inside = raw_l.contains("trace_phase(\"recovery-");
-            }
-            in_recovery.push(inside);
-        }
+        let in_recovery = recovery_regions(f);
         if !in_recovery.iter().any(|&b| b) {
             continue;
         }
@@ -492,6 +504,51 @@ pub fn rule_recovery_retry(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// Markers that make a `Suspected` handling site visibly bounded: a
+/// suspicion budget (`deadline`, `k_missed`, a `SuspicionPolicy` in
+/// hand) or an explicitly bounded wait (`bounded`, `timeout`).
+const BOUND_MARKERS: [&str; 5] = [
+    "deadline",
+    "k_missed",
+    "SuspicionPolicy",
+    "bounded",
+    "timeout",
+];
+
+/// Rule: `Suspected` handling inside a `recovery-*` telemetry phase must
+/// be visibly bounded. A straggler is *suspected* precisely because it
+/// still might make progress; recovery code that reacts to `Suspected`
+/// by waiting for it (rather than under a budget that can evict) turns
+/// the suspicion layer back into an unbounded hang. Lexically: every
+/// line mentioning `Suspected` inside a recovery region must carry one
+/// of [`BOUND_MARKERS`] within two lines.
+pub fn rule_suspected_bounded(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let in_recovery = recovery_regions(f);
+        if !in_recovery.iter().any(|&b| b) {
+            continue;
+        }
+        let tests_at = test_region_start(f);
+        let lines: Vec<&str> = f.code.lines().collect();
+        for line in occurrences(f, "Suspected") {
+            if line >= tests_at || !in_recovery.get(line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            let lo = line.saturating_sub(3);
+            let hi = (line + 2).min(lines.len());
+            let window = &lines[lo..hi];
+            let bounded = window
+                .iter()
+                .any(|l| BOUND_MARKERS.iter().any(|m| l.contains(m)));
+            if !bounded {
+                out.push(finding("suspected-bounded", f, line));
+            }
+        }
+    }
+    out
+}
+
 /// Run every rule.
 pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -501,6 +558,7 @@ pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     out.extend(rule_wire_size(files));
     out.extend(rule_std_sync(files));
     out.extend(rule_recovery_retry(files));
+    out.extend(rule_suspected_bounded(files));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
@@ -828,6 +886,52 @@ mod tests {
              mod tests { fn f() { comm.recv::<u64>(0, 1); } }\n",
         );
         assert!(rule_recovery_retry(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn unbounded_suspected_handling_in_recovery_phase_is_caught() {
+        let bad = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-agree\");\n\
+             while states.iter().any(|s| *s == RankState::Suspected) {\n\
+             comm.probe();\n\
+             }\n\
+             comm.trace_phase(\"solve\");\n",
+        );
+        let got = rule_suspected_bounded(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "suspected-bounded");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn budgeted_suspected_handling_passes() {
+        let ok = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-agree\");\n\
+             let policy = opts.suspicion.unwrap_or_default();\n\
+             if states[r] == RankState::Suspected && beats[r] >= policy.k_missed {\n\
+             comm.evict(r);\n\
+             }\n\
+             comm.trace_phase(\"solve\");\n",
+        );
+        assert!(rule_suspected_bounded(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn suspected_outside_recovery_regions_and_in_tests_is_ignored() {
+        let ok = file(
+            "crates/core/src/recovery.rs",
+            "comm.trace_phase(\"recovery-agree\");\n\
+             comm.trace_phase(\"solve\");\n\
+             let s = RankState::Suspected;\n\
+             #[cfg(test)]\n\
+             mod tests { fn f() { assert_eq!(s, RankState::Suspected); } }\n",
+        );
+        assert!(rule_suspected_bounded(std::slice::from_ref(&ok)).is_empty());
+        // No recovery region at all: the rule never fires.
+        let none = file("crates/comm/src/comm.rs", "let s = RankState::Suspected;\n");
+        assert!(rule_suspected_bounded(std::slice::from_ref(&none)).is_empty());
     }
 
     #[test]

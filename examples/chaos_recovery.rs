@@ -28,16 +28,27 @@
 //! * `DD_KILL_RANK` — the victim (default 1);
 //! * `DD_OUT` — artifact path (default: stdout).
 //!
+//! The elastic-membership scenarios have mirror knobs (either one
+//! switches to the elastic driver: 4 founders over 6 subdomains, 2
+//! reserve ranks in the lobby):
+//!
+//! * `DD_JOIN_AT_PHASE` — failpoint label at which both reserve ranks
+//!   announce; members `try_grow`, repartition, and resume;
+//! * `DD_STRAGGLE_RANK` — rank whose heartbeats freeze at
+//!   `DD_STRAGGLE_PHASE` (default `solve-iteration-2`); an armed
+//!   suspicion policy must *evict* it — the gate asserts the victim
+//!   exits `Evicted` (not dead) and everyone else converges.
+//!
 //! The process exits non-zero if the survivors fail to converge or the
 //! recovered global residual exceeds 1e-5, so the artifact doubles as a
 //! CI gate.
 
-use dd_geneo::comm::{CostModel, FaultPlan, RetryPolicy, World};
+use dd_geneo::comm::{CostModel, FaultPlan, RetryPolicy, SuspicionPolicy, World};
 use dd_geneo::core::geneo::GeneoOpts;
 use dd_geneo::core::problem::presets;
 use dd_geneo::core::{
-    decompose, try_run_spmd, try_run_spmd_recoverable, CheckpointStore, Decomposition, SpmdError,
-    SpmdOpts, SpmdReport,
+    decompose, try_run_spmd, try_run_spmd_elastic, try_run_spmd_recoverable, CheckpointStore,
+    CoarseCache, Decomposition, SpmdError, SpmdOpts, SpmdReport,
 };
 use dd_geneo::krylov::GmresOpts;
 use dd_geneo::mesh::Mesh;
@@ -102,9 +113,12 @@ fn run_recoverable(decomp: &Arc<Decomposition>, plan: FaultPlan, opts: SpmdOpts)
 
 /// `‖b − Ax‖ / ‖b‖` of the global iterate reassembled from the survivors'
 /// per-subdomain locals.
-fn global_residual(decomp: &Decomposition, results: &[RecResult]) -> f64 {
+fn global_residual<'a>(
+    decomp: &Decomposition,
+    results: impl Iterator<Item = &'a RecResult>,
+) -> f64 {
     let mut locals: Vec<Vec<f64>> = vec![Vec::new(); decomp.n_subdomains()];
-    for res in results.iter().flatten() {
+    for res in results.flatten() {
         for (s, x) in &res.1 {
             locals[*s] = x.clone();
         }
@@ -186,12 +200,69 @@ fn describe_recovery(label: &str, decomp: &Decomposition, results: &[RecResult])
     }
     println!(
         "global residual over survivors: {:.3e}",
-        global_residual(decomp, results)
+        global_residual(decomp, results.iter())
     );
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One rank's JSON body — shared by the kill and elastic artifacts. Every
+/// `RecoveryRecord` field is emitted, including the eviction/join sets,
+/// the moved-vs-reused repartition split, and the virtual-time cost of
+/// each recovery phase.
+fn rank_json(rank: usize, res: &RecResult) -> String {
+    match res {
+        Ok((r, locals)) => {
+            let subs: Vec<String> = locals.iter().map(|(s, _)| s.to_string()).collect();
+            let recs: Vec<String> = r
+                .run
+                .recoveries
+                .iter()
+                .map(|rec| {
+                    let adopted: Vec<String> = rec
+                        .adopted
+                        .iter()
+                        .map(|(s, a)| format!("[{s},{a}]"))
+                        .collect();
+                    format!(
+                        "{{\"epoch\":{},\"dead\":{:?},\"evicted\":{:?},\"joined\":{:?},\
+                         \"adopted\":[{}],\"moved\":{:?},\"reused\":{:?},\
+                         \"resume_iteration\":{},\"t_agreement\":{:e},\
+                         \"t_reassembly\":{:e},\"t_refactorization\":{:e}}}",
+                        rec.epoch,
+                        rec.dead,
+                        rec.evicted,
+                        rec.joined,
+                        adopted.join(","),
+                        rec.moved,
+                        rec.reused,
+                        rec.resume_iteration
+                            .map_or("null".to_string(), |i| i.to_string()),
+                        rec.t_agreement,
+                        rec.t_reassembly,
+                        rec.t_refactorization,
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"rank\":{rank},\"status\":\"{}\",\"iterations\":{},\
+                 \"deflation\":\"{:?}\",\"coarse\":\"{:?}\",\"subdomains\":[{}],\
+                 \"recoveries\":[{}]}}",
+                if r.converged { "converged" } else { "stalled" },
+                r.iterations,
+                r.run.deflation,
+                r.run.coarse,
+                subs.join(","),
+                recs.join(","),
+            )
+        }
+        Err(e) => format!(
+            "{{\"rank\":{rank},\"status\":\"error\",\"error\":\"{}\"}}",
+            json_escape(&e.to_string())
+        ),
+    }
 }
 
 /// Hand-rolled JSON for the CI artifact (the workspace has no serde; the
@@ -203,50 +274,11 @@ fn artifact_json(
     residual: f64,
     results: &[RecResult],
 ) -> String {
-    let mut ranks = Vec::new();
-    for (rank, res) in results.iter().enumerate() {
-        let body = match res {
-            Ok((r, locals)) => {
-                let subs: Vec<String> = locals.iter().map(|(s, _)| s.to_string()).collect();
-                let recs: Vec<String> = r
-                    .run
-                    .recoveries
-                    .iter()
-                    .map(|rec| {
-                        let adopted: Vec<String> = rec
-                            .adopted
-                            .iter()
-                            .map(|(s, a)| format!("[{s},{a}]"))
-                            .collect();
-                        format!(
-                            "{{\"epoch\":{},\"dead\":{:?},\"adopted\":[{}],\"resume_iteration\":{}}}",
-                            rec.epoch,
-                            rec.dead,
-                            adopted.join(","),
-                            rec.resume_iteration
-                                .map_or("null".to_string(), |i| i.to_string()),
-                        )
-                    })
-                    .collect();
-                format!(
-                    "{{\"rank\":{rank},\"status\":\"{}\",\"iterations\":{},\
-                     \"deflation\":\"{:?}\",\"coarse\":\"{:?}\",\"subdomains\":[{}],\
-                     \"recoveries\":[{}]}}",
-                    if r.converged { "converged" } else { "stalled" },
-                    r.iterations,
-                    r.run.deflation,
-                    r.run.coarse,
-                    subs.join(","),
-                    recs.join(","),
-                )
-            }
-            Err(e) => format!(
-                "{{\"rank\":{rank},\"status\":\"error\",\"error\":\"{}\"}}",
-                json_escape(&e.to_string())
-            ),
-        };
-        ranks.push(body);
-    }
+    let ranks: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(rank, res)| rank_json(rank, res))
+        .collect();
     format!(
         "{{\"kill_phase\":\"{}\",\"seed\":{seed},\"victim\":{victim},\
          \"global_residual\":{residual:e},\"ranks\":[{}]}}\n",
@@ -273,7 +305,7 @@ fn artifact_mode(decomp: &Arc<Decomposition>, phase: &str) -> ! {
     o.recovery.enabled = true;
     o.recovery.checkpoint_interval = 2;
     let results = run_recoverable(decomp, plan, o);
-    let residual = global_residual(decomp, &results);
+    let residual = global_residual(decomp, results.iter());
     let json = artifact_json(phase, seed, victim, residual, &results);
     match std::env::var("DD_OUT") {
         Ok(path) => std::fs::write(&path, &json).expect("write DD_OUT artifact"),
@@ -292,14 +324,125 @@ fn artifact_mode(decomp: &Arc<Decomposition>, phase: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Elastic CI artifact mode: 4 founders over 6 subdomains with 2 reserve
+/// ranks in the lobby. `DD_JOIN_AT_PHASE` announces both reserves at that
+/// failpoint; `DD_STRAGGLE_RANK` freezes a rank's heartbeats (at
+/// `DD_STRAGGLE_PHASE`, default `solve-iteration-2`) under an armed
+/// suspicion policy, so the gate additionally asserts the victim exits
+/// `Evicted` — a straggler must be distinguishable from a death.
+fn elastic_artifact_mode(join_phase: Option<String>, straggler: Option<usize>) -> ! {
+    let seed = std::env::var("DD_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let nsubs = 6;
+    let founders = 4;
+    let mesh = Mesh::unit_square(16, 16);
+    let part = partition_mesh_rcb(&mesh, nsubs);
+    let problem = presets::heterogeneous_diffusion(1);
+    let decomp = Arc::new(decompose(&mesh, &problem, &part, nsubs, 1));
+
+    let reserve = if join_phase.is_some() { 2 } else { 0 };
+    let mut plan = FaultPlan::new(seed).with_delays(0.2, 2e-4);
+    if let Some(ph) = &join_phase {
+        for j in 0..reserve {
+            plan = plan.with_join(founders + j, ph);
+        }
+    }
+    let straggle_phase =
+        env_knob("DD_STRAGGLE_PHASE").unwrap_or_else(|| "solve-iteration-2".to_string());
+    if let Some(r) = straggler {
+        plan = plan.with_straggle(r, &straggle_phase);
+    }
+
+    let mut o = opts();
+    o.recovery.enabled = true;
+    o.recovery.checkpoint_interval = 2;
+    o.recovery.max_recoveries = 4;
+    if straggler.is_some() {
+        // Evicting a straggler needs enough solve iterations for the
+        // suspicion budget to trip; one-level RAS converges slowly enough.
+        o.one_level_only = true;
+        o.gmres.tol = 1e-8;
+        o.recovery.suspicion = Some(SuspicionPolicy {
+            k_missed: 3,
+            ..Default::default()
+        });
+    }
+
+    let d = Arc::clone(&decomp);
+    let store = Arc::new(CheckpointStore::new());
+    let cache = Arc::new(CoarseCache::new());
+    let results: Vec<Option<RecResult>> =
+        World::run_elastic(founders, reserve, CostModel::default(), plan, move |comm| {
+            try_run_spmd_elastic(&d, comm, &o, &store, &cache).map(|s| (s.report, s.locals))
+        });
+    let residual = global_residual(&decomp, results.iter().flatten());
+    let ranks: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(rank, res)| match res {
+            Some(r) => rank_json(rank, r),
+            None => format!("{{\"rank\":{rank},\"status\":\"lobby\"}}"),
+        })
+        .collect();
+    let json = format!(
+        "{{\"join_phase\":{},\"straggle_rank\":{},\"seed\":{seed},\
+         \"global_residual\":{residual:e},\"ranks\":[{}]}}\n",
+        join_phase.map_or("null".to_string(), |p| format!("\"{}\"", json_escape(&p))),
+        straggler.map_or("null".to_string(), |r| r.to_string()),
+        ranks.join(",")
+    );
+    match std::env::var("DD_OUT") {
+        Ok(path) => std::fs::write(&path, &json).expect("write DD_OUT artifact"),
+        Err(_) => print!("{json}"),
+    }
+
+    let victim_evicted = straggler.is_none_or(|v| {
+        matches!(
+            results.get(v).and_then(|r| r.as_ref()),
+            Some(Err(SpmdError::Evicted { rank })) if *rank == v
+        )
+    });
+    let others_ok = results
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| Some(*r) != straggler)
+        .all(|(_, res)| {
+            res.as_ref()
+                .is_none_or(|res| res.as_ref().is_ok_and(|(rep, _)| rep.converged))
+        });
+    if victim_evicted && others_ok && residual <= 1e-5 {
+        eprintln!("elastic gate passed: residual {residual:.3e}");
+        std::process::exit(0);
+    }
+    eprintln!(
+        "elastic gate FAILED: residual {residual:.3e}, others_ok {others_ok}, \
+         victim_evicted {victim_evicted}"
+    );
+    std::process::exit(1);
+}
+
+/// Env knob, with CI's unset-matrix-value convention (empty string)
+/// treated as absent.
+fn env_knob(key: &str) -> Option<String> {
+    std::env::var(key).ok().filter(|v| !v.is_empty())
+}
+
 fn main() {
+    let join_phase = env_knob("DD_JOIN_AT_PHASE");
+    let straggler = env_knob("DD_STRAGGLE_RANK").and_then(|v| v.parse().ok());
+    if join_phase.is_some() || straggler.is_some() {
+        elastic_artifact_mode(join_phase, straggler);
+    }
+
     let n = 4;
     let mesh = Mesh::unit_square(16, 16);
     let part = partition_mesh_rcb(&mesh, n);
     let problem = presets::heterogeneous_diffusion(1);
     let decomp = Arc::new(decompose(&mesh, &problem, &part, n, 1));
 
-    if let Ok(phase) = std::env::var("DD_KILL_PHASE") {
+    if let Some(phase) = env_knob("DD_KILL_PHASE") {
         artifact_mode(&decomp, &phase);
     }
 

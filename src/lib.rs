@@ -16,7 +16,10 @@
 //! * [`mesh`] — simplicial meshes with uniform refinement;
 //! * [`part`] — graph partitioning;
 //! * [`fem`] — P1–P4 Lagrange finite elements;
-//! * [`comm`] — SPMD runtime with virtual-time cost modeling;
+//! * [`comm`] — SPMD runtime with virtual-time cost modeling, seeded
+//!   fault injection, and elastic membership (rank join via
+//!   `World::run_elastic` / `Communicator::try_grow`, straggler
+//!   suspicion and eviction under a `SuspicionPolicy`);
 //! * [`krylov`] — GMRES / CG / pipelined p1-GMRES;
 //! * [`core`] — the paper's preconditioners and drivers.
 //!
