@@ -1,0 +1,192 @@
+//! Solve-as-a-service throughput: one resident setup amortized over a
+//! 32-RHS stream vs. 32 fresh one-shot runs of `try_run_spmd` on the same
+//! right-hand sides (the acceptance benchmark of the serving PR).
+//!
+//! The stream mixes single requests, multi-RHS batches, and admissible
+//! perturbations (θ inside the default admissibility ball, so the server
+//! answers them by preconditioner reuse, never a re-setup). Every quantity
+//! compared is *virtual* time from the deterministic cost model, so the
+//! table is machine-independent; the committed baseline
+//! `bench_results/baselines/serve.json` additionally gates the
+//! deterministic counters (solves, reuse, phase telemetry) exactly, while
+//! the `time/*` scalars get a wide tolerance in `tolerances.json` because
+//! virtual clocks fold in measured compute time.
+
+use dd_bench::{diffusion_2d, print_telemetry_table, write_summary, write_telemetry, Summary};
+use dd_comm::{CostModel, World};
+use dd_core::{try_run_spmd, CoarseCache, GeneoOpts, SpmdOpts};
+use dd_krylov::GmresOpts;
+use dd_serve::{try_serve, Payload, ResponseStore, ServeOpts, StreamCfg, Workload as Stream};
+use std::sync::Arc;
+
+/// Total right-hand sides in the stream (the ISSUE's 32-RHS benchmark).
+const N_RHS: usize = 32;
+
+fn opts() -> ServeOpts {
+    ServeOpts {
+        spmd: SpmdOpts {
+            geneo: GeneoOpts {
+                nev: 8,
+                ..Default::default()
+            },
+            gmres: GmresOpts {
+                tol: 1e-10,
+                max_iters: 500,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Seeded stream trimmed to exactly [`N_RHS`] right-hand sides: singles,
+/// batches, and admissible perturbations, arriving densely (the stream is
+/// compute-bound, not arrival-bound, so throughput measures the solver).
+fn stream_of(n_global: usize) -> Stream {
+    let cfg = StreamCfg {
+        n_requests: 2 * N_RHS,
+        mean_interarrival: 1e-3,
+        batch_fraction: 0.3,
+        max_rhs_per_request: 3,
+        perturb_fraction: 0.3,
+        theta_max: 0.04, // inside the default 0.05 admissibility ball
+    };
+    let full = Stream::generate(9, n_global, &cfg);
+    let mut requests = Vec::new();
+    let mut total = 0usize;
+    for mut r in full.requests {
+        if total == N_RHS {
+            break;
+        }
+        if let Payload::Batch(b) = &mut r.payload {
+            b.truncate(N_RHS - total);
+            if b.len() == 1 {
+                r.payload = Payload::Rhs(b.remove(0));
+            }
+        }
+        total += r.n_rhs();
+        r.id = requests.len();
+        requests.push(r);
+    }
+    assert_eq!(total, N_RHS, "stream trim must land exactly on {N_RHS}");
+    Stream::from_requests(requests)
+}
+
+fn main() {
+    println!("# serve: resident setup amortized over a {N_RHS}-RHS stream");
+    let n = 8;
+    let w = diffusion_2d(20, 0, 2, n, 1);
+    println!(
+        "workload: {} ({} dofs, {} ranks)",
+        w.name, w.decomp.n_global, n
+    );
+    let stream = stream_of(w.decomp.n_global);
+    println!(
+        "stream: {} requests, {} RHS, {} distinct perturbations\n",
+        stream.requests.len(),
+        stream.n_rhs_total(),
+        stream.thetas().len()
+    );
+    let o = opts();
+
+    // ---- the resident server, traced --------------------------------
+    let (reports, trace) = {
+        let d = Arc::clone(&w.decomp);
+        let o = o.clone();
+        let s = stream.clone();
+        let cache = Arc::new(CoarseCache::new());
+        let store = Arc::new(ResponseStore::new());
+        World::run_traced(n, CostModel::default(), move |comm| {
+            try_serve(&d, comm, &o, &s, &cache, &store).expect("fault-free serve must succeed")
+        })
+    };
+    let report = &reports[0];
+    let t_serve = reports.iter().map(|r| r.t_total).fold(0.0f64, f64::max);
+    assert_eq!(report.responses.len(), N_RHS, "stream not fully answered");
+    assert!(report.responses.iter().all(|r| r.converged));
+
+    println!(
+        "{:>4} {:>4} {:>9} {:>10} {:>10} {:>10} {:>6} {:>7}",
+        "req", "rhs", "theta", "arrival", "completed", "latency", "#it.", "reused"
+    );
+    for r in &report.responses {
+        println!(
+            "{:>4} {:>4} {:>9.4} {:>10.4} {:>10.4} {:>10.4} {:>6} {:>7}",
+            r.req, r.rhs, r.theta, r.arrival, r.completed, r.latency, r.iterations, r.reused
+        );
+    }
+
+    // ---- the comparison: a fresh setup per right-hand side ----------
+    let mut t_oneshot = 0.0f64;
+    for r in &report.responses {
+        let req = &stream.requests[r.req];
+        let base = if req.theta() == 0.0 {
+            (*w.decomp).clone()
+        } else {
+            w.decomp.perturb_diag(req.theta())
+        };
+        let d = Arc::new(base.with_rhs(req.rhs(r.rhs).to_vec()));
+        let d2 = Arc::clone(&d);
+        let so = o.spmd.clone();
+        let sols = World::run(n, CostModel::default(), move |comm| {
+            try_run_spmd(&d2, comm, &so).expect("one-shot run must succeed")
+        });
+        assert!(sols.iter().all(|s| s.report.converged));
+        t_oneshot += sols.iter().map(|s| s.report.t_total).fold(0.0f64, f64::max);
+    }
+
+    let speedup = t_oneshot / t_serve;
+    let iterations: usize = report.responses.iter().map(|r| r.iterations).sum();
+    let (p50, p99) = (
+        report.latency_percentile(50.0),
+        report.latency_percentile(99.0),
+    );
+    println!(
+        "\n{:>28}: {:.4}s (setup {:.4}s)",
+        "server stream", t_serve, report.t_setup
+    );
+    println!("{:>28}: {:.4}s", "32 one-shot runs", t_oneshot);
+    println!("{:>28}: {:.2}x", "amortized-setup speedup", speedup);
+    println!("{:>28}: {:.2} RHS/s", "throughput", report.throughput());
+    println!("{:>28}: p50 {:.4}s, p99 {:.4}s", "latency", p50, p99);
+    println!(
+        "{:>28}: {} solves, {} reused applies, {} re-setups",
+        "counters", report.solves, report.reused_applies, report.resetups
+    );
+
+    print_telemetry_table("serve", &trace);
+    match write_telemetry("serve", &trace) {
+        Ok(p) => println!("telemetry: {}", p.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
+    let mut summary = Summary::from_trace("serve", &trace);
+    summary.insert("responses", report.responses.len() as f64);
+    summary.insert("solves", report.solves as f64);
+    summary.insert("reused_applies", report.reused_applies as f64);
+    summary.insert("resetups", report.resetups as f64);
+    summary.insert("iterations", iterations as f64);
+    summary.insert("time/t_setup", report.t_setup);
+    summary.insert("time/t_stream", t_serve);
+    summary.insert("time/oneshot_total", t_oneshot);
+    summary.insert("time/speedup", speedup);
+    summary.insert("time/latency_p50", p50);
+    summary.insert("time/latency_p99", p99);
+    summary.insert("time/throughput", report.throughput());
+    match write_summary("serve", &summary) {
+        Ok(p) => println!("summary: {}", p.display()),
+        Err(e) => eprintln!("summary write failed: {e}"),
+    }
+
+    // Shape checks — the PR's acceptance criterion is the 2x line.
+    assert_eq!(report.resetups, 0, "admissible stream must never re-setup");
+    assert!(
+        report.reused_applies > 0,
+        "perturbed requests must be answered by reuse"
+    );
+    assert!(
+        speedup >= 2.0,
+        "amortized setup must beat repeated one-shot runs 2x: got {speedup:.2}x"
+    );
+    println!("\n# SHAPE OK: one resident setup, {N_RHS} answers, {speedup:.2}x over one-shot");
+}

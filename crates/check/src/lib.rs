@@ -7,13 +7,13 @@
 //! [`VirtualScheduler`] puts the entire interleaving of a world's rank
 //! threads under deterministic control.
 //!
-//! * [`explore`] — bounded exhaustive DFS over schedules (preemption
+//! * [`explore()`] — bounded exhaustive DFS over schedules (preemption
 //!   bounding, independence pruning), asserting deadlock-freedom and
 //!   byte-identical results across every explored interleaving;
 //! * [`explore_random`] — seeded random schedule search; a failing seed
 //!   replays the exact schedule;
 //! * [`replay`] — re-run one schedule from a failure's printed script;
-//! * [`check_world`] — the harness binding [`explore`] to
+//! * [`check_world`] — the harness binding [`explore()`] to
 //!   `World::run_with_backend`;
 //! * [`run_threads`] — raw-thread harness for checking synchronization
 //!   patterns outside a world (e.g. seeded lock-order inversions).
@@ -37,7 +37,7 @@ use std::sync::Arc;
 /// Explore every schedule of an `n`-rank world running `program`. The
 /// program returns its rank's canonical bytes; per schedule the harness
 /// concatenates them in rank order (with each rank's final virtual clock)
-/// and [`explore`] asserts the result identical across schedules.
+/// and [`explore()`] asserts the result identical across schedules.
 pub fn check_world<F>(n: usize, cfg: Config, budget: Budget, program: F) -> Report
 where
     F: Fn(&Communicator) -> Vec<u8> + Send + Sync,

@@ -578,6 +578,19 @@ fn membership_fault_id(epoch: usize, world_ranks: &[usize]) -> u64 {
     splitmix64(fold ^ (epoch as u64).rotate_left(32))
 }
 
+/// RAII guard of [`Communicator::trace_scope`]: restores the telemetry
+/// phase that was current when the scope was entered.
+pub struct TraceScope<'a> {
+    comm: &'a Communicator,
+    prev: String,
+}
+
+impl Drop for TraceScope<'_> {
+    fn drop(&mut self) {
+        self.comm.trace_phase(&self.prev);
+    }
+}
+
 /// Communication statistics of one communicator (aggregated over ranks).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -748,6 +761,17 @@ impl Communicator {
     /// restore the caller's phase afterwards.
     pub fn trace_phase_name(&self) -> String {
         self.tracer.current_phase()
+    }
+
+    /// Enter the named telemetry phase and return a guard that restores
+    /// the caller's phase when dropped. The RAII form of
+    /// [`Communicator::trace_phase`] + [`Communicator::trace_phase_name`]
+    /// for sub-phases that must not leak on early return. Like
+    /// `trace_phase`, scoping is per rank and implies no synchronization.
+    pub fn trace_scope(&self, name: &str) -> TraceScope<'_> {
+        let prev = self.trace_phase_name();
+        self.trace_phase(name);
+        TraceScope { comm: self, prev }
     }
 
     /// Record a solver-iteration boundary in the event journal.

@@ -35,7 +35,7 @@ pub mod time;
 pub mod trace;
 
 pub use comm::{
-    CommStats, Communicator, PendingReduce, RankState, SuspicionPolicy, WireSize, World,
+    CommStats, Communicator, PendingReduce, RankState, SuspicionPolicy, TraceScope, WireSize, World,
 };
 pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
 pub use model::CostModel;

@@ -87,6 +87,7 @@ impl Subdomain {
 }
 
 /// The full decomposition plus a reference global problem.
+#[derive(Clone)]
 pub struct Decomposition {
     /// Number of global (vector) dofs.
     pub n_global: usize,
@@ -517,6 +518,53 @@ impl Decomposition {
     /// Restrict a global vector to all subdomains.
     pub fn to_locals(&self, x: &[f64]) -> Vec<Vec<f64>> {
         self.subdomains.iter().map(|s| s.restrict(x)).collect()
+    }
+
+    /// The parameterized family `A(θ) = A + θ·diag(A)` (a uniform
+    /// zeroth-order / reaction perturbation): every non-Dirichlet diagonal
+    /// entry of the global matrix and of each subdomain matrix is scaled by
+    /// `1 + θ`. Because `A_i = R_i A R_iᵀ`, local diagonals equal global
+    /// diagonals, so eq. 2/5 consistency between the global operator and
+    /// the subdomain restrictions is preserved *exactly*. Dirichlet rows
+    /// stay untouched (they encode boundary conditions, not the operator).
+    ///
+    /// This is the admissibility workload of the abstract GenEO theory: for
+    /// bounded `θ` the coarse space `Z` built at `θ = 0` remains an
+    /// effective coarse space for `A(θ)` — `dd-serve` exploits this to
+    /// reuse a resident [`crate::PreparedSolver`] across the family.
+    pub fn perturb_diag(&self, theta: f64) -> Decomposition {
+        fn scale(m: &mut CsrMatrix, theta: f64, dirichlet: &[bool]) {
+            let (row_ptr, col_idx) = (m.row_ptr().to_vec(), m.col_idx().to_vec());
+            let vals = m.values_mut();
+            for i in 0..row_ptr.len() - 1 {
+                if dirichlet[i] {
+                    continue;
+                }
+                for p in row_ptr[i]..row_ptr[i + 1] {
+                    if col_idx[p] as usize == i {
+                        vals[p] *= 1.0 + theta;
+                    }
+                }
+            }
+        }
+        let mut out = self.clone();
+        scale(&mut out.a_global, theta, &self.dirichlet);
+        for sub in &mut out.subdomains {
+            let flags = sub.dirichlet.clone();
+            scale(&mut sub.a_dirichlet, theta, &flags);
+            scale(&mut sub.a_neumann, theta, &flags);
+        }
+        out
+    }
+
+    /// A copy of this decomposition with the global right-hand side
+    /// replaced — the one-shot differential reference for a served request
+    /// (`try_run_spmd` always solves against `rhs_global`).
+    pub fn with_rhs(&self, rhs: Vec<f64>) -> Decomposition {
+        assert_eq!(rhs.len(), self.n_global);
+        let mut out = self.clone();
+        out.rhs_global = rhs;
+        out
     }
 
     /// Recover a global vector from consistent locals (values on duplicated

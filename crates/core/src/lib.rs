@@ -68,10 +68,11 @@ pub use precond::{
 };
 pub use problem::{Pde, Problem};
 pub use recovery::{
-    repartition_plan, try_run_spmd_elastic, try_run_spmd_recoverable, CheckpointStore, CoarseCache,
+    agree_next, recoverable, repartition_plan, try_run_spmd_elastic, try_run_spmd_recoverable,
+    try_setup_partitioned, CheckpointStore, CoarseCache, MultiApplyOutcome, PreparedMulti,
     RecoveryOpts, RepartitionPlan, SpmdMultiSolution,
 };
 pub use spmd::{
-    run_spmd, try_run_spmd, AssemblyVariant, CoarseSolve, Election, SolverKind, SpmdOpts,
-    SpmdReport, SpmdSolution,
+    run_spmd, try_run_spmd, try_setup, try_setup_with, ApplyOutcome, AssemblyVariant, CoarseSolve,
+    Election, PreparedSolver, SolverKind, SpmdOpts, SpmdReport, SpmdSolution,
 };

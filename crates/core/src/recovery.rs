@@ -299,8 +299,9 @@ pub struct SpmdMultiSolution {
 
 /// Is this error one the survivors can recover from by shrinking? Our own
 /// death ([`SpmdError::Killed`]) and local failures are not; observing a
-/// *peer's* death or a revoked epoch is.
-fn recoverable(e: &SpmdError) -> bool {
+/// *peer's* death or a revoked epoch is. Public so higher layers (the
+/// `dd-serve` streaming server) can drive the same recovery loop.
+pub fn recoverable(e: &SpmdError) -> bool {
     matches!(
         e,
         SpmdError::Comm(CommError::RankDead { .. }) | SpmdError::Comm(CommError::Revoked { .. })
@@ -479,8 +480,9 @@ pub fn try_run_spmd_elastic(
 /// One membership agreement from the elastic recovery loop: grow when
 /// joiners are pending, shrink otherwise (the two run the identical
 /// protocol — the entry point only names the intent). Returns the
-/// committed communicator and the agreement's virtual-time cost.
-fn agree_next(comm: &Communicator) -> Result<(Communicator, f64), SpmdError> {
+/// committed communicator and the agreement's virtual-time cost. Public
+/// so `dd-serve` can continue a request stream across membership changes.
+pub fn agree_next(comm: &Communicator) -> Result<(Communicator, f64), SpmdError> {
     let t0 = comm.clock();
     let next = if comm.pending_joiners().is_empty() {
         comm.try_shrink()
@@ -956,27 +958,83 @@ impl Preconditioner for MultiADef1<'_> {
 
 // ------------------------------------------------------- partitioned run
 
-/// One epoch on an arbitrary owner map: build (or rebuild) the two-level
-/// preconditioner over the plan's partition and run — or resume, when the
-/// checkpoint store holds a globally complete snapshot — the Krylov solve.
+/// The resident state of one epoch's setup on an arbitrary owner map: the
+/// partitioned analogue of [`crate::PreparedSolver`]. Holds the owned
+/// subdomains' factors and deflation blocks, the re-elected split/master
+/// communicators, and this rank's handle on the re-factored coarse
+/// operator. Produced by [`try_setup_partitioned`];
+/// [`PreparedMulti::try_apply`] runs the (checkpointable) Krylov solve
+/// against any right-hand side, reentrantly — `dd-serve` keeps one of
+/// these resident per membership epoch when the world no longer matches
+/// one-rank-per-subdomain.
+pub struct PreparedMulti<'a> {
+    decomp: &'a Decomposition,
+    comm: &'a Communicator,
+    opts: SpmdOpts,
+    /// Subdomains this rank owns, ascending.
+    owned: Vec<usize>,
+    /// Communicator rank hosting each subdomain (indexed by subdomain).
+    host: Vec<usize>,
+    /// Concatenation offsets of the owned subdomains' locals (len+1).
+    starts: Vec<usize>,
+    factors: Vec<SparseLdlt>,
+    w: Vec<DMat>,
+    /// Globally agreed max ν.
+    nu: usize,
+    split: Communicator,
+    master_comm: Option<Communicator>,
+    group_subs: Vec<Vec<usize>>,
+    coarse_start: Vec<usize>,
+    nu_of: Vec<usize>,
+    dim_e: usize,
+    nnz_e_factor: usize,
+    e_factor: Option<SparseLdlt>,
+    e_dist: Option<DistLdlt>,
+    run: RunReport,
+    /// Which subdomains' coarse rows were recomputed this epoch.
+    fresh: Vec<bool>,
+    t_adopt: f64,
+    t_deflation: f64,
+    t_coarse: f64,
+    t_reassembly: f64,
+    t_refactorization: f64,
+}
+
+/// The per-apply result of [`PreparedMulti::try_apply`]: the Krylov
+/// outcome, the per-subdomain locals of the solution, and this apply's
+/// virtual-time/counter deltas.
+pub struct MultiApplyOutcome {
+    pub result: SolveResult,
+    /// `(subdomain, local solution)` for every owned subdomain.
+    pub locals: Vec<(usize, Vec<f64>)>,
+    pub t_solution: f64,
+    pub world_collectives_solution: u64,
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collective_bytes: u64,
+}
+
+/// Setup of one epoch on an arbitrary owner map: build (or rebuild) the
+/// two-level preconditioner over the plan's partition, returning the
+/// resident [`PreparedMulti`].
 ///
-/// This is both the recovered epoch of the classic shrink path
+/// This serves both the recovered epoch of the classic shrink path
 /// (`cache = None`: everything recomputed, adopted subdomains take the
 /// Nicolaides degradation) and every epoch of an elastic run
 /// (`cache = Some`: GenEO bases and coarse rows are banked per
 /// `(subdomain, owner)`, so after a membership change only moved
-/// subdomains recompute — the incremental re-assembly of `E`).
-#[allow(clippy::too_many_arguments)]
-fn run_partitioned(
-    decomp: &Decomposition,
-    comm: &Communicator,
+/// subdomains recompute — the incremental re-assembly of `E`). One-shot
+/// drivers reset the virtual clock; a resident server re-preparing
+/// mid-stream passes `reset_clock = false` to keep its request clock
+/// monotone.
+pub fn try_setup_partitioned<'a>(
+    decomp: &'a Decomposition,
+    comm: &'a Communicator,
     opts: &SpmdOpts,
-    store: &CheckpointStore,
     cache: Option<&CoarseCache>,
     plan: &RepartitionPlan,
-    recoveries: &mut Vec<RecoveryRecord>,
-    t_agreement: f64,
-) -> Result<SpmdMultiSolution, SpmdError> {
+    reset_clock: bool,
+) -> Result<PreparedMulti<'a>, SpmdError> {
     let nsubs = decomp.n_subdomains();
     let me_world = comm.world_rank();
     let me = comm.rank();
@@ -1008,7 +1066,10 @@ fn run_partitioned(
     let i_adopted = !my_adopted.is_empty();
 
     comm.try_barrier()?;
-    comm.reset_clock();
+    if reset_clock {
+        comm.reset_clock();
+    }
+    let clk_begin = comm.clock();
     comm.trace_phase("recovery-adopt");
 
     // ---- adopt: re-factor the Dirichlet matrices of every owned
@@ -1035,7 +1096,8 @@ fn run_partitioned(
         },
     ));
     comm.try_barrier()?;
-    let t_adopt = comm.clock();
+    let clk_adopted = comm.clock();
+    let t_adopt = clk_adopted - clk_begin;
     comm.trace_phase("recovery-deflation");
 
     // ---- deflation. With a coarse cache (elastic runs) the GenEO basis
@@ -1109,7 +1171,8 @@ fn run_partitioned(
     };
     let w: Vec<DMat> = blocks.iter().map(|b| resize_block(b, nu)).collect();
     comm.try_barrier()?;
-    let t_deflation = comm.clock() - t_adopt;
+    let clk_deflated = comm.clock();
+    let t_deflation = clk_deflated - clk_adopted;
     comm.trace_phase("recovery-assembly");
 
     // ---- masters re-elected over the survivors (non-uniform split), and
@@ -1490,15 +1553,11 @@ fn run_partitioned(
     ));
     comm.try_barrier()?;
     let clk_coarse_done = comm.clock();
-    let t_coarse = clk_coarse_done - t_deflation - t_adopt;
+    let t_coarse = clk_coarse_done - clk_deflated;
     // Recovery-phase split for the RunReport: everything up to the row
     // gather is re-assembly; the master factorization is the rest.
-    let t_reassembly = clk_assembled.unwrap_or(clk_coarse_done);
-    let t_refactorization = clk_coarse_done - t_reassembly;
-    comm.trace_phase("recovery-solve");
-
-    // ---- solve: resume from the last globally complete checkpoint.
-    let stats_before = comm.stats();
+    let t_reassembly = clk_assembled.unwrap_or(clk_coarse_done) - clk_begin;
+    let t_refactorization = clk_coarse_done - clk_begin - t_reassembly;
     let starts: Vec<usize> = {
         let mut v = vec![0usize];
         for &s in &owned {
@@ -1506,23 +1565,334 @@ fn run_partitioned(
         }
         v
     };
-    let ctx = MultiCtx {
-        comm,
+    Ok(PreparedMulti {
         decomp,
-        owned: owned.clone(),
-        starts,
+        comm,
+        opts: opts.clone(),
+        owned,
         host,
-    };
-    let mut rhs = Vec::with_capacity(ctx.n_concat());
-    for &s in &owned {
-        rhs.extend(decomp.subdomains[s].restrict(&decomp.rhs_global));
-    }
-    let x0 = vec![0.0; ctx.n_concat()];
+        starts,
+        factors,
+        w,
+        nu,
+        split,
+        master_comm,
+        group_subs,
+        coarse_start,
+        nu_of,
+        dim_e,
+        nnz_e_factor,
+        e_factor,
+        e_dist,
+        run,
+        fresh,
+        t_adopt,
+        t_deflation,
+        t_coarse,
+        t_reassembly,
+        t_refactorization,
+    })
+}
 
+impl PreparedMulti<'_> {
+    /// Subdomains this rank owns, ascending.
+    pub fn owned(&self) -> &[usize] {
+        &self.owned
+    }
+
+    /// What the coarse level degraded to during setup.
+    pub fn coarse(&self) -> CoarseOutcome {
+        self.run.coarse
+    }
+
+    /// Phase outcomes and fallbacks of the setup phases.
+    pub fn setup_report(&self) -> &RunReport {
+        &self.run
+    }
+
+    /// Virtual seconds of re-assembly and re-factorization (the
+    /// [`RecoveryRecord`] cost split).
+    pub fn recovery_times(&self) -> (f64, f64) {
+        (self.t_reassembly, self.t_refactorization)
+    }
+
+    /// Which subdomains' coarse rows were recomputed this epoch (`moved`)
+    /// vs. reused from the cache, for [`RecoveryRecord`] bookkeeping.
+    pub fn moved_reused(&self) -> (Vec<usize>, Vec<usize>) {
+        if self.opts.one_level_only {
+            (Vec::new(), Vec::new())
+        } else {
+            let n = self.decomp.n_subdomains();
+            (
+                (0..n).filter(|&s| self.fresh[s]).collect(),
+                (0..n).filter(|&s| !self.fresh[s]).collect(),
+            )
+        }
+    }
+
+    /// The (checkpointable) Krylov solve against an arbitrary global
+    /// right-hand side, using the resident partitioned preconditioner.
+    /// Always runs the classical loop: pipelining and fusion assume the
+    /// fault-free one-rank-per-subdomain communication schedule.
+    pub fn try_apply(
+        &self,
+        rhs_global: &[f64],
+        phase: &str,
+        ckpt: Option<&CheckpointCfg<'_>>,
+    ) -> Result<MultiApplyOutcome, SpmdError> {
+        self.apply_inner(None, rhs_global, phase, ckpt, None)
+    }
+
+    /// [`PreparedMulti::try_apply`] with a recycle space threaded through
+    /// (see [`crate::PreparedSolver::try_apply_recycled`]).
+    pub fn try_apply_recycled(
+        &self,
+        rhs_global: &[f64],
+        phase: &str,
+        recycle: &mut dd_krylov::RecycleSpace,
+    ) -> Result<MultiApplyOutcome, SpmdError> {
+        self.apply_inner(None, rhs_global, phase, None, Some(recycle))
+    }
+
+    /// [`PreparedMulti::try_apply`] against a layout-compatible
+    /// decomposition override — the parameter-perturbation path: the
+    /// Krylov loop solves the perturbed system while RAS and the coarse
+    /// correction reuse the resident factorizations built at the base
+    /// parameter.
+    pub fn try_apply_on(
+        &self,
+        decomp_override: &Decomposition,
+        rhs_global: &[f64],
+        phase: &str,
+        recycle: Option<&mut dd_krylov::RecycleSpace>,
+    ) -> Result<MultiApplyOutcome, SpmdError> {
+        self.apply_inner(Some(decomp_override), rhs_global, phase, None, recycle)
+    }
+
+    fn apply_inner(
+        &self,
+        decomp_override: Option<&Decomposition>,
+        rhs_global: &[f64],
+        phase: &str,
+        ckpt: Option<&CheckpointCfg<'_>>,
+        recycle: Option<&mut dd_krylov::RecycleSpace>,
+    ) -> Result<MultiApplyOutcome, SpmdError> {
+        let comm = self.comm;
+        let decomp = decomp_override.unwrap_or(self.decomp);
+        debug_assert_eq!(decomp.n_subdomains(), self.decomp.n_subdomains());
+        comm.trace_phase(phase);
+
+        // ---- solve -----------------------------------------------------
+        let clk_entry = comm.clock();
+        let stats_before = comm.stats();
+        let ctx = MultiCtx {
+            comm,
+            decomp,
+            owned: self.owned.clone(),
+            starts: self.starts.clone(),
+            host: self.host.clone(),
+        };
+        let mut rhs = Vec::with_capacity(ctx.n_concat());
+        for &s in &self.owned {
+            rhs.extend(decomp.subdomains[s].restrict(rhs_global));
+        }
+        let x0 = vec![0.0; ctx.n_concat()];
+
+        let op = MultiOp { ctx: &ctx };
+        let ip = MultiDot { ctx: &ctx };
+        let two_level = self.run.coarse == CoarseOutcome::TwoLevel;
+        let result: SolveResult = if !two_level {
+            let ras = MultiRas {
+                ctx: &ctx,
+                factors: &self.factors,
+            };
+            solve_multi(
+                comm,
+                &op,
+                &ras,
+                &ip,
+                &rhs,
+                &x0,
+                &self.opts.gmres,
+                ckpt,
+                recycle,
+            )?
+        } else {
+            let adef1 = MultiADef1 {
+                op: MultiOp { ctx: &ctx },
+                ras: MultiRas {
+                    ctx: &ctx,
+                    factors: &self.factors,
+                },
+                coarse: MultiCoarse {
+                    ctx: &ctx,
+                    split: &self.split,
+                    master: self.master_comm.as_ref().and_then(|m| {
+                        self.e_dist
+                            .as_ref()
+                            .map(|d| (m, MasterSolve::Distributed(d)))
+                            .or_else(|| {
+                                self.e_factor
+                                    .as_ref()
+                                    .map(|f| (m, MasterSolve::Redundant(f)))
+                            })
+                    }),
+                    w: &self.w,
+                    coarse_start: &self.coarse_start,
+                    nu_of: &self.nu_of,
+                    group_subs: &self.group_subs,
+                    dim_e: self.dim_e,
+                },
+            };
+            solve_multi(
+                comm,
+                &op,
+                &adef1,
+                &ip,
+                &rhs,
+                &x0,
+                &self.opts.gmres,
+                ckpt,
+                recycle,
+            )?
+        };
+        comm.try_barrier()?;
+        let t_solution = comm.clock() - clk_entry;
+        let stats_after = comm.stats();
+        let locals = self
+            .owned
+            .iter()
+            .zip(self.starts.windows(2))
+            .map(|(&s, win)| (s, result.x[win[0]..win[1]].to_vec()))
+            .collect();
+        Ok(MultiApplyOutcome {
+            result,
+            locals,
+            t_solution,
+            world_collectives_solution: stats_after.collective_calls
+                - stats_before.collective_calls,
+            p2p_messages: stats_after.p2p_messages,
+            p2p_bytes: stats_after.p2p_bytes,
+            collective_bytes: stats_after.collective_bytes
+                + self.split.stats().collective_bytes
+                + self
+                    .master_comm
+                    .as_ref()
+                    .map_or(0, |m| m.stats().collective_bytes),
+        })
+    }
+
+    /// Assemble the full [`SpmdReport`] for one apply (setup phases'
+    /// outcomes plus this solve's).
+    pub fn report(&self, out: &MultiApplyOutcome) -> SpmdReport {
+        let comm = self.comm;
+        let result = &out.result;
+        let mut run = self.run.clone();
+        run.phases.push((
+            "recovery-solve",
+            if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
+                PhaseOutcome::Ok
+            } else {
+                PhaseOutcome::Degraded {
+                    reason: format!(
+                        "{} after {} breakdown restart(s)",
+                        result.status, result.breakdown_restarts
+                    ),
+                }
+            },
+        ));
+        run.solve_status = result.status;
+        run.breakdown_restarts = result.breakdown_restarts;
+        run.faults = comm.fault_stats();
+        let me_world = comm.world_rank();
+        SpmdReport {
+            rank: me_world,
+            t_factorization: self.t_adopt,
+            t_deflation: self.t_deflation,
+            t_coarse: self.t_coarse,
+            t_solution: out.t_solution,
+            t_total: comm.clock(),
+            iterations: result.iterations,
+            converged: result.converged,
+            final_residual: result.final_residual,
+            nu: self.nu,
+            dim_e: self.dim_e,
+            nnz_e_factor: self.nnz_e_factor,
+            n_neighbors: self
+                .decomp
+                .subdomains
+                .get(me_world)
+                .or_else(|| self.owned.first().map(|&s| &self.decomp.subdomains[s]))
+                .map_or(0, |s| s.neighbors.len()),
+            world_collectives_solution: out.world_collectives_solution,
+            p2p_messages: out.p2p_messages,
+            p2p_bytes: out.p2p_bytes,
+            collective_bytes: out.collective_bytes,
+            history: result.history.clone(),
+            run,
+        }
+    }
+}
+
+/// The classical-GMRES arm of a partitioned apply, with or without
+/// recycling.
+#[allow(clippy::too_many_arguments)]
+fn solve_multi<O, M, P>(
+    comm: &Communicator,
+    op: &O,
+    precond: &M,
+    ip: &P,
+    rhs: &[f64],
+    x0: &[f64],
+    gmres: &dd_krylov::GmresOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
+    recycle: Option<&mut dd_krylov::RecycleSpace>,
+) -> Result<SolveResult, SpmdError>
+where
+    O: Operator,
+    M: Preconditioner,
+    P: InnerProduct,
+{
+    match recycle {
+        None => try_gmres(op, precond, ip, rhs, x0, gmres, ckpt)
+            .map_err(|si| interrupt_to_spmd(comm, si)),
+        Some(space) => {
+            let batch = [rhs.to_vec()];
+            dd_krylov::try_gmres_multi(op, precond, ip, &batch, x0, gmres, Some(space))
+        }
+        .map_err(|si| interrupt_to_spmd(comm, si))?
+        .into_iter()
+        .next()
+        .ok_or_else(|| SpmdError::Protocol {
+            rank: comm.rank(),
+            what: "empty multi-solve result".to_string(),
+        }),
+    }
+}
+
+/// One epoch on an arbitrary owner map: [`try_setup_partitioned`] plus one
+/// checkpoint-resuming [`PreparedMulti::try_apply`] on the decomposition's
+/// own right-hand side — the recovered/elastic epoch body.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    store: &CheckpointStore,
+    cache: Option<&CoarseCache>,
+    plan: &RepartitionPlan,
+    recoveries: &mut Vec<RecoveryRecord>,
+    t_agreement: f64,
+) -> Result<SpmdMultiSolution, SpmdError> {
+    let nsubs = decomp.n_subdomains();
+    let prepared = try_setup_partitioned(decomp, comm, opts, cache, plan, true)?;
+    let owned = prepared.owned();
+
+    // ---- resume from the last globally complete checkpoint.
     let resume_iteration = store.rollback_iteration(nsubs);
     let resume = resume_iteration.and_then(|it| {
-        let mut x = Vec::with_capacity(ctx.n_concat());
-        for &s in &owned {
+        let mut x = Vec::new();
+        for &s in owned {
             x.extend(store.get(s, it)?.x);
         }
         let anchor = store.get(owned[0], it)?;
@@ -1538,14 +1908,8 @@ fn run_partitioned(
     // The initial epoch of an elastic run is not a recovery — only
     // membership changes get a record.
     if comm.epoch() > 0 {
-        let (moved, reused) = if opts.one_level_only {
-            (Vec::new(), Vec::new())
-        } else {
-            (
-                (0..nsubs).filter(|&s| fresh[s]).collect(),
-                (0..nsubs).filter(|&s| !fresh[s]).collect(),
-            )
-        };
+        let (moved, reused) = prepared.moved_reused();
+        let (t_reassembly, t_refactorization) = prepared.recovery_times();
         recoveries.push(RecoveryRecord {
             epoch: comm.epoch(),
             dead: plan.dead.clone(),
@@ -1572,101 +1936,13 @@ fn run_partitioned(
         None => CheckpointCfg::new(opts.recovery.checkpoint_interval, &sink),
     };
 
-    let op = MultiOp { ctx: &ctx };
-    let ip = MultiDot { ctx: &ctx };
-    let two_level = run.coarse == CoarseOutcome::TwoLevel;
-    // The recovered epoch always runs the classical loop: pipelining and
-    // fusion assume the fault-free communication schedule.
-    let result: SolveResult = if !two_level {
-        let ras = MultiRas {
-            ctx: &ctx,
-            factors: &factors,
-        };
-        try_gmres(&op, &ras, &ip, &rhs, &x0, &opts.gmres, Some(&cfg))
-            .map_err(|si| interrupt_to_spmd(comm, si))?
-    } else {
-        let adef1 = MultiADef1 {
-            op: MultiOp { ctx: &ctx },
-            ras: MultiRas {
-                ctx: &ctx,
-                factors: &factors,
-            },
-            coarse: MultiCoarse {
-                ctx: &ctx,
-                split: &split,
-                master: master_comm.as_ref().and_then(|m| {
-                    e_dist
-                        .as_ref()
-                        .map(|d| (m, MasterSolve::Distributed(d)))
-                        .or_else(|| e_factor.as_ref().map(|f| (m, MasterSolve::Redundant(f))))
-                }),
-                w: &w,
-                coarse_start: &coarse_start,
-                nu_of: &nu_of,
-                group_subs: &group_subs,
-                dim_e,
-            },
-        };
-        try_gmres(&op, &adef1, &ip, &rhs, &x0, &opts.gmres, Some(&cfg))
-            .map_err(|si| interrupt_to_spmd(comm, si))?
-    };
-    comm.try_barrier()?;
-    let t_solution = comm.clock() - t_coarse - t_deflation - t_adopt;
-    let stats_after = comm.stats();
-
-    run.phases.push((
-        "recovery-solve",
-        if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
-            PhaseOutcome::Ok
-        } else {
-            PhaseOutcome::Degraded {
-                reason: format!(
-                    "{} after {} breakdown restart(s)",
-                    result.status, result.breakdown_restarts
-                ),
-            }
-        },
-    ));
-    run.solve_status = result.status;
-    run.breakdown_restarts = result.breakdown_restarts;
-    run.faults = comm.fault_stats();
-    run.recoveries = recoveries.clone();
-
-    let report = SpmdReport {
-        rank: me_world,
-        t_factorization: t_adopt,
-        t_deflation,
-        t_coarse,
-        t_solution,
-        t_total: comm.clock(),
-        iterations: result.iterations,
-        converged: result.converged,
-        final_residual: result.final_residual,
-        nu,
-        dim_e,
-        nnz_e_factor,
-        n_neighbors: decomp
-            .subdomains
-            .get(me_world)
-            .or_else(|| owned.first().map(|&s| &decomp.subdomains[s]))
-            .map_or(0, |s| s.neighbors.len()),
-        world_collectives_solution: stats_after.collective_calls - stats_before.collective_calls,
-        p2p_messages: stats_after.p2p_messages,
-        p2p_bytes: stats_after.p2p_bytes,
-        collective_bytes: stats_after.collective_bytes
-            + split.stats().collective_bytes
-            + master_comm
-                .as_ref()
-                .map_or(0, |m| m.stats().collective_bytes),
-        history: result.history,
-        run,
-    };
-    let locals = owned
-        .iter()
-        .zip(ctx.starts.windows(2))
-        .map(|(&s, win)| (s, result.x[win[0]..win[1]].to_vec()))
-        .collect();
-    Ok(SpmdMultiSolution { report, locals })
+    let out = prepared.try_apply(&decomp.rhs_global, "recovery-solve", Some(&cfg))?;
+    let mut report = prepared.report(&out);
+    report.run.recoveries = recoveries.clone();
+    Ok(SpmdMultiSolution {
+        report,
+        locals: out.locals,
+    })
 }
 
 #[cfg(test)]

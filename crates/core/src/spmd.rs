@@ -29,8 +29,9 @@ use crate::masters::{group_of, nonuniform_masters, uniform_masters};
 use crate::recovery::RecoveryOpts;
 use dd_comm::{CommError, Communicator};
 use dd_krylov::{
-    fused_pipelined_gmres, pipelined_gmres, try_gmres, CheckpointCfg, FusedPreconditioner,
-    GmresOpts, InnerProduct, Operator, Preconditioner, SolveInterrupt, SolveResult, SolveStatus,
+    fused_pipelined_gmres, pipelined_gmres, try_gmres, try_gmres_multi, CheckpointCfg,
+    FusedPreconditioner, GmresOpts, InnerProduct, Operator, Preconditioner, RecycleSpace,
+    SolveInterrupt, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
 use dd_solver::{DistLdlt, Ordering, PivotPolicy, SparseLdlt};
@@ -670,23 +671,89 @@ fn failpoint(comm: &Communicator, phase: &'static str) -> Result<(), SpmdError> 
     })
 }
 
-/// The driver body. `ckpt` arms solver checkpointing (the recovery driver
-/// passes a [`crate::recovery::CheckpointStore`]-backed sink; the plain
-/// entry points pass `None` — checkpoint writes are local-only either way,
-/// so fault-free canonical traces are unaffected).
-pub(crate) fn run_inner(
-    decomp: &Decomposition,
-    comm: &Communicator,
+/// The resident state of a fully set-up SPMD solve on one rank: the
+/// factorized local Dirichlet solver, the (resized) GenEO deflation block
+/// `W_i`, the split/master communicators of the election, and this rank's
+/// handle on the factorized coarse operator `E`. Produced by [`try_setup`];
+/// [`PreparedSolver::try_apply`] then runs phase 4 (the preconditioned
+/// Krylov solve) against any right-hand side, reentrantly — the
+/// amortization seam the `dd-serve` crate is built on.
+///
+/// Borrows the decomposition and world communicator for its lifetime; the
+/// split communicators are owned.
+pub struct PreparedSolver<'a> {
+    decomp: &'a Decomposition,
+    comm: &'a Communicator,
+    opts: SpmdOpts,
+    factor: SparseLdlt,
+    w: DMat,
+    nu_mine: usize,
+    split: Communicator,
+    master_comm: Option<Communicator>,
+    group_ranks: Vec<usize>,
+    offsets: Vec<usize>,
+    dim_e: usize,
+    nnz_e_factor: usize,
+    e_factor: Option<SparseLdlt>,
+    e_dist: Option<DistLdlt>,
+    /// Phase outcomes through setup ("factorization"/"deflation"/"coarse");
+    /// [`PreparedSolver::report`] extends a clone with the solve outcome.
+    run: RunReport,
+    t_factorization: f64,
+    t_deflation: f64,
+    t_coarse: f64,
+}
+
+/// The per-apply result of [`PreparedSolver::try_apply`]: the Krylov
+/// outcome plus the virtual-time and communication-counter deltas of this
+/// application (p2p/collective totals are cumulative communicator stats,
+/// as in [`SpmdReport`]).
+pub struct ApplyOutcome {
+    pub result: SolveResult,
+    /// Virtual seconds spent in this apply (synchronized by the trailing
+    /// barrier, so the value is the modeled parallel time).
+    pub t_solution: f64,
+    /// World-communicator collective calls during this apply (per rank).
+    pub world_collectives_solution: u64,
+    pub p2p_messages: u64,
+    pub p2p_bytes: u64,
+    pub collective_bytes: u64,
+}
+
+/// Phases 1–3 of the paper's method (local factorization, GenEO deflation,
+/// coarse assembly + factorization), returning the resident
+/// [`PreparedSolver`]. Equivalent to [`try_run_spmd`] stopped just before
+/// the solve phase: the communication/trace sequence is identical, so the
+/// conformance goldens pin this path too.
+pub fn try_setup<'a>(
+    decomp: &'a Decomposition,
+    comm: &'a Communicator,
     opts: &SpmdOpts,
-    ckpt: Option<&CheckpointCfg<'_>>,
-) -> Result<SpmdSolution, SpmdError> {
+) -> Result<PreparedSolver<'a>, SpmdError> {
+    try_setup_with(decomp, comm, opts, true)
+}
+
+/// [`try_setup`] with control over the virtual-clock reset. One-shot runs
+/// reset the clock so phase times are absolute; a resident server doing a
+/// mid-stream re-setup (membership change, inadmissible parameter) passes
+/// `reset_clock = false` to keep its request clock monotone — phase times
+/// are measured as deltas either way.
+pub fn try_setup_with<'a>(
+    decomp: &'a Decomposition,
+    comm: &'a Communicator,
+    opts: &SpmdOpts,
+    reset_clock: bool,
+) -> Result<PreparedSolver<'a>, SpmdError> {
     let n = comm.size();
     assert_eq!(n, decomp.n_subdomains(), "one rank per subdomain");
     let rank = comm.rank();
     let sub = &decomp.subdomains[rank];
     let mut run = RunReport::default();
     comm.try_barrier()?;
-    comm.reset_clock();
+    if reset_clock {
+        comm.reset_clock();
+    }
+    let clk_start = comm.clock();
     comm.trace_phase("factorization");
 
     // ---- phase 1: local factorization --------------------------------
@@ -697,7 +764,8 @@ pub(crate) fn run_inner(
     run.phases.push(("factorization", PhaseOutcome::Ok));
     failpoint(comm, "post-factorization")?;
     comm.try_barrier()?;
-    let t_factorization = comm.clock();
+    let clk_factored = comm.clock();
+    let t_factorization = clk_factored - clk_start;
     comm.trace_phase("deflation");
     failpoint(comm, "deflation")?;
 
@@ -740,7 +808,8 @@ pub(crate) fn run_inner(
     }
     failpoint(comm, "post-deflation")?;
     comm.try_barrier()?;
-    let t_deflation = comm.clock() - t_factorization;
+    let clk_deflated = comm.clock();
+    let t_deflation = clk_deflated - clk_factored;
     comm.trace_phase("assembly:split");
 
     // ---- phase 3: coarse operator (Algorithms 1 and 2) ----------------
@@ -1077,112 +1146,310 @@ pub(crate) fn run_inner(
     ));
     failpoint(comm, "post-assembly")?;
     comm.try_barrier()?;
-    let t_coarse = comm.clock() - t_deflation - t_factorization;
-    comm.trace_phase("solve");
-
-    // ---- phase 4: solve ------------------------------------------------
-    let stats_before = comm.stats();
-    let ctx_op = RankCtx { comm, sub };
-    let op = DistOp { ctx: ctx_op };
-    let ip = DistDot { comm, d: &sub.d };
-    let rhs_local = sub.restrict(&decomp.rhs_global);
-    let x0 = vec![0.0; sub.n_local()];
-
-    let two_level = run.coarse == CoarseOutcome::TwoLevel;
-    let result: SolveResult = if !two_level {
-        let ras = DistRas {
-            ctx: RankCtx { comm, sub },
-            factor: &factor,
-        };
-        try_gmres(&op, &ras, &ip, &rhs_local, &x0, &opts.gmres, ckpt)
-            .map_err(|si| interrupt_to_spmd(comm, si))?
-    } else {
-        let adef1 = DistADef1 {
-            op: DistOp {
-                ctx: RankCtx { comm, sub },
-            },
-            ras: DistRas {
-                ctx: RankCtx { comm, sub },
-                factor: &factor,
-            },
-            coarse: DistCoarse {
-                comm,
-                split: &split,
-                master: master_comm.as_ref().and_then(|m| {
-                    e_dist
-                        .as_ref()
-                        .map(|d| (m, MasterSolve::Distributed(d)))
-                        .or_else(|| e_factor.as_ref().map(|f| (m, MasterSolve::Redundant(f))))
-                }),
-                sub,
-                w: &w,
-                offsets: &offsets,
-                group_ranks: &group_ranks,
-                dim_e,
-            },
-        };
-        match opts.solver {
-            SolverKind::Classical => {
-                try_gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres, ckpt)
-                    .map_err(|si| interrupt_to_spmd(comm, si))?
-            }
-            SolverKind::Pipelined => {
-                pipelined_gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres)
-            }
-            SolverKind::Fused => {
-                fused_pipelined_gmres(&op, &adef1, &ip, &rhs_local, &x0, &opts.gmres)
-            }
-        }
-    };
-    comm.try_barrier()?;
-    let t_solution = comm.clock() - t_coarse - t_deflation - t_factorization;
-    let stats_after = comm.stats();
-
-    run.phases.push((
-        "solve",
-        if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
-            PhaseOutcome::Ok
-        } else {
-            PhaseOutcome::Degraded {
-                reason: format!(
-                    "{} after {} breakdown restart(s)",
-                    result.status, result.breakdown_restarts
-                ),
-            }
-        },
-    ));
-    run.solve_status = result.status;
-    run.breakdown_restarts = result.breakdown_restarts;
-    run.faults = comm.fault_stats();
-
-    let report = SpmdReport {
-        rank,
+    let t_coarse = comm.clock() - clk_deflated;
+    Ok(PreparedSolver {
+        decomp,
+        comm,
+        opts: opts.clone(),
+        factor,
+        w,
+        nu_mine,
+        split,
+        master_comm,
+        group_ranks,
+        offsets,
+        dim_e,
+        nnz_e_factor,
+        e_factor,
+        e_dist,
+        run,
         t_factorization,
         t_deflation,
         t_coarse,
-        t_solution,
-        t_total: comm.clock(),
-        iterations: result.iterations,
-        converged: result.converged,
-        final_residual: result.final_residual,
-        nu: nu_mine,
-        dim_e,
-        nnz_e_factor,
-        n_neighbors: sub.neighbors.len(),
-        world_collectives_solution: stats_after.collective_calls - stats_before.collective_calls,
-        p2p_messages: stats_after.p2p_messages,
-        p2p_bytes: stats_after.p2p_bytes,
-        collective_bytes: stats_after.collective_bytes
-            + split.stats().collective_bytes
-            + master_comm
-                .as_ref()
-                .map_or(0, |m| m.stats().collective_bytes),
-        history: result.history,
-        run,
-    };
+    })
+}
+
+impl PreparedSolver<'_> {
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// ν of this rank's deflation block (uniform after the Allreduce,
+    /// unless a fallback shrank it).
+    pub fn nu(&self) -> usize {
+        self.nu_mine
+    }
+
+    pub fn dim_e(&self) -> usize {
+        self.dim_e
+    }
+
+    /// What the coarse level degraded to during setup (two-level, one-level
+    /// fallback, ...).
+    pub fn coarse(&self) -> CoarseOutcome {
+        self.run.coarse
+    }
+
+    /// Phase outcomes and fallbacks of the setup phases.
+    pub fn setup_report(&self) -> &RunReport {
+        &self.run
+    }
+
+    /// Virtual seconds of the three setup phases
+    /// (factorization, deflation, coarse).
+    pub fn setup_times(&self) -> (f64, f64, f64) {
+        (self.t_factorization, self.t_deflation, self.t_coarse)
+    }
+
+    /// Phase 4 against an arbitrary global right-hand side: the
+    /// preconditioned Krylov solve using the resident factorizations,
+    /// reentrant in `&self`. `phase` labels the telemetry scope (the
+    /// one-shot driver passes `"solve"`; `dd-serve` passes
+    /// `"serve-apply"`, which `dd-lint` checks for re-factorization).
+    pub fn try_apply(
+        &self,
+        rhs_global: &[f64],
+        phase: &str,
+        ckpt: Option<&CheckpointCfg<'_>>,
+    ) -> Result<ApplyOutcome, SpmdError> {
+        self.apply_inner(None, rhs_global, phase, ckpt, None)
+    }
+
+    /// [`PreparedSolver::try_apply`] with a Krylov recycle space threaded
+    /// through (classical GMRES only): the initial guess is projected onto
+    /// previously harvested directions and the converged increment is
+    /// banked. Convergence is still anchored to `tol · ‖b‖`, so accuracy
+    /// matches an unrecycled apply.
+    pub fn try_apply_recycled(
+        &self,
+        rhs_global: &[f64],
+        phase: &str,
+        recycle: &mut RecycleSpace,
+    ) -> Result<ApplyOutcome, SpmdError> {
+        self.apply_inner(None, rhs_global, phase, None, Some(recycle))
+    }
+
+    /// [`PreparedSolver::try_apply`] with this rank's subdomain overridden
+    /// — the parameter-perturbation path of `dd-serve`: the Krylov loop
+    /// runs against the *perturbed* operator (so the answer is the
+    /// perturbed system's solution) while RAS and the coarse correction
+    /// reuse the resident factorizations built at the base parameter,
+    /// which stay admissible preconditioners for bounded perturbations.
+    /// The override must share the base subdomain's mesh/overlap layout
+    /// (same dofs, neighbors, and partition of unity).
+    pub fn try_apply_on(
+        &self,
+        sub: &Subdomain,
+        rhs_global: &[f64],
+        phase: &str,
+        recycle: Option<&mut RecycleSpace>,
+    ) -> Result<ApplyOutcome, SpmdError> {
+        self.apply_inner(Some(sub), rhs_global, phase, None, recycle)
+    }
+
+    fn apply_inner(
+        &self,
+        sub_override: Option<&Subdomain>,
+        rhs_global: &[f64],
+        phase: &str,
+        ckpt: Option<&CheckpointCfg<'_>>,
+        mut recycle: Option<&mut RecycleSpace>,
+    ) -> Result<ApplyOutcome, SpmdError> {
+        let comm = self.comm;
+        let own_sub = &self.decomp.subdomains[comm.rank()];
+        let sub = sub_override.unwrap_or(own_sub);
+        debug_assert_eq!(
+            sub.n_local(),
+            own_sub.n_local(),
+            "layout-compatible override"
+        );
+        comm.trace_phase(phase);
+
+        // ---- phase 4: solve --------------------------------------------
+        let clk_entry = comm.clock();
+        let stats_before = comm.stats();
+        let ctx_op = RankCtx { comm, sub };
+        let op = DistOp { ctx: ctx_op };
+        let ip = DistDot { comm, d: &sub.d };
+        let rhs_local = sub.restrict(rhs_global);
+        let x0 = vec![0.0; sub.n_local()];
+
+        let two_level = self.run.coarse == CoarseOutcome::TwoLevel;
+        let result: SolveResult = if !two_level {
+            let ras = DistRas {
+                ctx: RankCtx { comm, sub },
+                factor: &self.factor,
+            };
+            self.solve_classical(
+                &op,
+                &ras,
+                &ip,
+                &rhs_local,
+                &x0,
+                ckpt,
+                recycle.as_deref_mut(),
+            )?
+        } else {
+            let adef1 = DistADef1 {
+                op: DistOp {
+                    ctx: RankCtx { comm, sub },
+                },
+                ras: DistRas {
+                    ctx: RankCtx { comm, sub },
+                    factor: &self.factor,
+                },
+                coarse: DistCoarse {
+                    comm,
+                    split: &self.split,
+                    master: self.master_comm.as_ref().and_then(|m| {
+                        self.e_dist
+                            .as_ref()
+                            .map(|d| (m, MasterSolve::Distributed(d)))
+                            .or_else(|| {
+                                self.e_factor
+                                    .as_ref()
+                                    .map(|f| (m, MasterSolve::Redundant(f)))
+                            })
+                    }),
+                    sub,
+                    w: &self.w,
+                    offsets: &self.offsets,
+                    group_ranks: &self.group_ranks,
+                    dim_e: self.dim_e,
+                },
+            };
+            match self.opts.solver {
+                SolverKind::Classical => {
+                    self.solve_classical(&op, &adef1, &ip, &rhs_local, &x0, ckpt, recycle)?
+                }
+                SolverKind::Pipelined => {
+                    pipelined_gmres(&op, &adef1, &ip, &rhs_local, &x0, &self.opts.gmres)
+                }
+                SolverKind::Fused => {
+                    fused_pipelined_gmres(&op, &adef1, &ip, &rhs_local, &x0, &self.opts.gmres)
+                }
+            }
+        };
+        comm.try_barrier()?;
+        let t_solution = comm.clock() - clk_entry;
+        let stats_after = comm.stats();
+        Ok(ApplyOutcome {
+            result,
+            t_solution,
+            world_collectives_solution: stats_after.collective_calls
+                - stats_before.collective_calls,
+            p2p_messages: stats_after.p2p_messages,
+            p2p_bytes: stats_after.p2p_bytes,
+            collective_bytes: stats_after.collective_bytes
+                + self.split.stats().collective_bytes
+                + self
+                    .master_comm
+                    .as_ref()
+                    .map_or(0, |m| m.stats().collective_bytes),
+        })
+    }
+
+    /// The classical-GMRES arm, with or without recycling. (The pipelined
+    /// and fused variants have no fallible/recycled entry points, so the
+    /// recycle space only engages here.)
+    #[allow(clippy::too_many_arguments)]
+    fn solve_classical<M>(
+        &self,
+        op: &DistOp<'_>,
+        precond: &M,
+        ip: &DistDot<'_>,
+        rhs_local: &[f64],
+        x0: &[f64],
+        ckpt: Option<&CheckpointCfg<'_>>,
+        recycle: Option<&mut RecycleSpace>,
+    ) -> Result<SolveResult, SpmdError>
+    where
+        M: Preconditioner,
+    {
+        let comm = self.comm;
+        match recycle {
+            None => try_gmres(op, precond, ip, rhs_local, x0, &self.opts.gmres, ckpt)
+                .map_err(|si| interrupt_to_spmd(comm, si)),
+            Some(space) => {
+                let batch = [rhs_local.to_vec()];
+                try_gmres_multi(op, precond, ip, &batch, x0, &self.opts.gmres, Some(space))
+            }
+            .map_err(|si| interrupt_to_spmd(comm, si))?
+            .into_iter()
+            .next()
+            .ok_or_else(|| SpmdError::Protocol {
+                rank: comm.rank(),
+                what: "empty multi-solve result".to_string(),
+            }),
+        }
+    }
+
+    /// Assemble the full [`SpmdReport`] for one apply — the same report
+    /// [`try_run_spmd`] produces, with the setup phases' outcomes and a
+    /// clone of the setup [`RunReport`] extended by the solve outcome.
+    pub fn report(&self, out: &ApplyOutcome) -> SpmdReport {
+        let comm = self.comm;
+        let result = &out.result;
+        let mut run = self.run.clone();
+        run.phases.push((
+            "solve",
+            if result.status == SolveStatus::Converged && result.breakdown_restarts == 0 {
+                PhaseOutcome::Ok
+            } else {
+                PhaseOutcome::Degraded {
+                    reason: format!(
+                        "{} after {} breakdown restart(s)",
+                        result.status, result.breakdown_restarts
+                    ),
+                }
+            },
+        ));
+        run.solve_status = result.status;
+        run.breakdown_restarts = result.breakdown_restarts;
+        run.faults = comm.fault_stats();
+        SpmdReport {
+            rank: comm.rank(),
+            t_factorization: self.t_factorization,
+            t_deflation: self.t_deflation,
+            t_coarse: self.t_coarse,
+            t_solution: out.t_solution,
+            t_total: comm.clock(),
+            iterations: result.iterations,
+            converged: result.converged,
+            final_residual: result.final_residual,
+            nu: self.nu_mine,
+            dim_e: self.dim_e,
+            nnz_e_factor: self.nnz_e_factor,
+            n_neighbors: self.decomp.subdomains[comm.rank()].neighbors.len(),
+            world_collectives_solution: out.world_collectives_solution,
+            p2p_messages: out.p2p_messages,
+            p2p_bytes: out.p2p_bytes,
+            collective_bytes: out.collective_bytes,
+            history: result.history.clone(),
+            run,
+        }
+    }
+}
+
+/// The driver body. `ckpt` arms solver checkpointing (the recovery driver
+/// passes a [`crate::recovery::CheckpointStore`]-backed sink; the plain
+/// entry points pass `None` — checkpoint writes are local-only either way,
+/// so fault-free canonical traces are unaffected). Since the setup/apply
+/// split this is exactly [`try_setup`] + one [`PreparedSolver::try_apply`]
+/// on the decomposition's own right-hand side — same code path, same
+/// trace sequence.
+pub(crate) fn run_inner(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
+) -> Result<SpmdSolution, SpmdError> {
+    let prepared = try_setup(decomp, comm, opts)?;
+    let out = prepared.try_apply(&decomp.rhs_global, "solve", ckpt)?;
+    let report = prepared.report(&out);
     Ok(SpmdSolution {
         report,
-        x_local: result.x,
+        x_local: out.result.x,
     })
 }
 

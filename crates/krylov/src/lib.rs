@@ -16,6 +16,7 @@ pub mod checkpoint;
 pub mod gmres;
 pub mod operator;
 pub mod pipelined;
+pub mod recycle;
 
 pub use cg::{cg, try_cg, CgOpts};
 pub use checkpoint::{CheckpointCfg, CheckpointSink, SolveCheckpoint};
@@ -25,3 +26,4 @@ pub use operator::{
     SolveInterrupt,
 };
 pub use pipelined::{fused_pipelined_gmres, pipelined_gmres, FusedPreconditioner};
+pub use recycle::{try_gmres_multi, RecycleSpace};

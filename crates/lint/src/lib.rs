@@ -33,6 +33,13 @@
 //!   `SuspicionPolicy` budget or an explicitly bounded/timeout wait
 //!   nearby): a suspected straggler may still make progress, and waiting
 //!   for it without a budget turns suspicion back into a hang.
+//! * **serve-apply** — no re-factorization inside the resident apply
+//!   path: `trace_phase("serve-apply")` scopes and the bodies of the
+//!   `try_apply*` entry points the solve server routes that phase
+//!   through. The serving contract is that applies reuse the resident
+//!   setup (re-setups run under `serve-setup`); a factorization smuggled
+//!   into the apply path silently turns every request back into a
+//!   one-shot run and voids the amortization the server exists for.
 //!
 //! Audited exceptions live in `dd-lint.allow` at the workspace root, one
 //! per line: `rule path-substring code-substring # justification`. The
@@ -481,7 +488,7 @@ fn recovery_regions(f: &SourceFile) -> Vec<bool> {
 
 /// Rule: no infallible blocking waits and no `RetryPolicy::unbounded`
 /// lexically inside a `recovery-*` telemetry phase (see
-/// [`recovery_regions`] for the region definition).
+/// `recovery_regions` for the region definition).
 pub fn rule_recovery_retry(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in files {
@@ -521,7 +528,7 @@ const BOUND_MARKERS: [&str; 5] = [
 /// by waiting for it (rather than under a budget that can evict) turns
 /// the suspicion layer back into an unbounded hang. Lexically: every
 /// line mentioning `Suspected` inside a recovery region must carry one
-/// of [`BOUND_MARKERS`] within two lines.
+/// of `BOUND_MARKERS` within two lines.
 pub fn rule_suspected_bounded(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in files {
@@ -549,6 +556,80 @@ pub fn rule_suspected_bounded(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// Factorization entry points banned in the resident apply path (the
+/// solve-server contract: applies reuse the resident setup, re-setups run
+/// under the `serve-setup` phase).
+const REFACTOR_TOKENS: [&str; 6] = [
+    "SparseLdlt::factor",
+    "DistLdlt::factor",
+    "DistLdlt::try_factor",
+    "DenseLdlt::factor",
+    ".refactor(",
+    "try_setup",
+];
+
+/// Per-line flags marking the resident apply path of a file: lexical
+/// `serve-apply` telemetry regions (a `trace_phase("serve-apply")` /
+/// `trace_scope("serve-apply")` call up to the next trace call, the same
+/// approximation as `recovery_regions`) plus the brace-bodies of every
+/// `fn try_apply*` — the reentrant entry points the server routes the
+/// `serve-apply` phase through as a parameter, invisible to a purely
+/// literal region scan.
+fn serve_apply_regions(f: &SourceFile) -> Vec<bool> {
+    let n_lines = f.code.lines().count();
+    let mut region = vec![false; n_lines];
+    let mut inside = false;
+    for (i, (code_l, raw_l)) in f.code.lines().zip(f.raw.lines()).enumerate() {
+        if code_l.contains("trace_phase(") || code_l.contains("trace_scope(") {
+            inside = raw_l.contains("\"serve-apply\"");
+        }
+        if inside {
+            region[i] = true;
+        }
+    }
+    let mut from = 0;
+    while let Some(rel) = f.code[from..].find("fn try_apply") {
+        let pos = from + rel;
+        from = pos + 1;
+        if !token_start(&f.code, pos) {
+            continue;
+        }
+        let Some(open_rel) = f.code[pos..].find('{') else {
+            continue;
+        };
+        let Some(body) = brace_block(&f.code, pos) else {
+            continue;
+        };
+        let first = f.code[..pos + open_rel].matches('\n').count();
+        let last = first + body.matches('\n').count();
+        for flag in region.iter_mut().take((last + 1).min(n_lines)).skip(first) {
+            *flag = true;
+        }
+    }
+    region
+}
+
+/// Rule: no factorization inside the resident apply path (see
+/// `serve_apply_regions` for the region definition).
+pub fn rule_serve_apply(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        let region = serve_apply_regions(f);
+        if !region.iter().any(|&b| b) {
+            continue;
+        }
+        let tests_at = test_region_start(f);
+        for needle in REFACTOR_TOKENS {
+            for line in occurrences(f, needle) {
+                if line < tests_at && region.get(line - 1).copied().unwrap_or(false) {
+                    out.push(finding("serve-apply", f, line));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Run every rule.
 pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -559,6 +640,7 @@ pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     out.extend(rule_std_sync(files));
     out.extend(rule_recovery_retry(files));
     out.extend(rule_suspected_bounded(files));
+    out.extend(rule_serve_apply(files));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
@@ -932,6 +1014,61 @@ mod tests {
         // No recovery region at all: the rule never fires.
         let none = file("crates/comm/src/comm.rs", "let s = RankState::Suspected;\n");
         assert!(rule_suspected_bounded(std::slice::from_ref(&none)).is_empty());
+    }
+
+    #[test]
+    fn refactorization_in_apply_body_is_caught() {
+        let bad = file(
+            "crates/core/src/recovery.rs",
+            "pub fn try_apply_on(&self, d: &Decomposition) -> R {\n\
+             let f = SparseLdlt::factor(&d.a, ord);\n\
+             self.solve(f)\n\
+             }\n",
+        );
+        let got = rule_serve_apply(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "serve-apply");
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn refactorization_outside_the_apply_path_passes() {
+        let ok = file(
+            "crates/core/src/recovery.rs",
+            "pub fn try_setup_partitioned(d: &Decomposition) -> R {\n\
+             let f = SparseLdlt::factor(&d.a, ord);\n\
+             let e = DistLdlt::try_factor(m, b, s);\n\
+             }\n\
+             pub fn try_apply(&self, rhs: &[f64]) -> R {\n\
+             self.resident.solve(rhs)\n\
+             }\n",
+        );
+        assert!(rule_serve_apply(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn refactorization_in_literal_serve_apply_region_is_caught() {
+        let bad = file(
+            "crates/serve/src/server.rs",
+            "comm.trace_phase(\"serve-apply\");\n\
+             let f = x.refactor(&a);\n\
+             comm.trace_phase(\"serve-setup\");\n\
+             let g = y.refactor(&b);\n",
+        );
+        let got = rule_serve_apply(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2, "the re-setup region is legal");
+    }
+
+    #[test]
+    fn serve_apply_rule_exempts_test_regions() {
+        let ok = file(
+            "crates/core/src/spmd.rs",
+            "pub fn try_apply(&self) -> R { self.solve() }\n\
+             #[cfg(test)]\n\
+             mod tests { fn f() { let _ = SparseLdlt::factor(&a, o); } }\n",
+        );
+        assert!(rule_serve_apply(std::slice::from_ref(&ok)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! # dd-serve
+//!
+//! Solve-as-a-service on top of the SPMD solver: a long-lived server that
+//! pays the paper's setup phases (local factorizations, GenEO deflation,
+//! coarse assembly + factorization) **once** and then streams many
+//! right-hand sides through reentrant applies of the resident
+//! preconditioner. The amortization argument is the whole point: for the
+//! paper's two-level method the setup dominates a single solve, so a
+//! request stream served by a resident `dd_core::PreparedMulti` sustains a
+//! multiple of the throughput of repeated one-shot runs.
+//!
+//! * [`stream`] — the seeded virtual-time request-arrival model
+//!   ([`Workload`], [`Request`], [`Payload`]): Poisson arrivals, single and
+//!   multi-RHS submissions, bounded operator perturbations
+//!   `A(θ) = A + θ·diag(A)`;
+//! * [`batch`] — the static batcher ([`plan_batches`]): folds the stream
+//!   into one-operator solve batches, order-preserving and exactly-once;
+//! * [`server`] — [`try_serve`]: the epoch loop composing the resident
+//!   solver with the elastic recovery machinery (membership changes
+//!   mid-stream repartition and the stream resumes at the first incomplete
+//!   response), the admissibility check with re-setup fallback, Krylov
+//!   recycling across requests, and the shared [`ResponseStore`] +
+//!   per-request latency/throughput telemetry of the [`ServeReport`].
+
+pub mod batch;
+pub mod server;
+pub mod stream;
+
+pub use batch::{plan_batches, Batch, BatchItem, BatcherCfg};
+pub use server::{try_serve, Response, ResponseStore, ServeOpts, ServeReport, SolveMeta};
+pub use stream::{Payload, Request, StreamCfg, Workload};

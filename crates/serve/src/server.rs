@@ -1,0 +1,567 @@
+//! The resident solve server.
+//!
+//! [`try_serve`] is the SPMD entry point: every rank of a world runs it
+//! with the same decomposition and the same [`Workload`], performs the
+//! setup phases *once* (local factorizations, GenEO deflation, coarse
+//! factorization — the resident `dd_core::PreparedMulti`), then streams
+//! the request batches through reentrant applies. Three things can happen
+//! to a batch:
+//!
+//! * **resident solve** — θ equals the resident operator's θ: a recycled
+//!   apply on the prepared solver;
+//! * **admissible reuse** — `|θ − θ_base| ≤ admissibility`: the solve runs
+//!   against the *perturbed* operator `A(θ)` while the resident RAS
+//!   factorizations and coarse `E` keep preconditioning it, so the answer
+//!   is exact to tolerance and only the convergence rate pays for the lag;
+//! * **re-setup** — θ drifted out of the admissible ball: the server
+//!   re-factorizes at θ under the `serve-setup` trace phase (never inside
+//!   `serve-apply` — a `dd-lint` rule pins that) and moves θ_base.
+//!
+//! Rank death, straggler eviction, and joins mid-stream funnel into the
+//! same membership agreement the elastic solver uses; the next epoch
+//! re-prepares on the repartitioned world (coarse rows ride the
+//! [`CoarseCache`]) and the stream resumes at the first request whose
+//! response is incomplete. Deposits into the shared [`ResponseStore`] are
+//! keyed `(request, rhs, subdomain)` and written only after an apply's
+//! trailing barrier, so a completed response is never re-solved and a
+//! partial one is re-solved wholesale — no response mixes epochs.
+
+use crate::batch::{plan_batches, Batch, BatcherCfg};
+use crate::stream::Workload;
+use dd_comm::Communicator;
+use dd_core::{
+    agree_next, recoverable, repartition_plan, try_setup_partitioned, CoarseCache, Decomposition,
+    PreparedMulti, SpmdError, SpmdOpts,
+};
+use dd_krylov::RecycleSpace;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Server policy knobs on top of the usual [`SpmdOpts`].
+#[derive(Clone)]
+pub struct ServeOpts {
+    pub spmd: SpmdOpts,
+    pub batcher: BatcherCfg,
+    /// Half-width of the admissible perturbation ball: a request at θ is
+    /// preconditioned by the resident setup at θ_base while
+    /// `|θ − θ_base| ≤ admissibility`; beyond it the server re-factorizes.
+    pub admissibility: f64,
+    /// Capacity of each operator's Krylov recycle space (0 disables
+    /// recycling across the stream).
+    pub recycle_dim: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            spmd: SpmdOpts::default(),
+            batcher: BatcherCfg::default(),
+            admissibility: 0.05,
+            recycle_dim: 8,
+        }
+    }
+}
+
+/// Per-solve metadata deposited alongside each local solution piece.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveMeta {
+    pub iterations: usize,
+    pub converged: bool,
+    pub final_residual: f64,
+    /// Solved against a perturbed operator under the resident
+    /// preconditioner (admissible reuse) rather than a matching setup.
+    pub reused: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    locals: BTreeMap<usize, Vec<f64>>,
+    completed: f64,
+    meta: SolveMeta,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    solves: usize,
+    reused_applies: usize,
+    resetups: usize,
+    t_setup: f64,
+}
+
+/// Shared response plane of a serving world — the analogue of the
+/// checkpoint store: every rank deposits the local pieces of the solutions
+/// it owns, and a response exists once all subdomains have deposited.
+/// Deposits are idempotent per `(request, rhs, subdomain)` within an epoch
+/// and last-writer-wins across epochs (a recovered epoch re-solves an
+/// incomplete request wholesale, overwriting any partial pieces).
+#[derive(Default)]
+pub struct ResponseStore {
+    slots: Mutex<BTreeMap<(usize, usize), Slot>>,
+    counters: Mutex<Counters>,
+}
+
+impl ResponseStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit one subdomain's piece of the solution of `(req, rhs)`.
+    /// `now` is the depositing rank's virtual clock; the response's
+    /// completion instant is the max over deposits.
+    pub fn deposit(
+        &self,
+        req: usize,
+        rhs: usize,
+        sub: usize,
+        x: Vec<f64>,
+        now: f64,
+        meta: SolveMeta,
+    ) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = slots.entry((req, rhs)).or_default();
+        slot.locals.insert(sub, x);
+        slot.completed = slot.completed.max(now);
+        slot.meta = meta;
+    }
+
+    /// Has `(req, rhs)` been deposited by all `nsubs` subdomains?
+    pub fn is_complete(&self, req: usize, rhs: usize, nsubs: usize) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots
+            .get(&(req, rhs))
+            .is_some_and(|s| s.locals.len() == nsubs)
+    }
+
+    /// Number of subdomain pieces deposited for `(req, rhs)`.
+    pub fn deposited(&self, req: usize, rhs: usize) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.get(&(req, rhs)).map_or(0, |s| s.locals.len())
+    }
+
+    /// The deposited `(subdomain, piece)` pairs of `(req, rhs)`, in
+    /// subdomain order — what the protocol-level suites canonicalize.
+    pub fn pieces(&self, req: usize, rhs: usize) -> Vec<(usize, Vec<f64>)> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.get(&(req, rhs)).map_or_else(Vec::new, |s| {
+            s.locals.iter().map(|(&k, v)| (k, v.clone())).collect()
+        })
+    }
+
+    fn note(&self, f: impl FnOnce(&mut Counters)) {
+        let mut c = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut c);
+    }
+
+    fn snapshot(&self, req: usize, rhs: usize) -> Option<Slot> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.get(&(req, rhs)).cloned()
+    }
+
+    fn counters(&self) -> Counters {
+        *self.counters.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// One answered right-hand side, in stream order.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub req: usize,
+    pub rhs: usize,
+    pub theta: f64,
+    pub arrival: f64,
+    /// Virtual instant the last solution piece was deposited.
+    pub completed: f64,
+    /// `completed − arrival` in virtual seconds.
+    pub latency: f64,
+    pub iterations: usize,
+    pub converged: bool,
+    pub final_residual: f64,
+    /// Answered by admissible preconditioner reuse (no re-setup).
+    pub reused: bool,
+    /// Assembled global solution `Σ_i R_iᵀ D_i x_i`.
+    pub x: Vec<f64>,
+}
+
+/// What a serving run produced, identical on every surviving rank.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// All responses, ordered by `(request, rhs)` = submission order.
+    pub responses: Vec<Response>,
+    pub n_requests: usize,
+    /// Solve invocations (a recovered epoch may re-solve, so this can
+    /// exceed `responses.len()` under faults).
+    pub solves: usize,
+    /// Applies answered by admissible preconditioner reuse.
+    pub reused_applies: usize,
+    /// Inadmissible-drift re-factorizations.
+    pub resetups: usize,
+    /// Membership changes survived mid-stream.
+    pub recoveries: usize,
+    /// Virtual seconds of the initial resident setup.
+    pub t_setup: f64,
+    /// Virtual clock at the end of the stream (this rank's).
+    pub t_total: f64,
+}
+
+impl ServeReport {
+    /// Responses per virtual second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.responses.len() as f64 / self.t_total.max(f64::MIN_POSITIVE)
+    }
+
+    /// `p`-th latency percentile (`p` in `[0, 100]`), nearest-rank.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let mut lat: Vec<f64> = self.responses.iter().map(|r| r.latency).collect();
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((p / 100.0) * (lat.len() - 1) as f64).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    }
+}
+
+/// Serve the whole `workload` on this world, surviving membership changes
+/// mid-stream. Every rank must call it with identical arguments (SPMD);
+/// each surviving rank returns the same [`ServeReport`] (up to its own
+/// clock in `t_total`).
+pub fn try_serve(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &ServeOpts,
+    workload: &Workload,
+    cache: &CoarseCache,
+    responses: &ResponseStore,
+) -> Result<ServeReport, SpmdError> {
+    let nsubs = decomp.n_subdomains();
+    assert!(comm.size() <= nsubs, "serve: more members than subdomains");
+    comm.set_suspicion(opts.spmd.recovery.suspicion);
+    let batches = plan_batches(&workload.requests, &opts.batcher);
+    // Perturbed-operator arena: one decomposition per distinct θ, built
+    // identically on every rank before the stream starts so re-setups and
+    // admissible applies borrow from data that outlives every epoch.
+    let arena: Vec<(f64, Decomposition)> = workload
+        .thetas()
+        .into_iter()
+        .map(|t| (t, decomp.perturb_diag(t)))
+        .collect();
+
+    let mut held: Option<Communicator> = None;
+    let mut prev_owner: Option<Vec<usize>> = None;
+    let mut attempt = 0usize;
+    loop {
+        let (result, owner_world) = {
+            let c = held.as_ref().unwrap_or(comm);
+            let plan = repartition_plan(decomp, c, prev_owner.as_deref());
+            let r = serve_epoch(
+                decomp, c, opts, workload, &batches, &arena, cache, responses, &plan,
+            );
+            (r, plan.owner_world)
+        };
+        match result {
+            Ok(()) => {
+                let c = held.as_ref().unwrap_or(comm);
+                return Ok(build_report(decomp, c, workload, responses));
+            }
+            Err(e) => {
+                let again = opts.spmd.recovery.enabled
+                    && recoverable(&e)
+                    && attempt < opts.spmd.recovery.max_recoveries;
+                if !again {
+                    comm.abandon();
+                    return Err(e);
+                }
+                attempt += 1;
+                prev_owner = Some(owner_world);
+                let next = {
+                    let c = held.as_ref().unwrap_or(comm);
+                    agree_next(c)
+                };
+                match next {
+                    Ok((c, _t_agreement)) => held = Some(c),
+                    Err(e2) => {
+                        comm.abandon();
+                        return Err(e2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One epoch of serving: prepare once on the current membership, then
+/// stream every batch whose response is still incomplete.
+#[allow(clippy::too_many_arguments)]
+fn serve_epoch(
+    base: &Decomposition,
+    c: &Communicator,
+    opts: &ServeOpts,
+    workload: &Workload,
+    batches: &[Batch],
+    arena: &[(f64, Decomposition)],
+    cache: &CoarseCache,
+    responses: &ResponseStore,
+    plan: &dd_core::RepartitionPlan,
+) -> Result<(), SpmdError> {
+    let nsubs = base.n_subdomains();
+    // Only the founders' first epoch resets the clock: the request stream
+    // needs one monotone virtual-time axis across re-setups and epochs.
+    let reset_clock = c.epoch() == 0 && !c.is_joiner();
+    let t0 = c.clock();
+    let scope = c.trace_scope("serve-setup");
+    let mut resident: PreparedMulti<'_> =
+        try_setup_partitioned(base, c, &opts.spmd, Some(cache), plan, reset_clock)?;
+    drop(scope);
+    let t_setup = if reset_clock {
+        c.clock()
+    } else {
+        c.clock() - t0
+    };
+    if c.rank() == 0 && c.epoch() == 0 {
+        responses.note(|m| m.t_setup = t_setup);
+    }
+    let mut theta_base = 0.0f64;
+    // One recycle space per operator: banked (u, A(θ)u) pairs are only
+    // valid against the operator that produced them.
+    let mut spaces: BTreeMap<u64, RecycleSpace> = BTreeMap::new();
+
+    for batch in batches {
+        if batch
+            .items
+            .iter()
+            .all(|it| responses.is_complete(it.req, it.rhs, nsubs))
+        {
+            continue;
+        }
+        // Open-loop arrivals: idle (in virtual time) until dispatch.
+        let now = c.clock();
+        if now < batch.dispatch {
+            c.advance_clock(batch.dispatch - now);
+        }
+        let theta = batch.theta;
+        let reused = theta.to_bits() != theta_base.to_bits();
+        if reused && (theta - theta_base).abs() > opts.admissibility {
+            // Inadmissible drift: re-factorize at θ and move the resident
+            // base point. Setups never run inside `serve-apply`.
+            let scope = c.trace_scope("serve-setup");
+            resident = match lookup(arena, theta) {
+                // Returning to the unperturbed operator reuses the coarse
+                // cache (layout unchanged → every row is a cache hit);
+                // perturbed operators get a fresh, uncached assembly.
+                None => try_setup_partitioned(base, c, &opts.spmd, Some(cache), plan, false)?,
+                Some(d) => try_setup_partitioned(d, c, &opts.spmd, None, plan, false)?,
+            };
+            drop(scope);
+            theta_base = theta;
+            if c.rank() == 0 {
+                responses.note(|m| m.resetups += 1);
+            }
+            serve_batch(
+                c,
+                &resident,
+                None,
+                opts,
+                workload,
+                batch,
+                responses,
+                nsubs,
+                &mut spaces,
+            )?;
+        } else if !reused {
+            serve_batch(
+                c,
+                &resident,
+                None,
+                opts,
+                workload,
+                batch,
+                responses,
+                nsubs,
+                &mut spaces,
+            )?;
+        } else {
+            // Admissible reuse: solve the perturbed operator under the
+            // resident preconditioner.
+            let op = lookup(arena, theta).ok_or_else(|| SpmdError::Protocol {
+                rank: c.rank(),
+                what: format!("perturbation θ={theta} missing from the arena"),
+            })?;
+            serve_batch(
+                c,
+                &resident,
+                Some(op),
+                opts,
+                workload,
+                batch,
+                responses,
+                nsubs,
+                &mut spaces,
+            )?;
+        }
+    }
+    c.try_barrier()?;
+    Ok(())
+}
+
+/// Solve the incomplete items of one batch in stream order, sharing the
+/// operator's recycle space, and deposit every owned piece.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    c: &Communicator,
+    resident: &PreparedMulti<'_>,
+    op_override: Option<&Decomposition>,
+    opts: &ServeOpts,
+    workload: &Workload,
+    batch: &Batch,
+    responses: &ResponseStore,
+    nsubs: usize,
+    spaces: &mut BTreeMap<u64, RecycleSpace>,
+) -> Result<(), SpmdError> {
+    let space = spaces
+        .entry(batch.theta.to_bits())
+        .or_insert_with(|| RecycleSpace::new(opts.recycle_dim));
+    for it in &batch.items {
+        if responses.is_complete(it.req, it.rhs, nsubs) {
+            continue;
+        }
+        let rhs = workload.requests[it.req].rhs(it.rhs);
+        let out = match op_override {
+            None => resident.try_apply_recycled(rhs, "serve-apply", space)?,
+            Some(d) => resident.try_apply_on(d, rhs, "serve-apply", Some(space))?,
+        };
+        let meta = SolveMeta {
+            iterations: out.result.iterations,
+            converged: out.result.converged,
+            final_residual: out.result.final_residual,
+            reused: op_override.is_some(),
+        };
+        let now = c.clock();
+        for (s, x) in out.locals {
+            responses.deposit(it.req, it.rhs, s, x, now, meta);
+        }
+        if c.rank() == 0 {
+            responses.note(|m| {
+                m.solves += 1;
+                if meta.reused {
+                    m.reused_applies += 1;
+                }
+            });
+        }
+    }
+    Ok(())
+}
+
+fn lookup(arena: &[(f64, Decomposition)], theta: f64) -> Option<&Decomposition> {
+    arena
+        .iter()
+        .find(|(t, _)| t.to_bits() == theta.to_bits())
+        .map(|(_, d)| d)
+}
+
+fn build_report(
+    decomp: &Decomposition,
+    c: &Communicator,
+    workload: &Workload,
+    responses: &ResponseStore,
+) -> ServeReport {
+    let mut out = Vec::with_capacity(workload.n_rhs_total());
+    for (ri, req) in workload.requests.iter().enumerate() {
+        for j in 0..req.n_rhs() {
+            let Some(slot) = responses.snapshot(ri, j) else {
+                continue;
+            };
+            let x = assemble_global(decomp, &slot.locals);
+            out.push(Response {
+                req: ri,
+                rhs: j,
+                theta: req.theta(),
+                arrival: req.arrival,
+                completed: slot.completed,
+                latency: slot.completed - req.arrival,
+                iterations: slot.meta.iterations,
+                converged: slot.meta.converged,
+                final_residual: slot.meta.final_residual,
+                reused: slot.meta.reused,
+                x,
+            });
+        }
+    }
+    let counters = responses.counters();
+    ServeReport {
+        responses: out,
+        n_requests: workload.requests.len(),
+        solves: counters.solves,
+        reused_applies: counters.reused_applies,
+        resetups: counters.resetups,
+        recoveries: c.epoch(),
+        t_setup: counters.t_setup,
+        t_total: c.clock(),
+    }
+}
+
+/// `Σ_i R_iᵀ D_i x_i` — the partition-of-unity interpolant of the
+/// deposited local pieces, assembled in subdomain order so the result is
+/// independent of deposit interleaving.
+fn assemble_global(decomp: &Decomposition, locals: &BTreeMap<usize, Vec<f64>>) -> Vec<f64> {
+    let mut x = vec![0.0; decomp.n_global];
+    for (&s, xs) in locals {
+        let sub = &decomp.subdomains[s];
+        for (k, &g) in sub.l2g.iter().enumerate() {
+            x[g as usize] += sub.d[k] * xs[k];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_store_deposits_are_idempotent_and_complete() {
+        let store = ResponseStore::new();
+        assert!(!store.is_complete(0, 0, 2));
+        store.deposit(0, 0, 0, vec![1.0], 0.5, SolveMeta::default());
+        assert_eq!(store.deposited(0, 0), 1);
+        assert!(!store.is_complete(0, 0, 2));
+        // Same (req, rhs, sub) again: still one piece.
+        store.deposit(0, 0, 0, vec![1.0], 0.6, SolveMeta::default());
+        assert_eq!(store.deposited(0, 0), 1);
+        store.deposit(0, 0, 1, vec![2.0], 0.4, SolveMeta::default());
+        assert!(store.is_complete(0, 0, 2));
+        // Completion is the max deposit instant, not the last.
+        let slot = store.snapshot(0, 0).unwrap();
+        assert_eq!(slot.completed, 0.6);
+    }
+
+    #[test]
+    fn latency_percentiles_are_order_statistics() {
+        let mk = |lat: f64| Response {
+            req: 0,
+            rhs: 0,
+            theta: 0.0,
+            arrival: 0.0,
+            completed: lat,
+            latency: lat,
+            iterations: 1,
+            converged: true,
+            final_residual: 0.0,
+            reused: false,
+            x: Vec::new(),
+        };
+        let report = ServeReport {
+            responses: (1..=100).map(|i| mk(i as f64)).collect(),
+            n_requests: 100,
+            solves: 100,
+            reused_applies: 0,
+            resetups: 0,
+            recoveries: 0,
+            t_setup: 0.0,
+            t_total: 100.0,
+        };
+        assert_eq!(report.latency_percentile(0.0), 1.0);
+        assert_eq!(report.latency_percentile(100.0), 100.0);
+        assert_eq!(report.latency_percentile(50.0), 51.0);
+        assert!((report.throughput() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Seeded virtual-time request-arrival model.
+//!
+//! A [`Workload`] is generated *before* the world launches and shared by
+//! every rank, the same way the decomposition is: the request stream is
+//! data, not messages, so every rank observes the identical sequence and
+//! the server's control flow stays SPMD. Arrival times live on the same
+//! virtual-time axis as the communicator clocks — the server idles (via
+//! `Communicator::advance_clock`) until a request's arrival instant, and
+//! per-request latency is `completion − arrival` in virtual seconds.
+//!
+//! Interarrival gaps are exponential (a Poisson process, the standard
+//! open-loop arrival model), drawn from a splitmix64 generator so the
+//! stream is a pure function of the seed.
+
+/// What one request asks the server to solve.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// One right-hand side against the resident operator.
+    Rhs(Vec<f64>),
+    /// Several right-hand sides submitted together (the server may still
+    /// split them across solve batches).
+    Batch(Vec<Vec<f64>>),
+    /// One right-hand side against the perturbed operator
+    /// `A(θ) = A + θ·diag(A)` (Dirichlet rows untouched). Bounded θ models
+    /// a parameter sweep around the resident operator; the server reuses
+    /// the resident preconditioner while θ stays admissible.
+    Perturbed { theta: f64, rhs: Vec<f64> },
+}
+
+/// One request of the stream.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Position in the stream (responses are reported in this order).
+    pub id: usize,
+    /// Virtual-time arrival instant, nondecreasing along the stream.
+    pub arrival: f64,
+    pub payload: Payload,
+}
+
+impl Request {
+    /// Number of right-hand sides this request carries.
+    pub fn n_rhs(&self) -> usize {
+        match &self.payload {
+            Payload::Rhs(_) | Payload::Perturbed { .. } => 1,
+            Payload::Batch(b) => b.len(),
+        }
+    }
+
+    /// The `j`-th right-hand side (global numbering).
+    pub fn rhs(&self, j: usize) -> &[f64] {
+        match &self.payload {
+            Payload::Rhs(b) => b,
+            Payload::Perturbed { rhs, .. } => rhs,
+            Payload::Batch(b) => &b[j],
+        }
+    }
+
+    /// Operator perturbation of this request (`0.0` = resident operator).
+    pub fn theta(&self) -> f64 {
+        match &self.payload {
+            Payload::Perturbed { theta, .. } => *theta,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Shape of a generated stream (see [`Workload::generate`]).
+#[derive(Clone, Debug)]
+pub struct StreamCfg {
+    /// Number of requests in the stream.
+    pub n_requests: usize,
+    /// Mean exponential interarrival gap in virtual seconds.
+    pub mean_interarrival: f64,
+    /// Probability a request is a multi-RHS [`Payload::Batch`].
+    pub batch_fraction: f64,
+    /// Right-hand sides per batch request, `2..=max_rhs_per_request`.
+    pub max_rhs_per_request: usize,
+    /// Probability a (non-batch) request is [`Payload::Perturbed`].
+    pub perturb_fraction: f64,
+    /// Perturbations are drawn uniformly from `[-theta_max, theta_max]`.
+    pub theta_max: f64,
+}
+
+impl Default for StreamCfg {
+    fn default() -> Self {
+        StreamCfg {
+            n_requests: 32,
+            mean_interarrival: 0.05,
+            batch_fraction: 0.25,
+            max_rhs_per_request: 4,
+            perturb_fraction: 0.25,
+            theta_max: 0.1,
+        }
+    }
+}
+
+/// A complete, seeded request stream.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    pub requests: Vec<Request>,
+}
+
+impl Workload {
+    /// Generate a stream of `cfg.n_requests` requests with right-hand
+    /// sides of length `n_global`, entries uniform in `[-1, 1]`. Pure
+    /// function of `(seed, n_global, cfg)`.
+    pub fn generate(seed: u64, n_global: usize, cfg: &StreamCfg) -> Workload {
+        let mut state = seed ^ 0x5e7e_5e7e_5e7e_5e7e;
+        let mut t = 0.0f64;
+        let mut requests = Vec::with_capacity(cfg.n_requests);
+        for id in 0..cfg.n_requests {
+            t += -cfg.mean_interarrival * (1.0 - unit(&mut state)).ln();
+            let kind = unit(&mut state);
+            let payload = if kind < cfg.batch_fraction && cfg.max_rhs_per_request >= 2 {
+                let extra = cfg.max_rhs_per_request - 2 + 1;
+                let k = 2 + (splitmix64(&mut state) as usize) % extra;
+                Payload::Batch((0..k).map(|_| rhs_vec(&mut state, n_global)).collect())
+            } else if kind < cfg.batch_fraction + cfg.perturb_fraction {
+                Payload::Perturbed {
+                    theta: cfg.theta_max * (2.0 * unit(&mut state) - 1.0),
+                    rhs: rhs_vec(&mut state, n_global),
+                }
+            } else {
+                Payload::Rhs(rhs_vec(&mut state, n_global))
+            };
+            requests.push(Request {
+                id,
+                arrival: t,
+                payload,
+            });
+        }
+        Workload { requests }
+    }
+
+    /// Build a stream directly from explicit requests (tests, examples).
+    pub fn from_requests(requests: Vec<Request>) -> Workload {
+        Workload { requests }
+    }
+
+    /// Total number of right-hand sides across all requests.
+    pub fn n_rhs_total(&self) -> usize {
+        self.requests.iter().map(Request::n_rhs).sum()
+    }
+
+    /// Distinct nonzero perturbations, in order of first appearance.
+    pub fn thetas(&self) -> Vec<f64> {
+        let mut seen: Vec<u64> = Vec::new();
+        let mut out = Vec::new();
+        for r in &self.requests {
+            let t = r.theta();
+            if t != 0.0 && !seen.contains(&t.to_bits()) {
+                seen.push(t.to_bits());
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+fn rhs_vec(state: &mut u64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| 2.0 * unit(state) - 1.0).collect()
+}
+
+/// The workspace's standard seeded mixer (same recurrence the runtime uses
+/// for epoch salts).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` with 53 random mantissa bits.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = StreamCfg::default();
+        let a = Workload::generate(7, 20, &cfg);
+        let b = Workload::generate(7, 20, &cfg);
+        assert_eq!(a.requests.len(), b.requests.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            assert_eq!(x.n_rhs(), y.n_rhs());
+            assert_eq!(x.theta().to_bits(), y.theta().to_bits());
+            for j in 0..x.n_rhs() {
+                assert_eq!(x.rhs(j), y.rhs(j));
+            }
+        }
+        let c = Workload::generate(8, 20, &cfg);
+        assert!(a
+            .requests
+            .iter()
+            .zip(&c.requests)
+            .any(|(x, y)| x.arrival.to_bits() != y.arrival.to_bits()));
+    }
+
+    #[test]
+    fn arrivals_increase_and_thetas_are_bounded() {
+        let cfg = StreamCfg {
+            n_requests: 200,
+            ..Default::default()
+        };
+        let w = Workload::generate(3, 10, &cfg);
+        let mut prev = 0.0;
+        for r in &w.requests {
+            assert!(r.arrival > prev);
+            prev = r.arrival;
+            assert!(r.theta().abs() <= cfg.theta_max);
+            for j in 0..r.n_rhs() {
+                assert_eq!(r.rhs(j).len(), 10);
+                assert!(r.rhs(j).iter().all(|v| v.abs() <= 1.0));
+            }
+        }
+        // A long enough stream exercises all three payload kinds.
+        assert!(w
+            .requests
+            .iter()
+            .any(|r| matches!(r.payload, Payload::Batch(_))));
+        assert!(w
+            .requests
+            .iter()
+            .any(|r| matches!(r.payload, Payload::Perturbed { .. })));
+        assert!(w
+            .requests
+            .iter()
+            .any(|r| matches!(r.payload, Payload::Rhs(_))));
+        assert!(!w.thetas().is_empty());
+    }
+}

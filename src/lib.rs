@@ -20,8 +20,12 @@
 //!   fault injection, and elastic membership (rank join via
 //!   `World::run_elastic` / `Communicator::try_grow`, straggler
 //!   suspicion and eviction under a `SuspicionPolicy`);
-//! * [`krylov`] — GMRES / CG / pipelined p1-GMRES;
-//! * [`core`] — the paper's preconditioners and drivers.
+//! * [`krylov`] — GMRES / CG / pipelined p1-GMRES, with Krylov-subspace
+//!   recycling for repeated right-hand sides;
+//! * [`core`] — the paper's preconditioners and drivers;
+//! * [`serve`] — solve-as-a-service: a resident prepared solver streaming
+//!   many right-hand sides with batching, admissible-perturbation reuse,
+//!   and mid-stream membership changes.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@ pub use dd_krylov as krylov;
 pub use dd_linalg as linalg;
 pub use dd_mesh as mesh;
 pub use dd_part as part;
+pub use dd_serve as serve;
 pub use dd_solver as solver;
 
 /// Convenience prelude: the types most applications need.
