@@ -12,22 +12,30 @@
 //!
 //! ```text
 //! perf_gate [--current <dir>] [--baseline <dir>] [--tolerances <file>]
+//!           [--only <stem>]...
 //! ```
 //!
 //! Defaults: `--current` = `$DD_BENCH_OUT/summaries` (or
 //! `bench_results/summaries`), `--baseline` = `bench_results/baselines`,
 //! `--tolerances` = `<baseline>/tolerances.json` (exact match if the file
-//! does not exist). To accept intended changes, regenerate and copy the
+//! does not exist). `--only` (repeatable) restricts the gate to the named
+//! baseline stems — for CI jobs that regenerate a subset of the
+//! summaries. To accept intended changes, regenerate and copy the
 //! summaries over the baselines (see EXPERIMENTS.md).
+//!
+//! `*_wall.json` baselines are skipped: those hold calibrated wall-clock
+//! ratios, which are runner-dependent and gated softly by
+//! `kernel_bench --gate-wall` instead of this exact diff.
 
 use dd_bench::summary::{compare, markdown_table, Summary, Tolerances};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn parse_args() -> (PathBuf, PathBuf, Option<PathBuf>) {
+fn parse_args() -> (PathBuf, PathBuf, Option<PathBuf>, Vec<String>) {
     let mut current = dd_bench::bench_out_dir().join("summaries");
     let mut baseline = PathBuf::from("bench_results").join("baselines");
     let mut tolerances = None;
+    let mut only = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -38,10 +46,11 @@ fn parse_args() -> (PathBuf, PathBuf, Option<PathBuf>) {
             "--current" => current = PathBuf::from(val("--current")),
             "--baseline" => baseline = PathBuf::from(val("--baseline")),
             "--tolerances" => tolerances = Some(PathBuf::from(val("--tolerances"))),
+            "--only" => only.push(val("--only")),
             other => panic!("unknown argument `{other}`"),
         }
     }
-    (current, baseline, tolerances)
+    (current, baseline, tolerances, only)
 }
 
 fn load_summary(path: &Path) -> Result<Summary, String> {
@@ -50,7 +59,7 @@ fn load_summary(path: &Path) -> Result<Summary, String> {
 }
 
 fn main() -> ExitCode {
-    let (current_dir, baseline_dir, tol_path) = parse_args();
+    let (current_dir, baseline_dir, tol_path, only) = parse_args();
     let tol_path = tol_path.unwrap_or_else(|| baseline_dir.join("tolerances.json"));
     let tol = match std::fs::read_to_string(&tol_path) {
         Ok(text) => match Tolerances::from_json(&text) {
@@ -69,6 +78,15 @@ fn main() -> ExitCode {
             .filter(|p| {
                 p.extension().is_some_and(|x| x == "json")
                     && p.file_name().is_some_and(|f| f != "tolerances.json")
+                    // `*_wall.json` holds calibrated wall-clock ratios —
+                    // runner-dependent by nature, gated softly by
+                    // `kernel_bench --gate-wall` instead of this exact diff.
+                    && !p
+                        .file_stem()
+                        .is_some_and(|s| s.to_string_lossy().ends_with("_wall"))
+                    && (only.is_empty()
+                        || p.file_stem()
+                            .is_some_and(|s| only.iter().any(|o| *o == s.to_string_lossy())))
             })
             .collect(),
         Err(e) => {

@@ -30,6 +30,7 @@
 //! wins, where crossovers fall) are the reproduction target, not absolute
 //! seconds.
 
+pub mod alloc_count;
 pub mod summary;
 
 use dd_comm::{World, WorldTrace};

@@ -176,6 +176,18 @@ impl WireSize for () {
     }
 }
 
+/// `Arc`-backed zero-copy payloads: sending `Arc<T>` clones a pointer, not
+/// the buffer, while the wire size stays that of the shared `T` — the α–β
+/// cost model and every byte counter charge exactly what a by-value send
+/// of the same data would. Senders that reuse a buffer across many sends
+/// (the backward-sweep fan-out in `dd-solver::dist_ldlt`, `dd-serve`
+/// streaming) wrap it once and send clones of the handle.
+impl<T: WireSize + ?Sized> WireSize for Arc<T> {
+    fn wire_bytes(&self) -> usize {
+        (**self).wire_bytes()
+    }
+}
+
 struct Envelope {
     payload: Box<dyn Any + Send>,
     arrival: f64,

@@ -100,7 +100,7 @@ impl CoarseOperator {
         let n = decomp.n_subdomains();
         // T_i = A_i W_i
         let t: Vec<DMat> = (0..n)
-            .map(|i| decomp.subdomains[i].a_dirichlet.csrmm(&space.w[i]))
+            .map(|i| decomp.subdomains[i].mm_dirichlet(&space.w[i]))
             .collect();
         let m = space.dim;
         let mut coo = CooBuilder::new(m, m);

@@ -26,7 +26,7 @@
 
 use crate::problem::Problem;
 use dd_fem::{assembly, DofMap};
-use dd_linalg::{vector, CsrMatrix};
+use dd_linalg::{vector, BsrMatrix, CsrMatrix, DMat};
 use dd_mesh::Mesh;
 use std::collections::HashMap;
 
@@ -49,6 +49,14 @@ pub struct Subdomain {
     pub l2g: Vec<u32>,
     /// Assembled Dirichlet matrix `A_i = R_i A R_iᵀ`.
     pub a_dirichlet: CsrMatrix,
+    /// Block (BSR) companion of `a_dirichlet` for vector-valued problems
+    /// whose `dim × dim` node blocks are mostly dense (elasticity). `None`
+    /// for scalar problems. The blocked kernels accumulate in the same
+    /// scalar-column order as CSR, so every apply through
+    /// [`Subdomain::spmv_dirichlet`] / [`Subdomain::mm_dirichlet`] is
+    /// bitwise identical to the CSR path — enabling this storage cannot
+    /// move an iteration count or telemetry counter.
+    pub a_dirichlet_bsr: Option<BsrMatrix>,
     /// Unassembled Neumann matrix `A_i^δ` (essential BCs of the *global*
     /// problem eliminated; no conditions on the artificial interface).
     pub a_neumann: CsrMatrix,
@@ -82,6 +90,25 @@ impl Subdomain {
     pub fn prolong_add(&self, local: &[f64], global: &mut [f64]) {
         for (l, &g) in self.l2g.iter().enumerate() {
             global[g as usize] += local[l];
+        }
+    }
+
+    /// `y ← A_i x` through the blocked storage when available (bitwise
+    /// identical to `a_dirichlet.spmv`).
+    pub fn spmv_dirichlet(&self, x: &[f64], y: &mut [f64]) {
+        match &self.a_dirichlet_bsr {
+            Some(b) => b.spmv(x, y),
+            None => self.a_dirichlet.spmv(x, y),
+        }
+    }
+
+    /// `A_i W` through the blocked storage when available (bitwise identical
+    /// to `a_dirichlet.csrmm`) — the `T_i = A_i W_i` step of the `E`
+    /// assembly.
+    pub fn mm_dirichlet(&self, w: &DMat) -> DMat {
+        match &self.a_dirichlet_bsr {
+            Some(b) => b.bsrmm(w),
+            None => self.a_dirichlet.csrmm(w),
         }
     }
 }
@@ -423,9 +450,15 @@ pub fn decompose_with(
         for &g in scalar_gids.iter() {
             coords.extend_from_slice(dm.dof_coord(g as usize));
         }
+        let a_dirichlet_bsr = if c > 1 {
+            BsrMatrix::detect_padded(&a_dirichlet)
+        } else {
+            None
+        };
         subdomains.push(Subdomain {
             l2g: l2g.clone(),
             a_dirichlet,
+            a_dirichlet_bsr,
             a_neumann,
             d,
             overlap,
@@ -492,7 +525,7 @@ impl Decomposition {
                 let mut w = x.clone();
                 vector::scale_by(&s.d, &mut w);
                 let mut y = vec![0.0; s.n_local()];
-                s.a_dirichlet.spmv(&w, &mut y);
+                s.spmv_dirichlet(&w, &mut y);
                 y
             })
             .collect();
@@ -553,6 +586,11 @@ impl Decomposition {
             let flags = sub.dirichlet.clone();
             scale(&mut sub.a_dirichlet, theta, &flags);
             scale(&mut sub.a_neumann, theta, &flags);
+            // The blocked companion holds a copy of the values: rebuild it
+            // so it cannot go stale against the scaled CSR matrix.
+            if sub.a_dirichlet_bsr.is_some() {
+                sub.a_dirichlet_bsr = BsrMatrix::detect_padded(&sub.a_dirichlet);
+            }
         }
         out
     }

@@ -46,7 +46,7 @@ use dd_krylov::{
     SolveCheckpoint, SolveInterrupt, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
-use dd_solver::{DistLdlt, PivotPolicy, SparseLdlt};
+use dd_solver::{DistLdlt, LocalLdlt, PivotPolicy, SparseLdlt};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -697,8 +697,7 @@ impl MultiOp<'_> {
                 let xs = &x[ctx.starts[i]..ctx.starts[i + 1]];
                 let mut w = xs.to_vec();
                 vector::scale_by(&sub.d, &mut w);
-                sub.a_dirichlet
-                    .spmv(&w, &mut t[ctx.starts[i]..ctx.starts[i + 1]]);
+                sub.spmv_dirichlet(&w, &mut t[ctx.starts[i]..ctx.starts[i + 1]]);
                 flops += (2 * sub.a_dirichlet.nnz() + sub.n_local()) as u64;
             }
             t
@@ -772,7 +771,7 @@ impl InnerProduct for MultiDot<'_> {
 struct MultiRas<'a> {
     ctx: &'a MultiCtx<'a>,
     /// Local factors, aligned with `ctx.owned`.
-    factors: &'a [SparseLdlt],
+    factors: &'a [LocalLdlt],
 }
 
 impl MultiRas<'_> {
@@ -977,7 +976,7 @@ pub struct PreparedMulti<'a> {
     host: Vec<usize>,
     /// Concatenation offsets of the owned subdomains' locals (len+1).
     starts: Vec<usize>,
-    factors: Vec<SparseLdlt>,
+    factors: Vec<LocalLdlt>,
     w: Vec<DMat>,
     /// Globally agreed max ν.
     nu: usize,
@@ -1075,10 +1074,16 @@ pub fn try_setup_partitioned<'a>(
     // ---- adopt: re-factor the Dirichlet matrices of every owned
     // subdomain (for adopters that re-runs the orphan's local setup from
     // the shared decomposition).
-    let mut factors: Vec<SparseLdlt> = Vec::with_capacity(owned.len());
+    let mut factors: Vec<LocalLdlt> = Vec::with_capacity(owned.len());
     for &s in &owned {
         let f = comm
-            .compute(|| SparseLdlt::factor(&decomp.subdomains[s].a_dirichlet, opts.ordering))
+            .compute(|| {
+                LocalLdlt::factor(
+                    &decomp.subdomains[s].a_dirichlet,
+                    opts.ordering,
+                    opts.local_ldlt,
+                )
+            })
             .map_err(|source| SpmdError::LocalFactorization {
                 rank: me_world,
                 source,
@@ -1279,7 +1284,7 @@ pub fn try_setup_partitioned<'a>(
             }
             let nu_s = w[i].cols();
             let (t_s, e) = comm.compute(|| {
-                let t = sub.a_dirichlet.csrmm(&w[i]);
+                let t = sub.mm_dirichlet(&w[i]);
                 let e = fresh[s].then(|| {
                     let mut e = DMat::zeros(nu_s, nu_s);
                     w[i].gemm_tn(1.0, &t, 0.0, &mut e);

@@ -34,7 +34,7 @@ use dd_krylov::{
     SolveInterrupt, SolveResult, SolveStatus,
 };
 use dd_linalg::{vector, CooBuilder, CsrMatrix, DMat};
-use dd_solver::{DistLdlt, Ordering, PivotPolicy, SparseLdlt};
+use dd_solver::{DistLdlt, LdltBackend, LocalLdlt, Ordering, PivotPolicy, SparseLdlt};
 
 const TAG_T: u64 = 101; // S_j / U_j exchanges (Algorithm 1)
 
@@ -91,6 +91,11 @@ pub struct SpmdOpts {
     pub election: Election,
     pub assembly: AssemblyVariant,
     pub ordering: Ordering,
+    /// Backend for the subdomain `A_i` factorizations. `Scalar` (default)
+    /// keeps every committed convergence baseline bit-identical;
+    /// `Supernodal` uses the blocked multifrontal kernels (same pivoting,
+    /// different — equally valid — rounding).
+    pub local_ldlt: LdltBackend,
     pub gmres: GmresOpts,
     pub solver: SolverKind,
     /// Use the one-level RAS preconditioner only (the Figure 1/7 baseline).
@@ -110,6 +115,7 @@ impl Default for SpmdOpts {
             election: Election::NonUniform,
             assembly: AssemblyVariant::IndexFree,
             ordering: Ordering::MinDegree,
+            local_ldlt: LdltBackend::Scalar,
             gmres: GmresOpts {
                 tol: 1e-6,
                 max_iters: 600,
@@ -319,7 +325,7 @@ impl DistOp<'_> {
             let mut w = x.to_vec();
             vector::scale_by(&s.d, &mut w);
             let mut t = vec![0.0; s.n_local()];
-            s.a_dirichlet.spmv(&w, &mut t);
+            s.spmv_dirichlet(&w, &mut t);
             t
         });
         self.ctx
@@ -394,7 +400,7 @@ impl InnerProduct for DistDot<'_> {
 /// Distributed one-level RAS: `z_i = Σ_j R_i R_jᵀ D_j A_j⁻¹ r_j`.
 struct DistRas<'a> {
     ctx: RankCtx<'a>,
-    factor: &'a SparseLdlt,
+    factor: &'a LocalLdlt,
 }
 
 impl DistRas<'_> {
@@ -685,7 +691,7 @@ pub struct PreparedSolver<'a> {
     decomp: &'a Decomposition,
     comm: &'a Communicator,
     opts: SpmdOpts,
-    factor: SparseLdlt,
+    factor: LocalLdlt,
     w: DMat,
     nu_mine: usize,
     split: Communicator,
@@ -759,7 +765,7 @@ pub fn try_setup_with<'a>(
     // ---- phase 1: local factorization --------------------------------
     // Unrecoverable: without A_i⁻¹ this rank has no RAS contribution.
     let factor = comm
-        .compute(|| SparseLdlt::factor(&sub.a_dirichlet, opts.ordering))
+        .compute(|| LocalLdlt::factor(&sub.a_dirichlet, opts.ordering, opts.local_ldlt))
         .map_err(|source| SpmdError::LocalFactorization { rank, source })?;
     run.phases.push(("factorization", PhaseOutcome::Ok));
     failpoint(comm, "post-factorization")?;
@@ -862,7 +868,7 @@ pub fn try_setup_with<'a>(
         comm.trace_phase("assembly:exchange");
         // T_i = A_i W_i, E_ii = W_iᵀ T_i (csrmm + gemm).
         let (t_i, e_ii) = comm.compute(|| {
-            let t = sub.a_dirichlet.csrmm(&w);
+            let t = sub.mm_dirichlet(&w);
             let mut eii = DMat::zeros(nu_mine, nu_mine);
             w.gemm_tn(1.0, &t, 0.0, &mut eii);
             (t, eii)
@@ -1477,7 +1483,7 @@ pub fn debug_apply_adef1(
         coarse_solve: coarse,
         ..Default::default()
     };
-    let factor = SparseLdlt::factor(&sub.a_dirichlet, opts.ordering)
+    let factor = LocalLdlt::factor(&sub.a_dirichlet, opts.ordering, opts.local_ldlt)
         .map_err(|source| SpmdError::LocalFactorization { rank, source })?;
     let block = try_deflation_block(sub, &opts.geneo).map_err(|e| SpmdError::Protocol {
         rank,
@@ -1505,7 +1511,7 @@ pub fn debug_apply_adef1(
     let nbr_ranks: Vec<usize> = sub.neighbors.iter().map(|l| l.j).collect();
     let nu_neighbors =
         comm.neighbor_alltoall(&nbr_ranks, TAG_NU, vec![nu_mine as u64; nbr_ranks.len()]);
-    let t_i = sub.a_dirichlet.csrmm(&w);
+    let t_i = sub.mm_dirichlet(&w);
     let mut e_ii = DMat::zeros(nu_mine, nu_mine);
     w.gemm_tn(1.0, &t_i, 0.0, &mut e_ii);
     for link in &sub.neighbors {

@@ -79,6 +79,10 @@ where
     let mut ap = vec![0.0; n];
     let mut history = Vec::new();
     if opts.record_history {
+        // One up-front allocation instead of growth reallocations in the
+        // iteration loop (the dots themselves are allocation-free via
+        // `try_reduce_into`).
+        history.reserve(opts.max_iters + 2 + resume.map_or(0, |cp| cp.history.len()));
         match resume {
             Some(cp) => history.extend_from_slice(&cp.history),
             None => history.push(1.0),

@@ -149,12 +149,99 @@ where
     }
 }
 
+/// Reusable buffers for [`try_gmres_with`]: the Arnoldi basis pool, the
+/// Hessenberg matrix, and every scratch vector of the inner loop.
+///
+/// A solve sizes the workspace on entry, allocating only what is missing,
+/// so after one warmup solve the steady-state GMRES iteration — together
+/// with an allocation-free operator / preconditioner / inner product (e.g.
+/// `CsrMatrix` / [`crate::IdentityPrecond`] / [`crate::SeqDot`]) — performs
+/// **zero** heap allocations. The CI `kernel-speed` lane pins that count.
+pub struct GmresWorkspace {
+    ax: Vec<f64>,
+    raw: Vec<f64>,
+    r: Vec<f64>,
+    w: Vec<f64>,
+    zk: Vec<f64>,
+    /// Arnoldi basis pool (`m + 1` vectors at steady state).
+    v: Vec<Vec<f64>>,
+    /// Preconditioned directions `z_k = M⁻¹ v_k` (right preconditioning).
+    z: Vec<Vec<f64>>,
+    h: DMat,
+    g: Vec<f64>,
+    rot: Vec<Givens>,
+    locals: Vec<f64>,
+    dots: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Default for GmresWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GmresWorkspace {
+    pub fn new() -> Self {
+        GmresWorkspace {
+            ax: Vec::new(),
+            raw: Vec::new(),
+            r: Vec::new(),
+            w: Vec::new(),
+            zk: Vec::new(),
+            v: Vec::new(),
+            z: Vec::new(),
+            h: DMat::zeros(0, 0),
+            g: Vec::new(),
+            rot: Vec::new(),
+            locals: Vec::new(),
+            dots: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Size every buffer for dimension `n` and restart length `m`.
+    fn prepare(&mut self, n: usize, m: usize) {
+        self.ax.resize(n, 0.0);
+        self.raw.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.w.resize(n, 0.0);
+        self.zk.resize(n, 0.0);
+        // Basis vectors of a previous, differently-sized solve cannot be
+        // reused in place.
+        self.v.retain(|p| p.len() == n);
+        self.z.retain(|p| p.len() == n);
+        if self.h.rows() != m + 1 || self.h.cols() != m {
+            self.h = DMat::zeros(m + 1, m);
+        }
+        self.g.resize(m + 1, 0.0);
+        self.rot.clear();
+        self.rot.reserve(m);
+        self.locals.clear();
+        self.locals.reserve(m + 1);
+        self.dots.resize(m + 1, 0.0);
+        self.y.resize(m, 0.0);
+    }
+}
+
+/// Write `src` into slot `idx` of a basis pool, allocating only when the
+/// pool has never held that many vectors.
+fn pool_set(pool: &mut Vec<Vec<f64>>, idx: usize, src: &[f64]) {
+    if idx < pool.len() {
+        pool[idx].copy_from_slice(src);
+    } else {
+        debug_assert_eq!(idx, pool.len());
+        pool.push(src.to_vec());
+    }
+}
+
 /// Fallible, checkpointable GMRES: identical numerics to [`gmres`], but
 /// operator/preconditioner/inner-product failures surface as
 /// [`SolveInterrupt`] instead of panicking, and an optional
 /// [`CheckpointCfg`] snapshots the iterate every `interval` iterations
 /// (and resumes a previously interrupted solve against its original
-/// residual anchor).
+/// residual anchor). Allocates a fresh [`GmresWorkspace`]; hot callers use
+/// [`try_gmres_with`] to amortize it.
 pub fn try_gmres<O, M, P>(
     op: &O,
     precond: &M,
@@ -169,10 +256,49 @@ where
     M: Preconditioner + ?Sized,
     P: InnerProduct + ?Sized,
 {
+    let mut ws = GmresWorkspace::new();
+    try_gmres_with(op, precond, ip, b, x0, opts, ckpt, &mut ws)
+}
+
+/// [`try_gmres`] against a caller-owned [`GmresWorkspace`] — bitwise
+/// identical results, but a warmed-up workspace makes the inner loop
+/// allocation-free (see [`GmresWorkspace`]).
+#[allow(clippy::too_many_arguments)]
+pub fn try_gmres_with<O, M, P>(
+    op: &O,
+    precond: &M,
+    ip: &P,
+    b: &[f64],
+    x0: &[f64],
+    opts: &GmresOpts,
+    ckpt: Option<&CheckpointCfg<'_>>,
+    ws: &mut GmresWorkspace,
+) -> Result<SolveResult, SolveInterrupt>
+where
+    O: Operator + ?Sized,
+    M: Preconditioner + ?Sized,
+    P: InnerProduct + ?Sized,
+{
     let n = op.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x0.len(), n);
     let m = opts.restart.max(1);
+    ws.prepare(n, m);
+    let GmresWorkspace {
+        ax,
+        raw,
+        r,
+        w,
+        zk,
+        v,
+        z: zbasis,
+        h,
+        g,
+        rot,
+        locals,
+        dots,
+        y,
+    } = ws;
     let resume = ckpt.and_then(|c| c.resume.as_ref());
     let mut x = match resume {
         Some(cp) => {
@@ -182,27 +308,29 @@ where
         None => x0.to_vec(),
     };
     let mut history = Vec::new();
+    if opts.record_history {
+        // One up-front allocation instead of growth reallocations in the
+        // iteration loop.
+        history.reserve(opts.max_iters + 2 + resume.map_or(0, |cp| cp.history.len()));
+    }
     let mut total_iters = resume.map_or(0, |cp| cp.iteration);
 
     let right = matches!(opts.side, Side::Right);
     // Initial residual: true (right) or preconditioned (left).
-    let mut ax = vec![0.0; n];
-    let mut raw = vec![0.0; n];
-    let mut r = vec![0.0; n];
-    op.try_apply(&x, &mut ax)?;
+    op.try_apply(&x, ax)?;
     for i in 0..n {
         raw[i] = b[i] - ax[i];
     }
     if right {
-        r.copy_from_slice(&raw);
+        r.copy_from_slice(raw);
     } else {
-        precond.try_apply(&raw, &mut r)?;
+        precond.try_apply(raw, r)?;
     }
     // A resumed solve converges against the *original* solve's anchor so
     // the combined run meets the same tolerance as a fault-free one.
     let r0_norm = match resume {
         Some(cp) => cp.r0_norm,
-        None => ip.try_norm(&r)?,
+        None => ip.try_norm(r)?,
     };
     if opts.record_history {
         match resume {
@@ -245,16 +373,16 @@ where
     let mut stall = 0usize;
     'outer: loop {
         // Residual at the start of this cycle.
-        op.try_apply(&x, &mut ax)?;
+        op.try_apply(&x, ax)?;
         for i in 0..n {
             raw[i] = b[i] - ax[i];
         }
         if right {
-            r.copy_from_slice(&raw);
+            r.copy_from_slice(raw);
         } else {
-            precond.try_apply(&raw, &mut r)?;
+            precond.try_apply(raw, r)?;
         }
-        let beta = ip.try_norm(&r)?;
+        let beta = ip.try_norm(r)?;
         if beta <= target {
             converged = true;
             final_res = beta / r0_norm;
@@ -265,18 +393,19 @@ where
             broke_down = true;
             break 'outer;
         }
-        // Arnoldi basis (m+1 vectors max); right preconditioning also
+        // Arnoldi basis (m+1 pool vectors max); right preconditioning also
         // keeps the preconditioned directions `z_k = M⁻¹ v_k` so the final
-        // update x += Z y needs no extra preconditioner application.
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        let mut zbasis: Vec<Vec<f64>> = Vec::new();
-        let mut first = r.clone();
-        vector::scal(1.0 / beta, &mut first);
-        v.push(first);
-        // Hessenberg stored column-wise; Givens-transformed in place.
-        let mut h = DMat::zeros(m + 1, m);
-        let mut rot: Vec<Givens> = Vec::with_capacity(m);
-        let mut g = vec![0.0; m + 1];
+        // update x += Z y needs no extra preconditioner application. Only
+        // the first `nv` pool slots hold this cycle's basis.
+        pool_set(v, 0, r);
+        vector::scal(1.0 / beta, &mut v[0]);
+        let mut nv = 1usize;
+        // Hessenberg stored column-wise; Givens-transformed in place. Every
+        // h entry read below is written first this cycle, so the reused
+        // matrix needs no clearing; g is read one slot ahead of the writes
+        // (the rotation touches g[k+1]) and does.
+        rot.clear();
+        g.fill(0.0);
         g[0] = beta;
         let mut k_done = 0usize;
         let mut cycle_broken = false;
@@ -286,24 +415,24 @@ where
             }
             ip.on_iteration(total_iters);
             total_iters += 1;
-            let mut w = vec![0.0; n];
+            w.fill(0.0);
             if right {
                 // w = A M⁻¹ v_k
-                let mut zk = vec![0.0; n];
-                precond.try_apply(&v[k], &mut zk)?;
-                op.try_apply(&zk, &mut w)?;
-                zbasis.push(zk);
+                zk.fill(0.0);
+                precond.try_apply(&v[k], zk)?;
+                op.try_apply(zk, w)?;
+                pool_set(zbasis, k, zk);
             } else {
                 // w = M⁻¹ A v_k
-                op.try_apply(&v[k], &mut ax)?;
-                precond.try_apply(&ax, &mut w)?;
+                op.try_apply(&v[k], ax)?;
+                precond.try_apply(ax, w)?;
             }
             // Orthogonalize.
             match opts.ortho {
                 Ortho::Mgs => {
-                    for (j, vj) in v.iter().enumerate() {
-                        let hjk = ip.try_dot(&w, vj)?;
-                        vector::axpy(-hjk, vj, &mut w);
+                    for (j, vj) in v[..nv].iter().enumerate() {
+                        let hjk = ip.try_dot(w, vj)?;
+                        vector::axpy(-hjk, vj, w);
                         h[(j, k)] = hjk;
                     }
                 }
@@ -318,16 +447,17 @@ where
                         h[(j, k)] = 0.0;
                     }
                     for _ in 0..passes {
-                        let locals: Vec<f64> = v.iter().map(|vj| ip.local_dot(&w, vj)).collect();
-                        let dots = ip.try_reduce(locals)?;
-                        for (j, (vj, hjk)) in v.iter().zip(&dots).enumerate() {
-                            vector::axpy(-hjk, vj, &mut w);
+                        locals.clear();
+                        locals.extend(v[..nv].iter().map(|vj| ip.local_dot(w, vj)));
+                        ip.try_reduce_into(locals.as_slice(), &mut dots[..nv])?;
+                        for (j, (vj, hjk)) in v[..nv].iter().zip(dots[..nv].iter()).enumerate() {
+                            vector::axpy(-hjk, vj, w);
                             h[(j, k)] += *hjk;
                         }
                     }
                 }
             }
-            let hk1 = ip.try_norm(&w)?;
+            let hk1 = ip.try_norm(w)?;
             if !hk1.is_finite() {
                 // Non-finite Arnoldi column (NaN from the operator or
                 // preconditioner, or lost orthogonality blowing up the
@@ -437,15 +567,16 @@ where
                 cycle_broken = true;
                 break;
             }
-            let mut next = w;
-            vector::scal(1.0 / hk1, &mut next);
-            v.push(next);
+            vector::scal(1.0 / hk1, w);
+            pool_set(v, k + 1, w);
+            nv = k + 2;
         }
         // Solve the triangular system R y = g and update x (skipped if the
         // coefficients are non-finite — e.g. an exactly zero pivot from a
-        // fully annihilated column).
+        // fully annihilated column). Every y slot is written before it is
+        // read, so the reused buffer needs no clearing.
         if k_done > 0 {
-            let mut y = vec![0.0; k_done];
+            let y = &mut y[..k_done];
             for i in (0..k_done).rev() {
                 let mut s = g[i];
                 for j in i + 1..k_done {

@@ -20,7 +20,10 @@ pub mod recycle;
 
 pub use cg::{cg, try_cg, CgOpts};
 pub use checkpoint::{CheckpointCfg, CheckpointSink, SolveCheckpoint};
-pub use gmres::{gmres, try_gmres, GmresOpts, Ortho, Side, SolveResult, SolveStatus};
+pub use gmres::{
+    gmres, try_gmres, try_gmres_with, GmresOpts, GmresWorkspace, Ortho, Side, SolveResult,
+    SolveStatus,
+};
 pub use operator::{
     FnOperator, FnPrecond, IdentityPrecond, InnerProduct, Operator, Preconditioner, SeqDot,
     SolveInterrupt,

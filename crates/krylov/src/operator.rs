@@ -153,9 +153,26 @@ pub trait InnerProduct {
         Ok(self.reduce(locals))
     }
 
-    /// Fallible [`InnerProduct::dot`].
+    /// Allocation-free [`InnerProduct::try_reduce`]: reduce `locals` into
+    /// the caller-provided `out` (same length). The default round-trips
+    /// through the allocating [`InnerProduct::try_reduce`] so existing
+    /// distributed implementations keep working unchanged; implementations
+    /// whose reduction is local (like [`SeqDot`]) override it so the Krylov
+    /// steady-state inner loops allocate nothing.
+    fn try_reduce_into(&self, locals: &[f64], out: &mut [f64]) -> Result<(), SolveInterrupt> {
+        assert_eq!(locals.len(), out.len(), "try_reduce_into: length mismatch");
+        let reduced = self.try_reduce(locals.to_vec())?;
+        out.copy_from_slice(&reduced);
+        Ok(())
+    }
+
+    /// Fallible [`InnerProduct::dot`]. Routed through
+    /// [`InnerProduct::try_reduce_into`] with stack buffers, so it is
+    /// allocation-free whenever `try_reduce_into` is.
     fn try_dot(&self, x: &[f64], y: &[f64]) -> Result<f64, SolveInterrupt> {
-        Ok(self.try_reduce(vec![self.local_dot(x, y)])?[0])
+        let mut out = [0.0];
+        self.try_reduce_into(&[self.local_dot(x, y)], &mut out)?;
+        Ok(out[0])
     }
 
     /// Fallible [`InnerProduct::norm`] (same NaN propagation).
@@ -178,6 +195,11 @@ impl InnerProduct for SeqDot {
 
     fn reduce(&self, locals: Vec<f64>) -> Vec<f64> {
         locals
+    }
+
+    fn try_reduce_into(&self, locals: &[f64], out: &mut [f64]) -> Result<(), SolveInterrupt> {
+        out.copy_from_slice(locals);
+        Ok(())
     }
 }
 

@@ -10,6 +10,10 @@
 //! * [`sparse`] — [`sparse::CsrMatrix`] with `spmv`, `csrmm`, Gustavson
 //!   `spmm`, principal submatrices (the `R_i A R_iᵀ` extraction of §2),
 //!   and symmetric permutations.
+//! * [`bsr`] — [`bsr::BsrMatrix`] block sparse row storage for the dense
+//!   `dim × dim` node blocks of vector-valued (elasticity) operators.
+//! * [`smallgemm`] — register-blocked dense micro-kernels backing the
+//!   supernodal LDLᵀ trailing updates in `dd-solver`.
 //! * [`givens`] — Givens rotations for incremental Hessenberg QR in GMRES.
 //! * [`jacobi`] — dense (generalized) symmetric eigensolvers used as exact
 //!   references for the iterative eigensolver in `dd-eigen`.
@@ -18,13 +22,16 @@
 // naturally with explicit indices; iterator rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bsr;
 pub mod dense;
 pub mod givens;
 pub mod jacobi;
 pub mod matrix_market;
+pub mod smallgemm;
 pub mod sparse;
 pub mod vector;
 
+pub use bsr::BsrMatrix;
 pub use dense::{DMat, DenseCholesky, DenseLdlt, DenseLu, DenseQr, FactorError};
 pub use givens::Givens;
 pub use matrix_market::{read_matrix_market, write_matrix_market, MmError};

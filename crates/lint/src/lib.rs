@@ -33,6 +33,12 @@
 //!   `SuspicionPolicy` budget or an explicitly bounded/timeout wait
 //!   nearby): a suspected straggler may still make progress, and waiting
 //!   for it without a budget turns suspicion back into a hang.
+//! * **payload-clone** — no `.clone()` / `.to_vec()` on the payload
+//!   expression of a `send(` call in the runtime crates: a buffer copied
+//!   per destination turns an O(1) fan-out into O(P) memory traffic the
+//!   α–β model never sees. Share the buffer instead (`Arc<Vec<f64>>`
+//!   payloads are zero-copy and charge identical wire bytes — see
+//!   `WireSize for Arc<T>` in dd-comm) or move the vector into the send.
 //! * **serve-apply** — no re-factorization inside the resident apply
 //!   path: `trace_phase("serve-apply")` scopes and the bodies of the
 //!   `try_apply*` entry points the solve server routes that phase
@@ -556,6 +562,76 @@ pub fn rule_suspected_bounded(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// Extract the `(…)` argument block starting at the `(` at `open`.
+fn paren_block(code: &str, open: usize) -> Option<&str> {
+    if code.as_bytes().get(open) != Some(&b'(') {
+        return None;
+    }
+    let mut depth = 0;
+    for (off, c) in code[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open..open + off + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Crates whose `send(` payloads must not be freshly copied buffers.
+const PAYLOAD_SCOPED: [&str; 4] = [
+    "crates/comm/src/",
+    "crates/core/src/",
+    "crates/solver/src/",
+    "crates/serve/src/",
+];
+
+/// Rule: no `.clone()` / `.to_vec()` inside the argument list of a
+/// `send(` call in the runtime crates (outside test code). The payload of
+/// a send should move or be `Arc`-shared; a per-send buffer copy is heap
+/// traffic invisible to the α–β cost model, and on a fan-out it multiplies
+/// by the destination count. `Arc::clone(&x)` (a pointer bump) passes.
+pub fn rule_payload_clone(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !PAYLOAD_SCOPED.iter().any(|p| f.path.contains(p))
+            || f.path.ends_with("/tests.rs")
+            || f.path.contains("/tests/")
+        {
+            continue;
+        }
+        let tests_at = test_region_start(f);
+        let mut from = 0;
+        while let Some(rel) = f.code[from..].find("send(") {
+            let pos = from + rel;
+            from = pos + 1;
+            if !token_start(&f.code, pos) && f.code.as_bytes().get(pos - 1) != Some(&b'.') {
+                continue;
+            }
+            let Some(args) = paren_block(&f.code, pos + "send".len()) else {
+                continue;
+            };
+            for needle in [".clone()", ".to_vec()"] {
+                let mut inner = 0;
+                while let Some(r) = args[inner..].find(needle) {
+                    let abs = pos + "send".len() + inner + r;
+                    inner += r + needle.len();
+                    let line = f.code[..abs].matches('\n').count() + 1;
+                    if line < tests_at {
+                        out.push(finding("payload-clone", f, line));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Factorization entry points banned in the resident apply path (the
 /// solve-server contract: applies reuse the resident setup, re-setups run
 /// under the `serve-setup` phase).
@@ -640,6 +716,7 @@ pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
     out.extend(rule_std_sync(files));
     out.extend(rule_recovery_retry(files));
     out.extend(rule_suspected_bounded(files));
+    out.extend(rule_payload_clone(files));
     out.extend(rule_serve_apply(files));
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
@@ -1014,6 +1091,53 @@ mod tests {
         // No recovery region at all: the rule never fires.
         let none = file("crates/comm/src/comm.rs", "let s = RankState::Suspected;\n");
         assert!(rule_suspected_bounded(std::slice::from_ref(&none)).is_empty());
+    }
+
+    #[test]
+    fn cloned_send_payload_is_caught() {
+        let bad = file(
+            "crates/solver/src/dist_ldlt.rs",
+            "for k in 0..me {\n\
+             comm.send(k, TAG_BWD, x_me.clone());\n\
+             }\n\
+             comm.send(\n\
+             q,\n\
+             TAG_FWD,\n\
+             rows.to_vec(),\n\
+             );\n",
+        );
+        let got = rule_payload_clone(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().all(|f| f.rule == "payload-clone"));
+        assert_eq!((got[0].line, got[1].line), (2, 7));
+    }
+
+    #[test]
+    fn arc_shared_and_moved_send_payloads_pass() {
+        let ok = file(
+            "crates/solver/src/dist_ldlt.rs",
+            "comm.send(k, TAG_BWD, Arc::clone(&x_shared));\n\
+             comm.send(q, TAG_FWD, contrib);\n\
+             let copy = x.clone();\n\
+             resend(&copy);\n",
+        );
+        assert!(rule_payload_clone(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn payload_clone_exempts_tests_and_out_of_scope_crates() {
+        let files = [
+            file(
+                "crates/comm/src/comm/tests.rs",
+                "comm.send(0, 8, doubled.clone());\n",
+            ),
+            file("crates/bench/src/lib.rs", "tx.send(v.clone());\n"),
+            file(
+                "crates/core/src/spmd.rs",
+                "#[cfg(test)]\nmod tests { fn f() { comm.send(0, 1, v.clone()); } }\n",
+            ),
+        ];
+        assert!(rule_payload_clone(&files).is_empty());
     }
 
     #[test]

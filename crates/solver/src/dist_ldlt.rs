@@ -49,6 +49,7 @@
 use crate::ldlt::{Ordering, PivotPolicy, SparseLdlt};
 use dd_comm::{CommError, Communicator};
 use dd_linalg::{CooBuilder, DMat};
+use std::sync::Arc;
 
 /// Tags for the factorization panels and the two solve sweeps. The master
 /// communicator is a dedicated split, but distinct tags keep the journal
@@ -270,7 +271,7 @@ impl DistLdlt {
         if me + 1 < p {
             let mut acc = vec![0.0; np];
             for q in me + 1..p {
-                let xq: Vec<f64> = comm.try_recv_timeout(q, TAG_BWD, &policy)?;
+                let xq: Arc<Vec<f64>> = comm.try_recv_timeout(q, TAG_BWD, &policy)?;
                 let base = self.bounds[q] - r0;
                 comm.compute(|| {
                     for (c, &xv) in xq.iter().enumerate() {
@@ -290,8 +291,15 @@ impl DistLdlt {
                 *x -= c;
             }
         }
-        for k in 0..me {
-            comm.send(k, TAG_BWD, x_me.clone());
+        // Fan the finished slice out to every earlier master as a shared
+        // handle: one buffer clone total instead of one per destination
+        // (the wire-size/cost accounting is unchanged — see `WireSize for
+        // Arc<T>` in dd-comm).
+        if me > 0 {
+            let x_shared = Arc::new(x_me.clone());
+            for k in 0..me {
+                comm.send(k, TAG_BWD, Arc::clone(&x_shared));
+            }
         }
         Ok(x_me)
     }

@@ -7,6 +7,11 @@
 //! * [`ordering`] — reverse Cuthill–McKee and quotient-graph minimum degree.
 //! * [`ldlt`] — elimination-tree based up-looking LDLᵀ with forward/backward
 //!   solves, inertia computation, and multi-RHS solves.
+//! * [`supernodal`] — multifrontal LDLᵀ with relaxed supernodes and dense
+//!   blocked panels (the raw-speed path; `ldlt` stays the differential
+//!   oracle).
+//! * [`local`] — [`local::LocalLdlt`], the backend-selectable wrapper the
+//!   SPMD layer factors subdomain matrices through.
 //! * [`dist_ldlt`] — block fan-in LDLᵀ of a row-distributed matrix over a
 //!   communicator, with distributed triangular solves (the coarse operator
 //!   `E` across the elected masters, §3.2).
@@ -17,7 +22,11 @@
 
 pub mod dist_ldlt;
 pub mod ldlt;
+pub mod local;
 pub mod ordering;
+pub mod supernodal;
 
 pub use dist_ldlt::DistLdlt;
 pub use ldlt::{LdltError, Ordering, PivotPolicy, SparseLdlt};
+pub use local::{LdltBackend, LocalLdlt};
+pub use supernodal::SupernodalLdlt;
