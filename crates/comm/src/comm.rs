@@ -867,6 +867,13 @@ impl Communicator {
         Ok(())
     }
 
+    /// Is a fault plan armed on this world? Hot paths use this to skip
+    /// building failpoint labels (and the failpoint bookkeeping) when
+    /// kills, straggles, and joins are all impossible.
+    pub fn failpoints_armed(&self) -> bool {
+        self.plan.is_active()
+    }
+
     /// Does the armed fault plan fail the recoverable operation `label` on
     /// this rank? (Used by higher layers to inject e.g. eigensolve or
     /// factorization failures.)

@@ -22,6 +22,8 @@
 //! All heavy local computations run under [`Communicator::compute`] so the
 //! virtual clocks produce the scaling tables of Figures 8, 10 and 11.
 
+use std::cell::RefCell;
+
 use crate::decomp::{Decomposition, Subdomain};
 use crate::error::{CoarseOutcome, DeflationSource, PhaseOutcome, RunReport, SpmdError};
 use crate::geneo::{nicolaides_fallback_block, resize_block, try_deflation_block, GeneoOpts};
@@ -91,10 +93,10 @@ pub struct SpmdOpts {
     pub election: Election,
     pub assembly: AssemblyVariant,
     pub ordering: Ordering,
-    /// Backend for the subdomain `A_i` factorizations. `Scalar` (default)
-    /// keeps every committed convergence baseline bit-identical;
-    /// `Supernodal` uses the blocked multifrontal kernels (same pivoting,
-    /// different — equally valid — rounding).
+    /// Backend for the subdomain `A_i` factorizations. `Supernodal`
+    /// (default) uses the blocked multifrontal kernels; `Scalar` keeps the
+    /// pre-supernodal rounding for bisecting convergence diffs (same
+    /// pivoting, different — equally valid — summation order).
     pub local_ldlt: LdltBackend,
     pub gmres: GmresOpts,
     pub solver: SolverKind,
@@ -115,7 +117,7 @@ impl Default for SpmdOpts {
             election: Election::NonUniform,
             assembly: AssemblyVariant::IndexFree,
             ordering: Ordering::MinDegree,
-            local_ldlt: LdltBackend::Scalar,
+            local_ldlt: LdltBackend::Supernodal,
             gmres: GmresOpts {
                 tol: 1e-6,
                 max_iters: 600,
@@ -316,22 +318,34 @@ pub(crate) fn interrupt_to_spmd(comm: &Communicator, interrupt: SolveInterrupt) 
 /// Distributed operator: `(Ax)_i = Σ_j R_i R_jᵀ A_j D_j x_j` (eq. 5).
 struct DistOp<'a> {
     ctx: RankCtx<'a>,
+    /// Warm-path scratch `(D_j x_j, A_j D_j x_j)`: sized on the first
+    /// apply, reused by every later one so the per-iteration SpMV
+    /// allocates nothing at this layer (`warm-loop-alloc` pins it).
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
 }
 
-impl DistOp<'_> {
-    fn local_part(&self, x: &[f64]) -> Vec<f64> {
+impl<'a> DistOp<'a> {
+    fn new(ctx: RankCtx<'a>) -> Self {
+        DistOp {
+            ctx,
+            scratch: RefCell::default(),
+        }
+    }
+
+    // dd:hot — per-Krylov-iteration SpMV; scratch reuse keeps it allocation-free
+    fn local_part_into(&self, x: &[f64], w: &mut Vec<f64>, t: &mut Vec<f64>) {
         let s = self.ctx.sub;
-        let t = self.ctx.comm.compute(|| {
-            let mut w = x.to_vec();
-            vector::scale_by(&s.d, &mut w);
-            let mut t = vec![0.0; s.n_local()];
-            s.spmv_dirichlet(&w, &mut t);
-            t
+        self.ctx.comm.compute(|| {
+            w.clear();
+            w.extend_from_slice(x);
+            vector::scale_by(&s.d, w);
+            t.clear();
+            t.resize(s.n_local(), 0.0);
+            s.spmv_dirichlet(w, t);
         });
         self.ctx
             .comm
             .charge_flops((2 * s.a_dirichlet.nnz() + s.n_local()) as u64);
-        t
     }
 }
 
@@ -341,15 +355,20 @@ impl Operator for DistOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let t = self.local_part(x);
-        y.copy_from_slice(&t);
-        self.ctx.exchange_add(&t, y);
+        let mut scratch = self.scratch.borrow_mut();
+        let (w, t) = &mut *scratch;
+        self.local_part_into(x, w, t);
+        y.copy_from_slice(t);
+        self.ctx.exchange_add(t, y);
     }
 
+    // dd:hot
     fn try_apply(&self, x: &[f64], y: &mut [f64]) -> Result<(), SolveInterrupt> {
-        let t = self.local_part(x);
-        y.copy_from_slice(&t);
-        self.ctx.try_exchange_add(&t, y)
+        let mut scratch = self.scratch.borrow_mut();
+        let (w, t) = &mut *scratch;
+        self.local_part_into(x, w, t);
+        y.copy_from_slice(t);
+        self.ctx.try_exchange_add(t, y)
     }
 }
 
@@ -386,14 +405,24 @@ impl InnerProduct for DistDot<'_> {
         Box::new(move || comm.wait_reduce(pending))
     }
 
+    // dd:hot — runs once per Krylov iteration on every rank
     fn on_iteration(&self, k: usize) {
         self.comm.trace_iteration(k);
         // The `solve-iteration-K` failpoints: kills armed here take the
         // rank down at a *specific* Krylov iteration, deep enough into the
         // solve that checkpoints exist for the survivors to resume from.
         // A triggered failpoint marks this rank gone; the iteration's next
-        // reduction surfaces the death as a typed error.
-        let _ = self.comm.failpoint(&format!("solve-iteration-{k}"));
+        // reduction surfaces the death as a typed error. The label is only
+        // built when a fault plan is armed — production solves must not
+        // pay a heap allocation per iteration for fault injection.
+        if self.comm.failpoints_armed() {
+            // dd:cold — fault-injection runs only
+            let _ = self.comm.failpoint(&format!("solve-iteration-{k}"));
+        } else {
+            // Every iteration still records the heartbeat the failpoint
+            // would have (the suspicion policy's progress signal).
+            self.comm.heartbeat();
+        }
     }
 }
 
@@ -401,35 +430,49 @@ impl InnerProduct for DistDot<'_> {
 struct DistRas<'a> {
     ctx: RankCtx<'a>,
     factor: &'a LocalLdlt,
+    /// Warm-path scratch `D_j A_j⁻¹ r_j`, reused across applies.
+    scratch: RefCell<Vec<f64>>,
 }
 
-impl DistRas<'_> {
-    fn local_part(&self, r: &[f64]) -> Vec<f64> {
+impl<'a> DistRas<'a> {
+    fn new(ctx: RankCtx<'a>, factor: &'a LocalLdlt) -> Self {
+        DistRas {
+            ctx,
+            factor,
+            scratch: RefCell::default(),
+        }
+    }
+
+    // dd:hot — per-iteration local solve; scratch reuse keeps this layer allocation-free
+    fn local_part_into(&self, r: &[f64], t: &mut Vec<f64>) {
         let s = self.ctx.sub;
-        let t = self.ctx.comm.compute(|| {
-            let mut t = self.factor.solve(r);
-            vector::scale_by(&s.d, &mut t);
-            t
+        self.ctx.comm.compute(|| {
+            t.clear();
+            t.extend_from_slice(r);
+            self.factor.solve_in_place(t);
+            vector::scale_by(&s.d, t);
         });
         self.ctx
             .comm
             .charge_flops((4 * self.factor.nnz_l() + s.n_local()) as u64);
-        t
     }
 }
 
 impl Preconditioner for DistRas<'_> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        let t = self.local_part(r);
+        let mut t = self.scratch.borrow_mut();
+        self.local_part_into(r, &mut t);
         z.copy_from_slice(&t);
         self.ctx.exchange_add(&t, z);
     }
 
+    // dd:hot
     fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
         // The `ras` failpoint: kills armed here take the rank down in the
         // middle of a preconditioner application, mid-solve.
         solve_failpoint(self.ctx.comm, "ras")?;
-        let t = self.local_part(r);
+        let mut t = self.scratch.borrow_mut();
+        self.local_part_into(r, &mut t);
         z.copy_from_slice(&t);
         self.ctx.try_exchange_add(&t, z)
     }
@@ -588,6 +631,19 @@ struct DistADef1<'a> {
     op: DistOp<'a>,
     ras: DistRas<'a>,
     coarse: DistCoarse<'a>,
+    /// Warm-path scratch `(q, t)` for eq. 6, reused across applies.
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+}
+
+impl<'a> DistADef1<'a> {
+    fn new(op: DistOp<'a>, ras: DistRas<'a>, coarse: DistCoarse<'a>) -> Self {
+        DistADef1 {
+            op,
+            ras,
+            coarse,
+            scratch: RefCell::default(),
+        }
+    }
 }
 
 impl Preconditioner for DistADef1<'_> {
@@ -595,20 +651,27 @@ impl Preconditioner for DistADef1<'_> {
         let _ = self.apply_fused(r, z, Vec::new());
     }
 
+    // dd:hot — per-iteration two-level application (eq. 6)
     fn try_apply(&self, r: &[f64], z: &mut [f64]) -> Result<(), SolveInterrupt> {
         let n = r.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let (q, t) = &mut *scratch;
         // q = (Z E⁻¹ Zᵀ r)_i — one coarse solve.
-        let mut q = vec![0.0; n];
-        self.coarse.try_correction(r, &mut q, Vec::new())?;
+        q.clear();
+        q.resize(n, 0.0);
+        // dd:cold — capacity-0 `Vec::new` marks "no fused payload"; it never
+        // touches the heap
+        self.coarse.try_correction(r, q, Vec::new())?;
         // t = r − A q
-        let mut t = vec![0.0; n];
-        self.op.try_apply(&q, &mut t)?;
+        t.clear();
+        t.resize(n, 0.0);
+        self.op.try_apply(q, t)?;
         for k in 0..n {
             t[k] = r[k] - t[k];
         }
         // z = RAS t + q
-        self.ras.try_apply(&t, z)?;
-        vector::axpy(1.0, &q, z);
+        self.ras.try_apply(t, z)?;
+        vector::axpy(1.0, q, z);
         Ok(())
     }
 }
@@ -616,18 +679,22 @@ impl Preconditioner for DistADef1<'_> {
 impl FusedPreconditioner for DistADef1<'_> {
     fn apply_fused(&self, r: &[f64], z: &mut [f64], payload: Vec<f64>) -> Vec<f64> {
         let n = r.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let (q, t) = &mut *scratch;
         // q = (Z E⁻¹ Zᵀ r)_i — one coarse solve, carrying the payload.
-        let mut q = vec![0.0; n];
-        let reduced = self.coarse.correction(r, &mut q, payload);
+        q.clear();
+        q.resize(n, 0.0);
+        let reduced = self.coarse.correction(r, q, payload);
         // t = r − A q
-        let mut t = vec![0.0; n];
-        self.op.apply(&q, &mut t);
+        t.clear();
+        t.resize(n, 0.0);
+        self.op.apply(q, t);
         for k in 0..n {
             t[k] = r[k] - t[k];
         }
         // z = RAS t + q
-        self.ras.apply(&t, z);
-        vector::axpy(1.0, &q, z);
+        self.ras.apply(t, z);
+        vector::axpy(1.0, q, z);
         reduced
     }
 }
@@ -1275,17 +1342,14 @@ impl PreparedSolver<'_> {
         let clk_entry = comm.clock();
         let stats_before = comm.stats();
         let ctx_op = RankCtx { comm, sub };
-        let op = DistOp { ctx: ctx_op };
+        let op = DistOp::new(ctx_op);
         let ip = DistDot { comm, d: &sub.d };
         let rhs_local = sub.restrict(rhs_global);
         let x0 = vec![0.0; sub.n_local()];
 
         let two_level = self.run.coarse == CoarseOutcome::TwoLevel;
         let result: SolveResult = if !two_level {
-            let ras = DistRas {
-                ctx: RankCtx { comm, sub },
-                factor: &self.factor,
-            };
+            let ras = DistRas::new(RankCtx { comm, sub }, &self.factor);
             self.solve_classical(
                 &op,
                 &ras,
@@ -1296,15 +1360,10 @@ impl PreparedSolver<'_> {
                 recycle.as_deref_mut(),
             )?
         } else {
-            let adef1 = DistADef1 {
-                op: DistOp {
-                    ctx: RankCtx { comm, sub },
-                },
-                ras: DistRas {
-                    ctx: RankCtx { comm, sub },
-                    factor: &self.factor,
-                },
-                coarse: DistCoarse {
+            let adef1 = DistADef1::new(
+                DistOp::new(RankCtx { comm, sub }),
+                DistRas::new(RankCtx { comm, sub }, &self.factor),
+                DistCoarse {
                     comm,
                     split: &self.split,
                     master: self.master_comm.as_ref().and_then(|m| {
@@ -1323,7 +1382,7 @@ impl PreparedSolver<'_> {
                     group_ranks: &self.group_ranks,
                     dim_e: self.dim_e,
                 },
-            };
+            );
             match self.opts.solver {
                 SolverKind::Classical => {
                     self.solve_classical(&op, &adef1, &ip, &rhs_local, &x0, ckpt, recycle)?
@@ -1647,15 +1706,10 @@ pub fn debug_apply_adef1(
             }
         }
     }
-    let adef1 = DistADef1 {
-        op: DistOp {
-            ctx: RankCtx { comm, sub },
-        },
-        ras: DistRas {
-            ctx: RankCtx { comm, sub },
-            factor: &factor,
-        },
-        coarse: DistCoarse {
+    let adef1 = DistADef1::new(
+        DistOp::new(RankCtx { comm, sub }),
+        DistRas::new(RankCtx { comm, sub }, &factor),
+        DistCoarse {
             comm,
             split: &split,
             master: master_comm.as_ref().and_then(|m| {
@@ -1670,7 +1724,7 @@ pub fn debug_apply_adef1(
             group_ranks: &group_ranks,
             dim_e,
         },
-    };
+    );
     let r_local = sub.restrict(r_global);
     let mut z = vec![0.0; sub.n_local()];
     adef1.apply(&r_local, &mut z);

@@ -144,6 +144,8 @@ where
             broke_down = true;
             break 'outer;
         }
+        // dd:hot — the CG iteration proper; work vectors are reused across
+        // iterations, so no allocation is allowed here
         while iterations < opts.max_iters {
             ip.on_iteration(iterations);
             iterations += 1;
@@ -185,6 +187,7 @@ where
             }
             if let Some(cfg) = ckpt {
                 if cfg.due(iterations) {
+                    // dd:cold — checkpoint snapshots own their state by design
                     cfg.sink.save(SolveCheckpoint {
                         iteration: iterations,
                         x: x.clone(),

@@ -409,6 +409,8 @@ where
         g[0] = beta;
         let mut k_done = 0usize;
         let mut cycle_broken = false;
+        // dd:hot — the Arnoldi cycle; every buffer below is reused from the
+        // workspace, so no allocation is allowed per iteration
         for k in 0..m {
             if total_iters >= opts.max_iters {
                 break;
@@ -514,6 +516,8 @@ where
                 converged = true;
                 break;
             }
+            // dd:cold — periodic checkpoint materialization; snapshots own
+            // their state by design and run on a user-chosen cadence
             if let Some(cfg) = ckpt {
                 if cfg.due(total_iters) {
                     // Materialize the current iterate by solving the

@@ -184,6 +184,7 @@ impl BsrMatrix {
     }
 
     /// `y ← A x`.
+    // dd:hot — per-Krylov-iteration SpMV dispatcher
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "bsr spmv: x length");
         assert_eq!(y.len(), self.rows, "bsr spmv: y length");
@@ -227,6 +228,7 @@ impl BsrMatrix {
 
     /// Four-column pass for 2×2 blocks; per column the accumulation order
     /// matches [`BsrMatrix::spmv_b2`] exactly.
+    // dd:hot
     fn bsrmm4_b2(&self, x: &[&[f64]; 4], c: &mut DMat, j0: usize) {
         let n = self.rows;
         let brows = self.row_ptr.len() - 1;
@@ -267,6 +269,7 @@ impl BsrMatrix {
 
     /// Four-column pass for 3×3 blocks; per column the accumulation order
     /// matches [`BsrMatrix::spmv_b3`] exactly.
+    // dd:hot
     fn bsrmm4_b3(&self, x: &[&[f64]; 4], c: &mut DMat, j0: usize) {
         let n = self.rows;
         let brows = self.row_ptr.len() - 1;
@@ -312,6 +315,7 @@ impl BsrMatrix {
     }
 
     /// Unrolled kernel for 2×2 blocks (2-D elasticity).
+    // dd:hot
     fn spmv_b2(&self, x: &[f64], y: &mut [f64]) {
         let brows = self.row_ptr.len() - 1;
         for br in 0..brows {
@@ -347,6 +351,7 @@ impl BsrMatrix {
     }
 
     /// Unrolled kernel for 3×3 blocks (3-D elasticity).
+    // dd:hot
     fn spmv_b3(&self, x: &[f64], y: &mut [f64]) {
         let brows = self.row_ptr.len() - 1;
         for br in 0..brows {
@@ -390,6 +395,7 @@ impl BsrMatrix {
     }
 
     /// Fallback for arbitrary block sizes.
+    // dd:hot
     fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
         let bs = self.bs;
         let bs2 = bs * bs;

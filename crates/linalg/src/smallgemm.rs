@@ -20,6 +20,7 @@
 ///
 /// This is the `syrk`/`gemm` shape of a blocked LDLᵀ trailing update with
 /// `A = L·D` and `B = L` restricted to the current panel.
+// dd:hot — inner kernel of every supernodal trailing update
 #[allow(clippy::too_many_arguments)] // the standard BLAS gemm signature
 pub fn gemm_nt_minus(
     m: usize,
@@ -69,6 +70,7 @@ pub fn gemm_nt_minus(
 /// The accumulators are four `[f64; 8]` arrays updated lane-wise with a
 /// broadcast multiplier — the shape LLVM auto-vectorizes into packed
 /// mul/add over the contiguous row dimension.
+// dd:hot
 #[inline]
 fn kernel_8x4(k: usize, a: &[f64], lda: usize, b: &[f64], ldb: usize, c: &mut [f64], ldc: usize) {
     let mut acc = [[0.0f64; 8]; 4];
@@ -90,6 +92,7 @@ fn kernel_8x4(k: usize, a: &[f64], lda: usize, b: &[f64], ldb: usize, c: &mut [f
 }
 
 /// Scalar cleanup for ragged row/column tails.
+// dd:hot
 #[allow(clippy::too_many_arguments)]
 fn edge(
     i0: usize,

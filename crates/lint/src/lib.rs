@@ -1,803 +1,89 @@
-//! # dd-lint
+//! dd-analyze: a syntax-aware, flow-aware SPMD invariant analyzer for the
+//! dd-geneo workspace.
 //!
-//! Syntax-level invariant checks for the runtime crates. These are rules
-//! the compiler cannot express — they encode *project* contracts:
+//! The original `dd-lint` was a substring scanner: it stripped comments
+//! and string literals, then grepped for needles. That caught site-level
+//! bans (`Instant::now` outside the virtual clock) but could not see
+//! control flow — a collective under a rank-dependent branch, a lock
+//! acquired before a blocking recv, an allocation inside a warm GMRES
+//! iteration. dd-analyze replaces the scanner with three layers, all
+//! std-only:
 //!
-//! * **wallclock** — no `Instant::now` / `SystemTime` outside
-//!   `crates/comm/src/time.rs`: the runtime is deterministic under virtual
-//!   time; wall-clock reads anywhere else break replay and the model
-//!   checker. (Benches are audited exceptions in `dd-lint.allow`.)
-//! * **unwrap-expect** — no `.unwrap()` / `.expect(` in the runtime paths
-//!   (`crates/core/src/spmd.rs`, `crates/comm/src/comm.rs`) outside test
-//!   code: recoverable conditions must flow through typed errors; the few
-//!   true invariant panics are centralized in audited helpers.
-//! * **phase-balance** — every telemetry phase saved with
-//!   `trace_phase_name()` must be restored with `trace_phase(&saved)`:
-//!   an unbalanced scope silently misattributes all later telemetry.
-//! * **wire-size** — a `WireSize` impl for a struct with heap-carrying
-//!   fields (`Vec`, `String`, boxes, maps) must mention every such field:
-//!   an under-counted wire size silently corrupts the α–β cost model.
-//!   (Impl *existence* for sent types is already enforced by trait bounds.)
-//! * **std-sync** — no construction of raw `std::sync` blocking primitives
-//!   (`Mutex`, `Condvar`, `RwLock`) in the runtime crates outside
-//!   `crates/comm/src/sync.rs`: blocking must route through `SyncBackend`
-//!   or it is invisible to dd-check's scheduler.
-//! * **recovery-retry** — inside a `recovery-*` telemetry phase every
-//!   wait must be fallible and bounded: the infallible blocking
-//!   primitives (`.recv(`, `.barrier()`, plain collectives) and
-//!   `RetryPolicy::unbounded` are banned there. Recovery runs on a world
-//!   that has already lost a rank; an unbounded wait can hang the
-//!   survivors on a second death instead of surfacing a typed error.
-//! * **suspected-bounded** — `Suspected` handling inside a `recovery-*`
-//!   phase must be visibly bounded (a `deadline` / `k_missed` /
-//!   `SuspicionPolicy` budget or an explicitly bounded/timeout wait
-//!   nearby): a suspected straggler may still make progress, and waiting
-//!   for it without a budget turns suspicion back into a hang.
-//! * **payload-clone** — no `.clone()` / `.to_vec()` on the payload
-//!   expression of a `send(` call in the runtime crates: a buffer copied
-//!   per destination turns an O(1) fan-out into O(P) memory traffic the
-//!   α–β model never sees. Share the buffer instead (`Arc<Vec<f64>>`
-//!   payloads are zero-copy and charge identical wire bytes — see
-//!   `WireSize for Arc<T>` in dd-comm) or move the vector into the send.
-//! * **serve-apply** — no re-factorization inside the resident apply
-//!   path: `trace_phase("serve-apply")` scopes and the bodies of the
-//!   `try_apply*` entry points the solve server routes that phase
-//!   through. The serving contract is that applies reuse the resident
-//!   setup (re-setups run under `serve-setup`); a factorization smuggled
-//!   into the apply path silently turns every request back into a
-//!   one-shot run and voids the amortization the server exists for.
+//! * [`lexer`] — a real Rust lexer (raw strings, nested block comments,
+//!   char-vs-lifetime, raw identifiers) producing a flat token stream
+//!   plus `// dd:hot` / `// dd:cold` region markers.
+//! * [`model`] — a lightweight syntactic model per file: functions and
+//!   impl owners, calls with receiver paths and argument spans, if/match
+//!   branch structure with pattern bindings, `let` chains, `#[cfg(test)]`
+//!   spans.
+//! * [`rules`] (the nine ported site rules) and [`flow`] (the five
+//!   flow-aware rules) — both emitting [`Finding`]s with a witness that
+//!   names the enclosing item and, for inter-procedural findings, the
+//!   call path.
 //!
-//! Audited exceptions live in `dd-lint.allow` at the workspace root, one
-//! per line: `rule path-substring code-substring # justification`. The
-//! justification is mandatory; entries that stop matching anything are
-//! reported so the file cannot rot.
+//! Audited exceptions live in `dd-analyze.baseline` ([`baseline`]):
+//! entries are keyed by rule + FNV-1a fingerprint of the witness, so they
+//! survive line shifts but go stale the moment the flagged code changes
+//! shape. Stale entries fail CI.
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// One rule violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+pub mod baseline;
+pub mod flow;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use model::FileModel;
+
+/// One rule violation. `witness` is the human-auditable core of the
+/// finding — enclosing item plus the fact proven (including call paths
+/// for inter-procedural findings) — and is what the baseline fingerprint
+/// hashes, deliberately excluding the line number.
+#[derive(Debug, Clone)]
 pub struct Finding {
     pub rule: &'static str,
-    /// Workspace-relative path with forward slashes.
     pub path: String,
-    /// 1-based.
-    pub line: usize,
+    pub line: u32,
     pub snippet: String,
+    pub witness: String,
+    pub fingerprint: String,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path,
-            self.line,
-            self.rule,
-            self.snippet.trim()
+            "{}:{}: [{}] {}  ({})",
+            self.path, self.line, self.rule, self.witness, self.snippet
         )
     }
 }
 
-/// A source file presented to the rules.
-pub struct SourceFile {
-    /// Workspace-relative path with forward slashes.
-    pub path: String,
-    /// Raw text, used for snippets and allowlist matching.
-    pub raw: String,
-    /// Comment- and string-stripped text (line structure preserved), used
-    /// for all pattern matching so prose never trips a rule.
-    pub code: String,
-}
-
-impl SourceFile {
-    pub fn new(path: impl Into<String>, raw: impl Into<String>) -> Self {
-        let raw = raw.into();
-        let code = strip_comments_and_strings(&raw);
-        SourceFile {
-            path: path.into(),
-            raw,
-            code,
-        }
-    }
-
-    fn raw_line(&self, line: usize) -> &str {
-        self.raw.lines().nth(line - 1).unwrap_or("")
-    }
-}
-
-/// Replace comment bodies and string-literal contents with spaces,
-/// preserving line breaks (and therefore line numbers). Handles `//`,
-/// nested `/* */`, `"…"` with escapes, `r"…"`/`r#"…"#`, and char
-/// literals; lifetimes (`'a`) are left alone.
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    let n = b.len();
-    let keep_or_blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < n {
-        let c = b[i];
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 1;
-            out.push_str("  ");
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(keep_or_blank(b[i]));
-                    i += 1;
-                }
-            }
-        } else if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
-            // Raw string: r"…" or r#"…"# (any hash count).
-            let mut j = i + 1;
-            let mut hashes = 0;
-            while j < n && b[j] == '#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < n && b[j] == '"' {
-                out.push('r');
-                for _ in 0..hashes {
-                    out.push('#');
-                }
-                out.push('"');
-                i = j + 1;
-                'raw: while i < n {
-                    if b[i] == '"' {
-                        let mut k = i + 1;
-                        let mut seen = 0;
-                        while k < n && b[k] == '#' && seen < hashes {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            out.push('"');
-                            for _ in 0..hashes {
-                                out.push('#');
-                            }
-                            i = k;
-                            break 'raw;
-                        }
-                    }
-                    out.push(keep_or_blank(b[i]));
-                    i += 1;
-                }
-            } else {
-                out.push(c);
-                i += 1;
-            }
-        } else if c == '"' {
-            out.push('"');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push('"');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(keep_or_blank(b[i]));
-                    i += 1;
-                }
-            }
-        } else if c == '\'' {
-            // Char literal ('x', '\n', '\u{…}') vs lifetime ('a). A char
-            // literal always has a closing quote within a few chars.
-            let close = (i + 1..n.min(i + 12)).find(|&k| b[k] == '\'' && b[k - 1] != '\\');
-            match close {
-                Some(k) if k > i + 1 || b[i + 1] == '\\' => {
-                    out.push('\'');
-                    for _ in i + 1..k {
-                        out.push(' ');
-                    }
-                    out.push('\'');
-                    i = k + 1;
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-        } else {
-            out.push(c);
-            i += 1;
-        }
-    }
-    out
-}
-
-/// True when the match at `pos` is not preceded by an identifier char —
-/// so `Mutex::new` does not match `SyncMutex::new`.
-fn token_start(code: &str, pos: usize) -> bool {
-    code[..pos]
-        .chars()
-        .next_back()
-        .is_none_or(|c| !c.is_alphanumeric() && c != '_')
-}
-
-/// Yield the line of each occurrence of `needle` in the stripped code.
-/// Identifier-like needles only match at a token boundary, so
-/// `Mutex::new` does not match `SyncMutex::new`; needles starting with
-/// punctuation (`.unwrap()`) are inherently anchored already.
-fn occurrences<'a>(file: &'a SourceFile, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
-    let anchored = needle
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_');
-    let mut from = 0;
-    std::iter::from_fn(move || {
-        while let Some(rel) = file.code[from..].find(needle) {
-            let pos = from + rel;
-            from = pos + needle.len();
-            if !anchored || token_start(&file.code, pos) {
-                let line = file.code[..pos].matches('\n').count() + 1;
-                return Some(line);
-            }
-        }
-        None
-    })
-}
-
-fn finding(rule: &'static str, file: &SourceFile, line: usize) -> Finding {
-    Finding {
-        rule,
-        path: file.path.clone(),
-        line,
-        snippet: file.raw_line(line).to_string(),
-    }
-}
-
-/// First line of the file's `#[cfg(test)]` region (the runtime files keep
-/// tests at the tail), or `usize::MAX` when there is none.
-fn test_region_start(file: &SourceFile) -> usize {
-    file.code
-        .lines()
-        .position(|l| l.contains("#[cfg(test)]"))
-        .map_or(usize::MAX, |idx| idx + 1)
-}
-
-/// Rule: no wall-clock reads outside `crates/comm/src/time.rs`.
-pub fn rule_wallclock(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        if f.path.ends_with("comm/src/time.rs") {
-            continue;
-        }
-        for needle in ["Instant::now", "SystemTime"] {
-            for line in occurrences(f, needle) {
-                out.push(finding("wallclock", f, line));
-            }
-        }
-    }
-    out
-}
-
-/// Files whose non-test code must stay free of `.unwrap()` / `.expect(`.
-const RUNTIME_PATHS: [&str; 2] = ["crates/core/src/spmd.rs", "crates/comm/src/comm.rs"];
-
-/// Rule: typed errors only in the runtime paths.
-pub fn rule_unwrap_expect(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        if !RUNTIME_PATHS.iter().any(|p| f.path.ends_with(p)) {
-            continue;
-        }
-        let tests_at = test_region_start(f);
-        for needle in [".unwrap()", ".expect("] {
-            for line in occurrences(f, needle) {
-                if line < tests_at {
-                    out.push(finding("unwrap-expect", f, line));
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Rule: every `let saved = …trace_phase_name();` must be matched by a
-/// later `trace_phase(&saved)` in the same file.
-pub fn rule_phase_balance(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        for (idx, l) in f.code.lines().enumerate() {
-            if !l.contains("trace_phase_name()") {
-                continue;
-            }
-            let Some(eq) = l.find('=') else { continue };
-            let Some(let_pos) = l.find("let ") else {
-                continue;
-            };
-            let var = l[let_pos + 4..eq].trim().trim_end_matches(':').trim();
-            if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                continue;
-            }
-            let rest: String = f.code.lines().skip(idx + 1).collect::<Vec<_>>().join("\n");
-            let restored = rest.contains(&format!("trace_phase(&{var})"))
-                || rest.contains(&format!("trace_phase({var}"));
-            if !restored {
-                out.push(finding("phase-balance", f, idx + 1));
-            }
-        }
-    }
-    out
-}
-
-/// Extract the `{…}` block starting at the first `{` at or after `pos`.
-fn brace_block(code: &str, pos: usize) -> Option<&str> {
-    let open = pos + code[pos..].find('{')?;
-    let mut depth = 0;
-    for (off, c) in code[open..].char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&code[open..open + off + 1]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Field names of `struct name` whose types carry heap data the α–β model
-/// must see (`Vec`, `String`, `Box`, maps, queues).
-fn heap_fields(files: &[SourceFile], name: &str) -> Vec<String> {
-    const HEAP: [&str; 6] = ["Vec<", "String", "Box<", "HashMap", "BTreeMap", "VecDeque"];
-    for f in files {
-        for pat in [format!("struct {name} {{"), format!("struct {name}<")] {
-            let Some(pos) = f.code.find(&pat) else {
-                continue;
-            };
-            let Some(body) = brace_block(&f.code, pos) else {
-                continue;
-            };
-            return body
-                .split(['\n', ','])
-                .filter_map(|l| {
-                    let (field, ty) = l.split_once(':')?;
-                    let field = field
-                        .trim()
-                        .trim_start_matches('{')
-                        .trim()
-                        .trim_start_matches("pub ")
-                        .trim();
-                    if field.chars().all(|c| c.is_alphanumeric() || c == '_')
-                        && !field.is_empty()
-                        && HEAP.iter().any(|h| ty.contains(h))
-                    {
-                        Some(field.to_string())
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-        }
-    }
-    Vec::new()
-}
-
-/// Rule: a `WireSize` impl for a struct with heap-carrying fields must
-/// mention every such field in its body.
-pub fn rule_wire_size(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        let mut from = 0;
-        while let Some(rel) = f.code[from..].find("impl WireSize for ") {
-            let pos = from + rel;
-            from = pos + 1;
-            let after = &f.code[pos + "impl WireSize for ".len()..];
-            let name: String = after
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if name.is_empty() {
-                continue;
-            }
-            let Some(body) = brace_block(&f.code, pos) else {
-                continue;
-            };
-            for field in heap_fields(files, &name) {
-                if !body.contains(&field) {
-                    let line = f.code[..pos].matches('\n').count() + 1;
-                    let mut fnd = finding("wire-size", f, line);
-                    fnd.snippet = format!("impl WireSize for {name} ignores heap field `{field}`");
-                    out.push(fnd);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Crates whose blocking must route through `SyncBackend`.
-const SYNC_SCOPED: [&str; 2] = ["crates/comm/src/", "crates/core/src/"];
-
-/// Rule: no raw `std::sync` blocking primitives in the runtime crates
-/// outside the backend seam itself — neither constructed (`Mutex::new(`)
-/// nor named in type position (`Mutex<`, which also catches primitives
-/// smuggled in through `#[derive(Default)]` with no construction
-/// expression at all).
-pub fn rule_std_sync(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        if !SYNC_SCOPED.iter().any(|p| f.path.contains(p)) || f.path.ends_with("comm/src/sync.rs") {
-            continue;
-        }
-        for needle in [
-            "Mutex::new(",
-            "Condvar::new(",
-            "RwLock::new(",
-            "Mutex<",
-            "RwLock<",
-        ] {
-            for line in occurrences(f, needle) {
-                out.push(finding("std-sync", f, line));
-            }
-        }
-    }
-    out
-}
-
-/// Infallible blocking waits banned inside `recovery-*` phases (their
-/// `try_` counterparts honor the ambient [`dd_comm::RetryPolicy`]).
-const BLOCKING_WAITS: [&str; 11] = [
-    ".recv(",
-    ".recv::<",
-    ".barrier()",
-    ".allreduce_sum(",
-    ".allreduce_sum_vec(",
-    ".allreduce_max(",
-    ".allgather(",
-    ".gather(",
-    ".gatherv(",
-    ".scatter(",
-    ".wait_reduce(",
+/// Every rule dd-analyze knows, in report order.
+pub const RULES: [&str; 14] = [
+    // Ported site rules.
+    "wallclock",
+    "unwrap-expect",
+    "phase-balance",
+    "wire-size",
+    "std-sync",
+    "recovery-retry",
+    "suspected-bounded",
+    "payload-clone",
+    "serve-apply",
+    // Flow-aware rules.
+    "collective-divergence",
+    "lock-order",
+    "warm-loop-alloc",
+    "wallclock-taint",
+    "epoch-tag",
 ];
 
-/// Per-line flags marking the `recovery-*` telemetry regions of a file: a
-/// region runs from a `trace_phase("recovery-…")` call to the next
-/// `trace_phase(` call (the restore or the next phase) — string contents
-/// are blanked in the stripped code, so the marker is located on the raw
-/// line, gated by the stripped line still containing the call (prose
-/// never trips it). This is a lexical approximation of the dynamic phase
-/// scope: helpers called from a recovery phase are out of reach, but
-/// everything *written* in one is covered.
-fn recovery_regions(f: &SourceFile) -> Vec<bool> {
-    let mut in_recovery = Vec::with_capacity(f.code.lines().count());
-    let mut inside = false;
-    for (code_l, raw_l) in f.code.lines().zip(f.raw.lines()) {
-        if code_l.contains("trace_phase(") {
-            inside = raw_l.contains("trace_phase(\"recovery-");
-        }
-        in_recovery.push(inside);
-    }
-    in_recovery
-}
-
-/// Rule: no infallible blocking waits and no `RetryPolicy::unbounded`
-/// lexically inside a `recovery-*` telemetry phase (see
-/// `recovery_regions` for the region definition).
-pub fn rule_recovery_retry(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        let in_recovery = recovery_regions(f);
-        if !in_recovery.iter().any(|&b| b) {
-            continue;
-        }
-        let tests_at = test_region_start(f);
-        for needle in BLOCKING_WAITS
-            .iter()
-            .chain(std::iter::once(&"RetryPolicy::unbounded"))
-        {
-            for line in occurrences(f, needle) {
-                if line < tests_at && in_recovery.get(line - 1).copied().unwrap_or(false) {
-                    out.push(finding("recovery-retry", f, line));
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Markers that make a `Suspected` handling site visibly bounded: a
-/// suspicion budget (`deadline`, `k_missed`, a `SuspicionPolicy` in
-/// hand) or an explicitly bounded wait (`bounded`, `timeout`).
-const BOUND_MARKERS: [&str; 5] = [
-    "deadline",
-    "k_missed",
-    "SuspicionPolicy",
-    "bounded",
-    "timeout",
-];
-
-/// Rule: `Suspected` handling inside a `recovery-*` telemetry phase must
-/// be visibly bounded. A straggler is *suspected* precisely because it
-/// still might make progress; recovery code that reacts to `Suspected`
-/// by waiting for it (rather than under a budget that can evict) turns
-/// the suspicion layer back into an unbounded hang. Lexically: every
-/// line mentioning `Suspected` inside a recovery region must carry one
-/// of `BOUND_MARKERS` within two lines.
-pub fn rule_suspected_bounded(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        let in_recovery = recovery_regions(f);
-        if !in_recovery.iter().any(|&b| b) {
-            continue;
-        }
-        let tests_at = test_region_start(f);
-        let lines: Vec<&str> = f.code.lines().collect();
-        for line in occurrences(f, "Suspected") {
-            if line >= tests_at || !in_recovery.get(line - 1).copied().unwrap_or(false) {
-                continue;
-            }
-            let lo = line.saturating_sub(3);
-            let hi = (line + 2).min(lines.len());
-            let window = &lines[lo..hi];
-            let bounded = window
-                .iter()
-                .any(|l| BOUND_MARKERS.iter().any(|m| l.contains(m)));
-            if !bounded {
-                out.push(finding("suspected-bounded", f, line));
-            }
-        }
-    }
-    out
-}
-
-/// Extract the `(…)` argument block starting at the `(` at `open`.
-fn paren_block(code: &str, open: usize) -> Option<&str> {
-    if code.as_bytes().get(open) != Some(&b'(') {
-        return None;
-    }
-    let mut depth = 0;
-    for (off, c) in code[open..].char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&code[open..open + off + 1]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Crates whose `send(` payloads must not be freshly copied buffers.
-const PAYLOAD_SCOPED: [&str; 4] = [
-    "crates/comm/src/",
-    "crates/core/src/",
-    "crates/solver/src/",
-    "crates/serve/src/",
-];
-
-/// Rule: no `.clone()` / `.to_vec()` inside the argument list of a
-/// `send(` call in the runtime crates (outside test code). The payload of
-/// a send should move or be `Arc`-shared; a per-send buffer copy is heap
-/// traffic invisible to the α–β cost model, and on a fan-out it multiplies
-/// by the destination count. `Arc::clone(&x)` (a pointer bump) passes.
-pub fn rule_payload_clone(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        if !PAYLOAD_SCOPED.iter().any(|p| f.path.contains(p))
-            || f.path.ends_with("/tests.rs")
-            || f.path.contains("/tests/")
-        {
-            continue;
-        }
-        let tests_at = test_region_start(f);
-        let mut from = 0;
-        while let Some(rel) = f.code[from..].find("send(") {
-            let pos = from + rel;
-            from = pos + 1;
-            if !token_start(&f.code, pos) && f.code.as_bytes().get(pos - 1) != Some(&b'.') {
-                continue;
-            }
-            let Some(args) = paren_block(&f.code, pos + "send".len()) else {
-                continue;
-            };
-            for needle in [".clone()", ".to_vec()"] {
-                let mut inner = 0;
-                while let Some(r) = args[inner..].find(needle) {
-                    let abs = pos + "send".len() + inner + r;
-                    inner += r + needle.len();
-                    let line = f.code[..abs].matches('\n').count() + 1;
-                    if line < tests_at {
-                        out.push(finding("payload-clone", f, line));
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Factorization entry points banned in the resident apply path (the
-/// solve-server contract: applies reuse the resident setup, re-setups run
-/// under the `serve-setup` phase).
-const REFACTOR_TOKENS: [&str; 6] = [
-    "SparseLdlt::factor",
-    "DistLdlt::factor",
-    "DistLdlt::try_factor",
-    "DenseLdlt::factor",
-    ".refactor(",
-    "try_setup",
-];
-
-/// Per-line flags marking the resident apply path of a file: lexical
-/// `serve-apply` telemetry regions (a `trace_phase("serve-apply")` /
-/// `trace_scope("serve-apply")` call up to the next trace call, the same
-/// approximation as `recovery_regions`) plus the brace-bodies of every
-/// `fn try_apply*` — the reentrant entry points the server routes the
-/// `serve-apply` phase through as a parameter, invisible to a purely
-/// literal region scan.
-fn serve_apply_regions(f: &SourceFile) -> Vec<bool> {
-    let n_lines = f.code.lines().count();
-    let mut region = vec![false; n_lines];
-    let mut inside = false;
-    for (i, (code_l, raw_l)) in f.code.lines().zip(f.raw.lines()).enumerate() {
-        if code_l.contains("trace_phase(") || code_l.contains("trace_scope(") {
-            inside = raw_l.contains("\"serve-apply\"");
-        }
-        if inside {
-            region[i] = true;
-        }
-    }
-    let mut from = 0;
-    while let Some(rel) = f.code[from..].find("fn try_apply") {
-        let pos = from + rel;
-        from = pos + 1;
-        if !token_start(&f.code, pos) {
-            continue;
-        }
-        let Some(open_rel) = f.code[pos..].find('{') else {
-            continue;
-        };
-        let Some(body) = brace_block(&f.code, pos) else {
-            continue;
-        };
-        let first = f.code[..pos + open_rel].matches('\n').count();
-        let last = first + body.matches('\n').count();
-        for flag in region.iter_mut().take((last + 1).min(n_lines)).skip(first) {
-            *flag = true;
-        }
-    }
-    region
-}
-
-/// Rule: no factorization inside the resident apply path (see
-/// `serve_apply_regions` for the region definition).
-pub fn rule_serve_apply(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for f in files {
-        let region = serve_apply_regions(f);
-        if !region.iter().any(|&b| b) {
-            continue;
-        }
-        let tests_at = test_region_start(f);
-        for needle in REFACTOR_TOKENS {
-            for line in occurrences(f, needle) {
-                if line < tests_at && region.get(line - 1).copied().unwrap_or(false) {
-                    out.push(finding("serve-apply", f, line));
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Run every rule.
-pub fn run_rules(files: &[SourceFile]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    out.extend(rule_wallclock(files));
-    out.extend(rule_unwrap_expect(files));
-    out.extend(rule_phase_balance(files));
-    out.extend(rule_wire_size(files));
-    out.extend(rule_std_sync(files));
-    out.extend(rule_recovery_retry(files));
-    out.extend(rule_suspected_bounded(files));
-    out.extend(rule_payload_clone(files));
-    out.extend(rule_serve_apply(files));
-    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    out
-}
-
-/// One audited exception.
-#[derive(Debug, Clone)]
-pub struct AllowEntry {
-    pub rule: String,
-    pub path_sub: String,
-    pub code_sub: String,
-    pub justification: String,
-    pub line: usize,
-}
-
-/// The parsed `dd-lint.allow` file.
-#[derive(Debug, Default)]
-pub struct Allowlist {
-    pub entries: Vec<AllowEntry>,
-}
-
-impl Allowlist {
-    /// Parse the allowlist format; malformed lines (no justification,
-    /// fewer than three fields) are hard errors so the file stays honest.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries = Vec::new();
-        for (idx, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (spec, justification) = line
-                .split_once(" # ")
-                .ok_or_else(|| format!("dd-lint.allow:{}: missing ` # justification`", idx + 1))?;
-            let mut parts = spec.split_whitespace();
-            let (Some(rule), Some(path_sub), Some(code_sub)) =
-                (parts.next(), parts.next(), parts.next())
-            else {
-                return Err(format!(
-                    "dd-lint.allow:{}: expected `rule path-substring code-substring # why`",
-                    idx + 1
-                ));
-            };
-            entries.push(AllowEntry {
-                rule: rule.to_string(),
-                path_sub: path_sub.to_string(),
-                code_sub: code_sub.to_string(),
-                justification: justification.trim().to_string(),
-                line: idx + 1,
-            });
-        }
-        Ok(Allowlist { entries })
-    }
-
-    fn matches(&self, f: &Finding, used: &mut [bool]) -> bool {
-        let mut hit = false;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.rule == f.rule && f.path.contains(&e.path_sub) && f.snippet.contains(&e.code_sub) {
-                used[i] = true;
-                hit = true;
-            }
-        }
-        hit
-    }
-}
-
-/// Outcome of a full lint pass.
-pub struct LintResult {
-    /// Findings not covered by the allowlist — the failures.
-    pub findings: Vec<Finding>,
-    /// Findings suppressed by audited exceptions.
-    pub suppressed: usize,
-    /// Allowlist entries (1-based line numbers) that matched nothing —
-    /// stale audits to clean up.
-    pub stale_allows: Vec<usize>,
-    pub files_scanned: usize,
-}
-
-/// Collect `.rs` sources under `<root>/src` and `<root>/crates`, skipping
-/// `target/`.
-pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+/// Lex and model every `.rs` file under `root/src` and `root/crates`,
+/// skipping `target/` and dotdirs. Paths are workspace-relative with
+/// forward slashes.
+pub fn collect_models(root: &Path) -> std::io::Result<Vec<FileModel>> {
     let mut out = Vec::new();
     for top in ["src", "crates"] {
         let dir = root.join(top);
@@ -809,7 +95,7 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     Ok(out)
 }
 
-fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+fn walk(root: &Path, dir: &Path, out: &mut Vec<FileModel>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -823,45 +109,157 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<(
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            out.push(SourceFile::new(rel, std::fs::read_to_string(&path)?));
+            out.push(FileModel::new(&rel, &std::fs::read_to_string(&path)?));
         }
     }
     Ok(())
 }
 
-/// Full pass: scan `root`, apply rules, subtract `root/dd-lint.allow`.
-pub fn lint(root: &Path) -> Result<LintResult, String> {
-    let files = collect_sources(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
-    let allow_path = root.join("dd-lint.allow");
-    let allow = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => Allowlist::parse(&text)?,
-        Err(_) => Allowlist::default(),
-    };
-    let mut used = vec![false; allow.entries.len()];
+/// Run all fourteen rules over the modeled files and fingerprint every
+/// finding. Deterministic order: path, line, rule.
+pub fn run_rules(files: &[FileModel]) -> Vec<Finding> {
+    let mut ws = flow::Workspace::build(files);
     let mut findings = Vec::new();
-    let mut suppressed = 0;
-    for f in run_rules(&files) {
-        if allow.matches(&f, &mut used) {
-            suppressed += 1;
-        } else {
-            findings.push(f);
-        }
+    findings.extend(rules::rule_wallclock(files));
+    findings.extend(rules::rule_unwrap_expect(files));
+    findings.extend(rules::rule_phase_balance(files));
+    findings.extend(rules::rule_wire_size(files));
+    findings.extend(rules::rule_std_sync(files));
+    findings.extend(rules::rule_recovery_retry(files));
+    findings.extend(rules::rule_suspected_bounded(files));
+    findings.extend(rules::rule_payload_clone(files));
+    findings.extend(rules::rule_serve_apply(files));
+    findings.extend(flow::rule_collective_divergence(files, &mut ws));
+    findings.extend(flow::rule_lock_order(files));
+    findings.extend(flow::rule_warm_loop_alloc(files));
+    findings.extend(flow::rule_wallclock_taint(files));
+    findings.extend(flow::rule_epoch_tag(files));
+    for f in &mut findings {
+        f.fingerprint = baseline::fingerprint(f.rule, &f.path, &f.witness);
     }
-    let stale_allows = used
-        .iter()
-        .enumerate()
-        .filter(|(_, u)| !**u)
-        .map(|(i, _)| allow.entries[i].line)
-        .collect();
-    Ok(LintResult {
-        findings,
-        suppressed,
-        stale_allows,
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// Result of a full analysis pass.
+pub struct AnalyzeResult {
+    /// Findings not covered by the baseline — nonempty fails the gate.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Baseline entries matching nothing — nonempty fails the gate.
+    pub stale: Vec<baseline::BaselineEntry>,
+    pub files_scanned: usize,
+    /// Findings before baseline subtraction (for the delta table).
+    pub total: usize,
+}
+
+impl AnalyzeResult {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Full pass: model `root`, run rules, subtract `root/dd-analyze.baseline`.
+pub fn analyze(root: &Path) -> Result<AnalyzeResult, String> {
+    let files = collect_models(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let entries = match std::fs::read_to_string(root.join("dd-analyze.baseline")) {
+        Ok(text) => baseline::parse(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let findings = run_rules(&files);
+    let total = findings.len();
+    let applied = baseline::apply(findings, &entries);
+    Ok(AnalyzeResult {
+        findings: applied.active,
+        suppressed: applied.suppressed,
+        stale: applied.stale,
         files_scanned: files.len(),
+        total,
     })
 }
 
-/// Workspace root, assuming this crate stays at `crates/lint`.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Structured JSON report — the CI artifact: active findings plus stale
+/// baseline entries and the pass totals.
+pub fn json_report(result: &AnalyzeResult) -> String {
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in result.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"witness\": \"{}\", \"fingerprint\": \"{}\"}}{}\n",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.snippet),
+            json_escape(&f.witness),
+            f.fingerprint,
+            if i + 1 < result.findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"stale_baseline\": [\n");
+    for (i, e) in result.stale.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"fingerprint\": \"{}\", \"path\": \"{}\"}}{}\n",
+            json_escape(&e.rule),
+            e.fp,
+            json_escape(&e.path),
+            if i + 1 < result.stale.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"total\": {}\n}}\n",
+        result.files_scanned, result.suppressed, result.total
+    ));
+    s
+}
+
+/// Markdown delta table for the CI step summary: active findings per
+/// rule, pass totals, and any stale baseline entries.
+pub fn delta_table(result: &AnalyzeResult) -> String {
+    let mut s = String::from("### dd-analyze\n\n| rule | active findings |\n|---|---:|\n");
+    let mut any = false;
+    for rule in RULES {
+        let active = result.findings.iter().filter(|f| f.rule == rule).count();
+        if active > 0 {
+            s.push_str(&format!("| {rule} | {active} |\n"));
+            any = true;
+        }
+    }
+    if !any {
+        s.push_str("| _(none)_ | 0 |\n");
+    }
+    s.push_str(&format!(
+        "\n{} file(s) scanned · {} finding(s) total · {} suppressed by baseline · {} active · {} stale baseline entr{}\n",
+        result.files_scanned,
+        result.total,
+        result.suppressed,
+        result.findings.len(),
+        result.stale.len(),
+        if result.stale.len() == 1 { "y" } else { "ies" }
+    ));
+    for e in &result.stale {
+        s.push_str(&format!("\n- **stale baseline entry**: `{}`\n", e.render()));
+    }
+    s
+}
+
+/// Workspace root: two levels above this crate's manifest dir.
 pub fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
@@ -875,347 +273,65 @@ pub fn workspace_root() -> PathBuf {
 mod tests {
     use super::*;
 
-    fn file(path: &str, raw: &str) -> SourceFile {
-        SourceFile::new(path, raw)
-    }
-
     #[test]
-    fn stripper_blanks_comments_and_strings_preserving_lines() {
-        let src = "let a = \"Instant::now\"; // Instant::now\n/* SystemTime */ let b = 1;\n";
-        let code = strip_comments_and_strings(src);
-        assert_eq!(code.lines().count(), src.lines().count());
-        assert!(!code.contains("Instant::now"));
-        assert!(!code.contains("SystemTime"));
-        assert!(code.contains("let b = 1;"));
-    }
-
-    #[test]
-    fn stripper_handles_raw_strings_and_chars() {
-        let src = "let s = r#\"Instant::now \" still\"#; let c = ':'; let l: &'static str = x;\n";
-        let code = strip_comments_and_strings(src);
-        assert!(!code.contains("Instant::now"));
-        assert!(code.contains("&'static str"));
-    }
-
-    #[test]
-    fn planted_wallclock_in_core_is_caught() {
-        let files = [file(
-            "crates/core/src/spmd.rs",
-            "fn f() { let t = std::time::Instant::now(); }\n",
-        )];
-        let got = rule_wallclock(&files);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].rule, "wallclock");
-        assert_eq!(got[0].line, 1);
-    }
-
-    #[test]
-    fn wallclock_allowed_in_time_rs_and_comments() {
-        let files = [
-            file("crates/comm/src/time.rs", "let t = Instant::now();\n"),
-            file("crates/core/src/spmd.rs", "// uses Instant::now upstream\n"),
-        ];
-        assert!(rule_wallclock(&files).is_empty());
-    }
-
-    #[test]
-    fn unwrap_in_runtime_path_is_caught_but_tests_are_exempt() {
-        let files = [file(
-            "crates/comm/src/comm.rs",
-            "fn f() { x.unwrap(); y.expect(\"boom\"); }\n#[cfg(test)]\nmod tests { fn g() { z.unwrap(); } }\n",
-        )];
-        let got = rule_unwrap_expect(&files);
-        assert_eq!(got.len(), 2, "{got:?}");
-        assert!(got.iter().all(|f| f.line == 1));
-    }
-
-    #[test]
-    fn unwrap_outside_runtime_paths_is_ignored() {
-        let files = [file("crates/linalg/src/lib.rs", "x.unwrap();\n")];
-        assert!(rule_unwrap_expect(&files).is_empty());
-    }
-
-    #[test]
-    fn unbalanced_phase_scope_is_caught() {
-        let bad = file(
-            "crates/core/src/spmd.rs",
-            "let prev = comm.trace_phase_name();\ncomm.trace_phase(\"inner\");\n",
-        );
-        let got = rule_phase_balance(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].rule, "phase-balance");
-
-        let good = file(
-            "crates/core/src/spmd.rs",
-            "let prev = comm.trace_phase_name();\ncomm.trace_phase(\"inner\");\ncomm.trace_phase(&prev);\n",
-        );
-        assert!(rule_phase_balance(std::slice::from_ref(&good)).is_empty());
-    }
-
-    #[test]
-    fn under_counted_wire_size_is_caught() {
-        let files = [file(
-            "crates/core/src/msg.rs",
-            "pub struct Panel { pub rows: Vec<f64>, pub tag: u64 }\n\
-             impl WireSize for Panel { fn wire_bytes(&self) -> usize { 8 } }\n",
-        )];
-        let got = rule_wire_size(&files);
-        assert_eq!(got.len(), 1);
-        assert!(got[0].snippet.contains("rows"), "{got:?}");
-
-        let ok = [file(
-            "crates/core/src/msg.rs",
-            "pub struct Panel { pub rows: Vec<f64>, pub tag: u64 }\n\
-             impl WireSize for Panel { fn wire_bytes(&self) -> usize { 8 + self.rows.len() * 8 } }\n",
-        )];
-        assert!(rule_wire_size(&ok).is_empty());
-    }
-
-    #[test]
-    fn raw_sync_primitive_in_runtime_crate_is_caught() {
-        let files = [
-            file("crates/comm/src/comm.rs", "let m = Mutex::new(0);\n"),
-            file(
+    fn run_rules_fingerprints_and_sorts() {
+        let files = vec![
+            FileModel::new(
                 "crates/comm/src/comm.rs",
-                "let m = SyncMutex::new(&b, 0);\n",
+                "fn g() { let t = Instant::now(); }\n",
             ),
-            file("crates/comm/src/sync.rs", "let m = Mutex::new(0);\n"),
-            file("crates/linalg/src/lib.rs", "let m = Mutex::new(0);\n"),
-        ];
-        let got = rule_std_sync(&files);
-        assert_eq!(got.len(), 1, "{got:?}");
-        assert_eq!(got[0].path, "crates/comm/src/comm.rs");
-    }
-
-    #[test]
-    fn derived_default_mutex_field_is_caught_in_type_position() {
-        let files = [
-            file(
-                "crates/core/src/recovery.rs",
-                "#[derive(Default)]\nstruct Store { slots: Mutex<Vec<u8>> }\n",
-            ),
-            file(
-                "crates/core/src/recovery.rs",
-                "struct Ok2 { slots: SyncMutex<Vec<u8>> }\n",
-            ),
-        ];
-        let got = rule_std_sync(&files);
-        assert_eq!(got.len(), 1, "{got:?}");
-        assert_eq!(got[0].line, 2);
-    }
-
-    #[test]
-    fn unbounded_wait_in_recovery_phase_is_caught() {
-        let bad = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-adopt\");\n\
-             let v = comm.recv::<u64>(0, 1);\n\
-             let p = RetryPolicy::unbounded();\n\
-             comm.trace_phase(\"solve\");\n\
-             comm.barrier();\n",
-        );
-        let got = rule_recovery_retry(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 2, "{got:?}");
-        assert!(got.iter().all(|f| f.rule == "recovery-retry"));
-        assert_eq!((got[0].line, got[1].line), (2, 3));
-    }
-
-    #[test]
-    fn bounded_waits_and_other_phases_pass_recovery_rule() {
-        let ok = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-assembly\");\n\
-             let v = comm.try_recv_timeout::<u64>(0, 1, &comm.retry_policy())?;\n\
-             let w = split.try_gatherv(0, rows)?;\n\
-             comm.trace_phase(&prev);\n\
-             comm.recv::<u64>(0, 1);\n\
-             // comm.trace_phase(\"recovery-x\"); prose never opens a region\n\
-             comm.barrier();\n",
-        );
-        assert!(rule_recovery_retry(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn recovery_rule_exempts_test_regions() {
-        let ok = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-adopt\");\n\
-             let v = comm.try_recv_timeout::<u64>(0, 1, &p)?;\n\
-             #[cfg(test)]\n\
-             mod tests { fn f() { comm.recv::<u64>(0, 1); } }\n",
-        );
-        assert!(rule_recovery_retry(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn unbounded_suspected_handling_in_recovery_phase_is_caught() {
-        let bad = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-agree\");\n\
-             while states.iter().any(|s| *s == RankState::Suspected) {\n\
-             comm.probe();\n\
-             }\n\
-             comm.trace_phase(\"solve\");\n",
-        );
-        let got = rule_suspected_bounded(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 1, "{got:?}");
-        assert_eq!(got[0].rule, "suspected-bounded");
-        assert_eq!(got[0].line, 2);
-    }
-
-    #[test]
-    fn budgeted_suspected_handling_passes() {
-        let ok = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-agree\");\n\
-             let policy = opts.suspicion.unwrap_or_default();\n\
-             if states[r] == RankState::Suspected && beats[r] >= policy.k_missed {\n\
-             comm.evict(r);\n\
-             }\n\
-             comm.trace_phase(\"solve\");\n",
-        );
-        assert!(rule_suspected_bounded(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn suspected_outside_recovery_regions_and_in_tests_is_ignored() {
-        let ok = file(
-            "crates/core/src/recovery.rs",
-            "comm.trace_phase(\"recovery-agree\");\n\
-             comm.trace_phase(\"solve\");\n\
-             let s = RankState::Suspected;\n\
-             #[cfg(test)]\n\
-             mod tests { fn f() { assert_eq!(s, RankState::Suspected); } }\n",
-        );
-        assert!(rule_suspected_bounded(std::slice::from_ref(&ok)).is_empty());
-        // No recovery region at all: the rule never fires.
-        let none = file("crates/comm/src/comm.rs", "let s = RankState::Suspected;\n");
-        assert!(rule_suspected_bounded(std::slice::from_ref(&none)).is_empty());
-    }
-
-    #[test]
-    fn cloned_send_payload_is_caught() {
-        let bad = file(
-            "crates/solver/src/dist_ldlt.rs",
-            "for k in 0..me {\n\
-             comm.send(k, TAG_BWD, x_me.clone());\n\
-             }\n\
-             comm.send(\n\
-             q,\n\
-             TAG_FWD,\n\
-             rows.to_vec(),\n\
-             );\n",
-        );
-        let got = rule_payload_clone(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 2, "{got:?}");
-        assert!(got.iter().all(|f| f.rule == "payload-clone"));
-        assert_eq!((got[0].line, got[1].line), (2, 7));
-    }
-
-    #[test]
-    fn arc_shared_and_moved_send_payloads_pass() {
-        let ok = file(
-            "crates/solver/src/dist_ldlt.rs",
-            "comm.send(k, TAG_BWD, Arc::clone(&x_shared));\n\
-             comm.send(q, TAG_FWD, contrib);\n\
-             let copy = x.clone();\n\
-             resend(&copy);\n",
-        );
-        assert!(rule_payload_clone(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn payload_clone_exempts_tests_and_out_of_scope_crates() {
-        let files = [
-            file(
-                "crates/comm/src/comm/tests.rs",
-                "comm.send(0, 8, doubled.clone());\n",
-            ),
-            file("crates/bench/src/lib.rs", "tx.send(v.clone());\n"),
-            file(
+            FileModel::new(
                 "crates/core/src/spmd.rs",
-                "#[cfg(test)]\nmod tests { fn f() { comm.send(0, 1, v.clone()); } }\n",
+                "fn f(comm: &C) { if comm.rank() == 0 { comm.barrier(); } }\n",
             ),
         ];
-        assert!(rule_payload_clone(&files).is_empty());
+        let got = run_rules(&files);
+        assert!(got.len() >= 2, "{got:?}");
+        assert!(got.iter().all(|f| f.fingerprint.len() == 16));
+        let paths: Vec<&str> = got.iter().map(|f| f.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
     }
 
     #[test]
-    fn refactorization_in_apply_body_is_caught() {
-        let bad = file(
-            "crates/core/src/recovery.rs",
-            "pub fn try_apply_on(&self, d: &Decomposition) -> R {\n\
-             let f = SparseLdlt::factor(&d.a, ord);\n\
-             self.solve(f)\n\
-             }\n",
-        );
-        let got = rule_serve_apply(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 1, "{got:?}");
-        assert_eq!(got[0].rule, "serve-apply");
-        assert_eq!(got[0].line, 2);
-    }
-
-    #[test]
-    fn refactorization_outside_the_apply_path_passes() {
-        let ok = file(
-            "crates/core/src/recovery.rs",
-            "pub fn try_setup_partitioned(d: &Decomposition) -> R {\n\
-             let f = SparseLdlt::factor(&d.a, ord);\n\
-             let e = DistLdlt::try_factor(m, b, s);\n\
-             }\n\
-             pub fn try_apply(&self, rhs: &[f64]) -> R {\n\
-             self.resident.solve(rhs)\n\
-             }\n",
-        );
-        assert!(rule_serve_apply(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn refactorization_in_literal_serve_apply_region_is_caught() {
-        let bad = file(
-            "crates/serve/src/server.rs",
-            "comm.trace_phase(\"serve-apply\");\n\
-             let f = x.refactor(&a);\n\
-             comm.trace_phase(\"serve-setup\");\n\
-             let g = y.refactor(&b);\n",
-        );
-        let got = rule_serve_apply(std::slice::from_ref(&bad));
-        assert_eq!(got.len(), 1, "{got:?}");
-        assert_eq!(got[0].line, 2, "the re-setup region is legal");
-    }
-
-    #[test]
-    fn serve_apply_rule_exempts_test_regions() {
-        let ok = file(
-            "crates/core/src/spmd.rs",
-            "pub fn try_apply(&self) -> R { self.solve() }\n\
-             #[cfg(test)]\n\
-             mod tests { fn f() { let _ = SparseLdlt::factor(&a, o); } }\n",
-        );
-        assert!(rule_serve_apply(std::slice::from_ref(&ok)).is_empty());
-    }
-
-    #[test]
-    fn allowlist_suppresses_and_reports_stale_entries() {
-        let allow = Allowlist::parse(
-            "wallclock crates/bench Instant::now # benches measure real elapsed time\n\
-             std-sync crates/comm/src/nonexistent.rs Mutex::new # stale\n",
-        )
-        .unwrap();
-        assert_eq!(allow.entries.len(), 2);
-        let f = Finding {
-            rule: "wallclock",
-            path: "crates/bench/benches/micro.rs".into(),
-            line: 3,
-            snippet: "let t0 = Instant::now();".into(),
+    fn json_report_escapes_and_balances() {
+        let result = AnalyzeResult {
+            findings: vec![Finding {
+                rule: "wallclock",
+                path: "crates/x.rs".into(),
+                line: 3,
+                snippet: "let s = \"a\\b\";".into(),
+                witness: "X::f: Instant::now".into(),
+                fingerprint: "0123456789abcdef".into(),
+            }],
+            suppressed: 2,
+            stale: vec![],
+            files_scanned: 5,
+            total: 3,
         };
-        let mut used = vec![false; 2];
-        assert!(allow.matches(&f, &mut used));
-        assert!(used[0] && !used[1]);
+        let j = json_report(&result);
+        assert!(j.contains("\\\"a\\\\b\\\""), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"suppressed\": 2"));
     }
 
     #[test]
-    fn allowlist_without_justification_is_rejected() {
-        assert!(Allowlist::parse("wallclock crates/bench Instant::now\n").is_err());
+    fn delta_table_reports_counts_and_stale() {
+        let result = AnalyzeResult {
+            findings: vec![],
+            suppressed: 7,
+            stale: vec![baseline::BaselineEntry {
+                rule: "std-sync".into(),
+                fp: "deadbeefdeadbeef".into(),
+                path: "crates/gone.rs".into(),
+                justification: "obsolete".into(),
+            }],
+            files_scanned: 40,
+            total: 7,
+        };
+        let t = delta_table(&result);
+        assert!(t.contains("7 suppressed"), "{t}");
+        assert!(t.contains("stale baseline entry"), "{t}");
     }
 }

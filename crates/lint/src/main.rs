@@ -1,6 +1,17 @@
-//! `dd-lint` binary: run the workspace invariant pass and exit non-zero
-//! on any finding not covered by `dd-lint.allow`.
+//! `dd-analyze` driver: run the workspace invariant pass and exit
+//! non-zero on any finding not covered by `dd-analyze.baseline`, or on
+//! any stale baseline entry.
+//!
+//! Flags:
+//! * `--json PATH`      write the structured findings report (CI artifact)
+//! * `--summary PATH`   append the markdown delta table (CI step summary)
+//! * `--print-fingerprints`  list every finding pre-baseline with its
+//!   fingerprint, for authoring baseline entries
+//! * `--migrate-allow`  one-shot converter: read `dd-lint.allow`, match
+//!   legacy entries against current findings, write
+//!   `dd-analyze.baseline` and report entries that no longer match
 
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -14,10 +25,67 @@ fn main() -> ExitCode {
         dd_lint::workspace_root()
     };
 
-    let result = match dd_lint::lint(&root) {
+    let mut json_out: Option<PathBuf> = None;
+    let mut summary_out: Option<PathBuf> = None;
+    let mut print_fps = false;
+    let mut migrate = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_out = args.next().map(PathBuf::from),
+            "--summary" => summary_out = args.next().map(PathBuf::from),
+            "--print-fingerprints" => print_fps = true,
+            "--migrate-allow" => migrate = true,
+            other => {
+                eprintln!("dd-analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if print_fps || migrate {
+        let files = match dd_lint::collect_models(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dd-analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let findings = dd_lint::run_rules(&files);
+        if print_fps {
+            for f in &findings {
+                println!(
+                    "{} fp:{} {}  # {}",
+                    f.rule, f.fingerprint, f.path, f.witness
+                );
+            }
+            return ExitCode::SUCCESS;
+        }
+        // --migrate-allow
+        let allow = match std::fs::read_to_string(root.join("dd-lint.allow")) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dd-analyze: reading dd-lint.allow: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (entries, unmatched) = dd_lint::baseline::migrate_allow(&allow, &findings);
+        let rendered = dd_lint::baseline::render(&entries);
+        if let Err(e) = std::fs::write(root.join("dd-analyze.baseline"), rendered) {
+            eprintln!("dd-analyze: writing baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("dd-analyze: wrote {} baseline entr(ies)", entries.len());
+        for u in &unmatched {
+            println!("dd-analyze: legacy entry matches no current finding (dropped): {u}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let result = match dd_lint::analyze(&root) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("dd-lint: {e}");
+            eprintln!("dd-analyze: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -25,16 +93,39 @@ fn main() -> ExitCode {
     for f in &result.findings {
         println!("{f}");
     }
-    for line in &result.stale_allows {
-        println!("dd-lint.allow:{line}: stale entry — matches no finding, remove it");
+    for e in &result.stale {
+        println!(
+            "dd-analyze.baseline: stale entry — matches no finding, remove it: {}",
+            e.render()
+        );
     }
     println!(
-        "dd-lint: {} file(s), {} finding(s), {} suppressed by audited exceptions",
+        "dd-analyze: {} file(s), {} finding(s) active, {} suppressed by baseline",
         result.files_scanned,
         result.findings.len(),
         result.suppressed
     );
-    if result.findings.is_empty() && result.stale_allows.is_empty() {
+
+    if let Some(p) = json_out {
+        if let Err(e) = std::fs::write(&p, dd_lint::json_report(&result)) {
+            eprintln!("dd-analyze: writing {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(p) = summary_out {
+        let table = dd_lint::delta_table(&result);
+        let r = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&p)
+            .and_then(|mut f| f.write_all(table.as_bytes()));
+        if let Err(e) = r {
+            eprintln!("dd-analyze: writing {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if result.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,1204 @@
+//! Syntactic model for `dd-analyze`: items, function bodies, call sites,
+//! branch structure, and analyzer regions, built over the token stream
+//! from [`crate::lexer`].
+//!
+//! The model is deliberately *lightweight*: it resolves exactly the
+//! structure the rules need (fn spans, impl owners, struct fields, call
+//! paths and receivers, `if`/`match` branches, `let` bindings, test
+//! regions, `dd:hot`/`dd:cold` marker spans) and nothing else. It never
+//! type-checks; name resolution is by identifier, which is the right
+//! altitude for project-invariant lints over a single workspace.
+
+use crate::lexer::{self, Marker, Tok, TokKind};
+
+/// A function item (free fn, method, nested fn).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub owner: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token indices of the body `{` and `}` (inclusive), when present.
+    pub body: Option<(usize, usize)>,
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` region or carrying `#[test]`.
+    pub is_test: bool,
+    /// Preceded by a `// dd:hot` marker: the whole body is a hot region.
+    pub hot: bool,
+}
+
+/// An `impl` block: `impl Trait for Type { … }` or `impl Type { … }`.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// The implemented trait's last path segment, when a trait impl.
+    pub trait_name: Option<String>,
+    /// The self type's last path segment.
+    pub owner: String,
+    pub body: (usize, usize),
+}
+
+/// A struct item with its named fields.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    /// `(field name, type tokens rendered as text)`.
+    pub fields: Vec<(String, String)>,
+}
+
+/// One call site: `name(…)`, `Path::name(…)`, `.name(…)`, `name!(…)`.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Token index of the name identifier.
+    pub tok: usize,
+    pub name: String,
+    /// Full path segments for path calls (`["Vec", "new"]`); empty for
+    /// bare and method calls.
+    pub path: Vec<String>,
+    pub is_method: bool,
+    pub is_macro: bool,
+    /// Receiver path identifiers for method calls, outermost first
+    /// (`self.shared.slots.lock()` → `["self", "shared", "slots"]`).
+    pub recv: Vec<String>,
+    /// Token index ranges (start..=end) of each argument.
+    pub args: Vec<(usize, usize)>,
+    /// Token index of the argument list's `(`.
+    pub paren: usize,
+    pub line: u32,
+}
+
+impl Call {
+    /// Dotted path rendered for witnesses: `Vec::new`, `.lock`, `format!`.
+    pub fn display_name(&self) -> String {
+        if !self.path.is_empty() {
+            self.path.join("::")
+        } else if self.is_macro {
+            format!("{}!", self.name)
+        } else if self.is_method {
+            format!(".{}", self.name)
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+/// An `if` statement (or `if let`) with its branch spans.
+#[derive(Debug, Clone)]
+pub struct IfStmt {
+    pub tok: usize,
+    /// Condition token range (after `if`, before the body `{`).
+    pub cond: (usize, usize),
+    pub then_body: (usize, usize),
+    /// The whole else arm: a block span, or the span of an `else if`
+    /// chain (which is also analyzed on its own as a nested `IfStmt`).
+    pub else_body: Option<(usize, usize)>,
+    /// Identifiers bound by an `if let` pattern.
+    pub bindings: Vec<String>,
+    pub line: u32,
+}
+
+/// One `match` arm: `(pattern range, body range, pattern-bound idents)`.
+pub type MatchArm = ((usize, usize), (usize, usize), Vec<String>);
+
+/// A `match` statement with per-arm body spans.
+#[derive(Debug, Clone)]
+pub struct MatchStmt {
+    pub tok: usize,
+    /// Scrutinee token range.
+    pub scrutinee: (usize, usize),
+    pub arms: Vec<MatchArm>,
+    pub line: u32,
+}
+
+/// The fully analyzed model of one source file.
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub toks: Vec<Tok>,
+    /// For each `Open` token, the index of its matching `Close`
+    /// (usize::MAX when unmatched or not an opener).
+    pub close_of: Vec<usize>,
+    /// For each `Close` token, the index of its matching `Open`.
+    pub open_of: Vec<usize>,
+    pub raw_lines: Vec<String>,
+    pub fns: Vec<FnItem>,
+    pub impls: Vec<ImplItem>,
+    pub structs: Vec<StructItem>,
+    /// Token ranges under `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Hot-loop spans from `// dd:hot` markers attached to loops
+    /// (fn-level markers set [`FnItem::hot`] instead).
+    pub hot_loops: Vec<(usize, usize)>,
+    /// Statement spans exempted by `// dd:cold`.
+    pub cold_spans: Vec<(usize, usize)>,
+    /// Whole file is test/bench/example code (by path).
+    pub is_test_file: bool,
+}
+
+impl FileModel {
+    pub fn new(path: impl Into<String>, src: &str) -> Self {
+        let path = path.into();
+        let lexed = lexer::lex(src);
+        let toks = lexed.toks;
+        let (close_of, open_of) = match_delims(&toks);
+        let is_test_file = path.contains("/tests/")
+            || path.ends_with("tests.rs")
+            || path.contains("/benches/")
+            || path.contains("/examples/");
+        let mut m = FileModel {
+            path,
+            toks,
+            close_of,
+            open_of,
+            raw_lines: src.lines().map(str::to_string).collect(),
+            fns: Vec::new(),
+            impls: Vec::new(),
+            structs: Vec::new(),
+            test_spans: Vec::new(),
+            hot_loops: Vec::new(),
+            cold_spans: Vec::new(),
+            is_test_file,
+        };
+        m.parse_items();
+        m.attach_markers(&lexed.markers);
+        m
+    }
+
+    pub fn line_of(&self, tok: usize) -> u32 {
+        self.toks.get(tok).map_or(0, |t| t.line)
+    }
+
+    /// Raw source line (1-based) for snippets.
+    pub fn raw_line(&self, line: u32) -> &str {
+        self.raw_lines
+            .get(line as usize - 1)
+            .map_or("", String::as_str)
+    }
+
+    /// Innermost function whose body contains token `tok`.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= tok && tok <= b))
+            .min_by_key(|f| {
+                let (a, b) = f.body.unwrap();
+                b - a
+            })
+    }
+
+    /// Is the token inside test code (a `#[cfg(test)]` region, a
+    /// `#[test]` fn, or a test-only file)?
+    pub fn in_test(&self, tok: usize) -> bool {
+        self.is_test_file
+            || self.test_spans.iter().any(|&(a, b)| a <= tok && tok <= b)
+            || self.enclosing_fn(tok).is_some_and(|f| f.is_test)
+    }
+
+    /// Is the token inside a `// dd:cold` exempted statement?
+    pub fn in_cold(&self, tok: usize) -> bool {
+        self.cold_spans.iter().any(|&(a, b)| a <= tok && tok <= b)
+    }
+
+    /// Scan forward from `i` to the end of the current statement: the
+    /// next `;` at this delimiter level (groups are skipped whole).
+    /// A statement-level brace group also ends the statement — `if`,
+    /// `match`, `for`, and friends carry no trailing `;` — unless it is
+    /// continued by `else`, a `;`, or a method/try chain.
+    /// Returns the index of the terminator (or the last token scanned).
+    pub fn stmt_end(&self, mut i: usize, limit: usize) -> usize {
+        while i <= limit && i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Open {
+                let c = self.close_of[i];
+                if c == usize::MAX || c > limit {
+                    return i;
+                }
+                if t.is_open('{') {
+                    match self.toks.get(c + 1) {
+                        Some(n) if n.is_ident("else") => {}
+                        Some(n) if n.is_punct(";") => return c + 1,
+                        Some(n) if n.is_punct(".") || n.is_punct("?") => {}
+                        _ => return c,
+                    }
+                }
+                i = c + 1;
+                continue;
+            }
+            if t.kind == TokKind::Close {
+                return i.saturating_sub(1);
+            }
+            if t.is_punct(";") {
+                return i;
+            }
+            i += 1;
+        }
+        limit.min(self.toks.len().saturating_sub(1))
+    }
+
+    /// All call sites in the token range (inclusive).
+    pub fn calls_in(&self, range: (usize, usize)) -> Vec<Call> {
+        let (start, end) = range;
+        let mut out = Vec::new();
+        let n = self.toks.len();
+        let mut i = start;
+        while i <= end && i < n {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+                i += 1;
+                continue;
+            }
+            // Macro call: `name!(…)` / `name![…]` / `name!{…}`.
+            if i + 2 < n && self.toks[i + 1].is_punct("!") && self.toks[i + 2].kind == TokKind::Open
+            {
+                let paren = i + 2;
+                out.push(Call {
+                    tok: i,
+                    name: t.text.clone(),
+                    path: Vec::new(),
+                    is_method: false,
+                    is_macro: true,
+                    recv: Vec::new(),
+                    args: self.split_args(paren),
+                    paren,
+                    line: t.line,
+                });
+                i += 1;
+                continue;
+            }
+            // Locate the argument `(`: either immediately after the name
+            // or after a turbofish `::<…>`.
+            let mut paren = None;
+            if i + 1 < n && self.toks[i + 1].is_open('(') {
+                paren = Some(i + 1);
+            } else if i + 2 < n && self.toks[i + 1].is_punct("::") && self.toks[i + 2].is_punct("<")
+            {
+                // Skip the turbofish by angle counting.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                while j < n {
+                    match self.toks[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ">>" => {
+                            depth -= 2;
+                            if depth <= 0 {
+                                break;
+                            }
+                        }
+                        ";" | "{" => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j + 1 < n && self.toks[j + 1].is_open('(') {
+                    paren = Some(j + 1);
+                }
+            }
+            let Some(paren) = paren else {
+                i += 1;
+                continue;
+            };
+            // Path segments: walk back over `Seg::` pairs.
+            let mut path = vec![t.text.clone()];
+            let mut head = i;
+            while head >= 2
+                && self.toks[head - 1].is_punct("::")
+                && self.toks[head - 2].kind == TokKind::Ident
+            {
+                head -= 2;
+                path.insert(0, self.toks[head].text.clone());
+            }
+            let is_method = head >= 1 && self.toks[head - 1].is_punct(".");
+            let recv = if is_method {
+                self.receiver_path(head - 1)
+            } else {
+                Vec::new()
+            };
+            out.push(Call {
+                tok: i,
+                name: t.text.clone(),
+                path: if path.len() > 1 { path } else { Vec::new() },
+                is_method,
+                is_macro: false,
+                recv,
+                args: self.split_args(paren),
+                paren,
+                line: t.line,
+            });
+            i += 1;
+        }
+        out
+    }
+
+    /// Receiver identifier path for a method call whose `.` is at `dot`,
+    /// outermost first. Jumps over index/call groups:
+    /// `self.parked[wr].lock()` → `["self", "parked"]`.
+    fn receiver_path(&self, dot: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut j = dot; // points at a `.`
+        while j >= 1 {
+            let mut k = j - 1;
+            // Jump a trailing `(…)`/`[…]` group (call result or index).
+            while self.toks[k].kind == TokKind::Close && self.open_of[k] != usize::MAX {
+                let o = self.open_of[k];
+                if o == 0 {
+                    return {
+                        rev.reverse();
+                        rev
+                    };
+                }
+                k = o - 1;
+            }
+            if self.toks[k].kind == TokKind::Ident {
+                rev.push(self.toks[k].text.clone());
+                if k >= 1 && self.toks[k - 1].is_punct(".") {
+                    j = k - 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Split the argument list opened at `paren` into per-argument token
+    /// ranges (top-level commas only).
+    fn split_args(&self, paren: usize) -> Vec<(usize, usize)> {
+        let close = self.close_of.get(paren).copied().unwrap_or(usize::MAX);
+        if close == usize::MAX || close <= paren + 1 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut arg_start = paren + 1;
+        let mut i = paren + 1;
+        while i < close {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Open {
+                let c = self.close_of[i];
+                if c == usize::MAX || c > close {
+                    break;
+                }
+                i = c + 1;
+                continue;
+            }
+            if t.is_punct(",") {
+                if i > arg_start {
+                    out.push((arg_start, i - 1));
+                }
+                arg_start = i + 1;
+            }
+            i += 1;
+        }
+        if close > arg_start {
+            out.push((arg_start, close - 1));
+        }
+        out
+    }
+
+    /// All `if` statements in the range.
+    pub fn ifs_in(&self, range: (usize, usize)) -> Vec<IfStmt> {
+        let (start, end) = range;
+        let mut out = Vec::new();
+        for i in start..=end.min(self.toks.len().saturating_sub(1)) {
+            if !self.toks[i].is_ident("if") {
+                continue;
+            }
+            let is_let = self.toks.get(i + 1).is_some_and(|t| t.is_ident("let"));
+            let Some(body_open) = self.block_after(i + 1, end) else {
+                continue;
+            };
+            let body_close = self.close_of[body_open];
+            if body_close == usize::MAX || body_close > end {
+                continue;
+            }
+            let cond = (i + 1, body_open.saturating_sub(1));
+            let bindings = if is_let {
+                self.pattern_idents(i + 2, body_open)
+            } else {
+                Vec::new()
+            };
+            // Else arm.
+            let mut else_body = None;
+            if let Some(t) = self.toks.get(body_close + 1) {
+                if t.is_ident("else") {
+                    if let Some(nt) = self.toks.get(body_close + 2) {
+                        if nt.is_open('{') {
+                            let ec = self.close_of[body_close + 2];
+                            if ec != usize::MAX && ec <= end {
+                                else_body = Some((body_close + 2, ec));
+                            }
+                        } else if nt.is_ident("if") {
+                            // else-if chain: span to the end of the chain.
+                            if let Some(chain_end) = self.chain_end(body_close + 2, end) {
+                                else_body = Some((body_close + 2, chain_end));
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(IfStmt {
+                tok: i,
+                cond,
+                then_body: (body_open, body_close),
+                else_body,
+                bindings,
+                line: self.toks[i].line,
+            });
+        }
+        out
+    }
+
+    /// All `match` statements in the range.
+    pub fn matches_in(&self, range: (usize, usize)) -> Vec<MatchStmt> {
+        let (start, end) = range;
+        let mut out = Vec::new();
+        for i in start..=end.min(self.toks.len().saturating_sub(1)) {
+            if !self.toks[i].is_ident("match") {
+                continue;
+            }
+            let Some(body_open) = self.block_after(i + 1, end) else {
+                continue;
+            };
+            let body_close = self.close_of[body_open];
+            if body_close == usize::MAX || body_close > end {
+                continue;
+            }
+            let mut arms = Vec::new();
+            let mut j = body_open + 1;
+            while j < body_close {
+                // Pattern: up to `=>` at this level.
+                let pat_start = j;
+                let mut arrow = None;
+                let mut k = j;
+                while k < body_close {
+                    let t = &self.toks[k];
+                    if t.kind == TokKind::Open {
+                        let c = self.close_of[k];
+                        if c == usize::MAX || c > body_close {
+                            break;
+                        }
+                        k = c + 1;
+                        continue;
+                    }
+                    if t.is_punct("=>") {
+                        arrow = Some(k);
+                        break;
+                    }
+                    k += 1;
+                }
+                let Some(arrow) = arrow else { break };
+                // Body: a block, or tokens to the next top-level `,`.
+                let (body_range, next) = if self.toks.get(arrow + 1).is_some_and(|t| t.is_open('{'))
+                {
+                    let c = self.close_of[arrow + 1];
+                    if c == usize::MAX || c > body_close {
+                        break;
+                    }
+                    let mut nx = c + 1;
+                    if self.toks.get(nx).is_some_and(|t| t.is_punct(",")) {
+                        nx += 1;
+                    }
+                    ((arrow + 1, c), nx)
+                } else {
+                    let mut k = arrow + 1;
+                    while k < body_close {
+                        let t = &self.toks[k];
+                        if t.kind == TokKind::Open {
+                            let c = self.close_of[k];
+                            if c == usize::MAX || c > body_close {
+                                break;
+                            }
+                            k = c + 1;
+                            continue;
+                        }
+                        if t.is_punct(",") {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    ((arrow + 1, k.saturating_sub(1).max(arrow + 1)), k + 1)
+                };
+                let bindings = self.pattern_idents(pat_start, arrow);
+                arms.push(((pat_start, arrow.saturating_sub(1)), body_range, bindings));
+                j = next;
+            }
+            out.push(MatchStmt {
+                tok: i,
+                scrutinee: (i + 1, body_open.saturating_sub(1)),
+                arms,
+                line: self.toks[i].line,
+            });
+        }
+        out
+    }
+
+    /// First `{` after `from` at the jump level (parens/brackets skipped
+    /// whole, so closure bodies inside call arguments don't end a
+    /// condition early). Returns its token index.
+    fn block_after(&self, from: usize, limit: usize) -> Option<usize> {
+        let mut i = from;
+        while i <= limit && i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.is_open('{') {
+                return Some(i);
+            }
+            if t.kind == TokKind::Open {
+                let c = self.close_of[i];
+                if c == usize::MAX || c > limit {
+                    return None;
+                }
+                i = c + 1;
+                continue;
+            }
+            if t.kind == TokKind::Close || t.is_punct(";") {
+                return None;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// End of an `if …` chain starting at `if_tok`: the close of the
+    /// final block (following any `else if` / `else` arms).
+    fn chain_end(&self, if_tok: usize, limit: usize) -> Option<usize> {
+        let mut cur = if_tok;
+        loop {
+            let body_open = self.block_after(cur + 1, limit)?;
+            let mut close = self.close_of[body_open];
+            if close == usize::MAX || close > limit {
+                return None;
+            }
+            match self.toks.get(close + 1) {
+                Some(t) if t.is_ident("else") => match self.toks.get(close + 2) {
+                    Some(nt) if nt.is_open('{') => {
+                        close = self.close_of[close + 2];
+                        if close == usize::MAX || close > limit {
+                            return None;
+                        }
+                        return Some(close);
+                    }
+                    Some(nt) if nt.is_ident("if") => {
+                        cur = close + 2;
+                        continue;
+                    }
+                    _ => return Some(close),
+                },
+                _ => return Some(close),
+            }
+        }
+    }
+
+    /// Identifiers bound by a pattern in `[start, end)`, conservatively:
+    /// every lowercase-starting identifier that is not a keyword (enum
+    /// variants and paths are uppercase by convention and excluded).
+    fn pattern_idents(&self, start: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for i in start..end.min(self.toks.len()) {
+            let t = &self.toks[i];
+            if t.is_punct("=") {
+                break; // `if let PAT = expr` — bindings live left of `=`
+            }
+            if t.kind == TokKind::Ident
+                && !KEYWORDS.contains(&t.text.as_str())
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_')
+                && !out.contains(&t.text)
+            {
+                out.push(t.text.clone());
+            }
+        }
+        out
+    }
+
+    /// `let` bindings in a body: `(bound idents, rhs token range)`.
+    pub fn lets_in(&self, range: (usize, usize)) -> Vec<(Vec<String>, (usize, usize))> {
+        let (start, end) = range;
+        let mut out = Vec::new();
+        for i in start..=end.min(self.toks.len().saturating_sub(1)) {
+            if !self.toks[i].is_ident("let") {
+                continue;
+            }
+            // Statement-level lets only: `if let` / `while let` are branch
+            // conditions, and scanning their "RHS" to the next `;` would
+            // swallow body statements (self-tainting the binding).
+            if i > 0 && (self.toks[i - 1].is_ident("if") || self.toks[i - 1].is_ident("while")) {
+                continue;
+            }
+            // Bound idents: until `=` (skipping a `: Type` annotation).
+            let mut idents = Vec::new();
+            let mut eq = None;
+            let mut in_ty = false;
+            let mut j = i + 1;
+            while j <= end && j < self.toks.len() {
+                let t = &self.toks[j];
+                if t.is_punct("=") {
+                    eq = Some(j);
+                    break;
+                }
+                if t.is_punct(";") || t.is_ident("else") {
+                    break;
+                }
+                if t.is_punct(":") {
+                    in_ty = true;
+                }
+                if t.kind == TokKind::Open {
+                    let c = self.close_of[j];
+                    if c != usize::MAX && c <= end && in_ty {
+                        j = c + 1;
+                        continue;
+                    }
+                }
+                if !in_ty
+                    && t.kind == TokKind::Ident
+                    && !KEYWORDS.contains(&t.text.as_str())
+                    && t.text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+                    && !idents.contains(&t.text)
+                {
+                    idents.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let Some(eq) = eq else { continue };
+            let rhs_end = self.stmt_end(eq + 1, end);
+            if !idents.is_empty() {
+                out.push((idents, (eq + 1, rhs_end)));
+            }
+        }
+        out
+    }
+
+    // ---- construction ---------------------------------------------------
+
+    fn parse_items(&mut self) {
+        let n = self.toks.len();
+        // Impl blocks first (owners for fns).
+        let mut i = 0;
+        while i < n {
+            if self.toks[i].is_ident("impl") {
+                if let Some((trait_name, owner, body)) = self.parse_impl_header(i) {
+                    self.impls.push(ImplItem {
+                        trait_name,
+                        owner,
+                        body,
+                    });
+                }
+            }
+            i += 1;
+        }
+        // Structs.
+        let mut i = 0;
+        while i < n {
+            if self.toks[i].is_ident("struct")
+                && self
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                let name = self.toks[i + 1].text.clone();
+                let line = self.toks[i].line;
+                if let Some(open) = self.block_after(i + 1, n - 1) {
+                    let close = self.close_of[open];
+                    if close != usize::MAX {
+                        let fields = self.parse_fields(open, close);
+                        self.structs.push(StructItem { name, line, fields });
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Test spans: `#[cfg(test)]` / `#[test]` attributes.
+        let mut test_fn_toks = Vec::new();
+        let mut i = 0;
+        while i + 1 < n {
+            if self.toks[i].is_punct("#") && self.toks[i + 1].is_open('[') {
+                let close = self.close_of[i + 1];
+                if close == usize::MAX {
+                    i += 1;
+                    continue;
+                }
+                let attr: Vec<&str> = self.toks[i + 1..close]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect();
+                let is_cfg_test = attr.first() == Some(&"cfg") && attr.contains(&"test");
+                let is_test_attr = attr == ["test"];
+                if is_cfg_test || is_test_attr {
+                    // Attach to the following item's body.
+                    let mut j = close + 1;
+                    // Skip further attributes.
+                    while j + 1 < n && self.toks[j].is_punct("#") && self.toks[j + 1].is_open('[') {
+                        let c = self.close_of[j + 1];
+                        if c == usize::MAX {
+                            break;
+                        }
+                        j = c + 1;
+                    }
+                    if let Some(open) = self.block_after(j, n - 1) {
+                        let c = self.close_of[open];
+                        if c != usize::MAX {
+                            if is_cfg_test {
+                                self.test_spans.push((i, c));
+                            } else {
+                                test_fn_toks.push((i, c));
+                            }
+                        }
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+        // Fns.
+        let mut i = 0;
+        while i + 1 < n {
+            if self.toks[i].is_ident("fn") && self.toks[i + 1].kind == TokKind::Ident {
+                let name = self.toks[i + 1].text.clone();
+                let line = self.toks[i].line;
+                let body = self.fn_body(i + 2);
+                let owner = self
+                    .impls
+                    .iter()
+                    .filter(|im| im.body.0 <= i && i <= im.body.1)
+                    .min_by_key(|im| im.body.1 - im.body.0)
+                    .map(|im| im.owner.clone());
+                let is_test = test_fn_toks.iter().any(|&(a, b)| a <= i && i <= b);
+                self.fns.push(FnItem {
+                    name,
+                    owner,
+                    fn_tok: i,
+                    body,
+                    line,
+                    is_test,
+                    hot: false,
+                });
+            }
+            i += 1;
+        }
+    }
+
+    /// From a token after the fn name: skip the signature (jumping
+    /// delimiter groups), return the body brace span or None for `;`.
+    fn fn_body(&self, from: usize) -> Option<(usize, usize)> {
+        let n = self.toks.len();
+        let mut i = from;
+        let mut angle = 0i32;
+        while i < n {
+            let t = &self.toks[i];
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => angle += 1,
+                ">" if t.kind == TokKind::Punct => angle -= 1,
+                ">>" if t.kind == TokKind::Punct => angle -= 2,
+                "->" | "=>" => {} // `->` contains `>` lexically but is one token
+                _ => {}
+            }
+            if t.kind == TokKind::Open {
+                if t.is_open('{') && angle <= 0 {
+                    let c = self.close_of[i];
+                    return (c != usize::MAX).then_some((i, c));
+                }
+                let c = self.close_of[i];
+                if c == usize::MAX {
+                    return None;
+                }
+                i = c + 1;
+                continue;
+            }
+            if t.is_punct(";") && angle <= 0 {
+                return None;
+            }
+            if t.kind == TokKind::Close {
+                return None;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Parse `impl … {`: returns (trait, owner, body span).
+    fn parse_impl_header(
+        &self,
+        impl_tok: usize,
+    ) -> Option<(Option<String>, String, (usize, usize))> {
+        let n = self.toks.len();
+        let open = {
+            // Find the body `{`, skipping generic groups by angle count.
+            let mut i = impl_tok + 1;
+            let mut angle = 0i32;
+            let mut found = None;
+            while i < n {
+                let t = &self.toks[i];
+                match t.text.as_str() {
+                    "<" if t.kind == TokKind::Punct => angle += 1,
+                    ">" if t.kind == TokKind::Punct => angle -= 1,
+                    ">>" if t.kind == TokKind::Punct => angle -= 2,
+                    _ => {}
+                }
+                if t.kind == TokKind::Open {
+                    if t.is_open('{') && angle <= 0 {
+                        found = Some(i);
+                        break;
+                    }
+                    let c = self.close_of[i];
+                    if c == usize::MAX {
+                        return None;
+                    }
+                    i = c + 1;
+                    continue;
+                }
+                if t.is_punct(";") {
+                    return None;
+                }
+                i += 1;
+            }
+            found?
+        };
+        let close = self.close_of[open];
+        if close == usize::MAX {
+            return None;
+        }
+        // Header idents at angle-depth 0, split at `for`.
+        let mut before_for = Vec::new();
+        let mut after_for = Vec::new();
+        let mut saw_for = false;
+        let mut angle = 0i32;
+        for i in impl_tok + 1..open {
+            let t = &self.toks[i];
+            match t.text.as_str() {
+                "<" if t.kind == TokKind::Punct => {
+                    angle += 1;
+                    continue;
+                }
+                ">" if t.kind == TokKind::Punct => {
+                    angle -= 1;
+                    continue;
+                }
+                ">>" if t.kind == TokKind::Punct => {
+                    angle -= 2;
+                    continue;
+                }
+                _ => {}
+            }
+            if angle > 0 || t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "for" {
+                saw_for = true;
+                continue;
+            }
+            if matches!(t.text.as_str(), "dyn" | "mut" | "where" | "Send" | "Sync") {
+                if t.text == "where" {
+                    break;
+                }
+                continue;
+            }
+            if saw_for {
+                after_for.push(t.text.clone());
+            } else {
+                before_for.push(t.text.clone());
+            }
+        }
+        let (trait_name, owner) = if saw_for {
+            (before_for.last().cloned(), after_for.last().cloned()?)
+        } else {
+            (None, before_for.last().cloned()?)
+        };
+        Some((trait_name, owner, (open, close)))
+    }
+
+    /// Struct fields at the top level of a brace body.
+    fn parse_fields(&self, open: usize, close: usize) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Open {
+                let c = self.close_of[i];
+                if c == usize::MAX || c > close {
+                    break;
+                }
+                i = c + 1;
+                continue;
+            }
+            // `name : Type , ` — skip attributes and `pub`.
+            if t.is_punct("#") && self.toks.get(i + 1).is_some_and(|x| x.is_open('[')) {
+                let c = self.close_of[i + 1];
+                if c == usize::MAX || c > close {
+                    break;
+                }
+                i = c + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident
+                && t.text != "pub"
+                && self.toks.get(i + 1).is_some_and(|x| x.is_punct(":"))
+            {
+                // Type: until `,` at this level.
+                let mut ty = String::new();
+                let mut j = i + 2;
+                while j < close {
+                    let tt = &self.toks[j];
+                    if tt.is_punct(",") {
+                        break;
+                    }
+                    if tt.kind == TokKind::Open {
+                        let c = self.close_of[j];
+                        if c == usize::MAX || c > close {
+                            break;
+                        }
+                        for k in j..=c {
+                            ty.push_str(&self.toks[k].text);
+                        }
+                        j = c + 1;
+                        continue;
+                    }
+                    ty.push_str(&tt.text);
+                    j += 1;
+                }
+                out.push((t.text.clone(), ty));
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn attach_markers(&mut self, markers: &[(u32, Marker)]) {
+        for &(line, marker) in markers {
+            // First token after the marker line.
+            let Some(first) = self.toks.iter().position(|t| t.line > line) else {
+                continue;
+            };
+            match marker {
+                Marker::Hot => {
+                    // Attach to the next `fn` or loop keyword within a
+                    // few tokens (attributes/visibility may intervene).
+                    let limit = (first + 24).min(self.toks.len());
+                    let mut attached = false;
+                    for i in first..limit {
+                        let t = &self.toks[i];
+                        if t.is_ident("fn") {
+                            if let Some(f) = self.fns.iter_mut().find(|f| f.fn_tok == i) {
+                                f.hot = true;
+                                attached = true;
+                            }
+                            break;
+                        }
+                        if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+                            let last = self.toks.len() - 1;
+                            if let Some(open) = self.block_after(i + 1, last) {
+                                let c = self.close_of[open];
+                                if c != usize::MAX {
+                                    self.hot_loops.push((open, c));
+                                    attached = true;
+                                }
+                            }
+                            break;
+                        }
+                    }
+                    let _ = attached;
+                }
+                Marker::Cold => {
+                    let end = self.stmt_end(first, self.toks.len().saturating_sub(1));
+                    self.cold_spans.push((first, end));
+                }
+            }
+        }
+    }
+}
+
+/// Reserved words that can precede `(` without being calls.
+const KEYWORDS: [&str; 21] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "ref", "move",
+    "in", "as", "where", "impl", "dyn", "pub", "use", "mod", "const",
+];
+
+fn match_delims(toks: &[Tok]) -> (Vec<usize>, Vec<usize>) {
+    let n = toks.len();
+    let mut close_of = vec![usize::MAX; n];
+    let mut open_of = vec![usize::MAX; n];
+    let mut stack: Vec<(usize, u8)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Open => stack.push((i, t.text.as_bytes()[0])),
+            TokKind::Close => {
+                let want = match t.text.as_bytes()[0] {
+                    b')' => b'(',
+                    b']' => b'[',
+                    _ => b'{',
+                };
+                if let Some(&(o, k)) = stack.last() {
+                    if k == want {
+                        stack.pop();
+                        close_of[o] = i;
+                        open_of[i] = o;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (close_of, open_of)
+}
+
+/// Render a token range as a one-line witness string.
+pub fn render(toks: &[Tok], range: (usize, usize)) -> String {
+    let mut out = String::new();
+    for t in toks.iter().take(range.1 + 1).skip(range.0) {
+        if !out.is_empty()
+            && !matches!(t.kind, TokKind::Close)
+            && !t.is_punct(",")
+            && !t.is_punct(";")
+            && !t.is_punct(".")
+            && !t.is_punct("::")
+            && !out.ends_with(['.', '('])
+            && !out.ends_with("::")
+        {
+            out.push(' ');
+        }
+        out.push_str(&t.to_string());
+        if out.len() > 160 {
+            out.push('…');
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::new("crates/core/src/spmd.rs", src)
+    }
+
+    #[test]
+    fn fns_and_impl_owners() {
+        let m = model(
+            "impl Communicator { pub fn rank(&self) -> usize { self.rank } }\n\
+             fn free(x: usize) -> usize { x }\n\
+             impl WireSize for Panel { fn wire_bytes(&self) -> usize { 8 } }\n",
+        );
+        let names: Vec<(String, Option<String>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("rank".into(), Some("Communicator".into())),
+                ("free".into(), None),
+                ("wire_bytes".into(), Some("Panel".into())),
+            ]
+        );
+        assert_eq!(m.impls[1].trait_name.as_deref(), Some("WireSize"));
+    }
+
+    #[test]
+    fn calls_with_paths_methods_and_receivers() {
+        let m = model("fn f() { let v = Vec::new(); self.shared.slots.lock(); g(1, h(2)); }\n");
+        let body = m.fns[0].body.unwrap();
+        let calls = m.calls_in(body);
+        let lock = calls.iter().find(|c| c.name == "lock").unwrap();
+        assert!(lock.is_method);
+        assert_eq!(lock.recv, ["self", "shared", "slots"]);
+        let vnew = calls.iter().find(|c| c.name == "new").unwrap();
+        assert_eq!(vnew.path, ["Vec", "new"]);
+        let g = calls.iter().find(|c| c.name == "g").unwrap();
+        assert_eq!(g.args.len(), 2);
+        assert!(calls.iter().any(|c| c.name == "h"));
+    }
+
+    #[test]
+    fn turbofish_and_macro_calls() {
+        let m = model(
+            "fn f() { let v = xs.iter().collect::<Vec<_>>(); let s = format!(\"x{}\", 1); }\n",
+        );
+        let calls = m.calls_in(m.fns[0].body.unwrap());
+        assert!(calls.iter().any(|c| c.name == "collect" && c.is_method));
+        assert!(calls.iter().any(|c| c.name == "format" && c.is_macro));
+    }
+
+    #[test]
+    fn if_else_and_bindings() {
+        let m = model(
+            "fn f() { if rank == 0 { a(); } else { b(); } if let Some(m) = mc { m.gather(0, x); } }\n",
+        );
+        let ifs = m.ifs_in(m.fns[0].body.unwrap());
+        assert_eq!(ifs.len(), 2);
+        assert!(ifs[0].else_body.is_some());
+        assert_eq!(ifs[1].bindings, ["m"]);
+    }
+
+    #[test]
+    fn match_arms_and_bodies() {
+        let m = model("fn f() { match x { 0 => a(), Foo::Bar(y) => { b(y); c(); } _ => d(), } }\n");
+        let ms = m.matches_in(m.fns[0].body.unwrap());
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].arms.len(), 3);
+        let arm1 = &ms[0].arms[1];
+        let calls = m.calls_in(arm1.1);
+        assert_eq!(calls.len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_spans_mark_fns() {
+        let m = model(
+            "fn runtime() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t() {}\n}\n",
+        );
+        let runtime = m.fns.iter().find(|f| f.name == "runtime").unwrap();
+        assert!(!m.in_test(runtime.fn_tok));
+        let helper = m.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(m.in_test(helper.fn_tok));
+    }
+
+    #[test]
+    fn hot_and_cold_markers_attach() {
+        let m = model(
+            "// dd:hot\nfn kernel(x: &mut [f64]) {\n  // dd:hot\n  for i in 0..4 { x[i] = 0.0; }\n  // dd:cold\n  let e = format!(\"err\");\n}\n",
+        );
+        assert!(m.fns[0].hot);
+        assert_eq!(m.hot_loops.len(), 1);
+        assert_eq!(m.cold_spans.len(), 1);
+        let calls = m.calls_in(m.fns[0].body.unwrap());
+        let fmt = calls.iter().find(|c| c.is_macro).unwrap();
+        assert!(m.in_cold(fmt.tok));
+    }
+
+    #[test]
+    fn lets_bind_and_carry_rhs() {
+        let m = model("fn f() { let is_master = split.rank() == 0; let (a, b) = (x, y); }\n");
+        let lets = m.lets_in(m.fns[0].body.unwrap());
+        assert_eq!(lets.len(), 2);
+        assert_eq!(lets[0].0, ["is_master"]);
+        assert_eq!(lets[1].0, ["a", "b"]);
+        let rhs = m.calls_in(lets[0].1);
+        assert!(rhs.iter().any(|c| c.name == "rank"));
+    }
+
+    #[test]
+    fn struct_fields_with_types() {
+        let m = model("pub struct Panel { pub rows: Vec<f64>, tag: u64 }\n");
+        assert_eq!(m.structs.len(), 1);
+        let fields = &m.structs[0].fields;
+        assert_eq!(fields[0].0, "rows");
+        assert!(fields[0].1.contains("Vec"));
+        assert_eq!(fields[1].0, "tag");
+    }
+}
