@@ -283,6 +283,7 @@ fn bench_krylov_allocs(rep: &mut Report) {
         tol: 0.0,
         max_iters: iters,
         record_history: false,
+        ..CgOpts::default()
     };
     let run_cg = |iters: usize| {
         try_cg(

@@ -35,6 +35,7 @@ fn encode(r: Result<u64, CommError>) -> Vec<u8> {
         Err(CommError::RankDead { .. }) => vec![2],
         Err(CommError::Timeout { .. }) => vec![3],
         Err(CommError::Revoked { .. }) => vec![4],
+        Err(CommError::Corrupt { .. }) => vec![5],
     }
 }
 

@@ -3,7 +3,7 @@
 //! deadlock and produce byte-identical results.
 
 use dd_check::{check_world, check_world_with_faults, scaled, Budget, Config, Report};
-use dd_comm::{FaultPlan, RetryPolicy};
+use dd_comm::{CommError, FaultPlan, RetryPolicy, TagClass};
 
 fn budget(max: usize) -> Budget {
     Budget {
@@ -108,6 +108,52 @@ fn dropped_messages(max: usize) -> Report {
     })
 }
 
+/// Seeded payload corruption in a token ring: the checksummed envelope
+/// detects every flipped delivery and the retransmit restores the pristine
+/// value, on every schedule — the received tokens *and* the retransmit
+/// counts must be schedule-invariant.
+fn retransmit_after_corrupt_ring(n: usize, max: usize) -> Report {
+    let faults = FaultPlan::new(5).with_corrupt("exchange", None, TagClass::Any, 5);
+    check_world_with_faults(n, Config::default(), budget(max), faults, move |comm| {
+        comm.trace_phase("exchange");
+        let next = (comm.rank() + 1) % n;
+        let prev = (comm.rank() + n - 1) % n;
+        comm.send(next, 3, comm.rank() as u64 * 7 + 1);
+        let v = comm
+            .try_recv_timeout::<u64>(prev, 3, &RetryPolicy::unbounded())
+            .expect("a one-shot corruption heals within the retransmit budget");
+        assert_eq!(
+            v,
+            prev as u64 * 7 + 1,
+            "retransmit must restore the payload"
+        );
+        let stats = comm.fault_stats();
+        let mut out = le(v);
+        out.extend(le(stats.corruptions_detected));
+        out.extend(le(stats.retransmits));
+        out
+    })
+}
+
+/// A persistently corrupting sender must surface the typed
+/// [`CommError::Corrupt`] on every schedule once the retransmit budget
+/// exhausts — never a value, never a hang.
+fn persistent_corruption_is_typed(max: usize) -> Report {
+    let faults = FaultPlan::new(7).with_corrupt_persistent("exchange", Some(0), TagClass::P2p, 7);
+    check_world_with_faults(2, Config::default(), budget(max), faults, |comm| {
+        comm.trace_phase("exchange");
+        if comm.rank() == 0 {
+            comm.send(1, 3, 99u64);
+            Vec::new()
+        } else {
+            match comm.try_recv_timeout::<u64>(0, 3, &RetryPolicy::unbounded()) {
+                Err(CommError::Corrupt { src: 0, tag: 3, .. }) => vec![5],
+                other => panic!("expected typed Corrupt, got {other:?}"),
+            }
+        }
+    })
+}
+
 #[test]
 fn send_recv_pair_is_clean() {
     let r = send_recv_pair(500);
@@ -155,6 +201,23 @@ fn dropped_messages_are_schedule_invariant() {
     dropped_messages(1000).assert_clean();
 }
 
+#[test]
+fn retransmit_after_corrupt_ring_n2_is_clean() {
+    let r = retransmit_after_corrupt_ring(2, 1000);
+    r.assert_clean();
+    assert!(r.schedules > 1, "expected exploration, got {}", r.schedules);
+}
+
+#[test]
+fn retransmit_after_corrupt_ring_n3_is_clean() {
+    retransmit_after_corrupt_ring(3, 2000).assert_clean();
+}
+
+#[test]
+fn persistent_corruption_is_typed_on_every_schedule() {
+    persistent_corruption_is_typed(1000).assert_clean();
+}
+
 /// Acceptance: the N=2..4 suites together must cover at least 10k distinct
 /// schedules (DFS schedules are distinct by construction), all clean.
 #[test]
@@ -169,6 +232,9 @@ fn suites_explore_at_least_10k_schedules() {
         split(4, 3000),
         iallreduce_overlap(1500),
         dropped_messages(1500),
+        retransmit_after_corrupt_ring(2, 1500),
+        retransmit_after_corrupt_ring(3, 2000),
+        persistent_corruption_is_typed(1500),
     ];
     let mut total = 0;
     for r in &reports {

@@ -135,30 +135,112 @@ fn invariant<T>(o: Option<T>, what: &'static str) -> T {
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// One FNV-1a 64 step.
+#[inline]
+fn fnv1a(h: u64, byte: u8) -> u64 {
+    (h ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Salt for a message's envelope checksum, mixing the world's fault id,
+/// the sending communicator's epoch, and the tag. Salting with the epoch
+/// means a stale-epoch replay of byte-identical payload cannot alias a
+/// post-recovery message's checksum.
+fn envelope_salt(fault_id: u64, epoch: usize, tag: u64) -> u64 {
+    splitmix64(fault_id ^ splitmix64(tag) ^ (epoch as u64).rotate_left(32))
+}
+
+/// FNV-1a checksum of `value`'s wire image under `salt`.
+fn wire_sum<T: WireSize + ?Sized>(value: &T, salt: u64) -> u64 {
+    value.wire_fold(FNV_OFFSET ^ salt)
+}
+
 /// Size in bytes a value would occupy on the wire — drives the β term of
-/// the cost model. Implemented for the payload types the framework sends.
+/// the cost model — plus the two operations the integrity layer needs on
+/// that wire image: folding it into a checksum and flipping one of its
+/// bits. Implemented for the payload types the framework sends. The wire
+/// image is the concatenation of each scalar's little-endian bytes in
+/// field order; `wire_fold`/`wire_flip` agree on that layout, so a flip of
+/// bit `b` perturbs exactly the checksum a fold would have seen.
 pub trait WireSize {
     fn wire_bytes(&self) -> usize;
+
+    /// Fold the value's wire image into an FNV-1a accumulator `h`.
+    fn wire_fold(&self, h: u64) -> u64;
+
+    /// Flip bit `bit` of the wire image (callers reduce modulo
+    /// `8 · wire_bytes()` first). XOR-involutive: flipping the same bit
+    /// twice restores the original value, which is how the runtime models
+    /// a retransmit from the sender's pristine buffer.
+    fn wire_flip(&mut self, bit: u64);
 }
 
 macro_rules! prim_wire {
     ($($t:ty),*) => {$(
         impl WireSize for $t {
             fn wire_bytes(&self) -> usize { std::mem::size_of::<$t>() }
+            fn wire_fold(&self, mut h: u64) -> u64 {
+                for b in self.to_le_bytes() { h = fnv1a(h, b); }
+                h
+            }
+            fn wire_flip(&mut self, bit: u64) {
+                let mut bytes = self.to_le_bytes();
+                bytes[(bit / 8) as usize % bytes.len()] ^= 1 << (bit % 8);
+                *self = <$t>::from_le_bytes(bytes);
+            }
         }
     )*};
 }
-prim_wire!(f64, f32, u8, u32, u64, usize, i32, i64, bool);
+prim_wire!(f64, f32, u8, u32, u64, usize, i32, i64);
+
+impl WireSize for bool {
+    fn wire_bytes(&self) -> usize {
+        1
+    }
+    fn wire_fold(&self, h: u64) -> u64 {
+        fnv1a(h, u8::from(*self))
+    }
+    fn wire_flip(&mut self, _bit: u64) {
+        *self = !*self;
+    }
+}
 
 impl<A: WireSize, B: WireSize> WireSize for (A, B) {
     fn wire_bytes(&self) -> usize {
         self.0.wire_bytes() + self.1.wire_bytes()
+    }
+    fn wire_fold(&self, h: u64) -> u64 {
+        self.1.wire_fold(self.0.wire_fold(h))
+    }
+    fn wire_flip(&mut self, bit: u64) {
+        let a = 8 * self.0.wire_bytes() as u64;
+        if bit < a {
+            self.0.wire_flip(bit)
+        } else {
+            self.1.wire_flip(bit - a)
+        }
     }
 }
 
 impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
     fn wire_bytes(&self) -> usize {
         self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+    fn wire_fold(&self, h: u64) -> u64 {
+        self.2.wire_fold(self.1.wire_fold(self.0.wire_fold(h)))
+    }
+    fn wire_flip(&mut self, bit: u64) {
+        let a = 8 * self.0.wire_bytes() as u64;
+        let b = a + 8 * self.1.wire_bytes() as u64;
+        if bit < a {
+            self.0.wire_flip(bit)
+        } else if bit < b {
+            self.1.wire_flip(bit - a)
+        } else {
+            self.2.wire_flip(bit - b)
+        }
     }
 }
 
@@ -168,12 +250,32 @@ impl<T: WireSize> WireSize for Vec<T> {
     fn wire_bytes(&self) -> usize {
         self.iter().map(|v| v.wire_bytes()).sum()
     }
+    fn wire_fold(&self, mut h: u64) -> u64 {
+        for v in self {
+            h = v.wire_fold(h);
+        }
+        h
+    }
+    fn wire_flip(&mut self, mut bit: u64) {
+        for v in self.iter_mut() {
+            let w = 8 * v.wire_bytes() as u64;
+            if bit < w {
+                v.wire_flip(bit);
+                return;
+            }
+            bit -= w;
+        }
+    }
 }
 
 impl WireSize for () {
     fn wire_bytes(&self) -> usize {
         0
     }
+    fn wire_fold(&self, h: u64) -> u64 {
+        h
+    }
+    fn wire_flip(&mut self, _bit: u64) {}
 }
 
 /// `Arc`-backed zero-copy payloads: sending `Arc<T>` clones a pointer, not
@@ -181,10 +283,19 @@ impl WireSize for () {
 /// cost model and every byte counter charge exactly what a by-value send
 /// of the same data would. Senders that reuse a buffer across many sends
 /// (the backward-sweep fan-out in `dd-solver::dist_ldlt`, `dd-serve`
-/// streaming) wrap it once and send clones of the handle.
-impl<T: WireSize + ?Sized> WireSize for Arc<T> {
+/// streaming) wrap it once and send clones of the handle. Corrupting an
+/// `Arc` payload detaches a private copy (`Arc::make_mut`, hence the
+/// `Clone` bound) so the sender's pristine buffer — the one a retransmit
+/// would re-send — is never damaged.
+impl<T: WireSize + Clone> WireSize for Arc<T> {
     fn wire_bytes(&self) -> usize {
         (**self).wire_bytes()
+    }
+    fn wire_fold(&self, h: u64) -> u64 {
+        (**self).wire_fold(h)
+    }
+    fn wire_flip(&mut self, bit: u64) {
+        Arc::make_mut(self).wire_flip(bit);
     }
 }
 
@@ -195,6 +306,50 @@ struct Envelope {
     /// Delivery attempts that fail before this message is handed to the
     /// receiver (injected by the fault plan).
     drops: u32,
+    /// Epoch-salted FNV-1a checksum of the payload's wire image, computed
+    /// over the *pristine* value before any injected corruption.
+    sum: u64,
+    /// Deliveries remaining whose payload bytes fail verification
+    /// (injected corruption); the receiver burns these down with
+    /// end-to-end retransmits.
+    corrupt: u32,
+    /// The wire-image bit the plan flipped (meaningful while
+    /// `corrupt > 0`): the final, intact retransmit flips it back.
+    flipped_bit: u64,
+}
+
+impl Envelope {
+    /// The one blessed constructor: computes the salted checksum over the
+    /// pristine `value`, then applies any injected corruption. All sends
+    /// must go through here so every message carries a verifiable
+    /// envelope (`dd-analyze`'s `raw-envelope` rule enforces this).
+    fn seal<T: Send + WireSize + 'static>(
+        mut value: T,
+        arrival: f64,
+        bytes: usize,
+        drops: u32,
+        salt: u64,
+        corruption: Option<(u32, u64)>,
+    ) -> Self {
+        let sum = wire_sum(&value, salt);
+        let (corrupt, flipped_bit) = match corruption {
+            Some((n, h)) if bytes > 0 => {
+                let bit = h % (8 * bytes as u64);
+                value.wire_flip(bit);
+                (n, bit)
+            }
+            _ => (0, 0),
+        };
+        Envelope {
+            payload: Box::new(value),
+            arrival,
+            bytes,
+            drops,
+            sum,
+            corrupt,
+            flipped_bit,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -525,6 +680,9 @@ struct FaultCounters {
     drops: Cell<u64>,
     retries: Cell<u64>,
     timeouts: Cell<u64>,
+    corrupt_injected: Cell<u64>,
+    corrupt_detected: Cell<u64>,
+    retransmits: Cell<u64>,
     msg_index: Cell<u64>,
 }
 
@@ -835,6 +993,9 @@ impl Communicator {
             drops_injected: self.counters.drops.get(),
             retries: self.counters.retries.get(),
             timeouts: self.counters.timeouts.get(),
+            corruptions_injected: self.counters.corrupt_injected.get(),
+            corruptions_detected: self.counters.corrupt_detected.get(),
+            retransmits: self.counters.retransmits.get(),
         }
     }
 
@@ -1356,10 +1517,32 @@ impl Communicator {
         if delay > 0.0 {
             bump(&self.counters.delays);
         }
+        // Payload corruption: decided per message from the plan's seed and
+        // the message identity, matched against the sender's current trace
+        // phase. The checksum inside `seal` is computed first, over the
+        // pristine value — the envelope always tells the truth.
+        let corruption = if self.plan.has_corruptions() && bytes > 0 {
+            let hit = self.tracer.with_phase_name(|phase| {
+                self.plan.corrupt_p2p(
+                    phase,
+                    self.world_rank(),
+                    self.shared.world_ranks[dest],
+                    tag,
+                    idx,
+                )
+            });
+            if hit.is_some() {
+                bump(&self.counters.corrupt_injected);
+            }
+            hit
+        } else {
+            None
+        };
         // Sender pays the injection latency; the payload lands after the
         // transfer time (plus any injected wire delay).
         self.clock.advance(self.model.alpha);
         let arrival = self.clock.now() + self.model.beta * bytes as f64 + delay;
+        let salt = envelope_salt(self.shared.fault_id, self.epoch, tag);
         let mb = &self.shared.mailboxes[dest];
         {
             let mut inner = mb.inner.lock();
@@ -1367,12 +1550,9 @@ impl Communicator {
                 .queues
                 .entry((self.rank, tag))
                 .or_default()
-                .push_back(Envelope {
-                    payload: Box::new(value),
-                    arrival,
-                    bytes,
-                    drops,
-                });
+                .push_back(Envelope::seal(
+                    value, arrival, bytes, drops, salt, corruption,
+                ));
         }
         mb.cv.notify_all();
         self.shared.p2p_messages.fetch_add(1, AtOrd::Relaxed);
@@ -1390,26 +1570,30 @@ impl Communicator {
     /// them.
     ///
     /// # Panics
-    /// Panics if the payload type does not match `T`, if `src` dies, or if
-    /// the world deadlocks.
-    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+    /// Panics if the payload type does not match `T`, if `src` dies, if
+    /// the message's checksum never verifies, or if the world deadlocks.
+    pub fn recv<T: Send + WireSize + 'static>(&self, src: usize, tag: u64) -> T {
         self.try_recv_timeout(src, tag, &RetryPolicy::unbounded())
             .unwrap_or_else(|e| panic!("recv(src {src}, tag {tag}) on rank {}: {e}", self.rank))
     }
 
     /// Fault-tolerant receive: delivers the next message from `src` with
     /// `tag`, retrying dropped deliveries under `policy` (each failed
-    /// attempt charges `timeout · backoff^k` virtual seconds) and watching
-    /// the world's health while waiting.
+    /// attempt charges `timeout · backoff^k` virtual seconds), verifying
+    /// the envelope checksum before handing out the payload (each failed
+    /// verification charges a retransmit: retry backoff plus the payload's
+    /// transfer time), and watching the world's health while waiting.
     ///
     /// # Errors
     /// [`CommError::Timeout`] when drops exhaust the retry budget,
-    /// [`CommError::RankDead`] when `src` is dead and no message is
-    /// pending, [`CommError::Deadlock`] when every live rank is blocked.
+    /// [`CommError::Corrupt`] when checksum failures exhaust the
+    /// retransmit budget, [`CommError::RankDead`] when `src` is dead and
+    /// no message is pending, [`CommError::Deadlock`] when every live
+    /// rank is blocked.
     ///
     /// # Panics
     /// Panics if the payload type does not match `T`.
-    pub fn try_recv_timeout<T: Send + 'static>(
+    pub fn try_recv_timeout<T: Send + WireSize + 'static>(
         &self,
         src: usize,
         tag: u64,
@@ -1454,6 +1638,65 @@ impl Communicator {
                 if timed_out {
                     bump(&self.counters.timeouts);
                     return Err(CommError::Timeout { src, tag, attempts });
+                }
+                // End-to-end integrity: fold the delivered payload and
+                // compare with the envelope's salted checksum. A mismatch
+                // is never handed out — each one is answered with a
+                // retransmit (retry backoff plus the payload's transfer
+                // time: the sender's pristine buffer re-crosses the wire)
+                // until the budget exhausts, at which point the failure
+                // surfaces typed. The salt binds the sender's epoch, so a
+                // stale-epoch replay fails here too.
+                let mut corrupt_error = false;
+                if let Some(front) = q.front_mut() {
+                    let salt = envelope_salt(self.shared.fault_id, self.epoch, tag);
+                    let rtx_salt = splitmix64(retry_salt ^ 0x5254_584d);
+                    let mut rtx = 0u32;
+                    loop {
+                        let verified = match front.payload.downcast_ref::<T>() {
+                            Some(v) => wire_sum(v, salt) == front.sum,
+                            // Type mismatch: fall through to the audited
+                            // panic in `downcast_payload` below.
+                            None => true,
+                        };
+                        if verified {
+                            break;
+                        }
+                        bump(&self.counters.corrupt_detected);
+                        if rtx >= policy.max_retransmits {
+                            corrupt_error = true;
+                            break;
+                        }
+                        bump(&self.counters.retransmits);
+                        self.tracer.on_retry();
+                        self.clock.advance(
+                            policy.charge_jittered(rtx, rtx_salt)
+                                + self.model.beta * front.bytes as f64,
+                        );
+                        rtx += 1;
+                        if front.corrupt > 0 {
+                            front.corrupt -= 1;
+                            if front.corrupt == 0 {
+                                // The retransmitted copy arrives intact:
+                                // undo the injected flip (XOR-involutive),
+                                // modeling redelivery from the sender's
+                                // pristine buffer.
+                                if let Some(v) = front.payload.downcast_mut::<T>() {
+                                    v.wire_flip(front.flipped_bit);
+                                }
+                            }
+                        }
+                    }
+                }
+                if corrupt_error {
+                    // The poisoned envelope stays queued: the channel is
+                    // broken, not skipped — a later receive of the same
+                    // (src, tag) must not silently see the next message.
+                    return Err(CommError::Corrupt {
+                        src,
+                        tag,
+                        epoch: self.epoch,
+                    });
                 }
                 if let Some(env) = q.pop_front() {
                     break env;
@@ -1658,6 +1901,32 @@ impl Communicator {
             if attempt + 1 > policy.max_retries {
                 bump(&self.counters.timeouts);
                 break;
+            }
+        }
+        // Corrupted collective contributions: each checksum-failed
+        // delivery is detected and retransmitted before the deposit, so —
+        // like drops above — delivery always completes (all-or-nothing)
+        // and the cost lands on this rank's entry time. An exhausted
+        // retransmit budget is recorded as a timeout; typed
+        // `CommError::Corrupt` surfaces only on the point-to-point path.
+        if self.plan.has_corruptions() {
+            let n = self
+                .tracer
+                .with_phase_name(|phase| self.plan.corrupt_collective(phase, wr));
+            if let Some(n) = n {
+                bump(&self.counters.corrupt_injected);
+                let rtx_salt = splitmix64(salt ^ 0x5254_584d);
+                for attempt in 0..n.min(policy.max_retransmits) {
+                    bump(&self.counters.corrupt_detected);
+                    bump(&self.counters.retransmits);
+                    self.tracer.on_retry();
+                    self.clock
+                        .advance(policy.charge_jittered(attempt, rtx_salt));
+                }
+                if n > policy.max_retransmits {
+                    bump(&self.counters.corrupt_detected);
+                    bump(&self.counters.timeouts);
+                }
             }
         }
     }

@@ -404,6 +404,7 @@ fn retry_exhaustion_times_out() {
                 timeout: 1e-4,
                 backoff: 2.0,
                 jitter: 0.0,
+                max_retransmits: 4,
             };
             comm.try_recv_timeout::<f64>(0, 3, &policy)
         }
@@ -528,6 +529,137 @@ fn should_fail_matches_plan() {
         )
     });
     assert_eq!(out, vec![(false, true), (true, true), (false, true)]);
+}
+
+// ------------------------------------------------- corruption / envelopes
+
+#[test]
+fn wire_fold_and_flip_agree_on_layout() {
+    let mut v = vec![(3u32, vec![1.5f64, -2.25]), (7, vec![0.0])];
+    let h0 = wire_sum(&v, 0x1234);
+    assert_eq!(h0, wire_sum(&v, 0x1234), "checksum must be a pure function");
+    assert_ne!(h0, wire_sum(&v, 0x1235), "salt must perturb the checksum");
+    let bits = 8 * v.wire_bytes() as u64;
+    for bit in [0, 31, 32, 63, bits - 1] {
+        v.wire_flip(bit);
+        assert_ne!(
+            wire_sum(&v, 0x1234),
+            h0,
+            "flip of bit {bit} must change the sum"
+        );
+        v.wire_flip(bit);
+        assert_eq!(
+            wire_sum(&v, 0x1234),
+            h0,
+            "double flip of bit {bit} must restore"
+        );
+    }
+}
+
+#[test]
+fn corrupted_payload_is_detected_retransmitted_and_delivered_intact() {
+    use crate::fault::TagClass;
+    let plan = FaultPlan::new(21).with_corrupt("exchange", Some(0), TagClass::P2p, 7);
+    let out = World::run_with_faults(2, CostModel::default(), plan, |comm| {
+        comm.trace_phase("exchange");
+        if comm.rank() == 0 {
+            comm.send(1, 5, vec![1.0f64, 2.0, 3.0]);
+            (Vec::new(), comm.fault_stats())
+        } else {
+            (comm.recv::<Vec<f64>>(0, 5), comm.fault_stats())
+        }
+    });
+    // Delivered bit-identical despite the injected flip: the corruption
+    // was caught by the envelope checksum and answered with a retransmit.
+    assert_eq!(out[1].0, vec![1.0, 2.0, 3.0]);
+    assert_eq!(out[0].1.corruptions_injected, 1);
+    assert_eq!(out[1].1.corruptions_detected, 1);
+    assert_eq!(out[1].1.retransmits, 1);
+}
+
+#[test]
+fn persistent_corruption_exhausts_retransmits_and_surfaces_typed() {
+    use crate::fault::TagClass;
+    let plan = FaultPlan::new(22).with_corrupt_persistent("exchange", None, TagClass::Any, 9);
+    let out = World::run_with_faults(2, CostModel::default(), plan, |comm| {
+        comm.trace_phase("exchange");
+        if comm.rank() == 0 {
+            comm.send(1, 6, 42.0f64);
+            Ok(0.0)
+        } else {
+            let r = comm.try_recv_timeout::<f64>(0, 6, &RetryPolicy::default());
+            let stats = comm.fault_stats();
+            assert!(stats.corruptions_detected > stats.retransmits);
+            assert_eq!(
+                stats.retransmits as u32,
+                RetryPolicy::default().max_retransmits
+            );
+            r
+        }
+    });
+    assert_eq!(
+        out[1],
+        Err(CommError::Corrupt {
+            src: 0,
+            tag: 6,
+            epoch: 0
+        })
+    );
+}
+
+#[test]
+fn corruption_specs_only_fire_in_their_phase() {
+    use crate::fault::TagClass;
+    let plan = FaultPlan::new(23).with_corrupt("coarse-gather", None, TagClass::Any, 9);
+    let out = World::run_with_faults(2, CostModel::default(), plan, |comm| {
+        comm.trace_phase("exchange");
+        if comm.rank() == 0 {
+            comm.send(1, 7, vec![5u64, 6]);
+            (Vec::new(), comm.fault_stats())
+        } else {
+            (comm.recv::<Vec<u64>>(0, 7), comm.fault_stats())
+        }
+    });
+    assert_eq!(out[1].0, vec![5, 6]);
+    assert_eq!(out[0].1.corruptions_injected, 0);
+    assert_eq!(out[1].1.corruptions_detected, 0);
+}
+
+#[test]
+fn corrupted_collectives_complete_all_or_nothing_with_charges() {
+    use crate::fault::TagClass;
+    let plan = FaultPlan::new(24).with_corrupt("solve", None, TagClass::Collective, 3);
+    let out = World::run_with_faults(3, CostModel::default(), plan, |comm| {
+        comm.trace_phase("solve");
+        let s = comm.allreduce_sum(comm.rank() as f64 + 1.0);
+        (s, comm.fault_stats())
+    });
+    for (s, st) in &out {
+        assert_eq!(*s, 6.0, "corruption must never change a collective result");
+        assert_eq!(st.corruptions_injected, 1);
+        assert_eq!(st.corruptions_detected, 1);
+        assert_eq!(st.retransmits, 1);
+    }
+}
+
+#[test]
+fn arc_payload_corruption_detaches_from_the_sender_handle() {
+    use crate::fault::TagClass;
+    let plan = FaultPlan::new(25).with_corrupt("exchange", Some(0), TagClass::P2p, 11);
+    let out = World::run_with_faults(2, CostModel::default(), plan, |comm| {
+        comm.trace_phase("exchange");
+        if comm.rank() == 0 {
+            let buf = Arc::new(vec![1.0f64, 2.0]);
+            comm.send(1, 8, Arc::clone(&buf));
+            // The sender's pristine buffer (what a retransmit re-sends)
+            // must never be damaged by the injected flip.
+            assert_eq!(*buf, vec![1.0, 2.0]);
+            Vec::new()
+        } else {
+            (*comm.recv::<Arc<Vec<f64>>>(0, 8)).clone()
+        }
+    });
+    assert_eq!(out[1], vec![1.0, 2.0]);
 }
 
 #[test]

@@ -9,9 +9,15 @@
 //! RNG state, a plan replays identically regardless of thread scheduling:
 //! chaos tests are exactly reproducible.
 //!
-//! Faults perturb only *virtual* time and control flow, never payload
-//! contents, so a run that recovers from drops or delays computes
-//! bit-identical numerics to the fault-free run.
+//! Fail-stop faults (drops, delays, kills, straggles) perturb only
+//! *virtual* time and control flow, never payload contents, so a run that
+//! recovers from them computes bit-identical numerics to the fault-free
+//! run. *Corruption* faults ([`FaultPlan::with_corrupt`]) are the one
+//! deliberate exception: they flip a deterministic bit in the wire image of
+//! matching payloads, and the checksummed envelope layer detects the flip
+//! on receive and recovers it with an end-to-end retransmit — so a run that
+//! survives corruption is *still* bit-identical to the fault-free run, only
+//! costlier in virtual time.
 
 use std::fmt;
 
@@ -50,6 +56,22 @@ pub enum CommError {
         /// Revocation epoch of the communicator the failed operation used.
         epoch: usize,
     },
+    /// A received payload repeatedly failed end-to-end checksum
+    /// verification and the [`RetryPolicy::max_retransmits`] budget was
+    /// exhausted before an intact copy arrived. Distinct from
+    /// [`CommError::Timeout`] (which counts deliveries that never arrived):
+    /// here the message arrived, but its bytes cannot be trusted — the
+    /// payload is *never* handed to the caller.
+    Corrupt {
+        /// Source rank (within the receiving communicator).
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// Revocation epoch of the receiving communicator. The envelope
+        /// checksum is salted with the communicator identity and epoch, so
+        /// a stale-epoch replay can never alias a current checksum.
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -72,6 +94,11 @@ impl fmt::Display for CommError {
                     "communicator revoked (epoch {epoch}): recovery in progress"
                 )
             }
+            CommError::Corrupt { src, tag, epoch } => write!(
+                f,
+                "corrupt payload: recv from rank {src} tag {tag} (epoch {epoch}) \
+                 failed checksum verification and exhausted its retransmit budget"
+            ),
         }
     }
 }
@@ -96,6 +123,13 @@ pub struct RetryPolicy {
     /// retry storms of ranks that lose the same collective round. `0`
     /// (the default) disables jitter.
     pub jitter: f64,
+    /// End-to-end retransmit budget: checksum-failed deliveries tolerated
+    /// per message before [`CommError::Corrupt`]. A retransmit charges like
+    /// a retry (same backoff schedule) *plus* the payload's transfer time —
+    /// the sender's pristine buffer re-crosses the wire. Always bounded,
+    /// even under [`RetryPolicy::unbounded`]: a persistently corrupting
+    /// channel must surface typed, not spin.
+    pub max_retransmits: u32,
 }
 
 impl Default for RetryPolicy {
@@ -105,6 +139,7 @@ impl Default for RetryPolicy {
             timeout: 1e-4,
             backoff: 2.0,
             jitter: 0.0,
+            max_retransmits: 4,
         }
     }
 }
@@ -112,12 +147,15 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// Retry for as long as deliveries keep failing (blocking-`recv`
     /// semantics; drops are bounded per message, so this terminates).
+    /// The retransmit budget stays bounded — see
+    /// [`RetryPolicy::max_retransmits`].
     pub fn unbounded() -> Self {
         RetryPolicy {
             max_retries: u32::MAX,
             timeout: 1e-4,
             backoff: 1.0,
             jitter: 0.0,
+            max_retransmits: 4,
         }
     }
 
@@ -150,6 +188,36 @@ impl RetryPolicy {
     }
 }
 
+/// Which traffic class a corruption spec targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagClass {
+    /// Point-to-point messages and collective contributions alike.
+    Any,
+    /// Point-to-point messages only.
+    P2p,
+    /// Collective contributions only.
+    Collective,
+}
+
+/// One seeded payload-corruption spec (see [`FaultPlan::with_corrupt`]).
+#[derive(Clone, Debug)]
+struct CorruptSpec {
+    /// Telemetry phase the sender must be in for the spec to fire.
+    phase: String,
+    /// Sending world rank (`None`: any sender).
+    rank: Option<usize>,
+    class: TagClass,
+    /// Seed of the bit-selection hash, independent of the plan seed so
+    /// corruption scenarios compose with an existing drop/delay climate
+    /// without reshuffling it.
+    seed: u64,
+    /// `false`: only the first delivery is corrupted (the retransmit
+    /// recovers it transparently). `true`: every retransmit is corrupted
+    /// too, so the receive exhausts its budget and surfaces
+    /// [`CommError::Corrupt`].
+    persistent: bool,
+}
+
 /// A seeded, deterministic fault plan. Built with the `with_*` combinators;
 /// the default plan injects nothing.
 #[derive(Clone, Debug, Default)]
@@ -176,6 +244,8 @@ pub struct FaultPlan {
     /// suppressed from the labeled failpoint on — it keeps computing but
     /// looks stalled to its peers' suspicion policy (straggler injection).
     straggles: Vec<(usize, String)>,
+    /// Payload-corruption specs, first match wins.
+    corruptions: Vec<CorruptSpec>,
 }
 
 impl FaultPlan {
@@ -238,6 +308,51 @@ impl FaultPlan {
         self
     }
 
+    /// Corrupt the wire image of every matching payload: messages of class
+    /// `class` sent by world rank `rank` (`None`: any sender) while the
+    /// sender's telemetry phase is `phase` have one deterministic bit
+    /// flipped — which bit is a pure hash of `(seed, message identity)`.
+    /// The checksummed envelope detects the flip on receive, and the first
+    /// end-to-end retransmit (the sender's buffer is pristine) recovers it
+    /// transparently, so the solve's numerics stay bit-identical to the
+    /// fault-free run.
+    pub fn with_corrupt(
+        mut self,
+        phase: &str,
+        rank: Option<usize>,
+        class: TagClass,
+        seed: u64,
+    ) -> Self {
+        self.corruptions.push(CorruptSpec {
+            phase: phase.to_string(),
+            rank,
+            class,
+            seed,
+            persistent: false,
+        });
+        self
+    }
+
+    /// [`FaultPlan::with_corrupt`], but every retransmit is corrupted too:
+    /// the receive exhausts [`RetryPolicy::max_retransmits`] and surfaces
+    /// [`CommError::Corrupt`] — the typed-failure arm of the SDC model.
+    pub fn with_corrupt_persistent(
+        mut self,
+        phase: &str,
+        rank: Option<usize>,
+        class: TagClass,
+        seed: u64,
+    ) -> Self {
+        self.corruptions.push(CorruptSpec {
+            phase: phase.to_string(),
+            rank,
+            class,
+            seed,
+            persistent: true,
+        });
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_active(&self) -> bool {
         self.delay_prob > 0.0
@@ -246,6 +361,14 @@ impl FaultPlan {
             || !self.failures.is_empty()
             || !self.joins.is_empty()
             || !self.straggles.is_empty()
+            || !self.corruptions.is_empty()
+    }
+
+    /// Does this plan carry corruption specs? Gates the phase-name lookup
+    /// on the send path, so fault-free (and fail-stop-only) runs never pay
+    /// for it.
+    pub fn has_corruptions(&self) -> bool {
+        !self.corruptions.is_empty()
     }
 
     /// Should `rank` die at the failpoint labeled `phase`?
@@ -327,6 +450,46 @@ impl FaultPlan {
         (drops, delay)
     }
 
+    /// Corruption decision for one p2p message sent while the sender's
+    /// telemetry phase is `phase`: `Some((corrupted delivery attempts,
+    /// bit-selection hash))` when a spec matches. The hash (reduced modulo
+    /// the payload's wire bits by the runtime) picks which bit flips — a
+    /// pure function of the spec seed and the message identity, so chaos
+    /// runs replay byte-identically.
+    pub fn corrupt_p2p(
+        &self,
+        phase: &str,
+        src: usize,
+        dest: usize,
+        tag: u64,
+        index: u64,
+    ) -> Option<(u32, u64)> {
+        let spec = self.corruptions.iter().find(|s| {
+            s.class != TagClass::Collective && s.rank.is_none_or(|r| r == src) && s.phase == phase
+        })?;
+        let h = hash4(
+            spec.seed,
+            src as u64,
+            dest as u64,
+            tag ^ index.rotate_left(17),
+        );
+        Some((if spec.persistent { u32::MAX } else { 1 }, h))
+    }
+
+    /// Corruption decision for one collective contribution: the number of
+    /// corrupted delivery attempts when a spec matches. Like
+    /// [`FaultPlan::collective_faults`], collective corruption is modeled
+    /// as pure time and counter effects — collectives are all-or-nothing,
+    /// so the corrupted contribution is retransmitted until intact (or the
+    /// budget exhausts into a recorded timeout) and the recovery cost lands
+    /// in the contributor's clock instead of stranding its peers.
+    pub fn corrupt_collective(&self, phase: &str, rank: usize) -> Option<u32> {
+        let spec = self.corruptions.iter().find(|s| {
+            s.class != TagClass::P2p && s.rank.is_none_or(|r| r == rank) && s.phase == phase
+        })?;
+        Some(if spec.persistent { u32::MAX } else { 1 })
+    }
+
     /// Deterministic salt for the seeded retry jitter of one message
     /// identity (see [`RetryPolicy::charge_jittered`]). The salt is a pure
     /// function of the plan seed and a stable identity — the communicator's
@@ -351,6 +514,13 @@ pub struct FaultStats {
     pub retries: u64,
     /// Receives that exhausted their retry policy.
     pub timeouts: u64,
+    /// Payloads sent by this rank whose wire image the plan corrupted.
+    pub corruptions_injected: u64,
+    /// Checksum-verification failures this rank detected on receive.
+    pub corruptions_detected: u64,
+    /// End-to-end retransmits this rank requested after a failed
+    /// verification.
+    pub retransmits: u64,
 }
 
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
@@ -462,6 +632,7 @@ mod tests {
             timeout: 1e-4,
             backoff: 2.0,
             jitter: 0.0,
+            max_retransmits: 4,
         };
         assert!((pol.charge(0) - 1e-4).abs() < 1e-18);
         assert!((pol.charge(2) - 4e-4).abs() < 1e-18);
@@ -502,5 +673,47 @@ mod tests {
         }
         let rate = dropped as f64 / 1000.0;
         assert!((rate - 0.5).abs() < 0.08, "collective drop rate {rate}");
+    }
+
+    #[test]
+    fn corrupt_specs_match_phase_rank_and_class() {
+        let p = FaultPlan::new(7).with_corrupt("exchange", Some(1), TagClass::P2p, 42);
+        assert!(p.is_active());
+        assert!(p.has_corruptions());
+        // Matching phase + sender rank fires exactly once (non-persistent).
+        let hit = p.corrupt_p2p("exchange", 1, 0, 5, 0);
+        assert!(hit.is_some());
+        assert_eq!(hit.unwrap().0, 1);
+        // Wrong phase, wrong sender, or collective class: no corruption.
+        assert!(p.corrupt_p2p("coarse-gather", 1, 0, 5, 0).is_none());
+        assert!(p.corrupt_p2p("exchange", 2, 0, 5, 0).is_none());
+        assert!(p.corrupt_collective("exchange", 1).is_none());
+    }
+
+    #[test]
+    fn corrupt_bit_choice_is_deterministic_and_seeded() {
+        let p = FaultPlan::new(7).with_corrupt("exchange", None, TagClass::Any, 42);
+        let a = p.corrupt_p2p("exchange", 0, 1, 9, 3).unwrap();
+        let b = p.corrupt_p2p("exchange", 0, 1, 9, 3).unwrap();
+        assert_eq!(a, b, "same message identity must replay identically");
+        let c = p.corrupt_p2p("exchange", 0, 1, 9, 4).unwrap();
+        assert_ne!(a.1, c.1, "message index must vary the flipped bit");
+        let q = FaultPlan::new(7).with_corrupt("exchange", None, TagClass::Any, 43);
+        let d = q.corrupt_p2p("exchange", 0, 1, 9, 3).unwrap();
+        assert_ne!(a.1, d.1, "seed must vary the flipped bit");
+        // Any-class plans also corrupt collectives.
+        assert!(p.corrupt_collective("exchange", 0).is_some());
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_any_budget() {
+        let p = FaultPlan::new(7).with_corrupt_persistent("gather", None, TagClass::Collective, 1);
+        assert_eq!(p.corrupt_collective("gather", 3), Some(u32::MAX));
+        assert!(p.corrupt_p2p("gather", 0, 1, 2, 0).is_none());
+        let (n, _) = FaultPlan::new(7)
+            .with_corrupt_persistent("gather", None, TagClass::P2p, 1)
+            .corrupt_p2p("gather", 0, 1, 2, 0)
+            .unwrap();
+        assert_eq!(n, u32::MAX);
     }
 }

@@ -37,7 +37,7 @@ pub mod trace;
 pub use comm::{
     CommStats, Communicator, PendingReduce, RankState, SuspicionPolicy, TraceScope, WireSize, World,
 };
-pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy};
+pub use fault::{CommError, FaultPlan, FaultStats, RetryPolicy, TagClass};
 pub use model::CostModel;
 pub use sync::{std_backend, ResourceId, StdSyncBackend, SyncBackend, SyncCondvar, SyncMutex};
 pub use time::{thread_cpu_time, VirtualClock};

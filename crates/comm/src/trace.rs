@@ -193,6 +193,12 @@ impl TraceRecorder {
             .clone()
     }
 
+    /// Allocation-free view of the current phase name, for per-message
+    /// checks on the send path (corruption specs match on trace phase).
+    pub fn with_phase_name<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        f(&self.phases.borrow()[self.cur_phase.get() as usize].0)
+    }
+
     /// Close the current phase (attributing `now − enter` virtual seconds
     /// to it) and enter `name`. Re-entering a previously seen phase name
     /// resumes its counters.

@@ -25,6 +25,22 @@ pub enum SpmdError {
     /// alive and computing, but too far behind the world's progress
     /// watermark to keep.
     Evicted { rank: usize },
+    /// A solver-level integrity guard classified the run as silently
+    /// corrupted: the residual the Krylov recurrence carried and a
+    /// recomputation of the true residual disagreed beyond the guard's
+    /// drift bound ([`dd_krylov::SdcGuard`]). The world is healthy but the
+    /// solve state is poisoned — the remedy is a rollback to the newest
+    /// verified checkpoint and a replay on the *same* membership (no
+    /// shrink), bounded by [`crate::RecoveryOpts::max_replays`].
+    SuspectedCorruption {
+        rank: usize,
+        /// Krylov iteration (cumulative) at which the drift was detected.
+        iteration: usize,
+        /// Relative residual the solver's recurrence claimed.
+        recurred: f64,
+        /// Relative residual recomputed from `b − Ax`.
+        recomputed: f64,
+    },
     /// `Comm::split` did not return a communicator for this rank's color.
     SplitFailed { rank: usize },
     /// Building or factoring a coarse operator failed (singular `E`, e.g.
@@ -56,6 +72,16 @@ impl fmt::Display for SpmdError {
             SpmdError::Evicted { rank } => {
                 write!(f, "rank {rank} evicted as a suspected straggler")
             }
+            SpmdError::SuspectedCorruption {
+                rank,
+                iteration,
+                recurred,
+                recomputed,
+            } => write!(
+                f,
+                "suspected silent data corruption on rank {rank}: recurred residual \
+                 {recurred:.3e} vs recomputed {recomputed:.3e} at iteration {iteration}"
+            ),
             SpmdError::SplitFailed { rank } => {
                 write!(f, "communicator split failed on rank {rank}")
             }
@@ -153,6 +179,19 @@ pub struct RecoveryRecord {
     pub t_reassembly: f64,
     /// Virtual-time cost of refactorizing `E` on the new master set.
     pub t_refactorization: f64,
+    /// Corruption detections this rank had observed when the record was
+    /// written: comm-layer envelope checksum failures
+    /// ([`dd_comm::FaultStats::corruptions_detected`]) plus solver-guard
+    /// drift trips. Zero on pure membership-change records unless the run
+    /// also saw corruption.
+    pub corruptions_detected: u64,
+    /// Rollback-and-replay ordinal at this membership: 0 for
+    /// membership-change records, `k ≥ 1` for the k-th replay after a
+    /// detected (or suspected) corruption.
+    pub replays: usize,
+    /// Virtual-time cost of the attempt this replay rolled back — the
+    /// work the corruption destroyed (0 on membership-change records).
+    pub t_replay: f64,
 }
 
 /// Per-rank record of what actually happened during a run — which phases
@@ -201,6 +240,21 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let c: SpmdError = CommError::RankDead { rank: 1 }.into();
         assert_eq!(c, SpmdError::Comm(CommError::RankDead { rank: 1 }));
+    }
+
+    #[test]
+    fn suspected_corruption_display_names_both_residuals() {
+        let e = SpmdError::SuspectedCorruption {
+            rank: 2,
+            iteration: 17,
+            recurred: 1e-9,
+            recomputed: 3e-4,
+        };
+        let s = format!("{e}");
+        assert!(
+            s.contains("rank 2") && s.contains("iteration 17") && s.contains("3.000e-4"),
+            "{s}"
+        );
     }
 
     #[test]

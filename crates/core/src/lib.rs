@@ -68,9 +68,9 @@ pub use precond::{
 };
 pub use problem::{Pde, Problem};
 pub use recovery::{
-    agree_next, recoverable, repartition_plan, try_run_spmd_elastic, try_run_spmd_recoverable,
-    try_setup_partitioned, CheckpointStore, CoarseCache, MultiApplyOutcome, PreparedMulti,
-    RecoveryOpts, RepartitionPlan, SpmdMultiSolution,
+    agree_next, recoverable, repartition_plan, replayable, try_run_spmd_elastic,
+    try_run_spmd_recoverable, try_setup_partitioned, CheckpointStore, CoarseCache,
+    MultiApplyOutcome, PreparedMulti, RecoveryOpts, RepartitionPlan, SpmdMultiSolution,
 };
 pub use spmd::{
     run_spmd, try_run_spmd, try_setup, try_setup_with, ApplyOutcome, AssemblyVariant, CoarseSolve,

@@ -72,6 +72,13 @@ pub struct RecoveryOpts {
     pub enabled: bool,
     /// How many world shrinks to survive before giving up.
     pub max_recoveries: usize,
+    /// How many rollback-and-replay attempts to take at each membership
+    /// after a *corruption* classification ([`replayable`]) — detected wire
+    /// corruption that exhausted its retransmit budget, or a solver guard's
+    /// suspected-SDC verdict. Replays keep the same world (nobody died)
+    /// and resume from the newest checkpoint that verifies; exhaustion
+    /// surfaces the typed error rather than a silent wrong answer.
+    pub max_replays: usize,
     /// Krylov checkpoint cadence in iterations. Smaller intervals lose
     /// less progress to a death but snapshot (copy the iterate) more
     /// often; checkpoints are communication-free either way.
@@ -89,6 +96,7 @@ impl Default for RecoveryOpts {
         RecoveryOpts {
             enabled: false,
             max_recoveries: 1,
+            max_replays: 2,
             checkpoint_interval: 5,
             suspicion: None,
         }
@@ -106,9 +114,41 @@ impl Default for RecoveryOpts {
 /// cross-thread write ordering is immaterial. Keeps the last two snapshots
 /// per subdomain: the latest may be incomplete when death struck inside the
 /// checkpoint window.
+///
+/// Every snapshot is stored with an FNV-1a checksum over its bit pattern —
+/// the at-rest analogue of the wire envelopes in `dd-comm`. A snapshot torn
+/// by a death mid-write or flipped by at-rest corruption fails verification
+/// on read: [`CheckpointStore::rollback_iteration`] skips it, so a resume
+/// falls through to the next-newest snapshot that verifies on *every*
+/// subdomain instead of replaying poisoned state.
 #[derive(Default)]
 pub struct CheckpointStore {
-    slots: Mutex<HashMap<usize, Vec<SolveCheckpoint>>>,
+    slots: Mutex<HashMap<usize, Vec<(SolveCheckpoint, u64)>>>,
+}
+
+/// FNV-1a 64 over a checkpoint's bit pattern (iteration, iterate, residual
+/// anchor, history) — the same construction the wire envelopes use.
+fn checkpoint_sum(cp: &SolveCheckpoint) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    fold(cp.iteration as u64);
+    fold(cp.x.len() as u64);
+    for &v in &cp.x {
+        fold(v.to_bits());
+    }
+    fold(cp.residual.to_bits());
+    fold(cp.r0_norm.to_bits());
+    fold(cp.history.len() as u64);
+    for &v in &cp.history {
+        fold(v.to_bits());
+    }
+    h
 }
 
 impl CheckpointStore {
@@ -117,40 +157,73 @@ impl CheckpointStore {
     }
 
     fn save(&self, sub: usize, cp: SolveCheckpoint) {
+        let sum = checkpoint_sum(&cp);
         let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
         let v = slots.entry(sub).or_default();
-        v.retain(|c| c.iteration != cp.iteration);
-        v.push(cp);
-        v.sort_by_key(|c| c.iteration);
+        v.retain(|(c, _)| c.iteration != cp.iteration);
+        v.push((cp, sum));
+        v.sort_by_key(|(c, _)| c.iteration);
         if v.len() > 2 {
             let drop = v.len() - 2;
             v.drain(..drop);
         }
     }
 
+    /// Read back a verified snapshot; `None` when the slot is missing *or*
+    /// its checksum no longer matches its contents.
     fn get(&self, sub: usize, iteration: usize) -> Option<SolveCheckpoint> {
         let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
         slots
             .get(&sub)?
             .iter()
-            .find(|c| c.iteration == iteration)
-            .cloned()
+            .find(|(c, sum)| c.iteration == iteration && checkpoint_sum(c) == *sum)
+            .map(|(c, _)| c.clone())
     }
 
-    /// The last iteration checkpointed by **every** subdomain — the only
-    /// state safe to resume from (a later snapshot missing on any
-    /// subdomain means death struck inside that checkpoint window).
+    /// The last iteration checkpointed **and verified** by every subdomain
+    /// — the only state safe to resume from (a later snapshot missing on
+    /// any subdomain means death struck inside that checkpoint window; a
+    /// checksum mismatch means the snapshot itself is corrupt).
     pub fn rollback_iteration(&self, n_subs: usize) -> Option<usize> {
         let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-        let mut candidates: Vec<usize> = slots.get(&0)?.iter().map(|c| c.iteration).collect();
+        let verified = |e: &(SolveCheckpoint, u64), it: usize| {
+            e.0.iteration == it && checkpoint_sum(&e.0) == e.1
+        };
+        let mut candidates: Vec<usize> = slots
+            .get(&0)?
+            .iter()
+            .filter(|(c, sum)| checkpoint_sum(c) == *sum)
+            .map(|(c, _)| c.iteration)
+            .collect();
         candidates.sort_unstable_by(|a, b| b.cmp(a));
         candidates.into_iter().find(|&it| {
             (0..n_subs).all(|s| {
                 slots
                     .get(&s)
-                    .is_some_and(|v| v.iter().any(|c| c.iteration == it))
+                    .is_some_and(|v| v.iter().any(|e| verified(e, it)))
             })
         })
+    }
+
+    /// Flip one mantissa bit of a stored iterate *without* refreshing the
+    /// stored checksum — the at-rest analogue of a wire bit-flip, for the
+    /// chaos tests. Returns whether the slot existed.
+    #[doc(hidden)]
+    pub fn corrupt_for_tests(&self, sub: usize, iteration: usize) -> bool {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(entry) = slots
+            .get_mut(&sub)
+            .and_then(|v| v.iter_mut().find(|(c, _)| c.iteration == iteration))
+        else {
+            return false;
+        };
+        match entry.0.x.first_mut() {
+            Some(x0) => {
+                *x0 = f64::from_bits(x0.to_bits() ^ (1 << 17));
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -308,6 +381,104 @@ pub fn recoverable(e: &SpmdError) -> bool {
     )
 }
 
+/// Is this error one the *same* membership can recover from by rolling
+/// back to the newest verified checkpoint and replaying? Detected wire
+/// corruption that exhausted its retransmit budget, and a solver guard's
+/// suspected-SDC classification, both qualify: every rank is alive — only
+/// the data is poisoned. Disjoint from [`recoverable`], which shrinks the
+/// world. Public for the same reason `recoverable` is.
+pub fn replayable(e: &SpmdError) -> bool {
+    matches!(
+        e,
+        SpmdError::Comm(CommError::Corrupt { .. }) | SpmdError::SuspectedCorruption { .. }
+    )
+}
+
+/// The [`RecoveryRecord`] of one rollback-and-replay: same epoch, no
+/// membership deltas — only the corruption counters, the replay ordinal,
+/// and the virtual time the rolled-back attempt had consumed.
+fn replay_record(
+    comm: &Communicator,
+    store: &CheckpointStore,
+    nsubs: usize,
+    replays: usize,
+    guard_detections: u64,
+    t_replay: f64,
+) -> RecoveryRecord {
+    RecoveryRecord {
+        epoch: comm.epoch(),
+        dead: Vec::new(),
+        evicted: Vec::new(),
+        joined: Vec::new(),
+        adopted: Vec::new(),
+        moved: Vec::new(),
+        reused: Vec::new(),
+        resume_iteration: store.rollback_iteration(nsubs),
+        t_agreement: 0.0,
+        t_reassembly: 0.0,
+        t_refactorization: 0.0,
+        corruptions_detected: comm.fault_stats().corruptions_detected + guard_detections,
+        replays,
+        t_replay,
+    }
+}
+
+/// [`run_partitioned`] with corruption rollback-and-replay: a [`replayable`]
+/// failure re-runs the epoch on the *same* membership — setup repeats and
+/// the solve resumes from the newest checkpoint that still verifies, so a
+/// poisoned snapshot is skipped automatically. Bounded by
+/// [`RecoveryOpts::max_replays`]; non-replayable errors (and budget
+/// exhaustion) surface to the caller's shrink/grow loop.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned_with_replay(
+    decomp: &Decomposition,
+    comm: &Communicator,
+    opts: &SpmdOpts,
+    store: &CheckpointStore,
+    cache: Option<&CoarseCache>,
+    plan: &RepartitionPlan,
+    recoveries: &mut Vec<RecoveryRecord>,
+    t_agreement: f64,
+) -> Result<SpmdMultiSolution, SpmdError> {
+    let mut t_attempt = comm.clock();
+    let mut result = run_partitioned(
+        decomp,
+        comm,
+        opts,
+        store,
+        cache,
+        plan,
+        recoveries,
+        t_agreement,
+        true,
+    );
+    let mut replays = 0;
+    let mut guard_hits = 0u64;
+    while let Err(e) = &result {
+        if !replayable(e) || replays >= opts.recovery.max_replays {
+            break;
+        }
+        guard_hits += u64::from(matches!(e, SpmdError::SuspectedCorruption { .. }));
+        replays += 1;
+        let t_replay = comm.clock() - t_attempt;
+        recoveries.push(replay_record(
+            comm,
+            store,
+            decomp.n_subdomains(),
+            replays,
+            guard_hits,
+            t_replay,
+        ));
+        t_attempt = comm.clock();
+        // Same plan, same communicator; the membership record (when this
+        // epoch called for one) was already pushed by the first attempt.
+        result = run_partitioned(
+            decomp, comm, opts, store, cache, plan, recoveries, 0.0, false,
+        );
+    }
+    result
+}
+
 /// [`crate::spmd::try_run_spmd`] with shrink-and-continue recovery: on a
 /// peer's death (with `opts.recovery.enabled`) the survivors agree on the
 /// dead set, shrink the world, adopt the orphaned subdomains, rebuild the
@@ -328,6 +499,7 @@ pub fn try_run_spmd_recoverable(
     // Checkpointing (like resuming) needs the classical Krylov loop.
     let cfg = (opts.recovery.enabled && opts.solver == SolverKind::Classical)
         .then(|| CheckpointCfg::new(opts.recovery.checkpoint_interval, &sink));
+    let mut t_attempt = comm.clock();
     let mut err = match run_inner(decomp, comm, opts, cfg.as_ref()) {
         Ok(sol) => {
             return Ok(SpmdMultiSolution {
@@ -337,11 +509,47 @@ pub fn try_run_spmd_recoverable(
         }
         Err(e) => e,
     };
+    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
+    // Corruption rollback-and-replay: the world is healthy (nobody died),
+    // so re-run on the *same* membership, resuming from the newest
+    // checkpoint that still verifies. Bounded by `max_replays`; a replay
+    // that keeps hitting corruption surfaces the typed error — never a
+    // silent wrong answer.
+    let mut replays = 0;
+    let mut guard_hits = 0u64;
+    while opts.recovery.enabled && replayable(&err) && replays < opts.recovery.max_replays {
+        guard_hits += u64::from(matches!(err, SpmdError::SuspectedCorruption { .. }));
+        replays += 1;
+        recoveries.push(replay_record(
+            comm,
+            store,
+            decomp.n_subdomains(),
+            replays,
+            guard_hits,
+            comm.clock() - t_attempt,
+        ));
+        // Nobody departed, so the shrink plan is the identity owner map.
+        let plan = shrink_plan(decomp, comm);
+        t_attempt = comm.clock();
+        err = match run_partitioned(
+            decomp,
+            comm,
+            opts,
+            store,
+            None,
+            &plan,
+            &mut recoveries,
+            0.0,
+            false,
+        ) {
+            Ok(sol) => return Ok(sol),
+            Err(e) => e,
+        };
+    }
     if !opts.recovery.enabled || !recoverable(&err) {
         comm.abandon();
         return Err(err);
     }
-    let mut recoveries: Vec<RecoveryRecord> = Vec::new();
     let t0 = comm.clock();
     let mut current = match comm.try_shrink() {
         Ok(c) => c,
@@ -353,7 +561,7 @@ pub fn try_run_spmd_recoverable(
     let mut t_agreement = current.clock() - t0;
     for attempt in 1..=opts.recovery.max_recoveries {
         let plan = shrink_plan(decomp, &current);
-        match run_partitioned(
+        match run_partitioned_with_replay(
             decomp,
             &current,
             opts,
@@ -417,7 +625,7 @@ pub fn try_run_spmd_elastic(
     comm.set_suspicion(opts.recovery.suspicion);
     let mut recoveries: Vec<RecoveryRecord> = Vec::new();
     let plan = repartition_plan(decomp, comm, None);
-    let mut err = match run_partitioned(
+    let mut err = match run_partitioned_with_replay(
         decomp,
         comm,
         opts,
@@ -444,7 +652,7 @@ pub fn try_run_spmd_elastic(
     };
     for attempt in 1..=opts.recovery.max_recoveries {
         let plan = repartition_plan(decomp, &current, Some(&prev_owner));
-        match run_partitioned(
+        match run_partitioned_with_replay(
             decomp,
             &current,
             opts,
@@ -1878,6 +2086,8 @@ where
 /// One epoch on an arbitrary owner map: [`try_setup_partitioned`] plus one
 /// checkpoint-resuming [`PreparedMulti::try_apply`] on the decomposition's
 /// own right-hand side — the recovered/elastic epoch body.
+/// `record_membership: false` on replay attempts, whose epoch's membership
+/// record (if any) was already pushed by the first attempt.
 #[allow(clippy::too_many_arguments)]
 fn run_partitioned(
     decomp: &Decomposition,
@@ -1888,6 +2098,7 @@ fn run_partitioned(
     plan: &RepartitionPlan,
     recoveries: &mut Vec<RecoveryRecord>,
     t_agreement: f64,
+    record_membership: bool,
 ) -> Result<SpmdMultiSolution, SpmdError> {
     let nsubs = decomp.n_subdomains();
     let prepared = try_setup_partitioned(decomp, comm, opts, cache, plan, true)?;
@@ -1912,7 +2123,7 @@ fn run_partitioned(
     let resume_iteration = resume.as_ref().map(|cp| cp.iteration);
     // The initial epoch of an elastic run is not a recovery — only
     // membership changes get a record.
-    if comm.epoch() > 0 {
+    if comm.epoch() > 0 && record_membership {
         let (moved, reused) = prepared.moved_reused();
         let (t_reassembly, t_refactorization) = prepared.recovery_times();
         recoveries.push(RecoveryRecord {
@@ -1927,6 +2138,9 @@ fn run_partitioned(
             t_agreement,
             t_reassembly,
             t_refactorization,
+            corruptions_detected: comm.fault_stats().corruptions_detected,
+            replays: 0,
+            t_replay: 0.0,
         });
     }
     let sink = StoreSink {
@@ -1992,5 +2206,59 @@ mod tests {
         store.save(0, cp(5, 2.0));
         let got = store.get(0, 5).unwrap();
         assert_eq!(got.x, vec![2.0; 3]);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_skipped_on_read_and_rollback() {
+        let store = CheckpointStore::new();
+        for it in [5, 10] {
+            for s in 0..2 {
+                store.save(s, cp(it, s as f64));
+            }
+        }
+        assert_eq!(store.rollback_iteration(2), Some(10));
+        assert!(store.corrupt_for_tests(1, 10));
+        // The poisoned snapshot no longer reads back…
+        assert!(store.get(1, 10).is_none());
+        assert_eq!(store.get(0, 10).unwrap().iteration, 10);
+        // …and the rollback falls through to the next-newest snapshot
+        // that verifies on every subdomain.
+        assert_eq!(store.rollback_iteration(2), Some(5));
+        // Overwriting the slot with a fresh snapshot heals it.
+        store.save(1, cp(10, 7.0));
+        assert_eq!(store.rollback_iteration(2), Some(10));
+    }
+
+    #[test]
+    fn corruption_in_the_anchor_subdomain_is_also_skipped() {
+        // Rollback candidates are enumerated from subdomain 0; a poisoned
+        // snapshot there must not even be a candidate.
+        let store = CheckpointStore::new();
+        for it in [5, 10] {
+            store.save(0, cp(it, 0.0));
+            store.save(1, cp(it, 1.0));
+        }
+        assert!(store.corrupt_for_tests(0, 10));
+        assert_eq!(store.rollback_iteration(2), Some(5));
+    }
+
+    #[test]
+    fn replayable_is_corruption_only_and_disjoint_from_recoverable() {
+        let corrupt = SpmdError::Comm(CommError::Corrupt {
+            src: 1,
+            tag: 7,
+            epoch: 0,
+        });
+        let sdc = SpmdError::SuspectedCorruption {
+            rank: 0,
+            iteration: 12,
+            recurred: 1e-8,
+            recomputed: 2e-3,
+        };
+        let dead = SpmdError::Comm(CommError::RankDead { rank: 1 });
+        assert!(replayable(&corrupt) && replayable(&sdc));
+        assert!(!replayable(&dead));
+        assert!(!recoverable(&corrupt) && !recoverable(&sdc));
+        assert!(recoverable(&dead));
     }
 }

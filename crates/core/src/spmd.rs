@@ -285,6 +285,17 @@ pub(crate) fn dist_interrupt(comm: &Communicator, e: CommError, label: &str) -> 
 /// failpoint label when the interrupt came from one, else the trace phase),
 /// a peer's death or a revocation to [`SpmdError::Comm`].
 pub(crate) fn interrupt_to_spmd(comm: &Communicator, interrupt: SolveInterrupt) -> SpmdError {
+    // A residual-sanity guard's suspected-SDC classification: the world is
+    // healthy, the solve state is poisoned — typed so the recovery driver
+    // rolls back and replays instead of treating it as a protocol bug.
+    if let Some(s) = interrupt.sdc() {
+        return SpmdError::SuspectedCorruption {
+            rank: comm.rank(),
+            iteration: s.iteration,
+            recurred: s.recurred,
+            recomputed: s.recomputed,
+        };
+    }
     let phase = interrupt
         .reason()
         .strip_prefix(KILLED_AT)

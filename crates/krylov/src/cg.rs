@@ -5,6 +5,7 @@
 use crate::checkpoint::{CheckpointCfg, SolveCheckpoint};
 use crate::gmres::{SolveResult, SolveStatus, STALL_LIMIT};
 use crate::operator::{InnerProduct, Operator, Preconditioner, SolveInterrupt};
+use crate::sdc::SdcGuard;
 use dd_linalg::vector;
 
 /// Options for [`cg`].
@@ -14,6 +15,12 @@ pub struct CgOpts {
     pub tol: f64,
     pub max_iters: usize,
     pub record_history: bool,
+    /// Silent-data-corruption guard: `Some` makes convergence verified
+    /// (recomputed as `√(rᵀz)` of the *rebuilt* residual, never trusted
+    /// from the recurrence alone) and classifies recurred-vs-recomputed
+    /// drift as a [`SolveInterrupt`] carrying [`crate::sdc::SdcSuspected`].
+    /// `None` (default) is bitwise identical to the unguarded solver.
+    pub guard: Option<SdcGuard>,
 }
 
 impl Default for CgOpts {
@@ -22,6 +29,7 @@ impl Default for CgOpts {
             tol: 1e-6,
             max_iters: 1000,
             record_history: true,
+            guard: None,
         }
     }
 }
@@ -106,6 +114,10 @@ where
     let mut final_residual = resume.map_or(1.0, |cp| cp.residual);
     let mut best_res = f64::INFINITY;
     let mut stall = 0usize;
+    // True while a guard-claimed convergence awaits the rebuilt-residual
+    // verification of the next `'outer` pass (that pass must not be
+    // misread as a breakdown restart).
+    let mut verify_pending = false;
 
     'outer: loop {
         // (Re)build the CG state from the current iterate.
@@ -138,11 +150,38 @@ where
                 });
             }
             target = opts.tol * rz0;
-        } else if !rz.is_finite() || rz <= 0.0 {
-            // The restart (or resume) did not produce a usable descent
-            // state.
-            broke_down = true;
-            break 'outer;
+        } else {
+            if let Some(g) = &opts.guard {
+                // Rebuilt state against the recurred estimate. Verified
+                // convergence first: a rebuilt √(rᵀz) at or under the
+                // target is the honest accept, whatever the recurrence
+                // claimed. Then drift classification: disagreement past
+                // the threshold (or a non-finite rebuild) is suspected
+                // corruption — typed interrupt, roll back and replay.
+                // Mild drift falls through and the rebuilt state
+                // self-corrects, as any restart does.
+                // NaN must reach `drifted` as NaN (`NaN.max(0.0)` would
+                // silently rebuild a zero residual from a poisoned state).
+                let recomputed = if rz.is_finite() {
+                    rz.max(0.0).sqrt()
+                } else {
+                    f64::NAN
+                };
+                if rz.is_finite() && recomputed <= target {
+                    final_residual = recomputed / rz0;
+                    converged = true;
+                    break 'outer;
+                }
+                if g.drifted(final_residual, recomputed / rz0) {
+                    return Err(g.interrupt(iterations, final_residual, recomputed / rz0));
+                }
+            }
+            if !rz.is_finite() || rz <= 0.0 {
+                // The restart (or resume) did not produce a usable descent
+                // state.
+                broke_down = true;
+                break 'outer;
+            }
         }
         // dd:hot — the CG iteration proper; work vectors are reused across
         // iterations, so no allocation is allowed here
@@ -182,7 +221,14 @@ where
                 history.push(final_residual);
             }
             if res <= target {
-                converged = true;
+                // With a guard armed, the recurrence only *claims*
+                // convergence: rebuild the state and let the `'outer` pass
+                // confirm it against the actual iterate.
+                if opts.guard.is_none() {
+                    converged = true;
+                } else {
+                    verify_pending = true;
+                }
                 break;
             }
             if let Some(cfg) = ckpt {
@@ -215,6 +261,12 @@ where
         }
         if converged || iterations >= opts.max_iters {
             break 'outer;
+        }
+        if verify_pending {
+            // Not a breakdown — a guard-claimed convergence heading into
+            // its verification pass.
+            verify_pending = false;
+            continue 'outer;
         }
         // The inner loop exited on a breakdown: restart once from the
         // current iterate, then give up.
@@ -307,6 +359,7 @@ mod tests {
             tol: 1e-9,
             max_iters: 500,
             record_history: false,
+            ..Default::default()
         };
         let plain = cg(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &opts);
         let pc = cg(&a, &jacobi, &SeqDot, &b, &vec![0.0; n], &opts);
@@ -458,6 +511,64 @@ mod tests {
         let mut ax = vec![0.0; n];
         a.spmv(&res.x, &mut ax);
         assert!(vector::dist2(&ax, &b) / vector::norm2(&b) < 1e-8);
+    }
+
+    #[test]
+    fn guard_confirms_clean_convergence_with_identical_iterates() {
+        let a = spd(50);
+        let b: Vec<f64> = (0..50).map(|i| ((i * 3) % 11) as f64 - 5.0).collect();
+        let off = CgOpts {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let on = CgOpts {
+            guard: Some(crate::sdc::SdcGuard::default()),
+            ..off.clone()
+        };
+        let r_off = cg(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; 50], &off);
+        let r_on = cg(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; 50], &on);
+        assert!(r_off.converged && r_on.converged);
+        assert_eq!(r_off.x, r_on.x, "guard must not change the iterates");
+        assert_eq!(r_off.iterations, r_on.iterations);
+        assert_eq!(r_on.breakdown_restarts, 0, "verification is not a restart");
+    }
+
+    #[test]
+    fn guard_flags_corrupted_operator_as_suspected_sdc() {
+        use crate::gmres::tests::CorruptOnce;
+        use std::cell::Cell;
+
+        let a = spd(50);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() + 1.5).collect();
+        // Scaling one `A p` application desynchronizes the recurred
+        // residual from `b − A x` for the rest of the solve; scaling (not
+        // an additive flip) keeps `pᵀ(Ap)` positive so the SPD recurrence
+        // marches on, oblivious — exactly the silent failure mode.
+        let corrupt = CorruptOnce {
+            inner: &a,
+            at: 8,
+            scale: 2.0,
+            count: Cell::new(0),
+        };
+        let opts = CgOpts {
+            tol: 1e-10,
+            guard: Some(crate::sdc::SdcGuard::default()),
+            ..Default::default()
+        };
+        let err = try_cg(
+            &corrupt,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            None,
+        )
+        .unwrap_err();
+        let sdc = err.sdc().expect("interrupt must carry the SDC marker");
+        assert!(sdc.recomputed > sdc.recurred);
+        assert!(sdc.iteration > 8);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::checkpoint::{CheckpointCfg, SolveCheckpoint};
 use crate::operator::{InnerProduct, Operator, Preconditioner, SolveInterrupt};
+use crate::sdc::SdcGuard;
 use dd_linalg::givens::Givens;
 use dd_linalg::{vector, DMat};
 
@@ -62,6 +63,13 @@ pub struct GmresOpts {
     pub side: Side,
     /// Record the residual at every iteration.
     pub record_history: bool,
+    /// Silent-data-corruption guard: `Some` makes convergence verified
+    /// (recomputed from the iterate, never trusted from the recurrence
+    /// alone) and classifies recurred-vs-recomputed residual drift at cycle
+    /// boundaries as a [`SolveInterrupt`] carrying
+    /// [`crate::sdc::SdcSuspected`]. `None` (default) is bitwise identical
+    /// to the unguarded solver. The pipelined variants ignore it.
+    pub guard: Option<SdcGuard>,
 }
 
 impl Default for GmresOpts {
@@ -73,6 +81,7 @@ impl Default for GmresOpts {
             ortho: Ortho::Cgs2,
             side: Side::Right,
             record_history: true,
+            guard: None,
         }
     }
 }
@@ -388,6 +397,18 @@ where
             final_res = beta / r0_norm;
             break;
         }
+        if let Some(g) = &opts.guard {
+            // The recurred estimate from the previous cycle against the
+            // residual just recomputed from the iterate: drift past the
+            // guard's threshold (or a non-finite recomputation) means the
+            // basis or the iterate was corrupted — hand the caller a typed
+            // interrupt to roll back and replay instead of iterating on
+            // poison. Mild drift falls through: the fresh cycle
+            // self-corrects it.
+            if g.drifted(final_res, beta / r0_norm) {
+                return Err(g.interrupt(total_iters, final_res, beta / r0_norm));
+            }
+        }
         if !beta.is_finite() {
             // The iterate itself is poisoned; a restart cannot recover.
             broke_down = true;
@@ -513,7 +534,13 @@ where
                 history.push(final_res);
             }
             if res <= target {
-                converged = true;
+                // With a guard armed, the recurred value only *claims*
+                // convergence: end the cycle, and let the cycle-boundary
+                // recomputation above confirm (or reject) it against the
+                // actual iterate. Unguarded behavior is unchanged.
+                if opts.guard.is_none() {
+                    converged = true;
+                }
                 break;
             }
             // dd:cold — periodic checkpoint materialization; snapshots own
@@ -674,6 +701,32 @@ pub(crate) mod tests {
             self.budget.set(self.budget.get() - 1);
             self.inner.spmv(x, y);
             Ok(())
+        }
+    }
+
+    /// Operator that silently scales the output of exactly one application
+    /// (the `at`-th, 0-based) — a deterministic stand-in for silent data
+    /// corruption baking itself into the Krylov basis. Clean before and
+    /// after, so a rolled-back replay sees a healthy operator.
+    pub(crate) struct CorruptOnce<'a> {
+        pub inner: &'a CsrMatrix,
+        pub at: usize,
+        pub scale: f64,
+        pub count: Cell<usize>,
+    }
+
+    impl Operator for CorruptOnce<'_> {
+        fn dim(&self) -> usize {
+            self.inner.rows()
+        }
+
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.spmv(x, y);
+            let k = self.count.get();
+            self.count.set(k + 1);
+            if k == self.at {
+                vector::scal(self.scale, y);
+            }
         }
     }
 
@@ -1103,6 +1156,146 @@ pub(crate) mod tests {
         // anchored to the original ‖r₀‖, so its true residual matches.
         assert!(residual(&a, &res.x, &b) <= residual(&a, &clean.x, &b) * 10.0 + 1e-12);
         assert!(residual(&a, &res.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn guard_confirms_clean_convergence_with_identical_iterates() {
+        let a = laplacian_2d(10, 10);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let x0 = vec![0.0; n];
+        let off = GmresOpts {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let on = GmresOpts {
+            guard: Some(SdcGuard::default()),
+            ..off.clone()
+        };
+        let r_off = gmres(&a, &IdentityPrecond, &SeqDot, &b, &x0, &off);
+        let r_on = gmres(&a, &IdentityPrecond, &SeqDot, &b, &x0, &on);
+        assert!(r_off.converged && r_on.converged);
+        // The guard changes *when* convergence is accepted, never the
+        // iterates: same x bitwise, same iteration count.
+        assert_eq!(r_off.x, r_on.x);
+        assert_eq!(r_off.iterations, r_on.iterations);
+        // The guarded final residual is the recomputed (verified) one.
+        assert!((residual(&a, &r_on.x, &b) - r_on.final_residual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_flags_corrupted_operator_instead_of_false_convergence() {
+        let a = laplacian_2d(10, 10);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.0).collect();
+        let x0 = vec![0.0; n];
+        let mk = || CorruptOnce {
+            inner: &a,
+            at: 10,
+            scale: 2.0,
+            count: Cell::new(0),
+        };
+        let off = GmresOpts {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        // Unguarded: the recurred residual converges on a poisoned basis
+        // and the solver silently returns a wrong answer.
+        let silent = gmres(&mk(), &IdentityPrecond, &SeqDot, &b, &x0, &off);
+        assert!(silent.converged, "baseline silently false-converges");
+        assert!(
+            residual(&a, &silent.x, &b) > 1e-6,
+            "unguarded answer should actually be wrong: {}",
+            residual(&a, &silent.x, &b)
+        );
+        // Guarded: the recomputed residual disagrees with the recurred
+        // claim and a typed, downcastable interrupt surfaces.
+        let on = GmresOpts {
+            guard: Some(SdcGuard::default()),
+            ..off
+        };
+        let err = try_gmres(&mk(), &IdentityPrecond, &SeqDot, &b, &x0, &on, None).unwrap_err();
+        let sdc = err.sdc().expect("interrupt must carry the SDC marker");
+        assert!(
+            sdc.recomputed > sdc.recurred,
+            "recomputed {} vs recurred {}",
+            sdc.recomputed,
+            sdc.recurred
+        );
+        assert!(err.reason().contains("silent data corruption"));
+    }
+
+    #[test]
+    fn guarded_solve_replays_from_checkpoint_to_fault_free_answer() {
+        // The full recovery loop in miniature: guarded solve trips on
+        // corruption, the caller rolls back to the newest checkpoint, and
+        // the replay (operator healthy again — the flip was transient)
+        // matches the fault-free answer to tight tolerance.
+        let a = laplacian_2d(12, 12);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let opts = GmresOpts {
+            tol: 1e-10,
+            max_iters: 2000,
+            guard: Some(SdcGuard::default()),
+            ..Default::default()
+        };
+        let clean = gmres(&a, &IdentityPrecond, &SeqDot, &b, &vec![0.0; n], &opts);
+        assert!(clean.converged);
+
+        let corrupt = CorruptOnce {
+            inner: &a,
+            at: 15,
+            scale: 2.0,
+            count: Cell::new(0),
+        };
+        let sink = VecSink::new();
+        let cfg = CheckpointCfg::new(4, &sink);
+        let err = try_gmres(
+            &corrupt,
+            &IdentityPrecond,
+            &SeqDot,
+            &b,
+            &vec![0.0; n],
+            &opts,
+            Some(&cfg),
+        )
+        .unwrap_err();
+        assert!(err.sdc().is_some());
+
+        // Roll back newest → oldest: snapshots taken after the flip carry
+        // the poison, and the resumed guard may reject them too. The first
+        // checkpoint that replays to verified convergence wins.
+        let saved: Vec<_> = sink.0.borrow().clone();
+        assert!(!saved.is_empty(), "no checkpoints to roll back to");
+        let mut replayed = None;
+        for cp in saved.into_iter().rev() {
+            let sink2 = VecSink::new();
+            let cfg2 = CheckpointCfg::resuming(1000, &sink2, cp);
+            if let Ok(res) = try_gmres(
+                &a,
+                &IdentityPrecond,
+                &SeqDot,
+                &b,
+                &vec![0.0; n],
+                &opts,
+                Some(&cfg2),
+            ) {
+                if res.converged {
+                    replayed = Some(res);
+                    break;
+                }
+            }
+        }
+        let res = replayed.expect("some checkpoint must replay to convergence");
+        // Verified convergence guarantees the replayed answer is honest:
+        // its true residual meets the same tolerance as the fault-free run.
+        assert!(residual(&a, &res.x, &b) < 1e-9);
+        assert!(
+            vector::dist2(&res.x, &clean.x) < 1e-7 * vector::norm2(&clean.x).max(1.0),
+            "replayed answer must match fault-free: dist {}",
+            vector::dist2(&res.x, &clean.x)
+        );
     }
 
     #[test]

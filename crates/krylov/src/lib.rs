@@ -17,6 +17,7 @@ pub mod gmres;
 pub mod operator;
 pub mod pipelined;
 pub mod recycle;
+pub mod sdc;
 
 pub use cg::{cg, try_cg, CgOpts};
 pub use checkpoint::{CheckpointCfg, CheckpointSink, SolveCheckpoint};
@@ -30,3 +31,4 @@ pub use operator::{
 };
 pub use pipelined::{fused_pipelined_gmres, pipelined_gmres, FusedPreconditioner};
 pub use recycle::{try_gmres_multi, RecycleSpace};
+pub use sdc::{SdcGuard, SdcSuspected};

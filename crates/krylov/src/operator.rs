@@ -56,6 +56,12 @@ impl SolveInterrupt {
     pub fn take_source(self) -> Option<Box<dyn std::error::Error + Send + Sync + 'static>> {
         self.source
     }
+
+    /// The suspected-corruption classification a guarded solver attached,
+    /// if any — `Some` means "roll back and replay", not "give up".
+    pub fn sdc(&self) -> Option<&crate::sdc::SdcSuspected> {
+        self.source.as_deref().and_then(|e| e.downcast_ref())
+    }
 }
 
 impl fmt::Display for SolveInterrupt {

@@ -394,6 +394,13 @@ impl BsrMatrix {
         }
     }
 
+    /// Precompute the ABFT column-checksum row for this matrix: see
+    /// [`BsrAbft`].
+    // dd:cold — one-time setup for the opt-in integrity guard
+    pub fn abft(&self) -> BsrAbft {
+        BsrAbft::new(self)
+    }
+
     /// Fallback for arbitrary block sizes.
     // dd:hot
     fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
@@ -419,6 +426,95 @@ impl BsrMatrix {
                 }
             }
         }
+    }
+}
+
+/// ABFT column-checksum guard for the BSR kernels.
+///
+/// Classic algorithm-based fault tolerance (Huang–Abraham): precompute the
+/// checksum row `s = eᵀA` once in `O(nnz)`; any product `y = A x` must then
+/// satisfy `eᵀy = s·x` up to floating-point accumulation error. Verifying
+/// is `O(rows + cols)` — vanishing next to the SpMV itself — and a silent
+/// bit flip in the streamed matrix values, the input gather, or the output
+/// store perturbs one side of the identity by far more than the
+/// accumulation bound, so the poisoned vector is caught before it enters
+/// the Krylov basis. Flips confined to the last few mantissa bits sit
+/// below the bound and pass — by construction ABFT only resolves
+/// corruption above the noise floor of the arithmetic itself.
+// dd:cold — verification is opt-in; the exact-alloc kernel tier never pays
+pub struct BsrAbft {
+    /// `eᵀA`: per-column sums of the operator.
+    col_sums: Vec<f64>,
+    /// `|e|ᵀ|A|`: per-column absolute sums, scaling the error bound.
+    abs_col_sums: Vec<f64>,
+    rows: usize,
+}
+
+impl BsrAbft {
+    /// Safety factor on the `n·ε` accumulation bound.
+    const SAFETY: f64 = 64.0;
+
+    pub fn new(a: &BsrMatrix) -> Self {
+        let bs = a.bs;
+        let bs2 = bs * bs;
+        let mut col_sums = vec![0.0f64; a.cols];
+        let mut abs_col_sums = vec![0.0f64; a.cols];
+        let brows = a.row_ptr.len() - 1;
+        for br in 0..brows {
+            let nr = ((br + 1) * bs).min(a.rows) - br * bs;
+            for q in a.row_ptr[br]..a.row_ptr[br + 1] {
+                let blk = &a.values[q * bs2..(q + 1) * bs2];
+                let c0 = a.col_idx[q] as usize * bs;
+                for cl in 0..bs.min(a.cols - c0) {
+                    let col = &blk[cl * bs..cl * bs + nr];
+                    for &v in col {
+                        col_sums[c0 + cl] += v;
+                        abs_col_sums[c0 + cl] += v.abs();
+                    }
+                }
+            }
+        }
+        BsrAbft {
+            col_sums,
+            abs_col_sums,
+            rows: a.rows,
+        }
+    }
+
+    /// Accumulation bound for one product with input `x`.
+    fn bound(&self, x: &[f64]) -> f64 {
+        let scale: f64 = self
+            .abs_col_sums
+            .iter()
+            .zip(x)
+            .map(|(s, v)| s * v.abs())
+            .sum();
+        Self::SAFETY * (self.rows.max(x.len()) as f64) * f64::EPSILON * scale.max(1.0)
+    }
+
+    /// Verify `y = A x` against the checksum row. On failure returns the
+    /// defect `|eᵀy − s·x|` (which exceeded the accumulation bound).
+    pub fn verify_spmv(&self, x: &[f64], y: &[f64]) -> Result<(), f64> {
+        assert_eq!(x.len(), self.col_sums.len(), "abft: x length");
+        assert_eq!(y.len(), self.rows, "abft: y length");
+        let lhs: f64 = y.iter().sum();
+        let rhs: f64 = self.col_sums.iter().zip(x).map(|(s, v)| s * v).sum();
+        let defect = (lhs - rhs).abs();
+        if defect <= self.bound(x) && defect.is_finite() {
+            Ok(())
+        } else {
+            Err(defect)
+        }
+    }
+
+    /// Verify `C = A B` column by column. On failure returns the offending
+    /// column and its defect.
+    pub fn verify_spmm(&self, b: &DMat, c: &DMat) -> Result<(), (usize, f64)> {
+        assert_eq!(b.cols(), c.cols(), "abft: column counts");
+        for j in 0..b.cols() {
+            self.verify_spmv(b.col(j), c.col(j)).map_err(|d| (j, d))?;
+        }
+        Ok(())
     }
 }
 
@@ -579,6 +675,64 @@ mod tests {
             }
         }
         assert!(BsrMatrix::detect_padded(&t.to_csr()).is_none());
+    }
+
+    #[test]
+    fn abft_passes_clean_products_and_catches_flips() {
+        for &bs in &[2usize, 3] {
+            let a = block_matrix(17, bs, false, 42 + bs as u64);
+            let bsr = BsrMatrix::try_from_csr_exact(&a, bs).expect("exact tiling");
+            let guard = bsr.abft();
+            let x = dense_vec(a.cols(), 5);
+            let mut y = vec![0.0; a.rows()];
+            bsr.spmv(&x, &mut y);
+            guard.verify_spmv(&x, &y).expect("clean spmv must verify");
+
+            // A flipped exponent/sign-region bit in one output entry is a
+            // model SDC event: the checksum identity must break.
+            let k = y.len() / 2;
+            let poisoned_bits = y[k].to_bits() ^ (1 << 61);
+            let mut y_bad = y.clone();
+            y_bad[k] = f64::from_bits(poisoned_bits);
+            assert!(
+                guard.verify_spmv(&x, &y_bad).is_err(),
+                "bs={bs}: flipped output bit not detected"
+            );
+
+            // A corrupted *stored matrix value* also breaks the identity —
+            // the checksum row was computed from the pristine operator.
+            let mut bad = bsr.clone();
+            let m = bad.values.len() / 3;
+            bad.values[m] = f64::from_bits(bad.values[m].to_bits() ^ (1 << 60));
+            let mut y_mat = vec![0.0; a.rows()];
+            bad.spmv(&x, &mut y_mat);
+            assert!(
+                guard.verify_spmv(&x, &y_mat).is_err(),
+                "bs={bs}: corrupted matrix value not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn abft_verifies_spmm_per_column() {
+        let a = block_matrix(9, 3, false, 14);
+        let bsr = BsrMatrix::try_from_csr_exact(&a, 3).unwrap();
+        let guard = bsr.abft();
+        let mut bm = DMat::zeros(a.cols(), 6);
+        for j in 0..6 {
+            for (i, v) in bm.col_mut(j).iter_mut().enumerate() {
+                *v = ((i * 7 + j * 13) % 11) as f64 / 3.0 - 1.0;
+            }
+        }
+        let mut c = bsr.bsrmm(&bm);
+        guard.verify_spmm(&bm, &c).expect("clean spmm must verify");
+        let bad = c.col_mut(4)[2].to_bits() ^ (1 << 59);
+        c.col_mut(4)[2] = f64::from_bits(bad);
+        assert_eq!(
+            guard.verify_spmm(&bm, &c).map_err(|(j, _)| j),
+            Err(4),
+            "defect must be attributed to the poisoned column"
+        );
     }
 
     #[test]

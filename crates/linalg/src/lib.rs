@@ -31,7 +31,7 @@ pub mod smallgemm;
 pub mod sparse;
 pub mod vector;
 
-pub use bsr::BsrMatrix;
+pub use bsr::{BsrAbft, BsrMatrix};
 pub use dense::{DMat, DenseCholesky, DenseLdlt, DenseLu, DenseQr, FactorError};
 pub use givens::Givens;
 pub use matrix_market::{read_matrix_market, write_matrix_market, MmError};

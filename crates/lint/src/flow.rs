@@ -806,6 +806,81 @@ pub fn rule_epoch_tag(files: &[FileModel]) -> Vec<Finding> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Rule: raw-envelope
+// ---------------------------------------------------------------------------
+
+/// Rule `raw-envelope`: inside `dd-comm`, every payload enqueued into a
+/// mailbox must be sealed into a checksummed `Envelope` — the
+/// wire-integrity layer (DESIGN.md §13) only detects corruption on
+/// messages that carry a checksum. Two shapes bypass it:
+///
+/// * a `.push_back(..)` whose argument never mentions `seal` — a raw
+///   payload enqueued without an envelope;
+/// * an `Envelope { .. }` struct literal outside `Envelope::seal`
+///   itself — a hand-rolled envelope whose checksum nobody computed.
+pub fn rule_raw_envelope(files: &[FileModel]) -> Vec<Finding> {
+    let top = FnItem {
+        name: "<top>".into(),
+        owner: None,
+        fn_tok: 0,
+        body: None,
+        line: 0,
+        is_test: false,
+        hot: false,
+    };
+    let mut out = Vec::new();
+    for m in files {
+        if !m.path.contains("crates/comm/src/") {
+            continue;
+        }
+        for c in m.calls_in((0, m.toks.len().saturating_sub(1))) {
+            if !c.is_method || c.name != "push_back" || m.in_test(c.tok) {
+                continue;
+            }
+            let Some(&(a0, a1)) = c.args.first() else {
+                continue;
+            };
+            let end = a1.min(m.toks.len().saturating_sub(1));
+            let sealed =
+                (a0..=end).any(|i| m.toks[i].kind == TokKind::Ident && m.toks[i].text == "seal");
+            if !sealed {
+                let w = format!(
+                    "{}: payload enqueued via .push_back without Envelope::seal",
+                    fn_key(m.enclosing_fn(c.tok).unwrap_or(&top))
+                );
+                out.push(finding("raw-envelope", m, c.tok, w));
+            }
+        }
+        for i in 0..m.toks.len().saturating_sub(1) {
+            if !m.toks[i].is(TokKind::Ident, "Envelope") || !m.toks[i + 1].is(TokKind::Open, "{") {
+                continue;
+            }
+            // Skip the type definition and impl/trait headers; the literal
+            // inside the sealing constructor is the one legal site.
+            if i > 0
+                && (m.toks[i - 1].is(TokKind::Punct, "->")
+                    || (m.toks[i - 1].kind == TokKind::Ident
+                        && matches!(
+                            m.toks[i - 1].text.as_str(),
+                            "struct" | "impl" | "for" | "trait"
+                        )))
+            {
+                continue;
+            }
+            if m.in_test(i) || m.enclosing_fn(i).is_some_and(|f| f.name == "seal") {
+                continue;
+            }
+            let w = format!(
+                "{}: Envelope literal outside Envelope::seal",
+                fn_key(m.enclosing_fn(i).unwrap_or(&top))
+            );
+            out.push(finding("raw-envelope", m, i, w));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1054,5 +1129,55 @@ mod tests {
             ),
         ];
         assert!(rule_epoch_tag(&files).is_empty());
+    }
+
+    // ---- raw-envelope ---------------------------------------------------
+
+    #[test]
+    fn unsealed_push_back_fires_sealed_passes() {
+        let bad = file(
+            "crates/comm/src/comm.rs",
+            "fn send(&self, q: &mut Q, v: V) { q.push_back(v); }\n",
+        );
+        let got = rule_raw_envelope(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].witness.contains("push_back"), "{got:?}");
+        let ok = file(
+            "crates/comm/src/comm.rs",
+            "fn send(&self, q: &mut Q, v: V) { q.push_back(Envelope::seal(v, a, b, d, s, c)); }\n",
+        );
+        assert!(rule_raw_envelope(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn hand_rolled_envelope_literal_fires_outside_seal_only() {
+        let bad = file(
+            "crates/comm/src/comm.rs",
+            "fn sneak(v: V) -> Envelope { Envelope { payload: v, sum: 0 } }\n",
+        );
+        let got = rule_raw_envelope(std::slice::from_ref(&bad));
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].witness.contains("literal"), "{got:?}");
+        let ok = file(
+            "crates/comm/src/comm.rs",
+            "struct Envelope { sum: u64 }\n\
+             impl Envelope { fn seal(v: V, s: u64) -> Self { Envelope { payload: v, sum: s } } }\n",
+        );
+        assert!(rule_raw_envelope(std::slice::from_ref(&ok)).is_empty());
+    }
+
+    #[test]
+    fn raw_envelope_is_scoped_to_dd_comm_and_exempts_tests() {
+        let files = [
+            file(
+                "crates/part/src/lib.rs",
+                "fn f(q: &mut Q, v: V) { q.push_back(v); }\n",
+            ),
+            file(
+                "crates/comm/src/comm.rs",
+                "#[cfg(test)]\nmod tests { fn f(q: &mut Q, v: V) { q.push_back(v); } }\n",
+            ),
+        ];
+        assert!(rule_raw_envelope(&files).is_empty());
     }
 }

@@ -16,7 +16,7 @@
 //!   impl owners, calls with receiver paths and argument spans, if/match
 //!   branch structure with pattern bindings, `let` chains, `#[cfg(test)]`
 //!   spans.
-//! * [`rules`] (the nine ported site rules) and [`flow`] (the five
+//! * [`rules`] (the nine ported site rules) and [`flow`] (the six
 //!   flow-aware rules) — both emitting [`Finding`]s with a witness that
 //!   names the enclosing item and, for inter-procedural findings, the
 //!   call path.
@@ -61,7 +61,7 @@ impl std::fmt::Display for Finding {
 }
 
 /// Every rule dd-analyze knows, in report order.
-pub const RULES: [&str; 14] = [
+pub const RULES: [&str; 15] = [
     // Ported site rules.
     "wallclock",
     "unwrap-expect",
@@ -78,6 +78,7 @@ pub const RULES: [&str; 14] = [
     "warm-loop-alloc",
     "wallclock-taint",
     "epoch-tag",
+    "raw-envelope",
 ];
 
 /// Lex and model every `.rs` file under `root/src` and `root/crates`,
@@ -115,7 +116,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<FileModel>) -> std::io::Result<()
     Ok(())
 }
 
-/// Run all fourteen rules over the modeled files and fingerprint every
+/// Run all fifteen rules over the modeled files and fingerprint every
 /// finding. Deterministic order: path, line, rule.
 pub fn run_rules(files: &[FileModel]) -> Vec<Finding> {
     let mut ws = flow::Workspace::build(files);
@@ -134,6 +135,7 @@ pub fn run_rules(files: &[FileModel]) -> Vec<Finding> {
     findings.extend(flow::rule_warm_loop_alloc(files));
     findings.extend(flow::rule_wallclock_taint(files));
     findings.extend(flow::rule_epoch_tag(files));
+    findings.extend(flow::rule_raw_envelope(files));
     for f in &mut findings {
         f.fingerprint = baseline::fingerprint(f.rule, &f.path, &f.witness);
     }

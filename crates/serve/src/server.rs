@@ -75,9 +75,26 @@ pub struct SolveMeta {
 
 #[derive(Clone, Debug, Default)]
 struct Slot {
-    locals: BTreeMap<usize, Vec<f64>>,
+    /// Per-subdomain solution pieces, each stored with the FNV-1a checksum
+    /// it was deposited under — the same at-rest discipline as the
+    /// checkpoint store: a piece that no longer matches its sum reads back
+    /// as *absent*, so the response counts as incomplete and is re-solved.
+    locals: BTreeMap<usize, (Vec<f64>, u64)>,
     completed: f64,
     meta: SolveMeta,
+}
+
+/// FNV-1a 64 over a solution piece's bit pattern.
+fn piece_sum(x: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ x.len() as u64;
+    for &v in x {
+        for b in v.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -85,6 +102,7 @@ struct Counters {
     solves: usize,
     reused_applies: usize,
     resetups: usize,
+    integrity_resolves: usize,
     t_setup: f64,
 }
 
@@ -94,6 +112,10 @@ struct Counters {
 /// Deposits are idempotent per `(request, rhs, subdomain)` within an epoch
 /// and last-writer-wins across epochs (a recovered epoch re-solves an
 /// incomplete request wholesale, overwriting any partial pieces).
+///
+/// Every piece carries a checksum, verified on every read: at-rest
+/// corruption makes the response incomplete again and the serving loop's
+/// integrity pass re-solves it — a corrupted response is never returned.
 #[derive(Default)]
 pub struct ResponseStore {
     slots: Mutex<BTreeMap<(usize, usize), Slot>>,
@@ -117,34 +139,68 @@ impl ResponseStore {
         now: f64,
         meta: SolveMeta,
     ) {
+        let sum = piece_sum(&x);
         let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
         let slot = slots.entry((req, rhs)).or_default();
-        slot.locals.insert(sub, x);
+        slot.locals.insert(sub, (x, sum));
         slot.completed = slot.completed.max(now);
         slot.meta = meta;
     }
 
-    /// Has `(req, rhs)` been deposited by all `nsubs` subdomains?
+    /// Has `(req, rhs)` been deposited — and does it still verify — for
+    /// all `nsubs` subdomains?
     pub fn is_complete(&self, req: usize, rhs: usize, nsubs: usize) -> bool {
         let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-        slots
-            .get(&(req, rhs))
-            .is_some_and(|s| s.locals.len() == nsubs)
+        slots.get(&(req, rhs)).is_some_and(|s| {
+            s.locals.len() == nsubs && s.locals.values().all(|(x, sum)| piece_sum(x) == *sum)
+        })
     }
 
-    /// Number of subdomain pieces deposited for `(req, rhs)`.
+    /// Number of subdomain pieces deposited for `(req, rhs)` that still
+    /// verify against their checksums.
     pub fn deposited(&self, req: usize, rhs: usize) -> usize {
         let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-        slots.get(&(req, rhs)).map_or(0, |s| s.locals.len())
+        slots.get(&(req, rhs)).map_or(0, |s| {
+            s.locals
+                .values()
+                .filter(|(x, sum)| piece_sum(x) == *sum)
+                .count()
+        })
     }
 
-    /// The deposited `(subdomain, piece)` pairs of `(req, rhs)`, in
-    /// subdomain order — what the protocol-level suites canonicalize.
+    /// The deposited-and-verified `(subdomain, piece)` pairs of
+    /// `(req, rhs)`, in subdomain order — what the protocol-level suites
+    /// canonicalize. A piece failing verification is omitted.
     pub fn pieces(&self, req: usize, rhs: usize) -> Vec<(usize, Vec<f64>)> {
         let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
         slots.get(&(req, rhs)).map_or_else(Vec::new, |s| {
-            s.locals.iter().map(|(&k, v)| (k, v.clone())).collect()
+            s.locals
+                .iter()
+                .filter(|(_, (x, sum))| piece_sum(x) == *sum)
+                .map(|(&k, (v, _))| (k, v.clone()))
+                .collect()
         })
+    }
+
+    /// Flip one mantissa bit of a deposited piece *without* refreshing its
+    /// stored checksum — at-rest corruption for the chaos tests. Returns
+    /// whether the piece existed.
+    #[doc(hidden)]
+    pub fn corrupt_for_tests(&self, req: usize, rhs: usize, sub: usize) -> bool {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let Some((x, _)) = slots
+            .get_mut(&(req, rhs))
+            .and_then(|s| s.locals.get_mut(&sub))
+        else {
+            return false;
+        };
+        match x.first_mut() {
+            Some(x0) => {
+                *x0 = f64::from_bits(x0.to_bits() ^ (1 << 17));
+                true
+            }
+            None => false,
+        }
     }
 
     fn note(&self, f: impl FnOnce(&mut Counters)) {
@@ -195,6 +251,9 @@ pub struct ServeReport {
     pub reused_applies: usize,
     /// Inadmissible-drift re-factorizations.
     pub resetups: usize,
+    /// Responses re-solved because a deposited piece failed its checksum
+    /// verification (at-rest corruption healed by an integrity pass).
+    pub integrity_resolves: usize,
     /// Membership changes survived mid-stream.
     pub recoveries: usize,
     /// Virtual seconds of the initial resident setup.
@@ -325,81 +384,122 @@ fn serve_epoch(
     // valid against the operator that produced them.
     let mut spaces: BTreeMap<u64, RecycleSpace> = BTreeMap::new();
 
-    for batch in batches {
-        if batch
-            .items
-            .iter()
-            .all(|it| responses.is_complete(it.req, it.rhs, nsubs))
-        {
-            continue;
-        }
-        // Open-loop arrivals: idle (in virtual time) until dispatch.
-        let now = c.clock();
-        if now < batch.dispatch {
-            c.advance_clock(batch.dispatch - now);
-        }
-        let theta = batch.theta;
-        let reused = theta.to_bits() != theta_base.to_bits();
-        if reused && (theta - theta_base).abs() > opts.admissibility {
-            // Inadmissible drift: re-factorize at θ and move the resident
-            // base point. Setups never run inside `serve-apply`.
-            let scope = c.trace_scope("serve-setup");
-            resident = match lookup(arena, theta) {
-                // Returning to the unperturbed operator reuses the coarse
-                // cache (layout unchanged → every row is a cache hit);
-                // perturbed operators get a fresh, uncached assembly.
-                None => try_setup_partitioned(base, c, &opts.spmd, Some(cache), plan, false)?,
-                Some(d) => try_setup_partitioned(d, c, &opts.spmd, None, plan, false)?,
-            };
-            drop(scope);
-            theta_base = theta;
-            if c.rank() == 0 {
-                responses.note(|m| m.resetups += 1);
+    // Pass 0 is the stream itself. A deposited piece that no longer
+    // verifies against its checksum reads back as absent, so the response
+    // is incomplete again — each further *integrity pass* re-solves such
+    // responses wholesale (deposits are last-writer-wins), bounded by the
+    // recovery options' replay budget. Exhausting the budget surfaces a
+    // typed error: a corrupted response is never returned.
+    for pass in 0..=opts.spmd.recovery.max_replays {
+        if pass > 0 {
+            let stale = batches
+                .iter()
+                .flat_map(|b| &b.items)
+                .filter(|it| !responses.is_complete(it.req, it.rhs, nsubs))
+                .count();
+            if stale == 0 {
+                break;
             }
-            serve_batch(
-                c,
-                &resident,
-                None,
-                opts,
-                workload,
-                batch,
-                responses,
-                nsubs,
-                &mut spaces,
-            )?;
-        } else if !reused {
-            serve_batch(
-                c,
-                &resident,
-                None,
-                opts,
-                workload,
-                batch,
-                responses,
-                nsubs,
-                &mut spaces,
-            )?;
-        } else {
-            // Admissible reuse: solve the perturbed operator under the
-            // resident preconditioner.
-            let op = lookup(arena, theta).ok_or_else(|| SpmdError::Protocol {
-                rank: c.rank(),
-                what: format!("perturbation θ={theta} missing from the arena"),
-            })?;
-            serve_batch(
-                c,
-                &resident,
-                Some(op),
-                opts,
-                workload,
-                batch,
-                responses,
-                nsubs,
-                &mut spaces,
-            )?;
+            if c.rank() == 0 {
+                responses.note(|m| m.integrity_resolves += stale);
+            }
         }
+        for batch in batches {
+            if batch
+                .items
+                .iter()
+                .all(|it| responses.is_complete(it.req, it.rhs, nsubs))
+            {
+                continue;
+            }
+            // Open-loop arrivals: idle (in virtual time) until dispatch.
+            // (Integrity passes run after the stream, so they never wait.)
+            let now = c.clock();
+            if now < batch.dispatch {
+                c.advance_clock(batch.dispatch - now);
+            }
+            let theta = batch.theta;
+            let reused = theta.to_bits() != theta_base.to_bits();
+            if reused && (theta - theta_base).abs() > opts.admissibility {
+                // Inadmissible drift: re-factorize at θ and move the
+                // resident base point. Setups never run inside
+                // `serve-apply`.
+                let scope = c.trace_scope("serve-setup");
+                resident = match lookup(arena, theta) {
+                    // Returning to the unperturbed operator reuses the
+                    // coarse cache (layout unchanged → every row is a cache
+                    // hit); perturbed operators get a fresh, uncached
+                    // assembly.
+                    None => try_setup_partitioned(base, c, &opts.spmd, Some(cache), plan, false)?,
+                    Some(d) => try_setup_partitioned(d, c, &opts.spmd, None, plan, false)?,
+                };
+                drop(scope);
+                theta_base = theta;
+                if c.rank() == 0 {
+                    responses.note(|m| m.resetups += 1);
+                }
+                serve_batch(
+                    c,
+                    &resident,
+                    None,
+                    opts,
+                    workload,
+                    batch,
+                    responses,
+                    nsubs,
+                    &mut spaces,
+                )?;
+            } else if !reused {
+                serve_batch(
+                    c,
+                    &resident,
+                    None,
+                    opts,
+                    workload,
+                    batch,
+                    responses,
+                    nsubs,
+                    &mut spaces,
+                )?;
+            } else {
+                // Admissible reuse: solve the perturbed operator under the
+                // resident preconditioner.
+                let op = lookup(arena, theta).ok_or_else(|| SpmdError::Protocol {
+                    rank: c.rank(),
+                    what: format!("perturbation θ={theta} missing from the arena"),
+                })?;
+                serve_batch(
+                    c,
+                    &resident,
+                    Some(op),
+                    opts,
+                    workload,
+                    batch,
+                    responses,
+                    nsubs,
+                    &mut spaces,
+                )?;
+            }
+        }
+        // Quiesce the store before anyone judges staleness: without this,
+        // a rank that finishes the pass early can observe a peer's
+        // not-yet-deposited pieces as stale and enter an extra pass (and
+        // its collectives) that the peer skips.
+        c.try_barrier()?;
     }
-    c.try_barrier()?;
+    if let Some(it) = batches
+        .iter()
+        .flat_map(|b| &b.items)
+        .find(|it| !responses.is_complete(it.req, it.rhs, nsubs))
+    {
+        return Err(SpmdError::Protocol {
+            rank: c.rank(),
+            what: format!(
+                "response ({}, {}) failed integrity verification after {} re-solves",
+                it.req, it.rhs, opts.spmd.recovery.max_replays
+            ),
+        });
+    }
     Ok(())
 }
 
@@ -493,6 +593,7 @@ fn build_report(
         solves: counters.solves,
         reused_applies: counters.reused_applies,
         resetups: counters.resetups,
+        integrity_resolves: counters.integrity_resolves,
         recoveries: c.epoch(),
         t_setup: counters.t_setup,
         t_total: c.clock(),
@@ -501,10 +602,15 @@ fn build_report(
 
 /// `Σ_i R_iᵀ D_i x_i` — the partition-of-unity interpolant of the
 /// deposited local pieces, assembled in subdomain order so the result is
-/// independent of deposit interleaving.
-fn assemble_global(decomp: &Decomposition, locals: &BTreeMap<usize, Vec<f64>>) -> Vec<f64> {
+/// independent of deposit interleaving. Pieces that fail their checksum
+/// verification are skipped (the serving loop re-solves them before any
+/// report is built, so this is belt-and-braces).
+fn assemble_global(decomp: &Decomposition, locals: &BTreeMap<usize, (Vec<f64>, u64)>) -> Vec<f64> {
     let mut x = vec![0.0; decomp.n_global];
-    for (&s, xs) in locals {
+    for (&s, (xs, sum)) in locals {
+        if piece_sum(xs) != *sum {
+            continue;
+        }
         let sub = &decomp.subdomains[s];
         for (k, &g) in sub.l2g.iter().enumerate() {
             x[g as usize] += sub.d[k] * xs[k];
@@ -535,6 +641,25 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_piece_reads_back_as_absent_until_redeposited() {
+        let store = ResponseStore::new();
+        store.deposit(0, 0, 0, vec![1.0, 2.0], 0.1, SolveMeta::default());
+        store.deposit(0, 0, 1, vec![3.0], 0.2, SolveMeta::default());
+        assert!(store.is_complete(0, 0, 2));
+        assert!(store.corrupt_for_tests(0, 0, 1));
+        // The response is incomplete again: the poisoned piece is invisible
+        // on every read path…
+        assert!(!store.is_complete(0, 0, 2));
+        assert_eq!(store.deposited(0, 0), 1);
+        assert_eq!(store.pieces(0, 0).len(), 1);
+        assert_eq!(store.pieces(0, 0)[0].0, 0);
+        // …and a fresh deposit (the integrity re-solve) heals it.
+        store.deposit(0, 0, 1, vec![3.0], 0.3, SolveMeta::default());
+        assert!(store.is_complete(0, 0, 2));
+        assert_eq!(store.pieces(0, 0).len(), 2);
+    }
+
+    #[test]
     fn latency_percentiles_are_order_statistics() {
         let mk = |lat: f64| Response {
             req: 0,
@@ -555,6 +680,7 @@ mod tests {
             solves: 100,
             reused_applies: 0,
             resetups: 0,
+            integrity_resolves: 0,
             recoveries: 0,
             t_setup: 0.0,
             t_total: 100.0,

@@ -29,4 +29,4 @@ pub mod supernodal;
 pub use dist_ldlt::DistLdlt;
 pub use ldlt::{LdltError, Ordering, PivotPolicy, SparseLdlt};
 pub use local::{LdltBackend, LocalLdlt};
-pub use supernodal::SupernodalLdlt;
+pub use supernodal::{PanelDefect, SupernodalLdlt};

@@ -67,7 +67,10 @@ pub struct SupernodalLdlt {
     panel_ptr: Vec<usize>,
     panels: Vec<f64>,
     d: Vec<f64>,
-    boosted: usize,
+    /// Permuted columns whose pivot was boosted — excluded from the ABFT
+    /// reconstruction check, since boosting deliberately changes the
+    /// factored matrix at exactly those diagonal entries.
+    boosted_cols: Vec<u32>,
 }
 
 impl SupernodalLdlt {
@@ -204,7 +207,7 @@ impl SupernodalLdlt {
             PivotPolicy::Reject => 1e-300,
             PivotPolicy::Boost { rel_tol } => rel_tol,
         };
-        let mut boosted = 0usize;
+        let mut boosted_cols: Vec<u32> = Vec::new();
 
         let mut front: Vec<f64> = Vec::new();
         let mut ld: Vec<f64> = Vec::new();
@@ -284,7 +287,7 @@ impl SupernodalLdlt {
                             }
                             PivotPolicy::Boost { .. } => {
                                 dj = scale / f64::EPSILON;
-                                boosted += 1;
+                                boosted_cols.push(gj as u32);
                             }
                         }
                     }
@@ -360,7 +363,7 @@ impl SupernodalLdlt {
             panel_ptr,
             panels,
             d,
-            boosted,
+            boosted_cols,
         })
     }
 
@@ -396,7 +399,7 @@ impl SupernodalLdlt {
 
     /// Number of pivots boosted under [`PivotPolicy::Boost`].
     pub fn n_boosted(&self) -> usize {
-        self.boosted
+        self.boosted_cols.len()
     }
 
     /// Matrix inertia (#negative, #zero, #positive pivots).
@@ -478,6 +481,145 @@ impl SupernodalLdlt {
             self.solve_in_place(x.col_mut(j));
         }
         x
+    }
+
+    /// ABFT column-checksum verification of the stored factor against the
+    /// original matrix, reported per supernode panel.
+    ///
+    /// The checksum identity is `eᵀ(P A Pᵀ) = eᵀ(L D Lᵀ) = (tᵀD) Lᵀ` with
+    /// `t = Lᵀe` the column sums of `L` — so both sides cost one pass over
+    /// the stored entries (`O(nnz_A + nnz_L)`), no reconstruction. Columns
+    /// of `P A Pᵀ` sum as rows of `A` (full symmetric storage), and a
+    /// silent bit flip in any panel value or pivot perturbs the `LDLᵀ`
+    /// side of exactly the columns its supernode owns, which is what lets
+    /// the defect name the poisoned panel. Boosted pivot columns are
+    /// excluded: boosting deliberately edits those diagonal entries.
+    ///
+    /// `a` must be the matrix this factorization was computed from.
+    // dd:cold — opt-in integrity check, off the exact-alloc kernel tier
+    pub fn verify_abft(&self, a: &CsrMatrix) -> Result<(), PanelDefect> {
+        assert_eq!(a.rows(), self.n, "verify_abft: dimension mismatch");
+        let n = self.n;
+        let nsup = self.n_supernodes();
+        // eᵀ(P A Pᵀ) per permuted column j = row sum of A at row perm[j].
+        let mut s = vec![0.0f64; n];
+        let mut s_abs = vec![0.0f64; n];
+        for j in 0..n {
+            for (_, v) in a.row(self.perm[j]) {
+                s[j] += v;
+                s_abs[j] += v.abs();
+            }
+        }
+        // t_p = Σ_i L_ip (unit diagonal included), and the |·| variant.
+        let mut t = vec![1.0f64; n];
+        let mut t_abs = vec![1.0f64; n];
+        for sn in 0..nsup {
+            let nr = self.rows_ptr[sn + 1] - self.rows_ptr[sn];
+            let w = self.sn_col[sn + 1] - self.sn_col[sn];
+            let panel = &self.panels[self.panel_ptr[sn]..self.panel_ptr[sn + 1]];
+            for jc in 0..w {
+                let p = self.sn_col[sn] + jc;
+                for &v in &panel[jc * nr + jc + 1..(jc + 1) * nr] {
+                    t[p] += v;
+                    t_abs[p] += v.abs();
+                }
+            }
+        }
+        // c_j = Σ_p t_p d_p L_jp — scatter each stored entry of column p
+        // (plus its implicit unit diagonal) into the checksum of row j.
+        let mut c = vec![0.0f64; n];
+        let mut c_abs = vec![0.0f64; n];
+        for sn in 0..nsup {
+            let srows = &self.rows[self.rows_ptr[sn]..self.rows_ptr[sn + 1]];
+            let nr = srows.len();
+            let w = self.sn_col[sn + 1] - self.sn_col[sn];
+            let panel = &self.panels[self.panel_ptr[sn]..self.panel_ptr[sn + 1]];
+            for jc in 0..w {
+                let p = self.sn_col[sn] + jc;
+                let (tp, tpa) = (t[p] * self.d[p], t_abs[p] * self.d[p].abs());
+                c[p] += tp;
+                c_abs[p] += tpa;
+                for li in jc + 1..nr {
+                    let v = panel[jc * nr + li];
+                    c[srows[li] as usize] += tp * v;
+                    c_abs[srows[li] as usize] += tpa * v.abs();
+                }
+            }
+        }
+        let eps = PANEL_ABFT_SAFETY * (n.max(1) as f64) * f64::EPSILON;
+        for sn in 0..nsup {
+            for j in self.sn_col[sn]..self.sn_col[sn + 1] {
+                if self.boosted_cols.contains(&(j as u32)) {
+                    continue;
+                }
+                let defect = (s[j] - c[j]).abs();
+                let bound = eps * (s_abs[j] + c_abs[j]).max(1.0);
+                if defect > bound || !defect.is_finite() {
+                    return Err(PanelDefect {
+                        supernode: sn,
+                        column: j,
+                        defect,
+                        bound,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flip one bit of the `index`-th *nonzero* stored panel value — the
+    /// test/chaos hook for modeling a silent in-memory corruption of the
+    /// factor. (Amalgamation zeros are skipped: flipping a mantissa bit of
+    /// `0.0` yields a denormal too small to matter or detect.)
+    #[doc(hidden)]
+    pub fn corrupt_panel_value_for_tests(&mut self, index: usize, bit: u32) {
+        let nsup = self.n_supernodes();
+        let mut seen: usize = 0;
+        for sn in 0..nsup {
+            let nr = self.rows_ptr[sn + 1] - self.rows_ptr[sn];
+            let w = self.sn_col[sn + 1] - self.sn_col[sn];
+            for jc in 0..w {
+                for li in jc + 1..nr {
+                    let at = self.panel_ptr[sn] + jc * nr + li;
+                    if self.panels[at] != 0.0 {
+                        if seen == index {
+                            self.panels[at] =
+                                f64::from_bits(self.panels[at].to_bits() ^ (1u64 << bit));
+                            return;
+                        }
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        panic!("corrupt_panel_value_for_tests: index {index} out of range");
+    }
+}
+
+/// Safety factor on the `n·ε` accumulation bound of
+/// [`SupernodalLdlt::verify_abft`].
+const PANEL_ABFT_SAFETY: f64 = 64.0;
+
+/// One failed panel checksum from [`SupernodalLdlt::verify_abft`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanelDefect {
+    /// Supernode whose column group failed.
+    pub supernode: usize,
+    /// Permuted column with the failing checksum.
+    pub column: usize,
+    /// `|eᵀ(PAPᵀ)_j − eᵀ(LDLᵀ)_j|`.
+    pub defect: f64,
+    /// The accumulation bound the defect exceeded.
+    pub bound: f64,
+}
+
+impl std::fmt::Display for PanelDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "panel checksum defect {:.3e} (bound {:.3e}) in supernode {} column {}",
+            self.defect, self.bound, self.supernode, self.column
+        )
     }
 }
 
@@ -706,6 +848,55 @@ mod tests {
         let f0 = SupernodalLdlt::factor(&e, Ordering::Natural).unwrap();
         assert_eq!(f0.n(), 0);
         assert_eq!(f0.n_supernodes(), 0);
+    }
+
+    #[test]
+    fn abft_passes_clean_factors_and_names_the_poisoned_panel() {
+        let a = laplacian_3d(6);
+        for ord in [Ordering::Natural, Ordering::MinDegree] {
+            let f = SupernodalLdlt::factor(&a, ord).unwrap();
+            f.verify_abft(&a)
+                .unwrap_or_else(|d| panic!("clean factor flagged: {d}"));
+        }
+        // Flip a high mantissa bit in one stored panel value: the checksum
+        // must break, and the defect must name the owning supernode.
+        let mut f = SupernodalLdlt::factor(&a, Ordering::MinDegree).unwrap();
+        f.corrupt_panel_value_for_tests(f.nnz_l() / 3, 51);
+        let d = f
+            .verify_abft(&a)
+            .expect_err("corrupted panel must be detected");
+        assert!(d.defect > d.bound, "{d}");
+        assert!(d.supernode < f.n_supernodes());
+        // A corrupted pivot is caught too.
+        let mut g = SupernodalLdlt::factor(&a, Ordering::Rcm).unwrap();
+        let k = g.d.len() / 2;
+        g.d[k] = f64::from_bits(g.d[k].to_bits() ^ (1 << 52));
+        assert!(g.verify_abft(&a).is_err(), "corrupted pivot not detected");
+    }
+
+    #[test]
+    fn abft_tolerates_boosted_pivots() {
+        // Same singular matrix as the boost test: the boosted column is
+        // excluded, everything else must still verify.
+        let n = 12;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n - 2 {
+            b.push(i, i, 2.0);
+            if i + 1 < n - 2 {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.0);
+            }
+        }
+        b.push(n - 2, n - 2, 1.0);
+        b.push(n - 2, n - 1, 1.0);
+        b.push(n - 1, n - 2, 1.0);
+        b.push(n - 1, n - 1, 1.0);
+        let a = b.to_csr();
+        let policy = PivotPolicy::Boost { rel_tol: 1e-12 };
+        let f = SupernodalLdlt::factor_with(&a, Ordering::Natural, policy).unwrap();
+        assert_eq!(f.n_boosted(), 1);
+        f.verify_abft(&a)
+            .unwrap_or_else(|d| panic!("boosted factor flagged: {d}"));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! * `DD_KILL_RANK` — the victim (default 1);
 //! * `DD_OUT` — artifact path (default: stdout).
 //!
+//! `DD_CORRUPT_PHASE` instead arms seeded wire bit-flips in that trace
+//! phase (`solve`, `e-solve-dist`, …) with recovery and the residual-drift
+//! guard on: the gate asserts every injected corruption was *detected*
+//! (checksummed envelopes), the run still converges (retransmit/replay),
+//! and the recovered residual passes — a silently wrong answer fails CI.
+//!
 //! The elastic-membership scenarios have mirror knobs (either one
 //! switches to the elastic driver: 4 founders over 6 subdomains, 2
 //! reserve ranks in the lobby):
@@ -43,7 +49,7 @@
 //! recovered global residual exceeds 1e-5, so the artifact doubles as a
 //! CI gate.
 
-use dd_geneo::comm::{CostModel, FaultPlan, RetryPolicy, SuspicionPolicy, World};
+use dd_geneo::comm::{CostModel, FaultPlan, RetryPolicy, SuspicionPolicy, TagClass, World};
 use dd_geneo::core::geneo::GeneoOpts;
 use dd_geneo::core::problem::presets;
 use dd_geneo::core::{
@@ -143,7 +149,8 @@ fn describe(label: &str, results: &[Result<SpmdReport, SpmdError>]) {
                 let f = &r.run.faults;
                 println!(
                     "rank {rank}: {} in {} it. | deflation: {:?} | coarse: {:?} | \
-                     faults: {} delayed, {} dropped, {} retries",
+                     faults: {} delayed, {} dropped, {} retries, \
+                     {} corrupted ({} detected, {} retransmits)",
                     if r.converged {
                         "converged"
                     } else {
@@ -155,6 +162,9 @@ fn describe(label: &str, results: &[Result<SpmdReport, SpmdError>]) {
                     f.delays_injected,
                     f.drops_injected,
                     f.retries,
+                    f.corruptions_injected,
+                    f.corruptions_detected,
+                    f.retransmits,
                 );
                 for (phase, outcome) in &r.run.phases {
                     if let dd_geneo::core::PhaseOutcome::Degraded { reason } = outcome {
@@ -230,7 +240,8 @@ fn rank_json(rank: usize, res: &RecResult) -> String {
                         "{{\"epoch\":{},\"dead\":{:?},\"evicted\":{:?},\"joined\":{:?},\
                          \"adopted\":[{}],\"moved\":{:?},\"reused\":{:?},\
                          \"resume_iteration\":{},\"t_agreement\":{:e},\
-                         \"t_reassembly\":{:e},\"t_refactorization\":{:e}}}",
+                         \"t_reassembly\":{:e},\"t_refactorization\":{:e},\
+                         \"corruptions_detected\":{},\"replays\":{},\"t_replay\":{:e}}}",
                         rec.epoch,
                         rec.dead,
                         rec.evicted,
@@ -243,18 +254,26 @@ fn rank_json(rank: usize, res: &RecResult) -> String {
                         rec.t_agreement,
                         rec.t_reassembly,
                         rec.t_refactorization,
+                        rec.corruptions_detected,
+                        rec.replays,
+                        rec.t_replay,
                     )
                 })
                 .collect();
+            let f = &r.run.faults;
             format!(
                 "{{\"rank\":{rank},\"status\":\"{}\",\"iterations\":{},\
                  \"deflation\":\"{:?}\",\"coarse\":\"{:?}\",\"subdomains\":[{}],\
-                 \"recoveries\":[{}]}}",
+                 \"faults\":{{\"corruptions_injected\":{},\"corruptions_detected\":{},\
+                 \"retransmits\":{}}},\"recoveries\":[{}]}}",
                 if r.converged { "converged" } else { "stalled" },
                 r.iterations,
                 r.run.deflation,
                 r.run.coarse,
                 subs.join(","),
+                f.corruptions_injected,
+                f.corruptions_detected,
+                f.retransmits,
                 recs.join(","),
             )
         }
@@ -321,6 +340,65 @@ fn artifact_mode(decomp: &Arc<Decomposition>, phase: &str) -> ! {
         std::process::exit(0);
     }
     eprintln!("recovery gate FAILED: residual {residual:.3e}, survivors_ok {survivors_ok}");
+    std::process::exit(1);
+}
+
+/// Corruption CI artifact mode: seeded wire bit-flips in one trace phase,
+/// with recovery, checkpointing, and the SDC guard armed. The gate asserts
+/// detection (nothing corrupted slips through unnoticed), convergence on
+/// every rank, and the recovered residual — the acceptance criterion is
+/// "detected and healed, or typed failure", never a silent wrong answer.
+fn corrupt_artifact_mode(decomp: &Arc<Decomposition>, phase: &str) -> ! {
+    let seed = std::env::var("DD_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let plan = FaultPlan::new(seed)
+        .with_corrupt(phase, None, TagClass::Any, seed)
+        .with_delays(0.2, 2e-4);
+    let mut o = opts();
+    o.recovery.enabled = true;
+    o.recovery.checkpoint_interval = 2;
+    o.gmres.guard = Some(dd_geneo::krylov::SdcGuard::default());
+    let results = run_recoverable(decomp, plan, o);
+    let residual = global_residual(decomp, results.iter());
+    let (mut injected, mut detected, mut retransmits) = (0u64, 0u64, 0u64);
+    for (rep, _) in results.iter().flatten() {
+        injected += rep.run.faults.corruptions_injected;
+        detected += rep.run.faults.corruptions_detected;
+        retransmits += rep.run.faults.retransmits;
+    }
+    let ranks: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(rank, res)| rank_json(rank, res))
+        .collect();
+    let json = format!(
+        "{{\"corrupt_phase\":\"{}\",\"seed\":{seed},\
+         \"corruptions_injected\":{injected},\"corruptions_detected\":{detected},\
+         \"retransmits\":{retransmits},\"global_residual\":{residual:e},\
+         \"ranks\":[{}]}}\n",
+        json_escape(phase),
+        ranks.join(",")
+    );
+    match std::env::var("DD_OUT") {
+        Ok(path) => std::fs::write(&path, &json).expect("write DD_OUT artifact"),
+        Err(_) => print!("{json}"),
+    }
+    let all_ok = results
+        .iter()
+        .all(|res| res.as_ref().is_ok_and(|(rep, _)| rep.converged));
+    if all_ok && residual <= 1e-5 && injected > 0 && detected > 0 {
+        eprintln!(
+            "corruption gate passed: {injected} injected, {detected} detected, \
+             {retransmits} retransmits, residual {residual:.3e}"
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "corruption gate FAILED: {injected} injected, {detected} detected, \
+         residual {residual:.3e}, all_ok {all_ok}"
+    );
     std::process::exit(1);
 }
 
@@ -445,6 +523,9 @@ fn main() {
     if let Some(phase) = env_knob("DD_KILL_PHASE") {
         artifact_mode(&decomp, &phase);
     }
+    if let Some(phase) = env_knob("DD_CORRUPT_PHASE") {
+        corrupt_artifact_mode(&decomp, &phase);
+    }
 
     describe("fault-free baseline", &run(&decomp, FaultPlan::default()));
     describe(
@@ -454,6 +535,14 @@ fn main() {
     describe(
         "30% of messages dropped twice (recovered by retries)",
         &run(&decomp, FaultPlan::new(13).with_drops(0.3, 2)),
+    );
+    describe(
+        "one wire bit-flip per 'solve'-phase message (checksummed envelopes \
+         detect; one retransmit heals each)",
+        &run(
+            &decomp,
+            FaultPlan::new(9).with_corrupt("solve", None, TagClass::Any, 9),
+        ),
     );
     describe(
         "eigensolve fails on rank 2 (Nicolaides fallback)",

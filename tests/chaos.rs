@@ -9,7 +9,7 @@
 //! delay-only and drop-with-retry scenarios must converge in exactly the
 //! iteration count of the fault-free baseline.
 
-use dd_geneo::comm::{CommError, CostModel, FaultPlan, World};
+use dd_geneo::comm::{CommError, CostModel, FaultPlan, TagClass, World};
 use dd_geneo::core::problem::presets;
 use dd_geneo::core::{
     decompose, try_run_spmd, try_run_spmd_recoverable, CheckpointStore, CoarseOutcome,
@@ -242,10 +242,21 @@ fn run_recoverable_with_plan(
     opts: &SpmdOpts,
     plan: FaultPlan,
 ) -> Vec<RecResult> {
+    run_recoverable_with_store(decomp, opts, plan, &Arc::new(CheckpointStore::new()))
+}
+
+/// Like [`run_recoverable_with_plan`], but against a caller-owned store —
+/// lets a test inspect (or poison) checkpoints between runs.
+fn run_recoverable_with_store(
+    decomp: &Arc<Decomposition>,
+    opts: &SpmdOpts,
+    plan: FaultPlan,
+    store: &Arc<CheckpointStore>,
+) -> Vec<RecResult> {
     let n = decomp.n_subdomains();
     let d2 = Arc::clone(decomp);
     let opts = opts.clone();
-    let store = Arc::new(CheckpointStore::new());
+    let store = Arc::clone(store);
     World::run_with_faults(n, CostModel::default(), plan, move |comm| {
         try_run_spmd_recoverable(&d2, comm, &opts, &store).map(|s| (s.report, s.locals))
     })
@@ -553,6 +564,227 @@ fn retry_schedules_are_byte_identical_across_identically_seeded_runs() {
         .collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "recovered-epoch retries diverged");
+}
+
+// ------------------------------------------------------------------------
+// Silent-data-corruption chaos: seeded wire bit-flips against the
+// checksummed envelopes. A one-shot corruption is detected on receipt and
+// healed by retransmitting the *pristine* payload, so the numerics stay
+// bit-identical to the fault-free run; a persistent corruption exhausts
+// the retransmit budget into a typed error (and, with recovery enabled, a
+// rollback-and-replay) — never a silently wrong answer.
+
+/// Non-recoverable runner that also returns the local solution, so
+/// corruption rows can assert bit-identical numerics.
+fn run_with_solution(
+    decomp: &Arc<Decomposition>,
+    opts: &SpmdOpts,
+    plan: FaultPlan,
+) -> Vec<Result<(SpmdReport, Vec<f64>), SpmdError>> {
+    let n = decomp.n_subdomains();
+    let d2 = Arc::clone(decomp);
+    let opts = opts.clone();
+    World::run_with_faults(n, CostModel::default(), plan, move |comm| {
+        try_run_spmd(&d2, comm, &opts).map(|s| (s.report, s.x_local))
+    })
+}
+
+#[test]
+fn wire_corruption_is_detected_retransmitted_and_bit_identical() {
+    let decomp = setup(12, 4);
+    let o = opts();
+    let base: Vec<(SpmdReport, Vec<f64>)> = run_with_solution(&decomp, &o, FaultPlan::default())
+        .into_iter()
+        .map(|r| r.expect("fault-free baseline must not fail"))
+        .collect();
+    // One row per corruption surface: the neighbor exchange and coarse
+    // gather/scatter (p2p traffic inside "solve"), the lockstep reductions
+    // (collective contributions inside "solve"), the distributed
+    // triangular coarse solve, and the cooperative fan-in factorization.
+    let rows = [
+        ("solve", TagClass::P2p),
+        ("solve", TagClass::Collective),
+        ("e-solve-dist", TagClass::Any),
+        ("e-factorization-dist", TagClass::Any),
+    ];
+    for (phase, class) in rows {
+        let plan = FaultPlan::new(9).with_corrupt(phase, None, class, 9);
+        let results = run_with_solution(&decomp, &o, plan);
+        let (mut injected, mut detected, mut retransmits) = (0u64, 0u64, 0u64);
+        for (rank, res) in results.iter().enumerate() {
+            let (r, x) = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{phase}/{class:?} rank {rank}: {e}"));
+            assert!(
+                r.converged,
+                "{phase}/{class:?} rank {rank} did not converge"
+            );
+            // Detect-and-retransmit is payload-restoring: the solve sees
+            // only pristine values, so iteration count *and* every bit of
+            // the solution match the fault-free baseline (a fortiori the
+            // ISSUE's 1e-10 differential bound).
+            assert_eq!(r.iterations, base[rank].0.iterations, "{phase}/{class:?}");
+            assert_eq!(
+                x, &base[rank].1,
+                "{phase}/{class:?} rank {rank}: numerics must be bit-identical"
+            );
+            injected += r.run.faults.corruptions_injected;
+            detected += r.run.faults.corruptions_detected;
+            retransmits += r.run.faults.retransmits;
+        }
+        assert!(
+            injected > 0,
+            "{phase}/{class:?}: no corruption injected — row is vacuous"
+        );
+        assert_eq!(
+            detected, injected,
+            "{phase}/{class:?}: every one-shot corruption is detected exactly once"
+        );
+        assert!(
+            retransmits >= injected,
+            "{phase}/{class:?}: detection must retransmit"
+        );
+    }
+}
+
+#[test]
+fn persistent_corruption_surfaces_typed_errors_never_a_silent_result() {
+    // Without recovery there is nowhere to replay: once the retransmit
+    // budget exhausts, the run must end in a *typed* error on every rank —
+    // a converged result under a persistently corrupting link would be the
+    // very silent-data-corruption outcome the envelopes exist to prevent.
+    let decomp = setup(12, 4);
+    let results = run_with_plan(
+        &decomp,
+        &opts(),
+        FaultPlan::new(17).with_corrupt_persistent("solve", None, TagClass::P2p, 17),
+    );
+    let mut corrupt_errors = 0;
+    for (rank, res) in results.iter().enumerate() {
+        match res {
+            Ok(r) => panic!(
+                "rank {rank} returned a result (converged={}) under persistent corruption",
+                r.converged
+            ),
+            Err(SpmdError::Comm(CommError::Corrupt { .. })) => corrupt_errors += 1,
+            // A peer that errored first abandons the world; ranks still
+            // blocked on it then surface its death instead.
+            Err(SpmdError::Comm(CommError::RankDead { .. })) => {}
+            Err(other) => panic!("rank {rank}: expected a corruption-class error, got {other}"),
+        }
+    }
+    assert!(
+        corrupt_errors > 0,
+        "no rank surfaced the typed Corrupt error"
+    );
+}
+
+#[test]
+fn persistent_corruption_with_recovery_rolls_back_and_replays() {
+    // With recovery enabled, a corruption classification triggers
+    // rollback-and-replay on the *same* membership (nobody died): the
+    // replayed epoch runs under the "recovery-*" phases, which this plan
+    // does not corrupt — modeling a transient corruption episode that has
+    // passed. The replay must converge to the fault-free answer and leave
+    // an audit record carrying the corruption counters.
+    let decomp = setup(12, 4);
+    let o = recovery_opts();
+    let base = reassemble(
+        &decomp,
+        &run_recoverable_with_plan(&decomp, &o, FaultPlan::default()),
+    );
+    let results = run_recoverable_with_plan(
+        &decomp,
+        &o,
+        FaultPlan::new(17).with_corrupt_persistent("solve", None, TagClass::P2p, 17),
+    );
+    for (rank, res) in results.iter().enumerate() {
+        let (report, _) = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {rank}: replay must recover, got {e}"));
+        assert!(
+            report.converged,
+            "rank {rank} did not converge after replay"
+        );
+        let recs = &report.run.recoveries;
+        assert!(!recs.is_empty(), "rank {rank}: no replay on record");
+        for rec in recs {
+            assert_eq!(rec.epoch, 0, "replay stays on the same membership");
+            assert!(rec.dead.is_empty(), "nobody died");
+            assert!(rec.replays >= 1);
+            assert!(
+                rec.corruptions_detected > 0,
+                "rank {rank}: replay record must carry the detection count"
+            );
+        }
+    }
+    // Differential acceptance (fig. 10 workload): the replayed solve
+    // reproduces the fault-free solution to 1e-10.
+    let x_rec = reassemble(&decomp, &results);
+    let dist = x_rec
+        .iter()
+        .zip(&base)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+        / base.iter().map(|b| b * b).sum::<f64>().sqrt();
+    assert!(
+        dist <= 1e-10,
+        "replayed solution drifted {dist:e} from the fault-free baseline"
+    );
+    let rr = global_residual(&decomp, &x_rec);
+    assert!(rr <= 1e-5, "replayed residual {rr:e} misses the tolerance");
+}
+
+#[test]
+fn corrupted_checkpoint_is_skipped_and_recovery_resumes_from_an_older_one() {
+    // At-rest corruption: flip a bit in the newest stored snapshot without
+    // refreshing its checksum. The next recovery must fall back to the
+    // next-newest snapshot that verifies on *every* subdomain — poisoned
+    // state is never deserialized into the solve.
+    let decomp = setup(12, 4);
+    let o = SpmdOpts {
+        one_level_only: true,
+        recovery: RecoveryOpts {
+            enabled: true,
+            checkpoint_interval: 2,
+            ..Default::default()
+        },
+        ..opts()
+    };
+    let n = decomp.n_subdomains();
+    let store = Arc::new(CheckpointStore::new());
+    // Warm run: a fault-free solve leaves verified checkpoints behind.
+    for res in run_recoverable_with_store(&decomp, &o, FaultPlan::default(), &store) {
+        res.expect("warm run must not fail");
+    }
+    let newest = store
+        .rollback_iteration(n)
+        .expect("warm run left no checkpoints");
+    assert!(
+        store.corrupt_for_tests(0, newest),
+        "snapshot to poison exists"
+    );
+    let older = store
+        .rollback_iteration(n)
+        .expect("an older verified checkpoint must remain");
+    assert!(older < newest, "rollback must skip the poisoned snapshot");
+    // Kill a rank during setup of a fresh run sharing the store: the
+    // recovered epoch resumes from the older *verified* checkpoint.
+    let results = run_recoverable_with_store(
+        &decomp,
+        &o,
+        FaultPlan::new(29).with_kill(2, "post-factorization"),
+        &store,
+    );
+    let reports = assert_recovered(&decomp, &results, 2, "post-factorization");
+    for r in &reports {
+        assert_eq!(
+            r.run.recoveries[0].resume_iteration,
+            Some(older),
+            "resume must skip the poisoned checkpoint"
+        );
+    }
 }
 
 #[test]

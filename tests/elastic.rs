@@ -257,6 +257,7 @@ fn grow_then_evict_straggler_completes_within_tolerance() {
                 deadline: f64::INFINITY,
                 k_missed: 3,
             }),
+            ..Default::default()
         },
         ..elastic_opts()
     };

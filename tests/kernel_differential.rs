@@ -243,6 +243,7 @@ fn gmres_with_reused_workspace_is_bitwise_identical() {
             ortho,
             side,
             record_history: true,
+            ..Default::default()
         };
         let fresh = try_gmres(&a, &IdentityPrecond, &SeqDot, &b, &x0, &opts, None).unwrap();
         // The same workspace is reused across all four configurations —
